@@ -1,0 +1,106 @@
+#ifndef DOCS_BENCH_BENCH_COMMON_H_
+#define DOCS_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the experiment harnesses that regenerate the paper's
+// tables and figures. Each binary prints the same rows/series the paper
+// reports, plus a one-line statement of the paper's qualitative expectation.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/domain_vector.h"
+#include "core/types.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+
+namespace docs::benchutil {
+
+/// Builds the shared synthetic KB once per process.
+inline const kb::SyntheticKb& SharedKb() {
+  static const kb::SyntheticKb* kKb = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  return *kKb;
+}
+
+/// The four paper datasets in presentation order.
+inline std::vector<datasets::Dataset> AllDatasets() {
+  std::vector<datasets::Dataset> all;
+  for (const auto& name : datasets::AllDatasetNames()) {
+    all.push_back(datasets::MakeDatasetByName(name, SharedKb()));
+  }
+  return all;
+}
+
+inline double Accuracy(const std::vector<size_t>& inferred,
+                       const std::vector<size_t>& truths) {
+  if (truths.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    correct += inferred[i] == truths[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(truths.size());
+}
+
+inline std::vector<size_t> NumChoices(const datasets::Dataset& dataset) {
+  std::vector<size_t> out;
+  out.reserve(dataset.tasks.size());
+  for (const auto& task : dataset.tasks) out.push_back(task.num_choices());
+  return out;
+}
+
+/// Runs DVE over every task of the dataset (top-`c` candidates per entity).
+inline std::vector<core::Task> DveTasks(const datasets::Dataset& dataset,
+                                        size_t top_c = 20) {
+  nlp::EntityLinkerOptions linker_options;
+  linker_options.max_candidates = top_c;
+  core::DomainVectorEstimator estimator(&SharedKb().knowledge_base,
+                                        linker_options);
+  std::vector<core::Task> tasks;
+  tasks.reserve(dataset.tasks.size());
+  for (const auto& spec : dataset.tasks) {
+    core::Task task;
+    task.domain_vector = estimator.Estimate(spec.text);
+    task.num_choices = spec.num_choices();
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+/// The default simulated worker pool for a dataset (expertise biased toward
+/// the dataset's domains, skewed activity, some spammers).
+inline std::vector<crowd::SimulatedWorker> PoolFor(
+    const datasets::Dataset& dataset, size_t num_workers = 60,
+    uint64_t seed = 1234) {
+  crowd::WorkerPoolOptions options;
+  options.num_workers = num_workers;
+  // MTurk-like conditions: a sizable adversarial tail (below-chance on
+  // binary tasks), mediocre generalists, genuine experts only in a worker's
+  // own domains. This is what makes initialization (golden tasks) and
+  // domain-aware weighting matter, as in the paper's Figs. 4-5.
+  options.spammer_fraction = 0.2;
+  options.spammer_min = 0.2;
+  options.spammer_max = 0.5;
+  // A correlated-adversary coalition: workers who always pick choice 1.
+  options.constant_answerer_fraction = 0.12;
+  options.base_min = 0.5;
+  options.base_max = 0.68;
+  options.expert_min = 0.82;
+  options.expert_max = 0.95;
+  // Moderate activity skew: most workers complete several HITs, as in the
+  // paper's Fig. 6 (many workers with 20-80 answered tasks).
+  options.activity_sigma = 0.6;
+  return crowd::MakeWorkerPool(SharedKb().knowledge_base.num_domains(),
+                               dataset.label_to_domain, options, seed);
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& expectation) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "paper expectation: " << expectation << "\n\n";
+}
+
+}  // namespace docs::benchutil
+
+#endif  // DOCS_BENCH_BENCH_COMMON_H_

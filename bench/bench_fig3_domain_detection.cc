@@ -1,0 +1,157 @@
+// Reproduces Figure 3: domain-detection accuracy of IC (LDA), FC
+// (TwitterLDA) and DOCS (KB-based DVE) on the four datasets — per-domain
+// accuracies (Fig. 3(a-d)) and the overall accuracy (Fig. 3(e)).
+//
+// Protocol (Section 6.2): the latent models get m' = m'' = 4 topics (the
+// true number, to favor them) and their latent topics are mapped to the true
+// domains by the best of all 24 permutations — the automated analogue of the
+// paper's manual mapping. DOCS uses its 26 explicit domains and a task is
+// detected correctly when the argmax domain equals the label's canonical
+// domain.
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.h"
+#include "common/math_utils.h"
+#include "common/table_printer.h"
+#include "core/domain_vector.h"
+#include "topicmodel/corpus.h"
+#include "topicmodel/lda.h"
+#include "topicmodel/twitter_lda.h"
+
+namespace docs {
+namespace {
+
+struct DetectionResult {
+  std::vector<double> per_domain_accuracy;  // per dataset label
+  double overall = 0.0;
+};
+
+DetectionResult ScoreAssignments(const datasets::Dataset& dataset,
+                                 const std::vector<size_t>& detected_label) {
+  DetectionResult result;
+  const size_t num_labels = dataset.domain_labels.size();
+  std::vector<size_t> correct(num_labels, 0), total(num_labels, 0);
+  for (size_t i = 0; i < dataset.tasks.size(); ++i) {
+    const size_t label = dataset.tasks[i].label;
+    ++total[label];
+    if (detected_label[i] == label) ++correct[label];
+  }
+  size_t all_correct = 0;
+  for (size_t label = 0; label < num_labels; ++label) {
+    result.per_domain_accuracy.push_back(
+        total[label] > 0
+            ? static_cast<double>(correct[label]) / total[label]
+            : 0.0);
+    all_correct += correct[label];
+  }
+  result.overall = static_cast<double>(all_correct) / dataset.tasks.size();
+  return result;
+}
+
+// Maps latent topic ids to dataset labels with the accuracy-maximizing
+// permutation (4! = 24 cases).
+DetectionResult ScoreLatentTopics(const datasets::Dataset& dataset,
+                                  const std::vector<size_t>& topic_of_task,
+                                  size_t num_topics) {
+  std::vector<size_t> permutation(num_topics);
+  std::iota(permutation.begin(), permutation.end(), size_t{0});
+  DetectionResult best;
+  best.overall = -1.0;
+  do {
+    std::vector<size_t> detected(dataset.tasks.size());
+    for (size_t i = 0; i < dataset.tasks.size(); ++i) {
+      detected[i] = permutation[topic_of_task[i]];
+    }
+    DetectionResult scored = ScoreAssignments(dataset, detected);
+    if (scored.overall > best.overall) best = scored;
+  } while (std::next_permutation(permutation.begin(), permutation.end()));
+  return best;
+}
+
+DetectionResult RunIcLda(const datasets::Dataset& dataset) {
+  topic::Corpus corpus;
+  for (const auto& task : dataset.tasks) corpus.AddDocumentText(task.text);
+  topic::LdaOptions options;
+  options.num_topics = dataset.domain_labels.size();
+  options.iterations = 300;
+  topic::LdaModel model(options);
+  model.Fit(corpus);
+  std::vector<size_t> topic_of_task;
+  for (const auto& theta : model.doc_topic()) {
+    topic_of_task.push_back(ArgMax(theta));
+  }
+  return ScoreLatentTopics(dataset, topic_of_task, options.num_topics);
+}
+
+DetectionResult RunFcTwitterLda(const datasets::Dataset& dataset) {
+  topic::Corpus corpus;
+  for (const auto& task : dataset.tasks) corpus.AddDocumentText(task.text);
+  topic::TwitterLdaOptions options;
+  options.num_topics = dataset.domain_labels.size();
+  options.iterations = 300;
+  topic::TwitterLdaModel model(options);
+  model.Fit(corpus);
+  std::vector<size_t> topic_of_task;
+  for (int topic : model.doc_assignment()) {
+    topic_of_task.push_back(static_cast<size_t>(topic));
+  }
+  return ScoreLatentTopics(dataset, topic_of_task, options.num_topics);
+}
+
+DetectionResult RunDocs(const datasets::Dataset& dataset) {
+  core::DomainVectorEstimator estimator(&benchutil::SharedKb().knowledge_base);
+  std::vector<size_t> detected(dataset.tasks.size(), dataset.domain_labels.size());
+  for (size_t i = 0; i < dataset.tasks.size(); ++i) {
+    const auto r = estimator.Estimate(dataset.tasks[i].text);
+    const size_t domain = ArgMax(r);
+    // Map the canonical domain back to a dataset label (if any).
+    size_t label = dataset.domain_labels.size();  // "other" sentinel
+    for (size_t l = 0; l < dataset.label_to_domain.size(); ++l) {
+      if (dataset.label_to_domain[l] == domain) label = l;
+    }
+    detected[i] = label;
+  }
+  return ScoreAssignments(dataset, detected);
+}
+
+}  // namespace
+}  // namespace docs
+
+int main() {
+  using docs::TablePrinter;
+  docs::benchutil::PrintHeader(
+      "Figure 3: domain-detection accuracy (IC/LDA vs FC/TwitterLDA vs DOCS)",
+      "On Item (templated text) all methods are near 100%. On 4D/QA/SFV the "
+      "topic models collapse (cross-domain lookalike templates, free-form "
+      "text) while DOCS stays > 95% on 4D and leads by ~20%+ overall.");
+
+  TablePrinter overall({"Dataset", "IC(LDA)", "FC(TwitterLDA)", "DOCS"});
+  for (const auto& dataset : docs::benchutil::AllDatasets()) {
+    const auto ic = docs::RunIcLda(dataset);
+    const auto fc = docs::RunFcTwitterLda(dataset);
+    const auto docs_result = docs::RunDocs(dataset);
+
+    std::cout << "-- Fig. 3: dataset " << dataset.name
+              << " (per-domain accuracy %) --\n";
+    TablePrinter table({"Domain", "IC(LDA)", "FC(TwitterLDA)", "DOCS"});
+    for (size_t label = 0; label < dataset.domain_labels.size(); ++label) {
+      table.AddRow({dataset.domain_labels[label],
+                    TablePrinter::Fmt(100.0 * ic.per_domain_accuracy[label], 1),
+                    TablePrinter::Fmt(100.0 * fc.per_domain_accuracy[label], 1),
+                    TablePrinter::Fmt(
+                        100.0 * docs_result.per_domain_accuracy[label], 1)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+
+    overall.AddRow({dataset.name, TablePrinter::Fmt(100.0 * ic.overall, 1),
+                    TablePrinter::Fmt(100.0 * fc.overall, 1),
+                    TablePrinter::Fmt(100.0 * docs_result.overall, 1)});
+  }
+  std::cout << "-- Fig. 3(e): overall domain-detection accuracy (%) --\n";
+  overall.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,184 @@
+// google-benchmark micro-benchmarks of the hot kernels behind the paper's
+// complexity claims: Algorithm 1 (DVE), the TI step, the OTA benefit
+// computation, golden-count approximation and the worker store.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/domain_vector.h"
+#include "core/golden_selection.h"
+#include "core/incremental_ti.h"
+#include "core/task_assignment.h"
+#include "core/truth_inference.h"
+#include "kb/synthetic_kb.h"
+#include "storage/worker_store.h"
+
+namespace docs {
+namespace {
+
+std::vector<core::EntityObservation> RandomEntities(size_t num_entities,
+                                                    size_t candidates,
+                                                    size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::EntityObservation> entities(num_entities);
+  for (auto& entity : entities) {
+    entity.link_probabilities = rng.Dirichlet(candidates, 1.0);
+    entity.indicators.resize(candidates);
+    for (auto& h : entity.indicators) {
+      h.resize(m);
+      for (auto& bit : h) bit = rng.Bernoulli(0.3) ? 1 : 0;
+    }
+  }
+  return entities;
+}
+
+// Algorithm 1 over |E_t| entities with top-20 candidates, m = 26.
+void BM_DveAlgorithm1(benchmark::State& state) {
+  const size_t num_entities = static_cast<size_t>(state.range(0));
+  auto entities = RandomEntities(num_entities, 20, 26, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeDomainVector(entities, 26));
+  }
+}
+BENCHMARK(BM_DveAlgorithm1)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+// Enumeration on instances small enough to finish.
+void BM_DveEnumeration(benchmark::State& state) {
+  const size_t num_entities = static_cast<size_t>(state.range(0));
+  auto entities = RandomEntities(num_entities, 3, 26, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeDomainVectorByEnumeration(entities, 26));
+  }
+}
+BENCHMARK(BM_DveEnumeration)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+// One TI step-1 matrix computation for a task with R answers, m = 26.
+void BM_TiTruthMatrix(benchmark::State& state) {
+  const size_t answers = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  core::Task task;
+  task.domain_vector = rng.Dirichlet(26, 0.5);
+  task.num_choices = 4;
+  std::vector<core::Answer> task_answers;
+  std::vector<core::WorkerQuality> qualities(answers);
+  for (size_t w = 0; w < answers; ++w) {
+    task_answers.push_back({0, w, rng.UniformInt(4)});
+    qualities[w].quality = rng.Dirichlet(26, 5.0);
+    for (auto& q : qualities[w].quality) q = 0.3 + q;  // plausible range
+    qualities[w].weight.assign(26, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeTruthMatrix(task, task_answers, qualities));
+  }
+}
+BENCHMARK(BM_TiTruthMatrix)->Arg(5)->Arg(10)->Arg(20);
+
+// Full iterative TI on n tasks with 10 answers each, m = 20.
+void BM_TiFullRun(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t m = 20;
+  const size_t num_workers = 100;
+  Rng rng(13);
+  std::vector<core::Task> tasks(n);
+  for (auto& task : tasks) {
+    task.domain_vector.assign(m, 0.0);
+    task.domain_vector[rng.UniformInt(m)] = 1.0;
+    task.num_choices = 2;
+  }
+  std::vector<core::Answer> answers;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < 10; ++a) {
+      answers.push_back({i, (i * 3 + a) % num_workers, rng.UniformInt(2)});
+    }
+  }
+  core::TruthInferenceOptions options;
+  options.max_iterations = 20;
+  options.tolerance = 0.0;
+  core::TruthInference engine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(tasks, num_workers, answers));
+  }
+}
+BENCHMARK(BM_TiFullRun)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Benefit of a single task (Theorems 2-3 + Eq. 8), m = 26, l = 4.
+void BM_OtaBenefit(benchmark::State& state) {
+  Rng rng(17);
+  core::Task task;
+  task.domain_vector = rng.Dirichlet(26, 0.5);
+  task.num_choices = 4;
+  Matrix matrix(26, 4, 0.0);
+  for (size_t d = 0; d < 26; ++d) matrix.SetRow(d, rng.Dirichlet(4, 1.0));
+  std::vector<double> truth = matrix.LeftMultiply(task.domain_vector);
+  std::vector<double> quality(26);
+  for (auto& q : quality) q = rng.UniformDoubleRange(0.4, 0.95);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Benefit(task, matrix, truth, quality));
+  }
+}
+BENCHMARK(BM_OtaBenefit);
+
+// Golden-count approximation for m domains.
+void BM_GoldenApproximation(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(19);
+  auto tau = rng.Dirichlet(m, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ApproximateGoldenCounts(tau, 20));
+  }
+}
+BENCHMARK(BM_GoldenApproximation)->Arg(10)->Arg(26)->Arg(50);
+
+// Incremental TI per-answer update (the O(m |V(i)|) path of Section 4.2).
+void BM_IncrementalOnAnswer(benchmark::State& state) {
+  const size_t m = 26;
+  Rng rng(23);
+  std::vector<core::Task> tasks(1024);
+  for (auto& task : tasks) {
+    task.domain_vector = rng.Dirichlet(m, 0.5);
+    task.num_choices = 2;
+  }
+  core::IncrementalTruthInference engine(std::move(tasks));
+  size_t worker = 0, task = 0;
+  for (auto _ : state) {
+    Status status = engine.OnAnswer(worker, task, rng.UniformInt(2));
+    benchmark::DoNotOptimize(status);
+    task = (task + 1) % 1024;
+    if (task == 0) ++worker;
+  }
+}
+BENCHMARK(BM_IncrementalOnAnswer);
+
+// End-to-end entity linking + Algorithm 1 for one task description.
+void BM_DveEndToEnd(benchmark::State& state) {
+  static const kb::SyntheticKb* kKb = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  core::DomainVectorEstimator estimator(&kKb->knowledge_base);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(
+        "Does Michael Jordan win more NBA championships than Kobe Bryant?"));
+  }
+}
+BENCHMARK(BM_DveEndToEnd);
+
+// WorkerStore in-memory put+merge throughput.
+void BM_WorkerStoreMerge(benchmark::State& state) {
+  auto store = storage::WorkerStore::InMemory(26);
+  storage::WorkerQualityRecord record;
+  record.quality.assign(26, 0.8);
+  record.weight.assign(26, 1.0);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Merge("worker_" + std::to_string(i++ % 100), record));
+  }
+}
+BENCHMARK(BM_WorkerStoreMerge);
+
+}  // namespace
+}  // namespace docs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Reproduces Table 3: the efficiency of DVE's Algorithm 1 vs. the naive
+// enumeration of Equation 1, on all four datasets with top-20/10/3 candidate
+// concepts per entity. The paper reports Algorithm 1 finishing within a
+// minute everywhere while enumeration needs "> 1 day" at top-20; our C++
+// enumeration is faster in absolute terms, so runs whose linking count
+// exceeds a budget are reported as an extrapolated estimate instead of being
+// executed.
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/domain_vector.h"
+#include "nlp/entity_linker.h"
+
+namespace docs {
+namespace {
+
+struct DveTimings {
+  double algorithm1_seconds = 0.0;
+  double enumeration_seconds = 0.0;  // measured part
+  double enumeration_estimated_seconds = 0.0;
+  bool enumeration_capped = false;
+};
+
+// Per-task observations for a dataset at a given top-c.
+std::vector<std::vector<core::EntityObservation>> LinkDataset(
+    const datasets::Dataset& dataset, size_t top_c) {
+  nlp::EntityLinkerOptions options;
+  options.max_candidates = top_c;
+  nlp::EntityLinker linker(&benchutil::SharedKb().knowledge_base, options);
+  std::vector<std::vector<core::EntityObservation>> observations;
+  observations.reserve(dataset.tasks.size());
+  for (const auto& task : dataset.tasks) {
+    observations.push_back(
+        core::DomainVectorEstimator::ObservationsFromLinkedEntities(
+            benchutil::SharedKb().knowledge_base, linker.Link(task.text)));
+  }
+  return observations;
+}
+
+DveTimings TimeDataset(
+    const std::vector<std::vector<core::EntityObservation>>& observations,
+    size_t num_domains) {
+  // Keep the total enumeration work bounded: tasks above the per-task cap
+  // are extrapolated from the measured cost per linking.
+  constexpr uint64_t kPerTaskLinkingCap = 200'000;
+
+  DveTimings timings;
+  Stopwatch stopwatch;
+  for (const auto& entities : observations) {
+    (void)core::ComputeDomainVector(entities, num_domains);
+  }
+  timings.algorithm1_seconds = stopwatch.ElapsedSeconds();
+
+  uint64_t measured_linkings = 0;
+  uint64_t capped_linkings = 0;
+  stopwatch.Reset();
+  for (const auto& entities : observations) {
+    const uint64_t linkings = core::CountLinkings(entities);
+    if (linkings > kPerTaskLinkingCap) {
+      timings.enumeration_capped = true;
+      capped_linkings += linkings;
+      continue;
+    }
+    measured_linkings += linkings;
+    (void)core::ComputeDomainVectorByEnumeration(entities, num_domains);
+  }
+  timings.enumeration_seconds = stopwatch.ElapsedSeconds();
+  const double per_linking =
+      measured_linkings > 0
+          ? timings.enumeration_seconds / static_cast<double>(measured_linkings)
+          : 0.0;
+  timings.enumeration_estimated_seconds =
+      timings.enumeration_seconds +
+      per_linking * static_cast<double>(capped_linkings);
+  return timings;
+}
+
+}  // namespace
+}  // namespace docs
+
+int main() {
+  using docs::TablePrinter;
+  docs::benchutil::PrintHeader(
+      "Table 3: DVE efficiency (Algorithm 1 vs Enumeration)",
+      "Algorithm 1 finishes within a minute on every dataset and top-c; "
+      "enumeration explodes at top-20/top-10 (paper: > 1 day) and only stays "
+      "tractable at top-3, where QA/SFV still pay ~100x more than Alg. 1 "
+      "(more entities per task).");
+
+  const auto datasets = docs::benchutil::AllDatasets();
+  const size_t m = docs::benchutil::SharedKb().knowledge_base.num_domains();
+
+  TablePrinter table({"Dataset", "Top-20 Alg.1", "Top-20 Enum.",
+                      "Top-10 Alg.1", "Top-10 Enum.", "Top-3 Alg.1",
+                      "Top-3 Enum."});
+  for (const auto& dataset : datasets) {
+    std::vector<std::string> row = {dataset.name};
+    for (size_t top_c : {size_t{20}, size_t{10}, size_t{3}}) {
+      const auto observations = docs::LinkDataset(dataset, top_c);
+      const auto timings = docs::TimeDataset(observations, m);
+      row.push_back(TablePrinter::Fmt(timings.algorithm1_seconds, 3) + "s");
+      if (timings.enumeration_capped) {
+        row.push_back("> " +
+                      TablePrinter::Fmt(timings.enumeration_estimated_seconds,
+                                        1) +
+                      "s (extrapolated)");
+      } else {
+        row.push_back(TablePrinter::Fmt(timings.enumeration_seconds, 3) + "s");
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nNote: 'extrapolated' rows mirror the paper's '> 1 day' "
+               "entries - the linking count exceeded the per-task budget, so "
+               "the time is estimated from the measured cost per linking.\n";
+  return 0;
+}

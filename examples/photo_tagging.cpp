@@ -1,0 +1,110 @@
+// Photo tagging with DOCS — the paper's running motivation: a worker who is
+// a basketball fan labels a photo of Stephen Curry better than one of
+// Leonardo DiCaprio, so tasks should go to matching domain experts.
+//
+// Each task shows a "photo" of a KB entity and asks the worker to select the
+// best label among four candidates drawn from the same pool. The example
+// contrasts DOCS's OTA against random assignment under the same budget.
+//
+//   ./build/examples/photo_tagging
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/assigners.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/docs_system.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "kb/synthetic_kb.h"
+
+int main() {
+  using docs::TablePrinter;
+  namespace core = docs::core;
+  namespace kb = docs::kb;
+  namespace crowd = docs::crowd;
+  namespace datasets = docs::datasets;
+  namespace baselines = docs::baselines;
+
+  const kb::SyntheticKb synthetic = kb::BuildSyntheticKb();
+  const auto canon =
+      kb::CanonicalDomains::Resolve(synthetic.knowledge_base.taxonomy());
+  docs::Rng rng(99);
+
+  // 240 photo-labeling tasks over players, actors and mountains.
+  datasets::Dataset dataset;
+  dataset.name = "PhotoTagging";
+  dataset.domain_labels = {"Players", "Actors", "Mountains"};
+  dataset.label_to_domain = {canon.sports, canon.entertain, canon.science};
+  const std::vector<const std::vector<std::string>*> pools = {
+      &synthetic.pools.nba_players, &synthetic.pools.actors,
+      &synthetic.pools.mountains};
+  for (size_t i = 0; i < 240; ++i) {
+    const size_t label = i % 3;
+    const auto& pool = *pools[label];
+    datasets::TaskSpec task;
+    task.label = label;
+    task.true_domain = dataset.label_to_domain[label];
+    // The photo's subject plus three distractor labels.
+    std::vector<size_t> order(pool.size());
+    for (size_t j = 0; j < pool.size(); ++j) order[j] = j;
+    rng.Shuffle(order);
+    for (size_t c = 0; c < 4; ++c) task.choices.push_back(pool[order[c]]);
+    task.truth = rng.UniformInt(4);
+    task.text = "Select the label that best describes this photo of " +
+                task.choices[task.truth] + ".";
+    dataset.tasks.push_back(std::move(task));
+  }
+
+  // Simulated crowd with strong domain specialists.
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 60;
+  pool_options.spammer_fraction = 0.15;
+  auto workers =
+      crowd::MakeWorkerPool(synthetic.knowledge_base.num_domains(),
+                            dataset.label_to_domain, pool_options, 5);
+
+  // DOCS vs random Baseline under the same answer budget.
+  core::DocsSystemOptions options;
+  options.golden_count = 9;
+  core::DocsSystem system(&synthetic.knowledge_base, options);
+  std::vector<core::TaskInput> inputs;
+  std::vector<size_t> num_choices;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+    num_choices.push_back(task.num_choices());
+  }
+  const auto truths = dataset.Truths();
+  if (auto status = system.AddTasks(inputs, &truths); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  for (size_t w = 0; w < workers.size(); ++w) system.WorkerIndex(workers[w].id);
+  baselines::RandomAssigner baseline(num_choices, 6);
+
+  crowd::CampaignOptions campaign;
+  campaign.total_answers_per_policy = dataset.tasks.size() * 5;
+  auto outcomes = crowd::RunAssignmentCampaign(dataset, workers,
+                                               {&system, &baseline}, campaign);
+
+  auto accuracy = [&](const std::vector<size_t>& inferred) {
+    size_t correct = 0;
+    for (size_t i = 0; i < dataset.tasks.size(); ++i) {
+      correct += inferred[i] == dataset.tasks[i].truth;
+    }
+    return 100.0 * correct / dataset.tasks.size();
+  };
+
+  TablePrinter table({"method", "answers", "label accuracy"});
+  for (const auto& outcome : outcomes) {
+    table.AddRow({outcome.name, std::to_string(outcome.answers_collected),
+                  TablePrinter::Fmt(accuracy(outcome.inferred_choices), 1) +
+                      "%"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nDomain-aware assignment routes each photo to workers who "
+               "know its domain, so DOCS should match or beat the random "
+               "baseline at equal budget.\n";
+  return 0;
+}

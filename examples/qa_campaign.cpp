@@ -1,0 +1,140 @@
+// Full question-answering campaign with worker persistence.
+//
+// Session 1 runs a DOCS campaign over one half of the QA dataset and saves
+// every worker's learned (q, u) statistics into the embedded WorkerStore.
+// Session 2 (a new requester, the other half of the tasks) reloads returning
+// workers — they skip the golden phase and keep their domain profiles, as
+// Section 4.2's maintenance policy (Theorem 1) prescribes.
+//
+//   ./build/examples/qa_campaign
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "core/docs_system.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+#include "storage/worker_store.h"
+
+namespace {
+
+double Accuracy(const std::vector<size_t>& inferred,
+                const std::vector<size_t>& truths) {
+  size_t correct = 0;
+  for (size_t i = 0; i < truths.size(); ++i) correct += inferred[i] == truths[i];
+  return 100.0 * correct / truths.size();
+}
+
+docs::datasets::Dataset Slice(const docs::datasets::Dataset& dataset,
+                              size_t begin, size_t end) {
+  docs::datasets::Dataset out;
+  out.name = dataset.name;
+  out.domain_labels = dataset.domain_labels;
+  out.label_to_domain = dataset.label_to_domain;
+  out.tasks.assign(dataset.tasks.begin() + begin, dataset.tasks.begin() + end);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using docs::TablePrinter;
+  namespace core = docs::core;
+  namespace kb = docs::kb;
+  namespace crowd = docs::crowd;
+  namespace storage = docs::storage;
+
+  const kb::SyntheticKb synthetic = kb::BuildSyntheticKb();
+  auto full = docs::datasets::MakeQaDataset(synthetic, 400);
+  auto first_half = Slice(full, 0, 200);
+  auto second_half = Slice(full, 200, 400);
+
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 70;
+  auto workers =
+      crowd::MakeWorkerPool(synthetic.knowledge_base.num_domains(),
+                            full.label_to_domain, pool_options, 12);
+
+  char store_template[] = "/tmp/docs_qa_campaign_XXXXXX";
+  const int store_fd = mkstemp(store_template);
+  if (store_fd >= 0) close(store_fd);
+  const std::string store_path = store_template;
+  auto store = storage::WorkerStore::Open(
+      store_path, synthetic.knowledge_base.num_domains());
+  if (!store.ok()) {
+    std::cerr << store.status().ToString() << "\n";
+    return 1;
+  }
+
+  auto run_session = [&](const docs::datasets::Dataset& dataset,
+                         bool load_returning) {
+    core::DocsSystemOptions options;
+    options.golden_count = 16;
+    core::DocsSystem system(&synthetic.knowledge_base, options);
+    std::vector<core::TaskInput> inputs;
+    for (const auto& task : dataset.tasks) {
+      inputs.push_back({task.text, task.num_choices()});
+    }
+    const auto truths = dataset.Truths();
+    if (auto status = system.AddTasks(inputs, &truths); !status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      std::exit(1);
+    }
+    size_t returning = 0;
+    for (const auto& worker : workers) {
+      if (load_returning && system.LoadWorker(worker.id, *store).ok()) {
+        ++returning;
+      } else {
+        system.WorkerIndex(worker.id);
+      }
+    }
+    crowd::CampaignOptions campaign;
+    campaign.total_answers_per_policy = dataset.tasks.size() * 8;
+    auto outcomes =
+        crowd::RunAssignmentCampaign(dataset, workers, {&system}, campaign);
+    // Persist everyone for the next requester.
+    for (const auto& worker : workers) {
+      (void)system.SaveWorker(worker.id, &*store);
+    }
+    struct SessionResult {
+      double accuracy;
+      size_t returning;
+      size_t answers;
+    };
+    return SessionResult{Accuracy(outcomes[0].inferred_choices,
+                                  dataset.Truths()),
+                         returning, outcomes[0].answers_collected};
+  };
+
+  std::cout << "Session 1 (fresh workers, first 200 QA tasks)...\n";
+  auto first = run_session(first_half, /*load_returning=*/false);
+  if (auto status = store->Compact(); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+  }
+  std::cout << "Session 2 (returning workers, next 200 QA tasks)...\n";
+  auto second = run_session(second_half, /*load_returning=*/true);
+
+  TablePrinter table(
+      {"session", "returning workers", "answers", "accuracy"});
+  table.AddRow({"1", std::to_string(first.returning),
+                std::to_string(first.answers),
+                TablePrinter::Fmt(first.accuracy, 1) + "%"});
+  table.AddRow({"2", std::to_string(second.returning),
+                std::to_string(second.answers),
+                TablePrinter::Fmt(second.accuracy, 1) + "%"});
+  table.Print(std::cout);
+  std::cout << "\nworker store: " << store->size() << " profiles at "
+            << store_path << " (" << store->log_records()
+            << " log records)\n";
+  std::cout << "Returning workers skip the golden phase in session 2 and "
+               "start with their Theorem-1-merged profiles.\n";
+  std::remove(store_path.c_str());
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Quickstart: the smallest end-to-end DOCS run, recreating the paper's
+// Table 1 scenario.
+//
+// Builds the synthetic knowledge base, submits five multiple-choice tasks,
+// loads three returning workers' domain profiles from the embedded
+// WorkerStore (a sports fan, a movie buff, and a mediocre generalist), lets
+// them answer, and prints the inferred truths and updated profiles. As in
+// Section 4.1's running example, the sports fan's minority answer wins on
+// the sports task because the task's domain vector says it is a sports task
+// and she is the sports expert.
+//
+//   ./build/examples/quickstart
+
+#include <iostream>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/docs_system.h"
+#include "kb/synthetic_kb.h"
+#include "storage/worker_store.h"
+
+int main() {
+  using docs::TablePrinter;
+  namespace core = docs::core;
+  namespace kb = docs::kb;
+  namespace storage = docs::storage;
+
+  // 1. The knowledge base (stands in for Freebase/Wikipedia).
+  const kb::SyntheticKb synthetic = kb::BuildSyntheticKb();
+  const size_t m = synthetic.knowledge_base.num_domains();
+  const auto canon =
+      kb::CanonicalDomains::Resolve(synthetic.knowledge_base.taxonomy());
+
+  // 2. A requester submits tasks (text + number of choices).
+  struct Spec {
+    const char* text;
+    std::vector<const char*> choices;
+    size_t truth;
+  };
+  const std::vector<Spec> specs = {
+      {"Does Michael Jordan win more NBA championships than Kobe Bryant?",
+       {"yes", "no"}, 0},
+      {"Which player wins more NBA championships, Steve Nash or Tim Duncan?",
+       {"Steve Nash", "Tim Duncan"}, 1},
+      {"Did Leonardo DiCaprio star in Titanic?", {"yes", "no"}, 0},
+      {"Who is the lead actor of The Revenant, Tom Hanks or "
+       "Leonardo DiCaprio?", {"Tom Hanks", "Leonardo DiCaprio"}, 1},
+      {"Is Mount Everest taller than K2?", {"yes", "no"}, 0},
+  };
+
+  core::DocsSystemOptions options;
+  options.golden_count = 0;  // 5 tasks are too few for a golden phase
+  core::DocsSystem system(&synthetic.knowledge_base, options);
+  std::vector<core::TaskInput> inputs;
+  for (const auto& spec : specs) {
+    inputs.push_back({spec.text, spec.choices.size()});
+  }
+  if (auto status = system.AddTasks(inputs); !status.ok()) {
+    std::cerr << "AddTasks failed: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  // 3. Show what DVE extracted from the text.
+  std::cout << "DVE domain vectors (top domain per task):\n";
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const auto& r = system.tasks()[i].domain_vector;
+    size_t best = 0;
+    for (size_t d = 1; d < r.size(); ++d) {
+      if (r[d] > r[best]) best = d;
+    }
+    std::cout << "  task " << i << ": "
+              << synthetic.knowledge_base.taxonomy().name(best) << " ("
+              << TablePrinter::Fmt(r[best], 2) << ")  --  " << specs[i].text
+              << "\n";
+  }
+
+  // 4. Three returning workers with known profiles (learned in earlier
+  //    campaigns and persisted in the WorkerStore; cf. Theorem 1).
+  auto store = storage::WorkerStore::InMemory(m);
+  auto put_profile = [&](const char* id, double sports, double entertain,
+                         double science) {
+    storage::WorkerQualityRecord record;
+    record.quality.assign(m, 0.6);
+    record.quality[canon.sports] = sports;
+    record.quality[canon.entertain] = entertain;
+    record.quality[canon.science] = science;
+    record.weight.assign(m, 30.0);  // well-established profiles
+    (void)store.Put(id, record);
+  };
+  // The sports fan also knows her mountains (an outdoorsy type).
+  put_profile("sports-fan", 0.93, 0.55, 0.88);
+  put_profile("movie-buff", 0.55, 0.93, 0.55);
+  put_profile("generalist", 0.52, 0.52, 0.52);
+  for (const char* id : {"sports-fan", "movie-buff", "generalist"}) {
+    if (auto status = system.LoadWorker(id, store); !status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  const size_t sports_fan = system.WorkerIndex("sports-fan");
+  const size_t movie_buff = system.WorkerIndex("movie-buff");
+  const size_t generalist = system.WorkerIndex("generalist");
+
+  // 5. Answers: the sports fan is right on sports tasks, the movie buff on
+  //    film tasks, the generalist sides with the wrong answer — so on every
+  //    task the *majority* is wrong in its own domain, as in Table 1.
+  auto wrong = [&](size_t i) { return 1 - specs[i].truth; };
+  auto is_sports = [](size_t i) { return i == 0 || i == 1 || i == 4; };
+  for (size_t i = 0; i < specs.size(); ++i) {
+    system.OnAnswer(sports_fan, i, is_sports(i) ? specs[i].truth : wrong(i));
+    system.OnAnswer(movie_buff, i, is_sports(i) ? wrong(i) : specs[i].truth);
+    system.OnAnswer(generalist, i, wrong(i));
+  }
+
+  // 6. Inferred truths: the domain expert's minority vote should win.
+  std::cout << "\nInferred truths (each task has a 2-vs-1 wrong majority):\n";
+  auto inferred = system.InferredChoices();
+  size_t correct = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const bool ok = inferred[i] == specs[i].truth;
+    correct += ok;
+    std::cout << "  task " << i << ": \"" << specs[i].choices[inferred[i]]
+              << "\" " << (ok ? "(correct)" : "(WRONG)") << "\n";
+  }
+  std::cout << "accuracy: " << correct << "/" << specs.size()
+            << "  (majority voting would score 0/5)\n";
+
+  // 7. Updated worker profiles, persisted back for the next requester.
+  std::cout << "\nUpdated worker quality (Sports / Entertain):\n";
+  for (auto [name, worker] :
+       {std::pair<const char*, size_t>{"sports-fan", sports_fan},
+        {"movie-buff", movie_buff},
+        {"generalist", generalist}}) {
+    const auto& q = system.inference().worker_quality(worker).quality;
+    std::cout << "  " << name
+              << ": sports=" << TablePrinter::Fmt(q[canon.sports], 2)
+              << " entertain=" << TablePrinter::Fmt(q[canon.entertain], 2)
+              << "\n";
+    (void)system.SaveWorker(name, &store);
+  }
+  std::cout << "\n" << store.size() << " profiles persisted ("
+            << store.log_records() << " log records)\n";
+  return 0;
+}

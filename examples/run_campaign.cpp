@@ -1,0 +1,220 @@
+// Command-line campaign driver: run the full DOCS pipeline (or a baseline
+// assignment policy) over a built-in dataset or your own TSV of tasks, with
+// optional worker-profile persistence and session checkpointing.
+//
+//   ./build/examples/run_campaign                         # DOCS on Item
+//   ./build/examples/run_campaign --dataset QA --policy askit
+//   ./build/examples/run_campaign --tasks mytasks.tsv --golden 10
+//       --checkpoint /tmp/session.ckpt --save-workers /tmp/workers.log
+//
+// Flags:
+//   --dataset Item|4D|QA|SFV   built-in dataset (default Item)
+//   --tasks <path.tsv>         load tasks from a TSV (see datasets/dataset_io.h)
+//   --policy docs|dmax|random|askit   assignment policy (default docs)
+//   --workers N                simulated crowd size (default 60)
+//   --answers-per-task N       answer budget per task (default 10)
+//   --golden N                 golden tasks for worker probing (default 20)
+//   --seed N                   RNG seed for the simulated crowd (default 1)
+//   --checkpoint <path>        save the DOCS session state at the end
+//   --save-workers <path>      persist worker profiles to a WorkerStore log
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/assigners.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/docs_system.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "datasets/dataset_io.h"
+#include "kb/synthetic_kb.h"
+#include "storage/worker_store.h"
+
+namespace {
+
+struct Flags {
+  std::string dataset = "Item";
+  std::string tasks_tsv;
+  std::string policy = "docs";
+  size_t workers = 60;
+  size_t answers_per_task = 10;
+  size_t golden = 20;
+  uint64_t seed = 1;
+  std::string checkpoint;
+  std::string save_workers;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (arg == "--dataset") {
+      flags->dataset = value();
+    } else if (arg == "--tasks") {
+      flags->tasks_tsv = value();
+    } else if (arg == "--policy") {
+      flags->policy = value();
+    } else if (arg == "--workers") {
+      flags->workers = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--answers-per-task") {
+      flags->answers_per_task = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--golden") {
+      flags->golden = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      flags->seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--checkpoint") {
+      flags->checkpoint = value();
+    } else if (arg == "--save-workers") {
+      flags->save_workers = value();
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using docs::TablePrinter;
+  namespace core = docs::core;
+  namespace kb = docs::kb;
+  namespace crowd = docs::crowd;
+  namespace datasets = docs::datasets;
+  namespace baselines = docs::baselines;
+  namespace storage = docs::storage;
+
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  std::cout << "building knowledge base...\n";
+  const kb::SyntheticKb synthetic = kb::BuildSyntheticKb();
+
+  datasets::Dataset dataset;
+  if (!flags.tasks_tsv.empty()) {
+    auto loaded = datasets::LoadDatasetTsv(flags.tasks_tsv);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    dataset = std::move(*loaded);
+  } else {
+    dataset = datasets::MakeDatasetByName(flags.dataset, synthetic);
+    if (dataset.tasks.empty()) {
+      std::cerr << "unknown dataset '" << flags.dataset
+                << "' (expected Item, 4D, QA or SFV)\n";
+      return 1;
+    }
+  }
+  std::cout << "dataset: " << dataset.name << " (" << dataset.tasks.size()
+            << " tasks)\n";
+
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = flags.workers;
+  pool_options.spammer_fraction = 0.2;
+  pool_options.constant_answerer_fraction = 0.1;
+  auto workers =
+      crowd::MakeWorkerPool(synthetic.knowledge_base.num_domains(),
+                            dataset.label_to_domain, pool_options, flags.seed);
+
+  // Build the requested policy.
+  std::vector<size_t> num_choices;
+  std::vector<core::TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    num_choices.push_back(task.num_choices());
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  const auto truths = dataset.Truths();
+
+  std::unique_ptr<core::DocsSystem> docs_system;
+  std::unique_ptr<baselines::RandomAssigner> random_policy;
+  std::unique_ptr<baselines::AskItAssigner> askit_policy;
+  core::AssignmentPolicy* policy = nullptr;
+  if (flags.policy == "docs" || flags.policy == "dmax") {
+    core::DocsSystemOptions options;
+    options.golden_count = flags.golden;
+    options.max_answers_per_task = flags.answers_per_task;
+    if (flags.policy == "dmax") {
+      options.selection_rule = core::SelectionRule::kDomainMax;
+      options.display_name = "D-Max";
+    }
+    docs_system = std::make_unique<core::DocsSystem>(
+        &synthetic.knowledge_base, options);
+    if (auto status = docs_system->AddTasks(inputs, &truths); !status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    for (const auto& worker : workers) docs_system->WorkerIndex(worker.id);
+    policy = docs_system.get();
+  } else if (flags.policy == "random") {
+    random_policy =
+        std::make_unique<baselines::RandomAssigner>(num_choices, flags.seed);
+    policy = random_policy.get();
+  } else if (flags.policy == "askit") {
+    askit_policy = std::make_unique<baselines::AskItAssigner>(num_choices);
+    policy = askit_policy.get();
+  } else {
+    std::cerr << "unknown policy '" << flags.policy
+              << "' (expected docs, dmax, random or askit)\n";
+    return 1;
+  }
+
+  std::cout << "running campaign with policy " << policy->name() << "...\n";
+  crowd::CampaignOptions campaign;
+  campaign.total_answers_per_policy =
+      dataset.tasks.size() * flags.answers_per_task;
+  campaign.seed = flags.seed + 1;
+  docs::Stopwatch stopwatch;
+  auto outcomes =
+      crowd::RunAssignmentCampaign(dataset, workers, {policy}, campaign);
+  const double elapsed = stopwatch.ElapsedSeconds();
+  const auto& outcome = outcomes[0];
+
+  size_t correct = 0;
+  for (size_t i = 0; i < dataset.tasks.size(); ++i) {
+    correct += outcome.inferred_choices[i] == dataset.tasks[i].truth;
+  }
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"policy", outcome.name});
+  table.AddRow({"answers collected", std::to_string(outcome.answers_collected)});
+  table.AddRow({"accuracy",
+                TablePrinter::Fmt(100.0 * correct / dataset.tasks.size(), 1) +
+                    "%"});
+  table.AddRow({"wall time", TablePrinter::Fmt(elapsed, 2) + "s"});
+  table.AddRow({"worst assignment",
+                TablePrinter::Fmt(outcome.worst_assignment_seconds * 1e3, 2) +
+                    "ms"});
+  table.Print(std::cout);
+
+  if (docs_system != nullptr && !flags.checkpoint.empty()) {
+    if (auto status = docs_system->SaveCheckpoint(flags.checkpoint);
+        status.ok()) {
+      std::cout << "session checkpoint written to " << flags.checkpoint
+                << "\n";
+    } else {
+      std::cerr << status.ToString() << "\n";
+    }
+  }
+  if (docs_system != nullptr && !flags.save_workers.empty()) {
+    auto store = storage::WorkerStore::Open(
+        flags.save_workers, synthetic.knowledge_base.num_domains());
+    if (store.ok()) {
+      for (const auto& worker : workers) {
+        (void)docs_system->SaveWorker(worker.id, &*store);
+      }
+      (void)store->Compact();
+      std::cout << store->size() << " worker profiles persisted to "
+                << flags.save_workers << "\n";
+    } else {
+      std::cerr << store.status().ToString() << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Sentiment analysis with DOCS — the second workload the paper's
+// introduction motivates (CDAS-style sentiment labeling).
+//
+// Workers classify short review snippets about films, cars and restaurants
+// as positive / negative / neutral. Judging sentiment still benefits from
+// domain knowledge ("the acceleration is sluggish" is negative only if you
+// know cars), so the tasks carry domain vectors and DOCS routes them to the
+// right workers. Compares DOCS truth inference against majority voting on
+// the same collected answers.
+//
+//   ./build/examples/sentiment_analysis
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/majority_vote.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/docs_system.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "kb/synthetic_kb.h"
+
+int main() {
+  using docs::TablePrinter;
+  namespace core = docs::core;
+  namespace kb = docs::kb;
+  namespace crowd = docs::crowd;
+  namespace datasets = docs::datasets;
+  namespace baselines = docs::baselines;
+
+  const kb::SyntheticKb synthetic = kb::BuildSyntheticKb();
+  const auto canon =
+      kb::CanonicalDomains::Resolve(synthetic.knowledge_base.taxonomy());
+  docs::Rng rng(314);
+
+  // Review-snippet templates per sentiment, specialized by domain.
+  struct Templates {
+    std::vector<std::string> positive;
+    std::vector<std::string> negative;
+    std::vector<std::string> neutral;
+  };
+  const Templates film_templates = {
+      {"the performance in % was a triumph of the cinema",
+       "% deserves every award it got, what a premiere"},
+      {"% was a box office flop for a reason, the director lost the plot",
+       "i walked out of %, the worst film this year"},
+      {"% premiered last week in our cinema",
+       "the runtime of % is about two hours"}};
+  const Templates car_templates = {
+      {"the % has stunning acceleration and the engine purrs",
+       "great fuel economy on the %, the transmission is silk"},
+      {"the % brakes feel spongy and the engine rattles at speed",
+       "terrible mileage from the %, the dealership overcharged us"},
+      {"the % comes in a sedan and an suv variant",
+       "the % received a new model year refresh"}};
+  const Templates food_templates = {
+      {"the % was baked to perfection, sweet and rich flavor",
+       "best % i have tasted, the recipe is a keeper"},
+      {"the % was bland and greasy, flavor of cardboard",
+       "avoid the %, it ruined our dinner"},
+      {"the % contains about two hundred calories per serving",
+       "% is a common breakfast ingredient"}};
+
+  datasets::Dataset dataset;
+  dataset.name = "Sentiment";
+  dataset.domain_labels = {"Films", "Cars", "Food"};
+  dataset.label_to_domain = {canon.entertain, canon.cars, canon.food};
+  const std::vector<const Templates*> templates = {
+      &film_templates, &car_templates, &food_templates};
+  const std::vector<const std::vector<std::string>*> pools = {
+      &synthetic.pools.films, &synthetic.pools.cars, &synthetic.pools.foods};
+
+  for (size_t i = 0; i < 240; ++i) {
+    const size_t label = i % 3;
+    const auto& pool = *pools[label];
+    const auto& tmpl = *templates[label];
+    datasets::TaskSpec task;
+    task.label = label;
+    task.true_domain = dataset.label_to_domain[label];
+    task.choices = {"positive", "negative", "neutral"};
+    task.truth = rng.UniformInt(3);
+    const auto& variants = task.truth == 0   ? tmpl.positive
+                           : task.truth == 1 ? tmpl.negative
+                                             : tmpl.neutral;
+    std::string snippet = variants[rng.UniformInt(variants.size())];
+    const std::string& entity = pool[rng.UniformInt(pool.size())];
+    snippet.replace(snippet.find('%'), 1, entity);
+    task.text = "What is the sentiment of this review? \"" + snippet + "\"";
+    dataset.tasks.push_back(std::move(task));
+  }
+
+  // Run a DOCS campaign.
+  core::DocsSystemOptions options;
+  options.golden_count = 12;
+  core::DocsSystem system(&synthetic.knowledge_base, options);
+  std::vector<core::TaskInput> inputs;
+  std::vector<size_t> num_choices;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+    num_choices.push_back(task.num_choices());
+  }
+  const auto truths = dataset.Truths();
+  if (auto status = system.AddTasks(inputs, &truths); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 50;
+  pool_options.spammer_fraction = 0.25;
+  pool_options.constant_answerer_fraction = 0.15;
+  pool_options.base_min = 0.45;
+  pool_options.base_max = 0.65;
+  auto workers =
+      crowd::MakeWorkerPool(synthetic.knowledge_base.num_domains(),
+                            dataset.label_to_domain, pool_options, 8);
+  for (size_t w = 0; w < workers.size(); ++w) system.WorkerIndex(workers[w].id);
+
+  crowd::CampaignOptions campaign;
+  campaign.total_answers_per_policy = dataset.tasks.size() * 5;
+  auto outcomes =
+      crowd::RunAssignmentCampaign(dataset, workers, {&system}, campaign);
+
+  // Majority vote over the same answers for comparison.
+  const auto& answers = system.inference().answers();
+  auto mv = baselines::MajorityVote(num_choices, answers);
+
+  auto accuracy = [&](const std::vector<size_t>& inferred) {
+    size_t correct = 0;
+    for (size_t i = 0; i < dataset.tasks.size(); ++i) {
+      correct += inferred[i] == dataset.tasks[i].truth;
+    }
+    return 100.0 * correct / dataset.tasks.size();
+  };
+
+  TablePrinter table({"method", "sentiment accuracy"});
+  table.AddRow({"DOCS (domain-aware)",
+                TablePrinter::Fmt(accuracy(outcomes[0].inferred_choices), 1) +
+                    "%"});
+  table.AddRow({"Majority vote",
+                TablePrinter::Fmt(accuracy(mv), 1) + "%"});
+  table.Print(std::cout);
+
+  // Show one learned profile for color.
+  const auto& q = system.inference().worker_quality(0).quality;
+  std::cout << "\nworker_0 learned profile: films="
+            << TablePrinter::Fmt(q[canon.entertain], 2)
+            << " cars=" << TablePrinter::Fmt(q[canon.cars], 2)
+            << " food=" << TablePrinter::Fmt(q[canon.food], 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,248 @@
+#include "baselines/assigners.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/majority_vote.h"
+#include "common/math_utils.h"
+#include "topicmodel/lda.h"
+
+namespace docs::baselines {
+
+BaseAssigner::BaseAssigner(std::vector<size_t> num_choices)
+    : num_choices_(std::move(num_choices)) {
+  histograms_.resize(num_choices_.size());
+  for (size_t i = 0; i < num_choices_.size(); ++i) {
+    histograms_[i].assign(num_choices_[i], 0);
+  }
+  answer_count_.assign(num_choices_.size(), 0);
+}
+
+void BaseAssigner::OnAnswer(size_t worker, size_t task, size_t choice) {
+  if (task >= num_choices_.size() || choice >= num_choices_[task]) return;
+  while (answered_.size() <= worker) {
+    answered_.emplace_back(num_choices_.size(), 0);
+  }
+  if (answered_[worker][task]) return;
+  answered_[worker][task] = 1;
+  ++histograms_[task][choice];
+  ++answer_count_[task];
+  answers_.push_back({task, worker, choice});
+}
+
+bool BaseAssigner::HasAnswered(size_t worker, size_t task) const {
+  return worker < answered_.size() && answered_[worker][task] != 0;
+}
+
+std::vector<size_t> BaseAssigner::EligibleTasks(
+    size_t worker, size_t max_answers_per_task) const {
+  std::vector<size_t> eligible;
+  eligible.reserve(num_choices_.size());
+  for (size_t i = 0; i < num_choices_.size(); ++i) {
+    if (HasAnswered(worker, i)) continue;
+    if (max_answers_per_task > 0 && answer_count_[i] >= max_answers_per_task) {
+      continue;
+    }
+    eligible.push_back(i);
+  }
+  return eligible;
+}
+
+// --- Baseline (random) ------------------------------------------------------
+
+RandomAssigner::RandomAssigner(std::vector<size_t> num_choices, uint64_t seed)
+    : BaseAssigner(std::move(num_choices)), rng_(seed) {}
+
+std::vector<size_t> RandomAssigner::SelectTasks(size_t worker, size_t k) {
+  std::vector<size_t> eligible = EligibleTasks(worker);
+  rng_.Shuffle(eligible);
+  if (eligible.size() > k) eligible.resize(k);
+  return eligible;
+}
+
+std::vector<size_t> RandomAssigner::InferredChoices() {
+  return MajorityVote(num_choices_, answers_);
+}
+
+// --- AskIt! -----------------------------------------------------------------
+
+AskItAssigner::AskItAssigner(std::vector<size_t> num_choices)
+    : BaseAssigner(std::move(num_choices)) {}
+
+std::vector<size_t> AskItAssigner::SelectTasks(size_t worker, size_t k) {
+  std::vector<size_t> eligible = EligibleTasks(worker);
+  // Uncertainty = entropy of the (Laplace-smoothed) answer histogram; tasks
+  // with no answers are maximally uncertain.
+  auto uncertainty = [&](size_t task) {
+    std::vector<double> p(histograms_[task].begin(), histograms_[task].end());
+    for (auto& v : p) v += 1.0;
+    NormalizeInPlace(p);
+    return Entropy(p);
+  };
+  std::vector<double> score(num_choices_.size(), 0.0);
+  for (size_t task : eligible) score[task] = uncertainty(task);
+  const size_t take = std::min(k, eligible.size());
+  std::partial_sort(eligible.begin(), eligible.begin() + take, eligible.end(),
+                    [&](size_t a, size_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  eligible.resize(take);
+  return eligible;
+}
+
+std::vector<size_t> AskItAssigner::InferredChoices() {
+  return MajorityVote(num_choices_, answers_);
+}
+
+// --- iCrowd -----------------------------------------------------------------
+
+ICrowdAssigner::ICrowdAssigner(std::vector<size_t> num_choices,
+                               std::vector<std::vector<double>> task_topics,
+                               size_t answers_per_task, ICrowdOptions options)
+    : BaseAssigner(std::move(num_choices)),
+      task_topics_(std::move(task_topics)),
+      answers_per_task_(answers_per_task),
+      options_(options) {
+  current_truth_.assign(num_choices_.size(), 0);
+}
+
+void ICrowdAssigner::RefreshTruth() {
+  ICrowdInference inference(options_);
+  current_truth_ =
+      inference
+          .Run(num_choices_, task_topics_, answered_.size(), answers_)
+          .inferred_choice;
+}
+
+void ICrowdAssigner::OnAnswer(size_t worker, size_t task, size_t choice) {
+  BaseAssigner::OnAnswer(worker, task, choice);
+  if (++answers_since_refresh_ >= 100) {
+    RefreshTruth();
+    answers_since_refresh_ = 0;
+  }
+}
+
+std::vector<size_t> ICrowdAssigner::SelectTasks(size_t worker, size_t k) {
+  // Equal-times constraint: tasks already at the target count are closed.
+  std::vector<size_t> eligible = EligibleTasks(worker, answers_per_task_);
+  if (eligible.empty()) return {};
+
+  // The worker's estimated accuracy on task t: similarity-weighted agreement
+  // with the current truth over her answered tasks.
+  std::vector<const core::Answer*> mine;
+  for (const auto& answer : answers_) {
+    if (answer.worker == worker) mine.push_back(&answer);
+  }
+  auto estimated_quality = [&](size_t task) {
+    double numer = options_.smoothing * options_.initial_quality;
+    double denom = options_.smoothing;
+    for (const core::Answer* answer : mine) {
+      const double sim = topic::CosineSimilarity(task_topics_[task],
+                                                 task_topics_[answer->task]);
+      if (sim < options_.similarity_threshold) continue;
+      denom += sim;
+      if (answer->choice == current_truth_[answer->task]) numer += sim;
+    }
+    return numer / denom;
+  };
+  std::vector<double> score(num_choices_.size(), 0.0);
+  for (size_t task : eligible) score[task] = estimated_quality(task);
+  const size_t take = std::min(k, eligible.size());
+  std::partial_sort(eligible.begin(), eligible.begin() + take, eligible.end(),
+                    [&](size_t a, size_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  eligible.resize(take);
+  return eligible;
+}
+
+std::vector<size_t> ICrowdAssigner::InferredChoices() {
+  RefreshTruth();
+  return current_truth_;
+}
+
+// --- QASCA ------------------------------------------------------------------
+
+QascaAssigner::QascaAssigner(std::vector<size_t> num_choices,
+                             size_t refresh_every, DawidSkeneOptions options)
+    : BaseAssigner(std::move(num_choices)),
+      refresh_every_(refresh_every),
+      options_(options) {
+  for (size_t l : num_choices_) label_space_ = std::max(label_space_, l);
+  default_confusion_ = Matrix(
+      label_space_, label_space_,
+      label_space_ > 1 ? (1.0 - options_.initial_diagonal) / (label_space_ - 1)
+                       : 0.0);
+  for (size_t j = 0; j < label_space_; ++j) {
+    default_confusion_(j, j) = options_.initial_diagonal;
+  }
+  model_.task_truth.resize(num_choices_.size());
+  for (size_t i = 0; i < num_choices_.size(); ++i) {
+    model_.task_truth[i] = UniformDistribution(num_choices_[i]);
+  }
+}
+
+void QascaAssigner::RefreshModel() {
+  DawidSkene engine(options_);
+  model_ = engine.Run(num_choices_, answered_.size(), answers_);
+}
+
+void QascaAssigner::OnAnswer(size_t worker, size_t task, size_t choice) {
+  BaseAssigner::OnAnswer(worker, task, choice);
+  if (++answers_since_refresh_ >= refresh_every_) {
+    RefreshModel();
+    answers_since_refresh_ = 0;
+  }
+}
+
+double QascaAssigner::ExpectedAccuracyGain(size_t worker, size_t task) const {
+  const size_t l = num_choices_[task];
+  const std::vector<double>& s = model_.task_truth[task];
+  const Matrix& pi = worker < model_.confusion.size()
+                         ? model_.confusion[worker]
+                         : default_confusion_;
+
+  const double current_max = s.empty() ? 0.0 : *std::max_element(s.begin(), s.end());
+  double expected_max = 0.0;
+  for (size_t a = 0; a < l; ++a) {
+    double pa = 0.0;
+    double best_posterior = 0.0;
+    double norm = 0.0;
+    std::vector<double> posterior(l, 0.0);
+    for (size_t j = 0; j < l; ++j) {
+      const double value = s[j] * std::max(1e-12, pi(j, a));
+      posterior[j] = value;
+      norm += value;
+      pa += value;
+    }
+    if (norm <= 0.0) continue;
+    for (size_t j = 0; j < l; ++j) {
+      best_posterior = std::max(best_posterior, posterior[j] / norm);
+    }
+    expected_max += pa * best_posterior;
+  }
+  return expected_max - current_max;
+}
+
+std::vector<size_t> QascaAssigner::SelectTasks(size_t worker, size_t k) {
+  std::vector<size_t> eligible = EligibleTasks(worker);
+  std::vector<double> score(num_choices_.size(), 0.0);
+  for (size_t task : eligible) score[task] = ExpectedAccuracyGain(worker, task);
+  const size_t take = std::min(k, eligible.size());
+  std::partial_sort(eligible.begin(), eligible.begin() + take, eligible.end(),
+                    [&](size_t a, size_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  eligible.resize(take);
+  return eligible;
+}
+
+std::vector<size_t> QascaAssigner::InferredChoices() {
+  RefreshModel();
+  return model_.inferred_choice;
+}
+
+}  // namespace docs::baselines

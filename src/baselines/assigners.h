@@ -1,0 +1,120 @@
+#ifndef DOCS_BASELINES_ASSIGNERS_H_
+#define DOCS_BASELINES_ASSIGNERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/dawid_skene.h"
+#include "baselines/icrowd.h"
+#include "common/rng.h"
+#include "core/assignment_policy.h"
+#include "core/types.h"
+
+namespace docs::baselines {
+
+/// Shared bookkeeping for the online-assignment baselines: per-task answer
+/// histograms and per-worker answered bitmaps (a worker answers a task at
+/// most once).
+class BaseAssigner : public core::AssignmentPolicy {
+ public:
+  explicit BaseAssigner(std::vector<size_t> num_choices);
+
+  void OnAnswer(size_t worker, size_t task, size_t choice) override;
+
+  size_t total_answers() const { return answers_.size(); }
+
+ protected:
+  bool HasAnswered(size_t worker, size_t task) const;
+  /// Tasks the worker may still receive (optionally capped at
+  /// `max_answers_per_task` total answers; 0 = no cap).
+  std::vector<size_t> EligibleTasks(size_t worker,
+                                    size_t max_answers_per_task = 0) const;
+
+  std::vector<size_t> num_choices_;
+  std::vector<std::vector<size_t>> histograms_;
+  std::vector<size_t> answer_count_;
+  std::vector<core::Answer> answers_;
+  std::vector<std::vector<uint8_t>> answered_;  // [worker][task]
+};
+
+/// "Baseline" of Section 6.4: random assignment, Majority Vote truth.
+class RandomAssigner : public BaseAssigner {
+ public:
+  RandomAssigner(std::vector<size_t> num_choices, uint64_t seed);
+
+  std::string name() const override { return "Baseline"; }
+  std::vector<size_t> SelectTasks(size_t worker, size_t k) override;
+  std::vector<size_t> InferredChoices() override;
+
+ private:
+  Rng rng_;
+};
+
+/// AskIt! [Boim et al., ICDE'12]: assigns the k most *uncertain* tasks
+/// (entropy of the current answer histogram), Majority Vote truth. Considers
+/// the tasks' state but not the worker's quality.
+class AskItAssigner : public BaseAssigner {
+ public:
+  explicit AskItAssigner(std::vector<size_t> num_choices);
+
+  std::string name() const override { return "AskIt!"; }
+  std::vector<size_t> SelectTasks(size_t worker, size_t k) override;
+  std::vector<size_t> InferredChoices() override;
+};
+
+/// iCrowd's assigner [Fan et al., SIGMOD'15]: picks the tasks on which the
+/// coming worker's estimated (similarity-diffused) accuracy is highest,
+/// under the constraint that every task ends with the same number of
+/// answers; weighted-majority-vote truth via ICrowdInference.
+class ICrowdAssigner : public BaseAssigner {
+ public:
+  ICrowdAssigner(std::vector<size_t> num_choices,
+                 std::vector<std::vector<double>> task_topics,
+                 size_t answers_per_task, ICrowdOptions options = {});
+
+  std::string name() const override { return "IC"; }
+  std::vector<size_t> SelectTasks(size_t worker, size_t k) override;
+  std::vector<size_t> InferredChoices() override;
+  void OnAnswer(size_t worker, size_t task, size_t choice) override;
+
+ private:
+  void RefreshTruth();
+
+  std::vector<std::vector<double>> task_topics_;
+  size_t answers_per_task_;
+  ICrowdOptions options_;
+  std::vector<size_t> current_truth_;
+  size_t answers_since_refresh_ = 0;
+};
+
+/// QASCA [Zheng et al., SIGMOD'15]: maintains a Dawid-Skene model and
+/// assigns the k tasks with the highest expected improvement of the
+/// Accuracy measure if answered by the coming worker.
+class QascaAssigner : public BaseAssigner {
+ public:
+  QascaAssigner(std::vector<size_t> num_choices, size_t refresh_every = 100,
+                DawidSkeneOptions options = {});
+
+  std::string name() const override { return "QASCA"; }
+  std::vector<size_t> SelectTasks(size_t worker, size_t k) override;
+  std::vector<size_t> InferredChoices() override;
+  void OnAnswer(size_t worker, size_t task, size_t choice) override;
+
+ private:
+  void RefreshModel();
+  /// Expected gain in max_j s_j if `worker` answers `task` (using the
+  /// worker's confusion matrix, default for unseen workers).
+  double ExpectedAccuracyGain(size_t worker, size_t task) const;
+
+  size_t refresh_every_;
+  DawidSkeneOptions options_;
+  DawidSkeneResult model_;
+  Matrix default_confusion_;  // prior for workers the model has not seen
+  size_t answers_since_refresh_ = 0;
+  size_t label_space_ = 2;
+};
+
+}  // namespace docs::baselines
+
+#endif  // DOCS_BASELINES_ASSIGNERS_H_

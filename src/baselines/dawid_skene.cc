@@ -1,0 +1,86 @@
+#include "baselines/dawid_skene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace docs::baselines {
+
+DawidSkene::DawidSkene(DawidSkeneOptions options) : options_(options) {}
+
+DawidSkeneResult DawidSkene::Run(
+    const std::vector<size_t>& num_choices, size_t num_workers,
+    const std::vector<core::Answer>& answers,
+    const std::vector<double>* initial_accuracy) const {
+  const size_t n = num_choices.size();
+  size_t label_space = 2;
+  for (size_t l : num_choices) label_space = std::max(label_space, l);
+
+  DawidSkeneResult result;
+  result.task_truth.resize(n);
+  result.inferred_choice.assign(n, 0);
+  result.confusion.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    double diagonal = options_.initial_diagonal;
+    if (initial_accuracy != nullptr && w < initial_accuracy->size()) {
+      diagonal = std::min(0.99, std::max(0.01, (*initial_accuracy)[w]));
+    }
+    Matrix pi(label_space, label_space,
+              label_space > 1 ? (1.0 - diagonal) / (label_space - 1) : 0.0);
+    for (size_t j = 0; j < label_space; ++j) pi(j, j) = diagonal;
+    result.confusion.push_back(std::move(pi));
+  }
+
+  std::vector<std::vector<core::Answer>> answers_of_task(n);
+  for (const auto& answer : answers) answers_of_task[answer.task].push_back(answer);
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // E-step: truth posteriors with a uniform prior.
+    double change = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t l = num_choices[i];
+      std::vector<double> log_s(l, 0.0);
+      for (const auto& answer : answers_of_task[i]) {
+        const Matrix& pi = result.confusion[answer.worker];
+        for (size_t j = 0; j < l; ++j) {
+          log_s[j] += std::log(std::max(1e-12, pi(j, answer.choice)));
+        }
+      }
+      const double lse = LogSumExp(log_s);
+      std::vector<double> s(l, 0.0);
+      for (size_t j = 0; j < l; ++j) s[j] = std::exp(log_s[j] - lse);
+      if (!result.task_truth[i].empty()) {
+        change += L1Distance(result.task_truth[i], s);
+      }
+      result.task_truth[i] = std::move(s);
+    }
+
+    // M-step: re-estimate confusion matrices with smoothing.
+    std::vector<Matrix> counts(num_workers,
+                               Matrix(label_space, label_space,
+                                      options_.smoothing));
+    for (size_t i = 0; i < n; ++i) {
+      for (const auto& answer : answers_of_task[i]) {
+        for (size_t j = 0; j < num_choices[i]; ++j) {
+          counts[answer.worker](j, answer.choice) += result.task_truth[i][j];
+        }
+      }
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      counts[w].NormalizeRows();
+      result.confusion[w] = std::move(counts[w]);
+    }
+    result.iterations_run = iter + 1;
+    if (iter > 0 && change / std::max<size_t>(1, n) < options_.tolerance) break;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!result.task_truth[i].empty()) {
+      result.inferred_choice[i] = ArgMax(result.task_truth[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace docs::baselines

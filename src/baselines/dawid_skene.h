@@ -1,0 +1,48 @@
+#ifndef DOCS_BASELINES_DAWID_SKENE_H_
+#define DOCS_BASELINES_DAWID_SKENE_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace docs::baselines {
+
+struct DawidSkeneOptions {
+  size_t max_iterations = 50;
+  double tolerance = 1e-7;
+  /// Initial diagonal mass of each worker's confusion matrix.
+  double initial_diagonal = 0.7;
+  /// Laplace smoothing added to every confusion-matrix cell in the M-step.
+  double smoothing = 0.01;
+};
+
+struct DawidSkeneResult {
+  std::vector<std::vector<double>> task_truth;
+  std::vector<size_t> inferred_choice;
+  /// One L x L confusion matrix per worker, L = max_l num_choices; rows are
+  /// true labels, columns observed answers.
+  std::vector<Matrix> confusion;
+  size_t iterations_run = 0;
+};
+
+/// Dawid & Skene [1979]: each worker is a full confusion matrix, estimated
+/// with EM jointly with the task truths. Tasks with fewer than L choices use
+/// the leading sub-block of the matrix.
+class DawidSkene {
+ public:
+  explicit DawidSkene(DawidSkeneOptions options = {});
+
+  DawidSkeneResult Run(const std::vector<size_t>& num_choices,
+                       size_t num_workers,
+                       const std::vector<core::Answer>& answers,
+                       const std::vector<double>* initial_accuracy = nullptr)
+      const;
+
+ private:
+  DawidSkeneOptions options_;
+};
+
+}  // namespace docs::baselines
+
+#endif  // DOCS_BASELINES_DAWID_SKENE_H_

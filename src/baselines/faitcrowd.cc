@@ -1,0 +1,128 @@
+#include "baselines/faitcrowd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace docs::baselines {
+
+FaitCrowd::FaitCrowd(FaitCrowdOptions options) : options_(options) {}
+
+FaitCrowdResult FaitCrowd::Run(const std::vector<size_t>& num_choices,
+                               const std::vector<size_t>& task_topics,
+                               size_t num_topics, size_t num_workers,
+                               const std::vector<core::Answer>& answers) const {
+  const size_t n = num_choices.size();
+  FaitCrowdResult result;
+  result.task_truth.resize(n);
+  result.inferred_choice.assign(n, 0);
+  result.worker_topic_quality.assign(
+      num_workers, std::vector<double>(num_topics, options_.initial_quality));
+
+  std::vector<std::vector<core::Answer>> answers_of_task(n);
+  for (const auto& answer : answers) answers_of_task[answer.task].push_back(answer);
+
+  result.final_topics = task_topics;
+  std::vector<size_t>& topics = result.final_topics;
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // E-step: truth posterior per task using the quality of its hard topic.
+    for (size_t i = 0; i < n; ++i) {
+      const size_t l = num_choices[i];
+      const size_t topic = topics[i];
+      std::vector<double> log_s(l, 0.0);
+      for (const auto& answer : answers_of_task[i]) {
+        const double q = std::min(
+            1.0 - options_.quality_clamp,
+            std::max(options_.quality_clamp,
+                     result.worker_topic_quality[answer.worker][topic]));
+        const double log_correct = std::log(q);
+        const double log_wrong =
+            std::log((1.0 - q) / static_cast<double>(l > 1 ? l - 1 : 1));
+        for (size_t j = 0; j < l; ++j) {
+          log_s[j] += (answer.choice == j) ? log_correct : log_wrong;
+        }
+      }
+      const double lse = LogSumExp(log_s);
+      result.task_truth[i].resize(l);
+      for (size_t j = 0; j < l; ++j) {
+        result.task_truth[i][j] = std::exp(log_s[j] - lse);
+      }
+    }
+
+    // M-step: per-topic quality, pooling each worker's answers by topic.
+    std::vector<std::vector<double>> numer(
+        num_workers, std::vector<double>(num_topics, 0.0));
+    std::vector<std::vector<double>> denom(
+        num_workers, std::vector<double>(num_topics, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      const size_t topic = topics[i];
+      for (const auto& answer : answers_of_task[i]) {
+        numer[answer.worker][topic] += result.task_truth[i][answer.choice];
+        denom[answer.worker][topic] += 1.0;
+      }
+    }
+    double change = 0.0;
+    for (size_t w = 0; w < num_workers; ++w) {
+      for (size_t k = 0; k < num_topics; ++k) {
+        const double updated =
+            (numer[w][k] + options_.smoothing * options_.initial_quality) /
+            (denom[w][k] + options_.smoothing);
+        change += std::fabs(updated - result.worker_topic_quality[w][k]);
+        result.worker_topic_quality[w][k] = updated;
+      }
+    }
+    // Joint topic re-estimation: move each task to the topic that best
+    // explains its answers, anchored to the initial assignment. This is the
+    // coupling that lets bad quality estimates corrupt topics and vice
+    // versa.
+    if (options_.joint_topic_estimation) {
+      const double anchor = std::log(options_.topic_prior_strength);
+      const double other = std::log(
+          (1.0 - options_.topic_prior_strength) /
+          std::max<size_t>(1, num_topics - 1));
+      for (size_t i = 0; i < n; ++i) {
+        const size_t l = num_choices[i];
+        double best_score = -1e300;
+        size_t best_topic = topics[i];
+        for (size_t k = 0; k < num_topics; ++k) {
+          double score = (k == task_topics[i]) ? anchor : other;
+          for (const auto& answer : answers_of_task[i]) {
+            const double q = std::min(
+                1.0 - options_.quality_clamp,
+                std::max(options_.quality_clamp,
+                         result.worker_topic_quality[answer.worker][k]));
+            // Expected log-likelihood of the answer under topic k.
+            const double s_correct = result.task_truth[i][answer.choice];
+            score += s_correct * std::log(q) +
+                     (1.0 - s_correct) *
+                         std::log((1.0 - q) /
+                                  static_cast<double>(l > 1 ? l - 1 : 1));
+          }
+          if (score > best_score) {
+            best_score = score;
+            best_topic = k;
+          }
+        }
+        topics[i] = best_topic;
+      }
+    }
+
+    result.iterations_run = iter + 1;
+    if (iter > 0 &&
+        change / std::max<size_t>(1, num_workers * num_topics) <
+            options_.tolerance) {
+      break;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!result.task_truth[i].empty()) {
+      result.inferred_choice[i] = ArgMax(result.task_truth[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace docs::baselines

@@ -1,0 +1,76 @@
+#include "baselines/icrowd.h"
+
+#include <algorithm>
+
+#include "baselines/majority_vote.h"
+#include "topicmodel/lda.h"
+
+namespace docs::baselines {
+
+ICrowdInference::ICrowdInference(ICrowdOptions options) : options_(options) {}
+
+ICrowdResult ICrowdInference::Run(
+    const std::vector<size_t>& num_choices,
+    const std::vector<std::vector<double>>& task_topics, size_t num_workers,
+    const std::vector<core::Answer>& answers) const {
+  const size_t n = num_choices.size();
+  ICrowdResult result;
+  result.per_answer_quality.assign(answers.size(), options_.initial_quality);
+
+  // Per-worker answer lists (indices into `answers`).
+  std::vector<std::vector<size_t>> answers_of_worker(num_workers);
+  for (size_t a = 0; a < answers.size(); ++a) {
+    answers_of_worker[answers[a].worker].push_back(a);
+  }
+
+  // Initial truth by plain majority voting.
+  std::vector<size_t> truth = MajorityVote(num_choices, answers);
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Per-task worker accuracy from similar answered tasks.
+    for (size_t w = 0; w < num_workers; ++w) {
+      const auto& mine = answers_of_worker[w];
+      for (size_t a_idx : mine) {
+        const size_t t = answers[a_idx].task;
+        double numer = options_.smoothing * options_.initial_quality;
+        double denom = options_.smoothing;
+        for (size_t b_idx : mine) {
+          if (b_idx == a_idx) continue;
+          const size_t t2 = answers[b_idx].task;
+          const double sim =
+              topic::CosineSimilarity(task_topics[t], task_topics[t2]);
+          if (sim < options_.similarity_threshold) continue;
+          denom += sim;
+          if (answers[b_idx].choice == truth[t2]) numer += sim;
+        }
+        result.per_answer_quality[a_idx] = numer / denom;
+      }
+    }
+
+    // Weighted majority voting.
+    std::vector<std::vector<double>> scores(n);
+    for (size_t i = 0; i < n; ++i) scores[i].assign(num_choices[i], 0.0);
+    for (size_t a = 0; a < answers.size(); ++a) {
+      scores[answers[a].task][answers[a].choice] +=
+          result.per_answer_quality[a];
+    }
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      for (size_t j = 1; j < scores[i].size(); ++j) {
+        if (scores[i][j] > scores[i][best]) best = j;
+      }
+      if (best != truth[i]) {
+        truth[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations_run = iter + 1;
+    if (!changed) break;
+  }
+
+  result.inferred_choice = std::move(truth);
+  return result;
+}
+
+}  // namespace docs::baselines

@@ -1,0 +1,50 @@
+#ifndef DOCS_BASELINES_ICROWD_H_
+#define DOCS_BASELINES_ICROWD_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace docs::baselines {
+
+struct ICrowdOptions {
+  /// Similarity threshold: tasks with cosine similarity below this do not
+  /// contribute to a worker's per-task accuracy estimate.
+  double similarity_threshold = 0.3;
+  size_t max_iterations = 10;
+  double initial_quality = 0.7;
+  /// Smoothing mass pulling per-task accuracy toward initial_quality.
+  double smoothing = 1.0;
+};
+
+struct ICrowdResult {
+  std::vector<size_t> inferred_choice;
+  /// q_w(t): estimated accuracy of worker w on task t, for answered pairs.
+  /// Stored sparsely as (worker, task) -> value via parallel arrays in
+  /// answer order (matching the input answers).
+  std::vector<double> per_answer_quality;
+  size_t iterations_run = 0;
+};
+
+/// iCrowd [Fan et al., SIGMOD'15]: estimates a worker's accuracy *per task*
+/// from her performance on textually similar tasks (topic-vector cosine
+/// similarity), then infers each task's truth by weighted majority voting.
+/// Iterates: current truth -> per-task accuracies -> weighted vote -> ...
+class ICrowdInference {
+ public:
+  explicit ICrowdInference(ICrowdOptions options = {});
+
+  /// `task_topics` holds one topic/domain distribution per task (from LDA in
+  /// the original system; Section 6.3 hands it the ground-truth domains).
+  ICrowdResult Run(const std::vector<size_t>& num_choices,
+                   const std::vector<std::vector<double>>& task_topics,
+                   size_t num_workers,
+                   const std::vector<core::Answer>& answers) const;
+
+ private:
+  ICrowdOptions options_;
+};
+
+}  // namespace docs::baselines
+
+#endif  // DOCS_BASELINES_ICROWD_H_

@@ -1,0 +1,34 @@
+#include "baselines/majority_vote.h"
+
+#include <algorithm>
+
+namespace docs::baselines {
+
+std::vector<std::vector<size_t>> AnswerHistograms(
+    const std::vector<size_t>& num_choices,
+    const std::vector<core::Answer>& answers) {
+  std::vector<std::vector<size_t>> histograms(num_choices.size());
+  for (size_t i = 0; i < num_choices.size(); ++i) {
+    histograms[i].assign(num_choices[i], 0);
+  }
+  for (const auto& answer : answers) {
+    ++histograms[answer.task][answer.choice];
+  }
+  return histograms;
+}
+
+std::vector<size_t> MajorityVote(const std::vector<size_t>& num_choices,
+                                 const std::vector<core::Answer>& answers) {
+  const auto histograms = AnswerHistograms(num_choices, answers);
+  std::vector<size_t> choices(num_choices.size(), 0);
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (!h.empty()) {
+      choices[i] = static_cast<size_t>(
+          std::distance(h.begin(), std::max_element(h.begin(), h.end())));
+    }
+  }
+  return choices;
+}
+
+}  // namespace docs::baselines

@@ -1,0 +1,23 @@
+#ifndef DOCS_BASELINES_MAJORITY_VOTE_H_
+#define DOCS_BASELINES_MAJORITY_VOTE_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace docs::baselines {
+
+/// Per-task answer histograms (num_tasks rows; row i has l_ti counts).
+std::vector<std::vector<size_t>> AnswerHistograms(
+    const std::vector<size_t>& num_choices,
+    const std::vector<core::Answer>& answers);
+
+/// Majority Vote: each task's truth is the most frequent answer (lowest
+/// index wins ties; tasks with no answers get choice 0). The weakest
+/// baseline of Fig. 5 — it treats every worker as equally reliable.
+std::vector<size_t> MajorityVote(const std::vector<size_t>& num_choices,
+                                 const std::vector<core::Answer>& answers);
+
+}  // namespace docs::baselines
+
+#endif  // DOCS_BASELINES_MAJORITY_VOTE_H_

@@ -1,0 +1,88 @@
+#include "baselines/zencrowd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace docs::baselines {
+
+ZenCrowd::ZenCrowd(ZenCrowdOptions options) : options_(options) {}
+
+ZenCrowdResult ZenCrowd::Run(const std::vector<size_t>& num_choices,
+                             size_t num_workers,
+                             const std::vector<core::Answer>& answers,
+                             const std::vector<double>* initial_quality) const {
+  const size_t n = num_choices.size();
+  ZenCrowdResult result;
+  result.task_truth.resize(n);
+  result.inferred_choice.assign(n, 0);
+  result.worker_quality.assign(num_workers, options_.initial_quality);
+  if (initial_quality != nullptr) {
+    for (size_t w = 0; w < std::min(num_workers, initial_quality->size()); ++w) {
+      result.worker_quality[w] = (*initial_quality)[w];
+    }
+  }
+
+  std::vector<std::vector<core::Answer>> answers_of_task(n);
+  for (const auto& answer : answers) answers_of_task[answer.task].push_back(answer);
+  std::vector<size_t> answers_of_worker(num_workers, 0);
+  for (const auto& answer : answers) ++answers_of_worker[answer.worker];
+
+  std::vector<std::vector<double>> prev_truth;
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // E-step: truth posteriors from reliabilities (log space).
+    for (size_t i = 0; i < n; ++i) {
+      const size_t l = num_choices[i];
+      std::vector<double> log_s(l, 0.0);
+      for (const auto& answer : answers_of_task[i]) {
+        const double p = std::min(1.0 - options_.quality_clamp,
+                                  std::max(options_.quality_clamp,
+                                           result.worker_quality[answer.worker]));
+        const double log_correct = std::log(p);
+        const double log_wrong =
+            std::log((1.0 - p) / static_cast<double>(l > 1 ? l - 1 : 1));
+        for (size_t j = 0; j < l; ++j) {
+          log_s[j] += (answer.choice == j) ? log_correct : log_wrong;
+        }
+      }
+      const double lse = LogSumExp(log_s);
+      result.task_truth[i].resize(l);
+      for (size_t j = 0; j < l; ++j) {
+        result.task_truth[i][j] = std::exp(log_s[j] - lse);
+      }
+    }
+
+    // M-step: reliability = expected fraction of correct answers.
+    std::vector<double> correct(num_workers, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (const auto& answer : answers_of_task[i]) {
+        correct[answer.worker] += result.task_truth[i][answer.choice];
+      }
+    }
+    double change = 0.0;
+    for (size_t w = 0; w < num_workers; ++w) {
+      const double updated =
+          answers_of_worker[w] > 0
+              ? correct[w] / static_cast<double>(answers_of_worker[w])
+              : result.worker_quality[w];
+      change += std::fabs(updated - result.worker_quality[w]);
+      result.worker_quality[w] = updated;
+    }
+    result.iterations_run = iter + 1;
+    if (iter > 0 && change / std::max<size_t>(1, num_workers) <
+                        options_.tolerance) {
+      break;
+    }
+    prev_truth = result.task_truth;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!result.task_truth[i].empty()) {
+      result.inferred_choice[i] = ArgMax(result.task_truth[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace docs::baselines

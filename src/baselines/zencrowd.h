@@ -1,0 +1,45 @@
+#ifndef DOCS_BASELINES_ZENCROWD_H_
+#define DOCS_BASELINES_ZENCROWD_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace docs::baselines {
+
+struct ZenCrowdOptions {
+  size_t max_iterations = 50;
+  double tolerance = 1e-7;
+  double initial_quality = 0.7;
+  double quality_clamp = 0.01;
+};
+
+struct ZenCrowdResult {
+  std::vector<std::vector<double>> task_truth;
+  std::vector<size_t> inferred_choice;
+  std::vector<double> worker_quality;  ///< one scalar per worker
+  size_t iterations_run = 0;
+};
+
+/// ZenCrowd [Demartini et al., WWW'12]: models each worker as a single
+/// reliability value and runs EM — E-step computes the truth posterior from
+/// worker reliabilities, M-step re-estimates each reliability as the
+/// expected fraction of correct answers. Domain-oblivious by design.
+class ZenCrowd {
+ public:
+  explicit ZenCrowd(ZenCrowdOptions options = {});
+
+  /// `initial_quality`, when given, seeds per-worker reliabilities (e.g.
+  /// from the shared golden tasks, as Section 6.3 does for fairness).
+  ZenCrowdResult Run(const std::vector<size_t>& num_choices,
+                     size_t num_workers,
+                     const std::vector<core::Answer>& answers,
+                     const std::vector<double>* initial_quality = nullptr) const;
+
+ private:
+  ZenCrowdOptions options_;
+};
+
+}  // namespace docs::baselines
+
+#endif  // DOCS_BASELINES_ZENCROWD_H_

@@ -1,0 +1,42 @@
+#ifndef DOCS_COMMON_LOGGING_H_
+#define DOCS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace docs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction if `level` passes
+/// the global threshold. Used via the DOCS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace docs
+
+#define DOCS_LOG(level)                                                  \
+  ::docs::internal_logging::LogMessage(::docs::LogLevel::k##level,       \
+                                       __FILE__, __LINE__)               \
+      .stream()
+
+#endif  // DOCS_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace docs {
+
+std::vector<double> Matrix::Row(size_t r) const {
+  return std::vector<double>(data_.begin() + r * cols_,
+                             data_.begin() + (r + 1) * cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
+}
+
+void Matrix::NormalizeRows() {
+  for (size_t r = 0; r < rows_; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < cols_; ++c) total += data_[r * cols_ + c];
+    if (total <= 0.0) {
+      const double u = cols_ == 0 ? 0.0 : 1.0 / static_cast<double>(cols_);
+      for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = u;
+    } else {
+      for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] /= total;
+    }
+  }
+}
+
+std::vector<double> Matrix::LeftMultiply(const std::vector<double>& v) const {
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) out[c] += vr * data_[r * cols_ + c];
+  }
+  return out;
+}
+
+void Matrix::Fill(double value) {
+  for (auto& x : data_) x = value;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  double mx = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    mx = std::max(mx, std::fabs(data_[i] - other.data_[i]));
+  }
+  return mx;
+}
+
+}  // namespace docs

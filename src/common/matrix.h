@@ -1,0 +1,57 @@
+#ifndef DOCS_COMMON_MATRIX_H_
+#define DOCS_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace docs {
+
+/// Dense row-major matrix of doubles. Used for the per-task truth matrices
+/// M^(i) (m x l_ti) of the paper and for worker confusion matrices in the
+/// Dawid-Skene baseline.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Returns row `r` as a vector copy.
+  std::vector<double> Row(size_t r) const;
+
+  /// Overwrites row `r` with `values` (must have cols() entries).
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  /// Normalizes each row to sum to 1 (rows summing to <= 0 become uniform).
+  void NormalizeRows();
+
+  /// Left-multiplies by a row vector: returns v * M, where v has rows()
+  /// entries and the result has cols() entries. This is exactly the paper's
+  /// s_i = r^{t_i} x M^(i) operation.
+  std::vector<double> LeftMultiply(const std::vector<double>& v) const;
+
+  /// Fills the whole matrix with `value`.
+  void Fill(double value);
+
+  /// Max absolute elementwise difference against `other`; requires equal
+  /// shapes.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace docs
+
+#endif  // DOCS_COMMON_MATRIX_H_

@@ -1,0 +1,32 @@
+#ifndef DOCS_COMMON_STOPWATCH_H_
+#define DOCS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace docs {
+
+/// Wall-clock stopwatch used by the experiment harnesses to report execution
+/// times in the same units as the paper's figures.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace docs
+
+#endif  // DOCS_COMMON_STOPWATCH_H_

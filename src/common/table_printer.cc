@@ -1,0 +1,46 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace docs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t ncols = headers_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < ncols; ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace docs

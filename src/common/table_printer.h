@@ -1,0 +1,34 @@
+#ifndef DOCS_COMMON_TABLE_PRINTER_H_
+#define DOCS_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace docs {
+
+/// Renders aligned plain-text tables. The experiment harnesses under bench/
+/// use it to print the rows/series of each table and figure of the paper.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept and
+  /// widen the table.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Fmt(double value, int precision = 3);
+
+  /// Writes the table with a header rule to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace docs
+
+#endif  // DOCS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,34 @@
+#ifndef DOCS_CORE_ASSIGNMENT_POLICY_H_
+#define DOCS_CORE_ASSIGNMENT_POLICY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace docs::core {
+
+/// Interface between a task-assignment method and the crowdsourcing
+/// platform. The end-to-end comparison of Fig. 8 runs six implementations
+/// (Baseline, AskIt!, IC, QASCA, D-Max, DOCS) in parallel against the same
+/// simulated workers, exactly as Section 6.1 does on AMT.
+class AssignmentPolicy {
+ public:
+  virtual ~AssignmentPolicy() = default;
+
+  /// Display name ("DOCS", "QASCA", ...).
+  virtual std::string name() const = 0;
+
+  /// Called when worker `worker` requests a HIT: returns up to `k` distinct
+  /// task indices that this worker has not answered under this policy.
+  virtual std::vector<size_t> SelectTasks(size_t worker, size_t k) = 0;
+
+  /// Called when the worker submits `choice` for `task`.
+  virtual void OnAnswer(size_t worker, size_t task, size_t choice) = 0;
+
+  /// Current inferred truth per task (0-based choice indices).
+  virtual std::vector<size_t> InferredChoices() = 0;
+};
+
+}  // namespace docs::core
+
+#endif  // DOCS_CORE_ASSIGNMENT_POLICY_H_

@@ -1,0 +1,84 @@
+#ifndef DOCS_CORE_CONCURRENT_DOCS_SYSTEM_H_
+#define DOCS_CORE_CONCURRENT_DOCS_SYSTEM_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/docs_system.h"
+
+namespace docs::core {
+
+/// Thread-safe facade over DocsSystem for a serving deployment: the real
+/// system sits behind a web frontend where AMT's callbacks (task requests,
+/// answer submissions) arrive concurrently. DocsSystem itself is
+/// single-threaded by design (the incremental-TI state is one shared
+/// mutable structure), so this facade serializes access with a mutex and
+/// exposes the two platform-facing calls plus snapshot reads.
+///
+/// Why a coarse lock rather than finer-grained concurrency: every answer
+/// touches the shared truth/quality state of its task *and* of every worker
+/// who answered that task before (step 2 of §4.2), so per-task locking
+/// would still contend on workers; the per-call work is tens of
+/// microseconds, which a single mutex sustains at far beyond any realistic
+/// crowdsourcing answer rate.
+class ConcurrentDocsSystem {
+ public:
+  ConcurrentDocsSystem(const kb::KnowledgeBase* knowledge_base,
+                       DocsSystemOptions options = {})
+      : system_(knowledge_base, std::move(options)) {}
+
+  Status AddTasks(const std::vector<TaskInput>& inputs,
+                  const std::vector<size_t>* known_truths = nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.AddTasks(inputs, known_truths);
+  }
+
+  /// Atomically resolves the worker id and selects her next HIT.
+  std::vector<size_t> RequestTasks(const std::string& worker_id, size_t k) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.SelectTasks(system_.WorkerIndex(worker_id), k);
+  }
+
+  /// Atomically resolves the worker id and submits one answer.
+  void SubmitAnswer(const std::string& worker_id, size_t task, size_t choice) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    system_.OnAnswer(system_.WorkerIndex(worker_id), task, choice);
+  }
+
+  std::vector<size_t> InferredChoices() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.InferredChoices();
+  }
+
+  size_t num_answers() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.inference().num_answers();
+  }
+
+  Status SaveCheckpoint(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.SaveCheckpoint(path);
+  }
+
+  Status LoadCheckpoint(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.LoadCheckpoint(path);
+  }
+
+  /// Runs `fn` under the lock with direct access to the underlying system —
+  /// for setup/inspection that needs several calls to be atomic.
+  template <typename Fn>
+  auto WithLocked(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fn(system_);
+  }
+
+ private:
+  std::mutex mutex_;
+  DocsSystem system_;
+};
+
+}  // namespace docs::core
+
+#endif  // DOCS_CORE_CONCURRENT_DOCS_SYSTEM_H_

@@ -1,0 +1,366 @@
+#include "core/docs_system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace docs::core {
+
+DocsSystem::DocsSystem(const kb::KnowledgeBase* knowledge_base,
+                       DocsSystemOptions options)
+    : kb_(knowledge_base),
+      options_(std::move(options)),
+      dve_(knowledge_base, options_.linker) {}
+
+Status DocsSystem::AddTasks(const std::vector<TaskInput>& inputs,
+                            const std::vector<size_t>* known_truths) {
+  if (inference_ != nullptr) {
+    return FailedPreconditionError("AddTasks may be called once");
+  }
+  if (known_truths != nullptr && known_truths->size() != inputs.size()) {
+    return InvalidArgumentError("known_truths size mismatch");
+  }
+  tasks_.reserve(inputs.size());
+  known_truth_.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].num_choices < 2) {
+      return InvalidArgumentError("tasks need at least 2 choices");
+    }
+    Task task;
+    task.domain_vector = dve_.Estimate(inputs[i].text);  // DVE (Section 3)
+    task.num_choices = inputs[i].num_choices;
+    tasks_.push_back(std::move(task));
+    known_truth_.push_back(
+        known_truths != nullptr ? static_cast<int>((*known_truths)[i]) : -1);
+  }
+
+  // Golden tasks are chosen after DVE (Section 5.2). Only tasks whose truth
+  // the requester knows are eligible; when no truths were given the golden
+  // phase is disabled.
+  is_golden_.assign(tasks_.size(), 0);
+  if (known_truths != nullptr && options_.golden_count > 0) {
+    golden_ = SelectGoldenTasks(tasks_, options_.golden_count);
+    for (size_t idx : golden_.tasks) is_golden_[idx] = 1;
+  }
+
+  inference_ = std::make_unique<IncrementalTruthInference>(
+      tasks_, options_.truth_inference);
+  answers_per_task_.assign(tasks_.size(), 0);
+  return OkStatus();
+}
+
+size_t DocsSystem::WorkerIndex(const std::string& external_id) {
+  auto it = worker_index_.find(external_id);
+  if (it != worker_index_.end()) return it->second;
+  const size_t index = workers_.size();
+  worker_index_.emplace(external_id, index);
+  WorkerProfile profile;
+  profile.external_id = external_id;
+  profile.golden_done = golden_.tasks.empty();
+  profile.golden_correct.assign(kb_->num_domains(), 0.0);
+  profile.golden_total.assign(kb_->num_domains(), 0.0);
+  workers_.push_back(std::move(profile));
+  inference_->EnsureWorker(index);
+  return index;
+}
+
+Status DocsSystem::LoadWorker(const std::string& external_id,
+                              const storage::WorkerStore& store) {
+  auto record = store.Get(external_id);
+  if (!record.ok()) return record.status();
+  const size_t worker = WorkerIndex(external_id);
+  WorkerQuality quality;
+  quality.quality = record->quality;
+  quality.weight = record->weight;
+  inference_->SetWorkerQuality(worker, quality);
+  // A returning worker's quality profile is already known; skip the golden
+  // probe.
+  workers_[worker].golden_done = true;
+  return OkStatus();
+}
+
+Status DocsSystem::SaveWorker(const std::string& external_id,
+                              storage::WorkerStore* store) const {
+  auto it = worker_index_.find(external_id);
+  if (it == worker_index_.end()) {
+    return NotFoundError("unknown worker: " + external_id);
+  }
+  const WorkerQuality& stats = inference_->worker_quality(it->second);
+  storage::WorkerQualityRecord record;
+  record.quality = stats.quality;
+  record.weight = stats.weight;
+  return store->Put(external_id, record);
+}
+
+std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
+  if (worker >= workers_.size() || inference_ == nullptr) return {};
+  WorkerProfile& profile = workers_[worker];
+
+  // Golden phase first: probe the new worker's per-domain quality.
+  if (!profile.golden_done) {
+    std::vector<size_t> pending;
+    for (size_t idx : golden_.tasks) {
+      if (!inference_->HasAnswered(worker, idx)) pending.push_back(idx);
+      if (pending.size() == k) break;
+    }
+    if (!pending.empty()) return pending;
+    profile.golden_done = true;  // All golden answered between calls.
+  }
+
+  // OTA over T - T(w), honoring the per-task redundancy cap if one is set.
+  std::vector<uint8_t> eligible(tasks_.size(), 0);
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (inference_->HasAnswered(worker, i)) continue;
+    if (options_.max_answers_per_task > 0 &&
+        answers_per_task_[i] >= options_.max_answers_per_task) {
+      continue;
+    }
+    eligible[i] = 1;
+  }
+
+  if (options_.selection_rule == SelectionRule::kDomainMax) {
+    // D-Max: rank by domain match sum_k r_k q^w_k only.
+    const auto& quality = inference_->worker_quality(worker).quality;
+    std::vector<std::pair<double, size_t>> scored;
+    scored.reserve(tasks_.size());
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (!eligible[i]) continue;
+      double match = 0.0;
+      for (size_t d = 0; d < quality.size(); ++d) {
+        match += tasks_[i].domain_vector[d] * quality[d];
+      }
+      scored.emplace_back(match, i);
+    }
+    const size_t take = std::min(k, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    std::vector<size_t> selected;
+    selected.reserve(take);
+    for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].second);
+    return selected;
+  }
+
+  if (options_.selection_rule == SelectionRule::kUncertainty) {
+    // Ablation: most ambiguous tasks first, worker ignored.
+    std::vector<std::pair<double, size_t>> scored;
+    scored.reserve(tasks_.size());
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (!eligible[i]) continue;
+      scored.emplace_back(Entropy(inference_->task_truth(i)), i);
+    }
+    const size_t take = std::min(k, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    std::vector<size_t> selected;
+    selected.reserve(take);
+    for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].second);
+    return selected;
+  }
+
+  // Score benefits against the live inference state (no matrix copies), then
+  // take the top k exactly as TaskAssigner::SelectTopK does.
+  std::vector<double> quality = inference_->worker_quality(worker).quality;
+  if (options_.selection_rule == SelectionRule::kQualityBlind) {
+    // Ablation: flatten the worker's profile to its mean — the benefit
+    // still reacts to confidence but no longer to domain match.
+    double mean = 0.0;
+    for (double q : quality) mean += q;
+    mean /= std::max<size_t>(1, quality.size());
+    std::fill(quality.begin(), quality.end(), mean);
+  }
+  struct Scored {
+    size_t task;
+    double benefit;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(tasks_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (!eligible[i]) continue;
+    scored.push_back(
+        {i, Benefit(tasks_[i], inference_->truth_matrix(i),
+                    inference_->task_truth(i), quality,
+                    options_.assigner.quality_clamp)});
+  }
+  const size_t take = std::min(k, scored.size());
+  if (take == 0) return {};
+  auto by_benefit_desc = [](const Scored& a, const Scored& b) {
+    if (a.benefit != b.benefit) return a.benefit > b.benefit;
+    return a.task < b.task;
+  };
+  std::nth_element(scored.begin(), scored.begin() + (take - 1), scored.end(),
+                   by_benefit_desc);
+  std::sort(scored.begin(), scored.begin() + take, by_benefit_desc);
+  std::vector<size_t> selected;
+  selected.reserve(take);
+  for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].task);
+  return selected;
+}
+
+void DocsSystem::FinishGoldenPhase(size_t worker) {
+  WorkerProfile& profile = workers_[worker];
+  const size_t m = kb_->num_domains();
+  WorkerQuality quality;
+  quality.quality.resize(m);
+  quality.weight.resize(m);
+  const double smoothing = options_.golden_smoothing;
+  const double default_quality = options_.truth_inference.default_quality;
+  for (size_t k = 0; k < m; ++k) {
+    quality.quality[k] =
+        (profile.golden_correct[k] + smoothing * default_quality) /
+        (profile.golden_total[k] + smoothing);
+    quality.weight[k] = profile.golden_total[k];
+  }
+  inference_->SetWorkerQuality(worker, quality);
+  profile.golden_done = true;
+}
+
+void DocsSystem::OnAnswer(size_t worker, size_t task, size_t choice) {
+  if (inference_ == nullptr || worker >= workers_.size()) return;
+  WorkerProfile& profile = workers_[worker];
+
+  const bool golden_answer = task < is_golden_.size() && is_golden_[task] &&
+                             known_truth_[task] >= 0 && !profile.golden_done;
+
+  Status status = inference_->OnAnswer(worker, task, choice);
+  if (!status.ok()) {
+    DOCS_LOG(Warning) << "OnAnswer: " << status.ToString();
+    return;
+  }
+  ++answers_per_task_[task];
+
+  if (golden_answer) {
+    const auto& r = tasks_[task].domain_vector;
+    const bool correct = static_cast<int>(choice) == known_truth_[task];
+    for (size_t k = 0; k < r.size(); ++k) {
+      profile.golden_total[k] += r[k];
+      if (correct) profile.golden_correct[k] += r[k];
+    }
+    ++profile.golden_answered;
+    if (profile.golden_answered >= golden_.tasks.size()) {
+      FinishGoldenPhase(worker);
+    }
+  }
+
+  // Delayed full inference every z submissions (Section 4.2).
+  if (options_.reinfer_every > 0 &&
+      ++answers_since_reinfer_ >= options_.reinfer_every) {
+    inference_->RunFullInference();
+    answers_since_reinfer_ = 0;
+  }
+}
+
+std::vector<size_t> DocsSystem::InferredChoices() {
+  if (inference_ == nullptr) return {};
+  return inference_->InferredChoices();
+}
+
+Status DocsSystem::SaveCheckpoint(const std::string& path) const {
+  if (inference_ == nullptr) {
+    return FailedPreconditionError("no tasks ingested");
+  }
+  storage::StateCheckpoint checkpoint;
+  checkpoint.tasks.reserve(tasks_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    storage::StateCheckpoint::TaskState task;
+    task.domain_vector = tasks_[i].domain_vector;
+    task.num_choices = tasks_[i].num_choices;
+    task.known_truth = known_truth_[i];
+    checkpoint.tasks.push_back(std::move(task));
+  }
+  checkpoint.golden_tasks = golden_.tasks;
+  checkpoint.workers.reserve(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    storage::StateCheckpoint::WorkerState worker;
+    worker.external_id = workers_[w].external_id;
+    worker.golden_done = workers_[w].golden_done;
+    const WorkerQuality& seed = inference_->worker_seed(w);
+    worker.seed_quality = seed.quality;
+    worker.seed_weight = seed.weight;
+    checkpoint.workers.push_back(std::move(worker));
+  }
+  checkpoint.answers.reserve(inference_->answers().size());
+  for (const Answer& answer : inference_->answers()) {
+    checkpoint.answers.push_back({answer.task, answer.worker, answer.choice});
+  }
+  return storage::SaveStateCheckpoint(checkpoint, path);
+}
+
+Status DocsSystem::LoadCheckpoint(const std::string& path) {
+  if (inference_ != nullptr) {
+    return FailedPreconditionError("system already holds tasks");
+  }
+  auto checkpoint = storage::LoadStateCheckpoint(path);
+  if (!checkpoint.ok()) return checkpoint.status();
+
+  tasks_.clear();
+  known_truth_.clear();
+  for (const auto& task : checkpoint->tasks) {
+    Task restored;
+    restored.domain_vector = task.domain_vector;
+    restored.num_choices = task.num_choices;
+    tasks_.push_back(std::move(restored));
+    known_truth_.push_back(task.known_truth);
+  }
+  golden_ = GoldenSelectionResult{};
+  golden_.tasks = checkpoint->golden_tasks;
+  is_golden_.assign(tasks_.size(), 0);
+  for (size_t idx : golden_.tasks) is_golden_[idx] = 1;
+
+  inference_ = std::make_unique<IncrementalTruthInference>(
+      tasks_, options_.truth_inference);
+  answers_per_task_.assign(tasks_.size(), 0);
+
+  // Re-register workers in index order, restore their seed profiles and
+  // golden progress flags.
+  for (size_t w = 0; w < checkpoint->workers.size(); ++w) {
+    const auto& stored = checkpoint->workers[w];
+    const size_t index = WorkerIndex(stored.external_id);
+    if (index != w) return DataLossError("worker index mismatch on restore");
+    if (!stored.seed_quality.empty()) {
+      WorkerQuality seed;
+      seed.quality = stored.seed_quality;
+      seed.weight = stored.seed_weight;
+      inference_->SetWorkerQuality(index, seed);
+    }
+    workers_[index].golden_done =
+        stored.golden_done || golden_.tasks.empty();
+  }
+
+  // Replay answers: inference state rebuilds exactly; golden tallies for
+  // workers still mid-probe are recomputed from the golden answers.
+  for (const auto& answer : checkpoint->answers) {
+    Status status =
+        inference_->OnAnswer(answer.worker, answer.task, answer.choice);
+    if (!status.ok()) {
+      return DataLossError("replay failed: " + status.ToString());
+    }
+    ++answers_per_task_[answer.task];
+    WorkerProfile& profile = workers_[answer.worker];
+    if (!profile.golden_done && is_golden_[answer.task] &&
+        known_truth_[answer.task] >= 0) {
+      const auto& r = tasks_[answer.task].domain_vector;
+      const bool correct =
+          static_cast<int>(answer.choice) == known_truth_[answer.task];
+      for (size_t k = 0; k < r.size(); ++k) {
+        profile.golden_total[k] += r[k];
+        if (correct) profile.golden_correct[k] += r[k];
+      }
+      ++profile.golden_answered;
+      if (profile.golden_answered >= golden_.tasks.size()) {
+        FinishGoldenPhase(answer.worker);
+      }
+    }
+  }
+  if (!checkpoint->answers.empty()) inference_->RunFullInference();
+  answers_since_reinfer_ = 0;
+  return OkStatus();
+}
+
+}  // namespace docs::core

@@ -1,0 +1,151 @@
+#ifndef DOCS_CORE_DOCS_SYSTEM_H_
+#define DOCS_CORE_DOCS_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/assignment_policy.h"
+#include "core/domain_vector.h"
+#include "core/golden_selection.h"
+#include "core/incremental_ti.h"
+#include "core/task_assignment.h"
+#include "core/types.h"
+#include "kb/knowledge_base.h"
+#include "storage/state_checkpoint.h"
+#include "storage/worker_store.h"
+
+namespace docs::core {
+
+/// A task as a requester submits it: text plus the choice count. The
+/// requester optionally knows the ground truth (needed only for the tasks
+/// chosen as golden).
+struct TaskInput {
+  std::string text;
+  size_t num_choices = 2;
+};
+
+/// How SelectTasks ranks eligible tasks.
+///  * kBenefit       — DOCS's OTA (Def. 5): domains + worker quality +
+///                     truth confidence.
+///  * kDomainMax     — the D-Max baseline of Section 6.4: picks the tasks
+///                     whose domains best match the worker (sum_k r_k q^w_k)
+///                     and ignores how confident the truth already is.
+///  * kUncertainty   — ablation: rank by current truth entropy H(s_i) only
+///                     (ignores who the worker is).
+///  * kQualityBlind  — ablation: Def. 5's benefit but with the worker's
+///                     quality vector replaced by its mean (no domain
+///                     awareness in the assignment step).
+enum class SelectionRule {
+  kBenefit,
+  kDomainMax,
+  kUncertainty,
+  kQualityBlind,
+};
+
+struct DocsSystemOptions {
+  nlp::EntityLinkerOptions linker;
+  TruthInferenceOptions truth_inference;
+  TaskAssignerOptions assigner;
+  /// Number of golden tasks selected after DVE (20 in the paper).
+  size_t golden_count = 20;
+  /// Re-run the full iterative inference every z answer submissions
+  /// (z = 100 in DOCS); 0 disables the periodic re-run.
+  size_t reinfer_every = 100;
+  /// Laplace smoothing mass when initializing quality from golden answers.
+  double golden_smoothing = 1.0;
+  /// Upper bound on answers collected per task (0 = unlimited). DOCS itself
+  /// lets the benefit function starve confident tasks, but requesters often
+  /// want a hard redundancy cap as a budget guarantee.
+  size_t max_answers_per_task = 0;
+  SelectionRule selection_rule = SelectionRule::kBenefit;
+  /// Display name override (the D-Max configuration reports "D-Max").
+  std::string display_name = "DOCS";
+};
+
+/// The complete DOCS pipeline of Figure 1:
+///  - AddTasks() runs DVE over the submitted task text against the KB and
+///    selects golden tasks;
+///  - SelectTasks() serves worker requests: new workers receive the golden
+///    tasks first (to probe their per-domain quality), then OTA picks the
+///    k highest-benefit tasks;
+///  - OnAnswer() feeds the incremental truth inference, initializes worker
+///    quality once the golden phase completes, and re-runs the full
+///    iterative inference every z submissions.
+class DocsSystem : public AssignmentPolicy {
+ public:
+  /// `knowledge_base` must outlive the system.
+  DocsSystem(const kb::KnowledgeBase* knowledge_base,
+             DocsSystemOptions options = {});
+
+  /// Ingests tasks: computes each task's domain vector via DVE and selects
+  /// golden tasks. `known_truths`, when provided (parallel to `inputs`),
+  /// supplies the requester-labeled ground truth used for golden grading.
+  /// May be called once per system instance.
+  Status AddTasks(const std::vector<TaskInput>& inputs,
+                  const std::vector<size_t>* known_truths = nullptr);
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<size_t>& golden_tasks() const { return golden_.tasks; }
+  const IncrementalTruthInference& inference() const { return *inference_; }
+
+  /// Maps an external (platform) worker id to a dense index, registering it
+  /// on first use.
+  size_t WorkerIndex(const std::string& external_id);
+
+  /// Seeds a worker's quality from the persistent store (Theorem 1 state);
+  /// NotFound if the store has no record. Returning workers skip the golden
+  /// phase.
+  Status LoadWorker(const std::string& external_id,
+                    const storage::WorkerStore& store);
+
+  /// Persists a worker's accumulated (q, u) statistics.
+  Status SaveWorker(const std::string& external_id,
+                    storage::WorkerStore* store) const;
+
+  /// Writes a crash-consistent snapshot of the whole session (tasks with
+  /// their DVE vectors, golden set, workers with seed profiles, all answers)
+  /// to `path`. Derived inference state is rebuilt on load by replay.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a session saved with SaveCheckpoint. Must be called instead
+  /// of AddTasks on a fresh system (same KB and options as the original).
+  Status LoadCheckpoint(const std::string& path);
+
+  // --- AssignmentPolicy -----------------------------------------------------
+  std::string name() const override { return options_.display_name; }
+  std::vector<size_t> SelectTasks(size_t worker, size_t k) override;
+  void OnAnswer(size_t worker, size_t task, size_t choice) override;
+  std::vector<size_t> InferredChoices() override;
+
+ private:
+  struct WorkerProfile {
+    std::string external_id;
+    bool golden_done = false;
+    size_t golden_answered = 0;
+    /// Correct/total r-mass per domain accumulated on golden tasks.
+    std::vector<double> golden_correct;
+    std::vector<double> golden_total;
+  };
+
+  void FinishGoldenPhase(size_t worker);
+
+  const kb::KnowledgeBase* kb_;
+  DocsSystemOptions options_;
+  DomainVectorEstimator dve_;
+  std::vector<Task> tasks_;
+  std::vector<int> known_truth_;  // -1 when unknown
+  GoldenSelectionResult golden_;
+  std::vector<uint8_t> is_golden_;
+  std::unique_ptr<IncrementalTruthInference> inference_;
+  std::unordered_map<std::string, size_t> worker_index_;
+  std::vector<WorkerProfile> workers_;
+  std::vector<size_t> answers_per_task_;
+  size_t answers_since_reinfer_ = 0;
+};
+
+}  // namespace docs::core
+
+#endif  // DOCS_CORE_DOCS_SYSTEM_H_

@@ -1,0 +1,160 @@
+#include "core/domain_vector.h"
+
+#include <unordered_map>
+
+#include "common/math_utils.h"
+
+namespace docs::core {
+namespace {
+
+// Packs a (numerator, denominator) hash-map key. nm <= |E_t| and
+// dm <= m * |E_t|, so 32 bits per half is ample.
+uint64_t PackKey(uint32_t nm, uint32_t dm) {
+  return (static_cast<uint64_t>(nm) << 32) | dm;
+}
+
+}  // namespace
+
+uint64_t CountLinkings(const std::vector<EntityObservation>& entities) {
+  uint64_t count = 1;
+  for (const auto& entity : entities) {
+    const uint64_t c = entity.link_probabilities.size();
+    if (c == 0) return 0;
+    if (count > UINT64_MAX / c) return UINT64_MAX;
+    count *= c;
+  }
+  return count;
+}
+
+std::vector<double> ComputeDomainVector(
+    const std::vector<EntityObservation>& entities, size_t num_domains) {
+  std::vector<double> result(num_domains, 0.0);
+  if (entities.empty()) return result;
+
+  // Pre-compute x_{i,j} = sum_k h_{i,j,k} (line 1 of Algorithm 1).
+  std::vector<std::vector<uint32_t>> x(entities.size());
+  for (size_t i = 0; i < entities.size(); ++i) {
+    x[i].resize(entities[i].indicators.size());
+    for (size_t j = 0; j < entities[i].indicators.size(); ++j) {
+      uint32_t total = 0;
+      for (uint8_t h : entities[i].indicators[j]) total += h;
+      x[i][j] = total;
+    }
+  }
+
+  std::unordered_map<uint64_t, double> map;
+  std::unordered_map<uint64_t, double> tmp;
+  for (size_t k = 0; k < num_domains; ++k) {
+    map.clear();
+    map[PackKey(0, 0)] = 1.0;  // line 5
+    for (size_t i = 0; i < entities.size(); ++i) {  // lines 6-14
+      tmp.clear();
+      const auto& probs = entities[i].link_probabilities;
+      const auto& inds = entities[i].indicators;
+      for (const auto& [key, value] : map) {
+        const uint32_t nm = static_cast<uint32_t>(key >> 32);
+        const uint32_t dm = static_cast<uint32_t>(key & 0xffffffffULL);
+        for (size_t j = 0; j < probs.size(); ++j) {
+          const uint64_t new_key = PackKey(nm + inds[j][k], dm + x[i][j]);
+          tmp[new_key] += value * probs[j];
+        }
+      }
+      map.swap(tmp);
+    }
+    for (const auto& [key, value] : map) {  // lines 15-17
+      const uint32_t nm = static_cast<uint32_t>(key >> 32);
+      const uint32_t dm = static_cast<uint32_t>(key & 0xffffffffULL);
+      if (dm != 0) {
+        result[k] += (static_cast<double>(nm) / static_cast<double>(dm)) * value;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> ComputeDomainVectorByEnumeration(
+    const std::vector<EntityObservation>& entities, size_t num_domains,
+    uint64_t max_linkings) {
+  if (entities.empty()) return std::vector<double>(num_domains, 0.0);
+  const uint64_t total_linkings = CountLinkings(entities);
+  if (total_linkings == 0 || total_linkings > max_linkings) return {};
+
+  std::vector<double> result(num_domains, 0.0);
+  std::vector<size_t> pi(entities.size(), 0);  // current linking
+  for (;;) {
+    // Aggregate indicator and probability of this linking.
+    double probability = 1.0;
+    std::vector<uint32_t> aggregate(num_domains, 0);
+    for (size_t i = 0; i < entities.size(); ++i) {
+      probability *= entities[i].link_probabilities[pi[i]];
+      const auto& h = entities[i].indicators[pi[i]];
+      for (size_t k = 0; k < num_domains; ++k) aggregate[k] += h[k];
+    }
+    uint64_t denom = 0;
+    for (uint32_t a : aggregate) denom += a;
+    if (denom != 0) {
+      for (size_t k = 0; k < num_domains; ++k) {
+        result[k] += probability * static_cast<double>(aggregate[k]) /
+                     static_cast<double>(denom);
+      }
+    }
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < entities.size()) {
+      if (++pi[i] < entities[i].link_probabilities.size()) break;
+      pi[i] = 0;
+      ++i;
+    }
+    if (i == entities.size()) break;
+  }
+  return result;
+}
+
+DomainVectorEstimator::DomainVectorEstimator(
+    const kb::KnowledgeBase* knowledge_base,
+    nlp::EntityLinkerOptions linker_options)
+    : kb_(knowledge_base), linker_(knowledge_base, linker_options) {}
+
+std::vector<EntityObservation>
+DomainVectorEstimator::ObservationsFromLinkedEntities(
+    const kb::KnowledgeBase& knowledge_base,
+    const std::vector<nlp::LinkedEntity>& entities) {
+  std::vector<EntityObservation> observations;
+  observations.reserve(entities.size());
+  for (const auto& entity : entities) {
+    EntityObservation obs;
+    obs.link_probabilities.reserve(entity.candidates.size());
+    obs.indicators.reserve(entity.candidates.size());
+    for (const auto& candidate : entity.candidates) {
+      obs.link_probabilities.push_back(candidate.probability);
+      obs.indicators.push_back(
+          knowledge_base.GetConcept(candidate.concept_id).domain_indicator);
+    }
+    if (!obs.link_probabilities.empty()) {
+      observations.push_back(std::move(obs));
+    }
+  }
+  return observations;
+}
+
+std::vector<double> DomainVectorEstimator::Estimate(
+    std::string_view text) const {
+  return EstimateWithEntities(text, nullptr);
+}
+
+std::vector<double> DomainVectorEstimator::EstimateWithEntities(
+    std::string_view text, std::vector<nlp::LinkedEntity>* entities) const {
+  std::vector<nlp::LinkedEntity> linked = linker_.Link(text);
+  std::vector<EntityObservation> observations =
+      ObservationsFromLinkedEntities(*kb_, linked);
+  if (entities != nullptr) *entities = std::move(linked);
+
+  const size_t m = kb_->num_domains();
+  if (observations.empty()) return UniformDistribution(m);
+  std::vector<double> r = ComputeDomainVector(observations, m);
+  if (Sum(r) <= 1e-12) return UniformDistribution(m);
+  NormalizeInPlace(r);
+  return r;
+}
+
+}  // namespace docs::core

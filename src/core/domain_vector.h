@@ -1,0 +1,75 @@
+#ifndef DOCS_CORE_DOMAIN_VECTOR_H_
+#define DOCS_CORE_DOMAIN_VECTOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "nlp/entity_linker.h"
+
+namespace docs::core {
+
+/// The step-1 output of DVE for one detected entity e_i: the candidate-link
+/// distribution p_i and the indicator vector h_{i,j} of each candidate
+/// concept (Section 3, Table 2).
+struct EntityObservation {
+  /// p_i: probability that the link to the j-th candidate is correct.
+  std::vector<double> link_probabilities;
+  /// h_{i,j} in {0,1}^m, parallel to link_probabilities.
+  std::vector<std::vector<uint8_t>> indicators;
+};
+
+/// Computes the domain vector r^t via Algorithm 1 in O(c * m^2 * |E_t|^3)
+/// time. Follows the paper exactly, including the dm != 0 guard: linkings
+/// whose aggregated indicator is all-zero contribute nothing, so the result
+/// may sum to less than 1 when such linkings have positive probability.
+/// Returns a vector of m zeros when `entities` is empty.
+std::vector<double> ComputeDomainVector(
+    const std::vector<EntityObservation>& entities, size_t num_domains);
+
+/// Reference implementation of Equation 1 by enumerating all |Ω| = prod |p_i|
+/// linkings — exponential; used as the correctness oracle in tests and as the
+/// "Enumeration" column of Table 3. `max_linkings` caps the work: when |Ω|
+/// exceeds it the function returns an empty vector (the Table 3 harness
+/// reports these as "> cap", mirroring the paper's "> 1 day" entries).
+std::vector<double> ComputeDomainVectorByEnumeration(
+    const std::vector<EntityObservation>& entities, size_t num_domains,
+    uint64_t max_linkings = UINT64_MAX);
+
+/// Number of linkings |Ω| for an entity set (saturates at UINT64_MAX).
+uint64_t CountLinkings(const std::vector<EntityObservation>& entities);
+
+/// End-to-end DVE: entity linking against the KB followed by Algorithm 1.
+/// This is the DVE box of Figure 1.
+class DomainVectorEstimator {
+ public:
+  /// `knowledge_base` must outlive the estimator.
+  explicit DomainVectorEstimator(const kb::KnowledgeBase* knowledge_base,
+                                 nlp::EntityLinkerOptions linker_options = {});
+
+  /// Converts linker output into step-1 observations.
+  static std::vector<EntityObservation> ObservationsFromLinkedEntities(
+      const kb::KnowledgeBase& knowledge_base,
+      const std::vector<nlp::LinkedEntity>& entities);
+
+  /// Returns the task's domain vector. The raw Algorithm-1 output is
+  /// normalized; when the text contains no linkable entity (or every linking
+  /// is domain-less) the result is the uniform distribution, so downstream
+  /// modules always receive a valid distribution.
+  std::vector<double> Estimate(std::string_view text) const;
+
+  /// Same, but also exposes the detected entities for callers that want them.
+  std::vector<double> EstimateWithEntities(
+      std::string_view text, std::vector<nlp::LinkedEntity>* entities) const;
+
+  const nlp::EntityLinker& linker() const { return linker_; }
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  nlp::EntityLinker linker_;
+};
+
+}  // namespace docs::core
+
+#endif  // DOCS_CORE_DOMAIN_VECTOR_H_

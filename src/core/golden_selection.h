@@ -1,0 +1,51 @@
+#ifndef DOCS_CORE_GOLDEN_SELECTION_H_
+#define DOCS_CORE_GOLDEN_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace docs::core {
+
+/// The aggregated task-domain distribution tau of Section 5.2:
+/// tau_k = (sum_i r^{t_i}_k) / n.
+std::vector<double> AggregateDomainDistribution(const std::vector<Task>& tasks);
+
+/// Objective of Equation 11 for a candidate composition `counts` (the n'_k):
+/// D(sigma, tau) with sigma_k = n'_k / n'. Zero-count terms contribute 0; a
+/// positive count facing tau_k == 0 yields +infinity.
+double GoldenObjective(const std::vector<size_t>& counts,
+                       const std::vector<double>& tau);
+
+/// The paper's approximation algorithm for Equation 11: floor lower bounds
+/// n'_k = floor(tau_k * n') followed by greedy unit increments on the domain
+/// that minimizes the objective. Runs in O(m^2 * n') worst case but the
+/// paper shows at most m increments are needed.
+std::vector<size_t> ApproximateGoldenCounts(const std::vector<double>& tau,
+                                            size_t n_prime);
+
+/// Exact minimizer of Equation 11 by enumerating all compositions of n' into
+/// m parts — C(n'+m-1, m-1) cases; used for the Fig. 7(a) comparison and the
+/// approximation-ratio measurement.
+std::vector<size_t> OptimalGoldenCountsByEnumeration(
+    const std::vector<double>& tau, size_t n_prime);
+
+struct GoldenSelectionResult {
+  /// Chosen golden tasks (indices into the task vector), deduplicated.
+  std::vector<size_t> tasks;
+  /// Per-domain counts n'_k.
+  std::vector<size_t> counts;
+  /// Achieved KL objective D(sigma, tau).
+  double objective = 0.0;
+};
+
+/// Full golden-task selection (Section 5.2): solves Equation 11
+/// approximately, then picks, for each domain d_k, the top n'_k tasks by
+/// r^{t_i}_k (guideline 1), never reusing a task across domains.
+GoldenSelectionResult SelectGoldenTasks(const std::vector<Task>& tasks,
+                                        size_t n_prime);
+
+}  // namespace docs::core
+
+#endif  // DOCS_CORE_GOLDEN_SELECTION_H_

@@ -1,0 +1,195 @@
+#include "core/incremental_ti.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace docs::core {
+namespace {
+
+double Clamp(double q, double clamp) {
+  return std::min(1.0 - clamp, std::max(clamp, q));
+}
+
+}  // namespace
+
+IncrementalTruthInference::IncrementalTruthInference(
+    std::vector<Task> tasks, TruthInferenceOptions options)
+    : tasks_(std::move(tasks)), options_(options) {
+  const size_t n = tasks_.size();
+  log_numerators_.reserve(n);
+  truth_matrices_.reserve(n);
+  task_truth_.reserve(n);
+  answers_of_task_.resize(n);
+  for (const Task& task : tasks_) {
+    const size_t m = task.domain_vector.size();
+    const size_t l = task.num_choices;
+    log_numerators_.emplace_back(m, l, 0.0);
+    Matrix uniform(m, l, l == 0 ? 0.0 : 1.0 / static_cast<double>(l));
+    truth_matrices_.push_back(uniform);
+    std::vector<double> s = uniform.LeftMultiply(task.domain_vector);
+    NormalizeInPlace(s);
+    task_truth_.push_back(std::move(s));
+  }
+}
+
+void IncrementalTruthInference::EnsureWorker(size_t worker) {
+  while (workers_.size() <= worker) {
+    WorkerState state;
+    const size_t m = tasks_.empty() ? 0 : tasks_[0].domain_vector.size();
+    state.stats.quality.assign(m, options_.default_quality);
+    state.stats.weight.assign(m, 0.0);
+    state.seed = state.stats;
+    state.answered.assign(tasks_.size(), 0);
+    workers_.push_back(std::move(state));
+  }
+}
+
+void IncrementalTruthInference::SetWorkerQuality(size_t worker,
+                                                 const WorkerQuality& quality) {
+  EnsureWorker(worker);
+  workers_[worker].stats = quality;
+  workers_[worker].seed = quality;
+}
+
+bool IncrementalTruthInference::HasAnswered(size_t worker, size_t task) const {
+  if (worker >= workers_.size()) return false;
+  return workers_[worker].answered[task] != 0;
+}
+
+Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
+                                           size_t choice) {
+  if (task >= tasks_.size()) return InvalidArgumentError("task out of range");
+  if (choice >= tasks_[task].num_choices) {
+    return InvalidArgumentError("choice out of range");
+  }
+  EnsureWorker(worker);
+  if (workers_[worker].answered[task]) {
+    return FailedPreconditionError("worker already answered this task");
+  }
+
+  const Task& t = tasks_[task];
+  const size_t m = t.domain_vector.size();
+  const size_t l = t.num_choices;
+  const std::vector<double> old_truth = task_truth_[task];  // s̃_i
+
+  // --- Step 1: update M̂^(i), M^(i) and s_i only. -------------------------
+  Matrix& log_numer = log_numerators_[task];
+  Matrix& truth_matrix = truth_matrices_[task];
+  std::vector<double> row(l, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    const double q =
+        Clamp(workers_[worker].stats.quality[k], options_.quality_clamp);
+    const double log_correct = std::log(q);
+    const double log_wrong =
+        std::log((1.0 - q) / static_cast<double>(l > 1 ? l - 1 : 1));
+    for (size_t j = 0; j < l; ++j) {
+      log_numer(k, j) += (j == choice) ? log_correct : log_wrong;
+      row[j] = log_numer(k, j);
+    }
+    const double lse = LogSumExp(row);
+    for (size_t j = 0; j < l; ++j) {
+      truth_matrix(k, j) = std::exp(row[j] - lse);
+    }
+  }
+  task_truth_[task] = truth_matrix.LeftMultiply(t.domain_vector);
+  NormalizeInPlace(task_truth_[task]);
+  const std::vector<double>& new_truth = task_truth_[task];
+
+  // --- Step 2: update the qualities touched by this answer. ---------------
+  // The effective mass behind a quality estimate is the accumulated weight
+  // (seed weight + answered r-mass) plus the MAP prior pseudo-count; see
+  // TruthInferenceOptions::quality_prior_strength.
+  const double prior = options_.quality_prior_strength;
+  // (1) The submitting worker w.
+  WorkerQuality& wq = workers_[worker].stats;
+  for (size_t k = 0; k < m; ++k) {
+    const double rk = t.domain_vector[k];
+    const double mass = wq.weight[k] + prior;
+    const double denom = mass + rk;
+    if (denom > 0.0) {
+      wq.quality[k] =
+          (wq.quality[k] * mass + new_truth[choice] * rk) / denom;
+    }
+    wq.weight[k] += rk;
+  }
+  // (2) Every worker who answered this task before: their s_{i,j} moved from
+  // s̃_{i,j} to s_{i,j}.
+  for (const Answer& prior_answer : answers_of_task_[task]) {
+    WorkerQuality& pq = workers_[prior_answer.worker].stats;
+    const size_t j = prior_answer.choice;
+    for (size_t k = 0; k < m; ++k) {
+      const double rk = t.domain_vector[k];
+      const double mass = pq.weight[k] + prior;
+      if (mass <= 0.0 || rk == 0.0) continue;
+      pq.quality[k] += (new_truth[j] - old_truth[j]) * rk / mass;
+    }
+  }
+
+  Answer answer{task, worker, choice};
+  answers_of_task_[task].push_back(answer);
+  answers_.push_back(answer);
+  workers_[worker].answered[task] = 1;
+  return OkStatus();
+}
+
+void IncrementalTruthInference::RecomputeTask(size_t task) {
+  const Task& t = tasks_[task];
+  const size_t m = t.domain_vector.size();
+  const size_t l = t.num_choices;
+  Matrix& log_numer = log_numerators_[task];
+  log_numer.Fill(0.0);
+  for (size_t k = 0; k < m; ++k) {
+    for (const Answer& answer : answers_of_task_[task]) {
+      const double q = Clamp(workers_[answer.worker].stats.quality[k],
+                             options_.quality_clamp);
+      const double log_correct = std::log(q);
+      const double log_wrong =
+          std::log((1.0 - q) / static_cast<double>(l > 1 ? l - 1 : 1));
+      for (size_t j = 0; j < l; ++j) {
+        log_numer(k, j) += (j == answer.choice) ? log_correct : log_wrong;
+      }
+    }
+  }
+  Matrix& truth_matrix = truth_matrices_[task];
+  std::vector<double> row(l, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    for (size_t j = 0; j < l; ++j) row[j] = log_numer(k, j);
+    const double lse = LogSumExp(row);
+    for (size_t j = 0; j < l; ++j) {
+      truth_matrix(k, j) = std::exp(row[j] - lse);
+    }
+  }
+  task_truth_[task] = truth_matrix.LeftMultiply(t.domain_vector);
+  NormalizeInPlace(task_truth_[task]);
+}
+
+void IncrementalTruthInference::RunFullInference() {
+  std::vector<WorkerQuality> seeds;
+  seeds.reserve(workers_.size());
+  for (const auto& state : workers_) seeds.push_back(state.seed);
+
+  TruthInference engine(options_);
+  TruthInferenceResult result =
+      engine.Run(tasks_, workers_.size(), answers_, &seeds);
+
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].stats = result.worker_quality[w];
+  }
+  // Rebuild the incremental caches so later OnAnswer calls continue from the
+  // converged state.
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    RecomputeTask(i);
+  }
+}
+
+std::vector<size_t> IncrementalTruthInference::InferredChoices() const {
+  std::vector<size_t> choices(tasks_.size(), 0);
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (!task_truth_[i].empty()) choices[i] = ArgMax(task_truth_[i]);
+  }
+  return choices;
+}
+
+}  // namespace docs::core

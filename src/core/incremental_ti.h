@@ -1,0 +1,95 @@
+#ifndef DOCS_CORE_INCREMENTAL_TI_H_
+#define DOCS_CORE_INCREMENTAL_TI_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "core/truth_inference.h"
+#include "core/types.h"
+
+namespace docs::core {
+
+/// The incremental truth-inference engine of Section 4.2. It keeps, per task,
+/// the log-numerator matrix M̂^(i) (Eq. 3's numerator), the normalized M^(i)
+/// and the probabilistic truth s_i; and per worker the (q^w, u^w) statistics.
+/// Each submitted answer is absorbed in O(m * |V(i)|):
+///   step 1 updates only task t_i's parameters;
+///   step 2 updates the submitting worker's quality and adjusts the quality
+///          of every worker who answered t_i before (their s_{i,j} changed).
+/// RunFullInference() re-runs the iterative algorithm over all stored answers
+/// (DOCS does this every z = 100 submissions).
+class IncrementalTruthInference {
+ public:
+  /// Takes ownership of the task list (domain vectors + choice counts).
+  explicit IncrementalTruthInference(std::vector<Task> tasks,
+                                     TruthInferenceOptions options = {});
+
+  size_t num_tasks() const { return tasks_.size(); }
+  size_t num_workers() const { return workers_.size(); }
+  size_t num_answers() const { return answers_.size(); }
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Answer>& answers() const { return answers_; }
+
+  /// Grows the worker table to include `worker`, seeding new entries with
+  /// the default quality. Called implicitly by OnAnswer.
+  void EnsureWorker(size_t worker);
+
+  /// Seeds/overrides a worker's quality (e.g. from golden tasks or the
+  /// persistent WorkerStore). Also records it as the worker's seed for
+  /// subsequent RunFullInference() calls.
+  void SetWorkerQuality(size_t worker, const WorkerQuality& quality);
+
+  /// Absorbs one answer with the O(m * |V(i)|) update policy.
+  Status OnAnswer(size_t worker, size_t task, size_t choice);
+
+  /// Re-runs the iterative algorithm of Section 4.1 on all stored answers,
+  /// starting from the seed qualities, and replaces the incremental state
+  /// with the converged parameters.
+  void RunFullInference();
+
+  const std::vector<double>& task_truth(size_t task) const {
+    return task_truth_[task];
+  }
+  const Matrix& truth_matrix(size_t task) const {
+    return truth_matrices_[task];
+  }
+  const WorkerQuality& worker_quality(size_t worker) const {
+    return workers_[worker].stats;
+  }
+  /// The seed profile RunFullInference() restarts from (set by
+  /// SetWorkerQuality, default quality otherwise).
+  const WorkerQuality& worker_seed(size_t worker) const {
+    return workers_[worker].seed;
+  }
+  /// True once `worker` answered `task` (workers answer a task at most once).
+  bool HasAnswered(size_t worker, size_t task) const;
+
+  /// argmax_j s_{i,j} for every task.
+  std::vector<size_t> InferredChoices() const;
+
+  const TruthInferenceOptions& options() const { return options_; }
+
+ private:
+  struct WorkerState {
+    WorkerQuality stats;
+    WorkerQuality seed;
+    std::vector<uint8_t> answered;  // bitmap over tasks
+  };
+
+  /// Rebuilds M̂, M and s of `task` from scratch given current qualities.
+  void RecomputeTask(size_t task);
+
+  std::vector<Task> tasks_;
+  TruthInferenceOptions options_;
+  std::vector<Matrix> log_numerators_;  // M̂^(i), in log space
+  std::vector<Matrix> truth_matrices_;  // M^(i)
+  std::vector<std::vector<double>> task_truth_;  // s_i
+  std::vector<std::vector<Answer>> answers_of_task_;
+  std::vector<Answer> answers_;
+  std::vector<WorkerState> workers_;
+};
+
+}  // namespace docs::core
+
+#endif  // DOCS_CORE_INCREMENTAL_TI_H_

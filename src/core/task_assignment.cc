@@ -1,0 +1,160 @@
+#include "core/task_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace docs::core {
+namespace {
+
+double Clamp(double q, double clamp) {
+  return std::min(1.0 - clamp, std::max(clamp, q));
+}
+
+}  // namespace
+
+double AnswerProbability(const Task& task, const Matrix& truth_matrix,
+                         const std::vector<double>& worker_quality, size_t a,
+                         double quality_clamp) {
+  const size_t m = task.domain_vector.size();
+  const double l = static_cast<double>(task.num_choices);
+  double probability = 0.0;
+  for (size_t k = 0; k < m; ++k) {
+    const double rk = task.domain_vector[k];
+    if (rk == 0.0) continue;
+    const double q = Clamp(worker_quality[k], quality_clamp);
+    const double mka = truth_matrix(k, a);
+    const double wrong = l > 1.0 ? (1.0 - q) / (l - 1.0) : 0.0;
+    probability += rk * (q * mka + wrong * (1.0 - mka));
+  }
+  return probability;
+}
+
+Matrix UpdatedTruthMatrix(const Task& task, const Matrix& truth_matrix,
+                          const std::vector<double>& worker_quality, size_t a,
+                          double quality_clamp) {
+  (void)task;  // kept for API symmetry; the matrix carries the dimensions
+  const size_t m = truth_matrix.rows();
+  const size_t l = truth_matrix.cols();
+  Matrix updated(m, l, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    const double q = Clamp(worker_quality[k], quality_clamp);
+    const double wrong =
+        l > 1 ? (1.0 - q) / static_cast<double>(l - 1) : 1.0 - q;
+    double denom = 0.0;
+    for (size_t j = 0; j < l; ++j) {
+      const double factor = (j == a) ? q : wrong;
+      const double value = truth_matrix(k, j) * factor;
+      updated(k, j) = value;
+      denom += value;
+    }
+    if (denom > 0.0) {
+      for (size_t j = 0; j < l; ++j) updated(k, j) /= denom;
+    } else {
+      for (size_t j = 0; j < l; ++j) {
+        updated(k, j) = 1.0 / static_cast<double>(l);
+      }
+    }
+  }
+  return updated;
+}
+
+double ExpectedPosteriorEntropy(const Task& task, const Matrix& truth_matrix,
+                                const std::vector<double>& worker_quality,
+                                double quality_clamp) {
+  double expected = 0.0;
+  for (size_t a = 0; a < task.num_choices; ++a) {
+    const double pa =
+        AnswerProbability(task, truth_matrix, worker_quality, a, quality_clamp);
+    if (pa <= 0.0) continue;
+    Matrix updated =
+        UpdatedTruthMatrix(task, truth_matrix, worker_quality, a, quality_clamp);
+    std::vector<double> posterior = updated.LeftMultiply(task.domain_vector);
+    NormalizeInPlace(posterior);
+    expected += pa * Entropy(posterior);
+  }
+  return expected;
+}
+
+double Benefit(const Task& task, const Matrix& truth_matrix,
+               const std::vector<double>& task_truth,
+               const std::vector<double>& worker_quality,
+               double quality_clamp) {
+  return Entropy(task_truth) -
+         ExpectedPosteriorEntropy(task, truth_matrix, worker_quality,
+                                  quality_clamp);
+}
+
+double BenefitOfSetBruteForce(const std::vector<Task>& tasks,
+                              const std::vector<Matrix>& matrices,
+                              const std::vector<std::vector<double>>& truths,
+                              const std::vector<size_t>& subset,
+                              const std::vector<double>& worker_quality,
+                              double quality_clamp) {
+  if (subset.empty()) return 0.0;
+  // Odometer over all answer combinations phi in Phi (Eq. 9-10).
+  std::vector<size_t> phi(subset.size(), 0);
+  double expected_benefit = 0.0;
+  for (;;) {
+    double probability = 1.0;
+    double benefit = 0.0;
+    for (size_t idx = 0; idx < subset.size(); ++idx) {
+      const size_t i = subset[idx];
+      const size_t a = phi[idx];
+      probability *= AnswerProbability(tasks[i], matrices[i], worker_quality,
+                                       a, quality_clamp);
+      Matrix updated = UpdatedTruthMatrix(tasks[i], matrices[i],
+                                          worker_quality, a, quality_clamp);
+      std::vector<double> posterior =
+          updated.LeftMultiply(tasks[i].domain_vector);
+      NormalizeInPlace(posterior);
+      benefit += Entropy(truths[i]) - Entropy(posterior);
+    }
+    expected_benefit += probability * benefit;
+    size_t idx = 0;
+    while (idx < subset.size()) {
+      if (++phi[idx] < tasks[subset[idx]].num_choices) break;
+      phi[idx] = 0;
+      ++idx;
+    }
+    if (idx == subset.size()) break;
+  }
+  return expected_benefit;
+}
+
+TaskAssigner::TaskAssigner(TaskAssignerOptions options) : options_(options) {}
+
+std::vector<size_t> TaskAssigner::SelectTopK(
+    const std::vector<Task>& tasks, const std::vector<Matrix>& matrices,
+    const std::vector<std::vector<double>>& truths,
+    const std::vector<double>& worker_quality,
+    const std::vector<uint8_t>& eligible, size_t k) const {
+  struct Scored {
+    size_t task;
+    double benefit;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (!eligible[i]) continue;
+    scored.push_back({i, Benefit(tasks[i], matrices[i], truths[i],
+                                 worker_quality, options_.quality_clamp)});
+  }
+  const size_t take = std::min(k, scored.size());
+  if (take == 0) return {};
+  auto by_benefit_desc = [](const Scored& a, const Scored& b) {
+    if (a.benefit != b.benefit) return a.benefit > b.benefit;
+    return a.task < b.task;
+  };
+  // Linear selection of the top-k (PICK), then order the selected few.
+  std::nth_element(scored.begin(), scored.begin() + (take - 1), scored.end(),
+                   by_benefit_desc);
+  std::sort(scored.begin(), scored.begin() + take, by_benefit_desc);
+  std::vector<size_t> selected;
+  selected.reserve(take);
+  for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].task);
+  return selected;
+}
+
+}  // namespace docs::core

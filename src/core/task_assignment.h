@@ -1,0 +1,78 @@
+#ifndef DOCS_CORE_TASK_ASSIGNMENT_H_
+#define DOCS_CORE_TASK_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace docs::core {
+
+/// Theorem 2: probability that worker with quality `q` gives choice `a` to
+/// the task, given its current matrix M^(i):
+///   Pr(v^w_i = a | V(i)) = sum_k r_k [ q_k M_{k,a} + (1-q_k)/(l-1) (1-M_{k,a}) ].
+double AnswerProbability(const Task& task, const Matrix& truth_matrix,
+                         const std::vector<double>& worker_quality, size_t a,
+                         double quality_clamp = 0.01);
+
+/// Theorem 3: the updated matrix M^(i)|a after the worker answers `a`.
+Matrix UpdatedTruthMatrix(const Task& task, const Matrix& truth_matrix,
+                          const std::vector<double>& worker_quality, size_t a,
+                          double quality_clamp = 0.01);
+
+/// Equation 8: the expected posterior entropy
+///   H(ŝ_i) = sum_a H(r x M^(i)|a) Pr(v^w_i = a | V(i)).
+double ExpectedPosteriorEntropy(const Task& task, const Matrix& truth_matrix,
+                                const std::vector<double>& worker_quality,
+                                double quality_clamp = 0.01);
+
+/// Definition 5: B(t_i) = H(s_i) - H(ŝ_i), the expected ambiguity reduction
+/// if the worker answers the task.
+double Benefit(const Task& task, const Matrix& truth_matrix,
+               const std::vector<double>& task_truth,
+               const std::vector<double>& worker_quality,
+               double quality_clamp = 0.01);
+
+/// Equation 10 computed by brute force: enumerates all prod l_ti answer
+/// combinations phi for the given task subset and sums Bphi weighted by the
+/// combination probability. Exponential — used in tests to validate
+/// Theorem 4 (B(Tk) = sum B(ti)) on small instances.
+double BenefitOfSetBruteForce(const std::vector<Task>& tasks,
+                              const std::vector<Matrix>& matrices,
+                              const std::vector<std::vector<double>>& truths,
+                              const std::vector<size_t>& subset,
+                              const std::vector<double>& worker_quality,
+                              double quality_clamp = 0.01);
+
+struct TaskAssignerOptions {
+  double quality_clamp = 0.01;
+};
+
+/// The OTA module (Section 5.1): scores every eligible task with Definition
+/// 5's benefit and returns the k best. Selection is linear via
+/// std::nth_element (the PICK algorithm of the paper); the returned indices
+/// are ordered by decreasing benefit.
+class TaskAssigner {
+ public:
+  explicit TaskAssigner(TaskAssignerOptions options = {});
+
+  /// Selects up to `k` tasks for the coming worker. `eligible[i]` marks the
+  /// tasks in T - T(w) (not yet answered by the worker and still open).
+  /// `matrices` and `truths` are the current M^(i) and s_i.
+  std::vector<size_t> SelectTopK(const std::vector<Task>& tasks,
+                                 const std::vector<Matrix>& matrices,
+                                 const std::vector<std::vector<double>>& truths,
+                                 const std::vector<double>& worker_quality,
+                                 const std::vector<uint8_t>& eligible,
+                                 size_t k) const;
+
+  const TaskAssignerOptions& options() const { return options_; }
+
+ private:
+  TaskAssignerOptions options_;
+};
+
+}  // namespace docs::core
+
+#endif  // DOCS_CORE_TASK_ASSIGNMENT_H_

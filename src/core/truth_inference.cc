@@ -1,0 +1,228 @@
+#include "core/truth_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace docs::core {
+namespace {
+
+double Clamp(double q, double clamp) {
+  return std::min(1.0 - clamp, std::max(clamp, q));
+}
+
+}  // namespace
+
+Matrix ComputeTruthMatrix(const Task& task,
+                          const std::vector<Answer>& task_answers,
+                          const std::vector<WorkerQuality>& qualities,
+                          double quality_clamp) {
+  const size_t m = task.domain_vector.size();
+  const size_t l = task.num_choices;
+  Matrix truth_matrix(m, l, 0.0);
+  std::vector<double> log_row(l, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    std::fill(log_row.begin(), log_row.end(), 0.0);
+    for (const Answer& answer : task_answers) {
+      const double q = Clamp(qualities[answer.worker].quality[k], quality_clamp);
+      const double log_correct = std::log(q);
+      const double log_wrong =
+          std::log((1.0 - q) / static_cast<double>(l - 1 == 0 ? 1 : l - 1));
+      for (size_t j = 0; j < l; ++j) {
+        log_row[j] += (answer.choice == j) ? log_correct : log_wrong;
+      }
+    }
+    // Row-normalize (Eq. 3) via a stable softmax over the log numerators.
+    const double lse = LogSumExp(log_row);
+    for (size_t j = 0; j < l; ++j) {
+      truth_matrix(k, j) = std::exp(log_row[j] - lse);
+    }
+  }
+  return truth_matrix;
+}
+
+std::vector<WorkerQuality> InitializeQualityFromGolden(
+    const std::vector<Task>& tasks, size_t num_workers,
+    const std::vector<Answer>& answers,
+    const std::vector<size_t>& golden_tasks,
+    const std::vector<size_t>& golden_truth, double default_quality,
+    double smoothing) {
+  const size_t m = tasks.empty() ? 0 : tasks[0].domain_vector.size();
+  // Map task -> golden truth for O(1) membership tests.
+  std::vector<int> truth_of_task(tasks.size(), -1);
+  for (size_t g = 0; g < golden_tasks.size(); ++g) {
+    truth_of_task[golden_tasks[g]] = static_cast<int>(golden_truth[g]);
+  }
+
+  std::vector<WorkerQuality> result(num_workers);
+  std::vector<std::vector<double>> correct_mass(
+      num_workers, std::vector<double>(m, 0.0));
+  std::vector<std::vector<double>> total_mass(num_workers,
+                                              std::vector<double>(m, 0.0));
+  for (const Answer& answer : answers) {
+    const int truth = truth_of_task[answer.task];
+    if (truth < 0) continue;
+    const auto& r = tasks[answer.task].domain_vector;
+    const bool correct = answer.choice == static_cast<size_t>(truth);
+    for (size_t k = 0; k < m; ++k) {
+      total_mass[answer.worker][k] += r[k];
+      if (correct) correct_mass[answer.worker][k] += r[k];
+    }
+  }
+  for (size_t w = 0; w < num_workers; ++w) {
+    result[w].quality.resize(m);
+    result[w].weight.resize(m);
+    for (size_t k = 0; k < m; ++k) {
+      result[w].quality[k] =
+          (correct_mass[w][k] + smoothing * default_quality) /
+          (total_mass[w][k] + smoothing);
+      result[w].weight[k] = total_mass[w][k];
+    }
+  }
+  return result;
+}
+
+TruthInference::TruthInference(TruthInferenceOptions options)
+    : options_(options) {}
+
+TruthInferenceResult TruthInference::Run(
+    const std::vector<Task>& tasks, size_t num_workers,
+    const std::vector<Answer>& answers,
+    const std::vector<WorkerQuality>* initial_quality) const {
+  const size_t n = tasks.size();
+  const size_t m = n == 0 ? 0 : tasks[0].domain_vector.size();
+
+  TruthInferenceResult result;
+  result.task_truth.resize(n);
+  result.truth_matrices.resize(n);
+  result.inferred_choice.assign(n, 0);
+
+  // Per-task answer lists.
+  std::vector<std::vector<Answer>> answers_of_task(n);
+  for (const Answer& answer : answers) {
+    answers_of_task[answer.task].push_back(answer);
+  }
+
+  // Worker qualities: seeded from `initial_quality` or the default.
+  result.worker_quality.resize(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (initial_quality != nullptr && w < initial_quality->size() &&
+        (*initial_quality)[w].quality.size() == m) {
+      result.worker_quality[w] = (*initial_quality)[w];
+    } else {
+      result.worker_quality[w].quality.assign(m, options_.default_quality);
+      result.worker_quality[w].weight.assign(m, 0.0);
+    }
+  }
+  const std::vector<WorkerQuality> seeded_quality = result.worker_quality;
+
+  std::vector<std::vector<double>> prev_truth(n);
+  std::vector<WorkerQuality> prev_quality;
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // --- Step 1: infer the truth from qualities (Eq. 2-4). ----------------
+    for (size_t i = 0; i < n; ++i) {
+      result.truth_matrices[i] =
+          ComputeTruthMatrix(tasks[i], answers_of_task[i],
+                             result.worker_quality, options_.quality_clamp);
+      result.task_truth[i] =
+          result.truth_matrices[i].LeftMultiply(tasks[i].domain_vector);
+      // The domain vector always sums to 1 for the wrapper-produced tasks,
+      // but guard against callers passing sub-normalized vectors.
+      NormalizeInPlace(result.task_truth[i]);
+    }
+
+    // --- Step 2: estimate worker qualities from the truth (Eq. 5). --------
+    prev_quality = result.worker_quality;
+    std::vector<std::vector<double>> numer(num_workers,
+                                           std::vector<double>(m, 0.0));
+    std::vector<std::vector<double>> denom(num_workers,
+                                           std::vector<double>(m, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      const auto& r = tasks[i].domain_vector;
+      for (const Answer& answer : answers_of_task[i]) {
+        const double s_iv = result.task_truth[i][answer.choice];
+        for (size_t k = 0; k < m; ++k) {
+          numer[answer.worker][k] += r[k] * s_iv;
+          denom[answer.worker][k] += r[k];
+        }
+      }
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      // Hierarchical prior mean: the worker's overall accuracy pooled over
+      // all domains (and her seed profile). Spammers are bad everywhere, so
+      // a domain with little direct evidence borrows strength from the
+      // worker's track record elsewhere instead of defaulting to a constant.
+      double overall_numer = options_.quality_prior_strength *
+                             options_.default_quality;
+      double overall_denom = options_.quality_prior_strength;
+      for (size_t k = 0; k < m; ++k) {
+        overall_numer += numer[w][k] +
+                         seeded_quality[w].quality[k] *
+                             seeded_quality[w].weight[k];
+        overall_denom += denom[w][k] + seeded_quality[w].weight[k];
+      }
+      const double overall_quality =
+          overall_denom > 0.0 ? overall_numer / overall_denom
+                              : options_.default_quality;
+      for (size_t k = 0; k < m; ++k) {
+        // Seed evidence counts at its stored weight; the hierarchical pull
+        // has quality_prior_strength pseudo-counts.
+        const double seed_mass = seeded_quality[w].weight[k];
+        const double prior_numer =
+            seeded_quality[w].quality[k] * seed_mass +
+            overall_quality * options_.quality_prior_strength;
+        const double prior_mass =
+            seed_mass + options_.quality_prior_strength;
+        const double total_mass = denom[w][k] + prior_mass;
+        if (total_mass > 0.0) {
+          result.worker_quality[w].quality[k] =
+              (numer[w][k] + prior_numer) / total_mass;
+        } else {
+          // Pure paper formula (prior strength 0) with no data: keep seed.
+          result.worker_quality[w].quality[k] = seeded_quality[w].quality[k];
+        }
+        result.worker_quality[w].weight[k] = denom[w][k] + seed_mass;
+      }
+    }
+
+    // --- Convergence check (Delta of Section 6.3). -------------------------
+    double delta = 0.0;
+    if (iter > 0) {
+      double truth_change = 0.0;
+      size_t truth_terms = 0;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < result.task_truth[i].size(); ++j) {
+          truth_change += std::fabs(result.task_truth[i][j] - prev_truth[i][j]);
+          ++truth_terms;
+        }
+      }
+      double quality_change = 0.0;
+      for (size_t w = 0; w < num_workers; ++w) {
+        for (size_t k = 0; k < m; ++k) {
+          quality_change += std::fabs(result.worker_quality[w].quality[k] -
+                                      prev_quality[w].quality[k]);
+        }
+      }
+      delta = (truth_terms > 0 ? truth_change / static_cast<double>(truth_terms)
+                               : 0.0) +
+              (num_workers * m > 0
+                   ? quality_change / static_cast<double>(num_workers * m)
+                   : 0.0);
+      result.delta_history.push_back(delta);
+    }
+    prev_truth = result.task_truth;
+    result.iterations_run = iter + 1;
+    if (iter > 0 && delta < options_.tolerance) break;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!result.task_truth[i].empty()) {
+      result.inferred_choice[i] = ArgMax(result.task_truth[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace docs::core

@@ -1,0 +1,88 @@
+#ifndef DOCS_CORE_TRUTH_INFERENCE_H_
+#define DOCS_CORE_TRUTH_INFERENCE_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace docs::core {
+
+struct TruthInferenceOptions {
+  /// The paper observes convergence within ~20 iterations (Section 6.3).
+  size_t max_iterations = 20;
+  /// Early-exit threshold on the parameter change Delta of Section 6.3.
+  double tolerance = 1e-7;
+  /// Quality assumed for a worker in domains where nothing is known yet.
+  double default_quality = 0.7;
+  /// Qualities are clamped into [clamp, 1 - clamp] when used inside
+  /// Equation 4, keeping the likelihood well-defined for perfect workers.
+  double quality_clamp = 0.01;
+  /// MAP shrinkage on Equation 5: each quality estimate is pulled toward
+  /// the worker's seed quality (golden/WorkerStore profile, or
+  /// default_quality) with this pseudo-count mass. Equation 5 becomes
+  ///   q_k = (sum r s + m0 (prior + u0)) / (sum r + prior + u0)
+  /// where (m0, u0) are the seed mean and weight. Without it, a worker with
+  /// little mass in a domain can get a spurious q < 1/l and Eq. 4 then
+  /// actively inverts her votes. 0 recovers the paper's exact formula.
+  double quality_prior_strength = 1.0;
+};
+
+struct TruthInferenceResult {
+  /// s_i per task: the probabilistic truth distribution over choices.
+  std::vector<std::vector<double>> task_truth;
+  /// M^(i) per task (m x l_ti), the per-domain truth distributions of Eq. 3.
+  std::vector<Matrix> truth_matrices;
+  /// argmax_j s_{i,j} per task (the inferred truth v*_i).
+  std::vector<size_t> inferred_choice;
+  /// Final per-worker quality vectors q^w and weights u^w (Eq. 5).
+  std::vector<WorkerQuality> worker_quality;
+  /// Delta after each iteration (the convergence curve of Fig. 4(a)).
+  std::vector<double> delta_history;
+  size_t iterations_run = 0;
+};
+
+/// Computes M^(i) for one task from the answers it received and the current
+/// worker qualities (Equations 3-4), in log space. `task_answers` must all
+/// refer to this task. With no answers every row is uniform.
+Matrix ComputeTruthMatrix(const Task& task,
+                          const std::vector<Answer>& task_answers,
+                          const std::vector<WorkerQuality>& qualities,
+                          double quality_clamp = 0.01);
+
+/// Initializes worker qualities from their answers to golden tasks
+/// (Section 5.2): per domain, the r-weighted fraction of correct golden
+/// answers, smoothed toward `options.default_quality`. Weights u are the
+/// r-mass of golden tasks answered.
+std::vector<WorkerQuality> InitializeQualityFromGolden(
+    const std::vector<Task>& tasks, size_t num_workers,
+    const std::vector<Answer>& answers,
+    const std::vector<size_t>& golden_tasks,
+    const std::vector<size_t>& golden_truth, double default_quality = 0.7,
+    double smoothing = 1.0);
+
+/// The iterative truth-inference algorithm of Section 4.1: alternates
+/// step 1 (qualities -> probabilistic truth, Eq. 2-4) and step 2
+/// (probabilistic truth -> qualities, Eq. 5) until convergence.
+class TruthInference {
+ public:
+  explicit TruthInference(TruthInferenceOptions options = {});
+
+  /// Runs inference over `tasks` (with their domain vectors) and `answers`
+  /// from `num_workers` workers. `initial_quality`, when provided, seeds the
+  /// worker qualities (e.g. from golden tasks or the WorkerStore); otherwise
+  /// every worker starts at options.default_quality.
+  TruthInferenceResult Run(
+      const std::vector<Task>& tasks, size_t num_workers,
+      const std::vector<Answer>& answers,
+      const std::vector<WorkerQuality>* initial_quality = nullptr) const;
+
+  const TruthInferenceOptions& options() const { return options_; }
+
+ private:
+  TruthInferenceOptions options_;
+};
+
+}  // namespace docs::core
+
+#endif  // DOCS_CORE_TRUTH_INFERENCE_H_

@@ -1,0 +1,172 @@
+#include "crowd/campaign.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace docs::crowd {
+namespace {
+
+// Samples a worker index proportionally to activity.
+size_t SampleWorker(const std::vector<SimulatedWorker>& workers,
+                    std::vector<double>& weights, Rng& rng) {
+  if (weights.empty()) {
+    weights.reserve(workers.size());
+    for (const auto& worker : workers) weights.push_back(worker.activity);
+  }
+  return rng.SampleDiscrete(weights);
+}
+
+}  // namespace
+
+CollectionResult CollectAnswers(const datasets::Dataset& dataset,
+                                const std::vector<SimulatedWorker>& workers,
+                                const CollectionOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = dataset.tasks.size();
+  CollectionResult result;
+  result.num_workers = workers.size();
+
+  std::vector<size_t> remaining(n, options.answers_per_task);
+  std::vector<std::vector<uint8_t>> answered(
+      workers.size(), std::vector<uint8_t>(n, 0));
+  size_t open_answers = n * options.answers_per_task;
+  std::vector<double> weights;
+
+  size_t stall_guard = 0;
+  const size_t max_stalls = 50 * workers.size() + 1000;
+  while (open_answers > 0 && stall_guard < max_stalls) {
+    const size_t w = SampleWorker(workers, weights, rng);
+    // Build this worker's HIT: tasks still needing answers, preferring the
+    // most-starved tasks so the collection terminates cleanly.
+    std::vector<size_t> order;
+    order.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (remaining[i] > 0 && !answered[w][i]) order.push_back(i);
+    }
+    if (order.empty()) {
+      ++stall_guard;
+      continue;
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (remaining[a] != remaining[b]) return remaining[a] > remaining[b];
+      return a < b;
+    });
+    const size_t hit = std::min(options.hit_size, order.size());
+    for (size_t idx = 0; idx < hit; ++idx) {
+      const size_t task = order[idx];
+      const auto& spec = dataset.tasks[task];
+      const size_t choice = GenerateAnswerWithDifficulty(
+          workers[w], spec.true_domain, spec.truth, spec.num_choices(),
+          spec.difficulty, rng);
+      result.answers.push_back({task, w, choice});
+      answered[w][task] = 1;
+      --remaining[task];
+      --open_answers;
+    }
+    ++result.hits;
+    stall_guard = 0;
+  }
+  result.cost_dollars =
+      static_cast<double>(result.hits) * options.reward_per_hit;
+  return result;
+}
+
+std::vector<PolicyOutcome> RunAssignmentCampaign(
+    const datasets::Dataset& dataset,
+    const std::vector<SimulatedWorker>& workers,
+    const std::vector<core::AssignmentPolicy*>& policies,
+    const CampaignOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = dataset.tasks.size();
+  const size_t budget = options.total_answers_per_policy > 0
+                            ? options.total_answers_per_policy
+                            : n * 10;
+
+  std::vector<PolicyOutcome> outcomes(policies.size());
+  for (size_t p = 0; p < policies.size(); ++p) {
+    outcomes[p].name = policies[p]->name();
+  }
+
+  // A worker answers any given task exactly once across the whole combined
+  // HIT; the answer is memoized and shared by all policies that assigned it.
+  std::unordered_map<uint64_t, size_t> memoized_answers;
+  auto answer_of = [&](size_t worker, size_t task) {
+    const uint64_t key = (static_cast<uint64_t>(worker) << 32) | task;
+    auto it = memoized_answers.find(key);
+    if (it != memoized_answers.end()) return it->second;
+    const auto& spec = dataset.tasks[task];
+    const size_t choice = GenerateAnswerWithDifficulty(
+        workers[worker], spec.true_domain, spec.truth, spec.num_choices(),
+        spec.difficulty, rng);
+    memoized_answers.emplace(key, choice);
+    return choice;
+  };
+
+  std::vector<double> weights;
+  std::vector<uint8_t> done(policies.size(), 0);
+  size_t stall_guard = 0;
+  const size_t max_stalls = 100 * workers.size() + 1000;
+  for (;;) {
+    bool all_done = true;
+    for (size_t p = 0; p < policies.size(); ++p) {
+      if (!done[p]) all_done = false;
+    }
+    if (all_done || stall_guard >= max_stalls) break;
+
+    const size_t w = SampleWorker(workers, weights, rng);
+    bool any_assigned = false;
+    for (size_t p = 0; p < policies.size(); ++p) {
+      if (done[p]) continue;
+      PolicyOutcome& outcome = outcomes[p];
+      const size_t want = std::min(options.tasks_per_policy_per_hit,
+                                   budget - outcome.answers_collected);
+      if (want == 0) {
+        done[p] = 1;
+        continue;
+      }
+      Stopwatch stopwatch;
+      std::vector<size_t> selected = policies[p]->SelectTasks(w, want);
+      const double elapsed = stopwatch.ElapsedSeconds();
+      outcome.worst_assignment_seconds =
+          std::max(outcome.worst_assignment_seconds, elapsed);
+      outcome.total_assignment_seconds += elapsed;
+      ++outcome.assignment_calls;
+      if (selected.empty()) continue;
+      any_assigned = true;
+      for (size_t task : selected) {
+        const size_t choice = answer_of(w, task);
+        policies[p]->OnAnswer(w, task, choice);
+        ++outcome.answers_collected;
+        if (outcome.answers_collected >= budget) {
+          done[p] = 1;
+          break;
+        }
+      }
+    }
+    stall_guard = any_assigned ? 0 : stall_guard + 1;
+  }
+
+  for (size_t p = 0; p < policies.size(); ++p) {
+    outcomes[p].inferred_choices = policies[p]->InferredChoices();
+  }
+  return outcomes;
+}
+
+std::vector<core::Task> TasksWithOneHotDomains(
+    const datasets::Dataset& dataset, size_t num_domains) {
+  std::vector<core::Task> tasks;
+  tasks.reserve(dataset.tasks.size());
+  for (const auto& spec : dataset.tasks) {
+    core::Task task;
+    task.domain_vector.assign(num_domains, 0.0);
+    task.domain_vector[spec.true_domain] = 1.0;
+    task.num_choices = spec.num_choices();
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+}  // namespace docs::crowd

@@ -1,0 +1,80 @@
+#ifndef DOCS_CROWD_CAMPAIGN_H_
+#define DOCS_CROWD_CAMPAIGN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assignment_policy.h"
+#include "core/types.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+
+namespace docs::crowd {
+
+/// Output of a fixed-redundancy answer-collection run (the protocol used for
+/// the TI experiments of Section 6.3: each task answered by exactly R
+/// workers, HITs of `hit_size` tasks).
+struct CollectionResult {
+  std::vector<core::Answer> answers;
+  size_t num_workers = 0;
+  /// HITs completed (each costs reward_per_hit on AMT in the paper's setup).
+  size_t hits = 0;
+  /// Total payout: hits x reward. The paper's datasets cost $18 / $20 /
+  /// $50 / $16.40 at $0.1 per 20-task HIT with 10 answers per task.
+  double cost_dollars = 0.0;
+};
+
+struct CollectionOptions {
+  size_t answers_per_task = 10;  ///< R; the paper assigns each task 10 times.
+  size_t hit_size = 20;          ///< k = 20 tasks per HIT.
+  double reward_per_hit = 0.1;   ///< dollars paid per completed HIT.
+  uint64_t seed = 99;
+};
+
+/// Simulates the AMT collection of Section 6.1: workers arrive with
+/// probability proportional to their activity, each HIT batches `hit_size`
+/// tasks that still need answers and that the worker has not answered, and
+/// every answer is produced by the worker's latent quality in the task's
+/// true domain.
+CollectionResult CollectAnswers(const datasets::Dataset& dataset,
+                                const std::vector<SimulatedWorker>& workers,
+                                const CollectionOptions& options);
+
+/// Per-policy outcome of an end-to-end assignment campaign (Fig. 8).
+struct PolicyOutcome {
+  std::string name;
+  std::vector<size_t> inferred_choices;
+  size_t answers_collected = 0;
+  /// Worst-case single SelectTasks latency in seconds (Fig. 8(b)).
+  double worst_assignment_seconds = 0.0;
+  double total_assignment_seconds = 0.0;
+  size_t assignment_calls = 0;
+};
+
+struct CampaignOptions {
+  size_t tasks_per_policy_per_hit = 3;  ///< Section 6.1 uses 3 x 6 methods.
+  size_t total_answers_per_policy = 0;  ///< 0 means tasks * 10.
+  uint64_t seed = 7;
+};
+
+/// Runs the parallel-assignment protocol of Section 6.1: when a simulated
+/// worker comes, every policy independently selects its tasks; the worker's
+/// answer to a given task is drawn once and shared by all policies that
+/// assigned it (the real worker answers a task once inside the combined
+/// HIT). The campaign stops when every policy has consumed its answer
+/// budget.
+std::vector<PolicyOutcome> RunAssignmentCampaign(
+    const datasets::Dataset& dataset,
+    const std::vector<SimulatedWorker>& workers,
+    const std::vector<core::AssignmentPolicy*>& policies,
+    const CampaignOptions& options);
+
+/// Converts a dataset into the core Task representation using the *latent*
+/// ground-truth domain as a one-hot domain vector — used by oracle baselines
+/// and by simulation-only experiments that bypass DVE.
+std::vector<core::Task> TasksWithOneHotDomains(
+    const datasets::Dataset& dataset, size_t num_domains);
+
+}  // namespace docs::crowd
+
+#endif  // DOCS_CROWD_CAMPAIGN_H_

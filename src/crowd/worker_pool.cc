@@ -1,0 +1,81 @@
+#include "crowd/worker_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace docs::crowd {
+
+std::vector<SimulatedWorker> MakeWorkerPool(
+    size_t num_domains, const std::vector<size_t>& focus_domains,
+    const WorkerPoolOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SimulatedWorker> workers;
+  workers.reserve(options.num_workers);
+  for (size_t w = 0; w < options.num_workers; ++w) {
+    SimulatedWorker worker;
+    worker.id = "worker_" + std::to_string(w);
+    worker.activity = std::exp(rng.Gaussian(0.0, options.activity_sigma));
+    if (rng.Bernoulli(options.constant_answerer_fraction)) {
+      worker.constant_choice = 0;
+    }
+    const bool spammer = rng.Bernoulli(options.spammer_fraction);
+    worker.true_quality.resize(num_domains);
+    for (size_t k = 0; k < num_domains; ++k) {
+      worker.true_quality[k] =
+          spammer ? rng.UniformDoubleRange(options.spammer_min,
+                                           options.spammer_max)
+                  : rng.UniformDoubleRange(options.base_min, options.base_max);
+    }
+    if (!spammer) {
+      const size_t num_experts = options.min_expert_domains +
+                                 rng.UniformInt(options.max_expert_domains -
+                                                options.min_expert_domains + 1);
+      std::unordered_set<size_t> chosen;
+      size_t guard = 0;
+      while (chosen.size() < num_experts && guard < 50) {
+        ++guard;
+        size_t domain;
+        if (!focus_domains.empty() &&
+            rng.Bernoulli(options.focus_probability)) {
+          domain = focus_domains[rng.UniformInt(focus_domains.size())];
+        } else {
+          domain = rng.UniformInt(num_domains);
+        }
+        chosen.insert(domain);
+      }
+      for (size_t domain : chosen) {
+        worker.true_quality[domain] =
+            rng.UniformDoubleRange(options.expert_min, options.expert_max);
+      }
+    }
+    workers.push_back(std::move(worker));
+  }
+  return workers;
+}
+
+size_t GenerateAnswer(const SimulatedWorker& worker, size_t true_domain,
+                      size_t truth, size_t num_choices, Rng& rng) {
+  return GenerateAnswerWithDifficulty(worker, true_domain, truth, num_choices,
+                                      /*difficulty=*/0.0, rng);
+}
+
+size_t GenerateAnswerWithDifficulty(const SimulatedWorker& worker,
+                                    size_t true_domain, size_t truth,
+                                    size_t num_choices, double difficulty,
+                                    Rng& rng) {
+  if (worker.constant_choice >= 0) {
+    return std::min<size_t>(static_cast<size_t>(worker.constant_choice),
+                            num_choices - 1);
+  }
+  const double skill = worker.true_quality[true_domain];
+  const double chance =
+      num_choices > 0 ? 1.0 / static_cast<double>(num_choices) : 1.0;
+  const double quality = skill * (1.0 - difficulty) + chance * difficulty;
+  if (rng.Bernoulli(quality) || num_choices < 2) return truth;
+  size_t wrong = rng.UniformInt(num_choices - 1);
+  if (wrong >= truth) ++wrong;
+  return wrong;
+}
+
+}  // namespace docs::crowd

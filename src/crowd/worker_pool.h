@@ -1,0 +1,73 @@
+#ifndef DOCS_CROWD_WORKER_POOL_H_
+#define DOCS_CROWD_WORKER_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace docs::crowd {
+
+/// A simulated crowd worker: a latent per-domain true quality vector q̃ (the
+/// quantity Fig. 6 plots) plus an activity weight controlling how often the
+/// worker shows up (AMT activity is heavily skewed; Fig. 6 needs workers
+/// with > 20 and > 80 answered tasks).
+struct SimulatedWorker {
+  std::string id;
+  std::vector<double> true_quality;
+  double activity = 1.0;
+  /// >= 0: a "constant answerer" who always submits this choice (clamped to
+  /// the task's choice count) regardless of the question — a correlated
+  /// adversary pattern common on real platforms. Such coalitions are what
+  /// make truth-inference initialization (golden tasks) matter.
+  int constant_choice = -1;
+};
+
+struct WorkerPoolOptions {
+  size_t num_workers = 120;
+  /// Fraction of near-random workers ("spammers").
+  double spammer_fraction = 0.1;
+  /// Baseline accuracy range for non-expert domains.
+  double base_min = 0.55;
+  double base_max = 0.75;
+  /// Accuracy range in the worker's expert domains.
+  double expert_min = 0.85;
+  double expert_max = 0.97;
+  /// Spammer accuracy range (near chance for binary tasks).
+  double spammer_min = 0.35;
+  double spammer_max = 0.55;
+  size_t min_expert_domains = 1;
+  size_t max_expert_domains = 3;
+  /// Fraction of workers who always submit the first choice.
+  double constant_answerer_fraction = 0.0;
+  /// Probability that each expert domain is drawn from `focus_domains`
+  /// (the dataset's domains) rather than uniformly from all m domains.
+  double focus_probability = 0.8;
+  /// Log-normal activity skew (sigma of ln activity).
+  double activity_sigma = 1.0;
+};
+
+/// Generates a worker pool over `num_domains` domains. `focus_domains`, when
+/// non-empty, biases expertise toward the dataset's domains so that domain-
+/// aware assignment has signal to exploit.
+std::vector<SimulatedWorker> MakeWorkerPool(
+    size_t num_domains, const std::vector<size_t>& focus_domains,
+    const WorkerPoolOptions& options, uint64_t seed);
+
+/// Simulates one answer: correct with probability q̃[true_domain], otherwise
+/// a uniformly random wrong choice (the error model of Eq. 4).
+size_t GenerateAnswer(const SimulatedWorker& worker, size_t true_domain,
+                      size_t truth, size_t num_choices, Rng& rng);
+
+/// Same, with an intrinsic task difficulty d in [0, 1]: the worker's
+/// effective accuracy is q̃ (1 - d) + d / num_choices — at d = 1 every
+/// worker guesses uniformly regardless of skill.
+size_t GenerateAnswerWithDifficulty(const SimulatedWorker& worker,
+                                    size_t true_domain, size_t truth,
+                                    size_t num_choices, double difficulty,
+                                    Rng& rng);
+
+}  // namespace docs::crowd
+
+#endif  // DOCS_CROWD_WORKER_POOL_H_

@@ -1,0 +1,77 @@
+#ifndef DOCS_DATASETS_DATASET_H_
+#define DOCS_DATASETS_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/synthetic_kb.h"
+
+namespace docs::datasets {
+
+/// One generated task: the text shown to workers, the multiple choices, the
+/// ground-truth choice, and the latent ground-truth domain (used by the
+/// worker simulator and by the Fig. 3 domain-detection evaluation).
+struct TaskSpec {
+  std::string text;
+  std::vector<std::string> choices;
+  size_t truth = 0;        ///< index into `choices`
+  size_t label = 0;        ///< index into Dataset::domain_labels
+  size_t true_domain = 0;  ///< canonical index in the 26-domain taxonomy
+  /// Intrinsic difficulty in [0, 1]: 0 = a worker performs at her domain
+  /// quality, 1 = everyone guesses uniformly. The paper's worker model
+  /// (Eq. 4) does not model difficulty; the simulator supports it so the
+  /// robustness ablation can stress that assumption.
+  double difficulty = 0.0;
+
+  size_t num_choices() const { return choices.size(); }
+};
+
+/// A synthetic stand-in for one of the paper's four datasets.
+struct Dataset {
+  std::string name;
+  std::vector<TaskSpec> tasks;
+  /// Human labels of the dataset's domains (e.g. NBA, Food, Auto, Country).
+  std::vector<std::string> domain_labels;
+  /// Canonical 26-domain index each label maps onto.
+  std::vector<size_t> label_to_domain;
+
+  std::vector<size_t> Truths() const;
+  std::vector<size_t> TrueDomains() const;
+};
+
+/// ItemCompare (360 tasks, domains NBA/Food/Auto/Country, 90 each): every
+/// task in a domain follows the *same* comparison template, so intra-domain
+/// text similarity is very high — the regime where LDA-style domain
+/// detection works (Fig. 3(a)).
+Dataset MakeItemDataset(const kb::SyntheticKb& synthetic_kb, uint64_t seed = 1);
+
+/// 4-Domain (400 tasks, domains NBA/Car/Film/Mountain, 100 each): several
+/// templates per domain, including cross-domain lookalikes ("Compare the
+/// height of <player>/<mountain> ...") that defeat string-similarity-based
+/// domain detection (Fig. 3(b)).
+Dataset MakeFourDomainDataset(const kb::SyntheticKb& synthetic_kb,
+                              uint64_t seed = 2);
+
+/// Yahoo QA (default 1000 tasks over Entertain/Science/Sports/Business):
+/// free-form question answering with 2-4 choices and entity-dense text
+/// (Fig. 3(c); the large |E_t| regime of Table 3).
+Dataset MakeQaDataset(const kb::SyntheticKb& synthetic_kb,
+                      size_t num_tasks = 1000, uint64_t seed = 3);
+
+/// SFV (328 tasks over Entertain/Business/Sports/Politics): each task asks
+/// an attribute of a renowned person, with up to 6 choices collected from
+/// QA systems (Fig. 3(d)).
+Dataset MakeSfvDataset(const kb::SyntheticKb& synthetic_kb, uint64_t seed = 4);
+
+/// Builds one of the four datasets by its paper name ("Item", "4D", "QA",
+/// "SFV"); unknown names return an empty dataset.
+Dataset MakeDatasetByName(const std::string& name,
+                          const kb::SyntheticKb& synthetic_kb);
+
+/// The four paper dataset names in presentation order.
+std::vector<std::string> AllDatasetNames();
+
+}  // namespace docs::datasets
+
+#endif  // DOCS_DATASETS_DATASET_H_

@@ -1,0 +1,125 @@
+#include "datasets/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace docs::datasets {
+namespace {
+
+bool HasForbidden(const std::string& value, bool forbid_pipe) {
+  for (char c : value) {
+    if (c == '\t' || c == '\n') return true;
+    if (forbid_pipe && c == '|') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return IoError("cannot open " + path);
+  out << "# docstasks 1\n";
+  out << "# name " << dataset.name << '\n';
+  for (size_t label = 0; label < dataset.domain_labels.size(); ++label) {
+    out << "# label " << label << ' ' << dataset.label_to_domain[label] << ' '
+        << dataset.domain_labels[label] << '\n';
+  }
+  for (const auto& task : dataset.tasks) {
+    if (HasForbidden(task.text, /*forbid_pipe=*/false)) {
+      return InvalidArgumentError("task text contains tab/newline");
+    }
+    out << task.label << '\t' << task.truth << '\t';
+    for (size_t c = 0; c < task.choices.size(); ++c) {
+      if (HasForbidden(task.choices[c], /*forbid_pipe=*/true)) {
+        return InvalidArgumentError("choice contains tab/newline/pipe");
+      }
+      if (c > 0) out << '|';
+      out << task.choices[c];
+    }
+    out << '\t' << task.text << '\n';
+  }
+  out.flush();
+  if (!out.good()) return IoError("write failed: " + path);
+  return OkStatus();
+}
+
+StatusOr<Dataset> LoadDatasetTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return IoError("cannot open " + path);
+
+  auto malformed = [&path](size_t line_number, const std::string& what) {
+    return DataLossError("bad dataset TSV " + path + " line " +
+                         std::to_string(line_number) + ": " + what);
+  };
+
+  Dataset dataset;
+  std::string line;
+  size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream fields(line.substr(1));
+      std::string directive;
+      fields >> directive;
+      if (directive == "docstasks") {
+        saw_header = true;
+      } else if (directive == "name") {
+        std::string rest;
+        std::getline(fields, rest);
+        dataset.name = Trim(rest);
+      } else if (directive == "label") {
+        size_t index = 0, domain = 0;
+        std::string name;
+        if (!(fields >> index >> domain >> name)) {
+          return malformed(line_number, "label directive");
+        }
+        if (dataset.domain_labels.size() <= index) {
+          dataset.domain_labels.resize(index + 1);
+          dataset.label_to_domain.resize(index + 1, 0);
+        }
+        dataset.domain_labels[index] = name;
+        dataset.label_to_domain[index] = domain;
+      } else {
+        return malformed(line_number, "unknown directive '" + directive + "'");
+      }
+      continue;
+    }
+    if (!saw_header) {
+      return DataLossError("missing '# docstasks 1' header: " + path);
+    }
+    const auto columns = Split(line, "\t");
+    if (columns.size() != 4) {
+      return malformed(line_number, "expected 4 tab-separated columns");
+    }
+    TaskSpec task;
+    std::istringstream label_field(columns[0]);
+    std::istringstream truth_field(columns[1]);
+    if (!(label_field >> task.label) || !(truth_field >> task.truth)) {
+      return malformed(line_number, "non-numeric label/truth");
+    }
+    if (task.label >= dataset.domain_labels.size()) {
+      return malformed(line_number, "label out of range");
+    }
+    task.true_domain = dataset.label_to_domain[task.label];
+    task.choices = Split(columns[2], "|");
+    if (task.choices.size() < 2) {
+      return malformed(line_number, "fewer than 2 choices");
+    }
+    if (task.truth >= task.choices.size()) {
+      return malformed(line_number, "truth out of range");
+    }
+    task.text = columns[3];
+    dataset.tasks.push_back(std::move(task));
+  }
+  if (!saw_header) {
+    return DataLossError("missing '# docstasks 1' header: " + path);
+  }
+  return dataset;
+}
+
+}  // namespace docs::datasets

@@ -1,0 +1,31 @@
+#ifndef DOCS_DATASETS_DATASET_IO_H_
+#define DOCS_DATASETS_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datasets/dataset.h"
+
+namespace docs::datasets {
+
+/// Writes a dataset as a TSV file:
+///
+///   # docstasks 1
+///   # name <dataset name>
+///   # label <index> <canonical_domain_index> <label name>
+///   <label>\t<truth>\t<choice|choice|...>\t<text>
+///
+/// Choices may contain anything except tab, newline and '|'; the text may
+/// contain anything except tab and newline. This lets a downstream user run
+/// the full pipeline (DVE, TI, OTA, the benches) on their own exported
+/// crowdsourcing tasks instead of the synthetic generators.
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset written by SaveDatasetTsv (or hand-authored in the same
+/// format). Structural problems (unknown label, truth out of range, bad
+/// column count) fail with DataLoss naming the offending line.
+StatusOr<Dataset> LoadDatasetTsv(const std::string& path);
+
+}  // namespace docs::datasets
+
+#endif  // DOCS_DATASETS_DATASET_IO_H_

@@ -1,0 +1,85 @@
+#include "kb/domain_taxonomy.h"
+
+#include <algorithm>
+
+namespace docs::kb {
+namespace {
+
+// The 26 top-level Yahoo! Answers categories (short identifiers). The paper
+// maps its dataset domains onto: Sports, Food, Cars, Travel, Entertain,
+// Science, Business and Politics.
+const char* const kYahooDomains[] = {
+    "Arts",        "Beauty",    "Business",   "Cars",      "Computers",
+    "Electronics", "Dining",    "Education",  "Entertain", "Environment",
+    "Family",      "Food",      "Games",      "Health",    "Home",
+    "Local",       "News",      "Pets",       "Politics",  "Parenting",
+    "Science",     "SocialSci", "Society",    "Sports",    "Travel",
+    "Products",
+};
+
+}  // namespace
+
+DomainTaxonomy DomainTaxonomy::YahooAnswers26() {
+  std::vector<std::string> names(std::begin(kYahooDomains),
+                                 std::end(kYahooDomains));
+  return FromNames(std::move(names));
+}
+
+DomainTaxonomy DomainTaxonomy::FromNames(std::vector<std::string> names) {
+  DomainTaxonomy taxonomy;
+  taxonomy.names_ = std::move(names);
+  return taxonomy;
+}
+
+StatusOr<size_t> DomainTaxonomy::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return NotFoundError("unknown domain: " + std::string(name));
+}
+
+Status DomainTaxonomy::AddCategory(std::string category, size_t domain_index) {
+  if (domain_index >= names_.size()) {
+    return InvalidArgumentError("domain index out of range");
+  }
+  auto it = std::lower_bound(categories_.begin(), categories_.end(), category);
+  if (it != categories_.end() && *it == category) {
+    return AlreadyExistsError("category already registered: " + category);
+  }
+  size_t pos = static_cast<size_t>(it - categories_.begin());
+  categories_.insert(it, std::move(category));
+  category_domain_.insert(category_domain_.begin() + pos, domain_index);
+  return OkStatus();
+}
+
+StatusOr<size_t> DomainTaxonomy::DomainOfCategory(
+    std::string_view category) const {
+  auto it = std::lower_bound(categories_.begin(), categories_.end(), category);
+  if (it == categories_.end() || *it != category) {
+    return NotFoundError("unknown category: " + std::string(category));
+  }
+  return category_domain_[static_cast<size_t>(it - categories_.begin())];
+}
+
+std::vector<std::string> DomainTaxonomy::Categories() const {
+  return categories_;
+}
+
+CanonicalDomains CanonicalDomains::Resolve(const DomainTaxonomy& taxonomy) {
+  auto idx = [&](std::string_view name) {
+    auto result = taxonomy.IndexOf(name);
+    return result.ok() ? result.value() : 0;
+  };
+  CanonicalDomains d;
+  d.sports = idx("Sports");
+  d.food = idx("Food");
+  d.cars = idx("Cars");
+  d.travel = idx("Travel");
+  d.entertain = idx("Entertain");
+  d.science = idx("Science");
+  d.business = idx("Business");
+  d.politics = idx("Politics");
+  return d;
+}
+
+}  // namespace docs::kb

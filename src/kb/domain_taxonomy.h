@@ -1,0 +1,72 @@
+#ifndef DOCS_KB_DOMAIN_TAXONOMY_H_
+#define DOCS_KB_DOMAIN_TAXONOMY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace docs::kb {
+
+/// The explicit domain set D of Definition 1. DOCS constructs D from the 26
+/// top-level Yahoo! Answers categories and maps each to the corresponding
+/// Freebase domain(s); this class owns that list plus the category->domain
+/// mapping used when computing concept indicator vectors.
+class DomainTaxonomy {
+ public:
+  /// Builds the default 26-domain taxonomy used throughout the paper.
+  static DomainTaxonomy YahooAnswers26();
+
+  /// Builds a reduced taxonomy with the given domain names (used by
+  /// simulations that set m explicitly, e.g. m = 20 in Fig. 4(e)).
+  static DomainTaxonomy FromNames(std::vector<std::string> names);
+
+  /// Number of domains m = |D|.
+  size_t size() const { return names_.size(); }
+
+  /// Name of domain k (0-based).
+  const std::string& name(size_t k) const { return names_[k]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of a domain by exact name; NotFound if absent.
+  StatusOr<size_t> IndexOf(std::string_view name) const;
+
+  /// Registers a Freebase-style category path (e.g. "/sports/basketball")
+  /// as belonging to domain `domain_index`. Categories drive indicator
+  /// vectors: a concept tagged with a category is related to its domain.
+  Status AddCategory(std::string category, size_t domain_index);
+
+  /// Domain index for a category path; NotFound if the category is unknown.
+  StatusOr<size_t> DomainOfCategory(std::string_view category) const;
+
+  /// All registered category paths (sorted lexicographically).
+  std::vector<std::string> Categories() const;
+
+ private:
+  std::vector<std::string> names_;
+  // Parallel arrays kept sorted by category for binary search.
+  std::vector<std::string> categories_;
+  std::vector<size_t> category_domain_;
+};
+
+/// Canonical indices of the domains that the paper's datasets map onto,
+/// resolved against YahooAnswers26(). Kept in one place so datasets, benches
+/// and tests agree.
+struct CanonicalDomains {
+  size_t sports;
+  size_t food;
+  size_t cars;
+  size_t travel;
+  size_t entertain;
+  size_t science;
+  size_t business;
+  size_t politics;
+
+  static CanonicalDomains Resolve(const DomainTaxonomy& taxonomy);
+};
+
+}  // namespace docs::kb
+
+#endif  // DOCS_KB_DOMAIN_TAXONOMY_H_

@@ -1,0 +1,175 @@
+#include "kb/kb_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace docs::kb {
+namespace {
+
+std::string JoinKeywords(const std::vector<std::string>& keywords) {
+  if (keywords.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) out += ',';
+    out += keywords[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitKeywords(const std::string& joined) {
+  if (joined == "-") return {};
+  return Split(joined, ",");
+}
+
+}  // namespace
+
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return IoError("cannot open " + path);
+  out.precision(17);
+  out << "docskb 1\n";
+  const DomainTaxonomy& taxonomy = kb.taxonomy();
+  for (size_t k = 0; k < taxonomy.size(); ++k) {
+    out << "domain " << taxonomy.name(k) << '\n';
+  }
+  for (const auto& category : taxonomy.Categories()) {
+    auto domain = taxonomy.DomainOfCategory(category);
+    if (domain.ok()) {
+      out << "category " << domain.value() << ' ' << category << '\n';
+    }
+  }
+  for (ConceptId id = 0; id < kb.num_concepts(); ++id) {
+    const Concept& concept_data = kb.GetConcept(id);
+    out << "concept " << concept_data.popularity << ' ';
+    for (uint8_t bit : concept_data.domain_indicator) {
+      out << (bit ? '1' : '0');
+    }
+    out << ' ' << JoinKeywords(concept_data.context_keywords) << ' '
+        << concept_data.title << '\n';
+  }
+  kb.ForEachAlias([&out](const std::string& alias,
+                         const KnowledgeBase::AliasEntry& entry) {
+    out << "alias " << entry.id << ' ' << entry.prior << ' ' << alias << '\n';
+  });
+  out.flush();
+  if (!out.good()) return IoError("write failed: " + path);
+  return OkStatus();
+}
+
+StatusOr<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return IoError("cannot open " + path);
+
+  auto malformed = [&path](size_t line_number) {
+    return DataLossError("malformed KB dump " + path + " at line " +
+                         std::to_string(line_number));
+  };
+
+  std::string line;
+  size_t line_number = 0;
+
+  if (!std::getline(in, line) || Trim(line) != "docskb 1") {
+    return DataLossError("bad KB dump header: " + path);
+  }
+  ++line_number;
+
+  // Pass 1 gathers domains so the taxonomy exists before concepts arrive.
+  // The format guarantees domains precede everything else, so a single
+  // streaming pass with a deferred-taxonomy buffer suffices.
+  std::vector<std::string> domain_names;
+  struct PendingCategory {
+    size_t domain;
+    std::string category;
+  };
+  std::vector<PendingCategory> categories;
+  struct PendingConcept {
+    double popularity;
+    std::string bits;
+    std::string keywords;
+    std::string title;
+  };
+  std::vector<PendingConcept> concepts;
+  struct PendingAlias {
+    ConceptId id;
+    double prior;
+    std::string alias;
+  };
+  std::vector<PendingAlias> aliases;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    std::istringstream fields(line);
+    std::string directive;
+    fields >> directive;
+    if (directive == "domain") {
+      std::string name;
+      if (!(fields >> name)) return malformed(line_number);
+      domain_names.push_back(std::move(name));
+    } else if (directive == "category") {
+      PendingCategory category;
+      if (!(fields >> category.domain >> category.category)) {
+        return malformed(line_number);
+      }
+      categories.push_back(std::move(category));
+    } else if (directive == "concept") {
+      PendingConcept concept_line;
+      if (!(fields >> concept_line.popularity >> concept_line.bits >>
+            concept_line.keywords)) {
+        return malformed(line_number);
+      }
+      std::getline(fields, concept_line.title);
+      concept_line.title = Trim(concept_line.title);
+      if (concept_line.title.empty()) return malformed(line_number);
+      concepts.push_back(std::move(concept_line));
+    } else if (directive == "alias") {
+      PendingAlias alias_line;
+      if (!(fields >> alias_line.id >> alias_line.prior)) {
+        return malformed(line_number);
+      }
+      std::getline(fields, alias_line.alias);
+      alias_line.alias = Trim(alias_line.alias);
+      if (alias_line.alias.empty()) return malformed(line_number);
+      aliases.push_back(std::move(alias_line));
+    } else {
+      return malformed(line_number);
+    }
+  }
+
+  if (domain_names.empty()) {
+    return DataLossError("KB dump declares no domains: " + path);
+  }
+  DomainTaxonomy taxonomy = DomainTaxonomy::FromNames(domain_names);
+  for (const auto& category : categories) {
+    Status status = taxonomy.AddCategory(category.category, category.domain);
+    if (!status.ok()) return status;
+  }
+  KnowledgeBase kb(std::move(taxonomy));
+  for (const auto& pending : concepts) {
+    Concept concept_data;
+    concept_data.title = pending.title;
+    concept_data.popularity = pending.popularity;
+    if (pending.bits.size() != domain_names.size()) {
+      return DataLossError("indicator arity mismatch in " + path);
+    }
+    concept_data.domain_indicator.reserve(pending.bits.size());
+    for (char bit : pending.bits) {
+      if (bit != '0' && bit != '1') {
+        return DataLossError("bad indicator bit in " + path);
+      }
+      concept_data.domain_indicator.push_back(bit == '1' ? 1 : 0);
+    }
+    concept_data.context_keywords = SplitKeywords(pending.keywords);
+    auto id = kb.AddConcept(std::move(concept_data));
+    if (!id.ok()) return id.status();
+  }
+  for (const auto& pending : aliases) {
+    Status status = kb.AddAlias(pending.alias, pending.id, pending.prior);
+    if (!status.ok()) return status;
+  }
+  return kb;
+}
+
+}  // namespace docs::kb

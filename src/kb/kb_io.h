@@ -1,0 +1,31 @@
+#ifndef DOCS_KB_KB_IO_H_
+#define DOCS_KB_KB_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+
+namespace docs::kb {
+
+/// Serializes a knowledge base to a line-oriented text dump:
+///
+///   docskb 1
+///   domain <name>
+///   category <domain_index> <path>
+///   concept <popularity> <indicator-bitstring> <keyword,keyword,...> <title>
+///   alias <concept_id> <prior> <alias text>
+///
+/// Concepts appear in id order so ids are implicit; a downstream user can
+/// maintain their own dump (e.g. exported from a real KB) and load it in
+/// place of the synthetic builder.
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
+
+/// Loads a dump produced by SaveKnowledgeBase (or hand-written in the same
+/// format). Unknown directives and malformed lines fail with DataLoss,
+/// including the offending line number.
+StatusOr<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
+
+}  // namespace docs::kb
+
+#endif  // DOCS_KB_KB_IO_H_

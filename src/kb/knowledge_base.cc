@@ -1,0 +1,85 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+#include "common/string_utils.h"
+
+namespace docs::kb {
+namespace {
+
+// Aliases are matched on word sequences, so the canonical key is the
+// lowercase token sequence joined by single spaces ("Shaquille O'Neal" and
+// "shaquille o neal" collide on purpose).
+std::string NormalizeAlias(std::string_view alias) {
+  return Join(TokenizeWords(alias), " ");
+}
+
+}  // namespace
+
+KnowledgeBase::KnowledgeBase(DomainTaxonomy taxonomy)
+    : taxonomy_(std::move(taxonomy)) {}
+
+StatusOr<ConceptId> KnowledgeBase::AddConcept(Concept concept_data) {
+  if (concept_data.domain_indicator.size() != taxonomy_.size()) {
+    return InvalidArgumentError("indicator vector size != number of domains");
+  }
+  if (concept_data.popularity <= 0.0) {
+    return InvalidArgumentError("popularity must be positive");
+  }
+  ConceptId id = static_cast<ConceptId>(concepts_.size());
+  concept_data.id = id;
+  concepts_.push_back(std::move(concept_data));
+  return id;
+}
+
+Status KnowledgeBase::AddAlias(std::string_view alias, ConceptId id,
+                               double prior) {
+  if (id >= concepts_.size()) {
+    return InvalidArgumentError("alias refers to unknown concept");
+  }
+  if (prior <= 0.0) return InvalidArgumentError("prior must be positive");
+  std::string key = NormalizeAlias(alias);
+  if (key.empty()) return InvalidArgumentError("empty alias");
+  auto& entries = alias_index_[key];
+  for (AliasEntry& existing : entries) {
+    if (existing.id == id) {  // Idempotent; keep the stronger prior.
+      existing.prior = std::max(existing.prior, prior);
+      return OkStatus();
+    }
+  }
+  entries.push_back({id, prior});
+  size_t words = Split(key, " ").size();
+  max_alias_words_ = std::max(max_alias_words_, words);
+  return OkStatus();
+}
+
+const std::vector<KnowledgeBase::AliasEntry>& KnowledgeBase::LookupAlias(
+    std::string_view alias) const {
+  auto it = alias_index_.find(NormalizeAlias(alias));
+  if (it == alias_index_.end()) return empty_;
+  return it->second;
+}
+
+bool KnowledgeBase::HasAlias(std::string_view alias) const {
+  return alias_index_.count(NormalizeAlias(alias)) > 0;
+}
+
+void KnowledgeBase::ForEachAlias(
+    const std::function<void(const std::string& alias,
+                             const AliasEntry& entry)>& visit) const {
+  for (const auto& [alias, entries] : alias_index_) {
+    for (const AliasEntry& entry : entries) visit(alias, entry);
+  }
+}
+
+std::vector<uint8_t> KnowledgeBase::IndicatorFromCategories(
+    const std::vector<std::string>& categories) const {
+  std::vector<uint8_t> indicator(taxonomy_.size(), 0);
+  for (const auto& category : categories) {
+    auto domain = taxonomy_.DomainOfCategory(category);
+    if (domain.ok()) indicator[domain.value()] = 1;
+  }
+  return indicator;
+}
+
+}  // namespace docs::kb

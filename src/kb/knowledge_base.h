@@ -1,0 +1,106 @@
+#ifndef DOCS_KB_KNOWLEDGE_BASE_H_
+#define DOCS_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/domain_taxonomy.h"
+
+namespace docs::kb {
+
+using ConceptId = uint32_t;
+inline constexpr ConceptId kInvalidConcept = static_cast<ConceptId>(-1);
+
+/// A concept (Wikipedia page / Freebase topic analogue). Carries everything
+/// DVE's step 1 reads: the per-domain indicator vector h, a popularity prior
+/// (the "frequency of the linking" feature of Wikifier), and context
+/// keywords used for disambiguation against a task's text.
+struct Concept {
+  ConceptId id = kInvalidConcept;
+  std::string title;
+  /// h in {0,1}^m: domain_indicator[k] == 1 iff the concept is related to
+  /// domain d_k. A concept may belong to several domains (e.g. the basketball
+  /// player Michael Jordan is related to Sports and to Entertain via the
+  /// film Space Jam), or to none (Michael I. Jordan, the computer scientist,
+  /// relative to a taxonomy without a matching domain).
+  std::vector<uint8_t> domain_indicator;
+  /// Link-frequency prior in (0, 1]; larger values make the concept a more
+  /// likely referent for an ambiguous alias, all else equal.
+  double popularity = 1.0;
+  /// Bag of lowercase context words associated with the concept.
+  std::vector<std::string> context_keywords;
+};
+
+/// An in-memory knowledge base: concepts plus an alias (surface-form) index.
+/// Stands in for Freebase/Wikipedia in the paper's architecture; the entity
+/// linker resolves task mentions against the alias index and the DVE module
+/// reads indicator vectors from the referenced concepts.
+class KnowledgeBase {
+ public:
+  /// Creates a KB over the given taxonomy (copied).
+  explicit KnowledgeBase(DomainTaxonomy taxonomy);
+
+  const DomainTaxonomy& taxonomy() const { return taxonomy_; }
+  size_t num_domains() const { return taxonomy_.size(); }
+  size_t num_concepts() const { return concepts_.size(); }
+
+  /// Adds a concept; assigns and returns its id. The indicator vector is
+  /// validated against the taxonomy size; popularity must be positive.
+  StatusOr<ConceptId> AddConcept(Concept concept_data);
+
+  /// One candidate sense of a surface form, with its link-frequency prior
+  /// (how often this alias refers to this concept; Wikifier's frequency
+  /// feature). Priors are relative weights, not normalized.
+  struct AliasEntry {
+    ConceptId id = kInvalidConcept;
+    double prior = 1.0;
+  };
+
+  /// Registers `alias` (case-insensitive) as a surface form of `id` with the
+  /// given link prior. The same alias may map to several concepts
+  /// (ambiguity); re-adding an existing pair keeps the larger prior.
+  Status AddAlias(std::string_view alias, ConceptId id, double prior = 1.0);
+
+  /// Concept lookup; dies in debug on bad id, returns a stable reference.
+  const Concept& GetConcept(ConceptId id) const { return concepts_[id]; }
+
+  /// All candidate senses for a surface form (empty when unknown).
+  const std::vector<AliasEntry>& LookupAlias(std::string_view alias) const;
+
+  /// True if some alias with this exact (lowercased) text exists.
+  bool HasAlias(std::string_view alias) const;
+
+  /// Visits every (normalized alias, entry) pair in unspecified order.
+  void ForEachAlias(
+      const std::function<void(const std::string& alias,
+                               const AliasEntry& entry)>& visit) const;
+
+  /// Number of distinct alias surface forms.
+  size_t num_aliases() const { return alias_index_.size(); }
+
+  /// Longest registered alias length in words; the mention detector uses it
+  /// to bound its window.
+  size_t max_alias_words() const { return max_alias_words_; }
+
+  /// Computes the indicator vector for a concept from category tags:
+  /// h[k] = 1 iff any tag maps to domain k in the taxonomy. Unknown tags are
+  /// skipped (Freebase categories outside the 26 mapped domains).
+  std::vector<uint8_t> IndicatorFromCategories(
+      const std::vector<std::string>& categories) const;
+
+ private:
+  DomainTaxonomy taxonomy_;
+  std::vector<Concept> concepts_;
+  std::unordered_map<std::string, std::vector<AliasEntry>> alias_index_;
+  size_t max_alias_words_ = 0;
+  std::vector<AliasEntry> empty_;
+};
+
+}  // namespace docs::kb
+
+#endif  // DOCS_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,486 @@
+#include "kb/synthetic_kb.h"
+
+#include <algorithm>
+#include <cctype>
+#include <initializer_list>
+#include <iterator>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_utils.h"
+
+namespace docs::kb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed entity pools. The datasets of the paper are built over these kinds of
+// entities; ambiguous surface forms (Michael Jordan, NBA, Jordan, Curry,
+// Turkey, Rocky) are introduced deliberately so that DVE's disambiguation
+// machinery is exercised exactly as in Table 2.
+// ---------------------------------------------------------------------------
+
+const char* const kNbaPlayers[] = {
+    "Michael Jordan",    "Kobe Bryant",      "Stephen Curry",
+    "LeBron James",      "Kevin Durant",     "Tim Duncan",
+    "Shaquille Oneal",   "Magic Johnson",    "Larry Bird",
+    "Kareem Abdul Jabbar", "Dirk Nowitzki",  "Dwyane Wade",
+    "Allen Iverson",     "Russell Westbrook", "James Harden",
+    "Chris Paul",        "Kevin Garnett",    "Paul Pierce",
+    "Ray Allen",         "Vince Carter",     "Tracy McGrady",
+    "Yao Ming",          "Tony Parker",      "Manu Ginobili",
+    "Klay Thompson",     "Draymond Green",   "Kyrie Irving",
+    "Anthony Davis",     "Damian Lillard",   "Carmelo Anthony",
+    "Scottie Pippen",    "Dennis Rodman",    "Charles Barkley",
+    "Karl Malone",       "John Stockton",    "Patrick Ewing",
+    "Hakeem Olajuwon",   "David Robinson",   "Jason Kidd",
+    "Steve Nash",
+};
+
+const char* const kNbaTeams[] = {
+    "Golden State Warriors", "Chicago Bulls",        "Los Angeles Lakers",
+    "Boston Celtics",        "San Antonio Spurs",    "Miami Heat",
+    "Cleveland Cavaliers",   "Houston Rockets",      "Oklahoma City Thunder",
+    "Dallas Mavericks",      "New York Knicks",      "Phoenix Suns",
+    "Toronto Raptors",       "Utah Jazz",            "Portland Trail Blazers",
+    "Detroit Pistons",
+};
+
+const char* const kFoods[] = {
+    "Chocolate",     "Honey",        "Pizza",        "Sushi",
+    "Pasta",         "Cheese",       "Butter",       "Yogurt",
+    "Avocado",       "Banana",       "Apple Pie",    "Peanut Butter",
+    "Olive Oil",     "Brown Rice",   "Oatmeal",      "Broccoli",
+    "Spinach",       "Salmon",       "Tofu",         "Almonds",
+    "Walnuts",       "Quinoa",       "Lentils",      "Chickpeas",
+    "Bacon",         "Sausage",      "Ice Cream",    "Donut",
+    "Bagel",         "Croissant",    "Burrito",      "Taco",
+    "Ramen",         "Curry",        "Hummus",       "Granola",
+    "Popcorn",       "Pretzel",      "Waffle",       "Pancake",
+    "Chili",         "Turkey",
+};
+
+const char* const kCars[] = {
+    "Toyota Corolla",      "Honda Civic",        "Ford Mustang",
+    "Chevrolet Camaro",    "Tesla Model S",      "BMW 3 Series",
+    "Audi A4",             "Mercedes C Class",   "Volkswagen Golf",
+    "Subaru Outback",      "Mazda Miata",        "Nissan Altima",
+    "Hyundai Elantra",     "Kia Sorento",        "Jeep Wrangler",
+    "Dodge Charger",       "Porsche 911",        "Ferrari 488",
+    "Lamborghini Aventador", "Toyota Prius",     "Honda Accord",
+    "Ford F150",           "Chevrolet Silverado", "Ram 1500",
+    "Volvo XC90",          "Lexus RX",           "Acura TLX",
+    "Infiniti Q50",        "Jaguar F Type",      "Land Rover Defender",
+    "Mini Cooper",         "Fiat 500",
+};
+
+const char* const kCountries[] = {
+    "United States", "Canada",       "Mexico",       "Brazil",
+    "Argentina",     "United Kingdom", "France",     "Germany",
+    "Italy",         "Spain",        "Portugal",     "Netherlands",
+    "Belgium",       "Switzerland",  "Austria",      "Sweden",
+    "Norway",        "Denmark",      "Finland",      "Poland",
+    "Russia",        "Turkey",       "Egypt",        "South Africa",
+    "Nigeria",       "Kenya",        "China",        "Japan",
+    "South Korea",   "India",        "Thailand",     "Vietnam",
+    "Indonesia",     "Australia",    "New Zealand",  "Greece",
+    "Ireland",       "Iceland",      "Chile",        "Peru",
+    "Jordan",
+};
+
+const char* const kFilms[] = {
+    "Titanic",            "Inception",        "The Godfather",
+    "Pulp Fiction",       "Forrest Gump",     "The Matrix",
+    "Gladiator",          "Avatar",           "Jurassic Park",
+    "Star Wars",          "The Dark Knight",  "Fight Club",
+    "Goodfellas",         "Casablanca",       "Space Jam",
+    "The Revenant",       "Interstellar",     "The Shawshank Redemption",
+    "Schindlers List",    "The Lion King",    "Toy Story",
+    "Finding Nemo",       "Back to the Future", "Terminator 2",
+    "Alien",              "Jaws",             "Rocky",
+    "The Departed",       "Braveheart",       "La La Land",
+    "Mad Max Fury Road",  "The Silence of the Lambs",
+};
+
+const char* const kMountains[] = {
+    "Mount Everest",     "K2",              "Kangchenjunga",
+    "Lhotse",            "Makalu",          "Cho Oyu",
+    "Dhaulagiri",        "Manaslu",         "Nanga Parbat",
+    "Annapurna",         "Mont Blanc",      "Matterhorn",
+    "Denali",            "Mount Kilimanjaro", "Mount Fuji",
+    "Mount Rainier",     "Mount Whitney",   "Aconcagua",
+    "Mount Elbrus",      "Vinson Massif",   "Table Mountain",
+    "Rocky Mountains",   "Mount Olympus",   "Ben Nevis",
+};
+
+const char* const kActors[] = {
+    "Leonardo DiCaprio", "Michael B Jordan",  "Tom Hanks",
+    "Meryl Streep",      "Brad Pitt",         "Angelina Jolie",
+    "Denzel Washington", "Morgan Freeman",    "Scarlett Johansson",
+    "Robert De Niro",    "Al Pacino",         "Natalie Portman",
+    "Jennifer Lawrence", "Will Smith",        "Johnny Depp",
+    "Kate Winslet",      "Matt Damon",        "Christian Bale",
+    "Anne Hathaway",     "Samuel L Jackson",
+};
+
+const char* const kMusicians[] = {
+    "Taylor Swift",  "Beyonce",       "Michael Jackson", "Madonna",
+    "Elvis Presley", "The Beatles",   "Bob Dylan",       "Adele",
+    "Eminem",        "Kanye West",    "Lady Gaga",       "Bruno Mars",
+    "Rihanna",       "Drake",         "Coldplay",        "U2",
+};
+
+const char* const kBusinessPeople[] = {
+    "Bill Gates",      "Steve Jobs",    "Elon Musk",     "Warren Buffett",
+    "Jeff Bezos",      "Mark Zuckerberg", "Larry Page",  "Sergey Brin",
+    "Jack Ma",         "Richard Branson", "Tim Cook",    "Larry Ellison",
+};
+
+const char* const kPoliticians[] = {
+    "Barack Obama",      "George Washington", "Abraham Lincoln",
+    "Winston Churchill", "Angela Merkel",     "Nelson Mandela",
+    "John F Kennedy",    "Franklin Roosevelt", "Theodore Roosevelt",
+    "Margaret Thatcher", "Mahatma Gandhi",    "Vladimir Putin",
+};
+
+const char* const kScientists[] = {
+    "Albert Einstein",  "Isaac Newton",     "Marie Curie",
+    "Charles Darwin",   "Nikola Tesla",     "Stephen Hawking",
+    "Alan Turing",      "Michael I Jordan", "Ada Lovelace",
+    "Galileo Galilei",  "Richard Feynman",  "Rosalind Franklin",
+};
+
+template <size_t N>
+std::vector<std::string> ToVector(const char* const (&items)[N]) {
+  return std::vector<std::string>(std::begin(items), std::end(items));
+}
+
+struct KeywordSeed {
+  const char* domain;
+  const char* words;
+};
+
+// Per-domain keyword vocabularies: rich for the eight domains the paper's
+// datasets touch, compact for the rest of the 26.
+const KeywordSeed kKeywordSeeds[] = {
+    {"Sports",
+     "basketball nba team teams player players championship championships season "
+     "game games score points league coach playoffs dunk court finals mvp "
+     "draft rebound assist guard forward center titles win wins height "
+     "jersey play"},
+    {"Food",
+     "food foods calories recipe recipes dish cuisine flavor protein sugar "
+     "dessert breakfast dinner meal spicy sweet baked fried sauce ingredient "
+     "ingredients vitamin snack drink originate taste kitchen contains"},
+    {"Cars",
+     "car cars engine engines horsepower sedan suv mpg fuel torque vehicle "
+     "vehicles wheel transmission brake mileage speed motor drive hybrid "
+     "electric acceleration model models manufacturer dealership faster "
+     "costs economy"},
+    {"Travel",
+     "country countries capital capitals city cities population border "
+     "currency travel visa continent flag tourism language nation region "
+     "coast passport airline island larger"},
+    {"Entertain",
+     "film films movie movies actor actors actress director oscar hollywood "
+     "album albums song songs music singer band episode tv show starred star "
+     "premiere premiered box office award cinema soundtrack celebrity "
+     "released lead"},
+    {"Science",
+     "mountain mountains peak peaks elevation summit physics theory theories "
+     "research professor experiment species planet chemistry biology climate "
+     "altitude range meters discovery university science climber climbed "
+     "glacier taller"},
+    {"Business",
+     "company companies ceo ceos billionaire stock market revenue founder "
+     "founders founded startup investment profit shares fortune wealth brand "
+     "corporation owns acquisition worth net richer"},
+    {"Politics",
+     "president presidents election elections government senate congress "
+     "policy minister parliament vote campaign law treaty diplomat party "
+     "parties state union soviet elected"},
+    {"Arts", "painting museum poetry sculpture gallery novel author literature history"},
+    {"Beauty", "makeup skincare hair fashion style perfume cosmetics salon"},
+    {"Computers", "software internet programming computer code website browser network machine learning"},
+    {"Electronics", "phone camera laptop gadget battery screen device audio speaker"},
+    {"Dining", "restaurant menu chef waiter reservation buffet bistro tip"},
+    {"Education", "school university exam homework degree teacher student college"},
+    {"Environment", "pollution recycling energy wildlife conservation forest emission"},
+    {"Family", "marriage wedding relationship friendship advice anniversary"},
+    {"Games", "videogame console puzzle chess poker arcade quest multiplayer"},
+    {"Health", "doctor medicine symptom diet exercise therapy disease nutrition"},
+    {"Home", "furniture garden kitchen renovation decor plumbing lawn paint"},
+    {"Local", "shop store service neighborhood mall plaza errand"},
+    {"News", "headline breaking report journalist media press coverage"},
+    {"Pets", "dog cat puppy kitten veterinarian breed aquarium leash"},
+    {"Parenting", "baby toddler pregnancy infant nursery diaper stroller"},
+    {"SocialSci", "psychology sociology economics anthropology culture behavior survey"},
+    {"Society", "religion tradition etiquette community holiday custom association bar law"},
+    {"Products", "mail messenger search account login email inbox settings"},
+};
+
+// Syllables for pseudo-word filler concept names.
+const char* const kSyllables[] = {"vel", "tor", "zan", "mir", "quo", "lex",
+                                  "dra", "fen", "gol", "hax", "jin", "kru",
+                                  "lom", "nep", "oru", "pix", "rud", "syl",
+                                  "tam", "urb", "wex", "yol", "zeb", "cor"};
+
+std::string MakePseudoWord(Rng& rng) {
+  size_t syllables = 2 + rng.UniformInt(2);
+  std::string word;
+  for (size_t i = 0; i < syllables; ++i) {
+    word += kSyllables[rng.UniformInt(std::size(kSyllables))];
+  }
+  return word;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> YahooDomainKeywords(
+    const DomainTaxonomy& taxonomy) {
+  std::vector<std::vector<std::string>> keywords(taxonomy.size());
+  for (const auto& seed : kKeywordSeeds) {
+    auto index = taxonomy.IndexOf(seed.domain);
+    if (!index.ok()) continue;
+    keywords[index.value()] = Split(seed.words, " ");
+  }
+  return keywords;
+}
+
+SyntheticKb BuildSyntheticKb(const SyntheticKbOptions& options) {
+  Rng rng(options.seed);
+  DomainTaxonomy taxonomy = DomainTaxonomy::YahooAnswers26();
+  CanonicalDomains canon = CanonicalDomains::Resolve(taxonomy);
+
+  // Freebase-style category paths mapped onto the Yahoo domains.
+  struct CategorySeed {
+    const char* path;
+    size_t domain;
+  };
+  const CategorySeed category_seeds[] = {
+      {"/sports/basketball", canon.sports},
+      {"/sports/sports_team", canon.sports},
+      {"/food/dish", canon.food},
+      {"/food/ingredient", canon.food},
+      {"/automotive/model", canon.cars},
+      {"/location/country", canon.travel},
+      {"/film/film", canon.entertain},
+      {"/film/actor", canon.entertain},
+      {"/music/artist", canon.entertain},
+      {"/geography/mountain", canon.science},
+      {"/education/academic", canon.science},
+      {"/business/board_member", canon.business},
+      {"/government/politician", canon.politics},
+  };
+  for (const auto& seed : category_seeds) {
+    Status status = taxonomy.AddCategory(seed.path, seed.domain);
+    if (!status.ok()) {
+      DOCS_LOG(Warning) << "category seed: " << status.ToString();
+    }
+  }
+
+  SyntheticKb result{KnowledgeBase(std::move(taxonomy)), EntityPools{},
+                     std::vector<std::vector<std::string>>{}};
+  KnowledgeBase& kb = result.knowledge_base;
+  result.domain_keywords = YahooDomainKeywords(kb.taxonomy());
+  const auto& keywords = result.domain_keywords;
+
+  EntityPools& pools = result.pools;
+  pools.nba_players = ToVector(kNbaPlayers);
+  pools.nba_teams = ToVector(kNbaTeams);
+  pools.foods = ToVector(kFoods);
+  pools.cars = ToVector(kCars);
+  pools.countries = ToVector(kCountries);
+  pools.films = ToVector(kFilms);
+  pools.mountains = ToVector(kMountains);
+  pools.actors = ToVector(kActors);
+  pools.musicians = ToVector(kMusicians);
+  pools.business_people = ToVector(kBusinessPeople);
+  pools.politicians = ToVector(kPoliticians);
+  pools.scientists = ToVector(kScientists);
+
+  std::vector<std::string> all_aliases;
+
+  // Adds one concept for `title` related to the given domains, registers the
+  // title as alias, and returns the id.
+  auto add_entity = [&](const std::string& title,
+                        std::initializer_list<size_t> domains,
+                        double popularity) {
+    Concept new_concept;
+    new_concept.title = title;
+    new_concept.domain_indicator.assign(kb.num_domains(), 0);
+    std::unordered_set<std::string> kw;
+    for (size_t d : domains) {
+      new_concept.domain_indicator[d] = 1;
+      // The concept carries its domains' full keyword vocabulary, so context
+      // overlap reliably separates e.g. the basketball player from the
+      // computer scientist.
+      for (const auto& w : keywords[d]) kw.insert(w);
+    }
+    for (const auto& token : TokenizeWords(title)) kw.insert(token);
+    new_concept.context_keywords.assign(kw.begin(), kw.end());
+    std::sort(new_concept.context_keywords.begin(), new_concept.context_keywords.end());
+    new_concept.popularity = popularity;
+    auto id = kb.AddConcept(std::move(new_concept));
+    if (!id.ok()) {
+      DOCS_LOG(Error) << "AddConcept failed: " << id.status().ToString();
+      return kInvalidConcept;
+    }
+    Status alias_status = kb.AddAlias(title, id.value());
+    if (!alias_status.ok()) {
+      DOCS_LOG(Error) << "AddAlias failed: " << alias_status.ToString();
+    }
+    all_aliases.push_back(title);
+    return id.value();
+  };
+
+  // --- Curated pools -------------------------------------------------------
+  for (const auto& name : pools.nba_players) {
+    if (name == "Michael Jordan") {
+      // The paper's Table 2 case: the player also starred in Space Jam, so
+      // his indicator covers Sports and Entertain.
+      add_entity(name, {canon.sports, canon.entertain}, 0.95);
+    } else {
+      add_entity(name, {canon.sports},
+                 rng.UniformDoubleRange(0.6, 1.0));
+    }
+  }
+  for (const auto& name : pools.nba_teams) {
+    add_entity(name, {canon.sports}, rng.UniformDoubleRange(0.6, 1.0));
+  }
+  for (const auto& name : pools.foods) {
+    add_entity(name, {canon.food}, rng.UniformDoubleRange(0.5, 0.9));
+  }
+  for (const auto& name : pools.cars) {
+    add_entity(name, {canon.cars}, rng.UniformDoubleRange(0.5, 1.0));
+  }
+  for (const auto& name : pools.countries) {
+    add_entity(name, {canon.travel}, rng.UniformDoubleRange(0.6, 1.0));
+  }
+  for (const auto& name : pools.films) {
+    add_entity(name, {canon.entertain}, rng.UniformDoubleRange(0.5, 1.0));
+  }
+  for (const auto& name : pools.mountains) {
+    add_entity(name, {canon.science}, rng.UniformDoubleRange(0.5, 1.0));
+  }
+  for (const auto& name : pools.actors) {
+    add_entity(name, {canon.entertain}, rng.UniformDoubleRange(0.5, 1.0));
+  }
+  for (const auto& name : pools.musicians) {
+    add_entity(name, {canon.entertain}, rng.UniformDoubleRange(0.5, 1.0));
+  }
+  for (const auto& name : pools.business_people) {
+    add_entity(name, {canon.business}, rng.UniformDoubleRange(0.6, 1.0));
+  }
+  for (const auto& name : pools.politicians) {
+    add_entity(name, {canon.politics}, rng.UniformDoubleRange(0.6, 1.0));
+  }
+  for (const auto& name : pools.scientists) {
+    add_entity(name, {canon.science}, rng.UniformDoubleRange(0.6, 1.0));
+  }
+
+  // --- Deliberate ambiguity (the paper's running examples) -----------------
+  // "Michael Jordan" -> the player (added above), the computer scientist,
+  // and the actor Michael B. Jordan.
+  ConceptId mij = kInvalidConcept;  // Michael I. Jordan (already added).
+  ConceptId mbj = kInvalidConcept;  // Michael B. Jordan (already added).
+  ConceptId player_mj = kInvalidConcept;
+  ConceptId country_jordan = kInvalidConcept;
+  for (ConceptId id = 0; id < kb.num_concepts(); ++id) {
+    const std::string& title = kb.GetConcept(id).title;
+    if (title == "Michael I Jordan") mij = id;
+    if (title == "Michael B Jordan") mbj = id;
+    if (title == "Michael Jordan") player_mj = id;
+    if (title == "Jordan") country_jordan = id;
+  }
+  auto alias_or_warn = [&](std::string_view alias, ConceptId id) {
+    if (id == kInvalidConcept) return;
+    Status status = kb.AddAlias(alias, id);
+    if (!status.ok()) DOCS_LOG(Warning) << status.ToString();
+  };
+  alias_or_warn("Michael Jordan", mij);
+  alias_or_warn("Michael Jordan", mbj);
+  alias_or_warn("Jordan", player_mj);
+
+  // "NBA" -> National Basketball Association vs. National Bar Association.
+  ConceptId nba_sports =
+      add_entity("National Basketball Association", {canon.sports}, 0.95);
+  size_t society = 0;
+  {
+    auto society_index = kb.taxonomy().IndexOf("Society");
+    if (society_index.ok()) society = society_index.value();
+  }
+  ConceptId nba_bar = add_entity("National Bar Association", {society}, 0.3);
+  alias_or_warn("NBA", nba_sports);
+  alias_or_warn("NBA", nba_bar);
+  (void)country_jordan;
+
+  // --- Long-tail persons per sphere -----------------------------------------
+  // Unique pseudo-named persons; each is a KB concept in its sphere's domain.
+  {
+    struct Sphere {
+      std::vector<std::string>* pool;
+      size_t domain;
+      const char* suffix;
+    };
+    size_t politics_domain = canon.politics;
+    Sphere spheres[] = {
+        {&pools.minor_entertainers, canon.entertain, "a"},
+        {&pools.minor_executives, canon.business, "b"},
+        {&pools.minor_athletes, canon.sports, "c"},
+        {&pools.minor_politicians, politics_domain, "d"},
+    };
+    std::unordered_set<std::string> used_names;
+    for (auto& sphere : spheres) {
+      while (sphere.pool->size() < options.minor_persons_per_sphere) {
+        std::string first = MakePseudoWord(rng);
+        std::string last = MakePseudoWord(rng);
+        first[0] = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(first[0])));
+        last[0] = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(last[0])));
+        std::string name = first + " " + last;
+        if (!used_names.insert(name).second) continue;
+        add_entity(name, {sphere.domain}, rng.UniformDoubleRange(0.4, 0.8));
+        sphere.pool->push_back(std::move(name));
+      }
+    }
+  }
+
+  // --- Filler concepts ------------------------------------------------------
+  for (size_t d = 0; d < kb.num_domains(); ++d) {
+    for (size_t i = 0; i < options.filler_concepts_per_domain; ++i) {
+      std::string word = MakePseudoWord(rng);
+      word[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+      std::string title = word + " " + kb.taxonomy().name(d);
+      add_entity(title, {d}, rng.UniformDoubleRange(0.1, 0.6));
+    }
+  }
+
+  // --- Alias fanout ---------------------------------------------------------
+  // Wikifier links each detected entity to a top-20 candidate list; we expand
+  // every alias to `ambiguity_fanout` candidates by appending random
+  // low-affinity distractors.
+  if (options.ambiguity_fanout > 1) {
+    for (const auto& alias : all_aliases) {
+      size_t have = kb.LookupAlias(alias).size();
+      size_t want = std::min<size_t>(options.ambiguity_fanout,
+                                     kb.num_concepts());
+      size_t guard = 0;
+      while (have < want && guard < 10 * want) {
+        ConceptId candidate =
+            static_cast<ConceptId>(rng.UniformInt(kb.num_concepts()));
+        ++guard;
+        // Distractor senses carry a low link-frequency prior; re-adding an
+        // existing pair is idempotent, so re-check the count each attempt.
+        Status status = kb.AddAlias(alias, candidate, /*prior=*/0.03);
+        if (!status.ok()) continue;
+        have = kb.LookupAlias(alias).size();
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace docs::kb

@@ -1,0 +1,80 @@
+#ifndef DOCS_KB_SYNTHETIC_KB_H_
+#define DOCS_KB_SYNTHETIC_KB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace docs::kb {
+
+/// Named pools of real-world entities seeded into the synthetic KB. The
+/// dataset generators draw from the same pools so that task text mentions
+/// resolvable entities (the paper's datasets are built over NBA players,
+/// foods, cars, countries, films, mountains and renowned persons).
+struct EntityPools {
+  std::vector<std::string> nba_players;
+  std::vector<std::string> nba_teams;
+  std::vector<std::string> foods;
+  std::vector<std::string> cars;
+  std::vector<std::string> countries;
+  std::vector<std::string> films;
+  std::vector<std::string> mountains;
+  std::vector<std::string> actors;
+  std::vector<std::string> musicians;
+  std::vector<std::string> business_people;
+  std::vector<std::string> politicians;
+  std::vector<std::string> scientists;
+  /// Large generated long-tail person pools per sphere (entertainers,
+  /// executives, athletes, politicians). Real KBs hold millions of barely
+  /// repeated person names; these pools give the SFV-style datasets that
+  /// sparsity, which is what defeats co-occurrence-based topic models while
+  /// leaving the KB lookup trivial.
+  std::vector<std::string> minor_entertainers;
+  std::vector<std::string> minor_executives;
+  std::vector<std::string> minor_athletes;
+  std::vector<std::string> minor_politicians;
+};
+
+/// Tuning knobs for the synthetic Freebase/Wikipedia stand-in.
+struct SyntheticKbOptions {
+  uint64_t seed = 42;
+  /// Generic concepts added per domain to thicken the KB; they also serve as
+  /// low-prior distractor candidates for ambiguous aliases.
+  size_t filler_concepts_per_domain = 60;
+  /// Long-tail persons generated per sphere (see EntityPools).
+  size_t minor_persons_per_sphere = 250;
+  /// Number of candidate concepts registered per alias (the Wikifier top-20
+  /// candidate list of the paper). The true concept(s) come first; the rest
+  /// are random distractors with low context affinity.
+  size_t ambiguity_fanout = 20;
+};
+
+/// The built KB plus the pools and per-domain keyword vocabularies used to
+/// generate it.
+struct SyntheticKb {
+  KnowledgeBase knowledge_base;
+  EntityPools pools;
+  /// keyword vocabulary per domain (index-aligned with the taxonomy).
+  std::vector<std::vector<std::string>> domain_keywords;
+};
+
+/// Returns the curated per-domain keyword vocabulary for the 26-domain
+/// taxonomy (used by the KB builder, the dataset text generators, and the
+/// topic-model corpora).
+std::vector<std::vector<std::string>> YahooDomainKeywords(
+    const DomainTaxonomy& taxonomy);
+
+/// Builds the default synthetic knowledge base over YahooAnswers26():
+///  * curated multi-domain concepts with ambiguous aliases (the paper's
+///    "Michael Jordan" x3 and "NBA" x2 examples are present verbatim);
+///  * per-domain entity pools (players, foods, cars, countries, films,
+///    mountains, persons) with one concept per entity;
+///  * filler concepts per domain;
+///  * each alias expanded to `ambiguity_fanout` candidates.
+SyntheticKb BuildSyntheticKb(const SyntheticKbOptions& options = {});
+
+}  // namespace docs::kb
+
+#endif  // DOCS_KB_SYNTHETIC_KB_H_

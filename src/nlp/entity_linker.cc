@@ -1,0 +1,153 @@
+#include "nlp/entity_linker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_utils.h"
+
+namespace docs::nlp {
+
+EntityLinker::EntityLinker(const kb::KnowledgeBase* knowledge_base,
+                           EntityLinkerOptions options)
+    : kb_(knowledge_base), options_(options) {}
+
+std::vector<LinkedEntity> EntityLinker::Link(std::string_view text) const {
+  std::vector<std::string> tokens = TokenizeWords(text);
+  std::unordered_set<std::string> token_set(tokens.begin(), tokens.end());
+
+  std::vector<LinkedEntity> entities;
+  const size_t max_words = std::max<size_t>(1, kb_->max_alias_words());
+
+  size_t i = 0;
+  while (i < tokens.size()) {
+    size_t matched_len = 0;
+    std::string matched_alias;
+    // Greedy longest match against the alias dictionary.
+    size_t limit = std::min(max_words, tokens.size() - i);
+    for (size_t len = limit; len >= 1; --len) {
+      std::string window = tokens[i];
+      for (size_t j = 1; j < len; ++j) {
+        window += ' ';
+        window += tokens[i + j];
+      }
+      if (kb_->HasAlias(window)) {
+        matched_len = len;
+        matched_alias = std::move(window);
+        break;
+      }
+    }
+    if (matched_len == 0) {
+      ++i;
+      continue;
+    }
+
+    const auto& candidate_entries = kb_->LookupAlias(matched_alias);
+    LinkedEntity entity;
+    entity.mention = matched_alias;
+    entity.token_begin = i;
+    entity.token_end = i + matched_len;
+    entity.candidates.reserve(candidate_entries.size());
+
+    double total = 0.0;
+    for (const auto& entry : candidate_entries) {
+      const kb::ConceptId id = entry.id;
+      const kb::Concept& candidate_concept = kb_->GetConcept(id);
+      // Context overlap: how many of the concept's keywords appear in the
+      // task text (the mention's own tokens count, mirroring Wikifier's
+      // string-similarity feature).
+      size_t overlap = 0;
+      for (const auto& keyword : candidate_concept.context_keywords) {
+        if (token_set.count(keyword) > 0) ++overlap;
+      }
+      double score = entry.prior * candidate_concept.popularity *
+                     (1.0 + options_.context_weight * static_cast<double>(overlap));
+      entity.candidates.push_back({id, score});
+      total += score;
+    }
+    if (total > 0.0) {
+      for (auto& c : entity.candidates) c.probability /= total;
+    }
+    std::sort(entity.candidates.begin(), entity.candidates.end(),
+              [](const CandidateLink& a, const CandidateLink& b) {
+                if (a.probability != b.probability) {
+                  return a.probability > b.probability;
+                }
+                return a.concept_id < b.concept_id;
+              });
+    if (entity.candidates.size() > options_.max_candidates) {
+      entity.candidates.resize(options_.max_candidates);
+      double kept = 0.0;
+      for (const auto& c : entity.candidates) kept += c.probability;
+      if (kept > 0.0) {
+        for (auto& c : entity.candidates) c.probability /= kept;
+      }
+    }
+    entities.push_back(std::move(entity));
+    i += matched_len;
+  }
+
+  if (options_.coherence_weight > 0.0 && entities.size() > 1) {
+    ApplyCoherence(&entities);
+  }
+  return entities;
+}
+
+void EntityLinker::ApplyCoherence(std::vector<LinkedEntity>* entities) const {
+  const size_t m = kb_->num_domains();
+
+  // Probability-weighted domain mass contributed by each mention's current
+  // candidate distribution.
+  std::vector<std::vector<double>> contribution(entities->size(),
+                                                std::vector<double>(m, 0.0));
+  std::vector<double> aggregate(m, 0.0);
+  for (size_t e = 0; e < entities->size(); ++e) {
+    for (const auto& candidate : (*entities)[e].candidates) {
+      const auto& indicator =
+          kb_->GetConcept(candidate.concept_id).domain_indicator;
+      for (size_t k = 0; k < m; ++k) {
+        if (indicator[k]) {
+          contribution[e][k] += candidate.probability;
+          aggregate[k] += candidate.probability;
+        }
+      }
+    }
+  }
+
+  for (size_t e = 0; e < entities->size(); ++e) {
+    LinkedEntity& entity = (*entities)[e];
+    // Domain mass from the *other* mentions.
+    std::vector<double> others(m, 0.0);
+    double others_total = 0.0;
+    for (size_t k = 0; k < m; ++k) {
+      others[k] = aggregate[k] - contribution[e][k];
+      others_total += others[k];
+    }
+    if (others_total <= 0.0) continue;
+    double total = 0.0;
+    for (auto& candidate : entity.candidates) {
+      const auto& indicator =
+          kb_->GetConcept(candidate.concept_id).domain_indicator;
+      double agreement = 0.0;
+      for (size_t k = 0; k < m; ++k) {
+        if (indicator[k]) agreement += others[k];
+      }
+      candidate.probability *=
+          1.0 + options_.coherence_weight * agreement / others_total;
+      total += candidate.probability;
+    }
+    if (total > 0.0) {
+      for (auto& candidate : entity.candidates) {
+        candidate.probability /= total;
+      }
+    }
+    std::sort(entity.candidates.begin(), entity.candidates.end(),
+              [](const CandidateLink& a, const CandidateLink& b) {
+                if (a.probability != b.probability) {
+                  return a.probability > b.probability;
+                }
+                return a.concept_id < b.concept_id;
+              });
+  }
+}
+
+}  // namespace docs::nlp

@@ -1,0 +1,108 @@
+#include "storage/log_store.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_utils.h"
+
+namespace docs::storage {
+namespace {
+
+uint64_t Fnv1a(const std::string& payload) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : payload) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// Parses one log line; returns true and sets `payload` when the line is a
+// well-formed, checksum-valid record.
+bool ParseRecord(const std::string& line, std::string* payload) {
+  if (!StartsWith(line, "PUT ")) return false;
+  const size_t hash_pos = line.rfind(" #");
+  if (hash_pos == std::string::npos || hash_pos < 4) return false;
+  uint64_t stored = 0;
+  if (std::sscanf(line.c_str() + hash_pos + 2, "%" SCNu64, &stored) != 1) {
+    return false;
+  }
+  std::string body = line.substr(4, hash_pos - 4);
+  if (Fnv1a(body) != stored) return false;
+  *payload = std::move(body);
+  return true;
+}
+
+}  // namespace
+
+struct LogStore::FileState {
+  std::ofstream out;
+};
+
+LogStore::LogStore(std::string path) : path_(std::move(path)) {}
+LogStore::LogStore(LogStore&&) noexcept = default;
+LogStore& LogStore::operator=(LogStore&&) noexcept = default;
+LogStore::~LogStore() = default;
+
+StatusOr<LogStore> LogStore::Open(
+    const std::string& path,
+    const std::function<void(const std::string& payload)>& replay) {
+  LogStore store(path);
+  std::ifstream in(path);
+  if (in.is_open()) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::string payload;
+      if (!ParseRecord(line, &payload)) break;  // torn/corrupt tail
+      if (replay) replay(payload);
+      ++store.record_count_;
+    }
+  }
+  store.file_ = std::make_unique<FileState>();
+  store.file_->out.open(path, std::ios::app);
+  if (!store.file_->out.is_open()) {
+    return IoError("cannot open log: " + path);
+  }
+  return store;
+}
+
+Status LogStore::Append(const std::string& payload) {
+  if (payload.find('\n') != std::string::npos) {
+    return InvalidArgumentError("payload must not contain newlines");
+  }
+  file_->out << "PUT " << payload << " #" << Fnv1a(payload) << '\n';
+  if (!file_->out.good()) return IoError("append failed: " + path_);
+  ++record_count_;
+  return OkStatus();
+}
+
+Status LogStore::Compact(const std::vector<std::string>& payloads) {
+  file_->out.close();
+  const std::string tmp = path_ + ".compact";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return IoError("cannot open " + tmp);
+    for (const auto& payload : payloads) {
+      out << "PUT " << payload << " #" << Fnv1a(payload) << '\n';
+    }
+    if (!out.good()) return IoError("compaction write failed");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return IoError("compaction rename failed");
+  }
+  record_count_ = payloads.size();
+  file_->out.open(path_, std::ios::app);
+  if (!file_->out.is_open()) return IoError("cannot reopen " + path_);
+  return OkStatus();
+}
+
+Status LogStore::Flush() {
+  file_->out.flush();
+  if (!file_->out.good()) return IoError("flush failed: " + path_);
+  return OkStatus();
+}
+
+}  // namespace docs::storage

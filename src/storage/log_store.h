@@ -1,0 +1,62 @@
+#ifndef DOCS_STORAGE_LOG_STORE_H_
+#define DOCS_STORAGE_LOG_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace docs::storage {
+
+/// A crash-safe append-only record log: the storage primitive under
+/// WorkerStore and the DOCS system-state checkpoints.
+///
+/// Each record is a single line `PUT <payload> #<fnv1a(payload)>`. Replay
+/// stops at the first corrupt or torn record, so everything before a crash
+/// point is recovered and a half-written tail is dropped. Compact() rewrites
+/// the log atomically (write temp + rename) with a caller-provided record
+/// set.
+class LogStore {
+ public:
+  /// Opens (creating if needed) the log at `path` and replays existing
+  /// records through `replay` in append order. Payloads containing newlines
+  /// are rejected at append time, so replay yields them verbatim.
+  static StatusOr<LogStore> Open(
+      const std::string& path,
+      const std::function<void(const std::string& payload)>& replay);
+
+  LogStore(LogStore&&) noexcept;
+  LogStore& operator=(LogStore&&) noexcept;
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+  ~LogStore();
+
+  const std::string& path() const { return path_; }
+
+  /// Number of records physically in the log (replayed + appended since
+  /// open; reset by Compact()).
+  size_t record_count() const { return record_count_; }
+
+  /// Appends one payload with its checksum.
+  Status Append(const std::string& payload);
+
+  /// Atomically replaces the log with exactly `payloads`.
+  Status Compact(const std::vector<std::string>& payloads);
+
+  /// Flushes buffered appends to the OS.
+  Status Flush();
+
+ private:
+  explicit LogStore(std::string path);
+
+  std::string path_;
+  size_t record_count_ = 0;
+  struct FileState;
+  std::unique_ptr<FileState> file_;
+};
+
+}  // namespace docs::storage
+
+#endif  // DOCS_STORAGE_LOG_STORE_H_

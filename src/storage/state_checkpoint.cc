@@ -1,0 +1,157 @@
+#include "storage/state_checkpoint.h"
+
+#include <sstream>
+
+#include "storage/log_store.h"
+
+namespace docs::storage {
+namespace {
+
+// Record kinds, one per payload line. Tasks/workers/answers may interleave
+// in any order on disk; indices bind them together.
+//   task <index> <known_truth> <num_choices> <m> r0 .. r{m-1}
+//   golden <task_index>
+//   worker <index> <external_id> <golden_done> <m> q0.. u0..
+//   answer <task> <worker> <choice>
+
+std::string SerializeTask(size_t index, const StateCheckpoint::TaskState& t) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "task " << index << ' ' << t.known_truth << ' ' << t.num_choices
+      << ' ' << t.domain_vector.size();
+  for (double r : t.domain_vector) out << ' ' << r;
+  return out.str();
+}
+
+std::string SerializeWorker(size_t index,
+                            const StateCheckpoint::WorkerState& w) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "worker " << index << ' ' << w.external_id << ' '
+      << (w.golden_done ? 1 : 0) << ' ' << w.seed_quality.size();
+  for (double q : w.seed_quality) out << ' ' << q;
+  for (double u : w.seed_weight) out << ' ' << u;
+  return out.str();
+}
+
+}  // namespace
+
+Status SaveStateCheckpoint(const StateCheckpoint& checkpoint,
+                           const std::string& path) {
+  std::vector<std::string> payloads;
+  payloads.reserve(checkpoint.tasks.size() + checkpoint.workers.size() +
+                   checkpoint.answers.size() + checkpoint.golden_tasks.size());
+  for (size_t i = 0; i < checkpoint.tasks.size(); ++i) {
+    payloads.push_back(SerializeTask(i, checkpoint.tasks[i]));
+  }
+  for (size_t g : checkpoint.golden_tasks) {
+    payloads.push_back("golden " + std::to_string(g));
+  }
+  for (size_t w = 0; w < checkpoint.workers.size(); ++w) {
+    if (checkpoint.workers[w].external_id.find(' ') != std::string::npos) {
+      return InvalidArgumentError("worker ids must not contain spaces");
+    }
+    payloads.push_back(SerializeWorker(w, checkpoint.workers[w]));
+  }
+  for (const auto& answer : checkpoint.answers) {
+    payloads.push_back("answer " + std::to_string(answer.task) + ' ' +
+                       std::to_string(answer.worker) + ' ' +
+                       std::to_string(answer.choice));
+  }
+  auto log = LogStore::Open(path, nullptr);
+  if (!log.ok()) return log.status();
+  return log->Compact(payloads);
+}
+
+StatusOr<StateCheckpoint> LoadStateCheckpoint(const std::string& path) {
+  StateCheckpoint checkpoint;
+  bool corrupt = false;
+  auto log = LogStore::Open(path, [&](const std::string& payload) {
+    std::istringstream fields(payload);
+    std::string kind;
+    fields >> kind;
+    if (kind == "task") {
+      size_t index = 0, num_choices = 0, m = 0;
+      int truth = -1;
+      if (!(fields >> index >> truth >> num_choices >> m)) {
+        corrupt = true;
+        return;
+      }
+      if (checkpoint.tasks.size() <= index) {
+        checkpoint.tasks.resize(index + 1);
+      }
+      auto& task = checkpoint.tasks[index];
+      task.known_truth = truth;
+      task.num_choices = num_choices;
+      task.domain_vector.resize(m);
+      for (auto& r : task.domain_vector) {
+        if (!(fields >> r)) {
+          corrupt = true;
+          return;
+        }
+      }
+    } else if (kind == "golden") {
+      size_t index = 0;
+      if (!(fields >> index)) {
+        corrupt = true;
+        return;
+      }
+      checkpoint.golden_tasks.push_back(index);
+    } else if (kind == "worker") {
+      size_t index = 0, m = 0;
+      std::string id;
+      int golden_done = 0;
+      if (!(fields >> index >> id >> golden_done >> m)) {
+        corrupt = true;
+        return;
+      }
+      if (checkpoint.workers.size() <= index) {
+        checkpoint.workers.resize(index + 1);
+      }
+      auto& worker = checkpoint.workers[index];
+      worker.external_id = std::move(id);
+      worker.golden_done = golden_done != 0;
+      worker.seed_quality.resize(m);
+      worker.seed_weight.resize(m);
+      for (auto& q : worker.seed_quality) {
+        if (!(fields >> q)) {
+          corrupt = true;
+          return;
+        }
+      }
+      for (auto& u : worker.seed_weight) {
+        if (!(fields >> u)) {
+          corrupt = true;
+          return;
+        }
+      }
+    } else if (kind == "answer") {
+      StateCheckpoint::AnswerRecord answer;
+      if (!(fields >> answer.task >> answer.worker >> answer.choice)) {
+        corrupt = true;
+        return;
+      }
+      checkpoint.answers.push_back(answer);
+    } else {
+      corrupt = true;
+    }
+  });
+  if (!log.ok()) return log.status();
+  if (corrupt) return DataLossError("malformed checkpoint record: " + path);
+  // Structural validation: every answer must reference known entities.
+  for (const auto& answer : checkpoint.answers) {
+    if (answer.task >= checkpoint.tasks.size() ||
+        answer.worker >= checkpoint.workers.size() ||
+        answer.choice >= checkpoint.tasks[answer.task].num_choices) {
+      return DataLossError("dangling reference in checkpoint: " + path);
+    }
+  }
+  for (size_t g : checkpoint.golden_tasks) {
+    if (g >= checkpoint.tasks.size()) {
+      return DataLossError("dangling golden task in checkpoint: " + path);
+    }
+  }
+  return checkpoint;
+}
+
+}  // namespace docs::storage

@@ -1,0 +1,53 @@
+#ifndef DOCS_STORAGE_STATE_CHECKPOINT_H_
+#define DOCS_STORAGE_STATE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace docs::storage {
+
+/// A durable snapshot of a running crowdsourcing session — the "database"
+/// side of Figure 1 for tasks. It captures everything needed to resume
+/// after a crash or restart: the tasks' domain vectors and choice counts,
+/// the requester-known truths (for golden grading), the golden task set,
+/// the registered workers with their seed profiles, and every received
+/// answer in arrival order. All derived inference state (M̂, M, s, current
+/// qualities) is rebuilt by replaying the answers.
+struct StateCheckpoint {
+  struct TaskState {
+    std::vector<double> domain_vector;
+    size_t num_choices = 2;
+    int known_truth = -1;  ///< -1 when the requester does not know it
+  };
+  struct WorkerState {
+    std::string external_id;
+    std::vector<double> seed_quality;
+    std::vector<double> seed_weight;
+    bool golden_done = false;
+  };
+  struct AnswerRecord {
+    size_t task = 0;
+    size_t worker = 0;
+    size_t choice = 0;
+  };
+
+  std::vector<TaskState> tasks;
+  std::vector<size_t> golden_tasks;
+  std::vector<WorkerState> workers;
+  std::vector<AnswerRecord> answers;
+};
+
+/// Writes the checkpoint atomically (temp file + rename, checksummed
+/// records).
+Status SaveStateCheckpoint(const StateCheckpoint& checkpoint,
+                           const std::string& path);
+
+/// Reads a checkpoint; fails with DataLoss on structural corruption (a torn
+/// tail of answer records is tolerated, mirroring LogStore semantics).
+StatusOr<StateCheckpoint> LoadStateCheckpoint(const std::string& path);
+
+}  // namespace docs::storage
+
+#endif  // DOCS_STORAGE_STATE_CHECKPOINT_H_

@@ -1,0 +1,163 @@
+#include "storage/worker_store.h"
+
+#include <sstream>
+
+#include "storage/log_store.h"
+
+namespace docs::storage {
+namespace {
+
+std::string SerializePayload(const std::string& worker_id,
+                             const WorkerQualityRecord& record) {
+  std::ostringstream out;
+  out.precision(17);
+  out << worker_id << ' ' << record.quality.size();
+  for (double q : record.quality) out << ' ' << q;
+  for (double u : record.weight) out << ' ' << u;
+  return out.str();
+}
+
+// Parses a payload produced by SerializePayload; false on any mismatch.
+bool ParsePayload(const std::string& payload, size_t num_domains,
+                  std::string* worker_id, WorkerQualityRecord* record) {
+  std::istringstream fields(payload);
+  size_t m = 0;
+  if (!(fields >> *worker_id >> m) || m != num_domains) return false;
+  record->quality.resize(m);
+  record->weight.resize(m);
+  for (auto& q : record->quality) {
+    if (!(fields >> q)) return false;
+  }
+  for (auto& u : record->weight) {
+    if (!(fields >> u)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+WorkerQualityRecord WorkerQualityRecord::Fresh(size_t num_domains,
+                                               double initial_quality) {
+  WorkerQualityRecord record;
+  record.quality.assign(num_domains, initial_quality);
+  record.weight.assign(num_domains, 0.0);
+  return record;
+}
+
+void WorkerQualityRecord::MergeTheorem1(const WorkerQualityRecord& fresh) {
+  for (size_t k = 0; k < quality.size(); ++k) {
+    const double denom = weight[k] + fresh.weight[k];
+    if (denom <= 0.0) {
+      quality[k] = fresh.quality[k];
+      weight[k] = 0.0;
+      continue;
+    }
+    quality[k] =
+        (quality[k] * weight[k] + fresh.quality[k] * fresh.weight[k]) / denom;
+    weight[k] = denom;
+  }
+}
+
+struct WorkerStore::FileState {
+  LogStore log;
+  explicit FileState(LogStore log_in) : log(std::move(log_in)) {}
+};
+
+WorkerStore::WorkerStore(std::string path, size_t num_domains)
+    : path_(std::move(path)), num_domains_(num_domains) {}
+
+WorkerStore::~WorkerStore() = default;
+
+WorkerStore WorkerStore::InMemory(size_t num_domains) {
+  return WorkerStore("", num_domains);
+}
+
+StatusOr<WorkerStore> WorkerStore::Open(const std::string& path,
+                                        size_t num_domains) {
+  WorkerStore store(path, num_domains);
+  auto log = LogStore::Open(path, [&store](const std::string& payload) {
+    std::string worker_id;
+    WorkerQualityRecord record;
+    if (ParsePayload(payload, store.num_domains_, &worker_id, &record)) {
+      store.index_[worker_id] = std::move(record);
+    }
+  });
+  if (!log.ok()) return log.status();
+  store.log_records_ = log->record_count();
+  store.file_ = std::make_unique<FileState>(std::move(*log));
+  return store;
+}
+
+bool WorkerStore::Contains(const std::string& worker_id) const {
+  return index_.count(worker_id) > 0;
+}
+
+StatusOr<WorkerQualityRecord> WorkerStore::Get(
+    const std::string& worker_id) const {
+  auto it = index_.find(worker_id);
+  if (it == index_.end()) {
+    return NotFoundError("unknown worker: " + worker_id);
+  }
+  return it->second;
+}
+
+Status WorkerStore::AppendRecord(const std::string& worker_id,
+                                 const WorkerQualityRecord& record) {
+  ++log_records_;
+  if (!file_) return OkStatus();  // In-memory store.
+  return file_->log.Append(SerializePayload(worker_id, record));
+}
+
+Status WorkerStore::Put(const std::string& worker_id,
+                        const WorkerQualityRecord& record) {
+  if (record.quality.size() != num_domains_ ||
+      record.weight.size() != num_domains_) {
+    return InvalidArgumentError("record arity mismatch");
+  }
+  index_[worker_id] = record;
+  return AppendRecord(worker_id, record);
+}
+
+Status WorkerStore::Merge(const std::string& worker_id,
+                          const WorkerQualityRecord& fresh) {
+  if (fresh.quality.size() != num_domains_ ||
+      fresh.weight.size() != num_domains_) {
+    return InvalidArgumentError("record arity mismatch");
+  }
+  auto it = index_.find(worker_id);
+  if (it == index_.end()) {
+    return Put(worker_id, fresh);
+  }
+  it->second.MergeTheorem1(fresh);
+  return AppendRecord(worker_id, it->second);
+}
+
+std::vector<std::string> WorkerStore::WorkerIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(index_.size());
+  for (const auto& [id, record] : index_) ids.push_back(id);
+  return ids;
+}
+
+Status WorkerStore::Compact() {
+  if (!file_) {
+    log_records_ = index_.size();
+    return OkStatus();
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(index_.size());
+  for (const auto& [id, record] : index_) {
+    payloads.push_back(SerializePayload(id, record));
+  }
+  Status status = file_->log.Compact(payloads);
+  if (!status.ok()) return status;
+  log_records_ = index_.size();
+  return OkStatus();
+}
+
+Status WorkerStore::Flush() {
+  if (!file_) return OkStatus();
+  return file_->log.Flush();
+}
+
+}  // namespace docs::storage

@@ -1,0 +1,94 @@
+#ifndef DOCS_STORAGE_WORKER_STORE_H_
+#define DOCS_STORAGE_WORKER_STORE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace docs::storage {
+
+/// The two statistics DOCS maintains per worker and domain (Section 4.2):
+/// the quality q^w_k and its weight u^w_k, the expected number of answered
+/// tasks related to domain d_k.
+struct WorkerQualityRecord {
+  std::vector<double> quality;
+  std::vector<double> weight;
+
+  /// A record with all-zero weights and `initial_quality` everywhere.
+  static WorkerQualityRecord Fresh(size_t num_domains,
+                                   double initial_quality = 0.0);
+
+  /// Applies Theorem 1: quality <- (q̂·û + q·u)/(û + u), weight <- û + u,
+  /// where (q̂, û) is *this and (q, u) is `fresh`. Domains where both weights
+  /// are zero keep the fresh quality value.
+  void MergeTheorem1(const WorkerQualityRecord& fresh);
+};
+
+/// Durable store for worker statistics: an in-memory hash index over an
+/// append-only log file. This is the "DB" box of Figure 1 — it lets a worker
+/// who returns under a later requester start from her accumulated quality
+/// profile. Recovery tolerates a torn final record (crash mid-append);
+/// Compact() rewrites the log with one record per live worker.
+class WorkerStore {
+ public:
+  /// Opens (creating if needed) the store at `path` for vectors of
+  /// `num_domains` entries; replays the log into memory.
+  static StatusOr<WorkerStore> Open(const std::string& path,
+                                    size_t num_domains);
+
+  /// A purely in-memory store (no durability) — used by simulations.
+  static WorkerStore InMemory(size_t num_domains);
+
+  WorkerStore(WorkerStore&&) = default;
+  WorkerStore& operator=(WorkerStore&&) = default;
+  WorkerStore(const WorkerStore&) = delete;
+  WorkerStore& operator=(const WorkerStore&) = delete;
+  ~WorkerStore();
+
+  size_t num_domains() const { return num_domains_; }
+  size_t size() const { return index_.size(); }
+  bool Contains(const std::string& worker_id) const;
+
+  /// Returns the stored record; NotFound for unknown workers.
+  StatusOr<WorkerQualityRecord> Get(const std::string& worker_id) const;
+
+  /// Inserts or overwrites the record, appending it to the log.
+  Status Put(const std::string& worker_id, const WorkerQualityRecord& record);
+
+  /// Merges `fresh` into the stored record via Theorem 1 (treating a missing
+  /// record as all-zero weights) and persists the result.
+  Status Merge(const std::string& worker_id, const WorkerQualityRecord& fresh);
+
+  /// All worker ids currently stored (unspecified order).
+  std::vector<std::string> WorkerIds() const;
+
+  /// Number of physical records in the log since opening (monotone until
+  /// Compact() resets it). In-memory stores report number of Put/Merge calls.
+  size_t log_records() const { return log_records_; }
+
+  /// Rewrites the log to contain exactly one record per live worker.
+  Status Compact();
+
+  /// Flushes buffered appends to the OS.
+  Status Flush();
+
+ private:
+  WorkerStore(std::string path, size_t num_domains);
+
+  Status AppendRecord(const std::string& worker_id,
+                      const WorkerQualityRecord& record);
+
+  std::string path_;  // empty for in-memory stores
+  size_t num_domains_;
+  size_t log_records_ = 0;
+  std::unordered_map<std::string, WorkerQualityRecord> index_;
+  struct FileState;
+  std::unique_ptr<FileState> file_;
+};
+
+}  // namespace docs::storage
+
+#endif  // DOCS_STORAGE_WORKER_STORE_H_

@@ -1,0 +1,32 @@
+#include "topicmodel/corpus.h"
+
+#include "common/string_utils.h"
+
+namespace docs::topic {
+
+int Corpus::AddWord(const std::string& word) {
+  auto it = vocab_.find(word);
+  if (it != vocab_.end()) return it->second;
+  int id = static_cast<int>(words_.size());
+  vocab_.emplace(word, id);
+  words_.push_back(word);
+  return id;
+}
+
+int Corpus::WordId(std::string_view word) const {
+  auto it = vocab_.find(std::string(word));
+  return it == vocab_.end() ? -1 : it->second;
+}
+
+void Corpus::AddDocumentText(std::string_view text) {
+  AddDocumentTokens(TokenizeWords(text));
+}
+
+void Corpus::AddDocumentTokens(const std::vector<std::string>& tokens) {
+  std::vector<int> doc;
+  doc.reserve(tokens.size());
+  for (const auto& token : tokens) doc.push_back(AddWord(token));
+  documents_.push_back(std::move(doc));
+}
+
+}  // namespace docs::topic

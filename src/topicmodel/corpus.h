@@ -1,0 +1,42 @@
+#ifndef DOCS_TOPICMODEL_CORPUS_H_
+#define DOCS_TOPICMODEL_CORPUS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace docs::topic {
+
+/// A tokenized document collection with an integer vocabulary, shared by the
+/// LDA and TwitterLDA models. Documents are added as token lists (the task
+/// text descriptions, in the iCrowd/FaitCrowd baselines).
+class Corpus {
+ public:
+  /// Interns `word` and returns its id.
+  int AddWord(const std::string& word);
+
+  /// Returns the id of `word` or -1 if never interned.
+  int WordId(std::string_view word) const;
+
+  /// Adds a document from raw text (tokenized with TokenizeWords).
+  void AddDocumentText(std::string_view text);
+
+  /// Adds a document from pre-split tokens.
+  void AddDocumentTokens(const std::vector<std::string>& tokens);
+
+  size_t num_documents() const { return documents_.size(); }
+  size_t vocabulary_size() const { return words_.size(); }
+
+  const std::vector<int>& document(size_t d) const { return documents_[d]; }
+  const std::string& word(int id) const { return words_[id]; }
+
+ private:
+  std::unordered_map<std::string, int> vocab_;
+  std::vector<std::string> words_;
+  std::vector<std::vector<int>> documents_;
+};
+
+}  // namespace docs::topic
+
+#endif  // DOCS_TOPICMODEL_CORPUS_H_

@@ -1,0 +1,94 @@
+#include "topicmodel/lda.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace docs::topic {
+
+LdaModel::LdaModel(LdaOptions options) : options_(options) {}
+
+void LdaModel::Fit(const Corpus& corpus) {
+  const size_t num_topics = options_.num_topics;
+  const size_t num_docs = corpus.num_documents();
+  const size_t vocab = corpus.vocabulary_size();
+  const double alpha = options_.alpha;
+  const double beta = options_.beta;
+  Rng rng(options_.seed);
+
+  // Token-level topic assignments and count tables.
+  std::vector<std::vector<int>> assignments(num_docs);
+  std::vector<std::vector<int>> doc_topic_count(num_docs,
+                                                std::vector<int>(num_topics, 0));
+  std::vector<std::vector<int>> topic_word_count(num_topics,
+                                                 std::vector<int>(vocab, 0));
+  std::vector<int> topic_count(num_topics, 0);
+
+  for (size_t d = 0; d < num_docs; ++d) {
+    const auto& doc = corpus.document(d);
+    assignments[d].resize(doc.size());
+    for (size_t i = 0; i < doc.size(); ++i) {
+      int k = static_cast<int>(rng.UniformInt(num_topics));
+      assignments[d][i] = k;
+      ++doc_topic_count[d][k];
+      ++topic_word_count[k][doc[i]];
+      ++topic_count[k];
+    }
+  }
+
+  std::vector<double> weights(num_topics, 0.0);
+  const double vbeta = static_cast<double>(vocab) * beta;
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    for (size_t d = 0; d < num_docs; ++d) {
+      const auto& doc = corpus.document(d);
+      for (size_t i = 0; i < doc.size(); ++i) {
+        const int w = doc[i];
+        const int old_k = assignments[d][i];
+        --doc_topic_count[d][old_k];
+        --topic_word_count[old_k][w];
+        --topic_count[old_k];
+        for (size_t k = 0; k < num_topics; ++k) {
+          weights[k] = (doc_topic_count[d][k] + alpha) *
+                       (topic_word_count[k][w] + beta) /
+                       (topic_count[k] + vbeta);
+        }
+        const int new_k = static_cast<int>(rng.SampleDiscrete(weights));
+        assignments[d][i] = new_k;
+        ++doc_topic_count[d][new_k];
+        ++topic_word_count[new_k][w];
+        ++topic_count[new_k];
+      }
+    }
+  }
+
+  // Point estimates from the final sample.
+  doc_topic_.assign(num_docs, std::vector<double>(num_topics, 0.0));
+  for (size_t d = 0; d < num_docs; ++d) {
+    const double denom = static_cast<double>(corpus.document(d).size()) +
+                         static_cast<double>(num_topics) * alpha;
+    for (size_t k = 0; k < num_topics; ++k) {
+      doc_topic_[d][k] = (doc_topic_count[d][k] + alpha) / denom;
+    }
+  }
+  topic_word_.assign(num_topics, std::vector<double>(vocab, 0.0));
+  for (size_t k = 0; k < num_topics; ++k) {
+    const double denom = topic_count[k] + vbeta;
+    for (size_t w = 0; w < vocab; ++w) {
+      topic_word_[k][w] = (topic_word_count[k][w] + beta) / denom;
+    }
+  }
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace docs::topic

@@ -1,0 +1,55 @@
+#ifndef DOCS_TOPICMODEL_LDA_H_
+#define DOCS_TOPICMODEL_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topicmodel/corpus.h"
+
+namespace docs::topic {
+
+struct LdaOptions {
+  size_t num_topics = 4;
+  double alpha = 0.5;  ///< Dirichlet prior on document-topic proportions.
+  double beta = 0.1;   ///< Dirichlet prior on topic-word distributions.
+  size_t iterations = 200;
+  uint64_t seed = 7;
+};
+
+/// Latent Dirichlet Allocation [Blei et al. 2003] trained with collapsed
+/// Gibbs sampling. This is the topic model used by the iCrowd baseline to
+/// estimate each task's latent-domain distribution from its text.
+class LdaModel {
+ public:
+  explicit LdaModel(LdaOptions options = {});
+
+  /// Runs the sampler on `corpus`. May be called once per model instance.
+  void Fit(const Corpus& corpus);
+
+  /// Per-document topic distribution theta (num_documents x num_topics),
+  /// estimated from the final sample with the alpha prior folded in.
+  const std::vector<std::vector<double>>& doc_topic() const {
+    return doc_topic_;
+  }
+
+  /// Per-topic word distribution phi (num_topics x vocabulary).
+  const std::vector<std::vector<double>>& topic_word() const {
+    return topic_word_;
+  }
+
+  const LdaOptions& options() const { return options_; }
+
+ private:
+  LdaOptions options_;
+  std::vector<std::vector<double>> doc_topic_;
+  std::vector<std::vector<double>> topic_word_;
+};
+
+/// Cosine similarity between two dense vectors (used by iCrowd to compare
+/// task topic distributions). Returns 0 when either vector is all zeros.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace docs::topic
+
+#endif  // DOCS_TOPICMODEL_LDA_H_

@@ -1,0 +1,184 @@
+#include "topicmodel/twitter_lda.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace docs::topic {
+
+TwitterLdaModel::TwitterLdaModel(TwitterLdaOptions options)
+    : options_(options) {}
+
+void TwitterLdaModel::Fit(const Corpus& corpus) {
+  const size_t num_topics = options_.num_topics;
+  const size_t num_docs = corpus.num_documents();
+  const size_t vocab = corpus.vocabulary_size();
+  const double alpha = options_.alpha;
+  const double beta = options_.beta;
+  const double gamma = options_.gamma;
+  const double vbeta = static_cast<double>(vocab) * beta;
+  Rng rng(options_.seed);
+
+  // State: one topic per document, one background switch per token.
+  std::vector<int> doc_topic_assign(num_docs, 0);
+  std::vector<std::vector<uint8_t>> is_topic_word(num_docs);
+
+  // Counts.
+  std::vector<int> docs_per_topic(num_topics, 0);
+  std::vector<std::vector<int>> topic_word_count(num_topics,
+                                                 std::vector<int>(vocab, 0));
+  std::vector<int> topic_count(num_topics, 0);
+  std::vector<int> background_word_count(vocab, 0);
+  int background_total = 0;
+  int topic_total = 0;
+
+  for (size_t d = 0; d < num_docs; ++d) {
+    const auto& doc = corpus.document(d);
+    int k = static_cast<int>(rng.UniformInt(num_topics));
+    doc_topic_assign[d] = k;
+    ++docs_per_topic[k];
+    is_topic_word[d].assign(doc.size(), 1);
+    for (int w : doc) {
+      ++topic_word_count[k][w];
+      ++topic_count[k];
+      ++topic_total;
+    }
+  }
+
+  std::vector<double> log_weights(num_topics, 0.0);
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    for (size_t d = 0; d < num_docs; ++d) {
+      const auto& doc = corpus.document(d);
+      const int cur_topic = doc_topic_assign[d];
+
+      // (1) Resample the background switch of each token.
+      for (size_t i = 0; i < doc.size(); ++i) {
+        const int w = doc[i];
+        if (is_topic_word[d][i]) {
+          --topic_word_count[cur_topic][w];
+          --topic_count[cur_topic];
+          --topic_total;
+        } else {
+          --background_word_count[w];
+          --background_total;
+        }
+        const double p_background =
+            (background_total + gamma) /
+            (background_total + topic_total + 2.0 * gamma) *
+            (background_word_count[w] + beta) / (background_total + vbeta);
+        const double p_topic =
+            (topic_total + gamma) /
+            (background_total + topic_total + 2.0 * gamma) *
+            (topic_word_count[cur_topic][w] + beta) /
+            (topic_count[cur_topic] + vbeta);
+        const bool topic_word =
+            rng.Bernoulli(p_topic / std::max(1e-300, p_topic + p_background));
+        is_topic_word[d][i] = topic_word ? 1 : 0;
+        if (topic_word) {
+          ++topic_word_count[cur_topic][w];
+          ++topic_count[cur_topic];
+          ++topic_total;
+        } else {
+          ++background_word_count[w];
+          ++background_total;
+        }
+      }
+
+      // (2) Resample the document topic given its topic words.
+      --docs_per_topic[cur_topic];
+      for (size_t i = 0; i < doc.size(); ++i) {
+        if (!is_topic_word[d][i]) continue;
+        const int w = doc[i];
+        --topic_word_count[cur_topic][w];
+        --topic_count[cur_topic];
+      }
+      for (size_t k = 0; k < num_topics; ++k) {
+        double lw = std::log(docs_per_topic[k] + alpha);
+        // Sequential predictive probability of this doc's topic words under
+        // topic k (counts incremented as we go to stay exact).
+        int added = 0;
+        std::vector<int> local_add;  // parallel to topic words, for rollback
+        local_add.reserve(doc.size());
+        for (size_t i = 0; i < doc.size(); ++i) {
+          if (!is_topic_word[d][i]) continue;
+          const int w = doc[i];
+          lw += std::log((topic_word_count[k][w] + beta) /
+                         (topic_count[k] + vbeta));
+          ++topic_word_count[k][w];
+          ++topic_count[k];
+          local_add.push_back(w);
+          ++added;
+        }
+        // Roll back the temporary increments.
+        for (int w : local_add) --topic_word_count[k][w];
+        topic_count[k] -= added;
+        log_weights[k] = lw;
+      }
+      // Sample from the log weights.
+      double mx = log_weights[0];
+      for (double lw : log_weights) mx = std::max(mx, lw);
+      std::vector<double> weights(num_topics, 0.0);
+      for (size_t k = 0; k < num_topics; ++k) {
+        weights[k] = std::exp(log_weights[k] - mx);
+      }
+      const int new_topic = static_cast<int>(rng.SampleDiscrete(weights));
+      doc_topic_assign[d] = new_topic;
+      ++docs_per_topic[new_topic];
+      for (size_t i = 0; i < doc.size(); ++i) {
+        if (!is_topic_word[d][i]) continue;
+        const int w = doc[i];
+        ++topic_word_count[new_topic][w];
+        ++topic_count[new_topic];
+      }
+    }
+  }
+
+  // Posterior per document from the final tables (leave-one-out on the
+  // document's own assignment).
+  doc_topic_.assign(num_docs, std::vector<double>(num_topics, 0.0));
+  doc_assignment_.assign(num_docs, 0);
+  for (size_t d = 0; d < num_docs; ++d) {
+    const auto& doc = corpus.document(d);
+    const int cur_topic = doc_topic_assign[d];
+    --docs_per_topic[cur_topic];
+    for (size_t i = 0; i < doc.size(); ++i) {
+      if (!is_topic_word[d][i]) continue;
+      --topic_word_count[cur_topic][doc[i]];
+      --topic_count[cur_topic];
+    }
+    for (size_t k = 0; k < num_topics; ++k) {
+      double lw = std::log(docs_per_topic[k] + alpha);
+      int added = 0;
+      std::vector<int> local_add;
+      for (size_t i = 0; i < doc.size(); ++i) {
+        if (!is_topic_word[d][i]) continue;
+        const int w = doc[i];
+        lw += std::log((topic_word_count[k][w] + beta) /
+                       (topic_count[k] + vbeta));
+        ++topic_word_count[k][w];
+        ++topic_count[k];
+        local_add.push_back(w);
+        ++added;
+      }
+      for (int w : local_add) --topic_word_count[k][w];
+      topic_count[k] -= added;
+      log_weights[k] = lw;
+    }
+    double mx = log_weights[0];
+    for (double lw : log_weights) mx = std::max(mx, lw);
+    for (size_t k = 0; k < num_topics; ++k) {
+      doc_topic_[d][k] = std::exp(log_weights[k] - mx);
+    }
+    NormalizeInPlace(doc_topic_[d]);
+    doc_assignment_[d] = static_cast<int>(ArgMax(doc_topic_[d]));
+    ++docs_per_topic[cur_topic];
+    for (size_t i = 0; i < doc.size(); ++i) {
+      if (!is_topic_word[d][i]) continue;
+      ++topic_word_count[cur_topic][doc[i]];
+      ++topic_count[cur_topic];
+    }
+  }
+}
+
+}  // namespace docs::topic

@@ -1,0 +1,50 @@
+#ifndef DOCS_TOPICMODEL_TWITTER_LDA_H_
+#define DOCS_TOPICMODEL_TWITTER_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topicmodel/corpus.h"
+
+namespace docs::topic {
+
+struct TwitterLdaOptions {
+  size_t num_topics = 4;
+  double alpha = 0.5;   ///< Dirichlet prior on the global topic proportions.
+  double beta = 0.1;    ///< Dirichlet prior on topic/background word dists.
+  double gamma = 1.0;   ///< Beta prior on the background switch.
+  size_t iterations = 200;
+  uint64_t seed = 11;
+};
+
+/// TwitterLDA [Zhao et al. 2011]: a short-text topic model in which each
+/// document draws a single topic, and each word either comes from that
+/// topic's distribution or from a shared background distribution. This is
+/// the model the FaitCrowd baseline uses for task-domain detection.
+class TwitterLdaModel {
+ public:
+  explicit TwitterLdaModel(TwitterLdaOptions options = {});
+
+  /// Runs collapsed Gibbs sampling on `corpus`.
+  void Fit(const Corpus& corpus);
+
+  /// Posterior topic distribution per document, computed from the final
+  /// count tables (num_documents x num_topics).
+  const std::vector<std::vector<double>>& doc_topic() const {
+    return doc_topic_;
+  }
+
+  /// Hard topic assignment per document (argmax of doc_topic()).
+  const std::vector<int>& doc_assignment() const { return doc_assignment_; }
+
+  const TwitterLdaOptions& options() const { return options_; }
+
+ private:
+  TwitterLdaOptions options_;
+  std::vector<std::vector<double>> doc_topic_;
+  std::vector<int> doc_assignment_;
+};
+
+}  // namespace docs::topic
+
+#endif  // DOCS_TOPICMODEL_TWITTER_LDA_H_

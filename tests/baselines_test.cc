@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/assigners.h"
+#include "baselines/dawid_skene.h"
+#include "baselines/faitcrowd.h"
+#include "baselines/icrowd.h"
+#include "baselines/majority_vote.h"
+#include "baselines/zencrowd.h"
+#include "common/rng.h"
+#include "crowd/worker_pool.h"
+
+namespace docs::baselines {
+namespace {
+
+using core::Answer;
+
+// Simulated 2-domain setup shared by the EM baselines.
+struct Sim {
+  std::vector<size_t> num_choices;
+  std::vector<size_t> truths;
+  std::vector<size_t> domains;  // hard true domain per task
+  std::vector<crowd::SimulatedWorker> workers;
+  std::vector<Answer> answers;
+};
+
+Sim MakeSim(size_t n, size_t num_workers, size_t answers_per_task,
+            uint64_t seed) {
+  Sim sim;
+  Rng rng(seed);
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = num_workers;
+  sim.workers = crowd::MakeWorkerPool(2, {0, 1}, pool_options, seed);
+  for (size_t i = 0; i < n; ++i) {
+    sim.num_choices.push_back(2);
+    sim.truths.push_back(rng.UniformInt(2));
+    sim.domains.push_back(i % 2);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> order(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) order[w] = w;
+    rng.Shuffle(order);
+    for (size_t a = 0; a < answers_per_task && a < num_workers; ++a) {
+      const size_t w = order[a];
+      sim.answers.push_back(
+          {i, w,
+           crowd::GenerateAnswer(sim.workers[w], sim.domains[i], sim.truths[i],
+                                 2, rng)});
+    }
+  }
+  return sim;
+}
+
+double Accuracy(const std::vector<size_t>& inferred,
+                const std::vector<size_t>& truths) {
+  size_t correct = 0;
+  for (size_t i = 0; i < truths.size(); ++i) correct += inferred[i] == truths[i];
+  return static_cast<double>(correct) / truths.size();
+}
+
+// --- Majority vote ----------------------------------------------------------
+
+TEST(MajorityVoteTest, PicksMostFrequent) {
+  std::vector<size_t> num_choices = {3, 2};
+  std::vector<Answer> answers = {{0, 0, 2}, {0, 1, 2}, {0, 2, 0}, {1, 0, 1}};
+  auto choices = MajorityVote(num_choices, answers);
+  EXPECT_EQ(choices[0], 2u);
+  EXPECT_EQ(choices[1], 1u);
+}
+
+TEST(MajorityVoteTest, UnansweredTaskDefaultsToZero) {
+  auto choices = MajorityVote({2, 2}, {{0, 0, 1}});
+  EXPECT_EQ(choices[1], 0u);
+}
+
+TEST(MajorityVoteTest, HistogramsCount) {
+  auto histograms = AnswerHistograms({2}, {{0, 0, 1}, {0, 1, 1}, {0, 2, 0}});
+  EXPECT_EQ(histograms[0], (std::vector<size_t>{1, 2}));
+}
+
+// --- ZenCrowd ----------------------------------------------------------------
+
+TEST(ZenCrowdTest, BeatsOrMatchesMajorityVote) {
+  auto sim = MakeSim(200, 50, 10, 21);
+  ZenCrowd engine;
+  auto result = engine.Run(sim.num_choices, sim.workers.size(), sim.answers);
+  const double zc = Accuracy(result.inferred_choice, sim.truths);
+  const double mv =
+      Accuracy(MajorityVote(sim.num_choices, sim.answers), sim.truths);
+  EXPECT_GE(zc, mv - 0.02);
+  EXPECT_GT(zc, 0.8);
+}
+
+TEST(ZenCrowdTest, QualitiesInUnitInterval) {
+  auto sim = MakeSim(80, 30, 8, 22);
+  ZenCrowd engine;
+  auto result = engine.Run(sim.num_choices, sim.workers.size(), sim.answers);
+  for (double q : result.worker_quality) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+TEST(ZenCrowdTest, TruthsAreDistributions) {
+  auto sim = MakeSim(50, 20, 6, 23);
+  ZenCrowd engine;
+  auto result = engine.Run(sim.num_choices, sim.workers.size(), sim.answers);
+  for (const auto& s : result.task_truth) {
+    double total = 0.0;
+    for (double v : s) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ZenCrowdTest, InitialQualitySeedsAccepted) {
+  auto sim = MakeSim(40, 10, 5, 24);
+  std::vector<double> seeds(sim.workers.size(), 0.9);
+  ZenCrowd engine;
+  auto result =
+      engine.Run(sim.num_choices, sim.workers.size(), sim.answers, &seeds);
+  EXPECT_EQ(result.inferred_choice.size(), 40u);
+}
+
+// --- Dawid-Skene -------------------------------------------------------------
+
+TEST(DawidSkeneTest, BeatsOrMatchesMajorityVote) {
+  auto sim = MakeSim(200, 50, 10, 25);
+  DawidSkene engine;
+  auto result = engine.Run(sim.num_choices, sim.workers.size(), sim.answers);
+  const double ds = Accuracy(result.inferred_choice, sim.truths);
+  const double mv =
+      Accuracy(MajorityVote(sim.num_choices, sim.answers), sim.truths);
+  EXPECT_GE(ds, mv - 0.02);
+}
+
+TEST(DawidSkeneTest, ConfusionRowsAreDistributions) {
+  auto sim = MakeSim(60, 20, 8, 26);
+  DawidSkene engine;
+  auto result = engine.Run(sim.num_choices, sim.workers.size(), sim.answers);
+  for (const auto& pi : result.confusion) {
+    for (size_t j = 0; j < pi.rows(); ++j) {
+      double total = 0.0;
+      for (size_t a = 0; a < pi.cols(); ++a) total += pi(j, a);
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(DawidSkeneTest, HandlesMixedChoiceCounts) {
+  std::vector<size_t> num_choices = {2, 4, 3};
+  std::vector<Answer> answers = {{0, 0, 1}, {1, 0, 3}, {2, 0, 2},
+                                 {0, 1, 1}, {1, 1, 3}, {2, 1, 2}};
+  DawidSkene engine;
+  auto result = engine.Run(num_choices, 2, answers);
+  EXPECT_EQ(result.inferred_choice[0], 1u);
+  EXPECT_EQ(result.inferred_choice[1], 3u);
+  EXPECT_EQ(result.inferred_choice[2], 2u);
+}
+
+// --- iCrowd ------------------------------------------------------------------
+
+TEST(ICrowdTest, WeightedVoteBeatsPlainVoteWithDomainExperts) {
+  auto sim = MakeSim(200, 40, 10, 27);
+  // One-hot topic vectors = ground-truth domains (the Section 6.3 favor).
+  std::vector<std::vector<double>> topics(sim.num_choices.size(),
+                                          std::vector<double>(2, 0.0));
+  for (size_t i = 0; i < topics.size(); ++i) topics[i][sim.domains[i]] = 1.0;
+  ICrowdInference engine;
+  auto result =
+      engine.Run(sim.num_choices, topics, sim.workers.size(), sim.answers);
+  const double ic = Accuracy(result.inferred_choice, sim.truths);
+  const double mv =
+      Accuracy(MajorityVote(sim.num_choices, sim.answers), sim.truths);
+  EXPECT_GE(ic, mv - 0.02);
+}
+
+TEST(ICrowdTest, PerAnswerQualityInUnitInterval) {
+  auto sim = MakeSim(60, 20, 6, 28);
+  std::vector<std::vector<double>> topics(sim.num_choices.size(),
+                                          std::vector<double>(2, 0.5));
+  ICrowdInference engine;
+  auto result =
+      engine.Run(sim.num_choices, topics, sim.workers.size(), sim.answers);
+  ASSERT_EQ(result.per_answer_quality.size(), sim.answers.size());
+  for (double q : result.per_answer_quality) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+// --- FaitCrowd ---------------------------------------------------------------
+
+TEST(FaitCrowdTest, RecoversTruthWithTopicExperts) {
+  auto sim = MakeSim(200, 40, 10, 29);
+  FaitCrowd engine;
+  auto result = engine.Run(sim.num_choices, sim.domains, 2,
+                           sim.workers.size(), sim.answers);
+  EXPECT_GT(Accuracy(result.inferred_choice, sim.truths), 0.8);
+}
+
+TEST(FaitCrowdTest, QualityDimensionsMatchTopics) {
+  auto sim = MakeSim(40, 10, 5, 30);
+  FaitCrowd engine;
+  auto result =
+      engine.Run(sim.num_choices, sim.domains, 2, sim.workers.size(),
+                 sim.answers);
+  ASSERT_EQ(result.worker_topic_quality.size(), sim.workers.size());
+  for (const auto& q : result.worker_topic_quality) {
+    ASSERT_EQ(q.size(), 2u);
+  }
+}
+
+// --- Assignment policies ------------------------------------------------------
+
+TEST(RandomAssignerTest, NeverRepeatsTasksForAWorker) {
+  RandomAssigner assigner({2, 2, 2, 2}, 5);
+  auto first = assigner.SelectTasks(0, 2);
+  for (size_t task : first) assigner.OnAnswer(0, task, 0);
+  auto second = assigner.SelectTasks(0, 4);
+  for (size_t task : second) {
+    for (size_t prior : first) EXPECT_NE(task, prior);
+  }
+}
+
+TEST(AskItAssignerTest, PrefersUncertainTasks) {
+  AskItAssigner assigner({2, 2, 2});
+  // Task 0 gets 4 unanimous answers (confident); tasks 1-2 stay open.
+  for (size_t w = 0; w < 4; ++w) assigner.OnAnswer(w, 0, 1);
+  auto selected = assigner.SelectTasks(10, 2);
+  ASSERT_EQ(selected.size(), 2u);
+  for (size_t task : selected) EXPECT_NE(task, 0u);
+}
+
+TEST(AskItAssignerTest, SplitVoteIsMoreUncertainThanUnanimous) {
+  AskItAssigner assigner({2, 2});
+  // Task 0: 2-2 split. Task 1: 4-0 unanimous.
+  assigner.OnAnswer(0, 0, 0);
+  assigner.OnAnswer(1, 0, 0);
+  assigner.OnAnswer(2, 0, 1);
+  assigner.OnAnswer(3, 0, 1);
+  for (size_t w = 0; w < 4; ++w) assigner.OnAnswer(w, 1, 0);
+  auto selected = assigner.SelectTasks(10, 1);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], 0u);
+}
+
+TEST(ICrowdAssignerTest, EnforcesEqualTimesConstraint) {
+  std::vector<std::vector<double>> topics(3, std::vector<double>(2, 0.5));
+  ICrowdAssigner assigner({2, 2, 2}, topics, /*answers_per_task=*/2);
+  // Task 0 reaches the cap of 2 answers.
+  assigner.OnAnswer(0, 0, 0);
+  assigner.OnAnswer(1, 0, 0);
+  auto selected = assigner.SelectTasks(5, 3);
+  for (size_t task : selected) EXPECT_NE(task, 0u);
+}
+
+TEST(QascaAssignerTest, SelectsWithinEligibleSet) {
+  QascaAssigner assigner({2, 2, 2, 2}, /*refresh_every=*/2);
+  assigner.OnAnswer(0, 1, 0);
+  assigner.OnAnswer(1, 1, 0);  // triggers a model refresh
+  auto selected = assigner.SelectTasks(0, 2);
+  ASSERT_EQ(selected.size(), 2u);
+  for (size_t task : selected) EXPECT_NE(task, 1u);  // worker 0 answered 1
+  // InferredChoices covers every task.
+  EXPECT_EQ(assigner.InferredChoices().size(), 4u);
+}
+
+TEST(BaseAssignerTest, IgnoresDuplicateAndInvalidAnswers) {
+  RandomAssigner assigner({2, 2}, 3);
+  assigner.OnAnswer(0, 0, 1);
+  assigner.OnAnswer(0, 0, 1);   // duplicate
+  assigner.OnAnswer(0, 9, 0);   // bad task
+  assigner.OnAnswer(0, 1, 9);   // bad choice
+  EXPECT_EQ(assigner.total_answers(), 1u);
+}
+
+}  // namespace
+}  // namespace docs::baselines

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent_docs_system.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+
+namespace docs::core {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* ConcurrencyTest::kb_ = nullptr;
+
+TEST_F(ConcurrencyTest, ParallelWorkersDriveOneSystemConsistently) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  DocsSystemOptions options;
+  options.golden_count = 8;
+  options.reinfer_every = 50;
+  ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  auto truths = dataset.Truths();
+  ASSERT_TRUE(system.AddTasks(inputs, &truths).ok());
+
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 8;
+  auto workers = crowd::MakeWorkerPool(26, dataset.label_to_domain,
+                                       pool_options, 91);
+
+  // Each thread plays one simulated worker: request a HIT, answer it,
+  // repeat. Threads interleave arbitrarily; the facade must keep every
+  // invariant (no duplicate (worker, task) answers, consistent counters).
+  std::atomic<size_t> total_answers{0};
+  auto play_worker = [&](size_t w) {
+    Rng rng(1000 + w);
+    for (int round = 0; round < 10; ++round) {
+      auto hit = system.RequestTasks(workers[w].id, 4);
+      if (hit.empty()) break;
+      for (size_t task : hit) {
+        const auto& spec = dataset.tasks[task];
+        system.SubmitAnswer(
+            workers[w].id, task,
+            crowd::GenerateAnswer(workers[w], spec.true_domain, spec.truth,
+                                  spec.num_choices(), rng));
+        total_answers.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < workers.size(); ++w) {
+    threads.emplace_back(play_worker, w);
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Every submitted answer was accepted exactly once (no duplicates were
+  // possible because each thread owns one worker, and the facade never lost
+  // an update).
+  EXPECT_EQ(system.num_answers(), total_answers.load());
+  EXPECT_EQ(system.InferredChoices().size(), dataset.tasks.size());
+
+  // The per-(worker, task) uniqueness invariant survived the interleaving.
+  system.WithLocked([&](DocsSystem& inner) {
+    std::set<std::pair<size_t, size_t>> seen;
+    for (const auto& answer : inner.inference().answers()) {
+      EXPECT_TRUE(seen.insert({answer.worker, answer.task}).second);
+    }
+    return 0;
+  });
+}
+
+TEST_F(ConcurrencyTest, ConcurrentReadersDuringWrites) {
+  auto dataset = datasets::MakeQaDataset(*kb_, 60, 92);
+  DocsSystemOptions options;
+  options.golden_count = 0;
+  ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto choices = system.InferredChoices();
+      ASSERT_EQ(choices.size(), dataset.tasks.size());
+    }
+  });
+  Rng rng(93);
+  for (int i = 0; i < 200; ++i) {
+    const std::string worker = "w" + std::to_string(i % 5);
+    auto hit = system.RequestTasks(worker, 2);
+    for (size_t task : hit) {
+      system.SubmitAnswer(worker, task,
+                          rng.UniformInt(dataset.tasks[task].num_choices()));
+    }
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(system.num_answers(), 0u);
+}
+
+TEST_F(ConcurrencyTest, CheckpointUnderLoadIsConsistent) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  DocsSystemOptions options;
+  options.golden_count = 4;
+  ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  auto truths = dataset.Truths();
+  ASSERT_TRUE(system.AddTasks(inputs, &truths).ok());
+
+  const std::string path = ::testing::TempDir() + "/concurrent_ckpt.log";
+  std::remove(path.c_str());
+
+  std::thread writer([&] {
+    Rng rng(94);
+    for (int i = 0; i < 120; ++i) {
+      const std::string worker = "w" + std::to_string(i % 6);
+      auto hit = system.RequestTasks(worker, 2);
+      for (size_t task : hit) system.SubmitAnswer(worker, task, 0);
+    }
+  });
+  // Checkpoints taken mid-stream must each be loadable and self-consistent.
+  for (int snap = 0; snap < 5; ++snap) {
+    Status status = system.SaveCheckpoint(path);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    DocsSystem restored(&kb_->knowledge_base, options);
+    ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+    EXPECT_EQ(restored.tasks().size(), dataset.tasks.size());
+  }
+  writer.join();
+}
+
+}  // namespace
+}  // namespace docs::core

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/assigners.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+
+namespace docs::crowd {
+namespace {
+
+class CrowdTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* CrowdTest::kb_ = nullptr;
+
+TEST(WorkerPoolTest, GeneratesRequestedWorkers) {
+  WorkerPoolOptions options;
+  options.num_workers = 50;
+  auto workers = MakeWorkerPool(26, {1, 2}, options, 42);
+  ASSERT_EQ(workers.size(), 50u);
+  for (const auto& worker : workers) {
+    ASSERT_EQ(worker.true_quality.size(), 26u);
+    for (double q : worker.true_quality) {
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+    EXPECT_GT(worker.activity, 0.0);
+  }
+}
+
+TEST(WorkerPoolTest, NonSpammersHaveExpertDomains) {
+  WorkerPoolOptions options;
+  options.num_workers = 100;
+  options.spammer_fraction = 0.0;
+  auto workers = MakeWorkerPool(10, {0, 1, 2, 3}, options, 43);
+  size_t with_expert = 0;
+  for (const auto& worker : workers) {
+    const double mx =
+        *std::max_element(worker.true_quality.begin(), worker.true_quality.end());
+    if (mx >= options.expert_min) ++with_expert;
+  }
+  EXPECT_EQ(with_expert, workers.size());
+}
+
+TEST(WorkerPoolTest, FocusDomainsBiasExpertise) {
+  WorkerPoolOptions options;
+  options.num_workers = 200;
+  options.spammer_fraction = 0.0;
+  options.focus_probability = 1.0;
+  auto workers = MakeWorkerPool(26, {5}, options, 44);
+  size_t expert_in_focus = 0;
+  for (const auto& worker : workers) {
+    if (worker.true_quality[5] >= options.expert_min) ++expert_in_focus;
+  }
+  // With focus_probability 1 every expert domain draw targets domain 5.
+  EXPECT_GT(expert_in_focus, 150u);
+}
+
+TEST(WorkerPoolTest, DeterministicPerSeed) {
+  WorkerPoolOptions options;
+  options.num_workers = 10;
+  auto a = MakeWorkerPool(4, {0}, options, 7);
+  auto b = MakeWorkerPool(4, {0}, options, 7);
+  for (size_t w = 0; w < 10; ++w) {
+    EXPECT_EQ(a[w].true_quality, b[w].true_quality);
+  }
+}
+
+TEST(GenerateAnswerTest, PerfectWorkerAlwaysCorrect) {
+  SimulatedWorker worker;
+  worker.true_quality = {1.0};
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(GenerateAnswer(worker, 0, 2, 4, rng), 2u);
+  }
+}
+
+TEST(GenerateAnswerTest, HopelessWorkerNeverCorrect) {
+  SimulatedWorker worker;
+  worker.true_quality = {0.0};
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const size_t answer = GenerateAnswer(worker, 0, 2, 4, rng);
+    EXPECT_NE(answer, 2u);
+    EXPECT_LT(answer, 4u);
+  }
+}
+
+TEST(GenerateAnswerTest, AccuracyMatchesQuality) {
+  SimulatedWorker worker;
+  worker.true_quality = {0.8, 0.4};
+  Rng rng(3);
+  int correct_d0 = 0, correct_d1 = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    correct_d0 += GenerateAnswer(worker, 0, 1, 2, rng) == 1;
+    correct_d1 += GenerateAnswer(worker, 1, 1, 2, rng) == 1;
+  }
+  EXPECT_NEAR(correct_d0 / static_cast<double>(trials), 0.8, 0.03);
+  EXPECT_NEAR(correct_d1 / static_cast<double>(trials), 0.4, 0.03);
+}
+
+TEST_F(CrowdTest, CollectAnswersReachesTargetRedundancy) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  WorkerPoolOptions pool_options;
+  pool_options.num_workers = 80;
+  auto workers = MakeWorkerPool(26, dataset.label_to_domain, pool_options, 9);
+  CollectionOptions options;
+  options.answers_per_task = 10;
+  auto result = CollectAnswers(dataset, workers, options);
+  EXPECT_EQ(result.answers.size(), dataset.tasks.size() * 10);
+  std::vector<size_t> per_task(dataset.tasks.size(), 0);
+  for (const auto& answer : result.answers) ++per_task[answer.task];
+  for (size_t count : per_task) EXPECT_EQ(count, 10u);
+}
+
+TEST(GenerateAnswerTest, DifficultyPullsAccuracyTowardChance) {
+  SimulatedWorker worker;
+  worker.true_quality = {0.9};
+  Rng rng(44);
+  const int trials = 6000;
+  auto accuracy_at = [&](double difficulty) {
+    int correct = 0;
+    for (int i = 0; i < trials; ++i) {
+      correct +=
+          GenerateAnswerWithDifficulty(worker, 0, 1, 2, difficulty, rng) == 1;
+    }
+    return correct / static_cast<double>(trials);
+  };
+  EXPECT_NEAR(accuracy_at(0.0), 0.9, 0.03);
+  EXPECT_NEAR(accuracy_at(0.5), 0.9 * 0.5 + 0.5 * 0.5, 0.03);
+  EXPECT_NEAR(accuracy_at(1.0), 0.5, 0.03);
+}
+
+TEST_F(CrowdTest, CollectionCostMatchesPaperArithmetic) {
+  // Item: 360 tasks x 10 answers / 20 per HIT x $0.1 = $18 when every HIT is
+  // full; partially-filled tail HITs can only add to the cost.
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  WorkerPoolOptions pool_options;
+  pool_options.num_workers = 80;
+  auto workers = MakeWorkerPool(26, dataset.label_to_domain, pool_options, 12);
+  CollectionOptions options;
+  options.answers_per_task = 10;
+  options.hit_size = 20;
+  auto result = CollectAnswers(dataset, workers, options);
+  EXPECT_GE(result.cost_dollars, 18.0 - 1e-9);
+  EXPECT_LT(result.cost_dollars, 18.0 * 1.5);
+  EXPECT_NEAR(result.cost_dollars, result.hits * 0.1, 1e-9);
+}
+
+TEST_F(CrowdTest, CollectAnswersNoDuplicateWorkerTaskPairs) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  WorkerPoolOptions pool_options;
+  pool_options.num_workers = 60;
+  auto workers = MakeWorkerPool(26, dataset.label_to_domain, pool_options, 10);
+  auto result = CollectAnswers(dataset, workers, {});
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const auto& answer : result.answers) {
+    EXPECT_TRUE(seen.insert({answer.worker, answer.task}).second);
+  }
+}
+
+TEST_F(CrowdTest, CampaignRespectsBudgetAndNoRepeats) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  WorkerPoolOptions pool_options;
+  pool_options.num_workers = 70;
+  auto workers = MakeWorkerPool(26, dataset.label_to_domain, pool_options, 11);
+
+  std::vector<size_t> num_choices;
+  for (const auto& task : dataset.tasks) num_choices.push_back(task.num_choices());
+  baselines::RandomAssigner random_policy(num_choices, 1);
+  baselines::AskItAssigner askit_policy(num_choices);
+
+  CampaignOptions options;
+  options.total_answers_per_policy = 600;
+  options.tasks_per_policy_per_hit = 3;
+  auto outcomes = RunAssignmentCampaign(
+      dataset, workers, {&random_policy, &askit_policy}, options);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.answers_collected, 600u);
+    EXPECT_EQ(outcome.inferred_choices.size(), dataset.tasks.size());
+    EXPECT_GT(outcome.assignment_calls, 0u);
+    EXPECT_GE(outcome.worst_assignment_seconds, 0.0);
+  }
+}
+
+TEST_F(CrowdTest, TasksWithOneHotDomains) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  auto tasks = TasksWithOneHotDomains(dataset, 26);
+  ASSERT_EQ(tasks.size(), dataset.tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_NEAR(tasks[i].domain_vector[dataset.tasks[i].true_domain], 1.0,
+                1e-12);
+    EXPECT_EQ(tasks[i].num_choices, dataset.tasks[i].num_choices());
+  }
+}
+
+}  // namespace
+}  // namespace docs::crowd

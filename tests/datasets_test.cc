@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "datasets/dataset.h"
+#include "datasets/dataset_io.h"
+#include "kb/synthetic_kb.h"
+
+namespace docs::datasets {
+namespace {
+
+class DatasetsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* DatasetsTest::kb_ = nullptr;
+
+void CheckDatasetInvariants(const Dataset& dataset) {
+  ASSERT_FALSE(dataset.tasks.empty());
+  ASSERT_EQ(dataset.domain_labels.size(), dataset.label_to_domain.size());
+  for (const auto& task : dataset.tasks) {
+    EXPECT_FALSE(task.text.empty());
+    EXPECT_GE(task.num_choices(), 2u);
+    EXPECT_LT(task.truth, task.num_choices());
+    ASSERT_LT(task.label, dataset.domain_labels.size());
+    EXPECT_EQ(task.true_domain, dataset.label_to_domain[task.label]);
+  }
+}
+
+TEST_F(DatasetsTest, ItemShape) {
+  auto dataset = MakeItemDataset(*kb_);
+  EXPECT_EQ(dataset.name, "Item");
+  EXPECT_EQ(dataset.tasks.size(), 360u);  // 4 domains x 90
+  CheckDatasetInvariants(dataset);
+  std::vector<size_t> per_label(4, 0);
+  for (const auto& task : dataset.tasks) ++per_label[task.label];
+  for (size_t count : per_label) EXPECT_EQ(count, 90u);
+}
+
+TEST_F(DatasetsTest, ItemTextIsHighlyTemplated) {
+  // All NBA tasks share the same template prefix — the property that makes
+  // LDA succeed on Item (Fig. 3(a)).
+  auto dataset = MakeItemDataset(*kb_);
+  for (const auto& task : dataset.tasks) {
+    if (task.label != 0) continue;
+    EXPECT_EQ(task.text.rfind("Which player wins more NBA championships", 0),
+              0u);
+  }
+}
+
+TEST_F(DatasetsTest, FourDomainShape) {
+  auto dataset = MakeFourDomainDataset(*kb_);
+  EXPECT_EQ(dataset.name, "4D");
+  EXPECT_EQ(dataset.tasks.size(), 400u);
+  CheckDatasetInvariants(dataset);
+}
+
+TEST_F(DatasetsTest, FourDomainHasCrossDomainLookalikes) {
+  // The height-comparison trap: textually near-identical tasks in NBA and
+  // Mountain (the paper's example of what defeats text-similarity methods).
+  auto dataset = MakeFourDomainDataset(*kb_);
+  bool nba_height = false, mountain_height = false;
+  for (const auto& task : dataset.tasks) {
+    if (task.text.rfind("Compare the height of", 0) == 0) {
+      if (task.label == 0) nba_height = true;
+      if (task.label == 3) mountain_height = true;
+    }
+  }
+  EXPECT_TRUE(nba_height);
+  EXPECT_TRUE(mountain_height);
+}
+
+TEST_F(DatasetsTest, FourDomainTemplateVariety) {
+  auto dataset = MakeFourDomainDataset(*kb_);
+  // Each domain uses at least 4 distinct template stems.
+  for (size_t label = 0; label < 4; ++label) {
+    std::set<std::string> stems;
+    for (const auto& task : dataset.tasks) {
+      if (task.label != label) continue;
+      stems.insert(task.text.substr(0, 10));
+    }
+    EXPECT_GE(stems.size(), 4u) << "label " << label;
+  }
+}
+
+TEST_F(DatasetsTest, QaShape) {
+  auto dataset = MakeQaDataset(*kb_);
+  EXPECT_EQ(dataset.name, "QA");
+  EXPECT_EQ(dataset.tasks.size(), 1000u);
+  CheckDatasetInvariants(dataset);
+  // QA has multi-choice tasks beyond binary.
+  bool has_three = false;
+  for (const auto& task : dataset.tasks) {
+    if (task.num_choices() >= 3) has_three = true;
+  }
+  EXPECT_TRUE(has_three);
+}
+
+TEST_F(DatasetsTest, QaCustomSize) {
+  auto dataset = MakeQaDataset(*kb_, 120);
+  EXPECT_EQ(dataset.tasks.size(), 120u);
+}
+
+TEST_F(DatasetsTest, SfvShape) {
+  auto dataset = MakeSfvDataset(*kb_);
+  EXPECT_EQ(dataset.name, "SFV");
+  EXPECT_EQ(dataset.tasks.size(), 328u);
+  CheckDatasetInvariants(dataset);
+  // SFV tasks offer up to 6 choices collected from QA systems.
+  size_t max_choices = 0;
+  for (const auto& task : dataset.tasks) {
+    max_choices = std::max(max_choices, task.num_choices());
+  }
+  EXPECT_GE(max_choices, 5u);
+  EXPECT_LE(max_choices, 6u);
+}
+
+TEST_F(DatasetsTest, ChoicesAreDistinctStrings) {
+  for (const auto& name : AllDatasetNames()) {
+    auto dataset = MakeDatasetByName(name, *kb_);
+    for (const auto& task : dataset.tasks) {
+      std::set<std::string> unique(task.choices.begin(), task.choices.end());
+      EXPECT_EQ(unique.size(), task.choices.size()) << name << ": " << task.text;
+    }
+  }
+}
+
+TEST_F(DatasetsTest, DeterministicGeneration) {
+  auto a = MakeFourDomainDataset(*kb_, 2);
+  auto b = MakeFourDomainDataset(*kb_, 2);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].text, b.tasks[i].text);
+    EXPECT_EQ(a.tasks[i].truth, b.tasks[i].truth);
+  }
+}
+
+TEST_F(DatasetsTest, MakeDatasetByName) {
+  for (const auto& name : AllDatasetNames()) {
+    EXPECT_FALSE(MakeDatasetByName(name, *kb_).tasks.empty()) << name;
+  }
+  EXPECT_TRUE(MakeDatasetByName("Nope", *kb_).tasks.empty());
+}
+
+TEST_F(DatasetsTest, TruthsAndDomainsAccessors) {
+  auto dataset = MakeItemDataset(*kb_);
+  auto truths = dataset.Truths();
+  auto domains = dataset.TrueDomains();
+  ASSERT_EQ(truths.size(), dataset.tasks.size());
+  ASSERT_EQ(domains.size(), dataset.tasks.size());
+  EXPECT_EQ(truths[0], dataset.tasks[0].truth);
+  EXPECT_EQ(domains[0], dataset.tasks[0].true_domain);
+}
+
+TEST_F(DatasetsTest, TsvRoundTrip) {
+  auto original = MakeItemDataset(*kb_);
+  const std::string path = ::testing::TempDir() + "/item.tsv";
+  ASSERT_TRUE(SaveDatasetTsv(original, path).ok());
+  auto loaded = LoadDatasetTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->domain_labels, original.domain_labels);
+  EXPECT_EQ(loaded->label_to_domain, original.label_to_domain);
+  ASSERT_EQ(loaded->tasks.size(), original.tasks.size());
+  for (size_t i = 0; i < original.tasks.size(); ++i) {
+    EXPECT_EQ(loaded->tasks[i].text, original.tasks[i].text);
+    EXPECT_EQ(loaded->tasks[i].choices, original.tasks[i].choices);
+    EXPECT_EQ(loaded->tasks[i].truth, original.tasks[i].truth);
+    EXPECT_EQ(loaded->tasks[i].label, original.tasks[i].label);
+    EXPECT_EQ(loaded->tasks[i].true_domain, original.tasks[i].true_domain);
+  }
+}
+
+TEST_F(DatasetsTest, TsvRejectsMissingHeader) {
+  const std::string path = ::testing::TempDir() + "/noheader.tsv";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "0\t0\ta|b\tsome text\n";
+  }
+  EXPECT_FALSE(LoadDatasetTsv(path).ok());
+}
+
+TEST_F(DatasetsTest, TsvRejectsBadRows) {
+  const std::string path = ::testing::TempDir() + "/bad.tsv";
+  const char* bad_rows[] = {
+      "0\t5\ta|b\ttruth out of range",
+      "7\t0\ta|b\tlabel out of range",
+      "0\t0\tonly-one-choice\ttoo few choices",
+      "0\t0\ta|b",  // missing text column
+  };
+  for (const char* row : bad_rows) {
+    {
+      std::ofstream out(path, std::ios::trunc);
+      out << "# docstasks 1\n# label 0 3 X\n" << row << "\n";
+    }
+    EXPECT_FALSE(LoadDatasetTsv(path).ok()) << row;
+  }
+}
+
+TEST_F(DatasetsTest, TsvSaveRejectsForbiddenCharacters) {
+  Dataset dataset;
+  dataset.name = "bad";
+  dataset.domain_labels = {"X"};
+  dataset.label_to_domain = {0};
+  TaskSpec task;
+  task.text = "contains\ttab";
+  task.choices = {"a", "b"};
+  dataset.tasks.push_back(task);
+  EXPECT_FALSE(
+      SaveDatasetTsv(dataset, ::testing::TempDir() + "/forbidden.tsv").ok());
+}
+
+}  // namespace
+}  // namespace docs::datasets

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "baselines/assigners.h"
+#include "baselines/dawid_skene.h"
+#include "baselines/zencrowd.h"
+#include "common/table_printer.h"
+#include "core/docs_system.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+#include "nlp/entity_linker.h"
+#include "storage/log_store.h"
+#include "topicmodel/lda.h"
+
+namespace docs {
+namespace {
+
+class EdgeCasesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* EdgeCasesTest::kb_ = nullptr;
+
+// --- DocsSystem redundancy cap ------------------------------------------------
+
+TEST_F(EdgeCasesTest, MaxAnswersPerTaskClosesTasks) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  options.max_answers_per_task = 2;
+  core::DocsSystem system(&kb_->knowledge_base, options);
+  std::vector<core::TaskInput> inputs = {
+      {"Is Stephen Curry a point guard?", 2},
+      {"Did Leonardo DiCaprio star in Titanic?", 2},
+  };
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+  // Task 0 absorbs two answers and must then disappear from assignments.
+  system.OnAnswer(system.WorkerIndex("a"), 0, 0);
+  system.OnAnswer(system.WorkerIndex("b"), 0, 0);
+  const size_t fresh = system.WorkerIndex("c");
+  auto selected = system.SelectTasks(fresh, 2);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], 1u);
+}
+
+TEST_F(EdgeCasesTest, ExhaustedSystemReturnsNoTasks) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  options.max_answers_per_task = 1;
+  core::DocsSystem system(&kb_->knowledge_base, options);
+  std::vector<core::TaskInput> inputs = {{"Is K2 in Asia?", 2}};
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+  system.OnAnswer(system.WorkerIndex("a"), 0, 0);
+  EXPECT_TRUE(system.SelectTasks(system.WorkerIndex("b"), 5).empty());
+}
+
+TEST_F(EdgeCasesTest, SelectTasksForUnknownWorkerIsEmpty) {
+  core::DocsSystem system(&kb_->knowledge_base);
+  std::vector<core::TaskInput> inputs = {{"Is K2 in Asia?", 2}};
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+  EXPECT_TRUE(system.SelectTasks(/*worker=*/99, 3).empty());
+}
+
+// --- Campaign driver under over-budget ----------------------------------------
+
+TEST_F(EdgeCasesTest, CampaignTerminatesWhenBudgetExceedsSupply) {
+  // 4 tasks, 3 workers: at most 12 answers exist, but we ask for 40. The
+  // stall guard must end the campaign instead of spinning forever.
+  datasets::Dataset dataset;
+  dataset.name = "tiny";
+  dataset.domain_labels = {"X"};
+  dataset.label_to_domain = {0};
+  for (int i = 0; i < 4; ++i) {
+    datasets::TaskSpec task;
+    task.text = "t" + std::to_string(i);
+    task.choices = {"a", "b"};
+    task.truth = 0;
+    task.label = 0;
+    task.true_domain = 0;
+    dataset.tasks.push_back(std::move(task));
+  }
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 3;
+  auto workers = crowd::MakeWorkerPool(1, {0}, pool_options, 6);
+  baselines::RandomAssigner policy({2, 2, 2, 2}, 7);
+  crowd::CampaignOptions campaign;
+  campaign.total_answers_per_policy = 40;
+  auto outcomes =
+      crowd::RunAssignmentCampaign(dataset, workers, {&policy}, campaign);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].answers_collected, 12u);
+}
+
+// --- LogStore corruption mid-file ----------------------------------------------
+
+TEST(LogStoreEdgeTest, CorruptMiddleRecordTruncatesSuffix) {
+  const std::string path = ::testing::TempDir() + "/mid_corrupt.log";
+  std::remove(path.c_str());
+  {
+    auto log = storage::LogStore::Open(path, nullptr);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("first").ok());
+    ASSERT_TRUE(log->Append("second").ok());
+    ASSERT_TRUE(log->Append("third").ok());
+    ASSERT_TRUE(log->Flush().ok());
+  }
+  // Flip a byte inside the second record's payload.
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string contents = buffer.str();
+    const size_t pos = contents.find("second");
+    ASSERT_NE(pos, std::string::npos);
+    contents[pos] = 'X';
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+  std::vector<std::string> replayed;
+  auto log = storage::LogStore::Open(
+      path, [&](const std::string& payload) { replayed.push_back(payload); });
+  ASSERT_TRUE(log.ok());
+  // Replay keeps the intact prefix and drops everything from the corruption
+  // point on (append-only semantics: the suffix cannot be trusted).
+  EXPECT_EQ(replayed, (std::vector<std::string>{"first"}));
+}
+
+// --- Entity linker corner cases --------------------------------------------------
+
+TEST_F(EdgeCasesTest, MentionAtEndOfText) {
+  nlp::EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link("Tell me about Kobe Bryant");
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_EQ(entities[0].mention, "kobe bryant");
+}
+
+TEST_F(EdgeCasesTest, AdjacentMentionsDoNotOverlap) {
+  nlp::EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link("Kobe Bryant Stephen Curry");
+  ASSERT_EQ(entities.size(), 2u);
+  EXPECT_EQ(entities[0].mention, "kobe bryant");
+  EXPECT_EQ(entities[1].mention, "stephen curry");
+}
+
+TEST_F(EdgeCasesTest, RepeatedMentionYieldsOneEntityPerOccurrence) {
+  nlp::EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link("Is Honey sweeter than Honey?");
+  EXPECT_EQ(entities.size(), 2u);
+}
+
+// --- EM baselines with degenerate inputs -----------------------------------------
+
+TEST(BaselineEdgeTest, ZenCrowdHandlesNoAnswers) {
+  baselines::ZenCrowd engine;
+  auto result = engine.Run({2, 3}, 4, {});
+  ASSERT_EQ(result.inferred_choice.size(), 2u);
+  for (const auto& s : result.task_truth) {
+    for (double v : s) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(BaselineEdgeTest, DawidSkeneHandlesSingleWorker) {
+  baselines::DawidSkene engine;
+  std::vector<core::Answer> answers = {{0, 0, 1}, {1, 0, 0}};
+  auto result = engine.Run({2, 2}, 1, answers);
+  // A single worker's answers are taken at face value (diagonal prior).
+  EXPECT_EQ(result.inferred_choice[0], 1u);
+  EXPECT_EQ(result.inferred_choice[1], 0u);
+}
+
+TEST(BaselineEdgeTest, ZenCrowdWorkerWithNoAnswersKeepsSeed) {
+  baselines::ZenCrowd engine;
+  std::vector<core::Answer> answers = {{0, 0, 1}};
+  std::vector<double> seeds = {0.8, 0.33};
+  auto result = engine.Run({2}, 2, answers, &seeds);
+  EXPECT_NEAR(result.worker_quality[1], 0.33, 1e-12);
+}
+
+// --- Topic models on degenerate corpora -------------------------------------------
+
+TEST(TopicModelEdgeTest, SingleTopicCorpus) {
+  topic::Corpus corpus;
+  for (int d = 0; d < 10; ++d) corpus.AddDocumentText("alpha beta gamma");
+  topic::LdaOptions options;
+  options.num_topics = 1;
+  options.iterations = 10;
+  topic::LdaModel model(options);
+  model.Fit(corpus);
+  for (const auto& theta : model.doc_topic()) {
+    ASSERT_EQ(theta.size(), 1u);
+    EXPECT_NEAR(theta[0], 1.0, 1e-9);
+  }
+}
+
+// --- TablePrinter ragged rows -------------------------------------------------------
+
+TEST(TablePrinterEdgeTest, ExtraCellsWidenTable) {
+  TablePrinter table({"a"});
+  table.AddRow({"1", "2", "3"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("| 3"), std::string::npos);
+}
+
+// --- Dataset / linker integration: QA is entity-dense ------------------------------
+
+TEST_F(EdgeCasesTest, QaTasksAreEntityDense) {
+  auto dataset = datasets::MakeQaDataset(*kb_, 100);
+  nlp::EntityLinker linker(&kb_->knowledge_base);
+  size_t total_entities = 0;
+  for (const auto& task : dataset.tasks) {
+    total_entities += linker.Link(task.text).size();
+  }
+  // Table 3's enumeration blow-up needs several entities per QA task.
+  EXPECT_GE(static_cast<double>(total_entities) / dataset.tasks.size(), 4.0);
+}
+
+}  // namespace
+}  // namespace docs

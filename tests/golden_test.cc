@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/golden_selection.h"
+
+namespace docs::core {
+namespace {
+
+std::vector<Task> TasksFromDomains(const std::vector<size_t>& domains,
+                                   size_t m) {
+  std::vector<Task> tasks;
+  for (size_t d : domains) {
+    Task task;
+    task.domain_vector.assign(m, 0.0);
+    task.domain_vector[d] = 1.0;
+    task.num_choices = 2;
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+TEST(AggregateDistributionTest, AveragesDomainVectors) {
+  auto tasks = TasksFromDomains({0, 0, 1, 1, 1, 2}, 3);
+  auto tau = AggregateDomainDistribution(tasks);
+  EXPECT_NEAR(tau[0], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(tau[1], 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(tau[2], 1.0 / 6.0, 1e-12);
+}
+
+TEST(GoldenObjectiveTest, PerfectMatchIsZero) {
+  std::vector<double> tau = {0.5, 0.25, 0.25};
+  EXPECT_NEAR(GoldenObjective({2, 1, 1}, tau), 0.0, 1e-12);
+}
+
+TEST(GoldenObjectiveTest, ZeroCountsContributeNothing) {
+  std::vector<double> tau = {0.5, 0.5};
+  const double d = GoldenObjective({4, 0}, tau);
+  EXPECT_NEAR(d, std::log(2.0), 1e-12);  // sigma = [1,0]; 1*ln(1/0.5)
+}
+
+TEST(GoldenObjectiveTest, PositiveCountOnZeroTauIsInfinite) {
+  std::vector<double> tau = {1.0, 0.0};
+  EXPECT_TRUE(std::isinf(GoldenObjective({1, 1}, tau)));
+}
+
+TEST(ApproximateCountsTest, SumsToNPrime) {
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t m = 2 + rng.UniformInt(9);
+    const size_t n_prime = 1 + rng.UniformInt(30);
+    auto tau = rng.Dirichlet(m, 1.0);
+    auto counts = ApproximateGoldenCounts(tau, n_prime);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), size_t{0}),
+              n_prime);
+  }
+}
+
+TEST(ApproximateCountsTest, ProportionalForExactDivisors) {
+  std::vector<double> tau = {0.5, 0.3, 0.2};
+  auto counts = ApproximateGoldenCounts(tau, 10);
+  EXPECT_EQ(counts, (std::vector<size_t>{5, 3, 2}));
+}
+
+TEST(ApproximateCountsTest, AvoidsZeroTauDomains) {
+  std::vector<double> tau = {0.7, 0.3, 0.0};
+  auto counts = ApproximateGoldenCounts(tau, 7);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), size_t{0}), 7u);
+}
+
+TEST(EnumerationTest, FindsExactOptimumOnTinyCase) {
+  std::vector<double> tau = {0.6, 0.4};
+  auto best = OptimalGoldenCountsByEnumeration(tau, 5);
+  // sigma = [3/5, 2/5] matches tau exactly -> D = 0.
+  EXPECT_EQ(best, (std::vector<size_t>{3, 2}));
+  EXPECT_NEAR(GoldenObjective(best, tau), 0.0, 1e-12);
+}
+
+// Fig. 7(a): the approximation is within a tiny gap of the enumerated
+// optimum (the paper reports an average ratio gamma under 0.1%).
+class ApproximationQualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproximationQualityTest, NearOptimal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2953 + 17);
+  const size_t m = 2 + rng.UniformInt(5);       // up to 6 domains
+  const size_t n_prime = 4 + rng.UniformInt(9); // up to 12 golden tasks
+  auto tau = rng.Dirichlet(m, 2.0);
+  auto approx = ApproximateGoldenCounts(tau, n_prime);
+  auto optimal = OptimalGoldenCountsByEnumeration(tau, n_prime);
+  const double d_approx = GoldenObjective(approx, tau);
+  const double d_optimal = GoldenObjective(optimal, tau);
+  EXPECT_GE(d_approx, d_optimal - 1e-12);
+  EXPECT_LE(d_approx - d_optimal, 0.02);  // absolute nats gap
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ApproximationQualityTest,
+                         ::testing::Range(0, 30));
+
+TEST(SelectGoldenTasksTest, PicksMostRepresentativeTasksPerDomain) {
+  // 12 tasks, skewed 6/3/3 across three domains.
+  auto tasks = TasksFromDomains({0, 0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 2}, 3);
+  auto result = SelectGoldenTasks(tasks, 4);
+  EXPECT_EQ(result.tasks.size(), 4u);
+  EXPECT_EQ(std::accumulate(result.counts.begin(), result.counts.end(),
+                            size_t{0}),
+            4u);
+  // Guideline 2: counts approximate tau = [0.5, 0.25, 0.25].
+  EXPECT_EQ(result.counts[0], 2u);
+  EXPECT_EQ(result.counts[1], 1u);
+  EXPECT_EQ(result.counts[2], 1u);
+  // Guideline 1: the selected tasks are maximally related to their domain.
+  for (size_t idx : result.tasks) {
+    double mx = 0.0;
+    for (double v : tasks[idx].domain_vector) mx = std::max(mx, v);
+    EXPECT_NEAR(mx, 1.0, 1e-12);
+  }
+}
+
+TEST(SelectGoldenTasksTest, TasksAreDistinct) {
+  Rng rng(59);
+  std::vector<Task> tasks(50);
+  for (auto& task : tasks) {
+    task.domain_vector = rng.Dirichlet(4, 0.7);
+    task.num_choices = 2;
+  }
+  auto result = SelectGoldenTasks(tasks, 20);
+  EXPECT_EQ(result.tasks.size(), 20u);
+  std::vector<uint8_t> seen(50, 0);
+  for (size_t idx : result.tasks) {
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = 1;
+  }
+}
+
+TEST(SelectGoldenTasksTest, EdgeCases) {
+  EXPECT_TRUE(SelectGoldenTasks({}, 5).tasks.empty());
+  auto tasks = TasksFromDomains({0, 1}, 2);
+  EXPECT_TRUE(SelectGoldenTasks(tasks, 0).tasks.empty());
+  // n' > n clamps to n.
+  EXPECT_EQ(SelectGoldenTasks(tasks, 10).tasks.size(), 2u);
+}
+
+}  // namespace
+}  // namespace docs::core

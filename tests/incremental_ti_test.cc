@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "core/incremental_ti.h"
+#include "core/truth_inference.h"
+#include "crowd/worker_pool.h"
+
+namespace docs::core {
+namespace {
+
+std::vector<Task> TwoDomainTasks(size_t n) {
+  std::vector<Task> tasks(n);
+  for (size_t i = 0; i < n; ++i) {
+    tasks[i].domain_vector = {i % 2 == 0 ? 1.0 : 0.0, i % 2 == 0 ? 0.0 : 1.0};
+    tasks[i].num_choices = 2;
+  }
+  return tasks;
+}
+
+TEST(IncrementalTiTest, InitialStateIsUniform) {
+  IncrementalTruthInference engine(TwoDomainTasks(3));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(engine.task_truth(i)[0], 0.5, 1e-12);
+    EXPECT_NEAR(engine.task_truth(i)[1], 0.5, 1e-12);
+  }
+}
+
+TEST(IncrementalTiTest, RejectsOutOfRange) {
+  IncrementalTruthInference engine(TwoDomainTasks(2));
+  EXPECT_FALSE(engine.OnAnswer(0, 5, 0).ok());
+  EXPECT_FALSE(engine.OnAnswer(0, 0, 7).ok());
+}
+
+TEST(IncrementalTiTest, RejectsDuplicateAnswer) {
+  IncrementalTruthInference engine(TwoDomainTasks(2));
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+  EXPECT_TRUE(engine.HasAnswered(0, 0));
+  EXPECT_FALSE(engine.OnAnswer(0, 0, 1).ok());
+  EXPECT_EQ(engine.num_answers(), 1u);
+}
+
+TEST(IncrementalTiTest, SingleAnswerMatchesBatchStepOne) {
+  auto tasks = TwoDomainTasks(1);
+  IncrementalTruthInference engine(tasks);
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+
+  // Batch reference with the same (default) quality the worker had at
+  // submission time.
+  std::vector<WorkerQuality> qualities(1);
+  qualities[0].quality = {engine.options().default_quality,
+                          engine.options().default_quality};
+  qualities[0].weight = {0.0, 0.0};
+  Matrix reference = ComputeTruthMatrix(tasks[0], {{0, 0, 1}}, qualities,
+                                        engine.options().quality_clamp);
+  EXPECT_LT(reference.MaxAbsDiff(engine.truth_matrix(0)), 1e-9);
+}
+
+TEST(IncrementalTiTest, WorkerQualityUpdateFollowsPaperFormula) {
+  auto tasks = TwoDomainTasks(1);  // task 0 fully in domain 0
+  TruthInferenceOptions options;
+  options.quality_prior_strength = 0.0;  // the paper's exact Eq. 5 update
+  IncrementalTruthInference engine(std::move(tasks), options);
+  const double q0 = engine.options().default_quality;
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+  const double s_after = engine.task_truth(0)[1];
+  // q_k = (q*u + s_{i,a}*r_k)/(u + r_k) with u = 0, r_0 = 1 -> s_after.
+  EXPECT_NEAR(engine.worker_quality(0).quality[0], s_after, 1e-12);
+  EXPECT_NEAR(engine.worker_quality(0).weight[0], 1.0, 1e-12);
+  // Domain 1 has r = 0: quality unchanged, weight 0.
+  EXPECT_NEAR(engine.worker_quality(0).quality[1], q0, 1e-12);
+  EXPECT_NEAR(engine.worker_quality(0).weight[1], 0.0, 1e-12);
+}
+
+TEST(IncrementalTiTest, PriorWorkersQualityAdjustedOnNewAnswer) {
+  auto tasks = TwoDomainTasks(1);
+  TruthInferenceOptions options;
+  options.quality_prior_strength = 0.0;  // the paper's exact step-2 rule
+  IncrementalTruthInference engine(std::move(tasks), options);
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+  const double q_before = engine.worker_quality(0).quality[0];
+  const double s_before = engine.task_truth(0)[1];
+  ASSERT_TRUE(engine.OnAnswer(1, 0, 1).ok());  // agreeing second worker
+  const double s_after = engine.task_truth(0)[1];
+  // Agreement raises the shared truth mass, which lifts worker 0's quality
+  // by (s_new - s_old) * r / u exactly (the Section 4.2 step-2 rule).
+  EXPECT_GT(s_after, s_before);
+  EXPECT_NEAR(engine.worker_quality(0).quality[0],
+              q_before + (s_after - s_before), 1e-9);
+}
+
+TEST(IncrementalTiTest, MapSmoothedUpdateShrinksTowardSeed) {
+  // With a positive prior strength the first answer moves the quality only
+  // partially away from the seed: q = (q0 * prior + s * r) / (prior + r).
+  auto tasks = TwoDomainTasks(1);
+  TruthInferenceOptions options;
+  options.quality_prior_strength = 2.0;
+  IncrementalTruthInference engine(std::move(tasks), options);
+  const double q0 = engine.options().default_quality;
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+  const double s_after = engine.task_truth(0)[1];
+  EXPECT_NEAR(engine.worker_quality(0).quality[0],
+              (q0 * 2.0 + s_after) / 3.0, 1e-12);
+}
+
+TEST(IncrementalTiTest, SetWorkerQualitySeedsBothStatsAndSeed) {
+  IncrementalTruthInference engine(TwoDomainTasks(2));
+  WorkerQuality expert;
+  expert.quality = {0.95, 0.6};
+  expert.weight = {10.0, 10.0};
+  engine.SetWorkerQuality(0, expert);
+  EXPECT_NEAR(engine.worker_quality(0).quality[0], 0.95, 1e-12);
+}
+
+TEST(IncrementalTiTest, RunFullInferenceMatchesBatchEngine) {
+  const size_t n = 40, num_workers = 15, m = 2;
+  auto tasks = TwoDomainTasks(n);
+  Rng rng(5);
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = num_workers;
+  auto workers = crowd::MakeWorkerPool(m, {0, 1}, pool_options, 5);
+
+  IncrementalTruthInference incremental(tasks);
+  std::vector<Answer> answers;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t domain = i % 2;
+    for (size_t a = 0; a < 5; ++a) {
+      const size_t w = (i + a * 3) % num_workers;
+      if (incremental.HasAnswered(w, i)) continue;
+      const size_t choice =
+          crowd::GenerateAnswer(workers[w], domain, i % 2, 2, rng);
+      answers.push_back({i, w, choice});
+      ASSERT_TRUE(incremental.OnAnswer(w, i, choice).ok());
+    }
+  }
+  incremental.RunFullInference();
+
+  TruthInference batch(incremental.options());
+  auto reference = batch.Run(tasks, incremental.num_workers(), answers);
+  // RunFullInference refreshes the cached M/s from the *converged* worker
+  // qualities (one extra E-step beyond where the batch engine stopped), so
+  // agreement is up to the convergence tolerance, not bit-exact.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_LT(L1Distance(incremental.task_truth(i), reference.task_truth[i]),
+              1e-4);
+  }
+  EXPECT_EQ(incremental.InferredChoices(), reference.inferred_choice);
+  for (size_t w = 0; w < incremental.num_workers(); ++w) {
+    for (size_t k = 0; k < m; ++k) {
+      EXPECT_NEAR(incremental.worker_quality(w).quality[k],
+                  reference.worker_quality[w].quality[k], 1e-9);
+    }
+  }
+}
+
+TEST(IncrementalTiTest, IncrementalTracksBatchApproximately) {
+  // Without periodic re-runs the incremental engine should still land on
+  // mostly the same truths as the batch engine (Section 4.2 notes it may be
+  // slightly worse, not wildly different).
+  const size_t n = 60, num_workers = 20, m = 2;
+  auto tasks = TwoDomainTasks(n);
+  Rng rng(6);
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = num_workers;
+  auto workers = crowd::MakeWorkerPool(m, {0, 1}, pool_options, 6);
+
+  IncrementalTruthInference incremental(tasks);
+  std::vector<Answer> answers;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < 7; ++a) {
+      const size_t w = (i * 5 + a * 2) % num_workers;
+      if (incremental.HasAnswered(w, i)) continue;
+      const size_t choice =
+          crowd::GenerateAnswer(workers[w], i % 2, i % 2, 2, rng);
+      answers.push_back({i, w, choice});
+      ASSERT_TRUE(incremental.OnAnswer(w, i, choice).ok());
+    }
+  }
+  TruthInference batch(incremental.options());
+  auto reference = batch.Run(tasks, incremental.num_workers(), answers);
+  size_t agree = 0;
+  auto choices = incremental.InferredChoices();
+  for (size_t i = 0; i < n; ++i) agree += choices[i] == reference.inferred_choice[i];
+  EXPECT_GT(static_cast<double>(agree) / n, 0.85);
+}
+
+TEST(IncrementalTiTest, TruthStaysNormalized) {
+  auto tasks = TwoDomainTasks(4);
+  IncrementalTruthInference engine(tasks);
+  Rng rng(8);
+  for (size_t w = 0; w < 6; ++w) {
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(engine.OnAnswer(w, i, rng.UniformInt(2)).ok());
+      EXPECT_TRUE(IsDistribution(engine.task_truth(i), 1e-9));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace docs::core

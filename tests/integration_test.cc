@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/assigners.h"
+#include "baselines/majority_vote.h"
+#include "core/docs_system.h"
+#include "core/truth_inference.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+
+namespace docs {
+namespace {
+
+double Accuracy(const std::vector<size_t>& inferred,
+                const std::vector<size_t>& truths) {
+  size_t correct = 0;
+  for (size_t i = 0; i < truths.size(); ++i) correct += inferred[i] == truths[i];
+  return static_cast<double>(correct) / truths.size();
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* IntegrationTest::kb_ = nullptr;
+
+// End-to-end TI pipeline: DVE over real task text, simulated collection,
+// golden initialization, iterative inference — and it beats majority vote.
+TEST_F(IntegrationTest, DveAndTiPipelineBeatsMajorityVote) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 80;
+  pool_options.spammer_fraction = 0.2;
+  auto workers =
+      crowd::MakeWorkerPool(26, dataset.label_to_domain, pool_options, 31);
+  crowd::CollectionOptions collection;
+  collection.answers_per_task = 6;
+  auto collected = crowd::CollectAnswers(dataset, workers, collection);
+
+  // DVE over the real text.
+  core::DomainVectorEstimator estimator(&kb_->knowledge_base);
+  std::vector<core::Task> tasks;
+  for (const auto& spec : dataset.tasks) {
+    core::Task task;
+    task.domain_vector = estimator.Estimate(spec.text);
+    task.num_choices = spec.num_choices();
+    tasks.push_back(std::move(task));
+  }
+
+  // Golden initialization from 20 selected golden tasks.
+  auto golden = core::SelectGoldenTasks(tasks, 20);
+  std::vector<size_t> golden_truth;
+  for (size_t idx : golden.tasks) golden_truth.push_back(dataset.tasks[idx].truth);
+  auto seeds = core::InitializeQualityFromGolden(
+      tasks, workers.size(), collected.answers, golden.tasks, golden_truth);
+
+  core::TruthInference engine;
+  auto result =
+      engine.Run(tasks, workers.size(), collected.answers, &seeds);
+
+  std::vector<size_t> num_choices;
+  for (const auto& spec : dataset.tasks) num_choices.push_back(spec.num_choices());
+  const double docs_accuracy =
+      Accuracy(result.inferred_choice, dataset.Truths());
+  const double mv_accuracy = Accuracy(
+      baselines::MajorityVote(num_choices, collected.answers),
+      dataset.Truths());
+  EXPECT_GT(docs_accuracy, 0.8);
+  EXPECT_GE(docs_accuracy, mv_accuracy - 0.01);
+}
+
+// End-to-end assignment campaign with DOCS vs the random Baseline: same
+// budget, DOCS should not lose.
+TEST_F(IntegrationTest, CampaignDocsBeatsRandomBaseline) {
+  auto dataset = datasets::MakeQaDataset(*kb_, 120, 33);
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 60;
+  pool_options.spammer_fraction = 0.25;
+  auto workers =
+      crowd::MakeWorkerPool(26, dataset.label_to_domain, pool_options, 34);
+
+  core::DocsSystemOptions options;
+  options.golden_count = 8;
+  options.reinfer_every = 100;
+  core::DocsSystem docs_system(&kb_->knowledge_base, options);
+  std::vector<core::TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  auto truths = dataset.Truths();
+  ASSERT_TRUE(docs_system.AddTasks(inputs, &truths).ok());
+  // Map simulated worker index -> DOCS worker index 1:1 up front.
+  for (size_t w = 0; w < workers.size(); ++w) {
+    ASSERT_EQ(docs_system.WorkerIndex(workers[w].id), w);
+  }
+
+  std::vector<size_t> num_choices;
+  for (const auto& task : dataset.tasks) num_choices.push_back(task.num_choices());
+  baselines::RandomAssigner baseline(num_choices, 35);
+
+  crowd::CampaignOptions campaign;
+  campaign.total_answers_per_policy = dataset.tasks.size() * 5;
+  campaign.tasks_per_policy_per_hit = 3;
+  auto outcomes = crowd::RunAssignmentCampaign(
+      dataset, workers, {&docs_system, &baseline}, campaign);
+  ASSERT_EQ(outcomes.size(), 2u);
+
+  const double docs_accuracy =
+      Accuracy(outcomes[0].inferred_choices, dataset.Truths());
+  const double baseline_accuracy =
+      Accuracy(outcomes[1].inferred_choices, dataset.Truths());
+  EXPECT_GE(docs_accuracy, baseline_accuracy - 0.03);
+  EXPECT_GT(docs_accuracy, 0.6);
+  EXPECT_EQ(outcomes[0].answers_collected, campaign.total_answers_per_policy);
+}
+
+// The six-policy protocol of Section 6.1 runs end to end on a small slice.
+TEST_F(IntegrationTest, SixPolicyParallelCampaignRuns) {
+  auto dataset = datasets::MakeQaDataset(*kb_, 60, 36);
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 40;
+  auto workers =
+      crowd::MakeWorkerPool(26, dataset.label_to_domain, pool_options, 37);
+
+  std::vector<core::TaskInput> inputs;
+  std::vector<size_t> num_choices;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+    num_choices.push_back(task.num_choices());
+  }
+  auto truths = dataset.Truths();
+
+  core::DocsSystemOptions docs_options;
+  docs_options.golden_count = 5;
+  core::DocsSystem docs_system(&kb_->knowledge_base, docs_options);
+  ASSERT_TRUE(docs_system.AddTasks(inputs, &truths).ok());
+  for (size_t w = 0; w < workers.size(); ++w) docs_system.WorkerIndex(workers[w].id);
+
+  core::DocsSystemOptions dmax_options;
+  dmax_options.golden_count = 5;
+  dmax_options.selection_rule = core::SelectionRule::kDomainMax;
+  dmax_options.display_name = "D-Max";
+  core::DocsSystem dmax_system(&kb_->knowledge_base, dmax_options);
+  ASSERT_TRUE(dmax_system.AddTasks(inputs, &truths).ok());
+  for (size_t w = 0; w < workers.size(); ++w) dmax_system.WorkerIndex(workers[w].id);
+
+  baselines::RandomAssigner baseline(num_choices, 38);
+  baselines::AskItAssigner askit(num_choices);
+  std::vector<std::vector<double>> one_hot(dataset.tasks.size(),
+                                           std::vector<double>(4, 0.0));
+  for (size_t i = 0; i < dataset.tasks.size(); ++i) {
+    one_hot[i][dataset.tasks[i].label] = 1.0;
+  }
+  baselines::ICrowdAssigner icrowd(num_choices, one_hot, 10);
+  baselines::QascaAssigner qasca(num_choices);
+
+  crowd::CampaignOptions campaign;
+  campaign.total_answers_per_policy = dataset.tasks.size() * 4;
+  auto outcomes = crowd::RunAssignmentCampaign(
+      dataset, workers,
+      {&baseline, &askit, &icrowd, &qasca, &dmax_system, &docs_system},
+      campaign);
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.inferred_choices.size(), dataset.tasks.size())
+        << outcome.name;
+    EXPECT_GT(Accuracy(outcome.inferred_choices, dataset.Truths()), 0.3)
+        << outcome.name;
+  }
+}
+
+}  // namespace
+}  // namespace docs

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "kb/synthetic_kb.h"
+#include "nlp/entity_linker.h"
+
+namespace docs::nlp {
+namespace {
+
+class EntityLinkerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* EntityLinkerTest::kb_ = nullptr;
+
+TEST_F(EntityLinkerTest, DetectsAllEntitiesOfTable2) {
+  EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link(
+      "Does Michael Jordan win more NBA championships than Kobe Bryant?");
+  ASSERT_EQ(entities.size(), 3u);
+  EXPECT_EQ(entities[0].mention, "michael jordan");
+  EXPECT_EQ(entities[1].mention, "nba");
+  EXPECT_EQ(entities[2].mention, "kobe bryant");
+}
+
+TEST_F(EntityLinkerTest, CandidateDistributionsAreNormalized) {
+  EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link(
+      "Does Michael Jordan win more NBA championships than Kobe Bryant?");
+  for (const auto& entity : entities) {
+    double total = 0.0;
+    for (const auto& c : entity.candidates) total += c.probability;
+    EXPECT_NEAR(total, 1.0, 1e-9) << entity.mention;
+  }
+}
+
+TEST_F(EntityLinkerTest, CandidatesSortedByProbability) {
+  EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link("Compare the height of Mount Everest and K2.");
+  ASSERT_FALSE(entities.empty());
+  for (const auto& entity : entities) {
+    for (size_t j = 1; j < entity.candidates.size(); ++j) {
+      EXPECT_GE(entity.candidates[j - 1].probability,
+                entity.candidates[j].probability);
+    }
+  }
+}
+
+TEST_F(EntityLinkerTest, SportsContextDisambiguatesMichaelJordan) {
+  EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link(
+      "Does Michael Jordan win more NBA championships than Kobe Bryant?");
+  ASSERT_FALSE(entities.empty());
+  const auto& top = entities[0].candidates[0];
+  EXPECT_EQ(kb_->knowledge_base.GetConcept(top.concept_id).title,
+            "Michael Jordan");
+  EXPECT_GT(top.probability, 0.4);
+}
+
+TEST_F(EntityLinkerTest, MachineLearningContextPrefersTheScientist) {
+  EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link(
+      "Did Michael Jordan write the machine learning paper at the "
+      "university as professor of statistics research?");
+  ASSERT_FALSE(entities.empty());
+  // The scientist should now outrank (or at least rival) the player.
+  double p_player = 0.0, p_scientist = 0.0;
+  for (const auto& c : entities[0].candidates) {
+    const auto& title = kb_->knowledge_base.GetConcept(c.concept_id).title;
+    if (title == "Michael Jordan") p_player = c.probability;
+    if (title == "Michael I Jordan") p_scientist = c.probability;
+  }
+  EXPECT_GT(p_scientist, 0.0);
+  EXPECT_GT(p_scientist, p_player * 0.5);
+}
+
+TEST_F(EntityLinkerTest, LongestMatchWins) {
+  EntityLinker linker(&kb_->knowledge_base);
+  // "Golden State Warriors" must match as one mention, not "Golden" etc.
+  auto entities = linker.Link("Has Golden State Warriors ever won the title?");
+  ASSERT_GE(entities.size(), 1u);
+  EXPECT_EQ(entities[0].mention, "golden state warriors");
+}
+
+TEST_F(EntityLinkerTest, TopCOptionTruncatesCandidates) {
+  EntityLinkerOptions options;
+  options.max_candidates = 3;
+  EntityLinker linker(&kb_->knowledge_base, options);
+  auto entities = linker.Link("Is Stephen Curry a point guard?");
+  ASSERT_FALSE(entities.empty());
+  for (const auto& entity : entities) {
+    EXPECT_LE(entity.candidates.size(), 3u);
+    double total = 0.0;
+    for (const auto& c : entity.candidates) total += c.probability;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(EntityLinkerTest, NoEntitiesInPlainText) {
+  EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link("the of and is a with very much");
+  EXPECT_TRUE(entities.empty());
+}
+
+TEST_F(EntityLinkerTest, EmptyTextYieldsNoEntities) {
+  EntityLinker linker(&kb_->knowledge_base);
+  EXPECT_TRUE(linker.Link("").empty());
+}
+
+TEST_F(EntityLinkerTest, TokenSpansAreConsistent) {
+  EntityLinker linker(&kb_->knowledge_base);
+  auto entities =
+      linker.Link("Which food contains more calories, Chocolate or Honey?");
+  for (const auto& entity : entities) {
+    EXPECT_LT(entity.token_begin, entity.token_end);
+  }
+  ASSERT_GE(entities.size(), 2u);
+  // Mentions appear left to right without overlap.
+  for (size_t i = 1; i < entities.size(); ++i) {
+    EXPECT_GE(entities[i].token_begin, entities[i - 1].token_end);
+  }
+}
+
+TEST_F(EntityLinkerTest, CoherencePassSharpensAmbiguousMention) {
+  // With no sport-specific context words, "Michael Jordan" is decided by
+  // priors alone; the unambiguous teammate mention pulls it toward the
+  // player once the coherence pass is on.
+  const char* text = "Michael Jordan and Scottie Pippen";
+  auto probability_of_player = [&](double coherence_weight) {
+    EntityLinkerOptions options;
+    options.coherence_weight = coherence_weight;
+    EntityLinker linker(&kb_->knowledge_base, options);
+    auto entities = linker.Link(text);
+    for (const auto& entity : entities) {
+      if (entity.mention != "michael jordan") continue;
+      for (const auto& c : entity.candidates) {
+        if (kb_->knowledge_base.GetConcept(c.concept_id).title ==
+            "Michael Jordan") {
+          return c.probability;
+        }
+      }
+    }
+    return 0.0;
+  };
+  const double without = probability_of_player(0.0);
+  const double with = probability_of_player(2.0);
+  EXPECT_GT(with, without);
+}
+
+TEST_F(EntityLinkerTest, CoherenceKeepsDistributionsNormalized) {
+  EntityLinkerOptions options;
+  options.coherence_weight = 1.5;
+  EntityLinker linker(&kb_->knowledge_base, options);
+  auto entities = linker.Link(
+      "Does Michael Jordan win more NBA championships than Kobe Bryant?");
+  for (const auto& entity : entities) {
+    double total = 0.0;
+    for (const auto& c : entity.candidates) total += c.probability;
+    EXPECT_NEAR(total, 1.0, 1e-9) << entity.mention;
+    for (size_t j = 1; j < entity.candidates.size(); ++j) {
+      EXPECT_GE(entity.candidates[j - 1].probability,
+                entity.candidates[j].probability);
+    }
+  }
+}
+
+TEST_F(EntityLinkerTest, CoherenceIsNoOpForSingleMention) {
+  EntityLinkerOptions with_options;
+  with_options.coherence_weight = 2.0;
+  EntityLinker with(&kb_->knowledge_base, with_options);
+  EntityLinker without(&kb_->knowledge_base);
+  auto a = with.Link("Tell me about Kobe Bryant");
+  auto b = without.Link("Tell me about Kobe Bryant");
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a[0].candidates.size(), b[0].candidates.size());
+  for (size_t j = 0; j < a[0].candidates.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a[0].candidates[j].probability,
+                     b[0].candidates[j].probability);
+  }
+}
+
+TEST_F(EntityLinkerTest, AmbiguousCurryAliasHasBothSenses) {
+  EntityLinker linker(&kb_->knowledge_base);
+  auto entities = linker.Link("How spicy is Curry compared to Chili?");
+  ASSERT_GE(entities.size(), 2u);
+  // In a food context the food sense should win over any distractor.
+  const auto& top = entities[0].candidates[0];
+  EXPECT_EQ(kb_->knowledge_base.GetConcept(top.concept_id).title, "Curry");
+}
+
+}  // namespace
+}  // namespace docs::nlp

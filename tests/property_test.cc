@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "core/domain_vector.h"
+#include "core/golden_selection.h"
+#include "core/task_assignment.h"
+#include "core/truth_inference.h"
+#include "kb/synthetic_kb.h"
+#include "nlp/entity_linker.h"
+#include "storage/worker_store.h"
+
+namespace docs {
+namespace {
+
+using core::Answer;
+using core::EntityObservation;
+using core::Task;
+using core::WorkerQuality;
+
+std::vector<EntityObservation> RandomEntities(Rng& rng, size_t max_entities,
+                                              size_t max_candidates,
+                                              size_t m) {
+  const size_t num_entities = 1 + rng.UniformInt(max_entities);
+  std::vector<EntityObservation> entities(num_entities);
+  for (auto& entity : entities) {
+    const size_t c = 1 + rng.UniformInt(max_candidates);
+    entity.link_probabilities = rng.Dirichlet(c, 1.0);
+    entity.indicators.resize(c);
+    for (auto& h : entity.indicators) {
+      h.resize(m);
+      for (auto& bit : h) bit = rng.Bernoulli(0.4) ? 1 : 0;
+    }
+  }
+  return entities;
+}
+
+// --- DVE properties -------------------------------------------------------------
+
+class DvePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DvePropertyTest, EntityOrderInvariance) {
+  // Equation 1 is symmetric in the entities, so Algorithm 1 must be too.
+  Rng rng(GetParam() * 947 + 5);
+  const size_t m = 2 + rng.UniformInt(5);
+  auto entities = RandomEntities(rng, 4, 4, m);
+  auto forward = core::ComputeDomainVector(entities, m);
+  std::reverse(entities.begin(), entities.end());
+  auto backward = core::ComputeDomainVector(entities, m);
+  for (size_t k = 0; k < m; ++k) {
+    EXPECT_NEAR(forward[k], backward[k], 1e-10);
+  }
+}
+
+TEST_P(DvePropertyTest, DeterministicRecomputation) {
+  Rng rng(GetParam() * 653 + 11);
+  const size_t m = 2 + rng.UniformInt(4);
+  auto entities = RandomEntities(rng, 3, 5, m);
+  auto a = core::ComputeDomainVector(entities, m);
+  auto b = core::ComputeDomainVector(entities, m);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(DvePropertyTest, MassNeverExceedsOne) {
+  Rng rng(GetParam() * 379 + 23);
+  const size_t m = 2 + rng.UniformInt(6);
+  auto entities = RandomEntities(rng, 5, 4, m);
+  auto r = core::ComputeDomainVector(entities, m);
+  EXPECT_LE(Sum(r), 1.0 + 1e-9);
+  for (double v : r) EXPECT_GE(v, -1e-12);
+}
+
+TEST_P(DvePropertyTest, CertainLinkingCollapsesToNormalizedIndicator) {
+  // One entity with a single candidate: r must equal h / sum(h).
+  Rng rng(GetParam() * 149 + 31);
+  const size_t m = 2 + rng.UniformInt(5);
+  EntityObservation entity;
+  entity.link_probabilities = {1.0};
+  entity.indicators.resize(1);
+  entity.indicators[0].resize(m);
+  uint32_t total = 0;
+  for (auto& bit : entity.indicators[0]) {
+    bit = rng.Bernoulli(0.5) ? 1 : 0;
+    total += bit;
+  }
+  auto r = core::ComputeDomainVector({entity}, m);
+  for (size_t k = 0; k < m; ++k) {
+    const double expected =
+        total == 0 ? 0.0
+                   : static_cast<double>(entity.indicators[0][k]) / total;
+    EXPECT_NEAR(r[k], expected, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DvePropertyTest, ::testing::Range(0, 20));
+
+// --- TI properties -------------------------------------------------------------
+
+class TiPropertyTest : public ::testing::TestWithParam<int> {};
+
+struct TiInstance {
+  std::vector<Task> tasks;
+  std::vector<Answer> answers;
+  size_t num_workers;
+};
+
+TiInstance RandomTiInstance(Rng& rng) {
+  TiInstance instance;
+  const size_t m = 2 + rng.UniformInt(3);
+  const size_t n = 5 + rng.UniformInt(15);
+  instance.num_workers = 4 + rng.UniformInt(8);
+  for (size_t i = 0; i < n; ++i) {
+    Task task;
+    task.domain_vector = rng.Dirichlet(m, 0.7);
+    task.num_choices = 2 + rng.UniformInt(2);
+    instance.tasks.push_back(std::move(task));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> workers(instance.num_workers);
+    for (size_t w = 0; w < workers.size(); ++w) workers[w] = w;
+    rng.Shuffle(workers);
+    const size_t redundancy =
+        std::min<size_t>(3 + rng.UniformInt(3), workers.size());
+    for (size_t a = 0; a < redundancy; ++a) {
+      instance.answers.push_back(
+          {i, workers[a], rng.UniformInt(instance.tasks[i].num_choices)});
+    }
+  }
+  return instance;
+}
+
+TEST_P(TiPropertyTest, AnswerOrderInvariance) {
+  Rng rng(GetParam() * 211 + 3);
+  auto instance = RandomTiInstance(rng);
+  core::TruthInference engine;
+  auto a = engine.Run(instance.tasks, instance.num_workers, instance.answers);
+  rng.Shuffle(instance.answers);
+  auto b = engine.Run(instance.tasks, instance.num_workers, instance.answers);
+  for (size_t i = 0; i < instance.tasks.size(); ++i) {
+    EXPECT_LT(L1Distance(a.task_truth[i], b.task_truth[i]), 1e-9);
+  }
+}
+
+TEST_P(TiPropertyTest, ChoiceRelabelingEquivariance) {
+  // Swapping choice labels 0 <-> 1 on every answer swaps the truth
+  // posterior entries of binary tasks.
+  Rng rng(GetParam() * 389 + 7);
+  auto instance = RandomTiInstance(rng);
+  for (auto& task : instance.tasks) task.num_choices = 2;
+  for (auto& answer : instance.answers) answer.choice %= 2;
+  core::TruthInference engine;
+  auto base = engine.Run(instance.tasks, instance.num_workers,
+                         instance.answers);
+  auto flipped_answers = instance.answers;
+  for (auto& answer : flipped_answers) answer.choice = 1 - answer.choice;
+  auto flipped = engine.Run(instance.tasks, instance.num_workers,
+                            flipped_answers);
+  for (size_t i = 0; i < instance.tasks.size(); ++i) {
+    EXPECT_NEAR(base.task_truth[i][0], flipped.task_truth[i][1], 1e-9);
+    EXPECT_NEAR(base.task_truth[i][1], flipped.task_truth[i][0], 1e-9);
+  }
+}
+
+TEST_P(TiPropertyTest, QualitiesStayInUnitInterval) {
+  Rng rng(GetParam() * 467 + 13);
+  auto instance = RandomTiInstance(rng);
+  core::TruthInference engine;
+  auto result =
+      engine.Run(instance.tasks, instance.num_workers, instance.answers);
+  for (const auto& worker : result.worker_quality) {
+    for (double q : worker.quality) {
+      EXPECT_GE(q, -1e-12);
+      EXPECT_LE(q, 1.0 + 1e-12);
+    }
+    for (double u : worker.weight) EXPECT_GE(u, -1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TiPropertyTest, ::testing::Range(0, 15));
+
+// --- OTA properties --------------------------------------------------------------
+
+class OtaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OtaPropertyTest, Theorem3IsConsistentWithBatchRecomputation) {
+  // Applying Theorem 3 for a new answer must equal recomputing M from the
+  // enlarged answer set (Eqs. 3-4) — the paper derives Theorem 3 from them.
+  Rng rng(GetParam() * 769 + 29);
+  const size_t m = 2 + rng.UniformInt(3);
+  Task task;
+  task.domain_vector = rng.Dirichlet(m, 1.0);
+  task.num_choices = 2 + rng.UniformInt(2);
+
+  const size_t num_workers = 5;
+  std::vector<WorkerQuality> qualities(num_workers);
+  for (auto& q : qualities) {
+    q.quality.resize(m);
+    for (auto& v : q.quality) v = rng.UniformDoubleRange(0.2, 0.95);
+    q.weight.assign(m, 1.0);
+  }
+  std::vector<Answer> answers;
+  for (size_t w = 0; w + 1 < num_workers; ++w) {
+    answers.push_back({0, w, rng.UniformInt(task.num_choices)});
+  }
+  const double clamp = 0.01;
+  Matrix before = core::ComputeTruthMatrix(task, answers, qualities, clamp);
+
+  const size_t new_choice = rng.UniformInt(task.num_choices);
+  Matrix via_theorem3 = core::UpdatedTruthMatrix(
+      task, before, qualities[num_workers - 1].quality, new_choice, clamp);
+  answers.push_back({0, num_workers - 1, new_choice});
+  Matrix via_batch = core::ComputeTruthMatrix(task, answers, qualities, clamp);
+  EXPECT_LT(via_theorem3.MaxAbsDiff(via_batch), 1e-9);
+}
+
+TEST_P(OtaPropertyTest, BenefitShrinksAsConfidenceGrows) {
+  // Repeatedly applying consistent expert answers drives the benefit toward
+  // zero — confident tasks stop being worth assigning (Section 5.1).
+  Rng rng(GetParam() * 331 + 41);
+  const size_t m = 3;
+  Task task;
+  task.domain_vector = rng.Dirichlet(m, 1.0);
+  task.num_choices = 2;
+  Matrix matrix(m, 2, 0.5);
+  std::vector<double> quality(m);
+  for (auto& q : quality) q = rng.UniformDoubleRange(0.75, 0.95);
+
+  double previous_benefit = 1e9;
+  for (int step = 0; step < 6; ++step) {
+    std::vector<double> s = matrix.LeftMultiply(task.domain_vector);
+    NormalizeInPlace(s);
+    const double benefit = core::Benefit(task, matrix, s, quality);
+    EXPECT_LE(benefit, previous_benefit + 1e-9);
+    previous_benefit = benefit;
+    matrix = core::UpdatedTruthMatrix(task, matrix, quality, 0);
+  }
+  EXPECT_LT(previous_benefit, 0.05);
+}
+
+TEST_P(OtaPropertyTest, SelectTopKStableUnderEligibleSubsets) {
+  // Restricting eligibility to the selected set re-selects the same tasks.
+  Rng rng(GetParam() * 503 + 59);
+  const size_t n = 12, m = 3;
+  std::vector<Task> tasks(n);
+  std::vector<Matrix> matrices;
+  std::vector<std::vector<double>> truths;
+  for (auto& task : tasks) {
+    task.domain_vector = rng.Dirichlet(m, 1.0);
+    task.num_choices = 2;
+    Matrix matrix(m, 2, 0.0);
+    for (size_t d = 0; d < m; ++d) matrix.SetRow(d, rng.Dirichlet(2, 1.0));
+    auto s = matrix.LeftMultiply(task.domain_vector);
+    NormalizeInPlace(s);
+    matrices.push_back(std::move(matrix));
+    truths.push_back(std::move(s));
+  }
+  std::vector<double> quality(m);
+  for (auto& q : quality) q = rng.UniformDoubleRange(0.3, 0.95);
+  core::TaskAssigner assigner;
+  std::vector<uint8_t> all(n, 1);
+  auto selected = assigner.SelectTopK(tasks, matrices, truths, quality, all, 4);
+  std::vector<uint8_t> narrowed(n, 0);
+  for (size_t idx : selected) narrowed[idx] = 1;
+  auto reselected =
+      assigner.SelectTopK(tasks, matrices, truths, quality, narrowed, 4);
+  EXPECT_EQ(selected, reselected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OtaPropertyTest, ::testing::Range(0, 15));
+
+// --- Theorem 1 merge properties ---------------------------------------------------
+
+class MergePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergePropertyTest, MergeIsAssociativeOnWeights) {
+  // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): the weighted mean of Theorem 1 does not
+  // depend on merge bracketing, so worker profiles are session-order safe.
+  Rng rng(GetParam() * 607 + 71);
+  const size_t m = 3;
+  auto random_record = [&]() {
+    storage::WorkerQualityRecord record;
+    record.quality.resize(m);
+    record.weight.resize(m);
+    for (size_t k = 0; k < m; ++k) {
+      record.quality[k] = rng.UniformDouble();
+      record.weight[k] = rng.UniformDoubleRange(0.1, 10.0);
+    }
+    return record;
+  };
+  auto a = random_record(), b = random_record(), c = random_record();
+
+  auto left = a;
+  left.MergeTheorem1(b);
+  left.MergeTheorem1(c);
+
+  auto bc = b;
+  bc.MergeTheorem1(c);
+  auto right = a;
+  right.MergeTheorem1(bc);
+
+  for (size_t k = 0; k < m; ++k) {
+    EXPECT_NEAR(left.quality[k], right.quality[k], 1e-9);
+    EXPECT_NEAR(left.weight[k], right.weight[k], 1e-9);
+  }
+}
+
+TEST_P(MergePropertyTest, MergeEqualsPooledRecomputation) {
+  // Merging (q1, u1) and (q2, u2) equals recomputing the quality over the
+  // union of the underlying answer masses — the claim of Theorem 1.
+  Rng rng(GetParam() * 911 + 83);
+  const double u1 = rng.UniformDoubleRange(0.5, 8.0);
+  const double u2 = rng.UniformDoubleRange(0.5, 8.0);
+  const double correct1 = rng.UniformDouble() * u1;
+  const double correct2 = rng.UniformDouble() * u2;
+  storage::WorkerQualityRecord first;
+  first.quality = {correct1 / u1};
+  first.weight = {u1};
+  storage::WorkerQualityRecord second;
+  second.quality = {correct2 / u2};
+  second.weight = {u2};
+  first.MergeTheorem1(second);
+  EXPECT_NEAR(first.quality[0], (correct1 + correct2) / (u1 + u2), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MergePropertyTest, ::testing::Range(0, 15));
+
+// --- Golden selection properties --------------------------------------------------
+
+class GoldenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenPropertyTest, CountsAreDeterministicAndComplete) {
+  Rng rng(GetParam() * 271 + 97);
+  const size_t m = 2 + rng.UniformInt(10);
+  const size_t n_prime = 1 + rng.UniformInt(40);
+  auto tau = rng.Dirichlet(m, 1.5);
+  auto a = core::ApproximateGoldenCounts(tau, n_prime);
+  auto b = core::ApproximateGoldenCounts(tau, n_prime);
+  EXPECT_EQ(a, b);
+  size_t total = 0;
+  for (size_t c : a) total += c;
+  EXPECT_EQ(total, n_prime);
+  EXPECT_TRUE(std::isfinite(core::GoldenObjective(a, tau)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GoldenPropertyTest, ::testing::Range(0, 20));
+
+// --- Entity linker properties -----------------------------------------------------
+
+TEST(LinkerPropertyTest, TopCCandidatesArePrefixOfTop20) {
+  auto synthetic = kb::BuildSyntheticKb();
+  nlp::EntityLinkerOptions wide_options;
+  wide_options.max_candidates = 20;
+  nlp::EntityLinkerOptions narrow_options;
+  narrow_options.max_candidates = 3;
+  nlp::EntityLinker wide(&synthetic.knowledge_base, wide_options);
+  nlp::EntityLinker narrow(&synthetic.knowledge_base, narrow_options);
+  const char* texts[] = {
+      "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+      "Which food contains more calories, Chocolate or Honey?",
+      "Compare the height of Mount Everest and K2.",
+  };
+  for (const char* text : texts) {
+    auto wide_entities = wide.Link(text);
+    auto narrow_entities = narrow.Link(text);
+    ASSERT_EQ(wide_entities.size(), narrow_entities.size()) << text;
+    for (size_t e = 0; e < wide_entities.size(); ++e) {
+      const size_t keep = narrow_entities[e].candidates.size();
+      ASSERT_LE(keep, 3u);
+      for (size_t j = 0; j < keep; ++j) {
+        EXPECT_EQ(narrow_entities[e].candidates[j].concept_id,
+                  wide_entities[e].candidates[j].concept_id);
+      }
+    }
+  }
+}
+
+// --- WorkerStore fuzz --------------------------------------------------------------
+
+TEST(WorkerStoreFuzzTest, RandomOpsMatchReferenceAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/fuzz_store.log";
+  std::remove(path.c_str());
+  const size_t m = 4;
+  std::map<std::string, storage::WorkerQualityRecord> reference;
+  Rng rng(2718);
+
+  auto random_record = [&]() {
+    storage::WorkerQualityRecord record;
+    record.quality.resize(m);
+    record.weight.resize(m);
+    for (size_t k = 0; k < m; ++k) {
+      record.quality[k] = rng.UniformDouble();
+      record.weight[k] = rng.UniformDoubleRange(0.0, 5.0);
+    }
+    return record;
+  };
+
+  for (int session = 0; session < 4; ++session) {
+    auto store = storage::WorkerStore::Open(path, m);
+    ASSERT_TRUE(store.ok());
+    // Store state matches the reference after reopen.
+    ASSERT_EQ(store->size(), reference.size());
+    for (const auto& [id, expected] : reference) {
+      auto loaded = store->Get(id);
+      ASSERT_TRUE(loaded.ok()) << id;
+      for (size_t k = 0; k < m; ++k) {
+        EXPECT_NEAR(loaded->quality[k], expected.quality[k], 1e-12);
+        EXPECT_NEAR(loaded->weight[k], expected.weight[k], 1e-12);
+      }
+    }
+    for (int op = 0; op < 60; ++op) {
+      const std::string id = "w" + std::to_string(rng.UniformInt(12));
+      auto record = random_record();
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(store->Put(id, record).ok());
+        reference[id] = record;
+      } else {
+        ASSERT_TRUE(store->Merge(id, record).ok());
+        auto it = reference.find(id);
+        if (it == reference.end()) {
+          reference[id] = record;
+        } else {
+          it->second.MergeTheorem1(record);
+        }
+      }
+    }
+    if (session % 2 == 1) {
+      ASSERT_TRUE(store->Compact().ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+  }
+}
+
+}  // namespace
+}  // namespace docs

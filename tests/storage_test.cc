@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "storage/worker_store.h"
+
+namespace docs::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(WorkerQualityRecordTest, FreshRecord) {
+  auto record = WorkerQualityRecord::Fresh(3, 0.7);
+  EXPECT_EQ(record.quality, (std::vector<double>{0.7, 0.7, 0.7}));
+  EXPECT_EQ(record.weight, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(WorkerQualityRecordTest, Theorem1WeightedMerge) {
+  WorkerQualityRecord stored;
+  stored.quality = {0.8, 0.5};
+  stored.weight = {4.0, 2.0};
+  WorkerQualityRecord fresh;
+  fresh.quality = {0.6, 0.9};
+  fresh.weight = {1.0, 2.0};
+  stored.MergeTheorem1(fresh);
+  // (0.8*4 + 0.6*1)/5 = 0.76 ; (0.5*2 + 0.9*2)/4 = 0.7
+  EXPECT_NEAR(stored.quality[0], 0.76, 1e-12);
+  EXPECT_NEAR(stored.quality[1], 0.7, 1e-12);
+  EXPECT_NEAR(stored.weight[0], 5.0, 1e-12);
+  EXPECT_NEAR(stored.weight[1], 4.0, 1e-12);
+}
+
+TEST(WorkerQualityRecordTest, Theorem1ZeroWeightsTakeFreshQuality) {
+  WorkerQualityRecord stored;
+  stored.quality = {0.8};
+  stored.weight = {0.0};
+  WorkerQualityRecord fresh;
+  fresh.quality = {0.4};
+  fresh.weight = {0.0};
+  stored.MergeTheorem1(fresh);
+  EXPECT_NEAR(stored.quality[0], 0.4, 1e-12);
+  EXPECT_NEAR(stored.weight[0], 0.0, 1e-12);
+}
+
+TEST(WorkerStoreTest, InMemoryPutGet) {
+  auto store = WorkerStore::InMemory(2);
+  WorkerQualityRecord record;
+  record.quality = {0.9, 0.6};
+  record.weight = {3.0, 1.0};
+  ASSERT_TRUE(store.Put("alice", record).ok());
+  auto loaded = store.Get("alice");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->quality, record.quality);
+  EXPECT_EQ(loaded->weight, record.weight);
+}
+
+TEST(WorkerStoreTest, GetUnknownIsNotFound) {
+  auto store = WorkerStore::InMemory(2);
+  EXPECT_EQ(store.Get("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(WorkerStoreTest, ArityMismatchRejected) {
+  auto store = WorkerStore::InMemory(2);
+  WorkerQualityRecord record;
+  record.quality = {0.9};
+  record.weight = {3.0};
+  EXPECT_FALSE(store.Put("alice", record).ok());
+}
+
+TEST(WorkerStoreTest, MergeOnMissingWorkerInserts) {
+  auto store = WorkerStore::InMemory(1);
+  WorkerQualityRecord record;
+  record.quality = {0.9};
+  record.weight = {2.0};
+  ASSERT_TRUE(store.Merge("bob", record).ok());
+  EXPECT_NEAR(store.Get("bob")->quality[0], 0.9, 1e-12);
+}
+
+TEST(WorkerStoreTest, MergeAppliesTheorem1) {
+  auto store = WorkerStore::InMemory(1);
+  WorkerQualityRecord first;
+  first.quality = {0.8};
+  first.weight = {4.0};
+  WorkerQualityRecord second;
+  second.quality = {0.6};
+  second.weight = {1.0};
+  ASSERT_TRUE(store.Put("bob", first).ok());
+  ASSERT_TRUE(store.Merge("bob", second).ok());
+  EXPECT_NEAR(store.Get("bob")->quality[0], 0.76, 1e-12);
+  EXPECT_NEAR(store.Get("bob")->weight[0], 5.0, 1e-12);
+}
+
+TEST(WorkerStoreTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("persist.log");
+  std::remove(path.c_str());
+  {
+    auto store = WorkerStore::Open(path, 2);
+    ASSERT_TRUE(store.ok());
+    WorkerQualityRecord record;
+    record.quality = {0.9, 0.4};
+    record.weight = {2.0, 5.0};
+    ASSERT_TRUE(store->Put("alice", record).ok());
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  auto reopened = WorkerStore::Open(path, 2);
+  ASSERT_TRUE(reopened.ok());
+  auto loaded = reopened->Get("alice");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_NEAR(loaded->quality[0], 0.9, 1e-12);
+  EXPECT_NEAR(loaded->weight[1], 5.0, 1e-12);
+}
+
+TEST(WorkerStoreTest, LastRecordWinsOnReplay) {
+  const std::string path = TempPath("lastwins.log");
+  std::remove(path.c_str());
+  {
+    auto store = WorkerStore::Open(path, 1);
+    ASSERT_TRUE(store.ok());
+    WorkerQualityRecord a;
+    a.quality = {0.5};
+    a.weight = {1.0};
+    WorkerQualityRecord b;
+    b.quality = {0.9};
+    b.weight = {2.0};
+    ASSERT_TRUE(store->Put("w", a).ok());
+    ASSERT_TRUE(store->Put("w", b).ok());
+    ASSERT_TRUE(store->Flush().ok());
+    EXPECT_EQ(store->log_records(), 2u);
+  }
+  auto reopened = WorkerStore::Open(path, 1);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_NEAR(reopened->Get("w")->quality[0], 0.9, 1e-12);
+}
+
+TEST(WorkerStoreTest, TornTailIsIgnoredOnRecovery) {
+  const std::string path = TempPath("torn.log");
+  std::remove(path.c_str());
+  {
+    auto store = WorkerStore::Open(path, 1);
+    ASSERT_TRUE(store.ok());
+    WorkerQualityRecord record;
+    record.quality = {0.5};
+    record.weight = {1.0};
+    ASSERT_TRUE(store->Put("w", record).ok());
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  // Simulate a crash mid-append: garbage partial record at the tail.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "PUT w 1 0.99";  // no weight fields, no checksum, no newline
+  }
+  auto reopened = WorkerStore::Open(path, 1);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(reopened->Contains("w"));
+  EXPECT_NEAR(reopened->Get("w")->quality[0], 0.5, 1e-12);
+}
+
+TEST(WorkerStoreTest, ChecksumMismatchStopsReplay) {
+  const std::string path = TempPath("checksum.log");
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path);
+    out << "PUT w 1 0.5 1.0 #12345\n";  // wrong checksum
+  }
+  auto reopened = WorkerStore::Open(path, 1);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE(reopened->Contains("w"));
+}
+
+TEST(WorkerStoreTest, CompactShrinksLog) {
+  const std::string path = TempPath("compact.log");
+  std::remove(path.c_str());
+  auto store = WorkerStore::Open(path, 1);
+  ASSERT_TRUE(store.ok());
+  WorkerQualityRecord record;
+  record.quality = {0.5};
+  record.weight = {1.0};
+  for (int i = 0; i < 10; ++i) {
+    record.quality[0] = 0.5 + 0.01 * i;
+    ASSERT_TRUE(store->Put("w", record).ok());
+  }
+  EXPECT_EQ(store->log_records(), 10u);
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_EQ(store->log_records(), 1u);
+  EXPECT_NEAR(store->Get("w")->quality[0], 0.59, 1e-12);
+
+  // Store still writable after compaction, and state survives reopen.
+  record.quality[0] = 0.77;
+  ASSERT_TRUE(store->Put("w", record).ok());
+  ASSERT_TRUE(store->Flush().ok());
+  auto reopened = WorkerStore::Open(path, 1);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_NEAR(reopened->Get("w")->quality[0], 0.77, 1e-12);
+}
+
+TEST(WorkerStoreTest, WorkerIdsListsAll) {
+  auto store = WorkerStore::InMemory(1);
+  WorkerQualityRecord record;
+  record.quality = {0.5};
+  record.weight = {1.0};
+  ASSERT_TRUE(store.Put("a", record).ok());
+  ASSERT_TRUE(store.Put("b", record).ok());
+  auto ids = store.WorkerIds();
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+}  // namespace
+}  // namespace docs::storage

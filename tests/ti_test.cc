@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "core/truth_inference.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+
+namespace docs::core {
+namespace {
+
+// The Section 4.1 running example: task t1 with r = [0, 0.78, 0.22], two
+// choices, three workers with the Table 1 qualities; w1 answers "yes" (0),
+// w2 and w3 answer "no" (1).
+struct PaperExample {
+  Task task;
+  std::vector<Answer> answers;
+  std::vector<WorkerQuality> qualities;
+};
+
+PaperExample MakePaperExample() {
+  PaperExample ex;
+  ex.task.domain_vector = {0.0, 0.78, 0.22};
+  ex.task.num_choices = 2;
+  ex.answers = {{0, 0, 0}, {0, 1, 1}, {0, 2, 1}};
+  ex.qualities.resize(3);
+  ex.qualities[0].quality = {0.3, 0.9, 0.6};
+  ex.qualities[1].quality = {0.9, 0.6, 0.3};
+  ex.qualities[2].quality = {0.6, 0.3, 0.9};
+  for (auto& q : ex.qualities) q.weight = {1.0, 1.0, 1.0};
+  return ex;
+}
+
+TEST(ComputeTruthMatrixTest, PaperRunningExample) {
+  auto ex = MakePaperExample();
+  Matrix truth_matrix =
+      ComputeTruthMatrix(ex.task, ex.answers, ex.qualities, 0.001);
+  // Paper: M(1)1 = [0.03, 0.97], M(1)2 = [0.93, 0.07], M(1)3 = [0.28, 0.72].
+  EXPECT_NEAR(truth_matrix(0, 0), 0.03, 0.01);
+  EXPECT_NEAR(truth_matrix(0, 1), 0.97, 0.01);
+  EXPECT_NEAR(truth_matrix(1, 0), 0.93, 0.01);
+  EXPECT_NEAR(truth_matrix(1, 1), 0.07, 0.01);
+  EXPECT_NEAR(truth_matrix(2, 0), 0.28, 0.01);
+  EXPECT_NEAR(truth_matrix(2, 1), 0.72, 0.01);
+
+  // s1 = r x M = [0.79, 0.21]: the minority "yes" wins because w1 is the
+  // sports expert and the task is mostly about sports.
+  auto s = truth_matrix.LeftMultiply(ex.task.domain_vector);
+  EXPECT_NEAR(s[0], 0.79, 0.01);
+  EXPECT_NEAR(s[1], 0.21, 0.01);
+  EXPECT_GT(s[0], s[1]);
+}
+
+TEST(ComputeTruthMatrixTest, NoAnswersYieldsUniformRows) {
+  Task task;
+  task.domain_vector = {0.5, 0.5};
+  task.num_choices = 3;
+  std::vector<WorkerQuality> qualities;
+  Matrix truth_matrix = ComputeTruthMatrix(task, {}, qualities);
+  for (size_t k = 0; k < 2; ++k) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(truth_matrix(k, j), 1.0 / 3.0, 1e-12);
+    }
+  }
+}
+
+TEST(ComputeTruthMatrixTest, RowsAreDistributions) {
+  auto ex = MakePaperExample();
+  Matrix truth_matrix = ComputeTruthMatrix(ex.task, ex.answers, ex.qualities);
+  for (size_t k = 0; k < truth_matrix.rows(); ++k) {
+    EXPECT_TRUE(IsDistribution(truth_matrix.Row(k), 1e-9));
+  }
+}
+
+TEST(GoldenInitTest, ComputesWeightedCorrectFraction) {
+  std::vector<Task> tasks(2);
+  tasks[0].domain_vector = {0.9, 0.1};
+  tasks[0].num_choices = 2;
+  tasks[1].domain_vector = {0.2, 0.8};
+  tasks[1].num_choices = 2;
+  // Worker 0 answers task 0 correctly (truth 1) and task 1 wrongly.
+  std::vector<Answer> answers = {{0, 0, 1}, {1, 0, 0}};
+  auto qualities = InitializeQualityFromGolden(tasks, 1, answers, {0, 1},
+                                               {1, 1}, 0.7, /*smoothing=*/0.0);
+  ASSERT_EQ(qualities.size(), 1u);
+  // Domain 0: correct mass 0.9 of total 1.1; domain 1: 0.1 of 0.9.
+  EXPECT_NEAR(qualities[0].quality[0], 0.9 / 1.1, 1e-9);
+  EXPECT_NEAR(qualities[0].quality[1], 0.1 / 0.9, 1e-9);
+  EXPECT_NEAR(qualities[0].weight[0], 1.1, 1e-9);
+  EXPECT_NEAR(qualities[0].weight[1], 0.9, 1e-9);
+}
+
+TEST(GoldenInitTest, SmoothingPullsTowardDefault) {
+  std::vector<Task> tasks(1);
+  tasks[0].domain_vector = {1.0};
+  tasks[0].num_choices = 2;
+  auto qualities =
+      InitializeQualityFromGolden(tasks, 1, {}, {0}, {0}, 0.7, 1.0);
+  EXPECT_NEAR(qualities[0].quality[0], 0.7, 1e-12);  // no data -> default
+}
+
+TEST(GoldenInitTest, NonGoldenAnswersIgnored) {
+  std::vector<Task> tasks(2);
+  for (auto& t : tasks) {
+    t.domain_vector = {1.0};
+    t.num_choices = 2;
+  }
+  // Task 1 is not golden; the wrong answer there must not hurt.
+  std::vector<Answer> answers = {{0, 0, 1}, {1, 0, 0}};
+  auto with = InitializeQualityFromGolden(tasks, 1, answers, {0}, {1}, 0.7, 0.0);
+  EXPECT_NEAR(with[0].quality[0], 1.0, 1e-12);
+}
+
+// --- Full iterative inference on simulated crowds ---------------------------
+
+struct SimSetup {
+  std::vector<Task> tasks;
+  std::vector<size_t> truths;
+  std::vector<crowd::SimulatedWorker> workers;
+  std::vector<Answer> answers;
+};
+
+SimSetup MakeSimSetup(size_t num_tasks, size_t num_workers, uint64_t seed) {
+  SimSetup setup;
+  const size_t m = 4;
+  Rng rng(seed);
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = num_workers;
+  setup.workers = crowd::MakeWorkerPool(m, {0, 1, 2, 3}, pool_options, seed);
+  for (size_t i = 0; i < num_tasks; ++i) {
+    Task task;
+    task.domain_vector.assign(m, 0.0);
+    const size_t domain = i % m;
+    task.domain_vector[domain] = 1.0;
+    task.num_choices = 2;
+    setup.tasks.push_back(task);
+    setup.truths.push_back(rng.UniformInt(2));
+  }
+  // 10 answers per task from distinct random workers.
+  for (size_t i = 0; i < num_tasks; ++i) {
+    std::vector<size_t> order(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) order[w] = w;
+    rng.Shuffle(order);
+    const size_t domain = i % m;
+    for (size_t a = 0; a < 10 && a < num_workers; ++a) {
+      const size_t w = order[a];
+      const size_t choice = crowd::GenerateAnswer(setup.workers[w], domain,
+                                                  setup.truths[i], 2, rng);
+      setup.answers.push_back({i, w, choice});
+    }
+  }
+  return setup;
+}
+
+double Accuracy(const std::vector<size_t>& inferred,
+                const std::vector<size_t>& truths) {
+  size_t correct = 0;
+  for (size_t i = 0; i < truths.size(); ++i) correct += inferred[i] == truths[i];
+  return static_cast<double>(correct) / truths.size();
+}
+
+TEST(TruthInferenceTest, HighAccuracyOnSimulatedCrowd) {
+  auto setup = MakeSimSetup(200, 60, 77);
+  TruthInference engine;
+  auto result = engine.Run(setup.tasks, setup.workers.size(), setup.answers);
+  EXPECT_GT(Accuracy(result.inferred_choice, setup.truths), 0.9);
+}
+
+TEST(TruthInferenceTest, DeltaShrinksOverIterations) {
+  auto setup = MakeSimSetup(150, 50, 78);
+  TruthInferenceOptions options;
+  options.max_iterations = 30;
+  options.tolerance = 0.0;  // run all iterations
+  TruthInference engine(options);
+  auto result = engine.Run(setup.tasks, setup.workers.size(), setup.answers);
+  ASSERT_GE(result.delta_history.size(), 5u);
+  EXPECT_LT(result.delta_history.back(), result.delta_history.front());
+  EXPECT_LT(result.delta_history.back(), 1e-3);
+}
+
+TEST(TruthInferenceTest, ConvergesEarlyWithTolerance) {
+  auto setup = MakeSimSetup(100, 40, 79);
+  TruthInferenceOptions options;
+  options.max_iterations = 100;
+  options.tolerance = 1e-6;
+  TruthInference engine(options);
+  auto result = engine.Run(setup.tasks, setup.workers.size(), setup.answers);
+  EXPECT_LT(result.iterations_run, 100u);  // paper: u <= 20 in practice
+}
+
+TEST(TruthInferenceTest, EstimatedQualityTracksTrueQuality) {
+  auto setup = MakeSimSetup(400, 30, 80);
+  TruthInference engine;
+  auto result = engine.Run(setup.tasks, setup.workers.size(), setup.answers);
+  // Average |q - q̃| over domains where the worker answered enough tasks.
+  double deviation = 0.0;
+  size_t terms = 0;
+  for (size_t w = 0; w < setup.workers.size(); ++w) {
+    for (size_t k = 0; k < 4; ++k) {
+      if (result.worker_quality[w].weight[k] < 20.0) continue;
+      deviation += std::fabs(result.worker_quality[w].quality[k] -
+                             setup.workers[w].true_quality[k]);
+      ++terms;
+    }
+  }
+  ASSERT_GT(terms, 0u);
+  EXPECT_LT(deviation / terms, 0.1);
+}
+
+TEST(TruthInferenceTest, WeightsEqualDomainMass) {
+  auto setup = MakeSimSetup(50, 20, 81);
+  TruthInference engine;
+  auto result = engine.Run(setup.tasks, setup.workers.size(), setup.answers);
+  std::vector<std::vector<double>> expected(setup.workers.size(),
+                                            std::vector<double>(4, 0.0));
+  for (const auto& answer : setup.answers) {
+    for (size_t k = 0; k < 4; ++k) {
+      expected[answer.worker][k] += setup.tasks[answer.task].domain_vector[k];
+    }
+  }
+  for (size_t w = 0; w < setup.workers.size(); ++w) {
+    for (size_t k = 0; k < 4; ++k) {
+      EXPECT_NEAR(result.worker_quality[w].weight[k], expected[w][k], 1e-9);
+    }
+  }
+}
+
+TEST(TruthInferenceTest, WorkersWithoutAnswersKeepSeedQuality) {
+  std::vector<Task> tasks(1);
+  tasks[0].domain_vector = {1.0};
+  tasks[0].num_choices = 2;
+  std::vector<Answer> answers = {{0, 0, 0}};
+  TruthInference engine;
+  // Two workers, only worker 0 answers.
+  auto result = engine.Run(tasks, 2, answers);
+  EXPECT_NEAR(result.worker_quality[1].quality[0],
+              engine.options().default_quality, 1e-12);
+  EXPECT_NEAR(result.worker_quality[1].weight[0], 0.0, 1e-12);
+}
+
+TEST(TruthInferenceTest, InitialQualitySeedsAreUsed) {
+  // One task, two workers disagreeing; the seeded expert should win.
+  std::vector<Task> tasks(1);
+  tasks[0].domain_vector = {1.0};
+  tasks[0].num_choices = 2;
+  std::vector<Answer> answers = {{0, 0, 0}, {0, 1, 1}};
+  std::vector<WorkerQuality> seeds(2);
+  seeds[0].quality = {0.95};
+  seeds[0].weight = {50.0};
+  seeds[1].quality = {0.55};
+  seeds[1].weight = {50.0};
+  TruthInferenceOptions options;
+  options.max_iterations = 1;
+  TruthInference engine(options);
+  auto result = engine.Run(tasks, 2, answers, &seeds);
+  EXPECT_EQ(result.inferred_choice[0], 0u);
+}
+
+TEST(TruthInferenceTest, DeterministicAcrossRuns) {
+  auto setup = MakeSimSetup(80, 25, 82);
+  TruthInference engine;
+  auto a = engine.Run(setup.tasks, setup.workers.size(), setup.answers);
+  auto b = engine.Run(setup.tasks, setup.workers.size(), setup.answers);
+  EXPECT_EQ(a.inferred_choice, b.inferred_choice);
+  for (size_t i = 0; i < setup.tasks.size(); ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(a.task_truth[i][j], b.task_truth[i][j]);
+    }
+  }
+}
+
+TEST(TruthInferenceTest, EmptyInput) {
+  TruthInference engine;
+  auto result = engine.Run({}, 0, {});
+  EXPECT_TRUE(result.task_truth.empty());
+  EXPECT_TRUE(result.worker_quality.empty());
+}
+
+TEST(TruthInferenceTest, TruthsAreDistributions) {
+  auto setup = MakeSimSetup(60, 20, 83);
+  TruthInference engine;
+  auto result = engine.Run(setup.tasks, setup.workers.size(), setup.answers);
+  for (const auto& s : result.task_truth) {
+    EXPECT_TRUE(IsDistribution(s, 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace docs::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "topicmodel/corpus.h"
+#include "topicmodel/lda.h"
+#include "topicmodel/twitter_lda.h"
+
+namespace docs::topic {
+namespace {
+
+// Builds a corpus with two cleanly separated vocabularies: documents 0..n/2
+// use "sports" words, the rest "food" words.
+Corpus TwoTopicCorpus(size_t docs_per_topic, size_t words_per_doc,
+                      uint64_t seed) {
+  const std::vector<std::string> sports = {"dunk",  "court", "coach",
+                                           "score", "team",  "league"};
+  const std::vector<std::string> food = {"sugar", "flavor", "baked",
+                                         "spicy", "sauce",  "recipe"};
+  Rng rng(seed);
+  Corpus corpus;
+  for (size_t topic = 0; topic < 2; ++topic) {
+    const auto& vocab = topic == 0 ? sports : food;
+    for (size_t d = 0; d < docs_per_topic; ++d) {
+      std::vector<std::string> tokens;
+      for (size_t w = 0; w < words_per_doc; ++w) {
+        tokens.push_back(vocab[rng.UniformInt(vocab.size())]);
+      }
+      corpus.AddDocumentTokens(tokens);
+    }
+  }
+  return corpus;
+}
+
+// Fraction of document pairs from the same group whose argmax topics agree,
+// minus cross-group agreement (1.0 = perfect separation).
+double SeparationScore(const std::vector<std::vector<double>>& doc_topic,
+                       size_t docs_per_topic) {
+  auto topic_of = [&](size_t d) { return ArgMax(doc_topic[d]); };
+  size_t same_agree = 0, same_total = 0, cross_agree = 0, cross_total = 0;
+  const size_t n = doc_topic.size();
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      const bool same_group = (a < docs_per_topic) == (b < docs_per_topic);
+      const bool agree = topic_of(a) == topic_of(b);
+      if (same_group) {
+        ++same_total;
+        same_agree += agree;
+      } else {
+        ++cross_total;
+        cross_agree += agree;
+      }
+    }
+  }
+  return static_cast<double>(same_agree) / same_total -
+         static_cast<double>(cross_agree) / cross_total;
+}
+
+TEST(CorpusTest, InternsWords) {
+  Corpus corpus;
+  int a = corpus.AddWord("x");
+  int b = corpus.AddWord("y");
+  int a2 = corpus.AddWord("x");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(corpus.vocabulary_size(), 2u);
+  EXPECT_EQ(corpus.word(a), "x");
+  EXPECT_EQ(corpus.WordId("y"), b);
+  EXPECT_EQ(corpus.WordId("zzz"), -1);
+}
+
+TEST(CorpusTest, AddDocumentText) {
+  Corpus corpus;
+  corpus.AddDocumentText("Hello, World! hello");
+  ASSERT_EQ(corpus.num_documents(), 1u);
+  EXPECT_EQ(corpus.document(0).size(), 3u);
+  EXPECT_EQ(corpus.document(0)[0], corpus.document(0)[2]);  // "hello" twice
+}
+
+TEST(LdaTest, DocTopicDistributionsAreValid) {
+  Corpus corpus = TwoTopicCorpus(20, 12, 5);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 100;
+  LdaModel model(options);
+  model.Fit(corpus);
+  ASSERT_EQ(model.doc_topic().size(), corpus.num_documents());
+  for (const auto& theta : model.doc_topic()) {
+    EXPECT_TRUE(IsDistribution(theta, 1e-6));
+  }
+  for (const auto& phi : model.topic_word()) {
+    EXPECT_TRUE(IsDistribution(phi, 1e-6));
+  }
+}
+
+TEST(LdaTest, SeparatesDisjointVocabularies) {
+  Corpus corpus = TwoTopicCorpus(25, 15, 6);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 150;
+  LdaModel model(options);
+  model.Fit(corpus);
+  EXPECT_GT(SeparationScore(model.doc_topic(), 25), 0.8);
+}
+
+TEST(LdaTest, DeterministicForSameSeed) {
+  Corpus corpus = TwoTopicCorpus(10, 8, 7);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 30;
+  LdaModel a(options), b(options);
+  a.Fit(corpus);
+  b.Fit(corpus);
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_DOUBLE_EQ(a.doc_topic()[d][k], b.doc_topic()[d][k]);
+    }
+  }
+}
+
+TEST(TwitterLdaTest, PosteriorsAreValidDistributions) {
+  Corpus corpus = TwoTopicCorpus(20, 10, 8);
+  TwitterLdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 100;
+  TwitterLdaModel model(options);
+  model.Fit(corpus);
+  ASSERT_EQ(model.doc_topic().size(), corpus.num_documents());
+  for (const auto& theta : model.doc_topic()) {
+    EXPECT_TRUE(IsDistribution(theta, 1e-6));
+  }
+  ASSERT_EQ(model.doc_assignment().size(), corpus.num_documents());
+}
+
+TEST(TwitterLdaTest, SeparatesDisjointVocabularies) {
+  Corpus corpus = TwoTopicCorpus(25, 12, 9);
+  TwitterLdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 150;
+  TwitterLdaModel model(options);
+  model.Fit(corpus);
+  EXPECT_GT(SeparationScore(model.doc_topic(), 25), 0.8);
+}
+
+TEST(TwitterLdaTest, AssignmentMatchesArgmaxPosterior) {
+  Corpus corpus = TwoTopicCorpus(10, 8, 10);
+  TwitterLdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 50;
+  TwitterLdaModel model(options);
+  model.Fit(corpus);
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    EXPECT_EQ(static_cast<size_t>(model.doc_assignment()[d]),
+              ArgMax(model.doc_topic()[d]));
+  }
+}
+
+TEST(CosineSimilarityTest, Basics) {
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {1.0, 0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {0.0, 1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({0.0, 0.0}, {1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1.0, 1.0}, {2.0, 2.0}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace docs::topic
