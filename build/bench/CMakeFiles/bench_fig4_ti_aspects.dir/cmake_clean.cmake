@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ti_aspects.dir/bench_fig4_ti_aspects.cc.o"
+  "CMakeFiles/bench_fig4_ti_aspects.dir/bench_fig4_ti_aspects.cc.o.d"
+  "bench_fig4_ti_aspects"
+  "bench_fig4_ti_aspects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ti_aspects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

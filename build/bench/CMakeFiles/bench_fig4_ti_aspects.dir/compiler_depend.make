@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_ti_aspects.
+# This may be replaced when dependencies are built.

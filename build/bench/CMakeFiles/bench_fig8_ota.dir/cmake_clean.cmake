@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ota.dir/bench_fig8_ota.cc.o"
+  "CMakeFiles/bench_fig8_ota.dir/bench_fig8_ota.cc.o.d"
+  "bench_fig8_ota"
+  "bench_fig8_ota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

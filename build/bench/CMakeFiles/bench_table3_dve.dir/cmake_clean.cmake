@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dve.dir/bench_table3_dve.cc.o"
+  "CMakeFiles/bench_table3_dve.dir/bench_table3_dve.cc.o.d"
+  "bench_table3_dve"
+  "bench_table3_dve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

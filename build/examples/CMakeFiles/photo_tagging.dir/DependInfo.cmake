@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/photo_tagging.cpp" "examples/CMakeFiles/photo_tagging.dir/photo_tagging.cpp.o" "gcc" "examples/CMakeFiles/photo_tagging.dir/photo_tagging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/docs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/docs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/docs_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/docs_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/topicmodel/CMakeFiles/docs_topicmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/docs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/docs_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/docs_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/docs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_tagging.dir/photo_tagging.cpp.o"
+  "CMakeFiles/photo_tagging.dir/photo_tagging.cpp.o.d"
+  "photo_tagging"
+  "photo_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

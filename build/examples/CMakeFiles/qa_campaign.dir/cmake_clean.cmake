@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_campaign.dir/qa_campaign.cpp.o"
+  "CMakeFiles/qa_campaign.dir/qa_campaign.cpp.o.d"
+  "qa_campaign"
+  "qa_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/assigners.cc" "src/baselines/CMakeFiles/docs_baselines.dir/assigners.cc.o" "gcc" "src/baselines/CMakeFiles/docs_baselines.dir/assigners.cc.o.d"
+  "/root/repo/src/baselines/dawid_skene.cc" "src/baselines/CMakeFiles/docs_baselines.dir/dawid_skene.cc.o" "gcc" "src/baselines/CMakeFiles/docs_baselines.dir/dawid_skene.cc.o.d"
+  "/root/repo/src/baselines/faitcrowd.cc" "src/baselines/CMakeFiles/docs_baselines.dir/faitcrowd.cc.o" "gcc" "src/baselines/CMakeFiles/docs_baselines.dir/faitcrowd.cc.o.d"
+  "/root/repo/src/baselines/icrowd.cc" "src/baselines/CMakeFiles/docs_baselines.dir/icrowd.cc.o" "gcc" "src/baselines/CMakeFiles/docs_baselines.dir/icrowd.cc.o.d"
+  "/root/repo/src/baselines/majority_vote.cc" "src/baselines/CMakeFiles/docs_baselines.dir/majority_vote.cc.o" "gcc" "src/baselines/CMakeFiles/docs_baselines.dir/majority_vote.cc.o.d"
+  "/root/repo/src/baselines/zencrowd.cc" "src/baselines/CMakeFiles/docs_baselines.dir/zencrowd.cc.o" "gcc" "src/baselines/CMakeFiles/docs_baselines.dir/zencrowd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/docs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/docs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topicmodel/CMakeFiles/docs_topicmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/docs_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/docs_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/docs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_baselines.dir/assigners.cc.o"
+  "CMakeFiles/docs_baselines.dir/assigners.cc.o.d"
+  "CMakeFiles/docs_baselines.dir/dawid_skene.cc.o"
+  "CMakeFiles/docs_baselines.dir/dawid_skene.cc.o.d"
+  "CMakeFiles/docs_baselines.dir/faitcrowd.cc.o"
+  "CMakeFiles/docs_baselines.dir/faitcrowd.cc.o.d"
+  "CMakeFiles/docs_baselines.dir/icrowd.cc.o"
+  "CMakeFiles/docs_baselines.dir/icrowd.cc.o.d"
+  "CMakeFiles/docs_baselines.dir/majority_vote.cc.o"
+  "CMakeFiles/docs_baselines.dir/majority_vote.cc.o.d"
+  "CMakeFiles/docs_baselines.dir/zencrowd.cc.o"
+  "CMakeFiles/docs_baselines.dir/zencrowd.cc.o.d"
+  "libdocs_baselines.a"
+  "libdocs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

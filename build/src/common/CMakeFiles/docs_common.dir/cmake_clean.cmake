@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_common.dir/logging.cc.o"
+  "CMakeFiles/docs_common.dir/logging.cc.o.d"
+  "CMakeFiles/docs_common.dir/math_utils.cc.o"
+  "CMakeFiles/docs_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/docs_common.dir/matrix.cc.o"
+  "CMakeFiles/docs_common.dir/matrix.cc.o.d"
+  "CMakeFiles/docs_common.dir/rng.cc.o"
+  "CMakeFiles/docs_common.dir/rng.cc.o.d"
+  "CMakeFiles/docs_common.dir/status.cc.o"
+  "CMakeFiles/docs_common.dir/status.cc.o.d"
+  "CMakeFiles/docs_common.dir/string_utils.cc.o"
+  "CMakeFiles/docs_common.dir/string_utils.cc.o.d"
+  "CMakeFiles/docs_common.dir/table_printer.cc.o"
+  "CMakeFiles/docs_common.dir/table_printer.cc.o.d"
+  "libdocs_common.a"
+  "libdocs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/docs_system.cc" "src/core/CMakeFiles/docs_core.dir/docs_system.cc.o" "gcc" "src/core/CMakeFiles/docs_core.dir/docs_system.cc.o.d"
+  "/root/repo/src/core/domain_vector.cc" "src/core/CMakeFiles/docs_core.dir/domain_vector.cc.o" "gcc" "src/core/CMakeFiles/docs_core.dir/domain_vector.cc.o.d"
+  "/root/repo/src/core/golden_selection.cc" "src/core/CMakeFiles/docs_core.dir/golden_selection.cc.o" "gcc" "src/core/CMakeFiles/docs_core.dir/golden_selection.cc.o.d"
+  "/root/repo/src/core/incremental_ti.cc" "src/core/CMakeFiles/docs_core.dir/incremental_ti.cc.o" "gcc" "src/core/CMakeFiles/docs_core.dir/incremental_ti.cc.o.d"
+  "/root/repo/src/core/task_assignment.cc" "src/core/CMakeFiles/docs_core.dir/task_assignment.cc.o" "gcc" "src/core/CMakeFiles/docs_core.dir/task_assignment.cc.o.d"
+  "/root/repo/src/core/truth_inference.cc" "src/core/CMakeFiles/docs_core.dir/truth_inference.cc.o" "gcc" "src/core/CMakeFiles/docs_core.dir/truth_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/docs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/docs_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/docs_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/docs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

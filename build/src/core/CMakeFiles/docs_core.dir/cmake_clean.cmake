@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_core.dir/docs_system.cc.o"
+  "CMakeFiles/docs_core.dir/docs_system.cc.o.d"
+  "CMakeFiles/docs_core.dir/domain_vector.cc.o"
+  "CMakeFiles/docs_core.dir/domain_vector.cc.o.d"
+  "CMakeFiles/docs_core.dir/golden_selection.cc.o"
+  "CMakeFiles/docs_core.dir/golden_selection.cc.o.d"
+  "CMakeFiles/docs_core.dir/incremental_ti.cc.o"
+  "CMakeFiles/docs_core.dir/incremental_ti.cc.o.d"
+  "CMakeFiles/docs_core.dir/task_assignment.cc.o"
+  "CMakeFiles/docs_core.dir/task_assignment.cc.o.d"
+  "CMakeFiles/docs_core.dir/truth_inference.cc.o"
+  "CMakeFiles/docs_core.dir/truth_inference.cc.o.d"
+  "libdocs_core.a"
+  "libdocs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

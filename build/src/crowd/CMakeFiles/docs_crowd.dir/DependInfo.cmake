@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/campaign.cc" "src/crowd/CMakeFiles/docs_crowd.dir/campaign.cc.o" "gcc" "src/crowd/CMakeFiles/docs_crowd.dir/campaign.cc.o.d"
+  "/root/repo/src/crowd/worker_pool.cc" "src/crowd/CMakeFiles/docs_crowd.dir/worker_pool.cc.o" "gcc" "src/crowd/CMakeFiles/docs_crowd.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/docs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/docs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/docs_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/docs_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/docs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/docs_kb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

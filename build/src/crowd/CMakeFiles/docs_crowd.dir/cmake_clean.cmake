@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_crowd.dir/campaign.cc.o"
+  "CMakeFiles/docs_crowd.dir/campaign.cc.o.d"
+  "CMakeFiles/docs_crowd.dir/worker_pool.cc.o"
+  "CMakeFiles/docs_crowd.dir/worker_pool.cc.o.d"
+  "libdocs_crowd.a"
+  "libdocs_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

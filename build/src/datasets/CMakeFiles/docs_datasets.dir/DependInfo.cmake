@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/dataset.cc" "src/datasets/CMakeFiles/docs_datasets.dir/dataset.cc.o" "gcc" "src/datasets/CMakeFiles/docs_datasets.dir/dataset.cc.o.d"
+  "/root/repo/src/datasets/dataset_io.cc" "src/datasets/CMakeFiles/docs_datasets.dir/dataset_io.cc.o" "gcc" "src/datasets/CMakeFiles/docs_datasets.dir/dataset_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/docs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/docs_kb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

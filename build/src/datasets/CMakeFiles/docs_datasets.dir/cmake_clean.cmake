@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_datasets.dir/dataset.cc.o"
+  "CMakeFiles/docs_datasets.dir/dataset.cc.o.d"
+  "CMakeFiles/docs_datasets.dir/dataset_io.cc.o"
+  "CMakeFiles/docs_datasets.dir/dataset_io.cc.o.d"
+  "libdocs_datasets.a"
+  "libdocs_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_kb.dir/domain_taxonomy.cc.o"
+  "CMakeFiles/docs_kb.dir/domain_taxonomy.cc.o.d"
+  "CMakeFiles/docs_kb.dir/kb_io.cc.o"
+  "CMakeFiles/docs_kb.dir/kb_io.cc.o.d"
+  "CMakeFiles/docs_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/docs_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/docs_kb.dir/synthetic_kb.cc.o"
+  "CMakeFiles/docs_kb.dir/synthetic_kb.cc.o.d"
+  "libdocs_kb.a"
+  "libdocs_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

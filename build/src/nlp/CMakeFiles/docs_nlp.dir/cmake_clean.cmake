@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_nlp.dir/entity_linker.cc.o"
+  "CMakeFiles/docs_nlp.dir/entity_linker.cc.o.d"
+  "libdocs_nlp.a"
+  "libdocs_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

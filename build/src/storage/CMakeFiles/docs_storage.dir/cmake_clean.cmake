@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_storage.dir/log_store.cc.o"
+  "CMakeFiles/docs_storage.dir/log_store.cc.o.d"
+  "CMakeFiles/docs_storage.dir/state_checkpoint.cc.o"
+  "CMakeFiles/docs_storage.dir/state_checkpoint.cc.o.d"
+  "CMakeFiles/docs_storage.dir/worker_store.cc.o"
+  "CMakeFiles/docs_storage.dir/worker_store.cc.o.d"
+  "libdocs_storage.a"
+  "libdocs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

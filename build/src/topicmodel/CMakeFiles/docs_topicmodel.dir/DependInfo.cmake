@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topicmodel/corpus.cc" "src/topicmodel/CMakeFiles/docs_topicmodel.dir/corpus.cc.o" "gcc" "src/topicmodel/CMakeFiles/docs_topicmodel.dir/corpus.cc.o.d"
+  "/root/repo/src/topicmodel/lda.cc" "src/topicmodel/CMakeFiles/docs_topicmodel.dir/lda.cc.o" "gcc" "src/topicmodel/CMakeFiles/docs_topicmodel.dir/lda.cc.o.d"
+  "/root/repo/src/topicmodel/twitter_lda.cc" "src/topicmodel/CMakeFiles/docs_topicmodel.dir/twitter_lda.cc.o" "gcc" "src/topicmodel/CMakeFiles/docs_topicmodel.dir/twitter_lda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/docs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_topicmodel.dir/corpus.cc.o"
+  "CMakeFiles/docs_topicmodel.dir/corpus.cc.o.d"
+  "CMakeFiles/docs_topicmodel.dir/lda.cc.o"
+  "CMakeFiles/docs_topicmodel.dir/lda.cc.o.d"
+  "CMakeFiles/docs_topicmodel.dir/twitter_lda.cc.o"
+  "CMakeFiles/docs_topicmodel.dir/twitter_lda.cc.o.d"
+  "libdocs_topicmodel.a"
+  "libdocs_topicmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_topicmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

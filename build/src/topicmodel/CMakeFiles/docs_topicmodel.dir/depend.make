@@ -1,0 +1,2 @@
+# Empty dependencies file for docs_topicmodel.
+# This may be replaced when dependencies are built.

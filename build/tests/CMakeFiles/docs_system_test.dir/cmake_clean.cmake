@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_system_test.dir/docs_system_test.cc.o"
+  "CMakeFiles/docs_system_test.dir/docs_system_test.cc.o.d"
+  "docs_system_test"
+  "docs_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

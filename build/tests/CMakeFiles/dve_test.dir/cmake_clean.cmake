@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_test.dir/dve_test.cc.o"
+  "CMakeFiles/dve_test.dir/dve_test.cc.o.d"
+  "dve_test"
+  "dve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

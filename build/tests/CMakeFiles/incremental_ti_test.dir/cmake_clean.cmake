@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_ti_test.dir/incremental_ti_test.cc.o"
+  "CMakeFiles/incremental_ti_test.dir/incremental_ti_test.cc.o.d"
+  "incremental_ti_test"
+  "incremental_ti_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_ti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ota_test.dir/ota_test.cc.o"
+  "CMakeFiles/ota_test.dir/ota_test.cc.o.d"
+  "ota_test"
+  "ota_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ota_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ti_test.dir/ti_test.cc.o"
+  "CMakeFiles/ti_test.dir/ti_test.cc.o.d"
+  "ti_test"
+  "ti_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topicmodel_test.dir/topicmodel_test.cc.o"
+  "CMakeFiles/topicmodel_test.dir/topicmodel_test.cc.o.d"
+  "topicmodel_test"
+  "topicmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topicmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
