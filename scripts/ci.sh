@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the Release config, then the ASan+UBSan
+# config (DOCS_SANITIZE=ON). Fails on the first broken build or test.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="$ROOT/build-$name"
+  echo "=== [$name] configure ==="
+  cmake -S "$ROOT" -B "$dir" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j"$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=ON
+
+echo "=== CI OK ==="

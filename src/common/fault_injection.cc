@@ -1,0 +1,122 @@
+#include "common/fault_injection.h"
+
+namespace docs {
+namespace {
+
+// SplitMix64: one multiply-xor-shift step per draw. The injector needs only
+// a few bits of well-mixed randomness per probabilistic evaluation and must
+// not share state with the experiment RNGs (arming a fault must not perturb
+// simulated workers), so it keeps its own tiny stream.
+uint64_t NextSplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double NextUniform(uint64_t& state) {
+  return static_cast<double>(NextSplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& state = points_[point];
+  if (!state.live) armed_points_.fetch_add(1, std::memory_order_relaxed);
+  state.spec = spec;
+  state.live = true;
+  state.hits = 0;
+  state.fires = 0;
+}
+
+void FaultInjector::ArmProbabilistic(const std::string& point,
+                                     double probability) {
+  FaultSpec spec;
+  spec.trigger = FaultSpec::Trigger::kProbabilistic;
+  spec.probability = probability;
+  Arm(point, spec);
+}
+
+void FaultInjector::ArmEveryNth(const std::string& point, size_t nth) {
+  FaultSpec spec;
+  spec.trigger = FaultSpec::Trigger::kEveryNth;
+  spec.nth = nth > 0 ? nth : 1;
+  Arm(point, spec);
+}
+
+void FaultInjector::ArmOneShot(const std::string& point, size_t skip) {
+  FaultSpec spec;
+  spec.trigger = FaultSpec::Trigger::kOneShot;
+  spec.skip = skip;
+  Arm(point, spec);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.live) return;
+  it->second.live = false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+  total_fires_.store(0);
+}
+
+void FaultInjector::SeedRng(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_state_ = seed;
+}
+
+bool FaultInjector::ShouldFail(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.live) return false;
+  PointState& state = it->second;
+  ++state.hits;
+  bool fire = false;
+  switch (state.spec.trigger) {
+    case FaultSpec::Trigger::kProbabilistic:
+      fire = NextUniform(rng_state_) < state.spec.probability;
+      break;
+    case FaultSpec::Trigger::kEveryNth:
+      fire = state.hits % state.spec.nth == 0;
+      break;
+    case FaultSpec::Trigger::kOneShot:
+      if (state.hits == state.spec.skip + 1) {
+        fire = true;
+        // The shot is spent: disarm so later evaluations are free again.
+        state.live = false;
+        armed_points_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      break;
+  }
+  if (fire) {
+    ++state.fires;
+    total_fires_.fetch_add(1);
+  }
+  return fire;
+}
+
+size_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+size_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace docs

@@ -1,0 +1,98 @@
+#ifndef DOCS_COMMON_FAULT_INJECTION_H_
+#define DOCS_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace docs {
+
+/// How an armed fault point decides whether a given evaluation fires.
+///  * kProbabilistic — fires with probability `probability` per evaluation,
+///    drawn from the injector's seeded RNG (deterministic per seed).
+///  * kEveryNth     — fires on every Nth evaluation (the Nth, 2Nth, ...).
+///  * kOneShot      — fires exactly once, on evaluation `skip` + 1.
+struct FaultSpec {
+  enum class Trigger { kProbabilistic, kEveryNth, kOneShot };
+  Trigger trigger = Trigger::kOneShot;
+  double probability = 1.0;  ///< kProbabilistic: per-evaluation fire chance.
+  size_t nth = 1;            ///< kEveryNth: period (>= 1).
+  size_t skip = 0;           ///< kOneShot: evaluations to let pass first.
+};
+
+/// A seeded registry of named fault points for deterministic failure testing.
+///
+/// Production code marks fallible spots with DOCS_FAULT_POINT("name"); tests
+/// arm the named points with a trigger spec and assert that recovery paths
+/// (torn-tail replay, checkpoint retry, crash/restore) behave. The fast path
+/// is a single relaxed atomic load, so an unarmed build pays one predictable
+/// branch per fault point — nothing allocates, locks, or hashes until a test
+/// arms at least one point.
+///
+/// Thread-safe: arming, disarming, and evaluation may race freely (the
+/// serving facade checkpoints from multiple threads in tests).
+class FaultInjector {
+ public:
+  /// The process-wide registry used by DOCS_FAULT_POINT.
+  static FaultInjector& Global();
+
+  /// True when at least one fault point is armed (the fast path).
+  bool armed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms `point` with `spec`, replacing any previous arming (and resetting
+  /// its hit/fire counters).
+  void Arm(const std::string& point, const FaultSpec& spec);
+
+  /// Convenience wrappers for the three trigger kinds.
+  void ArmProbabilistic(const std::string& point, double probability);
+  void ArmEveryNth(const std::string& point, size_t nth);
+  void ArmOneShot(const std::string& point, size_t skip = 0);
+
+  /// Disarms one point (keeps its counters readable) / all points.
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Reseeds the RNG behind probabilistic triggers (default seed 0).
+  void SeedRng(uint64_t seed);
+
+  /// Evaluates `point`: returns true when the armed trigger fires. Unarmed
+  /// points never fire and are not counted. Prefer DOCS_FAULT_POINT, which
+  /// short-circuits through armed() first.
+  bool ShouldFail(const std::string& point);
+
+  /// Times `point` was evaluated / fired since it was (re-)armed.
+  size_t hits(const std::string& point) const;
+  size_t fires(const std::string& point) const;
+  /// Total fires across all points since the last DisarmAll().
+  size_t total_fires() const { return total_fires_.load(); }
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    bool live = false;  ///< false once disarmed (counters stay readable)
+    size_t hits = 0;
+    size_t fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::atomic<size_t> armed_points_{0};
+  std::atomic<size_t> total_fires_{0};
+  std::unordered_map<std::string, PointState> points_;
+  uint64_t rng_state_ = 0;  ///< splitmix64 state for probabilistic triggers
+};
+
+}  // namespace docs
+
+/// Evaluates to true when the named fault point is armed and fires. Costs a
+/// single relaxed atomic load when no faults are armed anywhere.
+#define DOCS_FAULT_POINT(name)                    \
+  (::docs::FaultInjector::Global().armed() &&     \
+   ::docs::FaultInjector::Global().ShouldFail(name))
+
+#endif  // DOCS_COMMON_FAULT_INJECTION_H_

@@ -1,13 +1,24 @@
 #ifndef DOCS_CORE_CONCURRENT_DOCS_SYSTEM_H_
 #define DOCS_CORE_CONCURRENT_DOCS_SYSTEM_H_
 
+#include <chrono>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/docs_system.h"
 
 namespace docs::core {
+
+/// Bounded retry policy for checkpoint saves: transient storage failures
+/// (full disk, slow NFS, an injected fault) are retried with exponential
+/// backoff instead of dropping the snapshot on the floor.
+struct CheckpointRetryOptions {
+  size_t max_attempts = 5;
+  std::chrono::milliseconds initial_backoff{1};
+  double backoff_multiplier = 2.0;
+};
 
 /// Thread-safe facade over DocsSystem for a serving deployment: the real
 /// system sits behind a web frontend where AMT's callbacks (task requests,
@@ -40,10 +51,32 @@ class ConcurrentDocsSystem {
     return system_.SelectTasks(system_.WorkerIndex(worker_id), k);
   }
 
-  /// Atomically resolves the worker id and submits one answer.
-  void SubmitAnswer(const std::string& worker_id, size_t task, size_t choice) {
+  /// Atomically resolves the worker id and submits one answer. Invalid
+  /// submissions (unknown task, out-of-range choice, duplicate (worker,
+  /// task) pair) are rejected with the reason instead of silently dropped —
+  /// the web frontend can surface it to the platform.
+  Status SubmitAnswer(const std::string& worker_id, size_t task,
+                      size_t choice) {
     std::lock_guard<std::mutex> lock(mutex_);
-    system_.OnAnswer(system_.WorkerIndex(worker_id), task, choice);
+    return system_.SubmitAnswer(system_.WorkerIndex(worker_id), task, choice);
+  }
+
+  /// Reclaims every lease whose logical deadline is at or before `now`
+  /// (workers who accepted a HIT and vanished); the freed tasks are
+  /// immediately assignable again. Serving deployments call this on a timer.
+  std::vector<ExpiredLease> ExpireLeases(uint64_t now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.ExpireLeases(now);
+  }
+
+  uint64_t lease_clock() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.lease_clock();
+  }
+
+  size_t outstanding_leases() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.outstanding_leases();
   }
 
   std::vector<size_t> InferredChoices() {
@@ -64,6 +97,27 @@ class ConcurrentDocsSystem {
   Status LoadCheckpoint(const std::string& path) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_.LoadCheckpoint(path);
+  }
+
+  /// SaveCheckpoint with bounded retry: sleeps between attempts with
+  /// exponential backoff (outside the lock, so serving calls proceed while
+  /// the saver waits out a transient storage failure). Returns the last
+  /// attempt's status.
+  Status SaveCheckpointWithRetry(const std::string& path,
+                                 const CheckpointRetryOptions& retry = {}) {
+    const size_t attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+    std::chrono::duration<double, std::milli> backoff =
+        retry.initial_backoff;
+    Status status;
+    for (size_t attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        std::this_thread::sleep_for(backoff);
+        backoff *= retry.backoff_multiplier;
+      }
+      status = SaveCheckpoint(path);
+      if (status.ok()) return status;
+    }
+    return status;
   }
 
   /// Runs `fn` under the lock with direct access to the underlying system —

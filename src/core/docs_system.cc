@@ -47,6 +47,7 @@ Status DocsSystem::AddTasks(const std::vector<TaskInput>& inputs,
   inference_ = std::make_unique<IncrementalTruthInference>(
       tasks_, options_.truth_inference);
   answers_per_task_.assign(tasks_.size(), 0);
+  lease_count_.assign(tasks_.size(), 0);
   return OkStatus();
 }
 
@@ -95,6 +96,7 @@ Status DocsSystem::SaveWorker(const std::string& external_id,
 
 std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
   if (worker >= workers_.size() || inference_ == nullptr) return {};
+  ++lease_clock_;
   WorkerProfile& profile = workers_[worker];
 
   // Golden phase first: probe the new worker's per-domain quality.
@@ -104,16 +106,23 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
       if (!inference_->HasAnswered(worker, idx)) pending.push_back(idx);
       if (pending.size() == k) break;
     }
-    if (!pending.empty()) return pending;
+    if (!pending.empty()) {
+      GrantLeases(worker, pending);
+      return pending;
+    }
     profile.golden_done = true;  // All golden answered between calls.
   }
 
   // OTA over T - T(w), honoring the per-task redundancy cap if one is set.
+  // Outstanding leases count as in-flight answers against the cap, so a task
+  // already granted to enough workers is not over-assigned; abandoned grants
+  // come back via ExpireLeases.
   std::vector<uint8_t> eligible(tasks_.size(), 0);
   for (size_t i = 0; i < tasks_.size(); ++i) {
     if (inference_->HasAnswered(worker, i)) continue;
     if (options_.max_answers_per_task > 0 &&
-        answers_per_task_[i] >= options_.max_answers_per_task) {
+        answers_per_task_[i] + lease_count_[i] >=
+            options_.max_answers_per_task) {
       continue;
     }
     eligible[i] = 1;
@@ -141,6 +150,7 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
     std::vector<size_t> selected;
     selected.reserve(take);
     for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].second);
+    GrantLeases(worker, selected);
     return selected;
   }
 
@@ -161,6 +171,7 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
     std::vector<size_t> selected;
     selected.reserve(take);
     for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].second);
+    GrantLeases(worker, selected);
     return selected;
   }
 
@@ -200,7 +211,55 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
   std::vector<size_t> selected;
   selected.reserve(take);
   for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].task);
+  GrantLeases(worker, selected);
   return selected;
+}
+
+void DocsSystem::GrantLeases(size_t worker,
+                             const std::vector<size_t>& granted) {
+  if (options_.lease_duration == 0) return;
+  const uint64_t deadline = lease_clock_ + options_.lease_duration;
+  for (size_t task : granted) {
+    auto [it, inserted] = leases_.try_emplace(LeaseKey(worker, task), deadline);
+    if (inserted) {
+      ++lease_count_[task];
+    } else {
+      it->second = deadline;  // Re-granted to the same worker: refresh.
+    }
+  }
+}
+
+void DocsSystem::ReleaseLease(size_t worker, size_t task) {
+  if (leases_.empty()) return;
+  auto it = leases_.find(LeaseKey(worker, task));
+  if (it == leases_.end()) return;
+  leases_.erase(it);
+  --lease_count_[task];
+}
+
+std::vector<ExpiredLease> DocsSystem::ExpireLeases(uint64_t now) {
+  std::vector<ExpiredLease> expired;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second <= now) {
+      ExpiredLease lease;
+      lease.worker = static_cast<size_t>(it->first >> 32);
+      lease.task = static_cast<size_t>(it->first & 0xffffffffULL);
+      lease.deadline = it->second;
+      expired.push_back(lease);
+      --lease_count_[lease.task];
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Hash-map iteration order is not part of the contract; sort so chaos
+  // campaigns replay identically across runs and standard libraries.
+  std::sort(expired.begin(), expired.end(),
+            [](const ExpiredLease& a, const ExpiredLease& b) {
+              if (a.worker != b.worker) return a.worker < b.worker;
+              return a.task < b.task;
+            });
+  return expired;
 }
 
 void DocsSystem::FinishGoldenPhase(size_t worker) {
@@ -221,19 +280,46 @@ void DocsSystem::FinishGoldenPhase(size_t worker) {
   profile.golden_done = true;
 }
 
-void DocsSystem::OnAnswer(size_t worker, size_t task, size_t choice) {
-  if (inference_ == nullptr || worker >= workers_.size()) return;
-  WorkerProfile& profile = workers_[worker];
+Status DocsSystem::ValidateAnswer(size_t worker, size_t task,
+                                  size_t choice) const {
+  if (inference_ == nullptr) {
+    return FailedPreconditionError("no tasks ingested");
+  }
+  if (worker >= workers_.size()) {
+    return InvalidArgumentError("unknown worker " + std::to_string(worker));
+  }
+  // Bounds come first: a malformed task index must never reach
+  // answers_per_task_[task] / tasks_[task] / is_golden_[task].
+  if (task >= tasks_.size()) {
+    return InvalidArgumentError("unknown task " + std::to_string(task));
+  }
+  if (choice >= tasks_[task].num_choices) {
+    return OutOfRangeError("choice " + std::to_string(choice) +
+                           " out of range for task " + std::to_string(task) +
+                           " with " + std::to_string(tasks_[task].num_choices) +
+                           " choices");
+  }
+  if (inference_->HasAnswered(worker, task)) {
+    return AlreadyExistsError("duplicate answer from worker " +
+                              std::to_string(worker) + " for task " +
+                              std::to_string(task));
+  }
+  return OkStatus();
+}
 
-  const bool golden_answer = task < is_golden_.size() && is_golden_[task] &&
-                             known_truth_[task] >= 0 && !profile.golden_done;
+void DocsSystem::AbsorbAnswer(size_t worker, size_t task, size_t choice) {
+  WorkerProfile& profile = workers_[worker];
+  const bool golden_answer =
+      is_golden_[task] && known_truth_[task] >= 0 && !profile.golden_done;
 
   Status status = inference_->OnAnswer(worker, task, choice);
   if (!status.ok()) {
-    DOCS_LOG(Warning) << "OnAnswer: " << status.ToString();
+    // Unreachable after ValidateAnswer; kept as a hard guard.
+    DOCS_LOG(Warning) << "inference rejected answer: " << status.ToString();
     return;
   }
   ++answers_per_task_[task];
+  ReleaseLease(worker, task);
 
   if (golden_answer) {
     const auto& r = tasks_[task].domain_vector;
@@ -247,12 +333,26 @@ void DocsSystem::OnAnswer(size_t worker, size_t task, size_t choice) {
       FinishGoldenPhase(worker);
     }
   }
+}
+
+Status DocsSystem::SubmitAnswer(size_t worker, size_t task, size_t choice) {
+  Status status = ValidateAnswer(worker, task, choice);
+  if (!status.ok()) return status;
+  AbsorbAnswer(worker, task, choice);
 
   // Delayed full inference every z submissions (Section 4.2).
   if (options_.reinfer_every > 0 &&
       ++answers_since_reinfer_ >= options_.reinfer_every) {
     inference_->RunFullInference();
     answers_since_reinfer_ = 0;
+  }
+  return OkStatus();
+}
+
+void DocsSystem::OnAnswer(size_t worker, size_t task, size_t choice) {
+  Status status = SubmitAnswer(worker, task, choice);
+  if (!status.ok()) {
+    DOCS_LOG(Warning) << "OnAnswer: " << status.ToString();
   }
 }
 
@@ -316,6 +416,8 @@ Status DocsSystem::LoadCheckpoint(const std::string& path) {
   inference_ = std::make_unique<IncrementalTruthInference>(
       tasks_, options_.truth_inference);
   answers_per_task_.assign(tasks_.size(), 0);
+  lease_count_.assign(tasks_.size(), 0);
+  leases_.clear();  // Leases are volatile: a restore reclaims all grants.
 
   // Re-register workers in index order, restore their seed profiles and
   // golden progress flags.
@@ -334,31 +436,25 @@ Status DocsSystem::LoadCheckpoint(const std::string& path) {
   }
 
   // Replay answers: inference state rebuilds exactly; golden tallies for
-  // workers still mid-probe are recomputed from the golden answers.
+  // workers still mid-probe are recomputed from the golden answers. Records
+  // that fail the same validation live submissions go through (out-of-range
+  // task/choice, duplicate (worker, task)) are dropped individually — a
+  // corrupted record must neither index out of range nor lose the session.
+  size_t replayed = 0;
+  size_t dropped = 0;
   for (const auto& answer : checkpoint->answers) {
-    Status status =
-        inference_->OnAnswer(answer.worker, answer.task, answer.choice);
-    if (!status.ok()) {
-      return DataLossError("replay failed: " + status.ToString());
+    if (!ValidateAnswer(answer.worker, answer.task, answer.choice).ok()) {
+      ++dropped;
+      continue;
     }
-    ++answers_per_task_[answer.task];
-    WorkerProfile& profile = workers_[answer.worker];
-    if (!profile.golden_done && is_golden_[answer.task] &&
-        known_truth_[answer.task] >= 0) {
-      const auto& r = tasks_[answer.task].domain_vector;
-      const bool correct =
-          static_cast<int>(answer.choice) == known_truth_[answer.task];
-      for (size_t k = 0; k < r.size(); ++k) {
-        profile.golden_total[k] += r[k];
-        if (correct) profile.golden_correct[k] += r[k];
-      }
-      ++profile.golden_answered;
-      if (profile.golden_answered >= golden_.tasks.size()) {
-        FinishGoldenPhase(answer.worker);
-      }
-    }
+    AbsorbAnswer(answer.worker, answer.task, answer.choice);
+    ++replayed;
   }
-  if (!checkpoint->answers.empty()) inference_->RunFullInference();
+  if (dropped > 0) {
+    DOCS_LOG(Warning) << "checkpoint replay dropped " << dropped
+                      << " invalid answer record(s), kept " << replayed;
+  }
+  if (replayed > 0) inference_->RunFullInference();
   answers_since_reinfer_ = 0;
   return OkStatus();
 }

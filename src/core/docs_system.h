@@ -1,6 +1,7 @@
 #ifndef DOCS_CORE_DOCS_SYSTEM_H_
 #define DOCS_CORE_DOCS_SYSTEM_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -45,12 +46,29 @@ enum class SelectionRule {
   kQualityBlind,
 };
 
+/// A task grant that was never answered: ExpireLeases returns these so the
+/// assignment pool can re-serve work abandoned by no-show workers.
+struct ExpiredLease {
+  size_t worker = 0;
+  size_t task = 0;
+  /// The logical deadline the lease missed (grant clock + lease_duration).
+  uint64_t deadline = 0;
+};
+
 struct DocsSystemOptions {
   nlp::EntityLinkerOptions linker;
   TruthInferenceOptions truth_inference;
   TaskAssignerOptions assigner;
   /// Number of golden tasks selected after DVE (20 in the paper).
   size_t golden_count = 20;
+  /// Lease duration for granted tasks, in logical ticks (each SelectTasks
+  /// call advances the clock by one). While a lease is outstanding the task
+  /// counts against `max_answers_per_task`, so OTA does not over-assign
+  /// in-flight work; a grant not answered within the duration is considered
+  /// abandoned and is reclaimed by ExpireLeases(). 0 disables leasing.
+  /// Leases are intentionally volatile: a crash (checkpoint restore) drops
+  /// them all, which simply returns the in-flight tasks to the pool.
+  size_t lease_duration = 0;
   /// Re-run the full iterative inference every z answer submissions
   /// (z = 100 in DOCS); 0 disables the periodic re-run.
   size_t reinfer_every = 100;
@@ -112,11 +130,33 @@ class DocsSystem : public AssignmentPolicy {
 
   /// Restores a session saved with SaveCheckpoint. Must be called instead
   /// of AddTasks on a fresh system (same KB and options as the original).
+  /// Answer records that fail validation (out-of-range task/choice,
+  /// duplicate (worker, task) pair) are skipped with a warning rather than
+  /// poisoning the whole restore — a corrupted record costs one answer, not
+  /// the session.
   Status LoadCheckpoint(const std::string& path);
+
+  /// Validated answer submission: rejects answers against a system with no
+  /// tasks (FailedPrecondition), unknown workers/tasks (InvalidArgument),
+  /// out-of-range choices (OutOfRange) and duplicate (worker, task)
+  /// submissions (AlreadyExists) — AMT retries and malformed callbacks must
+  /// not corrupt inference state. On success the answer is absorbed and any
+  /// lease the worker held on the task is released.
+  Status SubmitAnswer(size_t worker, size_t task, size_t choice);
+
+  /// Releases every lease whose deadline is at or before `now` and returns
+  /// the reclaimed grants; the freed tasks are immediately assignable again.
+  std::vector<ExpiredLease> ExpireLeases(uint64_t now);
+
+  /// Logical clock: the number of SelectTasks calls served so far.
+  uint64_t lease_clock() const { return lease_clock_; }
+  size_t outstanding_leases() const { return leases_.size(); }
 
   // --- AssignmentPolicy -----------------------------------------------------
   std::string name() const override { return options_.display_name; }
   std::vector<size_t> SelectTasks(size_t worker, size_t k) override;
+  /// Platform-interface shim over SubmitAnswer: logs and drops rejected
+  /// answers (the campaign protocols of Section 6.1 have no error channel).
   void OnAnswer(size_t worker, size_t task, size_t choice) override;
   std::vector<size_t> InferredChoices() override;
 
@@ -132,6 +172,20 @@ class DocsSystem : public AssignmentPolicy {
 
   void FinishGoldenPhase(size_t worker);
 
+  /// Shared validation for live submissions and checkpoint replay.
+  Status ValidateAnswer(size_t worker, size_t task, size_t choice) const;
+  /// Absorbs one validated answer: inference update, redundancy counter,
+  /// lease release, golden-phase accounting. Does not trigger the periodic
+  /// re-inference (the caller decides; replay defers to one final run).
+  void AbsorbAnswer(size_t worker, size_t task, size_t choice);
+
+  /// Lease bookkeeping (no-ops while options_.lease_duration == 0).
+  void GrantLeases(size_t worker, const std::vector<size_t>& granted);
+  void ReleaseLease(size_t worker, size_t task);
+  static uint64_t LeaseKey(size_t worker, size_t task) {
+    return (static_cast<uint64_t>(worker) << 32) | static_cast<uint32_t>(task);
+  }
+
   const kb::KnowledgeBase* kb_;
   DocsSystemOptions options_;
   DomainVectorEstimator dve_;
@@ -144,6 +198,11 @@ class DocsSystem : public AssignmentPolicy {
   std::vector<WorkerProfile> workers_;
   std::vector<size_t> answers_per_task_;
   size_t answers_since_reinfer_ = 0;
+  uint64_t lease_clock_ = 0;
+  /// (worker << 32 | task) -> logical deadline.
+  std::unordered_map<uint64_t, uint64_t> leases_;
+  /// Outstanding leases per task (kept in sync with leases_).
+  std::vector<uint32_t> lease_count_;
 };
 
 }  // namespace docs::core

@@ -155,6 +155,107 @@ std::vector<PolicyOutcome> RunAssignmentCampaign(
   return outcomes;
 }
 
+ChaosCampaignResult RunChaosCampaign(
+    const datasets::Dataset& dataset,
+    const std::vector<SimulatedWorker>& workers,
+    const std::function<std::unique_ptr<core::ConcurrentDocsSystem>()>&
+        make_system,
+    const ChaosCampaignOptions& options) {
+  Rng rng(options.seed);
+  ChaosCampaignResult result;
+
+  std::vector<core::TaskInput> inputs;
+  inputs.reserve(dataset.tasks.size());
+  for (const auto& spec : dataset.tasks) {
+    inputs.push_back({spec.text, spec.num_choices()});
+  }
+  const std::vector<size_t> truths = dataset.Truths();
+
+  auto system = make_system();
+  {
+    Status status = system->AddTasks(inputs, &truths);
+    if (!status.ok()) return result;
+  }
+
+  const size_t budget = options.total_answers > 0 ? options.total_answers
+                                                  : dataset.tasks.size() * 10;
+  const size_t max_arrivals =
+      options.max_arrivals > 0 ? options.max_arrivals : budget * 20 + 1000;
+  const bool checkpointing =
+      options.checkpoint_every > 0 && !options.checkpoint_path.empty();
+
+  std::vector<double> weights;
+  size_t arrivals = 0;
+  size_t answers_at_last_checkpoint = 0;
+  while (result.answers < budget && arrivals < max_arrivals) {
+    ++arrivals;
+    if (options.expire_every > 0 && arrivals % options.expire_every == 0) {
+      result.expired_leases +=
+          system->ExpireLeases(system->lease_clock()).size();
+    }
+
+    const size_t w = SampleWorker(workers, weights, rng);
+    const std::vector<size_t> hit = system->RequestTasks(
+        workers[w].id, std::min(options.hit_size, budget - result.answers));
+    if (hit.empty()) continue;
+    ++result.hits;
+
+    // Abandonment: the worker answers a random prefix of the HIT and
+    // vanishes; the unanswered grants stay leased until an expiry sweep.
+    size_t answered = hit.size();
+    if (workers[w].abandon_probability > 0.0 &&
+        rng.Bernoulli(workers[w].abandon_probability)) {
+      answered = rng.UniformInt(hit.size());
+      ++result.abandoned_hits;
+    }
+    result.abandoned_answers += hit.size() - answered;
+
+    for (size_t idx = 0; idx < answered; ++idx) {
+      const size_t task = hit[idx];
+      const auto& spec = dataset.tasks[task];
+      const size_t choice = GenerateAnswerWithDifficulty(
+          workers[w], spec.true_domain, spec.truth, spec.num_choices(),
+          spec.difficulty, rng);
+      if (system->SubmitAnswer(workers[w].id, task, choice).ok()) {
+        ++result.answers;
+      } else {
+        ++result.rejected_answers;
+      }
+    }
+
+    if (!checkpointing ||
+        result.answers - answers_at_last_checkpoint < options.checkpoint_every) {
+      continue;
+    }
+    // Periodic durability point. Retries consume no campaign randomness, so
+    // injected storage faults leave the collected-answer stream untouched.
+    Status saved;
+    for (size_t attempt = 0; attempt < std::max<size_t>(1, options.save_attempts);
+         ++attempt) {
+      saved = system->SaveCheckpoint(options.checkpoint_path);
+      if (saved.ok()) break;
+      ++result.save_failures;
+    }
+    if (!saved.ok()) continue;  // Keep collecting; try again next period.
+    ++result.checkpoints;
+    answers_at_last_checkpoint = result.answers;
+
+    if (options.crash_every_checkpoints > 0 &&
+        result.checkpoints % options.crash_every_checkpoints == 0) {
+      // Crash/recover cycle: drop the whole system (losing every lease and
+      // all in-memory state) and rebuild it from the checkpoint just saved.
+      system = make_system();
+      Status recovered = system->LoadCheckpoint(options.checkpoint_path);
+      if (!recovered.ok()) return result;  // Unrecoverable; report progress.
+      ++result.crashes;
+    }
+  }
+
+  result.inferred_choices = system->InferredChoices();
+  result.completed = result.answers >= budget;
+  return result;
+}
+
 std::vector<core::Task> TasksWithOneHotDomains(
     const datasets::Dataset& dataset, size_t num_domains) {
   std::vector<core::Task> tasks;

@@ -2,9 +2,13 @@
 #define DOCS_CROWD_CAMPAIGN_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/assignment_policy.h"
+#include "core/concurrent_docs_system.h"
 #include "core/types.h"
 #include "crowd/worker_pool.h"
 #include "datasets/dataset.h"
@@ -68,6 +72,67 @@ std::vector<PolicyOutcome> RunAssignmentCampaign(
     const std::vector<SimulatedWorker>& workers,
     const std::vector<core::AssignmentPolicy*>& policies,
     const CampaignOptions& options);
+
+/// Configuration of a chaos campaign: answer collection through the serving
+/// facade under worker abandonment, periodic lease-expiry sweeps, periodic
+/// checkpoint saves (each retried a bounded number of times, surviving
+/// injected storage faults), and periodic crash/recover cycles that tear the
+/// system down and rebuild it from the latest checkpoint.
+///
+/// The run is deterministic in `seed`: the worker-arrival and answer RNG
+/// lives in the campaign (not the system), saves retry without consuming
+/// randomness, and crashes happen only after a successful save — so a run
+/// with storage faults armed collects exactly the same answers, and infers
+/// exactly the same truths, as a fault-free run. That equivalence is the
+/// recovery property the chaos tests assert.
+struct ChaosCampaignOptions {
+  size_t hit_size = 4;
+  /// Total answers to collect (0 => 10 per task).
+  size_t total_answers = 0;
+  uint64_t seed = 17;
+  /// Run a lease-expiry sweep every this many worker arrivals (0 = never).
+  size_t expire_every = 8;
+  /// Save a checkpoint every this many collected answers (0 = never).
+  size_t checkpoint_every = 0;
+  /// Crash and recover after every Nth successful checkpoint (0 = never).
+  size_t crash_every_checkpoints = 0;
+  std::string checkpoint_path;
+  /// Bounded retry budget per checkpoint save.
+  size_t save_attempts = 8;
+  /// Safety cap on worker arrivals (0 = derived from the answer budget).
+  size_t max_arrivals = 0;
+};
+
+struct ChaosCampaignResult {
+  std::vector<size_t> inferred_choices;
+  size_t answers = 0;
+  size_t hits = 0;
+  /// HITs the worker walked away from / grants left unanswered by them.
+  size_t abandoned_hits = 0;
+  size_t abandoned_answers = 0;
+  /// Leases reclaimed by the periodic expiry sweeps.
+  size_t expired_leases = 0;
+  size_t checkpoints = 0;
+  size_t crashes = 0;
+  /// Save attempts that failed and were retried (injected storage faults).
+  size_t save_failures = 0;
+  /// Submissions the system rejected (validation errors).
+  size_t rejected_answers = 0;
+  /// True when the answer budget was met before the arrival cap.
+  bool completed = false;
+};
+
+/// Runs answer collection against `make_system()` (a factory so crash cycles
+/// can rebuild the system from scratch and reload the checkpoint). The
+/// factory returns a fresh, empty ConcurrentDocsSystem configured by the
+/// caller (lease_duration, redundancy cap, golden count, ...); the campaign
+/// ingests the dataset's tasks itself on first build.
+ChaosCampaignResult RunChaosCampaign(
+    const datasets::Dataset& dataset,
+    const std::vector<SimulatedWorker>& workers,
+    const std::function<std::unique_ptr<core::ConcurrentDocsSystem>()>&
+        make_system,
+    const ChaosCampaignOptions& options);
 
 /// Converts a dataset into the core Task representation using the *latent*
 /// ground-truth domain as a one-hot domain vector — used by oracle baselines

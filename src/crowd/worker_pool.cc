@@ -19,6 +19,12 @@ std::vector<SimulatedWorker> MakeWorkerPool(
     if (rng.Bernoulli(options.constant_answerer_fraction)) {
       worker.constant_choice = 0;
     }
+    // Guarded so the default (no dropout) consumes no RNG draws and existing
+    // seeded pools are reproduced bit-for-bit.
+    if (options.dropout_fraction > 0.0 &&
+        rng.Bernoulli(options.dropout_fraction)) {
+      worker.abandon_probability = options.dropout_abandon_probability;
+    }
     const bool spammer = rng.Bernoulli(options.spammer_fraction);
     worker.true_quality.resize(num_domains);
     for (size_t k = 0; k < num_domains; ++k) {

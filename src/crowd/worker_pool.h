@@ -22,6 +22,10 @@ struct SimulatedWorker {
   /// adversary pattern common on real platforms. Such coalitions are what
   /// make truth-inference initialization (golden tasks) matter.
   int constant_choice = -1;
+  /// Per-HIT probability that the worker accepts the HIT, answers a random
+  /// prefix of it, and disappears — the AMT no-show/abandonment pattern
+  /// that lease expiry exists to absorb. 0 never abandons.
+  double abandon_probability = 0.0;
 };
 
 struct WorkerPoolOptions {
@@ -41,6 +45,10 @@ struct WorkerPoolOptions {
   size_t max_expert_domains = 3;
   /// Fraction of workers who always submit the first choice.
   double constant_answerer_fraction = 0.0;
+  /// Fraction of workers prone to abandoning HITs mid-way, and the per-HIT
+  /// probability with which such a worker does so.
+  double dropout_fraction = 0.0;
+  double dropout_abandon_probability = 0.5;
   /// Probability that each expert domain is drawn from `focus_domains`
   /// (the dataset's domains) rather than uniformly from all m domains.
   double focus_probability = 0.8;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/fault_injection.h"
 #include "common/string_utils.h"
 
 namespace docs::storage {
@@ -73,6 +74,15 @@ Status LogStore::Append(const std::string& payload) {
   if (payload.find('\n') != std::string::npos) {
     return InvalidArgumentError("payload must not contain newlines");
   }
+  if (DOCS_FAULT_POINT(kFaultAppend)) {
+    // Simulate a crash mid-append: only a prefix of the record reaches the
+    // file (no checksum, no newline), exactly what a torn write leaves.
+    const std::string record =
+        "PUT " + payload + " #" + std::to_string(Fnv1a(payload)) + '\n';
+    file_->out << record.substr(0, record.size() / 2);
+    file_->out.flush();
+    return IoError("injected torn append: " + path_);
+  }
   file_->out << "PUT " << payload << " #" << Fnv1a(payload) << '\n';
   if (!file_->out.good()) return IoError("append failed: " + path_);
   ++record_count_;
@@ -82,16 +92,30 @@ Status LogStore::Append(const std::string& payload) {
 Status LogStore::Compact(const std::vector<std::string>& payloads) {
   file_->out.close();
   const std::string tmp = path_ + ".compact";
+  // On any failure the original log is untouched; reopen it for append so
+  // the store stays usable and a later retry can run.
+  auto fail = [this](std::string message) {
+    file_->out.open(path_, std::ios::app);
+    return IoError(std::move(message));
+  };
   {
     std::ofstream out(tmp, std::ios::trunc);
-    if (!out.is_open()) return IoError("cannot open " + tmp);
+    if (!out.is_open()) return fail("cannot open " + tmp);
     for (const auto& payload : payloads) {
       out << "PUT " << payload << " #" << Fnv1a(payload) << '\n';
     }
-    if (!out.good()) return IoError("compaction write failed");
+    if (DOCS_FAULT_POINT(kFaultCompactWrite)) {
+      return fail("injected compaction write failure: " + path_);
+    }
+    if (!out.good()) return fail("compaction write failed");
+  }
+  if (DOCS_FAULT_POINT(kFaultCompactRename)) {
+    // Crash before the rename: the fully written temp file is orphaned, the
+    // live log keeps its old contents — the atomicity contract under test.
+    return fail("injected crash before compaction rename: " + path_);
   }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return IoError("compaction rename failed");
+    return fail("compaction rename failed");
   }
   record_count_ = payloads.size();
   file_->out.open(path_, std::ios::app);
@@ -100,6 +124,9 @@ Status LogStore::Compact(const std::vector<std::string>& payloads) {
 }
 
 Status LogStore::Flush() {
+  if (DOCS_FAULT_POINT(kFaultFlush)) {
+    return IoError("injected flush failure: " + path_);
+  }
   file_->out.flush();
   if (!file_->out.good()) return IoError("flush failed: " + path_);
   return OkStatus();

@@ -10,6 +10,15 @@
 
 namespace docs::storage {
 
+/// Fault points threaded through LogStore's file I/O (see
+/// common/fault_injection.h). Tests arm these to force torn appends, failed
+/// flushes, and crash-before-rename compactions; production pays one atomic
+/// load per call when nothing is armed.
+inline constexpr char kFaultAppend[] = "log_store.append";
+inline constexpr char kFaultFlush[] = "log_store.flush";
+inline constexpr char kFaultCompactWrite[] = "log_store.compact_write";
+inline constexpr char kFaultCompactRename[] = "log_store.compact_rename";
+
 /// A crash-safe append-only record log: the storage primitive under
 /// WorkerStore and the DOCS system-state checkpoints.
 ///

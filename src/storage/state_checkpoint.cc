@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "storage/log_store.h"
 
 namespace docs::storage {
@@ -38,6 +39,11 @@ std::string SerializeWorker(size_t index,
 
 Status SaveStateCheckpoint(const StateCheckpoint& checkpoint,
                            const std::string& path) {
+  if (DOCS_FAULT_POINT(kFaultCheckpointSave)) {
+    // Fails before anything is written: the previous checkpoint (if any)
+    // stays intact, which is what retry-with-backoff relies on.
+    return IoError("injected checkpoint save failure: " + path);
+  }
   std::vector<std::string> payloads;
   payloads.reserve(checkpoint.tasks.size() + checkpoint.workers.size() +
                    checkpoint.answers.size() + checkpoint.golden_tasks.size());

@@ -8,6 +8,12 @@
 
 namespace docs::storage {
 
+/// Fault point evaluated at the top of SaveStateCheckpoint: an injected
+/// failure rejects the save before any byte is written (the on-disk
+/// checkpoint keeps its previous contents). LogStore's compaction fault
+/// points additionally cover mid-write and pre-rename crashes of a save.
+inline constexpr char kFaultCheckpointSave[] = "checkpoint.save";
+
 /// A durable snapshot of a running crowdsourcing session — the "database"
 /// side of Figure 1 for tasks. It captures everything needed to resume
 /// after a crash or restart: the tasks' domain vectors and choice counts,

@@ -1,0 +1,447 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/concurrent_docs_system.h"
+#include "core/docs_system.h"
+#include "crowd/campaign.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+#include "storage/log_store.h"
+#include "storage/state_checkpoint.h"
+
+namespace docs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Every test leaves the global injector clean so fault arming cannot leak
+/// into unrelated tests.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+// --- FaultInjector ------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, UnarmedInjectorNeverFires) {
+  auto& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.ShouldFail("nothing.armed"));
+  EXPECT_EQ(injector.hits("nothing.armed"), 0u);
+  EXPECT_EQ(injector.total_fires(), 0u);
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresOnTheNth) {
+  auto& injector = FaultInjector::Global();
+  injector.ArmEveryNth("p", 3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(injector.ShouldFail("p"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(injector.hits("p"), 9u);
+  EXPECT_EQ(injector.fires("p"), 3u);
+}
+
+TEST_F(FaultInjectionTest, OneShotFiresOnceAfterSkip) {
+  auto& injector = FaultInjector::Global();
+  injector.ArmOneShot("p", /*skip=*/2);
+  EXPECT_FALSE(injector.ShouldFail("p"));
+  EXPECT_FALSE(injector.ShouldFail("p"));
+  EXPECT_TRUE(injector.ShouldFail("p"));
+  // The shot is spent: the point disarms itself.
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.ShouldFail("p"));
+  EXPECT_EQ(injector.fires("p"), 1u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticIsSeededAndDeterministic) {
+  auto& injector = FaultInjector::Global();
+  auto run = [&] {
+    injector.SeedRng(42);
+    injector.ArmProbabilistic("p", 0.3);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(injector.ShouldFail("p"));
+    return fired;
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+  const size_t fires = injector.fires("p");
+  EXPECT_GT(fires, 30u);  // ~60 expected at p = 0.3
+  EXPECT_LT(fires, 100u);
+  injector.ArmProbabilistic("q", 0.0);
+  EXPECT_FALSE(injector.ShouldFail("q"));
+  injector.ArmProbabilistic("r", 1.0);
+  EXPECT_TRUE(injector.ShouldFail("r"));
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFiring) {
+  auto& injector = FaultInjector::Global();
+  injector.ArmEveryNth("p", 1);
+  EXPECT_TRUE(injector.ShouldFail("p"));
+  injector.Disarm("p");
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.ShouldFail("p"));
+  // Counters from the armed period stay readable.
+  EXPECT_EQ(injector.fires("p"), 1u);
+}
+
+// --- LogStore under injected faults -------------------------------------------
+
+TEST_F(FaultInjectionTest, TornAppendRecoversIntactPrefix) {
+  const std::string path = TempPath("fi_torn_append.log");
+  std::remove(path.c_str());
+  {
+    auto log = storage::LogStore::Open(path, nullptr);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("first").ok());
+    FaultInjector::Global().ArmOneShot(storage::kFaultAppend);
+    Status status = log->Append("second");
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+    ASSERT_TRUE(log->Flush().ok());
+  }
+  // The torn half-record is on disk; replay must stop exactly after the
+  // intact prefix.
+  std::vector<std::string> replayed;
+  auto reopened = storage::LogStore::Open(
+      path, [&](const std::string& payload) { replayed.push_back(payload); });
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(replayed, (std::vector<std::string>{"first"}));
+}
+
+TEST_F(FaultInjectionTest, FlushFaultIsTransient) {
+  const std::string path = TempPath("fi_flush.log");
+  std::remove(path.c_str());
+  auto log = storage::LogStore::Open(path, nullptr);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->Append("payload").ok());
+  FaultInjector::Global().ArmOneShot(storage::kFaultFlush);
+  EXPECT_EQ(log->Flush().code(), StatusCode::kIoError);
+  EXPECT_TRUE(log->Flush().ok());  // One-shot spent: the retry succeeds.
+}
+
+TEST_F(FaultInjectionTest, CrashBeforeCompactionRenameKeepsOldLog) {
+  const std::string path = TempPath("fi_compact.log");
+  std::remove(path.c_str());
+  auto log = storage::LogStore::Open(path, nullptr);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(log->Append("r" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(log->Flush().ok());
+
+  FaultInjector::Global().ArmOneShot(storage::kFaultCompactRename);
+  EXPECT_EQ(log->Compact({"survivor"}).code(), StatusCode::kIoError);
+
+  // The live log is untouched by the failed compaction...
+  {
+    std::vector<std::string> replayed;
+    auto check = storage::LogStore::Open(
+        path, [&](const std::string& payload) { replayed.push_back(payload); });
+    ASSERT_TRUE(check.ok());
+    EXPECT_EQ(replayed, (std::vector<std::string>{"r0", "r1", "r2"}));
+  }
+  // ...and the store survives the failure: appends and a compaction retry
+  // still work.
+  ASSERT_TRUE(log->Append("r3").ok());
+  ASSERT_TRUE(log->Compact({"survivor"}).ok());
+  ASSERT_TRUE(log->Append("post").ok());
+  ASSERT_TRUE(log->Flush().ok());
+  std::vector<std::string> replayed;
+  auto reopened = storage::LogStore::Open(
+      path, [&](const std::string& payload) { replayed.push_back(payload); });
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(replayed, (std::vector<std::string>{"survivor", "post"}));
+}
+
+TEST_F(FaultInjectionTest, CompactionWriteFaultKeepsOldLog) {
+  const std::string path = TempPath("fi_compact_write.log");
+  std::remove(path.c_str());
+  auto log = storage::LogStore::Open(path, nullptr);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->Append("keep").ok());
+  ASSERT_TRUE(log->Flush().ok());
+  FaultInjector::Global().ArmOneShot(storage::kFaultCompactWrite);
+  EXPECT_EQ(log->Compact({"replacement"}).code(), StatusCode::kIoError);
+  std::vector<std::string> replayed;
+  auto reopened = storage::LogStore::Open(
+      path, [&](const std::string& payload) { replayed.push_back(payload); });
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(replayed, (std::vector<std::string>{"keep"}));
+}
+
+// --- Checkpoint saves under injected faults -----------------------------------
+
+storage::StateCheckpoint SmallCheckpoint(size_t num_answers) {
+  storage::StateCheckpoint checkpoint;
+  storage::StateCheckpoint::TaskState task;
+  task.domain_vector = {1.0, 0.0};
+  task.num_choices = 4;
+  task.known_truth = -1;
+  checkpoint.tasks = {task};
+  storage::StateCheckpoint::WorkerState worker;
+  worker.external_id = "w";
+  worker.golden_done = true;
+  checkpoint.workers = {worker};
+  for (size_t i = 0; i < num_answers; ++i) {
+    checkpoint.answers.push_back({0, 0, i % 4});
+  }
+  return checkpoint;
+}
+
+TEST_F(FaultInjectionTest, FailedCheckpointSaveLeavesPreviousIntact) {
+  const std::string path = TempPath("fi_ckpt.log");
+  std::remove(path.c_str());
+  ASSERT_TRUE(storage::SaveStateCheckpoint(SmallCheckpoint(1), path).ok());
+
+  FaultInjector::Global().ArmOneShot(storage::kFaultCheckpointSave);
+  EXPECT_EQ(storage::SaveStateCheckpoint(SmallCheckpoint(3), path).code(),
+            StatusCode::kIoError);
+  auto loaded = storage::LoadStateCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->answers.size(), 1u);  // still the old snapshot
+
+  // Retry (the shot is spent) succeeds and replaces it.
+  ASSERT_TRUE(storage::SaveStateCheckpoint(SmallCheckpoint(3), path).ok());
+  loaded = storage::LoadStateCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->answers.size(), 3u);
+}
+
+// --- DocsSystem: leases, validation, replay hardening, retry ------------------
+
+class SystemFaultTest : public FaultInjectionTest {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* SystemFaultTest::kb_ = nullptr;
+
+TEST_F(SystemFaultTest, ExpireLeasesReturnsEveryAbandonedTask) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  options.lease_duration = 2;
+  options.max_answers_per_task = 1;
+  core::DocsSystem system(&kb_->knowledge_base, options);
+  std::vector<core::TaskInput> inputs = {
+      {"Is Kobe Bryant a basketball player?", 2},
+      {"Is sushi Japanese food?", 2},
+      {"Is the Eiffel Tower in Paris?", 2}};
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+
+  const size_t ghost = system.WorkerIndex("ghost");
+  const size_t diligent = system.WorkerIndex("diligent");
+
+  // The no-show worker takes all three tasks (clock 1, deadlines 3).
+  auto granted = system.SelectTasks(ghost, 3);
+  ASSERT_EQ(granted.size(), 3u);
+  EXPECT_EQ(system.outstanding_leases(), 3u);
+
+  // While the leases are live, the cap (1 answer/task) starves everyone else.
+  EXPECT_TRUE(system.SelectTasks(diligent, 3).empty());  // clock 2
+  EXPECT_TRUE(system.ExpireLeases(system.lease_clock()).empty());
+
+  // One more tick reaches the deadline: every abandoned grant comes back.
+  EXPECT_TRUE(system.SelectTasks(diligent, 3).empty());  // clock 3
+  auto expired = system.ExpireLeases(system.lease_clock());
+  ASSERT_EQ(expired.size(), 3u);
+  std::set<size_t> expired_tasks;
+  for (const auto& lease : expired) {
+    EXPECT_EQ(lease.worker, ghost);
+    expired_tasks.insert(lease.task);
+  }
+  EXPECT_EQ(expired_tasks,
+            std::set<size_t>(granted.begin(), granted.end()));
+  EXPECT_EQ(system.outstanding_leases(), 0u);
+
+  // The pool recovered: the diligent worker now gets all three tasks, and
+  // answering releases her leases one by one.
+  auto reassigned = system.SelectTasks(diligent, 3);
+  ASSERT_EQ(reassigned.size(), 3u);
+  EXPECT_EQ(system.outstanding_leases(), 3u);
+  for (size_t task : reassigned) {
+    ASSERT_TRUE(system.SubmitAnswer(diligent, task, 0).ok());
+  }
+  EXPECT_EQ(system.outstanding_leases(), 0u);
+}
+
+TEST_F(SystemFaultTest, SubmitAnswerValidatesInput) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  core::DocsSystem system(&kb_->knowledge_base, options);
+
+  EXPECT_EQ(system.SubmitAnswer(0, 0, 0).code(),
+            StatusCode::kFailedPrecondition);  // before AddTasks
+
+  std::vector<core::TaskInput> inputs = {{"Is K2 tall?", 2}};
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+  const size_t worker = system.WorkerIndex("w");
+
+  EXPECT_EQ(system.SubmitAnswer(worker + 7, 0, 0).code(),
+            StatusCode::kInvalidArgument);  // unknown worker
+  EXPECT_EQ(system.SubmitAnswer(worker, 99, 0).code(),
+            StatusCode::kInvalidArgument);  // unknown task
+  EXPECT_EQ(system.SubmitAnswer(worker, 0, 2).code(),
+            StatusCode::kOutOfRange);  // choice >= num_choices
+  ASSERT_TRUE(system.SubmitAnswer(worker, 0, 1).ok());
+  EXPECT_EQ(system.SubmitAnswer(worker, 0, 1).code(),
+            StatusCode::kAlreadyExists);  // duplicate (worker, task)
+  EXPECT_EQ(system.inference().num_answers(), 1u);
+}
+
+TEST_F(SystemFaultTest, ReplayDropsDuplicateAndCorruptAnswerRecords) {
+  const std::string path = TempPath("fi_replay.log");
+  std::remove(path.c_str());
+  const size_t m = kb_->knowledge_base.num_domains();
+  storage::StateCheckpoint checkpoint;
+  storage::StateCheckpoint::TaskState task;
+  task.domain_vector.assign(m, 0.0);
+  task.domain_vector[0] = 1.0;
+  task.num_choices = 2;
+  task.known_truth = -1;
+  checkpoint.tasks = {task, task};
+  storage::StateCheckpoint::WorkerState worker;
+  worker.external_id = "w";
+  worker.golden_done = true;
+  checkpoint.workers = {worker};
+  // A duplicate (worker, task) record — the storage layer's structural
+  // validation cannot catch it; the system replay must.
+  checkpoint.answers = {{0, 0, 1}, {0, 0, 1}, {1, 0, 0}};
+  ASSERT_TRUE(storage::SaveStateCheckpoint(checkpoint, path).ok());
+
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  core::DocsSystem system(&kb_->knowledge_base, options);
+  ASSERT_TRUE(system.LoadCheckpoint(path).ok());
+  EXPECT_EQ(system.inference().num_answers(), 2u);
+  EXPECT_TRUE(system.inference().HasAnswered(0, 0));
+  EXPECT_TRUE(system.inference().HasAnswered(0, 1));
+}
+
+TEST_F(SystemFaultTest, SaveCheckpointWithRetrySurvivesTransientFaults) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  core::ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+  std::vector<core::TaskInput> inputs = {{"Is K2 tall?", 2}};
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+  ASSERT_TRUE(system.SubmitAnswer("w", 0, 1).ok());
+
+  const std::string path = TempPath("fi_retry.log");
+  std::remove(path.c_str());
+
+  // A transient failure on the first attempt — within the attempt budget.
+  core::CheckpointRetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff = std::chrono::milliseconds(1);
+  FaultInjector::Global().ArmOneShot(storage::kFaultCheckpointSave);
+  Status status = system.SaveCheckpointWithRetry(path, retry);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(FaultInjector::Global().fires(storage::kFaultCheckpointSave), 1u);
+
+  // A permanent fault exhausts the bounded budget and reports the failure.
+  FaultInjector::Global().ArmProbabilistic(storage::kFaultCheckpointSave, 1.0);
+  status = system.SaveCheckpointWithRetry(path, retry);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_GE(FaultInjector::Global().fires(storage::kFaultCheckpointSave), 4u);
+  FaultInjector::Global().DisarmAll();
+
+  auto restored = std::make_unique<core::DocsSystem>(&kb_->knowledge_base,
+                                                     options);
+  ASSERT_TRUE(restored->LoadCheckpoint(path).ok());
+  EXPECT_EQ(restored->inference().num_answers(), 1u);
+}
+
+// --- The chaos campaign -------------------------------------------------------
+
+TEST_F(SystemFaultTest, ChaosCampaignMatchesFaultFreeRun) {
+  auto dataset = datasets::MakeQaDataset(*kb_, 60, 92);
+
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 24;
+  pool_options.dropout_fraction = 0.5;
+  pool_options.dropout_abandon_probability = 0.7;
+  auto workers =
+      crowd::MakeWorkerPool(26, dataset.label_to_domain, pool_options, 51);
+  size_t droppers = 0;
+  for (const auto& worker : workers) {
+    if (worker.abandon_probability > 0.0) ++droppers;
+  }
+  ASSERT_GT(droppers, 0u);
+
+  const std::string path = TempPath("fi_chaos_ckpt.log");
+  auto make_system = [&] {
+    core::DocsSystemOptions options;
+    options.golden_count = 5;
+    options.reinfer_every = 50;
+    options.lease_duration = 30;
+    options.max_answers_per_task = 12;
+    return std::make_unique<core::ConcurrentDocsSystem>(&kb_->knowledge_base,
+                                                        options);
+  };
+  crowd::ChaosCampaignOptions campaign;
+  campaign.hit_size = 4;
+  campaign.total_answers = 400;
+  campaign.seed = 123;
+  campaign.expire_every = 6;
+  campaign.checkpoint_every = 20;
+  campaign.crash_every_checkpoints = 8;
+  campaign.checkpoint_path = path;
+  campaign.save_attempts = 8;
+
+  // Chaos run: every other compaction rename "crashes", every third save
+  // call fails outright. All of it must be absorbed by bounded retry.
+  std::remove(path.c_str());
+  auto& injector = FaultInjector::Global();
+  injector.ArmEveryNth(storage::kFaultCompactRename, 2);
+  injector.ArmEveryNth(storage::kFaultCheckpointSave, 3);
+  auto chaotic = crowd::RunChaosCampaign(dataset, workers, make_system,
+                                         campaign);
+  const size_t injected_faults = injector.total_fires();
+  injector.DisarmAll();
+
+  EXPECT_TRUE(chaotic.completed);
+  EXPECT_GE(injected_faults, 10u);         // >= 10 injected storage faults
+  EXPECT_GE(chaotic.save_failures, 10u);   // each absorbed by a retry
+  EXPECT_GE(chaotic.crashes, 2u);          // crash/recover at least twice
+  EXPECT_GT(chaotic.expired_leases, 0u);   // abandonment fed back to the pool
+  // >= 20% of served HITs were abandoned mid-way.
+  EXPECT_GE(chaotic.abandoned_hits * 5, chaotic.hits);
+  EXPECT_EQ(chaotic.rejected_answers, 0u);
+
+  // Fault-free reference: identical seed and schedule, no faults armed.
+  std::remove(path.c_str());
+  auto reference = crowd::RunChaosCampaign(dataset, workers, make_system,
+                                           campaign);
+  EXPECT_TRUE(reference.completed);
+  EXPECT_EQ(reference.save_failures, 0u);
+  EXPECT_GE(reference.crashes, 2u);
+
+  // Injected storage faults were fully recovered: the chaotic run collected
+  // the same answers and inferred exactly the same truths.
+  EXPECT_EQ(chaotic.answers, reference.answers);
+  EXPECT_EQ(chaotic.hits, reference.hits);
+  EXPECT_EQ(chaotic.abandoned_hits, reference.abandoned_hits);
+  EXPECT_EQ(chaotic.expired_leases, reference.expired_leases);
+  ASSERT_EQ(chaotic.inferred_choices.size(), dataset.tasks.size());
+  EXPECT_EQ(chaotic.inferred_choices, reference.inferred_choices);
+}
+
+}  // namespace
+}  // namespace docs

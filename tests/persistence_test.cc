@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/docs_system.h"
@@ -17,6 +18,18 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
 }
 
 // --- LogStore -----------------------------------------------------------------
@@ -85,6 +98,45 @@ TEST(LogStoreTest, CompactRewritesAtomically) {
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(replayed,
             (std::vector<std::string>{"only survivor", "post-compact"}));
+}
+
+TEST(LogStoreTest, TruncationAtEveryByteRecoversIntactPrefix) {
+  const std::string path = TempPath("log_truncate_sweep.log");
+  std::remove(path.c_str());
+  {
+    auto log = storage::LogStore::Open(path, nullptr);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("alpha 1").ok());
+    ASSERT_TRUE(log->Append("beta 2").ok());
+    ASSERT_TRUE(log->Append("gamma 3").ok());
+    ASSERT_TRUE(log->Flush().ok());
+  }
+  const std::string full = ReadFile(path);
+  ASSERT_FALSE(full.empty());
+  // Start of the third (final) record: just past the second newline.
+  size_t last_start = full.find('\n');
+  ASSERT_NE(last_start, std::string::npos);
+  last_start = full.find('\n', last_start + 1);
+  ASSERT_NE(last_start, std::string::npos);
+  ++last_start;
+  ASSERT_LT(last_start, full.size());
+
+  // Simulate a crash at every byte offset inside the final record: replay
+  // must recover exactly the intact prefix — the torn tail is dropped, never
+  // misparsed. (Cutting only the trailing newline leaves the record whole.)
+  const std::string truncated_path = TempPath("log_truncate_sweep_cut.log");
+  for (size_t cut = last_start; cut < full.size(); ++cut) {
+    WriteFile(truncated_path, full.substr(0, cut));
+    std::vector<std::string> replayed;
+    auto log = storage::LogStore::Open(
+        truncated_path,
+        [&](const std::string& payload) { replayed.push_back(payload); });
+    ASSERT_TRUE(log.ok()) << "cut=" << cut;
+    const std::vector<std::string> with_tail = {"alpha 1", "beta 2", "gamma 3"};
+    const std::vector<std::string> without_tail = {"alpha 1", "beta 2"};
+    EXPECT_EQ(replayed, cut == full.size() - 1 ? with_tail : without_tail)
+        << "cut=" << cut;
+  }
 }
 
 // --- StateCheckpoint ------------------------------------------------------------
@@ -159,6 +211,35 @@ TEST(StateCheckpointTest, SaveIsAtomicOverwrite) {
   auto loaded = storage::LoadStateCheckpoint(path);
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded->answers.empty());
+}
+
+TEST(StateCheckpointTest, TruncationAtEveryByteKeepsIntactAnswerPrefix) {
+  const std::string path = TempPath("checkpoint_truncate_sweep.log");
+  std::remove(path.c_str());
+  // MakeCheckpoint serializes its two answer records last, so the final
+  // line on disk is the second answer.
+  ASSERT_TRUE(storage::SaveStateCheckpoint(MakeCheckpoint(), path).ok());
+  const std::string full = ReadFile(path);
+  const size_t last_start = full.rfind("PUT answer");
+  ASSERT_NE(last_start, std::string::npos);
+
+  // A crash at any byte of the final answer record tears only that record:
+  // the load still succeeds with every task/worker/golden record and the
+  // intact answer prefix. (Cutting only the trailing newline leaves the
+  // record whole.)
+  const std::string truncated_path = TempPath("checkpoint_truncate_cut.log");
+  for (size_t cut = last_start; cut < full.size(); ++cut) {
+    WriteFile(truncated_path, full.substr(0, cut));
+    auto loaded = storage::LoadStateCheckpoint(truncated_path);
+    ASSERT_TRUE(loaded.ok()) << "cut=" << cut << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->answers.size(), cut == full.size() - 1 ? 2u : 1u)
+        << "cut=" << cut;
+    EXPECT_EQ(loaded->tasks.size(), 2u);
+    EXPECT_EQ(loaded->workers.size(), 1u);
+    EXPECT_EQ(loaded->golden_tasks.size(), 1u);
+    EXPECT_EQ(loaded->answers[0].choice, 2u);
+  }
 }
 
 // --- KB dump ---------------------------------------------------------------------
