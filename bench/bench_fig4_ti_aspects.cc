@@ -242,11 +242,59 @@ void SectionScalability() {
   table.Print(std::cout);
 }
 
+void SectionThreads() {
+  benchutil::PrintHeader(
+      "TI thread scaling (m = 20, 10 answers/task, 100 workers)",
+      "The EM sweep runs on the deterministic chunked pool of "
+      "common/parallel.h: results are bit-identical for every thread count, "
+      "so the only thing that moves is the wall clock. Speedup is relative "
+      "to 1 thread and is bounded by the machine's core count.");
+  TablePrinter table({"#Tasks", "Threads", "Time", "Speedup"});
+  const size_t m = 20;
+  const size_t num_workers = 100;
+  for (size_t n : {size_t{2000}, size_t{8000}}) {
+    Rng rng(n * 37);
+    std::vector<core::Task> tasks(n);
+    for (auto& task : tasks) {
+      task.domain_vector.assign(m, 0.0);
+      task.domain_vector[rng.UniformInt(m)] = 1.0;
+      task.num_choices = 2;
+    }
+    std::vector<core::Answer> answers;
+    answers.reserve(n * 10);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t a = 0; a < 10; ++a) {
+        answers.push_back(
+            {i, (i * 7 + a * 13) % num_workers, rng.UniformInt(2)});
+      }
+    }
+    double baseline_seconds = 0.0;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      core::TruthInferenceOptions options;
+      options.max_iterations = 20;
+      options.tolerance = 0.0;
+      options.num_threads = threads;
+      core::TruthInference engine(options);
+      Stopwatch stopwatch;
+      (void)engine.Run(tasks, num_workers, answers);
+      const double seconds = stopwatch.ElapsedSeconds();
+      if (threads == 1) baseline_seconds = seconds;
+      table.AddRow({std::to_string(n), std::to_string(threads),
+                    TablePrinter::Fmt(seconds, 2) + "s",
+                    TablePrinter::Fmt(
+                        seconds > 0.0 ? baseline_seconds / seconds : 1.0, 2) +
+                        "x"});
+    }
+  }
+  table.Print(std::cout);
+}
+
 }  // namespace
 }  // namespace docs
 
 int main(int argc, char** argv) {
-  // Optional --section=<convergence|golden|answers|deviation|scalability>.
+  // Optional
+  // --section=<convergence|golden|answers|deviation|scalability|threads>.
   std::string section = "all";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -254,7 +302,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<docs::DatasetRun> runs;
-  if (section == "all" || section != "scalability") {
+  if (section == "all" ||
+      (section != "scalability" && section != "threads")) {
     for (const auto& dataset : docs::benchutil::AllDatasets()) {
       runs.push_back(docs::MakeRun(dataset));
     }
@@ -266,5 +315,6 @@ int main(int argc, char** argv) {
   if (section == "all" || section == "answers") docs::SectionAnswers(runs);
   if (section == "all" || section == "deviation") docs::SectionDeviation(runs);
   if (section == "all" || section == "scalability") docs::SectionScalability();
+  if (section == "all" || section == "threads") docs::SectionThreads();
   return 0;
 }

@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
+#include <utility>
 
 #include "common/rng.h"
 #include "core/domain_vector.h"
@@ -77,7 +79,9 @@ void BM_TiTruthMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_TiTruthMatrix)->Arg(5)->Arg(10)->Arg(20);
 
-// Full iterative TI on n tasks with 10 answers each, m = 20.
+// Full iterative TI on n tasks with 10 answers each, m = 20. The second
+// argument is the thread count of the EM sweep (1 = the sequential loops);
+// results are bit-identical across the sweep, only the time moves.
 void BM_TiFullRun(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const size_t m = 20;
@@ -98,12 +102,48 @@ void BM_TiFullRun(benchmark::State& state) {
   core::TruthInferenceOptions options;
   options.max_iterations = 20;
   options.tolerance = 0.0;
+  options.num_threads = static_cast<size_t>(state.range(1));
   core::TruthInference engine(options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.Run(tasks, num_workers, answers));
   }
 }
-BENCHMARK(BM_TiFullRun)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TiFullRun)
+    ->ArgsProduct({{100, 1000}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"})
+    ->Unit(benchmark::kMillisecond);
+
+// OTA top-k selection over n candidate tasks, m = 26, scored on `threads`
+// threads (the SelectTopK benefit loop).
+void BM_OtaSelectTopK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t m = 26;
+  Rng rng(29);
+  std::vector<core::Task> tasks(n);
+  std::vector<Matrix> matrices;
+  std::vector<std::vector<double>> truths;
+  for (auto& task : tasks) {
+    task.domain_vector = rng.Dirichlet(m, 0.5);
+    task.num_choices = 4;
+    Matrix matrix(m, 4, 0.0);
+    for (size_t d = 0; d < m; ++d) matrix.SetRow(d, rng.Dirichlet(4, 1.0));
+    truths.push_back(matrix.LeftMultiply(task.domain_vector));
+    matrices.push_back(std::move(matrix));
+  }
+  std::vector<double> quality(m);
+  for (auto& q : quality) q = rng.UniformDoubleRange(0.4, 0.95);
+  std::vector<uint8_t> eligible(n, 1);
+  core::TaskAssignerOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  core::TaskAssigner assigner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assigner.SelectTopK(tasks, matrices, truths, quality, eligible, 10));
+  }
+}
+BENCHMARK(BM_OtaSelectTopK)
+    ->ArgsProduct({{1000, 10000}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
 
 // Benefit of a single task (Theorems 2-3 + Eq. 8), m = 26, l = 4.
 void BM_OtaBenefit(benchmark::State& state) {

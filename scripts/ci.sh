@@ -1,24 +1,37 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the Release config, then the ASan+UBSan
-# config (DOCS_SANITIZE=ON). Fails on the first broken build or test.
+# CI entry point: build + test the Release config, the ASan+UBSan config
+# (DOCS_SANITIZE=ON) and a TSan config (DOCS_SANITIZE=thread) focused on the
+# thread pool and the parallel inference/assignment paths. Fails on the first
+# broken build or test.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# run_config <name> [test-filter] [cmake-args...]
+# `test-filter` is a ctest -R regex; pass "" to run the full suite.
 run_config() {
   local name="$1"
-  shift
+  local filter="${2-}"
+  shift 2
   local dir="$ROOT/build-$name"
   echo "=== [$name] configure ==="
   cmake -S "$ROOT" -B "$dir" "$@"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j"$JOBS"
   echo "=== [$name] ctest ==="
-  ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
+  if [[ -n "$filter" ]]; then
+    ctest --test-dir "$dir" --output-on-failure -j"$JOBS" -R "$filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
+  fi
 }
 
-run_config release -DCMAKE_BUILD_TYPE=Release
-run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=ON
+run_config release "" -DCMAKE_BUILD_TYPE=Release
+run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=ON
+# TSan cannot be combined with ASan; it gets its own tree, scoped to the
+# tests that actually exercise cross-thread execution.
+run_config tsan "parallel_test|determinism_test|concurrency_test" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=thread
 
 echo "=== CI OK ==="

@@ -1,0 +1,93 @@
+#include "common/parallel.h"
+
+namespace docs {
+
+size_t DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t EffectiveThreadCount(size_t requested) {
+  return requested == 0 ? DefaultThreadCount() : requested;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t total = EffectiveThreadCount(num_threads);
+  workers_.reserve(total - 1);
+  for (size_t t = 0; t + 1 < total; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::DrainChunks(const std::function<void(size_t)>& fn) {
+  // num_chunks_ is stable for the lifetime of the job: it is written under
+  // the mutex before workers are woken and only reset once every chunk has
+  // been accounted for.
+  size_t ran = 0;
+  for (;;) {
+    const size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks_.load(std::memory_order_relaxed)) return ran;
+    fn(chunk);
+    ++ran;
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    const size_t ran = DrainChunks(*job);
+    if (ran > 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      completed_ += ran;
+      if (completed_ == num_chunks_.load(std::memory_order_relaxed)) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::Run(size_t num_chunks, const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty() || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    num_chunks_.store(num_chunks, std::memory_order_relaxed);
+    next_chunk_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  const size_t ran = DrainChunks(fn);
+  std::unique_lock<std::mutex> lock(mutex_);
+  completed_ += ran;
+  done_cv_.wait(lock, [&] { return completed_ == num_chunks; });
+  // With every chunk accounted for, no worker can still be inside fn: a
+  // worker only touches fn between claiming a chunk and bumping completed_.
+  job_ = nullptr;
+  num_chunks_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace docs

@@ -33,6 +33,15 @@ struct CheckpointRetryOptions {
 /// would still contend on workers; the per-call work is tens of
 /// microseconds, which a single mutex sustains at far beyond any realistic
 /// crowdsourcing answer rate.
+///
+/// The coarse lock does not make the engine single-threaded internally:
+/// with DocsSystemOptions::num_threads != 1 the wrapped DocsSystem
+/// parallelizes *within* a call (the EM sweep, the recompute fan-out, the
+/// SelectTasks scoring loop) on its own deterministic pool (DESIGN.md §8).
+/// The mutex serializes callers; each serialized call may fan out. The two
+/// compose because the pool is owned entirely by the engine — worker
+/// threads never touch system state outside the Run() region the caller
+/// holds the lock for.
 class ConcurrentDocsSystem {
  public:
   ConcurrentDocsSystem(const kb::KnowledgeBase* knowledge_base,

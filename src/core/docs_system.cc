@@ -11,7 +11,54 @@ DocsSystem::DocsSystem(const kb::KnowledgeBase* knowledge_base,
                        DocsSystemOptions options)
     : kb_(knowledge_base),
       options_(std::move(options)),
-      dve_(knowledge_base, options_.linker) {}
+      dve_(knowledge_base, options_.linker) {
+  // One knob steers every hot loop: a nonzero system-level thread count
+  // overrides the embedded engines' settings.
+  if (options_.num_threads != 0) {
+    options_.truth_inference.num_threads = options_.num_threads;
+    options_.assigner.num_threads = options_.num_threads;
+  }
+}
+
+ThreadPool* DocsSystem::ScoringPool() {
+  const size_t threads = EffectiveThreadCount(options_.num_threads);
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->num_threads() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
+std::vector<size_t> DocsSystem::RankEligible(
+    const std::vector<uint8_t>& eligible, size_t k,
+    const std::function<double(size_t)>& score) {
+  struct Scored {
+    size_t task;
+    double value;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(tasks_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (eligible[i]) scored.push_back({i, 0.0});
+  }
+  ParallelFor(ScoringPool(), scored.size(), [&](size_t s) {
+    scored[s].value = score(scored[s].task);
+  });
+  const size_t take = std::min(k, scored.size());
+  if (take == 0) return {};
+  auto by_value_desc = [](const Scored& a, const Scored& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.task < b.task;
+  };
+  // Linear selection of the top-k (PICK), then order the selected few.
+  std::nth_element(scored.begin(), scored.begin() + (take - 1), scored.end(),
+                   by_value_desc);
+  std::sort(scored.begin(), scored.begin() + take, by_value_desc);
+  std::vector<size_t> selected;
+  selected.reserve(take);
+  for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].task);
+  return selected;
+}
 
 Status DocsSystem::AddTasks(const std::vector<TaskInput>& inputs,
                             const std::vector<size_t>* known_truths) {
@@ -68,13 +115,28 @@ size_t DocsSystem::WorkerIndex(const std::string& external_id) {
 
 Status DocsSystem::LoadWorker(const std::string& external_id,
                               const storage::WorkerStore& store) {
+  if (inference_ == nullptr) {
+    return FailedPreconditionError("no tasks ingested");
+  }
   auto record = store.Get(external_id);
   if (!record.ok()) return record.status();
+  // Validate before registering the worker: a record written against a
+  // different domain count (an old KB revision, a foreign store) would later
+  // index out of bounds inside the incremental quality updates.
+  const size_t m = kb_->num_domains();
+  if (record->quality.size() != m || record->weight.size() != m) {
+    return InvalidArgumentError(
+        "worker record for " + external_id + " spans " +
+        std::to_string(record->quality.size()) + " quality / " +
+        std::to_string(record->weight.size()) + " weight domains, KB has " +
+        std::to_string(m));
+  }
   const size_t worker = WorkerIndex(external_id);
   WorkerQuality quality;
   quality.quality = record->quality;
   quality.weight = record->weight;
-  inference_->SetWorkerQuality(worker, quality);
+  Status status = inference_->SetWorkerQuality(worker, quality);
+  if (!status.ok()) return status;
   // A returning worker's quality profile is already known; skip the golden
   // probe.
   workers_[worker].golden_done = true;
@@ -128,49 +190,29 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
     eligible[i] = 1;
   }
 
+  // All three rules share the same shape — score every eligible task, take
+  // the top k — so they all route through RankEligible, which parallelizes
+  // the scoring pass deterministically.
   if (options_.selection_rule == SelectionRule::kDomainMax) {
     // D-Max: rank by domain match sum_k r_k q^w_k only.
-    const auto& quality = inference_->worker_quality(worker).quality;
-    std::vector<std::pair<double, size_t>> scored;
-    scored.reserve(tasks_.size());
-    for (size_t i = 0; i < tasks_.size(); ++i) {
-      if (!eligible[i]) continue;
+    const std::vector<double> quality =
+        inference_->worker_quality(worker).quality;
+    auto selected = RankEligible(eligible, k, [&](size_t i) {
       double match = 0.0;
       for (size_t d = 0; d < quality.size(); ++d) {
         match += tasks_[i].domain_vector[d] * quality[d];
       }
-      scored.emplace_back(match, i);
-    }
-    const size_t take = std::min(k, scored.size());
-    std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
-                      [](const auto& a, const auto& b) {
-                        if (a.first != b.first) return a.first > b.first;
-                        return a.second < b.second;
-                      });
-    std::vector<size_t> selected;
-    selected.reserve(take);
-    for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].second);
+      return match;
+    });
     GrantLeases(worker, selected);
     return selected;
   }
 
   if (options_.selection_rule == SelectionRule::kUncertainty) {
     // Ablation: most ambiguous tasks first, worker ignored.
-    std::vector<std::pair<double, size_t>> scored;
-    scored.reserve(tasks_.size());
-    for (size_t i = 0; i < tasks_.size(); ++i) {
-      if (!eligible[i]) continue;
-      scored.emplace_back(Entropy(inference_->task_truth(i)), i);
-    }
-    const size_t take = std::min(k, scored.size());
-    std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
-                      [](const auto& a, const auto& b) {
-                        if (a.first != b.first) return a.first > b.first;
-                        return a.second < b.second;
-                      });
-    std::vector<size_t> selected;
-    selected.reserve(take);
-    for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].second);
+    auto selected = RankEligible(eligible, k, [&](size_t i) {
+      return Entropy(inference_->task_truth(i));
+    });
     GrantLeases(worker, selected);
     return selected;
   }
@@ -186,31 +228,11 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
     mean /= std::max<size_t>(1, quality.size());
     std::fill(quality.begin(), quality.end(), mean);
   }
-  struct Scored {
-    size_t task;
-    double benefit;
-  };
-  std::vector<Scored> scored;
-  scored.reserve(tasks_.size());
-  for (size_t i = 0; i < tasks_.size(); ++i) {
-    if (!eligible[i]) continue;
-    scored.push_back(
-        {i, Benefit(tasks_[i], inference_->truth_matrix(i),
-                    inference_->task_truth(i), quality,
-                    options_.assigner.quality_clamp)});
-  }
-  const size_t take = std::min(k, scored.size());
-  if (take == 0) return {};
-  auto by_benefit_desc = [](const Scored& a, const Scored& b) {
-    if (a.benefit != b.benefit) return a.benefit > b.benefit;
-    return a.task < b.task;
-  };
-  std::nth_element(scored.begin(), scored.begin() + (take - 1), scored.end(),
-                   by_benefit_desc);
-  std::sort(scored.begin(), scored.begin() + take, by_benefit_desc);
-  std::vector<size_t> selected;
-  selected.reserve(take);
-  for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].task);
+  auto selected = RankEligible(eligible, k, [&](size_t i) {
+    return Benefit(tasks_[i], inference_->truth_matrix(i),
+                   inference_->task_truth(i), quality,
+                   options_.assigner.quality_clamp);
+  });
   GrantLeases(worker, selected);
   return selected;
 }
@@ -276,7 +298,12 @@ void DocsSystem::FinishGoldenPhase(size_t worker) {
         (profile.golden_total[k] + smoothing);
     quality.weight[k] = profile.golden_total[k];
   }
-  inference_->SetWorkerQuality(worker, quality);
+  Status status = inference_->SetWorkerQuality(worker, quality);
+  if (!status.ok()) {
+    // Unreachable: the profile tallies are sized from the same KB the tasks
+    // were vectorized against. Kept as a hard guard.
+    DOCS_LOG(Warning) << "golden-phase seed rejected: " << status.ToString();
+  }
   profile.golden_done = true;
 }
 
@@ -429,7 +456,15 @@ Status DocsSystem::LoadCheckpoint(const std::string& path) {
       WorkerQuality seed;
       seed.quality = stored.seed_quality;
       seed.weight = stored.seed_weight;
-      inference_->SetWorkerQuality(index, seed);
+      Status seed_status = inference_->SetWorkerQuality(index, seed);
+      if (!seed_status.ok()) {
+        // Same policy as corrupt answer records: drop the bad seed (the
+        // worker restarts from the default profile) instead of failing the
+        // whole restore.
+        DOCS_LOG(Warning) << "checkpoint seed for worker '"
+                          << stored.external_id
+                          << "' dropped: " << seed_status.ToString();
+      }
     }
     workers_[index].golden_done =
         stored.golden_done || golden_.tasks.empty();

@@ -2,11 +2,13 @@
 #define DOCS_CORE_DOCS_SYSTEM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "core/assignment_policy.h"
 #include "core/domain_vector.h"
@@ -81,6 +83,13 @@ struct DocsSystemOptions {
   SelectionRule selection_rule = SelectionRule::kBenefit;
   /// Display name override (the D-Max configuration reports "D-Max").
   std::string display_name = "DOCS";
+  /// Threads applied to the serving hot loops: benefit/match/entropy scoring
+  /// in SelectTasks here, and — when nonzero — the EM sweep and recompute
+  /// fan-out of the embedded inference engine (overriding
+  /// truth_inference.num_threads so one knob steers the whole system).
+  /// 0 = hardware concurrency, 1 = the historical sequential behavior.
+  /// Results are bit-identical for every value; see DESIGN.md §8.
+  size_t num_threads = 0;
 };
 
 /// The complete DOCS pipeline of Figure 1:
@@ -172,6 +181,17 @@ class DocsSystem : public AssignmentPolicy {
 
   void FinishGoldenPhase(size_t worker);
 
+  /// Scores every eligible task with `score` (in parallel over the scoring
+  /// pool; each task owns one slot, so the ranking is thread-count
+  /// invariant) and returns up to `k` indices ordered by descending score,
+  /// ties broken by ascending task index.
+  std::vector<size_t> RankEligible(const std::vector<uint8_t>& eligible,
+                                   size_t k,
+                                   const std::function<double(size_t)>& score);
+  /// Lazily built pool for SelectTasks scoring; nullptr when configured
+  /// sequential.
+  ThreadPool* ScoringPool();
+
   /// Shared validation for live submissions and checkpoint replay.
   Status ValidateAnswer(size_t worker, size_t task, size_t choice) const;
   /// Absorbs one validated answer: inference update, redundancy counter,
@@ -203,6 +223,7 @@ class DocsSystem : public AssignmentPolicy {
   std::unordered_map<uint64_t, uint64_t> leases_;
   /// Outstanding leases per task (kept in sync with leases_).
   std::vector<uint32_t> lease_count_;
+  std::unique_ptr<ThreadPool> pool_;  // see ScoringPool()
 };
 
 }  // namespace docs::core

@@ -46,11 +46,20 @@ void IncrementalTruthInference::EnsureWorker(size_t worker) {
   }
 }
 
-void IncrementalTruthInference::SetWorkerQuality(size_t worker,
-                                                 const WorkerQuality& quality) {
+Status IncrementalTruthInference::SetWorkerQuality(
+    size_t worker, const WorkerQuality& quality) {
+  const size_t m = tasks_.empty() ? 0 : tasks_[0].domain_vector.size();
+  if (quality.quality.size() != m || quality.weight.size() != m) {
+    return InvalidArgumentError(
+        "worker quality dimension mismatch: got " +
+        std::to_string(quality.quality.size()) + " qualities / " +
+        std::to_string(quality.weight.size()) + " weights, tasks span " +
+        std::to_string(m) + " domains");
+  }
   EnsureWorker(worker);
   workers_[worker].stats = quality;
   workers_[worker].seed = quality;
+  return OkStatus();
 }
 
 bool IncrementalTruthInference::HasAnswered(size_t worker, size_t task) const {
@@ -124,6 +133,12 @@ Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
       const double mass = pq.weight[k] + prior;
       if (mass <= 0.0 || rk == 0.0) continue;
       pq.quality[k] += (new_truth[j] - old_truth[j]) * rk / mass;
+      // The retro-delta is a first-order correction, not a convex update:
+      // across many answers the per-task telescoping sums can compound past
+      // the probability range (and Eq. 4 then takes log of a negative
+      // number). Clamp after every delta; RunFullInference replaces these
+      // estimates with the exact batch values periodically.
+      pq.quality[k] = std::clamp(pq.quality[k], 0.0, 1.0);
     }
   }
 
@@ -170,18 +185,24 @@ void IncrementalTruthInference::RunFullInference() {
   seeds.reserve(workers_.size());
   for (const auto& state : workers_) seeds.push_back(state.seed);
 
+  const size_t threads = EffectiveThreadCount(options_.num_threads);
+  if (threads > 1 &&
+      (pool_ == nullptr || pool_->num_threads() != threads)) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  ThreadPool* pool = threads > 1 ? pool_.get() : nullptr;
+
   TruthInference engine(options_);
   TruthInferenceResult result =
-      engine.Run(tasks_, workers_.size(), answers_, &seeds);
+      engine.Run(tasks_, workers_.size(), answers_, &seeds, pool);
 
   for (size_t w = 0; w < workers_.size(); ++w) {
     workers_[w].stats = result.worker_quality[w];
   }
   // Rebuild the incremental caches so later OnAnswer calls continue from the
-  // converged state.
-  for (size_t i = 0; i < tasks_.size(); ++i) {
-    RecomputeTask(i);
-  }
+  // converged state. Every task owns its cache slots, so the fan-out is
+  // bit-identical to the sequential loop for any thread count.
+  ParallelFor(pool, tasks_.size(), [&](size_t i) { RecomputeTask(i); });
 }
 
 std::vector<size_t> IncrementalTruthInference::InferredChoices() const {

@@ -1,9 +1,11 @@
 #ifndef DOCS_CORE_INCREMENTAL_TI_H_
 #define DOCS_CORE_INCREMENTAL_TI_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "core/truth_inference.h"
 #include "core/types.h"
@@ -37,8 +39,11 @@ class IncrementalTruthInference {
 
   /// Seeds/overrides a worker's quality (e.g. from golden tasks or the
   /// persistent WorkerStore). Also records it as the worker's seed for
-  /// subsequent RunFullInference() calls.
-  void SetWorkerQuality(size_t worker, const WorkerQuality& quality);
+  /// subsequent RunFullInference() calls. Rejects vectors whose dimension
+  /// does not match the task domain count with InvalidArgument — a
+  /// WorkerStore record written against a different domain count would
+  /// otherwise index out of bounds inside OnAnswer.
+  Status SetWorkerQuality(size_t worker, const WorkerQuality& quality);
 
   /// Absorbs one answer with the O(m * |V(i)|) update policy.
   Status OnAnswer(size_t worker, size_t task, size_t choice);
@@ -88,6 +93,10 @@ class IncrementalTruthInference {
   std::vector<std::vector<Answer>> answers_of_task_;
   std::vector<Answer> answers_;
   std::vector<WorkerState> workers_;
+  /// Pool for RunFullInference (the batch EM plus the per-task recompute
+  /// fan-out), built lazily from options_.num_threads and reused across the
+  /// periodic re-runs.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace docs::core

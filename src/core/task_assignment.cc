@@ -138,9 +138,22 @@ std::vector<size_t> TaskAssigner::SelectTopK(
   scored.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
     if (!eligible[i]) continue;
-    scored.push_back({i, Benefit(tasks[i], matrices[i], truths[i],
-                                 worker_quality, options_.quality_clamp)});
+    scored.push_back({i, 0.0});
   }
+  // Parallel scoring: each eligible task owns one slot, so the benefit
+  // vector (and the selection below) is identical for any thread count.
+  const size_t threads = EffectiveThreadCount(options_.num_threads);
+  if (threads > 1 &&
+      (pool_ == nullptr || pool_->num_threads() != threads)) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  ParallelFor(threads > 1 ? pool_.get() : nullptr, scored.size(),
+              [&](size_t s) {
+                const size_t i = scored[s].task;
+                scored[s].benefit =
+                    Benefit(tasks[i], matrices[i], truths[i], worker_quality,
+                            options_.quality_clamp);
+              });
   const size_t take = std::min(k, scored.size());
   if (take == 0) return {};
   auto by_benefit_desc = [](const Scored& a, const Scored& b) {

@@ -2,9 +2,11 @@
 #define DOCS_CORE_TASK_ASSIGNMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/parallel.h"
 #include "core/types.h"
 
 namespace docs::core {
@@ -47,6 +49,11 @@ double BenefitOfSetBruteForce(const std::vector<Task>& tasks,
 
 struct TaskAssignerOptions {
   double quality_clamp = 0.01;
+  /// Threads applied to benefit scoring in SelectTopK. 0 = hardware
+  /// concurrency, 1 = sequential. Each eligible task's benefit lands in its
+  /// own slot before the (serial) top-k selection, so the returned ranking
+  /// is identical for every thread count.
+  size_t num_threads = 0;
 };
 
 /// The OTA module (Section 5.1): scores every eligible task with Definition
@@ -71,6 +78,10 @@ class TaskAssigner {
 
  private:
   TaskAssignerOptions options_;
+  /// Lazy scoring pool (see TaskAssignerOptions::num_threads). Mutable
+  /// because SelectTopK is logically const; a TaskAssigner instance is not
+  /// itself safe for concurrent use.
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace docs::core

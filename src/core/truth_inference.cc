@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/math_utils.h"
+#include "common/parallel.h"
 
 namespace docs::core {
 namespace {
@@ -12,25 +14,50 @@ double Clamp(double q, double clamp) {
   return std::min(1.0 - clamp, std::max(clamp, q));
 }
 
+/// True when `answer` can be scored against a task with `m` domains and `l`
+/// choices under `qualities` without indexing out of bounds.
+bool AnswerInBounds(const Answer& answer,
+                    const std::vector<WorkerQuality>& qualities, size_t m,
+                    size_t l) {
+  return answer.worker < qualities.size() &&
+         qualities[answer.worker].quality.size() == m && answer.choice < l;
+}
+
 }  // namespace
 
 Matrix ComputeTruthMatrix(const Task& task,
                           const std::vector<Answer>& task_answers,
                           const std::vector<WorkerQuality>& qualities,
-                          double quality_clamp) {
+                          double quality_clamp, size_t* skipped_answers) {
   const size_t m = task.domain_vector.size();
   const size_t l = task.num_choices;
   Matrix truth_matrix(m, l, 0.0);
+  // Stray answers (worker unknown to `qualities`, mismatched quality
+  // dimension, out-of-range choice) are dropped up front: the baselines feed
+  // this function caller-supplied answer lists.
+  std::vector<const Answer*> valid;
+  valid.reserve(task_answers.size());
+  size_t skipped = 0;
+  for (const Answer& answer : task_answers) {
+    if (AnswerInBounds(answer, qualities, m, l)) {
+      valid.push_back(&answer);
+    } else {
+      ++skipped;
+    }
+  }
+  if (skipped_answers != nullptr) *skipped_answers = skipped;
+
   std::vector<double> log_row(l, 0.0);
   for (size_t k = 0; k < m; ++k) {
     std::fill(log_row.begin(), log_row.end(), 0.0);
-    for (const Answer& answer : task_answers) {
-      const double q = Clamp(qualities[answer.worker].quality[k], quality_clamp);
+    for (const Answer* answer : valid) {
+      const double q =
+          Clamp(qualities[answer->worker].quality[k], quality_clamp);
       const double log_correct = std::log(q);
       const double log_wrong =
           std::log((1.0 - q) / static_cast<double>(l - 1 == 0 ? 1 : l - 1));
       for (size_t j = 0; j < l; ++j) {
-        log_row[j] += (answer.choice == j) ? log_correct : log_wrong;
+        log_row[j] += (answer->choice == j) ? log_correct : log_wrong;
       }
     }
     // Row-normalize (Eq. 3) via a stable softmax over the log numerators.
@@ -47,11 +74,13 @@ std::vector<WorkerQuality> InitializeQualityFromGolden(
     const std::vector<Answer>& answers,
     const std::vector<size_t>& golden_tasks,
     const std::vector<size_t>& golden_truth, double default_quality,
-    double smoothing) {
+    double smoothing, size_t* skipped_answers) {
   const size_t m = tasks.empty() ? 0 : tasks[0].domain_vector.size();
-  // Map task -> golden truth for O(1) membership tests.
+  // Map task -> golden truth for O(1) membership tests. Golden indices
+  // outside the task list are ignored rather than written out of bounds.
   std::vector<int> truth_of_task(tasks.size(), -1);
   for (size_t g = 0; g < golden_tasks.size(); ++g) {
+    if (golden_tasks[g] >= tasks.size()) continue;
     truth_of_task[golden_tasks[g]] = static_cast<int>(golden_truth[g]);
   }
 
@@ -60,7 +89,13 @@ std::vector<WorkerQuality> InitializeQualityFromGolden(
       num_workers, std::vector<double>(m, 0.0));
   std::vector<std::vector<double>> total_mass(num_workers,
                                               std::vector<double>(m, 0.0));
+  size_t skipped = 0;
   for (const Answer& answer : answers) {
+    if (answer.task >= tasks.size() || answer.worker >= num_workers ||
+        tasks[answer.task].domain_vector.size() != m) {
+      ++skipped;
+      continue;
+    }
     const int truth = truth_of_task[answer.task];
     if (truth < 0) continue;
     const auto& r = tasks[answer.task].domain_vector;
@@ -70,6 +105,7 @@ std::vector<WorkerQuality> InitializeQualityFromGolden(
       if (correct) correct_mass[answer.worker][k] += r[k];
     }
   }
+  if (skipped_answers != nullptr) *skipped_answers = skipped;
   for (size_t w = 0; w < num_workers; ++w) {
     result[w].quality.resize(m);
     result[w].weight.resize(m);
@@ -90,6 +126,19 @@ TruthInferenceResult TruthInference::Run(
     const std::vector<Task>& tasks, size_t num_workers,
     const std::vector<Answer>& answers,
     const std::vector<WorkerQuality>* initial_quality) const {
+  const size_t threads = EffectiveThreadCount(options_.num_threads);
+  if (threads > 1 &&
+      (pool_ == nullptr || pool_->num_threads() != threads)) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return Run(tasks, num_workers, answers, initial_quality,
+             threads > 1 ? pool_.get() : nullptr);
+}
+
+TruthInferenceResult TruthInference::Run(
+    const std::vector<Task>& tasks, size_t num_workers,
+    const std::vector<Answer>& answers,
+    const std::vector<WorkerQuality>* initial_quality, ThreadPool* pool) const {
   const size_t n = tasks.size();
   const size_t m = n == 0 ? 0 : tasks[0].domain_vector.size();
 
@@ -98,10 +147,38 @@ TruthInferenceResult TruthInference::Run(
   result.truth_matrices.resize(n);
   result.inferred_choice.assign(n, 0);
 
-  // Per-task answer lists.
+  // Per-task answer lists. Answers that cannot be attributed (task or worker
+  // out of range, impossible choice) are dropped once here so both EM steps
+  // see the same filtered view instead of indexing out of bounds.
   std::vector<std::vector<Answer>> answers_of_task(n);
+  size_t stray = 0;
   for (const Answer& answer : answers) {
+    if (answer.task >= n || answer.worker >= num_workers ||
+        answer.choice >= tasks[answer.task].num_choices ||
+        tasks[answer.task].domain_vector.size() != m) {
+      ++stray;
+      continue;
+    }
     answers_of_task[answer.task].push_back(answer);
+  }
+  if (stray > 0) {
+    DOCS_LOG(Warning) << "TruthInference::Run ignored " << stray
+                      << " out-of-range answer(s)";
+  }
+
+  // Per-worker answer lists for step 2, in the same global order the
+  // sequential sweep visits them (task-major, then submission order within a
+  // task): each worker's evidence accumulates in exactly that order, so the
+  // parallel per-worker reduction is bit-identical to the sequential one.
+  struct TaskChoice {
+    size_t task;
+    size_t choice;
+  };
+  std::vector<std::vector<TaskChoice>> answers_of_worker(num_workers);
+  for (size_t i = 0; i < n; ++i) {
+    for (const Answer& answer : answers_of_task[i]) {
+      answers_of_worker[answer.worker].push_back({i, answer.choice});
+    }
   }
 
   // Worker qualities: seeded from `initial_quality` or the default.
@@ -122,7 +199,9 @@ TruthInferenceResult TruthInference::Run(
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
     // --- Step 1: infer the truth from qualities (Eq. 2-4). ----------------
-    for (size_t i = 0; i < n; ++i) {
+    // Each task owns its result slots, so the parallel loop commutes with
+    // the sequential one bit for bit.
+    ParallelFor(pool, n, [&](size_t i) {
       result.truth_matrices[i] =
           ComputeTruthMatrix(tasks[i], answers_of_task[i],
                              result.worker_quality, options_.quality_clamp);
@@ -131,25 +210,25 @@ TruthInferenceResult TruthInference::Run(
       // The domain vector always sums to 1 for the wrapper-produced tasks,
       // but guard against callers passing sub-normalized vectors.
       NormalizeInPlace(result.task_truth[i]);
-    }
+    });
 
     // --- Step 2: estimate worker qualities from the truth (Eq. 5). --------
+    // Parallel over workers: the Eq. 5 numerator/denominator of worker w sum
+    // only w's own answers, accumulated in the same order as the sequential
+    // task-major sweep — no cross-thread reduction is needed and the result
+    // is identical for every thread count.
     prev_quality = result.worker_quality;
-    std::vector<std::vector<double>> numer(num_workers,
-                                           std::vector<double>(m, 0.0));
-    std::vector<std::vector<double>> denom(num_workers,
-                                           std::vector<double>(m, 0.0));
-    for (size_t i = 0; i < n; ++i) {
-      const auto& r = tasks[i].domain_vector;
-      for (const Answer& answer : answers_of_task[i]) {
-        const double s_iv = result.task_truth[i][answer.choice];
+    ParallelFor(pool, num_workers, [&](size_t w) {
+      std::vector<double> numer(m, 0.0);
+      std::vector<double> denom(m, 0.0);
+      for (const TaskChoice& tc : answers_of_worker[w]) {
+        const auto& r = tasks[tc.task].domain_vector;
+        const double s_iv = result.task_truth[tc.task][tc.choice];
         for (size_t k = 0; k < m; ++k) {
-          numer[answer.worker][k] += r[k] * s_iv;
-          denom[answer.worker][k] += r[k];
+          numer[k] += r[k] * s_iv;
+          denom[k] += r[k];
         }
       }
-    }
-    for (size_t w = 0; w < num_workers; ++w) {
       // Hierarchical prior mean: the worker's overall accuracy pooled over
       // all domains (and her seed profile). Spammers are bad everywhere, so
       // a domain with little direct evidence borrows strength from the
@@ -158,10 +237,10 @@ TruthInferenceResult TruthInference::Run(
                              options_.default_quality;
       double overall_denom = options_.quality_prior_strength;
       for (size_t k = 0; k < m; ++k) {
-        overall_numer += numer[w][k] +
+        overall_numer += numer[k] +
                          seeded_quality[w].quality[k] *
                              seeded_quality[w].weight[k];
-        overall_denom += denom[w][k] + seeded_quality[w].weight[k];
+        overall_denom += denom[k] + seeded_quality[w].weight[k];
       }
       const double overall_quality =
           overall_denom > 0.0 ? overall_numer / overall_denom
@@ -175,19 +254,22 @@ TruthInferenceResult TruthInference::Run(
             overall_quality * options_.quality_prior_strength;
         const double prior_mass =
             seed_mass + options_.quality_prior_strength;
-        const double total_mass = denom[w][k] + prior_mass;
+        const double total_mass = denom[k] + prior_mass;
         if (total_mass > 0.0) {
           result.worker_quality[w].quality[k] =
-              (numer[w][k] + prior_numer) / total_mass;
+              (numer[k] + prior_numer) / total_mass;
         } else {
           // Pure paper formula (prior strength 0) with no data: keep seed.
           result.worker_quality[w].quality[k] = seeded_quality[w].quality[k];
         }
-        result.worker_quality[w].weight[k] = denom[w][k] + seed_mass;
+        result.worker_quality[w].weight[k] = denom[k] + seed_mass;
       }
-    }
+    });
 
     // --- Convergence check (Delta of Section 6.3). -------------------------
+    // Kept sequential: it is O(n l + |W| m) against the O(n m l R) steps
+    // above, and a serial sum keeps the early-exit decision (and therefore
+    // the iteration count) bit-identical to the historical behavior.
     double delta = 0.0;
     if (iter > 0) {
       double truth_change = 0.0;

@@ -1,9 +1,12 @@
 #ifndef DOCS_CORE_TRUTH_INFERENCE_H_
 #define DOCS_CORE_TRUTH_INFERENCE_H_
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/parallel.h"
 #include "core/types.h"
 
 namespace docs::core {
@@ -26,6 +29,12 @@ struct TruthInferenceOptions {
   /// little mass in a domain can get a spurious q < 1/l and Eq. 4 then
   /// actively inverts her votes. 0 recovers the paper's exact formula.
   double quality_prior_strength = 1.0;
+  /// Threads applied to the EM sweep (step 1 per-task matrices, step 2
+  /// per-worker quality estimation). 0 = hardware concurrency, 1 = the
+  /// sequential loops. Results are bit-identical for every value: step 1
+  /// writes only task-owned slots and step 2 accumulates each worker's
+  /// evidence in the same global answer order the sequential sweep used.
+  size_t num_threads = 0;
 };
 
 struct TruthInferenceResult {
@@ -45,21 +54,30 @@ struct TruthInferenceResult {
 /// Computes M^(i) for one task from the answers it received and the current
 /// worker qualities (Equations 3-4), in log space. `task_answers` must all
 /// refer to this task. With no answers every row is uniform.
+///
+/// Stray answers — a worker index with no quality vector of the task's
+/// dimension, or a choice outside [0, l) — are skipped instead of indexing
+/// out of bounds (the baselines call this directly with caller-supplied
+/// answer lists). `skipped_answers`, when non-null, receives the skip count.
 Matrix ComputeTruthMatrix(const Task& task,
                           const std::vector<Answer>& task_answers,
                           const std::vector<WorkerQuality>& qualities,
-                          double quality_clamp = 0.01);
+                          double quality_clamp = 0.01,
+                          size_t* skipped_answers = nullptr);
 
 /// Initializes worker qualities from their answers to golden tasks
 /// (Section 5.2): per domain, the r-weighted fraction of correct golden
 /// answers, smoothed toward `options.default_quality`. Weights u are the
 /// r-mass of golden tasks answered.
+/// Stray inputs — a golden index outside the task list, an answer whose task
+/// or worker is out of range — are skipped instead of indexing out of bounds;
+/// `skipped_answers`, when non-null, receives the number of ignored answers.
 std::vector<WorkerQuality> InitializeQualityFromGolden(
     const std::vector<Task>& tasks, size_t num_workers,
     const std::vector<Answer>& answers,
     const std::vector<size_t>& golden_tasks,
     const std::vector<size_t>& golden_truth, double default_quality = 0.7,
-    double smoothing = 1.0);
+    double smoothing = 1.0, size_t* skipped_answers = nullptr);
 
 /// The iterative truth-inference algorithm of Section 4.1: alternates
 /// step 1 (qualities -> probabilistic truth, Eq. 2-4) and step 2
@@ -77,10 +95,23 @@ class TruthInference {
       const std::vector<Answer>& answers,
       const std::vector<WorkerQuality>* initial_quality = nullptr) const;
 
+  /// As above but executes on a caller-provided pool (ignoring
+  /// options().num_threads), so a surrounding engine can reuse one pool
+  /// across repeated runs. `pool == nullptr` runs sequentially.
+  TruthInferenceResult Run(const std::vector<Task>& tasks, size_t num_workers,
+                           const std::vector<Answer>& answers,
+                           const std::vector<WorkerQuality>* initial_quality,
+                           ThreadPool* pool) const;
+
   const TruthInferenceOptions& options() const { return options_; }
 
  private:
   TruthInferenceOptions options_;
+  /// Lazily built pool of options().num_threads threads, reused across Run()
+  /// calls. Mutable because Run() is logically const; TruthInference itself
+  /// is not safe for concurrent use from multiple threads (the serving path
+  /// already serializes on ConcurrentDocsSystem's mutex).
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace docs::core

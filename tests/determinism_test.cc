@@ -1,0 +1,243 @@
+// End-to-end determinism sweep for the parallel inference/assignment engine:
+// thread counts 1/2/4/8 must produce byte-identical truth vectors, worker
+// qualities and task selections. Every comparison below is exact double
+// equality (operator== on the vectors), not a tolerance check — that is the
+// contract the deterministic chunking in common/parallel.h provides.
+// scripts/ci.sh additionally runs this binary under TSan.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/docs_system.h"
+#include "core/incremental_ti.h"
+#include "core/task_assignment.h"
+#include "core/truth_inference.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+
+namespace docs::core {
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+
+/// A mid-size synthetic inference instance: n tasks over m domains, answered
+/// by a pool of workers of mixed reliability.
+struct Instance {
+  std::vector<Task> tasks;
+  std::vector<Answer> answers;
+  size_t num_workers;
+};
+
+Instance MakeInstance(size_t n, size_t m, size_t num_workers, uint64_t seed) {
+  Instance instance;
+  instance.num_workers = num_workers;
+  Rng rng(seed);
+  instance.tasks.resize(n);
+  for (auto& task : instance.tasks) {
+    task.domain_vector = rng.Dirichlet(m, 0.5);
+    task.num_choices = 2 + rng.UniformInt(3);  // 2..4 choices
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < 7; ++a) {
+      instance.answers.push_back(
+          {i, (i * 5 + a * 11) % num_workers,
+           rng.UniformInt(instance.tasks[i].num_choices)});
+    }
+  }
+  return instance;
+}
+
+bool SameQualities(const std::vector<WorkerQuality>& a,
+                   const std::vector<WorkerQuality>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t w = 0; w < a.size(); ++w) {
+    if (a[w].quality != b[w].quality || a[w].weight != b[w].weight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DeterminismTest, TruthInferenceSweepIsByteIdentical) {
+  const Instance instance = MakeInstance(150, 8, 40, 21);
+
+  TruthInferenceOptions options;
+  options.num_threads = 1;
+  TruthInference baseline_engine(options);
+  const TruthInferenceResult baseline = baseline_engine.Run(
+      instance.tasks, instance.num_workers, instance.answers);
+
+  for (size_t threads : kThreadSweep) {
+    TruthInferenceOptions sweep = options;
+    sweep.num_threads = threads;
+    TruthInference engine(sweep);
+    const TruthInferenceResult result =
+        engine.Run(instance.tasks, instance.num_workers, instance.answers);
+
+    EXPECT_EQ(result.iterations_run, baseline.iterations_run);
+    EXPECT_EQ(result.inferred_choice, baseline.inferred_choice);
+    EXPECT_EQ(result.task_truth, baseline.task_truth) << threads << " threads";
+    EXPECT_TRUE(SameQualities(result.worker_quality, baseline.worker_quality))
+        << threads << " threads";
+    EXPECT_EQ(result.delta_history, baseline.delta_history);
+    for (size_t i = 0; i < result.truth_matrices.size(); ++i) {
+      ASSERT_EQ(result.truth_matrices[i].data(),
+                baseline.truth_matrices[i].data())
+          << "task " << i << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(DeterminismTest, IncrementalFullInferenceSweepIsByteIdentical) {
+  const Instance instance = MakeInstance(80, 6, 25, 33);
+
+  auto run = [&](size_t threads) {
+    TruthInferenceOptions options;
+    options.num_threads = threads;
+    IncrementalTruthInference engine(instance.tasks, options);
+    for (const Answer& answer : instance.answers) {
+      EXPECT_TRUE(engine.OnAnswer(answer.worker, answer.task, answer.choice)
+                      .ok());
+    }
+    engine.RunFullInference();
+    return engine;
+  };
+
+  IncrementalTruthInference baseline = run(1);
+  for (size_t threads : kThreadSweep) {
+    IncrementalTruthInference swept = run(threads);
+    EXPECT_EQ(swept.InferredChoices(), baseline.InferredChoices())
+        << threads << " threads";
+    for (size_t i = 0; i < instance.tasks.size(); ++i) {
+      ASSERT_EQ(swept.task_truth(i), baseline.task_truth(i))
+          << "task " << i << ", " << threads << " threads";
+      ASSERT_EQ(swept.truth_matrix(i).data(), baseline.truth_matrix(i).data())
+          << "task " << i << ", " << threads << " threads";
+    }
+    for (size_t w = 0; w < instance.num_workers; ++w) {
+      ASSERT_EQ(swept.worker_quality(w).quality,
+                baseline.worker_quality(w).quality)
+          << "worker " << w << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(DeterminismTest, SelectTopKSweepIsIdentical) {
+  const Instance instance = MakeInstance(120, 8, 30, 45);
+  // Score against a converged inference state.
+  TruthInferenceOptions ti_options;
+  ti_options.num_threads = 1;
+  const TruthInferenceResult state = TruthInference(ti_options).Run(
+      instance.tasks, instance.num_workers, instance.answers);
+
+  Rng rng(7);
+  std::vector<double> worker_quality = rng.Dirichlet(8, 4.0);
+  for (double& q : worker_quality) q = 0.4 + q;
+  std::vector<uint8_t> eligible(instance.tasks.size(), 1);
+  for (size_t i = 0; i < eligible.size(); i += 9) eligible[i] = 0;
+
+  TaskAssignerOptions options;
+  options.num_threads = 1;
+  const auto baseline =
+      TaskAssigner(options).SelectTopK(instance.tasks, state.truth_matrices,
+                                       state.task_truth, worker_quality,
+                                       eligible, 15);
+  ASSERT_EQ(baseline.size(), 15u);
+  for (size_t threads : kThreadSweep) {
+    TaskAssignerOptions sweep = options;
+    sweep.num_threads = threads;
+    EXPECT_EQ(TaskAssigner(sweep).SelectTopK(
+                  instance.tasks, state.truth_matrices, state.task_truth,
+                  worker_quality, eligible, 15),
+              baseline)
+        << threads << " threads";
+  }
+}
+
+/// Full-system sweep: identical answer streams into DocsSystem instances that
+/// differ only in num_threads must yield identical selections (every rule),
+/// inferred truths and worker qualities — including across the periodic
+/// RunFullInference every `reinfer_every` answers.
+class DocsSystemDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* DocsSystemDeterminismTest::kb_ = nullptr;
+
+TEST_F(DocsSystemDeterminismTest, ServingPathSweepIsIdentical) {
+  const auto dataset = datasets::MakeItemDataset(*kb_);
+  const auto truths = dataset.Truths();
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 12;
+  const auto workers = crowd::MakeWorkerPool(
+      kb_->knowledge_base.num_domains(), dataset.label_to_domain, pool_options,
+      99);
+
+  for (SelectionRule rule :
+       {SelectionRule::kBenefit, SelectionRule::kDomainMax,
+        SelectionRule::kUncertainty, SelectionRule::kQualityBlind}) {
+    auto drive = [&](size_t threads) {
+      DocsSystemOptions options;
+      options.golden_count = 5;
+      options.reinfer_every = 40;  // exercise RunFullInference mid-stream
+      options.selection_rule = rule;
+      options.num_threads = threads;
+      auto system =
+          std::make_unique<DocsSystem>(&kb_->knowledge_base, options);
+      EXPECT_TRUE(system->AddTasks(inputs, &truths).ok());
+
+      std::vector<std::vector<size_t>> selections;
+      Rng rng(17);  // identical answer stream for every thread count
+      for (size_t round = 0; round < 30; ++round) {
+        const size_t w = system->WorkerIndex("w" + std::to_string(round % 12));
+        auto selected = system->SelectTasks(w, 4);
+        selections.push_back(selected);
+        for (size_t task : selected) {
+          const size_t choice = crowd::GenerateAnswer(
+              workers[round % 12], dataset.tasks[task].true_domain,
+              dataset.tasks[task].truth, dataset.tasks[task].num_choices(),
+              rng);
+          system->OnAnswer(w, task, choice);
+        }
+      }
+      return std::make_pair(std::move(system), std::move(selections));
+    };
+
+    auto [baseline_system, baseline_selections] = drive(1);
+    const auto baseline_choices = baseline_system->InferredChoices();
+    for (size_t threads : kThreadSweep) {
+      auto [system, selections] = drive(threads);
+      EXPECT_EQ(selections, baseline_selections)
+          << "rule " << static_cast<int>(rule) << ", " << threads
+          << " threads";
+      EXPECT_EQ(system->InferredChoices(), baseline_choices)
+          << "rule " << static_cast<int>(rule) << ", " << threads
+          << " threads";
+      for (size_t w = 0; w < 12; ++w) {
+        ASSERT_EQ(system->inference().worker_quality(w).quality,
+                  baseline_system->inference().worker_quality(w).quality)
+            << "worker " << w << ", rule " << static_cast<int>(rule) << ", "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace docs::core

@@ -258,6 +258,36 @@ TEST_F(DocsSystemTest, PersistenceRoundTripViaWorkerStore) {
   EXPECT_EQ(quality.quality.size(), 26u);
 }
 
+TEST_F(DocsSystemTest, LoadWorkerRejectsMismatchedDomainCount) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  auto system = MakeSystem(dataset, 5);
+
+  // A store written against an older KB revision with fewer domains: its
+  // records must be rejected up front, not fed into the inference state.
+  auto stale_store = storage::WorkerStore::InMemory(7);
+  auto record = storage::WorkerQualityRecord::Fresh(7, 0.9);
+  ASSERT_TRUE(stale_store.Put("veteran", record).ok());
+
+  const Status status = system->LoadWorker("veteran", stale_store);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The rejected load must not have left a half-registered profile behind:
+  // the worker still goes through the golden probe like any newcomer.
+  const size_t worker = system->WorkerIndex("veteran");
+  auto selected = system->SelectTasks(worker, 3);
+  std::set<size_t> golden(system->golden_tasks().begin(),
+                          system->golden_tasks().end());
+  for (size_t task : selected) EXPECT_TRUE(golden.count(task)) << task;
+}
+
+TEST_F(DocsSystemTest, LoadWorkerBeforeAddTasksFails) {
+  DocsSystem system(&kb_->knowledge_base);
+  auto store = storage::WorkerStore::InMemory(26);
+  auto record = storage::WorkerQualityRecord::Fresh(26, 0.8);
+  ASSERT_TRUE(store.Put("early-bird", record).ok());
+  EXPECT_EQ(system.LoadWorker("early-bird", store).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST_F(DocsSystemTest, LoadUnknownWorkerFails) {
   auto dataset = datasets::MakeItemDataset(*kb_);
   auto system = MakeSystem(dataset);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/math_utils.h"
@@ -112,6 +113,124 @@ TEST(IncrementalTiTest, SetWorkerQualitySeedsBothStatsAndSeed) {
   expert.weight = {10.0, 10.0};
   engine.SetWorkerQuality(0, expert);
   EXPECT_NEAR(engine.worker_quality(0).quality[0], 0.95, 1e-12);
+}
+
+TEST(IncrementalTiTest, SetWorkerQualityRejectsDimensionMismatch) {
+  IncrementalTruthInference engine(TwoDomainTasks(2));
+  WorkerQuality narrow;
+  narrow.quality = {0.9};  // tasks span two domains
+  narrow.weight = {1.0};
+  EXPECT_EQ(engine.SetWorkerQuality(0, narrow).code(),
+            StatusCode::kInvalidArgument);
+
+  WorkerQuality lopsided;
+  lopsided.quality = {0.9, 0.8};
+  lopsided.weight = {1.0};  // weight vector too short
+  EXPECT_EQ(engine.SetWorkerQuality(0, lopsided).code(),
+            StatusCode::kInvalidArgument);
+
+  // The rejected seeds must not have corrupted worker 0's state: the next
+  // answer still runs the full-dimension quality update without faulting.
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+  EXPECT_EQ(engine.worker_quality(0).quality.size(), 2u);
+
+  WorkerQuality good;
+  good.quality = {0.9, 0.8};
+  good.weight = {5.0, 5.0};
+  EXPECT_TRUE(engine.SetWorkerQuality(1, good).ok());
+}
+
+TEST(IncrementalTiTest, RetroUpdateKeepsQualitiesInRange) {
+  // Regression for the retro-update clamp: the Section 4.2 correction
+  // q += (s_new - s_old) * r / mass is first-order, not convex, and the
+  // stored estimate must stay a probability through adversarial streams
+  // (early contrarian answers followed by agreeing floods, with periodic
+  // full re-inference in between) or Eq. 4 takes log of a negative number.
+  const size_t n = 12;
+  std::vector<Task> tasks(n);
+  for (size_t i = 0; i < n; ++i) {
+    tasks[i].domain_vector = {i % 2 == 0 ? 0.9 : 0.1, i % 2 == 0 ? 0.1 : 0.9};
+    tasks[i].num_choices = 2;
+  }
+  TruthInferenceOptions options;
+  options.quality_prior_strength = 0.0;  // the paper's exact update
+  IncrementalTruthInference engine(std::move(tasks), options);
+
+  auto all_in_range = [&] {
+    for (size_t w = 0; w < engine.num_workers(); ++w) {
+      for (double q : engine.worker_quality(w).quality) {
+        ASSERT_GE(q, 0.0);
+        ASSERT_LE(q, 1.0);
+      }
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    // Worker 0 answers first, while her accumulated mass is small...
+    ASSERT_TRUE(engine.OnAnswer(0, i, 0).ok());
+    all_in_range();
+    // ...then a flood of disagreeing workers swings s_i, and every flood
+    // answer retro-adjusts worker 0 by the full delta over that small mass.
+    for (size_t w = 1; w <= 15; ++w) {
+      ASSERT_TRUE(engine.OnAnswer(w, i, 1).ok());
+      all_in_range();
+    }
+    if (i % 4 == 3) {
+      engine.RunFullInference();
+      all_in_range();
+    }
+  }
+}
+
+TEST(IncrementalTiTest, FullInferenceRestoresBatchParity) {
+  // The incremental estimates drift from the batch fixed point between
+  // re-inference runs (Section 4.2 accepts the drift for O(1) updates);
+  // RunFullInference snaps the worker qualities back to the exact batch
+  // values. Pin both halves: bounded drift before, bit-equality after.
+  const size_t n = 50, num_workers = 15, m = 2;
+  auto tasks = TwoDomainTasks(n);
+  Rng rng(11);
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = num_workers;
+  auto workers = crowd::MakeWorkerPool(m, {0, 1}, pool_options, 11);
+
+  IncrementalTruthInference engine(tasks);
+  std::vector<Answer> answers;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < 7; ++a) {
+      const size_t w = (i * 3 + a * 4) % num_workers;
+      if (engine.HasAnswered(w, i)) continue;
+      const size_t choice =
+          crowd::GenerateAnswer(workers[w], i % 2, i % 2, 2, rng);
+      answers.push_back({i, w, choice});
+      ASSERT_TRUE(engine.OnAnswer(w, i, choice).ok());
+    }
+  }
+
+  TruthInference batch(engine.options());
+  const auto reference = batch.Run(tasks, engine.num_workers(), answers);
+
+  double drift_before = 0.0;
+  for (size_t w = 0; w < engine.num_workers(); ++w) {
+    for (size_t k = 0; k < m; ++k) {
+      const double q = engine.worker_quality(w).quality[k];
+      ASSERT_GE(q, 0.0);
+      ASSERT_LE(q, 1.0);
+      drift_before = std::max(
+          drift_before, std::fabs(q - reference.worker_quality[w].quality[k]));
+    }
+  }
+  EXPECT_GT(drift_before, 0.0);   // the one-pass estimates do drift...
+  EXPECT_LT(drift_before, 0.25);  // ...but stay near the batch fixed point.
+
+  engine.RunFullInference();
+  for (size_t w = 0; w < engine.num_workers(); ++w) {
+    EXPECT_EQ(engine.worker_quality(w).quality,
+              reference.worker_quality[w].quality)
+        << "worker " << w;
+    EXPECT_EQ(engine.worker_quality(w).weight,
+              reference.worker_quality[w].weight)
+        << "worker " << w;
+  }
 }
 
 TEST(IncrementalTiTest, RunFullInferenceMatchesBatchEngine) {

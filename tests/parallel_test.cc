@@ -1,0 +1,157 @@
+// Unit and stress tests for the deterministic thread pool
+// (src/common/parallel.h): chunk math, full index coverage, thread-count
+// invariance of chunk-ordered reductions, and reuse across many regions.
+// scripts/ci.sh also runs this binary under TSan (DOCS_SANITIZE=thread).
+
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace docs {
+namespace {
+
+TEST(ChunkMathTest, NumChunksCoversIndexSpace) {
+  EXPECT_EQ(NumChunks(0), 0u);
+  EXPECT_EQ(NumChunks(1), 1u);
+  EXPECT_EQ(NumChunks(kParallelGrain), 1u);
+  EXPECT_EQ(NumChunks(kParallelGrain + 1), 2u);
+  EXPECT_EQ(NumChunks(10, 3), 4u);
+  // grain 0 is treated as 1 rather than dividing by zero.
+  EXPECT_EQ(NumChunks(5, 0), 5u);
+}
+
+TEST(ThreadPoolTest, ReportsRequestedThreadCount) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  ThreadPool sequential(1);
+  EXPECT_EQ(sequential.num_threads(), 1u);
+  ThreadPool hardware(0);
+  EXPECT_GE(hardware.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunExecutesEveryChunkExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(threads);
+    const size_t num_chunks = 157;
+    std::vector<std::atomic<uint32_t>> hits(num_chunks);
+    for (auto& h : hits) h.store(0);
+    pool.Run(num_chunks, [&](size_t c) { hits[c].fetch_add(1); });
+    for (size_t c = 0; c < num_chunks; ++c) {
+      EXPECT_EQ(hits[c].load(), 1u) << "chunk " << c << ", " << threads
+                                    << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRegions) {
+  ThreadPool pool(4);
+  for (size_t round = 0; round < 200; ++round) {
+    std::atomic<size_t> sum{0};
+    const size_t chunks = 1 + round % 13;
+    pool.Run(chunks, [&](size_t c) { sum.fetch_add(c + 1); });
+    EXPECT_EQ(sum.load(), chunks * (chunks + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ParallelForTest, VisitsEveryIndexOnceForAnyThreadCount) {
+  const size_t n = 1000;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<uint32_t>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(&pool, n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsSequentially) {
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 40, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 40u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, SlotWritesMatchSequentialBaseline) {
+  const size_t n = 513;  // deliberately not a multiple of the grain
+  std::vector<double> expected(n);
+  for (size_t i = 0; i < n; ++i) {
+    expected[i] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<double> got(n, 0.0);
+    ParallelFor(&pool, n,
+                [&](size_t i) { got[i] = 1.0 / (1.0 + static_cast<double>(i)); });
+    EXPECT_EQ(got, expected);
+  }
+}
+
+// The floating-point core of the determinism contract: a chunk-ordered
+// reduction over values whose sum is order-sensitive in double precision is
+// bit-identical for every thread count (and for the sequential execution).
+TEST(ParallelReduceTest, ChunkOrderedSumIsThreadCountInvariant) {
+  const size_t n = 4096;
+  std::vector<double> values(n);
+  // Wildly varying magnitudes make double addition order-sensitive.
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = (i % 2 == 0 ? 1.0 : -1.0) *
+                std::pow(10.0, static_cast<double>(i % 17) - 8.0) *
+                (1.0 + static_cast<double>(i) * 1e-5);
+  }
+  auto chunk_sum = [&](size_t begin, size_t end, double& partial) {
+    for (size_t i = begin; i < end; ++i) partial += values[i];
+  };
+  auto merge = [](double& acc, const double& partial) { acc += partial; };
+
+  double sequential = 0.0;
+  ParallelReduce(nullptr, n, sequential, chunk_sum, merge);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                         size_t{8}}) {
+    ThreadPool pool(threads);
+    double parallel = 0.0;
+    ParallelReduce(&pool, n, parallel, chunk_sum, merge);
+    // Bitwise equality, not EXPECT_DOUBLE_EQ: the whole point is that the
+    // reduction tree does not depend on the thread count.
+    EXPECT_EQ(parallel, sequential) << threads << " threads";
+  }
+}
+
+TEST(ParallelReduceTest, VectorPartialsMergeInChunkOrder) {
+  const size_t n = 200;
+  struct Partial {
+    std::vector<size_t> seen;
+  };
+  ThreadPool pool(4);
+  Partial result;
+  ParallelReduce(
+      &pool, n, result,
+      [](size_t begin, size_t end, Partial& p) {
+        for (size_t i = begin; i < end; ++i) p.seen.push_back(i);
+      },
+      [](Partial& acc, const Partial& p) {
+        acc.seen.insert(acc.seen.end(), p.seen.begin(), p.seen.end());
+      });
+  // Chunk-ordered merging of in-order chunks reconstructs 0..n-1 exactly.
+  ASSERT_EQ(result.seen.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(result.seen[i], i);
+}
+
+TEST(ThreadPoolTest, StressManySmallRegions) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> total{0};
+  for (size_t round = 0; round < 500; ++round) {
+    pool.Run(16, [&](size_t c) { total.fetch_add(c); });
+  }
+  EXPECT_EQ(total.load(), 500ull * (15 * 16 / 2));
+}
+
+}  // namespace
+}  // namespace docs

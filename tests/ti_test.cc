@@ -67,6 +67,26 @@ TEST(ComputeTruthMatrixTest, NoAnswersYieldsUniformRows) {
   }
 }
 
+TEST(ComputeTruthMatrixTest, SkipsStrayAnswersWithCount) {
+  auto ex = MakePaperExample();
+  const Matrix clean =
+      ComputeTruthMatrix(ex.task, ex.answers, ex.qualities, 0.001);
+
+  auto answers = ex.answers;
+  answers.push_back({0, 9, 0});  // worker with no quality vector at all
+  answers.push_back({0, 1, 5});  // choice out of range (l = 2)
+  auto qualities = ex.qualities;
+  qualities.emplace_back();  // worker 3 exists but with a 0-dim quality vector
+  answers.push_back({0, 3, 0});
+
+  size_t skipped = 0;
+  const Matrix got =
+      ComputeTruthMatrix(ex.task, answers, qualities, 0.001, &skipped);
+  EXPECT_EQ(skipped, 3u);
+  // The strays contribute nothing: bitwise equal to the clean computation.
+  EXPECT_EQ(got.data(), clean.data());
+}
+
 TEST(ComputeTruthMatrixTest, RowsAreDistributions) {
   auto ex = MakePaperExample();
   Matrix truth_matrix = ComputeTruthMatrix(ex.task, ex.answers, ex.qualities);
@@ -112,6 +132,30 @@ TEST(GoldenInitTest, NonGoldenAnswersIgnored) {
   std::vector<Answer> answers = {{0, 0, 1}, {1, 0, 0}};
   auto with = InitializeQualityFromGolden(tasks, 1, answers, {0}, {1}, 0.7, 0.0);
   EXPECT_NEAR(with[0].quality[0], 1.0, 1e-12);
+}
+
+TEST(GoldenInitTest, SkipsStrayInputsWithCount) {
+  std::vector<Task> tasks(2);
+  tasks[0].domain_vector = {0.9, 0.1};
+  tasks[0].num_choices = 2;
+  tasks[1].domain_vector = {0.2, 0.8};
+  tasks[1].num_choices = 2;
+  const std::vector<Answer> clean_answers = {{0, 0, 1}, {1, 0, 0}};
+  const auto clean = InitializeQualityFromGolden(tasks, 1, clean_answers,
+                                                 {0, 1}, {1, 1}, 0.7, 0.0);
+
+  auto answers = clean_answers;
+  answers.push_back({7, 0, 1});  // task out of range
+  answers.push_back({0, 4, 1});  // worker out of range
+  size_t skipped = 0;
+  // The golden index 9 is out of range too: ignored rather than written out
+  // of bounds (it would otherwise corrupt the truth-of-task map).
+  const auto got = InitializeQualityFromGolden(
+      tasks, 1, answers, {0, 1, 9}, {1, 1, 0}, 0.7, 0.0, &skipped);
+  EXPECT_EQ(skipped, 2u);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].quality, clean[0].quality);
+  EXPECT_EQ(got[0].weight, clean[0].weight);
 }
 
 // --- Full iterative inference on simulated crowds ---------------------------
