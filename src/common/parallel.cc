@@ -28,15 +28,42 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-size_t ThreadPool::DrainChunks(const std::function<void(size_t)>& fn) {
-  // num_chunks_ is stable for the lifetime of the job: it is written under
-  // the mutex before workers are woken and only reset once every chunk has
-  // been accounted for.
+namespace {
+// ticket_ layout: generation in the high 32 bits, next chunk in the low 32.
+constexpr uint64_t kTicketGenShift = 32;
+constexpr uint64_t kTicketChunkMask = 0xffffffffULL;
+}  // namespace
+
+size_t ThreadPool::DrainChunks(uint64_t generation,
+                               const std::function<void(size_t)>* fn) {
+  const uint64_t gen_tag = generation << kTicketGenShift;
   size_t ran = 0;
+  uint64_t ticket = ticket_.load(std::memory_order_acquire);
   for (;;) {
-    const size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    // The generation check and the claim are one atomic step: a straggler
+    // still holding an old job sees the tag mismatch and backs off without
+    // consuming an index of the new job or touching the old (possibly
+    // destroyed) fn. A plain fetch_add could not give that guarantee — it
+    // would burn a chunk of the new job before the check.
+    if ((ticket & ~kTicketChunkMask) != gen_tag) return ran;
+    const size_t chunk = static_cast<size_t>(ticket & kTicketChunkMask);
     if (chunk >= num_chunks_.load(std::memory_order_relaxed)) return ran;
-    fn(chunk);
+    if (!ticket_.compare_exchange_weak(ticket, ticket + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      continue;  // ticket was reloaded by the failed CAS
+    }
+    ticket += 1;
+    // The successful claim proves *fn is alive: this chunk has not been
+    // counted into completed_, so Run() is still blocked in its wait.
+    try {
+      (*fn)(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    // A chunk whose fn threw still counts as completed — Run() must never
+    // wait for work nobody will redo.
     ++ran;
   }
 }
@@ -54,8 +81,10 @@ void ThreadPool::WorkerLoop() {
       seen_generation = generation_;
       job = job_;
     }
-    const size_t ran = DrainChunks(*job);
+    const size_t ran = DrainChunks(seen_generation, job);
     if (ran > 0) {
+      // Having claimed a chunk of this generation pins Run() in its wait
+      // until we report, so num_chunks_ still belongs to this job here.
       std::lock_guard<std::mutex> lock(mutex_);
       completed_ += ran;
       if (completed_ == num_chunks_.load(std::memory_order_relaxed)) {
@@ -67,27 +96,38 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Run(size_t num_chunks, const std::function<void(size_t)>& fn) {
   if (num_chunks == 0) return;
-  if (workers_.empty() || num_chunks == 1) {
+  // A chunk count overflowing the ticket's 32-bit chunk field (64G+ elements
+  // at the default grain) would corrupt the generation tag; run it inline.
+  if (workers_.empty() || num_chunks == 1 || num_chunks > kTicketChunkMask) {
     for (size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
+  uint64_t generation;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
     num_chunks_.store(num_chunks, std::memory_order_relaxed);
-    next_chunk_.store(0, std::memory_order_relaxed);
     completed_ = 0;
-    ++generation_;
+    generation = ++generation_;
+    // Publishing the new generation tag atomically invalidates any claim a
+    // straggler from the previous job might still attempt (see DrainChunks).
+    ticket_.store(generation << kTicketGenShift, std::memory_order_release);
   }
   work_cv_.notify_all();
-  const size_t ran = DrainChunks(fn);
+  const size_t ran = DrainChunks(generation, &fn);
   std::unique_lock<std::mutex> lock(mutex_);
   completed_ += ran;
   done_cv_.wait(lock, [&] { return completed_ == num_chunks; });
-  // With every chunk accounted for, no worker can still be inside fn: a
-  // worker only touches fn between claiming a chunk and bumping completed_.
+  // Every chunk is accounted for. Workers that claimed chunks have left fn
+  // (completion is only reported after fn returned or threw); workers that
+  // claimed none are fenced off fn by the generation tag. Safe to drop the
+  // job and let the caller's fn die.
   job_ = nullptr;
   num_chunks_.store(0, std::memory_order_relaxed);
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace docs

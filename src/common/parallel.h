@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -58,26 +59,42 @@ class ThreadPool {
   /// all chunks finished. Chunks are claimed dynamically (an idle thread takes
   /// the next index), so uneven chunk costs balance automatically. Not
   /// reentrant: fn must not call Run() on the same pool.
+  ///
+  /// If fn throws, the first exception (in completion order) is rethrown from
+  /// Run() after every chunk has been accounted for and the pool state is
+  /// reset — a chunk whose fn threw still counts as completed, so the pool
+  /// stays usable for subsequent Run() calls. Exceptions thrown on worker
+  /// threads are transported to the caller instead of terminating the
+  /// process.
   void Run(size_t num_chunks, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
-  /// Claims and executes chunks until none remain; returns the number of
-  /// chunks this thread completed.
-  size_t DrainChunks(const std::function<void(size_t)>& fn);
+  /// Claims and executes chunks of the job tagged `generation` until none
+  /// remain or the ticket's generation moves on; returns the number of chunks
+  /// this thread completed. `fn` is dereferenced only after a successful
+  /// claim, which proves the job (and the caller's fn) is still alive.
+  size_t DrainChunks(uint64_t generation, const std::function<void(size_t)>* fn);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void(size_t)>* job_ = nullptr;  // guarded by mutex_
-  /// Atomic only for the final bound-check a worker performs while Run() may
-  /// concurrently reset it; by that point every chunk has been claimed, so a
-  /// stale value can never admit another fn call.
+  /// Chunk-claim ticket: the job generation in the high 32 bits, the next
+  /// unclaimed chunk index in the low 32. Claims are CAS increments that fail
+  /// if the generation tag changed, so a worker that stalled after picking up
+  /// a job but before claiming anything can never consume a chunk of (or run
+  /// fn from) a later job — the tag mismatch fences it off. Wrap-around would
+  /// need a worker to stall across exactly 2^32 Run() generations.
+  std::atomic<uint64_t> ticket_{0};
+  /// Chunk count of the active job. Atomic because stragglers from an older
+  /// generation may load it while Run() resets it; the generation-checked
+  /// claim ensures a stale value never admits an fn call.
   std::atomic<size_t> num_chunks_{0};
-  std::atomic<size_t> next_chunk_{0};
   size_t completed_ = 0;   // guarded by mutex_
   uint64_t generation_ = 0;  // guarded by mutex_; bumped per Run()
+  std::exception_ptr first_error_;  // guarded by mutex_; see Run()
   bool shutdown_ = false;    // guarded by mutex_
 };
 

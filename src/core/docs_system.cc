@@ -13,7 +13,9 @@ DocsSystem::DocsSystem(const kb::KnowledgeBase* knowledge_base,
       options_(std::move(options)),
       dve_(knowledge_base, options_.linker) {
   // One knob steers every hot loop: a nonzero system-level thread count
-  // overrides the embedded engines' settings.
+  // overrides the embedded engines' settings. The pool is shared too — the
+  // periodic re-inference runs on ScoringPool() rather than letting the
+  // embedded engine build a second hardware-sized pool of its own.
   if (options_.num_threads != 0) {
     options_.truth_inference.num_threads = options_.num_threads;
     options_.assigner.num_threads = options_.num_threads;
@@ -367,10 +369,12 @@ Status DocsSystem::SubmitAnswer(size_t worker, size_t task, size_t choice) {
   if (!status.ok()) return status;
   AbsorbAnswer(worker, task, choice);
 
-  // Delayed full inference every z submissions (Section 4.2).
+  // Delayed full inference every z submissions (Section 4.2), on the shared
+  // scoring pool — the embedded engine must not stack a second hardware-sized
+  // pool on top of ours.
   if (options_.reinfer_every > 0 &&
       ++answers_since_reinfer_ >= options_.reinfer_every) {
-    inference_->RunFullInference();
+    inference_->RunFullInference(ScoringPool());
     answers_since_reinfer_ = 0;
   }
   return OkStatus();
@@ -489,7 +493,7 @@ Status DocsSystem::LoadCheckpoint(const std::string& path) {
     DOCS_LOG(Warning) << "checkpoint replay dropped " << dropped
                       << " invalid answer record(s), kept " << replayed;
   }
-  if (replayed > 0) inference_->RunFullInference();
+  if (replayed > 0) inference_->RunFullInference(ScoringPool());
   answers_since_reinfer_ = 0;
   return OkStatus();
 }

@@ -84,9 +84,11 @@ struct DocsSystemOptions {
   /// Display name override (the D-Max configuration reports "D-Max").
   std::string display_name = "DOCS";
   /// Threads applied to the serving hot loops: benefit/match/entropy scoring
-  /// in SelectTasks here, and — when nonzero — the EM sweep and recompute
-  /// fan-out of the embedded inference engine (overriding
-  /// truth_inference.num_threads so one knob steers the whole system).
+  /// in SelectTasks, and the EM sweep / recompute fan-out of the embedded
+  /// inference engine — all served by ONE pool of this size (the periodic
+  /// re-inference runs on the scoring pool instead of building its own, so a
+  /// DocsSystem never stacks multiple hardware-sized pools). When nonzero it
+  /// also overrides truth_inference.num_threads for standalone engine use.
   /// 0 = hardware concurrency, 1 = the historical sequential behavior.
   /// Results are bit-identical for every value; see DESIGN.md §8.
   size_t num_threads = 0;
@@ -188,8 +190,9 @@ class DocsSystem : public AssignmentPolicy {
   std::vector<size_t> RankEligible(const std::vector<uint8_t>& eligible,
                                    size_t k,
                                    const std::function<double(size_t)>& score);
-  /// Lazily built pool for SelectTasks scoring; nullptr when configured
-  /// sequential.
+  /// Lazily built pool shared by every hot loop the system drives —
+  /// SelectTasks scoring and the embedded engine's periodic full inference;
+  /// nullptr when configured sequential.
   ThreadPool* ScoringPool();
 
   /// Shared validation for live submissions and checkpoint replay.

@@ -181,16 +181,18 @@ void IncrementalTruthInference::RecomputeTask(size_t task) {
 }
 
 void IncrementalTruthInference::RunFullInference() {
-  std::vector<WorkerQuality> seeds;
-  seeds.reserve(workers_.size());
-  for (const auto& state : workers_) seeds.push_back(state.seed);
-
   const size_t threads = EffectiveThreadCount(options_.num_threads);
   if (threads > 1 &&
       (pool_ == nullptr || pool_->num_threads() != threads)) {
     pool_ = std::make_unique<ThreadPool>(threads);
   }
-  ThreadPool* pool = threads > 1 ? pool_.get() : nullptr;
+  RunFullInference(threads > 1 ? pool_.get() : nullptr);
+}
+
+void IncrementalTruthInference::RunFullInference(ThreadPool* pool) {
+  std::vector<WorkerQuality> seeds;
+  seeds.reserve(workers_.size());
+  for (const auto& state : workers_) seeds.push_back(state.seed);
 
   TruthInference engine(options_);
   TruthInferenceResult result =

@@ -50,8 +50,15 @@ class IncrementalTruthInference {
 
   /// Re-runs the iterative algorithm of Section 4.1 on all stored answers,
   /// starting from the seed qualities, and replaces the incremental state
-  /// with the converged parameters.
+  /// with the converged parameters. Parallelized over a lazily built pool of
+  /// options().num_threads threads.
   void RunFullInference();
+
+  /// As above but executes on a caller-provided pool (ignoring
+  /// options().num_threads and never building an own pool), so a surrounding
+  /// system can serve every hot loop from one pool instead of stacking
+  /// hardware-sized pools per engine. `pool == nullptr` runs sequentially.
+  void RunFullInference(ThreadPool* pool);
 
   const std::vector<double>& task_truth(size_t task) const {
     return task_truth_[task];

@@ -76,10 +76,14 @@ std::vector<WorkerQuality> InitializeQualityFromGolden(
     const std::vector<size_t>& golden_truth, double default_quality,
     double smoothing, size_t* skipped_answers) {
   const size_t m = tasks.empty() ? 0 : tasks[0].domain_vector.size();
-  // Map task -> golden truth for O(1) membership tests. Golden indices
-  // outside the task list are ignored rather than written out of bounds.
+  // Map task -> golden truth for O(1) membership tests. golden_tasks and
+  // golden_truth are parallel arrays: entries past the shorter one have no
+  // counterpart and are dropped (never read out of bounds), as are golden
+  // indices outside the task list.
   std::vector<int> truth_of_task(tasks.size(), -1);
-  for (size_t g = 0; g < golden_tasks.size(); ++g) {
+  const size_t golden_n = std::min(golden_tasks.size(), golden_truth.size());
+  size_t skipped = golden_tasks.size() - golden_n;
+  for (size_t g = 0; g < golden_n; ++g) {
     if (golden_tasks[g] >= tasks.size()) continue;
     truth_of_task[golden_tasks[g]] = static_cast<int>(golden_truth[g]);
   }
@@ -89,7 +93,6 @@ std::vector<WorkerQuality> InitializeQualityFromGolden(
       num_workers, std::vector<double>(m, 0.0));
   std::vector<std::vector<double>> total_mass(num_workers,
                                               std::vector<double>(m, 0.0));
-  size_t skipped = 0;
   for (const Answer& answer : answers) {
     if (answer.task >= tasks.size() || answer.worker >= num_workers ||
         tasks[answer.task].domain_vector.size() != m) {

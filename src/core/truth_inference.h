@@ -69,9 +69,11 @@ Matrix ComputeTruthMatrix(const Task& task,
 /// (Section 5.2): per domain, the r-weighted fraction of correct golden
 /// answers, smoothed toward `options.default_quality`. Weights u are the
 /// r-mass of golden tasks answered.
-/// Stray inputs — a golden index outside the task list, an answer whose task
-/// or worker is out of range — are skipped instead of indexing out of bounds;
-/// `skipped_answers`, when non-null, receives the number of ignored answers.
+/// Stray inputs — a golden index outside the task list, a golden_tasks entry
+/// with no matching golden_truth label (the arrays are parallel; the excess
+/// of the longer one is dropped), an answer whose task or worker is out of
+/// range — are skipped instead of indexing out of bounds; `skipped_answers`,
+/// when non-null, receives the number of ignored entries.
 std::vector<WorkerQuality> InitializeQualityFromGolden(
     const std::vector<Task>& tasks, size_t num_workers,
     const std::vector<Answer>& answers,

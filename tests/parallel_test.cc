@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -151,6 +152,57 @@ TEST(ThreadPoolTest, StressManySmallRegions) {
     pool.Run(16, [&](size_t c) { total.fetch_add(c); });
   }
   EXPECT_EQ(total.load(), 500ull * (15 * 16 / 2));
+}
+
+// Regression stress for the straggler race: with far more threads than
+// chunks, most workers wake up, find every chunk already claimed, and run
+// nothing. Before chunk claims were generation-checked, a worker that
+// stalled between picking up a job and its first claim could — once the
+// next Run() reset the chunk counter — claim a chunk of the NEW job and
+// execute it through the dangling fn of the OLD one (whose stack lambda was
+// already destroyed). Back-to-back tiny regions whose bodies capture
+// round-owned stack state make any such cross-talk a visible wrong value
+// here and a use-after-free under ASan/TSan (scripts/ci.sh runs this binary
+// under both).
+TEST(ThreadPoolTest, StressBackToBackTinyRegionsWithDistinctBodies) {
+  ThreadPool pool(8);
+  for (size_t round = 0; round < 2000; ++round) {
+    const size_t chunks = 2 + round % 3;
+    std::vector<uint64_t> slots(chunks, 0);
+    const uint64_t stamp = round * 1000003ull + 1;
+    pool.Run(chunks, [&slots, stamp](size_t c) { slots[c] = stamp + c; });
+    for (size_t c = 0; c < chunks; ++c) {
+      ASSERT_EQ(slots[c], stamp + c) << "round " << round << " chunk " << c;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RethrowsFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  // Throwing chunks may land on worker threads or the caller; either way the
+  // exception must surface from Run() instead of terminating the process,
+  // and every non-throwing chunk still runs exactly once.
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(pool.Run(64,
+                        [&](size_t c) {
+                          if (c % 7 == 3) throw std::runtime_error("chunk");
+                          ran.fetch_add(1);
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 55u);  // 9 of the 64 chunks have c % 7 == 3
+  // The failed region reset the pool state cleanly: later regions work.
+  std::atomic<uint64_t> sum{0};
+  pool.Run(32, [&](size_t c) { sum.fetch_add(c); });
+  EXPECT_EQ(sum.load(), 32ull * 31 / 2);
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesExceptions) {
+  ThreadPool pool(1);  // no workers: chunks run inline on the caller
+  EXPECT_THROW(pool.Run(4, [](size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<uint64_t> sum{0};
+  pool.Run(4, [&](size_t c) { sum.fetch_add(c); });
+  EXPECT_EQ(sum.load(), 6u);
 }
 
 }  // namespace

@@ -158,6 +158,36 @@ TEST(GoldenInitTest, SkipsStrayInputsWithCount) {
   EXPECT_EQ(got[0].weight, clean[0].weight);
 }
 
+TEST(GoldenInitTest, MismatchedGoldenArraysNeverReadOutOfBounds) {
+  std::vector<Task> tasks(2);
+  tasks[0].domain_vector = {0.9, 0.1};
+  tasks[0].num_choices = 2;
+  tasks[1].domain_vector = {0.2, 0.8};
+  tasks[1].num_choices = 2;
+  const std::vector<Answer> answers = {{0, 0, 1}, {1, 0, 0}};
+  const auto clean =
+      InitializeQualityFromGolden(tasks, 1, answers, {0}, {1}, 0.7, 0.0);
+
+  // golden_tasks longer than golden_truth: the parallel arrays are bounded
+  // by the shorter one, so the unlabeled golden entry is dropped and counted
+  // (it used to read golden_truth[1] out of bounds).
+  size_t skipped = 0;
+  const auto got = InitializeQualityFromGolden(tasks, 1, answers, {0, 1}, {1},
+                                               0.7, 0.0, &skipped);
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].quality, clean[0].quality);
+  EXPECT_EQ(got[0].weight, clean[0].weight);
+
+  // golden_truth longer than golden_tasks: the excess labels have no golden
+  // task to attach to and change nothing.
+  const auto extra = InitializeQualityFromGolden(tasks, 1, answers, {0},
+                                                 {1, 0, 1}, 0.7, 0.0);
+  ASSERT_EQ(extra.size(), 1u);
+  EXPECT_EQ(extra[0].quality, clean[0].quality);
+  EXPECT_EQ(extra[0].weight, clean[0].weight);
+}
+
 // --- Full iterative inference on simulated crowds ---------------------------
 
 struct SimSetup {
