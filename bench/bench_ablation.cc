@@ -19,6 +19,7 @@
 #include "baselines/assigners.h"
 #include "baselines/majority_vote.h"
 #include "bench_common.h"
+#include "common/check.h"
 #include "common/table_printer.h"
 #include "core/docs_system.h"
 #include "core/domain_vector.h"
@@ -113,10 +114,14 @@ void TiAblation() {
   // Incremental-only (never re-running the iterative algorithm).
   core::IncrementalTruthInference incremental(tasks);
   for (size_t w = 0; w < workers.size(); ++w) {
-    incremental.SetWorkerQuality(w, seeds[w]);
+    // Seeds come from InitializeQualityFromGolden over this same collection,
+    // so a rejection would mean the bench itself is broken.
+    DOCS_CHECK(incremental.SetWorkerQuality(w, seeds[w]).ok());
   }
   for (const auto& answer : collection.answers) {
-    (void)incremental.OnAnswer(answer.worker, answer.task, answer.choice);
+    DOCS_CHECK(incremental.OnAnswer(answer.worker, answer.task,
+                                    answer.choice)
+                   .ok());
   }
   table.AddRow({"incremental-only (z = infinity)",
                 TablePrinter::Fmt(

@@ -101,7 +101,10 @@ int main() {
         crowd::RunAssignmentCampaign(dataset, workers, {&system}, campaign);
     // Persist everyone for the next requester.
     for (const auto& worker : workers) {
-      (void)system.SaveWorker(worker.id, &*store);
+      if (auto status = system.SaveWorker(worker.id, &*store); !status.ok()) {
+        std::cerr << "profile write-back failed: " << status.ToString()
+                  << "\n";
+      }
     }
     struct SessionResult {
       double accuracy;

@@ -11,6 +11,7 @@
 //
 //   ./build/examples/quickstart
 
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -85,7 +86,10 @@ int main() {
     record.quality[canon.entertain] = entertain;
     record.quality[canon.science] = science;
     record.weight.assign(m, 30.0);  // well-established profiles
-    (void)store.Put(id, record);
+    if (auto status = store.Put(id, record); !status.ok()) {
+      std::cerr << "profile write failed: " << status.ToString() << "\n";
+      std::exit(1);
+    }
   };
   // The sports fan also knows her mountains (an outdoorsy type).
   put_profile("sports-fan", 0.93, 0.55, 0.88);
@@ -136,7 +140,10 @@ int main() {
               << ": sports=" << TablePrinter::Fmt(q[canon.sports], 2)
               << " entertain=" << TablePrinter::Fmt(q[canon.entertain], 2)
               << "\n";
-    (void)system.SaveWorker(name, &store);
+    if (auto status = system.SaveWorker(name, &store); !status.ok()) {
+      std::cerr << "profile write-back failed: " << status.ToString() << "\n";
+      return 1;
+    }
   }
   std::cout << "\n" << store.size() << " profiles persisted ("
             << store.log_records() << " log records)\n";

@@ -207,9 +207,15 @@ int main(int argc, char** argv) {
         flags.save_workers, synthetic.knowledge_base.num_domains());
     if (store.ok()) {
       for (const auto& worker : workers) {
-        (void)docs_system->SaveWorker(worker.id, &*store);
+        if (auto saved = docs_system->SaveWorker(worker.id, &*store);
+            !saved.ok()) {
+          std::cerr << "profile write-back failed: " << saved.ToString()
+                    << "\n";
+        }
       }
-      (void)store->Compact();
+      if (auto compacted = store->Compact(); !compacted.ok()) {
+        std::cerr << "compaction failed: " << compacted.ToString() << "\n";
+      }
       std::cout << store->size() << " worker profiles persisted to "
                 << flags.save_workers << "\n";
     } else {

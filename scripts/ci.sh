@@ -1,12 +1,29 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the Release config, the ASan+UBSan config
-# (DOCS_SANITIZE=ON) and a TSan config (DOCS_SANITIZE=thread) focused on the
-# thread pool and the parallel inference/assignment paths. Fails on the first
-# broken build or test.
+# CI entry point, four stages (fails on the first broken one):
+#   1. lint      — scripts/lint.py always; clang-tidy when installed.
+#   2. release   — Release build, full test suite.
+#   3. strict    — -DDOCS_WERROR=ON -DDOCS_DEBUG_CHECKS=ON: curated -Werror
+#                  set plus every DOCS_DCHECK* contract compiled in, run over
+#                  the contract-heavy suites.
+#   4. sanitize  — ASan+UBSan full suite, then TSan scoped to the tests that
+#                  exercise cross-thread execution.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== [lint] scripts/lint.py ==="
+python3 "$ROOT/scripts/lint.py" --root "$ROOT"
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== [lint] clang-tidy ==="
+  cmake -S "$ROOT" -B "$ROOT/build-tidy" -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # Sources only; headers are covered through HeaderFilterRegex.
+  find "$ROOT/src" -name '*.cc' -print0 |
+    xargs -0 -n8 -P"$JOBS" clang-tidy -p "$ROOT/build-tidy" --quiet
+else
+  echo "=== [lint] clang-tidy not installed, skipping ==="
+fi
 
 # run_config <name> [test-filter] [cmake-args...]
 # `test-filter` is a ctest -R regex; pass "" to run the full suite.
@@ -28,6 +45,13 @@ run_config() {
 }
 
 run_config release "" -DCMAKE_BUILD_TYPE=Release
+# Strict config: warnings are errors and the DCHECK-tier contracts are live.
+# Scoped to the suites that hit the contract-instrumented paths hardest;
+# check_test runs here with DOCS_DEBUG_CHECKS on (it also runs in every
+# other config with them off — both halves of its matrix get covered).
+run_config strict \
+  "check_test|common_test|ti_test|incremental_ti_test|ota_test|golden_test|dve_test|baselines_test" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_WERROR=ON -DDOCS_DEBUG_CHECKS=ON
 run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=ON
 # TSan cannot be combined with ASan; it gets its own tree, scoped to the
 # tests that actually exercise cross-thread execution.

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Repo-local style gate (scripts/ci.sh runs this before any build).
+
+Checks, over every C++ file in src/, tests/, bench/ and examples/:
+
+  1. Header guards follow the #ifndef DOCS_<DIR>_<FILE>_H_ convention
+     (src/core/types.h -> DOCS_CORE_TYPES_H_, bench/bench_common.h ->
+     DOCS_BENCH_BENCH_COMMON_H_); #pragma once is banned everywhere.
+  2. Headers never say `using namespace` (it leaks into every includer).
+  3. No `(void)` cast silences a fallible call: Status is [[nodiscard]] so
+     the compiler flags a plain discard, and casting it away defeats the
+     point. Handle the status or propagate it.
+  4. #include lines are sorted within each contiguous block (blocks are
+     separated by blank lines or non-include lines).
+
+Exit status is the number of findings (0 = clean). Run from anywhere:
+
+    python3 scripts/lint.py [--root <repo>]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# Fallible APIs whose Status result must never be (void)-discarded. Kept as
+# an explicit list because a regex linter cannot see return types.
+FALLIBLE_CALLS = (
+    "OnAnswer", "SubmitAnswer", "SetWorkerQuality", "AddTasks", "LoadWorker",
+    "SaveWorker", "SaveCheckpoint", "LoadCheckpoint", "SaveCheckpointWithRetry",
+    "Append", "AppendRecord", "Put", "Merge", "Flush", "Compact", "Open",
+    "AddConcept", "AddAlias", "AddCategory", "SaveKnowledgeBase",
+    "LoadKnowledgeBase", "SaveDatasetTsv", "LoadDatasetTsv",
+    "SaveStateCheckpoint", "LoadStateCheckpoint",
+)
+
+VOID_CAST_RE = re.compile(
+    r"\(void\)\s*(?:[A-Za-z_][\w.]*(?:->|\.))*(?:%s)\s*\(" %
+    "|".join(FALLIBLE_CALLS))
+VOID_STATUS_RE = re.compile(r"\(void\)\s*[a-z_]*status\b")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^<">]+[>"])')
+
+
+def expected_guard(path):
+    """DOCS_<COMPONENTS>_H_ for a header path relative to the repo root."""
+    parts = path.replace(os.sep, "/").split("/")
+    if parts[0] == "src":
+        parts = parts[1:]  # src/ is the include root, not a guard component
+    stem = "_".join(parts)
+    stem = os.path.splitext(stem)[0]
+    return "DOCS_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_header_guard(path, lines, findings):
+    guard = expected_guard(path)
+    ifndef_index = None
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith("#ifndef"):
+            ifndef_index = i
+            break
+        if stripped and not stripped.startswith("//"):
+            break
+    if ifndef_index is None:
+        findings.append((path, 1, f"missing header guard #ifndef {guard}"))
+        return
+    got = lines[ifndef_index].split()
+    if len(got) < 2 or got[1] != guard:
+        findings.append((path, ifndef_index + 1,
+                         f"header guard is {got[1] if len(got) > 1 else '?'}, "
+                         f"expected {guard}"))
+        return
+    define = lines[ifndef_index + 1].split() if ifndef_index + 1 < len(
+        lines) else []
+    if len(define) < 2 or define[0] != "#define" or define[1] != guard:
+        findings.append((path, ifndef_index + 2,
+                         f"#define {guard} must follow the #ifndef"))
+
+
+def check_includes_sorted(path, lines, findings):
+    block = []  # (line_number, include_text)
+    def flush():
+        nonlocal block
+        texts = [t for _, t in block]
+        if texts != sorted(texts):
+            for (num, text), want in zip(block, sorted(texts)):
+                if text != want:
+                    findings.append(
+                        (path, num,
+                         f"includes unsorted within block: {text} before "
+                         f"{want}"))
+                    break
+        block = []
+
+    for i, line in enumerate(lines):
+        m = INCLUDE_RE.match(line)
+        if m:
+            block.append((i + 1, m.group(1)))
+        else:
+            flush()
+    flush()
+
+
+def lint_file(root, rel, findings):
+    path = os.path.join(root, rel)
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        lines = handle.read().splitlines()
+    is_header = rel.endswith((".h", ".hpp"))
+
+    for i, line in enumerate(lines):
+        if "#pragma once" in line:
+            findings.append((rel, i + 1,
+                             "#pragma once is banned; use an include guard"))
+        if "NOLINT(docs-lint)" in line:
+            continue
+        if is_header and USING_NAMESPACE_RE.match(line):
+            findings.append((rel, i + 1, "using namespace in a header"))
+        if VOID_CAST_RE.search(line) or VOID_STATUS_RE.search(line):
+            findings.append(
+                (rel, i + 1,
+                 "(void)-discarded Status: handle or propagate it"))
+
+    if is_header:
+        check_header_guard(rel, lines, findings)
+    check_includes_sorted(rel, lines, findings)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)")
+    args = parser.parse_args()
+
+    findings = []
+    for top in SOURCE_DIRS:
+        top_path = os.path.join(args.root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, _, filenames in os.walk(top_path):
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS):
+                    rel = os.path.relpath(os.path.join(dirpath, name),
+                                          args.root)
+                    lint_file(args.root, rel, findings)
+
+    for path, line, message in findings:
+        print(f"{path}:{line}: {message}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)")
+    else:
+        print("lint.py: clean")
+    return min(len(findings), 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "baselines/majority_vote.h"
+#include "common/check.h"
 #include "common/math_utils.h"
 #include "topicmodel/lda.h"
 
@@ -104,6 +105,8 @@ ICrowdAssigner::ICrowdAssigner(std::vector<size_t> num_choices,
       task_topics_(std::move(task_topics)),
       answers_per_task_(answers_per_task),
       options_(options) {
+  DOCS_CHECK_EQ(task_topics_.size(), num_choices_.size())
+      << "one topic vector per task";
   current_truth_.assign(num_choices_.size(), 0);
 }
 

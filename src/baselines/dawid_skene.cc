@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/math_utils.h"
 
 namespace docs::baselines {
@@ -33,7 +34,14 @@ DawidSkeneResult DawidSkene::Run(
   }
 
   std::vector<std::vector<core::Answer>> answers_of_task(n);
-  for (const auto& answer : answers) answers_of_task[answer.task].push_back(answer);
+  for (const auto& answer : answers) {
+    DOCS_CHECK_LT(answer.task, n) << "answer names an unknown task";
+    DOCS_CHECK_LT(answer.worker, num_workers)
+        << "answer names an unknown worker";
+    DOCS_CHECK_LT(answer.choice, num_choices[answer.task])
+        << "answer choice out of range for its task";
+    answers_of_task[answer.task].push_back(answer);
+  }
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
     // E-step: truth posteriors with a uniform prior.

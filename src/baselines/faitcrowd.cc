@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/math_utils.h"
 
 namespace docs::baselines {
@@ -14,6 +15,11 @@ FaitCrowdResult FaitCrowd::Run(const std::vector<size_t>& num_choices,
                                size_t num_topics, size_t num_workers,
                                const std::vector<core::Answer>& answers) const {
   const size_t n = num_choices.size();
+  DOCS_CHECK_EQ(task_topics.size(), n) << "one hard topic per task";
+  DOCS_CHECK_GT(num_topics, size_t{0});
+  for (size_t topic : task_topics) {
+    DOCS_CHECK_LT(topic, num_topics) << "task topic out of range";
+  }
   FaitCrowdResult result;
   result.task_truth.resize(n);
   result.inferred_choice.assign(n, 0);
@@ -21,7 +27,14 @@ FaitCrowdResult FaitCrowd::Run(const std::vector<size_t>& num_choices,
       num_workers, std::vector<double>(num_topics, options_.initial_quality));
 
   std::vector<std::vector<core::Answer>> answers_of_task(n);
-  for (const auto& answer : answers) answers_of_task[answer.task].push_back(answer);
+  for (const auto& answer : answers) {
+    DOCS_CHECK_LT(answer.task, n) << "answer names an unknown task";
+    DOCS_CHECK_LT(answer.worker, num_workers)
+        << "answer names an unknown worker";
+    DOCS_CHECK_LT(answer.choice, num_choices[answer.task])
+        << "answer choice out of range for its task";
+    answers_of_task[answer.task].push_back(answer);
+  }
 
   result.final_topics = task_topics;
   std::vector<size_t>& topics = result.final_topics;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/majority_vote.h"
+#include "common/check.h"
 #include "topicmodel/lda.h"
 
 namespace docs::baselines {
@@ -14,12 +15,16 @@ ICrowdResult ICrowdInference::Run(
     const std::vector<std::vector<double>>& task_topics, size_t num_workers,
     const std::vector<core::Answer>& answers) const {
   const size_t n = num_choices.size();
+  DOCS_CHECK_EQ(task_topics.size(), n) << "one topic vector per task";
   ICrowdResult result;
   result.per_answer_quality.assign(answers.size(), options_.initial_quality);
 
-  // Per-worker answer lists (indices into `answers`).
+  // Per-worker answer lists (indices into `answers`). MajorityVote below
+  // asserts the task/choice bounds; the worker index is only used here.
   std::vector<std::vector<size_t>> answers_of_worker(num_workers);
   for (size_t a = 0; a < answers.size(); ++a) {
+    DOCS_CHECK_LT(answers[a].worker, num_workers)
+        << "answer names an unknown worker";
     answers_of_worker[answers[a].worker].push_back(a);
   }
 

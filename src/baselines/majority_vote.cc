@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace docs::baselines {
 
 std::vector<std::vector<size_t>> AnswerHistograms(
@@ -12,6 +14,10 @@ std::vector<std::vector<size_t>> AnswerHistograms(
     histograms[i].assign(num_choices[i], 0);
   }
   for (const auto& answer : answers) {
+    DOCS_CHECK_LT(answer.task, histograms.size())
+        << "answer names an unknown task";
+    DOCS_CHECK_LT(answer.choice, num_choices[answer.task])
+        << "answer choice out of range for its task";
     ++histograms[answer.task][answer.choice];
   }
   return histograms;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/math_utils.h"
 
 namespace docs::baselines {
@@ -25,7 +26,14 @@ ZenCrowdResult ZenCrowd::Run(const std::vector<size_t>& num_choices,
   }
 
   std::vector<std::vector<core::Answer>> answers_of_task(n);
-  for (const auto& answer : answers) answers_of_task[answer.task].push_back(answer);
+  for (const auto& answer : answers) {
+    DOCS_CHECK_LT(answer.task, n) << "answer names an unknown task";
+    DOCS_CHECK_LT(answer.worker, num_workers)
+        << "answer names an unknown worker";
+    DOCS_CHECK_LT(answer.choice, num_choices[answer.task])
+        << "answer choice out of range for its task";
+    answers_of_task[answer.task].push_back(answer);
+  }
   std::vector<size_t> answers_of_worker(num_workers, 0);
   for (const auto& answer : answers) ++answers_of_worker[answer.worker];
 

@@ -1,0 +1,144 @@
+#include "common/check.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/matrix.h"
+
+namespace docs {
+namespace internal_check {
+namespace {
+
+CheckFailureHandler g_handler = nullptr;
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  CheckFailureHandler previous = g_handler;
+  g_handler = handler;
+  return previous;
+}
+
+void FailCheck(const char* file, int line, const std::string& message) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::ostringstream oss;
+  oss << "[CHECK " << base << ":" << line << "] " << message;
+  const std::string composed = oss.str();
+  if (g_handler != nullptr) {
+    g_handler(composed);
+    // A conforming handler never returns (it throws or exits). If a broken
+    // one does return, falling through to abort keeps [[noreturn]] honest.
+  }
+  std::fprintf(stderr, "%s\n", composed.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckMessage::CheckMessage(const char* file, int line, const char* description)
+    : file_(file), line_(line) {
+  stream_.precision(kCheckMessagePrecision);
+  stream_ << description;
+}
+
+CheckMessage::CheckMessage(const char* file, int line,
+                           const std::string& description)
+    : file_(file), line_(line) {
+  stream_.precision(kCheckMessagePrecision);
+  stream_ << description;
+}
+
+CheckMessage::~CheckMessage() noexcept(false) {
+  FailCheck(file_, line_, stream_.str());
+}
+
+}  // namespace internal_check
+
+void CheckSimplex(std::span<const double> v, double tol, const char* what) {
+  if (v.empty()) {
+    internal_check::CheckMessage(__FILE__, __LINE__, "CheckSimplex failed")
+            .stream()
+        << ": " << what << " is empty (a distribution needs >= 1 entry)";
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const double x = v[i];
+    if (!std::isfinite(x)) {
+      internal_check::CheckMessage(__FILE__, __LINE__, "CheckSimplex failed")
+              .stream()
+          << ": " << what << "[" << i << "] = " << x << " is not finite";
+    }
+    if (x < -tol || x > 1.0 + tol) {
+      internal_check::CheckMessage(__FILE__, __LINE__, "CheckSimplex failed")
+              .stream()
+          << ": " << what << "[" << i << "] = " << x << " outside [-" << tol
+          << ", 1 + " << tol << "]";
+    }
+    sum += x;
+  }
+  if (std::fabs(sum - 1.0) > tol) {
+    internal_check::CheckMessage(__FILE__, __LINE__, "CheckSimplex failed")
+            .stream()
+        << ": " << what << " sums to " << sum << ", expected 1 within "
+        << tol;
+  }
+}
+
+void CheckUnitInterval(double x, double tol, const char* what) {
+  if (!std::isfinite(x) || x < -tol || x > 1.0 + tol) {
+    internal_check::CheckMessage(__FILE__, __LINE__,
+                                 "CheckUnitInterval failed")
+            .stream()
+        << ": " << what << " = " << x << " outside [0, 1] (tol " << tol
+        << ")";
+  }
+}
+
+void CheckUnitInterval(std::span<const double> v, double tol,
+                       const char* what) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    const double x = v[i];
+    if (!std::isfinite(x) || x < -tol || x > 1.0 + tol) {
+      internal_check::CheckMessage(__FILE__, __LINE__,
+                                   "CheckUnitInterval failed")
+              .stream()
+          << ": " << what << "[" << i << "] = " << x << " outside [0, 1] "
+          << "(tol " << tol << ")";
+    }
+  }
+}
+
+void CheckFinite(double x, const char* what) {
+  if (!std::isfinite(x)) {
+    internal_check::CheckMessage(__FILE__, __LINE__, "CheckFinite failed")
+            .stream()
+        << ": " << what << " = " << x;
+  }
+}
+
+void CheckFinite(std::span<const double> v, const char* what) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) {
+      internal_check::CheckMessage(__FILE__, __LINE__, "CheckFinite failed")
+              .stream()
+          << ": " << what << "[" << i << "] = " << v[i];
+    }
+  }
+}
+
+void CheckFinite(const Matrix& m, const char* what) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(m(r, c))) {
+        internal_check::CheckMessage(__FILE__, __LINE__, "CheckFinite failed")
+                .stream()
+            << ": " << what << "(" << r << ", " << c << ") = " << m(r, c);
+      }
+    }
+  }
+}
+
+}  // namespace docs

@@ -1,0 +1,210 @@
+#ifndef DOCS_COMMON_CHECK_H_
+#define DOCS_COMMON_CHECK_H_
+
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+
+namespace docs {
+
+class Matrix;
+
+/// Contract-checking layer (see DESIGN.md §9).
+///
+/// `DOCS_CHECK(cond) << "context";` aborts with the expression text, the
+/// streamed context and file:line when `cond` is false. The comparison forms
+/// `DOCS_CHECK_{EQ,NE,LT,LE,GT,GE}(a, b)` additionally print both operand
+/// values. `DOCS_DCHECK*` are the same contracts compiled out (operands not
+/// evaluated) unless the build defines DOCS_DEBUG_CHECKS=1
+/// (-DDOCS_DEBUG_CHECKS=ON in CMake) — use them on hot paths where the check
+/// itself would be measurable.
+///
+/// Policy: CHECK states a *programming-error* invariant (caller contract,
+/// algebraic postcondition); violations are bugs and must not limp onward.
+/// Recoverable, input-dependent failures (user answers, files, records)
+/// return Status instead — never CHECK on data a caller cannot statically
+/// guarantee.
+
+namespace internal_check {
+
+/// Invoked with the fully composed failure message ("CHECK failed at
+/// file:line: ..."). The default handler writes the message to stderr and
+/// calls std::abort() — which is what gtest death tests intercept. A test
+/// may install a throwing handler to examine messages in-process; the
+/// handler must not return (if it does, the layer aborts anyway).
+using CheckFailureHandler = void (*)(const std::string& message);
+
+/// Installs `handler` (nullptr restores the default) and returns the
+/// previously installed one. Not thread-safe; intended for test setup.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+/// Composes the final message and dispatches to the installed handler.
+[[noreturn]] void FailCheck(const char* file, int line,
+                            const std::string& message);
+
+/// Streaming collector for one failed check. The destructor fires the
+/// failure, so `DOCS_CHECK(x) << "ctx"` gathers everything streamed into the
+/// message first. noexcept(false): a test-installed handler may throw.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* description);
+  CheckMessage(const char* file, int line, const std::string& description);
+  ~CheckMessage() noexcept(false);
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream expression so a check usable as a statement has type
+/// void (the glog idiom; binds looser than << and tighter than ?:).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Stream precision used for operand values in failure messages: enough to
+/// tell 1.000001 from 1.0 without the full 17-digit round-trip noise.
+inline constexpr int kCheckMessagePrecision = 12;
+
+/// Renders "expr_text (a vs. b)" for a failed comparison.
+template <typename A, typename B>
+std::string MakeCheckOpString(const A& a, const B& b, const char* expr_text) {
+  std::ostringstream oss;
+  oss.precision(kCheckMessagePrecision);
+  oss << expr_text << " (" << a << " vs. " << b << ")";
+  return oss.str();
+}
+
+/// One comparison check: returns nullptr on success, the failure description
+/// otherwise. Operands are evaluated exactly once by the macro below.
+#define DOCS_INTERNAL_DEFINE_CHECK_OP(name, op)                             \
+  template <typename A, typename B>                                        \
+  std::unique_ptr<std::string> name(const A& a, const B& b,                 \
+                                    const char* expr_text) {                \
+    if (a op b) return nullptr; /* NOLINT */                                \
+    return std::make_unique<std::string>(                                   \
+        MakeCheckOpString(a, b, expr_text));                                \
+  }
+DOCS_INTERNAL_DEFINE_CHECK_OP(CheckOpEq, ==)
+DOCS_INTERNAL_DEFINE_CHECK_OP(CheckOpNe, !=)
+DOCS_INTERNAL_DEFINE_CHECK_OP(CheckOpLt, <)
+DOCS_INTERNAL_DEFINE_CHECK_OP(CheckOpLe, <=)
+DOCS_INTERNAL_DEFINE_CHECK_OP(CheckOpGt, >)
+DOCS_INTERNAL_DEFINE_CHECK_OP(CheckOpGe, >=)
+#undef DOCS_INTERNAL_DEFINE_CHECK_OP
+
+}  // namespace internal_check
+
+// --- Always-on contracts ---------------------------------------------------
+
+#define DOCS_CHECK(cond)                                                    \
+  (cond) ? (void)0                                                          \
+         : ::docs::internal_check::Voidify() &                              \
+               ::docs::internal_check::CheckMessage(                        \
+                   __FILE__, __LINE__, "DOCS_CHECK(" #cond ") failed")      \
+                   .stream()
+
+// `while` instead of `if` so a dangling `else` cannot bind to the macro; the
+// body runs at most once (CheckMessage's destructor never returns normally).
+#define DOCS_INTERNAL_CHECK_OP(fn, op, a, b)                                \
+  while (auto docs_internal_result = ::docs::internal_check::fn(            \
+             (a), (b), "DOCS_CHECK failed: " #a " " #op " " #b))            \
+  ::docs::internal_check::Voidify() &                                       \
+      ::docs::internal_check::CheckMessage(__FILE__, __LINE__,              \
+                                           *docs_internal_result)           \
+          .stream()
+
+#define DOCS_CHECK_EQ(a, b) DOCS_INTERNAL_CHECK_OP(CheckOpEq, ==, a, b)
+#define DOCS_CHECK_NE(a, b) DOCS_INTERNAL_CHECK_OP(CheckOpNe, !=, a, b)
+#define DOCS_CHECK_LT(a, b) DOCS_INTERNAL_CHECK_OP(CheckOpLt, <, a, b)
+#define DOCS_CHECK_LE(a, b) DOCS_INTERNAL_CHECK_OP(CheckOpLe, <=, a, b)
+#define DOCS_CHECK_GT(a, b) DOCS_INTERNAL_CHECK_OP(CheckOpGt, >, a, b)
+#define DOCS_CHECK_GE(a, b) DOCS_INTERNAL_CHECK_OP(CheckOpGe, >=, a, b)
+
+// --- Debug-only contracts --------------------------------------------------
+// Compiled out (operands unevaluated, but still type-checked) unless the
+// build sets DOCS_DEBUG_CHECKS=1.
+
+#ifndef DOCS_DEBUG_CHECKS
+#define DOCS_DEBUG_CHECKS 0
+#endif
+
+#if DOCS_DEBUG_CHECKS
+#define DOCS_DCHECK(cond) DOCS_CHECK(cond)
+#define DOCS_DCHECK_EQ(a, b) DOCS_CHECK_EQ(a, b)
+#define DOCS_DCHECK_NE(a, b) DOCS_CHECK_NE(a, b)
+#define DOCS_DCHECK_LT(a, b) DOCS_CHECK_LT(a, b)
+#define DOCS_DCHECK_LE(a, b) DOCS_CHECK_LE(a, b)
+#define DOCS_DCHECK_GT(a, b) DOCS_CHECK_GT(a, b)
+#define DOCS_DCHECK_GE(a, b) DOCS_CHECK_GE(a, b)
+#else
+#define DOCS_DCHECK(cond) \
+  while (false) DOCS_CHECK(cond)
+#define DOCS_DCHECK_EQ(a, b) \
+  while (false) DOCS_CHECK_EQ(a, b)
+#define DOCS_DCHECK_NE(a, b) \
+  while (false) DOCS_CHECK_NE(a, b)
+#define DOCS_DCHECK_LT(a, b) \
+  while (false) DOCS_CHECK_LT(a, b)
+#define DOCS_DCHECK_LE(a, b) \
+  while (false) DOCS_CHECK_LE(a, b)
+#define DOCS_DCHECK_GT(a, b) \
+  while (false) DOCS_CHECK_GT(a, b)
+#define DOCS_DCHECK_GE(a, b) \
+  while (false) DOCS_CHECK_GE(a, b)
+#endif  // DOCS_DEBUG_CHECKS
+
+// --- Domain validators -----------------------------------------------------
+// The numeric invariants the paper states (Eq. 1-3: probability simplices,
+// Eq. 5: qualities in [0,1]) as callable contracts. Each aborts through the
+// check layer with `what`, the offending index/value and file context baked
+// into the message. All are O(n) scans — CHECK-grade at API boundaries,
+// wrapped in DOCS_DCHECK-style call sites via DebugCheck* on per-answer hot
+// paths.
+
+/// Fails unless `v` is a probability simplex within `tol`: non-empty, every
+/// entry finite and in [-tol, 1 + tol], and |sum - 1| <= tol.
+void CheckSimplex(std::span<const double> v, double tol = 1e-6,
+                  const char* what = "distribution");
+
+/// Fails unless `x` is finite and within [-tol, 1 + tol].
+void CheckUnitInterval(double x, double tol = 0.0,
+                       const char* what = "value");
+
+/// Fails unless every entry of `v` is finite and within [-tol, 1 + tol].
+void CheckUnitInterval(std::span<const double> v, double tol = 0.0,
+                       const char* what = "values");
+
+/// Fails if `x` is NaN or infinite.
+void CheckFinite(double x, const char* what = "value");
+
+/// Fails on the first NaN/Inf entry of `v`.
+void CheckFinite(std::span<const double> v, const char* what = "values");
+
+/// Fails on the first NaN/Inf cell of `m`, reporting its (row, col).
+void CheckFinite(const Matrix& m, const char* what = "matrix");
+
+// Debug-only variants of the validators: the scan itself is compiled out
+// unless DOCS_DEBUG_CHECKS=1 (an O(n) pass per call is measurable inside the
+// EM loop edges and per-answer paths).
+#if DOCS_DEBUG_CHECKS
+#define DOCS_DCHECK_SIMPLEX(v, tol, what) ::docs::CheckSimplex((v), (tol), (what))
+#define DOCS_DCHECK_UNIT_INTERVAL(v, tol, what) \
+  ::docs::CheckUnitInterval((v), (tol), (what))
+#define DOCS_DCHECK_FINITE(v, what) ::docs::CheckFinite((v), (what))
+#else
+#define DOCS_DCHECK_SIMPLEX(v, tol, what) (void)0
+#define DOCS_DCHECK_UNIT_INTERVAL(v, tol, what) (void)0
+#define DOCS_DCHECK_FINITE(v, what) (void)0
+#endif  // DOCS_DEBUG_CHECKS
+
+}  // namespace docs
+
+#endif  // DOCS_COMMON_CHECK_H_

@@ -4,17 +4,23 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
+
 namespace docs {
 
 double Entropy(const std::vector<double>& p) {
   double h = 0.0;
   for (double x : p) {
+    // x > 0 is false for NaN too, so without this a poisoned distribution
+    // would silently report a clean (and bogus) entropy.
+    if (std::isnan(x)) return x;
     if (x > 0.0) h -= x * std::log(x);
   }
   return h;
 }
 
 double KlDivergence(const std::vector<double>& p, const std::vector<double>& q) {
+  DOCS_CHECK_EQ(p.size(), q.size()) << "KL divergence over mismatched supports";
   double d = 0.0;
   for (size_t i = 0; i < p.size(); ++i) {
     if (p[i] <= 0.0) continue;
@@ -37,6 +43,7 @@ double NormalizeInPlace(std::vector<double>& v) {
 }
 
 size_t ArgMax(const std::vector<double>& v) {
+  DOCS_CHECK(!v.empty()) << "ArgMax of an empty vector has no answer";
   return static_cast<size_t>(
       std::distance(v.begin(), std::max_element(v.begin(), v.end())));
 }
@@ -51,6 +58,7 @@ double LogSumExp(const std::vector<double>& x) {
 }
 
 double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  DOCS_CHECK_EQ(a.size(), b.size()) << "L1 distance over mismatched supports";
   double d = 0.0;
   for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
   return d;

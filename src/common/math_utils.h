@@ -7,8 +7,9 @@
 namespace docs {
 
 /// Shannon entropy of a distribution, H(p) = -sum p_j ln p_j, in nats.
-/// Zero entries contribute 0 (lim x->0 of x ln x). Values are not validated;
-/// callers pass normalized distributions.
+/// Zero entries contribute 0 (lim x->0 of x ln x). A NaN entry propagates to
+/// a NaN result rather than being silently skipped; other values are not
+/// validated — callers pass normalized distributions.
 double Entropy(const std::vector<double>& p);
 
 /// Kullback-Leibler divergence D(p || q) = sum p_i ln(p_i / q_i), in nats.

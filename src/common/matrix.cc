@@ -2,14 +2,19 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 namespace docs {
 
 std::vector<double> Matrix::Row(size_t r) const {
+  DOCS_DCHECK_LT(r, rows_);
   return std::vector<double>(data_.begin() + r * cols_,
                              data_.begin() + (r + 1) * cols_);
 }
 
 void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  DOCS_DCHECK_LT(r, rows_);
+  DOCS_DCHECK_GE(values.size(), cols_);
   for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
 }
 
@@ -27,6 +32,7 @@ void Matrix::NormalizeRows() {
 }
 
 std::vector<double> Matrix::LeftMultiply(const std::vector<double>& v) const {
+  DOCS_DCHECK_EQ(v.size(), rows_);
   std::vector<double> out(cols_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     const double vr = v[r];
@@ -41,6 +47,8 @@ void Matrix::Fill(double value) {
 }
 
 double Matrix::MaxAbsDiff(const Matrix& other) const {
+  DOCS_CHECK_EQ(data_.size(), other.data_.size())
+      << "MaxAbsDiff over mismatched shapes";
   double mx = 0.0;
   for (size_t i = 0; i < data_.size(); ++i) {
     mx = std::max(mx, std::fabs(data_[i] - other.data_[i]));

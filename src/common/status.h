@@ -27,7 +27,11 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A lightweight absl::Status-like value describing the outcome of an
 /// operation: either OK, or an error code plus message.
-class Status {
+///
+/// [[nodiscard]] at class level: any call site that receives a Status by
+/// value and drops it on the floor is a swallowed error and fails the build
+/// under -Werror. Handle it or propagate it — never cast it to void.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -43,9 +47,9 @@ class Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Renders "OK" or "CODE: message" for logs and test failures.
   std::string ToString() const;
@@ -71,9 +75,10 @@ Status IoError(std::string message);
 Status DataLossError(std::string message);
 
 /// Either a value of type T or an error Status. Callers must check ok()
-/// before dereferencing.
+/// before dereferencing. [[nodiscard]] for the same reason as Status: a
+/// discarded StatusOr silently loses both the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (mirrors absl::StatusOr).
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -85,8 +90,8 @@ class StatusOr {
     }
   }
 
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& { return *value_; }
   T& value() & { return *value_; }

@@ -48,7 +48,7 @@ class ConcurrentDocsSystem {
                        DocsSystemOptions options = {})
       : system_(knowledge_base, std::move(options)) {}
 
-  Status AddTasks(const std::vector<TaskInput>& inputs,
+  [[nodiscard]] Status AddTasks(const std::vector<TaskInput>& inputs,
                   const std::vector<size_t>* known_truths = nullptr) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_.AddTasks(inputs, known_truths);
@@ -64,7 +64,7 @@ class ConcurrentDocsSystem {
   /// submissions (unknown task, out-of-range choice, duplicate (worker,
   /// task) pair) are rejected with the reason instead of silently dropped —
   /// the web frontend can surface it to the platform.
-  Status SubmitAnswer(const std::string& worker_id, size_t task,
+  [[nodiscard]] Status SubmitAnswer(const std::string& worker_id, size_t task,
                       size_t choice) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_.SubmitAnswer(system_.WorkerIndex(worker_id), task, choice);
@@ -98,12 +98,12 @@ class ConcurrentDocsSystem {
     return system_.inference().num_answers();
   }
 
-  Status SaveCheckpoint(const std::string& path) {
+  [[nodiscard]] Status SaveCheckpoint(const std::string& path) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_.SaveCheckpoint(path);
   }
 
-  Status LoadCheckpoint(const std::string& path) {
+  [[nodiscard]] Status LoadCheckpoint(const std::string& path) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_.LoadCheckpoint(path);
   }
@@ -112,7 +112,7 @@ class ConcurrentDocsSystem {
   /// exponential backoff (outside the lock, so serving calls proceed while
   /// the saver waits out a transient storage failure). Returns the last
   /// attempt's status.
-  Status SaveCheckpointWithRetry(const std::string& path,
+  [[nodiscard]] Status SaveCheckpointWithRetry(const std::string& path,
                                  const CheckpointRetryOptions& retry = {}) {
     const size_t attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
     std::chrono::duration<double, std::milli> backoff =

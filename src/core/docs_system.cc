@@ -1,7 +1,9 @@
 #include "core/docs_system.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/math_utils.h"
 
@@ -34,6 +36,7 @@ ThreadPool* DocsSystem::ScoringPool() {
 std::vector<size_t> DocsSystem::RankEligible(
     const std::vector<uint8_t>& eligible, size_t k,
     const std::function<double(size_t)>& score) {
+  DOCS_CHECK_EQ(eligible.size(), tasks_.size());
   struct Scored {
     size_t task;
     double value;
@@ -78,6 +81,9 @@ Status DocsSystem::AddTasks(const std::vector<TaskInput>& inputs,
     }
     Task task;
     task.domain_vector = dve_.Estimate(inputs[i].text);  // DVE (Section 3)
+    // DVE postcondition (Eq. 1): everything downstream — golden selection,
+    // TI, OTA — assumes the domain vector is a probability simplex.
+    CheckSimplex(task.domain_vector, 1e-6, "DVE domain vector");
     task.num_choices = inputs[i].num_choices;
     tasks_.push_back(std::move(task));
     known_truth_.push_back(
@@ -295,11 +301,17 @@ void DocsSystem::FinishGoldenPhase(size_t worker) {
   const double smoothing = options_.golden_smoothing;
   const double default_quality = options_.truth_inference.default_quality;
   for (size_t k = 0; k < m; ++k) {
+    // With golden_smoothing == 0 and no probe mass in domain k the ratio
+    // would be 0/0; fall back to the default rather than minting a NaN seed.
+    const double mass = profile.golden_total[k] + smoothing;
     quality.quality[k] =
-        (profile.golden_correct[k] + smoothing * default_quality) /
-        (profile.golden_total[k] + smoothing);
+        mass > 0.0
+            ? (profile.golden_correct[k] + smoothing * default_quality) / mass
+            : default_quality;
     quality.weight[k] = profile.golden_total[k];
   }
+  DOCS_DCHECK_UNIT_INTERVAL(quality.quality, 1e-9,
+                            "golden-phase quality seed");
   Status status = inference_->SetWorkerQuality(worker, quality);
   if (!status.ok()) {
     // Unreachable: the profile tallies are sized from the same KB the tasks
@@ -429,6 +441,32 @@ Status DocsSystem::LoadCheckpoint(const std::string& path) {
   }
   auto checkpoint = storage::LoadStateCheckpoint(path);
   if (!checkpoint.ok()) return checkpoint.status();
+
+  // Checkpoint contents are file data: validate them Status-grade here, up
+  // front, because past this point they flow into CHECK-guarded code (the
+  // incremental-TI constructor asserts on the domain vectors) and into
+  // is_golden_ indexing. A corrupt file must surface as DataLossError, not
+  // as an abort or an out-of-bounds write.
+  for (size_t i = 0; i < checkpoint->tasks.size(); ++i) {
+    const auto& task = checkpoint->tasks[i];
+    if (task.num_choices < 2) {
+      return DataLossError("checkpoint task " + std::to_string(i) + " has " +
+                           std::to_string(task.num_choices) + " choices");
+    }
+    for (double r : task.domain_vector) {
+      if (!std::isfinite(r) || r < -1e-9 || r > 1.0 + 1e-9) {
+        return DataLossError("checkpoint task " + std::to_string(i) +
+                             " has a corrupt domain vector entry " +
+                             std::to_string(r));
+      }
+    }
+  }
+  for (size_t idx : checkpoint->golden_tasks) {
+    if (idx >= checkpoint->tasks.size()) {
+      return DataLossError("checkpoint golden task index " +
+                           std::to_string(idx) + " out of range");
+    }
+  }
 
   tasks_.clear();
   known_truth_.clear();

@@ -113,7 +113,7 @@ class DocsSystem : public AssignmentPolicy {
   /// golden tasks. `known_truths`, when provided (parallel to `inputs`),
   /// supplies the requester-labeled ground truth used for golden grading.
   /// May be called once per system instance.
-  Status AddTasks(const std::vector<TaskInput>& inputs,
+  [[nodiscard]] Status AddTasks(const std::vector<TaskInput>& inputs,
                   const std::vector<size_t>* known_truths = nullptr);
 
   const std::vector<Task>& tasks() const { return tasks_; }
@@ -127,17 +127,17 @@ class DocsSystem : public AssignmentPolicy {
   /// Seeds a worker's quality from the persistent store (Theorem 1 state);
   /// NotFound if the store has no record. Returning workers skip the golden
   /// phase.
-  Status LoadWorker(const std::string& external_id,
+  [[nodiscard]] Status LoadWorker(const std::string& external_id,
                     const storage::WorkerStore& store);
 
   /// Persists a worker's accumulated (q, u) statistics.
-  Status SaveWorker(const std::string& external_id,
+  [[nodiscard]] Status SaveWorker(const std::string& external_id,
                     storage::WorkerStore* store) const;
 
   /// Writes a crash-consistent snapshot of the whole session (tasks with
   /// their DVE vectors, golden set, workers with seed profiles, all answers)
   /// to `path`. Derived inference state is rebuilt on load by replay.
-  Status SaveCheckpoint(const std::string& path) const;
+  [[nodiscard]] Status SaveCheckpoint(const std::string& path) const;
 
   /// Restores a session saved with SaveCheckpoint. Must be called instead
   /// of AddTasks on a fresh system (same KB and options as the original).
@@ -145,7 +145,7 @@ class DocsSystem : public AssignmentPolicy {
   /// duplicate (worker, task) pair) are skipped with a warning rather than
   /// poisoning the whole restore — a corrupted record costs one answer, not
   /// the session.
-  Status LoadCheckpoint(const std::string& path);
+  [[nodiscard]] Status LoadCheckpoint(const std::string& path);
 
   /// Validated answer submission: rejects answers against a system with no
   /// tasks (FailedPrecondition), unknown workers/tasks (InvalidArgument),
@@ -153,7 +153,7 @@ class DocsSystem : public AssignmentPolicy {
   /// submissions (AlreadyExists) — AMT retries and malformed callbacks must
   /// not corrupt inference state. On success the answer is absorbed and any
   /// lease the worker held on the task is released.
-  Status SubmitAnswer(size_t worker, size_t task, size_t choice);
+  [[nodiscard]] Status SubmitAnswer(size_t worker, size_t task, size_t choice);
 
   /// Releases every lease whose deadline is at or before `now` and returns
   /// the reclaimed grants; the freed tasks are immediately assignable again.
@@ -196,7 +196,7 @@ class DocsSystem : public AssignmentPolicy {
   ThreadPool* ScoringPool();
 
   /// Shared validation for live submissions and checkpoint replay.
-  Status ValidateAnswer(size_t worker, size_t task, size_t choice) const;
+  [[nodiscard]] Status ValidateAnswer(size_t worker, size_t task, size_t choice) const;
   /// Absorbs one validated answer: inference update, redundancy counter,
   /// lease release, golden-phase accounting. Does not trigger the periodic
   /// re-inference (the caller decides; replay defers to one final run).

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/math_utils.h"
 
 namespace docs::core {
@@ -11,6 +12,24 @@ namespace {
 // dm <= m * |E_t|, so 32 bits per half is ample.
 uint64_t PackKey(uint32_t nm, uint32_t dm) {
   return (static_cast<uint64_t>(nm) << 32) | dm;
+}
+
+// Caller contract shared by both Algorithm 1 implementations: every candidate
+// has an indicator row spanning all domains, and link probabilities are
+// probabilities. Both DP and enumeration index indicators[j][k] for every
+// j < |probabilities| and k < m, so a short row is an out-of-bounds read.
+void CheckObservations(const std::vector<EntityObservation>& entities,
+                       size_t num_domains) {
+  for (const auto& entity : entities) {
+    DOCS_CHECK_EQ(entity.indicators.size(), entity.link_probabilities.size())
+        << "every link candidate needs a domain-indicator row";
+    for (const auto& indicator : entity.indicators) {
+      DOCS_CHECK_GE(indicator.size(), num_domains)
+          << "domain indicator shorter than the KB domain count";
+    }
+    CheckUnitInterval(entity.link_probabilities, 1e-9,
+                      "entity link probabilities");
+  }
 }
 
 }  // namespace
@@ -28,6 +47,7 @@ uint64_t CountLinkings(const std::vector<EntityObservation>& entities) {
 
 std::vector<double> ComputeDomainVector(
     const std::vector<EntityObservation>& entities, size_t num_domains) {
+  CheckObservations(entities, num_domains);
   std::vector<double> result(num_domains, 0.0);
   if (entities.empty()) return result;
 
@@ -75,6 +95,7 @@ std::vector<double> ComputeDomainVector(
 std::vector<double> ComputeDomainVectorByEnumeration(
     const std::vector<EntityObservation>& entities, size_t num_domains,
     uint64_t max_linkings) {
+  CheckObservations(entities, num_domains);
   if (entities.empty()) return std::vector<double>(num_domains, 0.0);
   const uint64_t total_linkings = CountLinkings(entities);
   if (total_linkings == 0 || total_linkings > max_linkings) return {};
@@ -154,6 +175,7 @@ std::vector<double> DomainVectorEstimator::EstimateWithEntities(
   std::vector<double> r = ComputeDomainVector(observations, m);
   if (Sum(r) <= 1e-12) return UniformDistribution(m);
   NormalizeInPlace(r);
+  DOCS_DCHECK_SIMPLEX(r, 1e-6, "DVE domain vector (Eq. 1)");
   return r;
 }
 

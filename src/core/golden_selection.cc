@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <cstdint>
+#include <limits>
 #include <numeric>
+
+#include "common/check.h"
 
 namespace docs::core {
 namespace {
@@ -24,6 +26,11 @@ std::vector<double> AggregateDomainDistribution(
   if (tasks.empty()) return {};
   std::vector<double> tau(tasks[0].domain_vector.size(), 0.0);
   for (const Task& task : tasks) {
+    // Previously an out-of-bounds read when a later task spanned fewer
+    // domains than tasks[0]; now a declared contract.
+    DOCS_CHECK_EQ(task.domain_vector.size(), tau.size())
+        << "tasks disagree on the number of domains";
+    CheckUnitInterval(task.domain_vector, 1e-9, "task domain vector (tau)");
     for (size_t k = 0; k < tau.size(); ++k) tau[k] += task.domain_vector[k];
   }
   for (auto& v : tau) v /= static_cast<double>(tasks.size());
@@ -32,6 +39,8 @@ std::vector<double> AggregateDomainDistribution(
 
 double GoldenObjective(const std::vector<size_t>& counts,
                        const std::vector<double>& tau) {
+  DOCS_CHECK_EQ(counts.size(), tau.size())
+      << "golden counts and tau cover different domain sets";
   size_t n_prime = std::accumulate(counts.begin(), counts.end(), size_t{0});
   if (n_prime == 0) return 0.0;
   double objective = 0.0;
@@ -43,6 +52,9 @@ double GoldenObjective(const std::vector<size_t>& counts,
 
 std::vector<size_t> ApproximateGoldenCounts(const std::vector<double>& tau,
                                             size_t n_prime) {
+  // A NaN tau entry would corrupt every objective comparison in the greedy
+  // and local-search loops below.
+  CheckFinite(tau, "aggregate domain distribution tau");
   const size_t m = tau.size();
   std::vector<size_t> counts(m, 0);
   size_t assigned = 0;

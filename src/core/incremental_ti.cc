@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/math_utils.h"
 
 namespace docs::core {
@@ -23,6 +24,8 @@ IncrementalTruthInference::IncrementalTruthInference(
   task_truth_.reserve(n);
   answers_of_task_.resize(n);
   for (const Task& task : tasks_) {
+    CheckUnitInterval(task.domain_vector, 1e-9,
+                      "task domain vector (incremental TI prior)");
     const size_t m = task.domain_vector.size();
     const size_t l = task.num_choices;
     log_numerators_.emplace_back(m, l, 0.0);
@@ -55,6 +58,22 @@ Status IncrementalTruthInference::SetWorkerQuality(
         std::to_string(quality.quality.size()) + " qualities / " +
         std::to_string(quality.weight.size()) + " weights, tasks span " +
         std::to_string(m) + " domains");
+  }
+  // Value validation stays Status-grade: seeds arrive from stores and
+  // checkpoints, so a corrupt record must be reportable, not a crash.
+  for (size_t k = 0; k < m; ++k) {
+    const double q = quality.quality[k];
+    if (!std::isfinite(q) || q < -1e-9 || q > 1.0 + 1e-9) {
+      return InvalidArgumentError("worker quality[" + std::to_string(k) +
+                                  "] = " + std::to_string(q) +
+                                  " outside [0, 1]");
+    }
+    const double weight = quality.weight[k];
+    if (!std::isfinite(weight) || weight < 0.0) {
+      return InvalidArgumentError("worker weight[" + std::to_string(k) +
+                                  "] = " + std::to_string(weight) +
+                                  " is not a finite non-negative mass");
+    }
   }
   EnsureWorker(worker);
   workers_[worker].stats = quality;
@@ -123,6 +142,9 @@ Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
     }
     wq.weight[k] += rk;
   }
+  DOCS_DCHECK_SIMPLEX(new_truth, 1e-6, "incremental task truth (Eq. 4)");
+  DOCS_DCHECK_UNIT_INTERVAL(wq.quality, 1e-9,
+                            "incremental worker quality (Eq. 5)");
   // (2) Every worker who answered this task before: their s_{i,j} moved from
   // s̃_{i,j} to s_{i,j}.
   for (const Answer& prior_answer : answers_of_task_[task]) {
@@ -150,6 +172,7 @@ Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
 }
 
 void IncrementalTruthInference::RecomputeTask(size_t task) {
+  DOCS_CHECK_LT(task, tasks_.size()) << "RecomputeTask on unknown task";
   const Task& t = tasks_[task];
   const size_t m = t.domain_vector.size();
   const size_t l = t.num_choices;
@@ -178,6 +201,8 @@ void IncrementalTruthInference::RecomputeTask(size_t task) {
   }
   task_truth_[task] = truth_matrix.LeftMultiply(t.domain_vector);
   NormalizeInPlace(task_truth_[task]);
+  DOCS_DCHECK_SIMPLEX(task_truth_[task], 1e-6,
+                      "recomputed task truth (Eq. 4)");
 }
 
 void IncrementalTruthInference::RunFullInference() {

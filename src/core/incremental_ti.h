@@ -43,10 +43,10 @@ class IncrementalTruthInference {
   /// does not match the task domain count with InvalidArgument — a
   /// WorkerStore record written against a different domain count would
   /// otherwise index out of bounds inside OnAnswer.
-  Status SetWorkerQuality(size_t worker, const WorkerQuality& quality);
+  [[nodiscard]] Status SetWorkerQuality(size_t worker, const WorkerQuality& quality);
 
   /// Absorbs one answer with the O(m * |V(i)|) update policy.
-  Status OnAnswer(size_t worker, size_t task, size_t choice);
+  [[nodiscard]] Status OnAnswer(size_t worker, size_t task, size_t choice);
 
   /// Re-runs the iterative algorithm of Section 4.1 on all stored answers,
   /// starting from the seed qualities, and replaces the incremental state

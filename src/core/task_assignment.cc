@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/math_utils.h"
 
 namespace docs::core {
@@ -18,6 +19,8 @@ double AnswerProbability(const Task& task, const Matrix& truth_matrix,
                          const std::vector<double>& worker_quality, size_t a,
                          double quality_clamp) {
   const size_t m = task.domain_vector.size();
+  DOCS_DCHECK_GE(worker_quality.size(), m);
+  DOCS_DCHECK_EQ(truth_matrix.rows(), m);
   const double l = static_cast<double>(task.num_choices);
   double probability = 0.0;
   for (size_t k = 0; k < m; ++k) {
@@ -34,7 +37,7 @@ double AnswerProbability(const Task& task, const Matrix& truth_matrix,
 Matrix UpdatedTruthMatrix(const Task& task, const Matrix& truth_matrix,
                           const std::vector<double>& worker_quality, size_t a,
                           double quality_clamp) {
-  (void)task;  // kept for API symmetry; the matrix carries the dimensions
+  DOCS_DCHECK_EQ(task.domain_vector.size(), truth_matrix.rows());
   const size_t m = truth_matrix.rows();
   const size_t l = truth_matrix.cols();
   Matrix updated(m, l, 0.0);
@@ -92,6 +95,11 @@ double BenefitOfSetBruteForce(const std::vector<Task>& tasks,
                               const std::vector<size_t>& subset,
                               const std::vector<double>& worker_quality,
                               double quality_clamp) {
+  DOCS_CHECK_EQ(matrices.size(), tasks.size());
+  DOCS_CHECK_EQ(truths.size(), tasks.size());
+  for (size_t i : subset) {
+    DOCS_CHECK_LT(i, tasks.size()) << "assignment subset names unknown task";
+  }
   if (subset.empty()) return 0.0;
   // Odometer over all answer combinations phi in Phi (Eq. 9-10).
   std::vector<size_t> phi(subset.size(), 0);
@@ -130,6 +138,12 @@ std::vector<size_t> TaskAssigner::SelectTopK(
     const std::vector<std::vector<double>>& truths,
     const std::vector<double>& worker_quality,
     const std::vector<uint8_t>& eligible, size_t k) const {
+  // All four parallel arrays must describe the same task list; a mismatch
+  // would read a stale eligibility bit (or out of bounds) for some task.
+  DOCS_CHECK_EQ(eligible.size(), tasks.size());
+  DOCS_CHECK_EQ(matrices.size(), tasks.size());
+  DOCS_CHECK_EQ(truths.size(), tasks.size());
+  CheckUnitInterval(worker_quality, 1e-9, "OTA worker quality (Eq. 5)");
   struct Scored {
     size_t task;
     double benefit;
@@ -153,6 +167,9 @@ std::vector<size_t> TaskAssigner::SelectTopK(
                 scored[s].benefit =
                     Benefit(tasks[i], matrices[i], truths[i], worker_quality,
                             options_.quality_clamp);
+                // A NaN benefit would poison the nth_element comparator
+                // (strict weak ordering) below.
+                DOCS_DCHECK_FINITE(scored[s].benefit, "task benefit (Eq. 8)");
               });
   const size_t take = std::min(k, scored.size());
   if (take == 0) return {};

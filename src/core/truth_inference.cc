@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/parallel.h"
@@ -66,6 +67,7 @@ Matrix ComputeTruthMatrix(const Task& task,
       truth_matrix(k, j) = std::exp(log_row[j] - lse);
     }
   }
+  DOCS_DCHECK_FINITE(truth_matrix, "truth matrix (Eq. 3)");
   return truth_matrix;
 }
 
@@ -75,6 +77,8 @@ std::vector<WorkerQuality> InitializeQualityFromGolden(
     const std::vector<size_t>& golden_tasks,
     const std::vector<size_t>& golden_truth, double default_quality,
     double smoothing, size_t* skipped_answers) {
+  CheckUnitInterval(default_quality, 0.0, "default quality");
+  DOCS_CHECK_GE(smoothing, 0.0) << "negative smoothing pseudo-counts";
   const size_t m = tasks.empty() ? 0 : tasks[0].domain_vector.size();
   // Map task -> golden truth for O(1) membership tests. golden_tasks and
   // golden_truth are parallel arrays: entries past the shorter one have no
@@ -113,11 +117,17 @@ std::vector<WorkerQuality> InitializeQualityFromGolden(
     result[w].quality.resize(m);
     result[w].weight.resize(m);
     for (size_t k = 0; k < m; ++k) {
+      // With smoothing == 0 and no golden evidence the ratio would be 0/0;
+      // fall back to the default rather than minting a NaN quality.
+      const double mass = total_mass[w][k] + smoothing;
       result[w].quality[k] =
-          (correct_mass[w][k] + smoothing * default_quality) /
-          (total_mass[w][k] + smoothing);
+          mass > 0.0
+              ? (correct_mass[w][k] + smoothing * default_quality) / mass
+              : default_quality;
       result[w].weight[k] = total_mass[w][k];
     }
+    DOCS_DCHECK_UNIT_INTERVAL(result[w].quality, 1e-9,
+                              "golden-seeded worker quality");
   }
   return result;
 }
@@ -144,6 +154,18 @@ TruthInferenceResult TruthInference::Run(
     const std::vector<WorkerQuality>* initial_quality, ThreadPool* pool) const {
   const size_t n = tasks.size();
   const size_t m = n == 0 ? 0 : tasks[0].domain_vector.size();
+
+  // Caller contracts (programming errors, not recoverable input): options in
+  // range and every TI prior a valid domain vector (Eq. 1). Tasks whose
+  // dimension differs from tasks[0] are tolerated (their answers are skipped
+  // below), but each vector's entries must still be probabilities.
+  CheckUnitInterval(options_.default_quality, 0.0, "default quality");
+  DOCS_CHECK_GE(options_.quality_clamp, 0.0);
+  DOCS_CHECK_LE(options_.quality_clamp, 0.5);
+  for (const Task& task : tasks) {
+    CheckUnitInterval(task.domain_vector, 1e-9,
+                      "task domain vector (TI prior)");
+  }
 
   TruthInferenceResult result;
   result.task_truth.resize(n);
@@ -189,6 +211,8 @@ TruthInferenceResult TruthInference::Run(
   for (size_t w = 0; w < num_workers; ++w) {
     if (initial_quality != nullptr && w < initial_quality->size() &&
         (*initial_quality)[w].quality.size() == m) {
+      CheckUnitInterval((*initial_quality)[w].quality, 1e-9,
+                        "seeded worker quality (Eq. 5)");
       result.worker_quality[w] = (*initial_quality)[w];
     } else {
       result.worker_quality[w].quality.assign(m, options_.default_quality);
@@ -213,6 +237,8 @@ TruthInferenceResult TruthInference::Run(
       // The domain vector always sums to 1 for the wrapper-produced tasks,
       // but guard against callers passing sub-normalized vectors.
       NormalizeInPlace(result.task_truth[i]);
+      DOCS_DCHECK_SIMPLEX(result.task_truth[i], 1e-6,
+                          "inferred task truth (Eq. 4)");
     });
 
     // --- Step 2: estimate worker qualities from the truth (Eq. 5). --------
@@ -267,6 +293,8 @@ TruthInferenceResult TruthInference::Run(
         }
         result.worker_quality[w].weight[k] = denom[k] + seed_mass;
       }
+      DOCS_DCHECK_UNIT_INTERVAL(result.worker_quality[w].quality, 1e-9,
+                                "worker quality (Eq. 5)");
     });
 
     // --- Convergence check (Delta of Section 6.3). -------------------------

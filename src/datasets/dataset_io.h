@@ -19,12 +19,12 @@ namespace docs::datasets {
 /// contain anything except tab and newline. This lets a downstream user run
 /// the full pipeline (DVE, TI, OTA, the benches) on their own exported
 /// crowdsourcing tasks instead of the synthetic generators.
-Status SaveDatasetTsv(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status SaveDatasetTsv(const Dataset& dataset, const std::string& path);
 
 /// Loads a dataset written by SaveDatasetTsv (or hand-authored in the same
 /// format). Structural problems (unknown label, truth out of range, bad
 /// column count) fail with DataLoss naming the offending line.
-StatusOr<Dataset> LoadDatasetTsv(const std::string& path);
+[[nodiscard]] StatusOr<Dataset> LoadDatasetTsv(const std::string& path);
 
 }  // namespace docs::datasets
 

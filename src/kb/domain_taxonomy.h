@@ -31,15 +31,15 @@ class DomainTaxonomy {
   const std::vector<std::string>& names() const { return names_; }
 
   /// Index of a domain by exact name; NotFound if absent.
-  StatusOr<size_t> IndexOf(std::string_view name) const;
+  [[nodiscard]] StatusOr<size_t> IndexOf(std::string_view name) const;
 
   /// Registers a Freebase-style category path (e.g. "/sports/basketball")
   /// as belonging to domain `domain_index`. Categories drive indicator
   /// vectors: a concept tagged with a category is related to its domain.
-  Status AddCategory(std::string category, size_t domain_index);
+  [[nodiscard]] Status AddCategory(std::string category, size_t domain_index);
 
   /// Domain index for a category path; NotFound if the category is unknown.
-  StatusOr<size_t> DomainOfCategory(std::string_view category) const;
+  [[nodiscard]] StatusOr<size_t> DomainOfCategory(std::string_view category) const;
 
   /// All registered category paths (sorted lexicographically).
   std::vector<std::string> Categories() const;

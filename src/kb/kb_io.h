@@ -19,12 +19,12 @@ namespace docs::kb {
 /// Concepts appear in id order so ids are implicit; a downstream user can
 /// maintain their own dump (e.g. exported from a real KB) and load it in
 /// place of the synthetic builder.
-Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
+[[nodiscard]] Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
 
 /// Loads a dump produced by SaveKnowledgeBase (or hand-written in the same
 /// format). Unknown directives and malformed lines fail with DataLoss,
 /// including the offending line number.
-StatusOr<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
+[[nodiscard]] StatusOr<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
 
 }  // namespace docs::kb
 

@@ -51,7 +51,7 @@ class KnowledgeBase {
 
   /// Adds a concept; assigns and returns its id. The indicator vector is
   /// validated against the taxonomy size; popularity must be positive.
-  StatusOr<ConceptId> AddConcept(Concept concept_data);
+  [[nodiscard]] StatusOr<ConceptId> AddConcept(Concept concept_data);
 
   /// One candidate sense of a surface form, with its link-frequency prior
   /// (how often this alias refers to this concept; Wikifier's frequency
@@ -64,7 +64,7 @@ class KnowledgeBase {
   /// Registers `alias` (case-insensitive) as a surface form of `id` with the
   /// given link prior. The same alias may map to several concepts
   /// (ambiguity); re-adding an existing pair keeps the larger prior.
-  Status AddAlias(std::string_view alias, ConceptId id, double prior = 1.0);
+  [[nodiscard]] Status AddAlias(std::string_view alias, ConceptId id, double prior = 1.0);
 
   /// Concept lookup; dies in debug on bad id, returns a stable reference.
   const Concept& GetConcept(ConceptId id) const { return concepts_[id]; }

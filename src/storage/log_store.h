@@ -32,7 +32,7 @@ class LogStore {
   /// Opens (creating if needed) the log at `path` and replays existing
   /// records through `replay` in append order. Payloads containing newlines
   /// are rejected at append time, so replay yields them verbatim.
-  static StatusOr<LogStore> Open(
+  [[nodiscard]] static StatusOr<LogStore> Open(
       const std::string& path,
       const std::function<void(const std::string& payload)>& replay);
 
@@ -49,13 +49,13 @@ class LogStore {
   size_t record_count() const { return record_count_; }
 
   /// Appends one payload with its checksum.
-  Status Append(const std::string& payload);
+  [[nodiscard]] Status Append(const std::string& payload);
 
   /// Atomically replaces the log with exactly `payloads`.
-  Status Compact(const std::vector<std::string>& payloads);
+  [[nodiscard]] Status Compact(const std::vector<std::string>& payloads);
 
   /// Flushes buffered appends to the OS.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
  private:
   explicit LogStore(std::string path);

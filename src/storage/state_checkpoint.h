@@ -47,12 +47,12 @@ struct StateCheckpoint {
 
 /// Writes the checkpoint atomically (temp file + rename, checksummed
 /// records).
-Status SaveStateCheckpoint(const StateCheckpoint& checkpoint,
+[[nodiscard]] Status SaveStateCheckpoint(const StateCheckpoint& checkpoint,
                            const std::string& path);
 
 /// Reads a checkpoint; fails with DataLoss on structural corruption (a torn
 /// tail of answer records is tolerated, mirroring LogStore semantics).
-StatusOr<StateCheckpoint> LoadStateCheckpoint(const std::string& path);
+[[nodiscard]] StatusOr<StateCheckpoint> LoadStateCheckpoint(const std::string& path);
 
 }  // namespace docs::storage
 

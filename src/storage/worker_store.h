@@ -36,7 +36,7 @@ class WorkerStore {
  public:
   /// Opens (creating if needed) the store at `path` for vectors of
   /// `num_domains` entries; replays the log into memory.
-  static StatusOr<WorkerStore> Open(const std::string& path,
+  [[nodiscard]] static StatusOr<WorkerStore> Open(const std::string& path,
                                     size_t num_domains);
 
   /// A purely in-memory store (no durability) — used by simulations.
@@ -53,14 +53,14 @@ class WorkerStore {
   bool Contains(const std::string& worker_id) const;
 
   /// Returns the stored record; NotFound for unknown workers.
-  StatusOr<WorkerQualityRecord> Get(const std::string& worker_id) const;
+  [[nodiscard]] StatusOr<WorkerQualityRecord> Get(const std::string& worker_id) const;
 
   /// Inserts or overwrites the record, appending it to the log.
-  Status Put(const std::string& worker_id, const WorkerQualityRecord& record);
+  [[nodiscard]] Status Put(const std::string& worker_id, const WorkerQualityRecord& record);
 
   /// Merges `fresh` into the stored record via Theorem 1 (treating a missing
   /// record as all-zero weights) and persists the result.
-  Status Merge(const std::string& worker_id, const WorkerQualityRecord& fresh);
+  [[nodiscard]] Status Merge(const std::string& worker_id, const WorkerQualityRecord& fresh);
 
   /// All worker ids currently stored (unspecified order).
   std::vector<std::string> WorkerIds() const;
@@ -70,15 +70,15 @@ class WorkerStore {
   size_t log_records() const { return log_records_; }
 
   /// Rewrites the log to contain exactly one record per live worker.
-  Status Compact();
+  [[nodiscard]] Status Compact();
 
   /// Flushes buffered appends to the OS.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
  private:
   WorkerStore(std::string path, size_t num_domains);
 
-  Status AppendRecord(const std::string& worker_id,
+  [[nodiscard]] Status AppendRecord(const std::string& worker_id,
                       const WorkerQualityRecord& record);
 
   std::string path_;  // empty for in-memory stores

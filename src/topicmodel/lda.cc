@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace docs::topic {
@@ -9,6 +10,12 @@ namespace docs::topic {
 LdaModel::LdaModel(LdaOptions options) : options_(options) {}
 
 void LdaModel::Fit(const Corpus& corpus) {
+  // The Gibbs sampler divides by topic_count + V*beta and samples from
+  // weights proportional to (count + alpha): zero topics or non-positive
+  // hyperparameters would produce empty or degenerate samplers.
+  DOCS_CHECK_GT(options_.num_topics, size_t{0});
+  DOCS_CHECK_GT(options_.alpha, 0.0);
+  DOCS_CHECK_GT(options_.beta, 0.0);
   const size_t num_topics = options_.num_topics;
   const size_t num_docs = corpus.num_documents();
   const size_t vocab = corpus.vocabulary_size();
@@ -76,11 +83,20 @@ void LdaModel::Fit(const Corpus& corpus) {
     for (size_t w = 0; w < vocab; ++w) {
       topic_word_[k][w] = (topic_word_count[k][w] + beta) / denom;
     }
+    if (vocab > 0) {
+      DOCS_DCHECK_SIMPLEX(topic_word_[k], 1e-6,
+                          "LDA topic-word distribution");
+    }
+  }
+  for (size_t d = 0; d < num_docs; ++d) {
+    DOCS_DCHECK_SIMPLEX(doc_topic_[d], 1e-6, "LDA doc-topic distribution");
   }
 }
 
 double CosineSimilarity(const std::vector<double>& a,
                         const std::vector<double>& b) {
+  DOCS_CHECK_EQ(a.size(), b.size())
+      << "cosine similarity over mismatched vectors";
   double dot = 0.0, na = 0.0, nb = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     dot += a[i] * b[i];

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
 
@@ -11,6 +12,12 @@ TwitterLdaModel::TwitterLdaModel(TwitterLdaOptions options)
     : options_(options) {}
 
 void TwitterLdaModel::Fit(const Corpus& corpus) {
+  // Same sampler contracts as LdaModel::Fit, plus the background/topic
+  // switch prior gamma (log of a non-positive count+gamma would be NaN).
+  DOCS_CHECK_GT(options_.num_topics, size_t{0});
+  DOCS_CHECK_GT(options_.alpha, 0.0);
+  DOCS_CHECK_GT(options_.beta, 0.0);
+  DOCS_CHECK_GT(options_.gamma, 0.0);
   const size_t num_topics = options_.num_topics;
   const size_t num_docs = corpus.num_documents();
   const size_t vocab = corpus.vocabulary_size();
@@ -171,6 +178,8 @@ void TwitterLdaModel::Fit(const Corpus& corpus) {
       doc_topic_[d][k] = std::exp(log_weights[k] - mx);
     }
     NormalizeInPlace(doc_topic_[d]);
+    DOCS_DCHECK_SIMPLEX(doc_topic_[d], 1e-6,
+                        "Twitter-LDA doc-topic distribution");
     doc_assignment_[d] = static_cast<int>(ArgMax(doc_topic_[d]));
     ++docs_per_topic[cur_topic];
     for (size_t i = 0; i < doc.size(); ++i) {

@@ -1,0 +1,210 @@
+// Contract-layer tests: death tests for every DOCS_CHECK_* form, DCHECK
+// no-op verification in non-debug builds, the test-hook escape hatch, and
+// the domain validators' edge cases (empty span, tolerance boundary, -0.0,
+// NaN). scripts/ci.sh runs this binary in both DOCS_DEBUG_CHECKS=OFF
+// (release/sanitize trees) and =ON (strict tree) configurations.
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace docs {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- DOCS_CHECK family -----------------------------------------------------
+
+TEST(CheckDeathTest, CheckFiresWithExpressionAndStreamedContext) {
+  EXPECT_DEATH(DOCS_CHECK(1 == 2) << "extra context " << 42,
+               "DOCS_CHECK\\(1 == 2\\) failed.*extra context 42");
+}
+
+TEST(CheckDeathTest, CheckReportsFileAndLine) {
+  EXPECT_DEATH(DOCS_CHECK(false), "check_test\\.cc");
+}
+
+TEST(CheckDeathTest, ComparisonFormsPrintBothOperands) {
+  const int three = 3;
+  const int four = 4;
+  EXPECT_DEATH(DOCS_CHECK_EQ(three, four), "three == four \\(3 vs. 4\\)");
+  EXPECT_DEATH(DOCS_CHECK_NE(three, three), "three != three \\(3 vs. 3\\)");
+  EXPECT_DEATH(DOCS_CHECK_LT(four, three), "four < three \\(4 vs. 3\\)");
+  EXPECT_DEATH(DOCS_CHECK_LE(four, three), "four <= three \\(4 vs. 3\\)");
+  EXPECT_DEATH(DOCS_CHECK_GT(three, four), "three > four \\(3 vs. 4\\)");
+  EXPECT_DEATH(DOCS_CHECK_GE(three, four), "three >= four \\(3 vs. 4\\)");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DOCS_CHECK(true) << "never rendered";
+  DOCS_CHECK_EQ(2, 2);
+  DOCS_CHECK_NE(2, 3);
+  DOCS_CHECK_LT(2, 3);
+  DOCS_CHECK_LE(3, 3);
+  DOCS_CHECK_GT(3, 2);
+  DOCS_CHECK_GE(3, 3);
+}
+
+TEST(CheckTest, OperandsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+  DOCS_CHECK_GE(count(), 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, ChecksNestCleanlyUnderIfElse) {
+  // The macros must not capture a dangling else.
+  if (true)
+    DOCS_CHECK(true);
+  else
+    FAIL() << "else bound to the wrong if";
+  if (false)
+    DOCS_CHECK_EQ(1, 2);  // must not evaluate
+  else
+    SUCCEED();
+}
+
+// --- DOCS_DCHECK family ----------------------------------------------------
+
+TEST(DCheckTest, RespectsBuildConfiguration) {
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+#if DOCS_DEBUG_CHECKS
+  DOCS_DCHECK(count() == 1);
+  DOCS_DCHECK_EQ(count(), 2);
+  EXPECT_EQ(evaluations, 2) << "debug contracts must evaluate when enabled";
+  EXPECT_DEATH(DOCS_DCHECK(false) << "armed", "DOCS_CHECK\\(false\\).*armed");
+  EXPECT_DEATH(DOCS_DCHECK_LT(2, 1), "2 < 1 \\(2 vs. 1\\)");
+#else
+  DOCS_DCHECK(count() == 999) << "never evaluated";
+  DOCS_DCHECK_EQ(count(), 999);
+  DOCS_DCHECK_NE(count(), 0);
+  DOCS_DCHECK_LT(count(), -1);
+  DOCS_DCHECK_LE(count(), -1);
+  DOCS_DCHECK_GT(count(), 999);
+  DOCS_DCHECK_GE(count(), 999);
+  EXPECT_EQ(evaluations, 0)
+      << "disabled debug contracts must not evaluate operands";
+#endif
+}
+
+TEST(DCheckTest, ValidatorMacrosRespectBuildConfiguration) {
+  const std::vector<double> bogus = {kNan, 0.5};
+#if DOCS_DEBUG_CHECKS
+  EXPECT_DEATH(DOCS_DCHECK_SIMPLEX(bogus, 1e-9, "bogus"), "not finite");
+  EXPECT_DEATH(DOCS_DCHECK_FINITE(bogus, "bogus"), "CheckFinite failed");
+#else
+  DOCS_DCHECK_SIMPLEX(bogus, 1e-9, "bogus");
+  DOCS_DCHECK_UNIT_INTERVAL(bogus, 0.0, "bogus");
+  DOCS_DCHECK_FINITE(bogus, "bogus");
+#endif
+}
+
+// --- Test hook -------------------------------------------------------------
+
+TEST(CheckTest, FailureHandlerInterceptsInProcess) {
+  auto thrower = [](const std::string& message) {
+    throw std::runtime_error(message);
+  };
+  internal_check::CheckFailureHandler previous =
+      internal_check::SetCheckFailureHandler(+thrower);
+  std::string captured;
+  try {
+    DOCS_CHECK_EQ(6 * 7, 41) << "hook context";
+  } catch (const std::runtime_error& error) {
+    captured = error.what();
+  }
+  internal_check::SetCheckFailureHandler(previous);
+  EXPECT_NE(captured.find("6 * 7 == 41 (42 vs. 41)"), std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("hook context"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("check_test.cc"), std::string::npos) << captured;
+}
+
+// --- CheckSimplex ----------------------------------------------------------
+
+TEST(SimplexValidatorTest, AcceptsExactAndToleratedSimplices) {
+  CheckSimplex(std::vector<double>{1.0});
+  CheckSimplex(std::vector<double>{0.25, 0.25, 0.5});
+  // Entries of -0.0 are inside [-tol, 1 + tol] for every tol >= 0.
+  CheckSimplex(std::vector<double>{-0.0, 1.0, -0.0});
+  // Exactly on the tolerance boundary (exactly-representable values so the
+  // sum carries no rounding): |sum - 1| == tol passes.
+  CheckSimplex(std::vector<double>{0.5, 0.75}, 0.25);
+  CheckSimplex(std::vector<double>{0.5, 0.25}, 0.25);
+}
+
+TEST(SimplexValidatorDeathTest, RejectsEmptySpan) {
+  EXPECT_DEATH(CheckSimplex(std::vector<double>{}, 1e-9, "prior"),
+               "prior is empty");
+}
+
+TEST(SimplexValidatorDeathTest, RejectsJustPastToleranceBoundary) {
+  EXPECT_DEATH(CheckSimplex(std::vector<double>{0.5, 0.8125}, 0.25),
+               "sums to");
+}
+
+TEST(SimplexValidatorDeathTest, RejectsNegativeMass) {
+  EXPECT_DEATH(CheckSimplex(std::vector<double>{-0.25, 1.25}, 1e-9, "prior"),
+               "prior\\[0\\] = -0.25 outside");
+}
+
+TEST(SimplexValidatorDeathTest, RejectsNaNAndInf) {
+  EXPECT_DEATH(CheckSimplex(std::vector<double>{kNan, 1.0}, 1e-9, "prior"),
+               "prior\\[0\\] = .*not finite");
+  EXPECT_DEATH(CheckSimplex(std::vector<double>{kInf, 1.0}, 1e-9, "prior"),
+               "prior\\[0\\] = .*not finite");
+}
+
+// --- CheckUnitInterval -----------------------------------------------------
+
+TEST(UnitIntervalValidatorTest, AcceptsBoundariesAndNegativeZero) {
+  CheckUnitInterval(0.0);
+  CheckUnitInterval(-0.0);
+  CheckUnitInterval(1.0);
+  CheckUnitInterval(1.0 + 1e-9, 1e-9);  // exactly on the tolerance boundary
+  CheckUnitInterval(std::vector<double>{0.0, 0.5, 1.0});
+}
+
+TEST(UnitIntervalValidatorDeathTest, RejectsOutOfRangeAndNaN) {
+  EXPECT_DEATH(CheckUnitInterval(1.0 + 1e-6, 0.0, "quality"),
+               "quality = 1\\.000001 outside");
+  EXPECT_DEATH(CheckUnitInterval(-0.5, 1e-9, "quality"), "quality = -0.5");
+  EXPECT_DEATH(CheckUnitInterval(kNan, 1e-9, "quality"), "quality = ");
+  EXPECT_DEATH(
+      CheckUnitInterval(std::vector<double>{0.5, 2.0}, 0.0, "quality"),
+      "quality\\[1\\] = 2 outside");
+}
+
+// --- CheckFinite -----------------------------------------------------------
+
+TEST(FiniteValidatorTest, AcceptsFiniteInputs) {
+  CheckFinite(0.0);
+  CheckFinite(-1e308);
+  CheckFinite(std::vector<double>{});  // empty span: nothing to reject
+  CheckFinite(std::vector<double>{1.0, -2.0});
+  CheckFinite(Matrix(2, 2, 0.25));
+  CheckFinite(Matrix());  // empty matrix
+}
+
+TEST(FiniteValidatorDeathTest, RejectsNaNAndInfWithLocation) {
+  EXPECT_DEATH(CheckFinite(kNan, "benefit"), "benefit = ");
+  EXPECT_DEATH(CheckFinite(std::vector<double>{0.0, kInf}, "scores"),
+               "scores\\[1\\] = inf");
+  Matrix poisoned(2, 3, 0.0);
+  poisoned(1, 2) = kNan;
+  EXPECT_DEATH(CheckFinite(poisoned, "truth_matrix"),
+               "truth_matrix\\(1, 2\\) = ");
+}
+
+}  // namespace
+}  // namespace docs

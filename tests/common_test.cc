@@ -324,5 +324,31 @@ TEST(TablePrinterTest, FmtPrecision) {
   EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
 }
 
+// --- Contract regressions (math_utils) ---------------------------------------
+
+TEST(MathTest, EntropyPropagatesNaN) {
+  // Regression: `x > 0.0` is false for NaN, so a NaN probability used to be
+  // silently skipped and the entropy came back looking healthy. A poisoned
+  // distribution must poison the entropy so downstream benefit scores (and
+  // the CheckFinite guards around them) can see it.
+  const double nan = std::nan("");
+  EXPECT_TRUE(std::isnan(Entropy({0.5, nan, 0.25})));
+  EXPECT_TRUE(std::isnan(Entropy({nan})));
+  // Zeros are still fine (0 log 0 = 0 by convention).
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 0.0}), 0.0);
+}
+
+TEST(MathDeathTest, ArgMaxOfEmptyVectorDies) {
+  EXPECT_DEATH(ArgMax({}), "ArgMax of an empty vector");
+}
+
+TEST(MathDeathTest, KlDivergenceMismatchedSupportsDies) {
+  EXPECT_DEATH(KlDivergence({0.5, 0.5}, {1.0}), "mismatched supports");
+}
+
+TEST(MathDeathTest, L1DistanceMismatchedSupportsDies) {
+  EXPECT_DEATH(L1Distance({0.5, 0.5}, {1.0}), "mismatched supports");
+}
+
 }  // namespace
 }  // namespace docs

@@ -56,11 +56,14 @@ TEST_F(ConcurrencyTest, ParallelWorkersDriveOneSystemConsistently) {
       if (hit.empty()) break;
       for (size_t task : hit) {
         const auto& spec = dataset.tasks[task];
-        system.SubmitAnswer(
+        const Status submitted = system.SubmitAnswer(
             workers[w].id, task,
             crowd::GenerateAnswer(workers[w], spec.true_domain, spec.truth,
                                   spec.num_choices(), rng));
-        total_answers.fetch_add(1);
+        // Each thread owns one worker and only answers its own grants, so
+        // every submission must be accepted.
+        EXPECT_TRUE(submitted.ok()) << submitted.ToString();
+        if (submitted.ok()) total_answers.fetch_add(1);
       }
     }
   };
@@ -109,8 +112,9 @@ TEST_F(ConcurrencyTest, ConcurrentReadersDuringWrites) {
     const std::string worker = "w" + std::to_string(i % 5);
     auto hit = system.RequestTasks(worker, 2);
     for (size_t task : hit) {
-      system.SubmitAnswer(worker, task,
-                          rng.UniformInt(dataset.tasks[task].num_choices()));
+      const Status submitted = system.SubmitAnswer(
+          worker, task, rng.UniformInt(dataset.tasks[task].num_choices()));
+      EXPECT_TRUE(submitted.ok()) << submitted.ToString();
     }
   }
   stop.store(true);
@@ -138,7 +142,10 @@ TEST_F(ConcurrencyTest, CheckpointUnderLoadIsConsistent) {
     for (int i = 0; i < 120; ++i) {
       const std::string worker = "w" + std::to_string(i % 6);
       auto hit = system.RequestTasks(worker, 2);
-      for (size_t task : hit) system.SubmitAnswer(worker, task, 0);
+      for (size_t task : hit) {
+        const Status submitted = system.SubmitAnswer(worker, task, 0);
+        EXPECT_TRUE(submitted.ok()) << submitted.ToString();
+      }
     }
   });
   // Checkpoints taken mid-stream must each be loadable and self-consistent.

@@ -154,8 +154,9 @@ TEST_F(DocsSystemTest, DMaxConfigurationSelectsMatchingDomain) {
   quality.quality[canon.food] = 0.98;
   quality.weight.assign(26, 10.0);
   // Seed via the store-loading path equivalent: direct quality override.
-  const_cast<IncrementalTruthInference&>(system.inference())
-      .SetWorkerQuality(worker, quality);
+  ASSERT_TRUE(const_cast<IncrementalTruthInference&>(system.inference())
+                  .SetWorkerQuality(worker, quality)
+                  .ok());
   auto selected = system.SelectTasks(worker, 5);
   ASSERT_EQ(selected.size(), 5u);
   for (size_t task : selected) {
@@ -209,8 +210,9 @@ TEST_F(DocsSystemTest, QualityBlindRuleNeutralizesDomainMatch) {
     quality.quality.assign(26, 0.5);
     quality.quality[canon.food] = 0.98;
     quality.weight.assign(26, 10.0);
-    const_cast<IncrementalTruthInference&>(system->inference())
-        .SetWorkerQuality(worker, quality);
+    EXPECT_TRUE(const_cast<IncrementalTruthInference&>(system->inference())
+                    .SetWorkerQuality(worker, quality)
+                    .ok());
     return system;
   };
 

@@ -143,5 +143,19 @@ TEST(SelectGoldenTasksTest, EdgeCases) {
   EXPECT_EQ(SelectGoldenTasks(tasks, 10).tasks.size(), 2u);
 }
 
+TEST(GoldenContractDeathTest, AggregateRejectsMismatchedDomainVectors) {
+  // Regression: a task whose domain vector is shorter than the first task's
+  // used to be read out of bounds inside the averaging loop.
+  auto tasks = TasksFromDomains({0, 1}, 3);
+  tasks[1].domain_vector = {1.0};  // wrong dimensionality
+  EXPECT_DEATH(AggregateDomainDistribution(tasks), "domain_vector.size");
+}
+
+TEST(GoldenContractDeathTest, ObjectiveRejectsMismatchedCounts) {
+  // counts and tau are parallel per-domain arrays; a short counts vector
+  // used to walk past its end.
+  EXPECT_DEATH(GoldenObjective({1, 2, 3}, {0.5, 0.5}), "counts.size");
+}
+
 }  // namespace
 }  // namespace docs::core

@@ -111,7 +111,7 @@ TEST(IncrementalTiTest, SetWorkerQualitySeedsBothStatsAndSeed) {
   WorkerQuality expert;
   expert.quality = {0.95, 0.6};
   expert.weight = {10.0, 10.0};
-  engine.SetWorkerQuality(0, expert);
+  ASSERT_TRUE(engine.SetWorkerQuality(0, expert).ok());
   EXPECT_NEAR(engine.worker_quality(0).quality[0], 0.95, 1e-12);
 }
 
@@ -314,6 +314,36 @@ TEST(IncrementalTiTest, TruthStaysNormalized) {
       ASSERT_TRUE(engine.OnAnswer(w, i, rng.UniformInt(2)).ok());
       EXPECT_TRUE(IsDistribution(engine.task_truth(i), 1e-9));
     }
+  }
+}
+
+TEST(IncrementalTiTest, SetWorkerQualityRejectsCorruptValues) {
+  // Seeds arrive from stores and checkpoints, i.e. from disk: corrupt values
+  // must come back as InvalidArgument, not sail into the EM update.
+  IncrementalTruthInference engine(TwoDomainTasks(2));
+
+  WorkerQuality poisoned;
+  poisoned.quality = {std::nan(""), 0.8};
+  poisoned.weight = {1.0, 1.0};
+  EXPECT_EQ(engine.SetWorkerQuality(0, poisoned).code(),
+            StatusCode::kInvalidArgument);
+
+  WorkerQuality inflated;
+  inflated.quality = {1.5, 0.8};  // Eq. 5 qualities live in [0, 1]
+  inflated.weight = {1.0, 1.0};
+  EXPECT_EQ(engine.SetWorkerQuality(0, inflated).code(),
+            StatusCode::kInvalidArgument);
+
+  WorkerQuality negative_weight;
+  negative_weight.quality = {0.9, 0.8};
+  negative_weight.weight = {-1.0, 1.0};
+  EXPECT_EQ(engine.SetWorkerQuality(0, negative_weight).code(),
+            StatusCode::kInvalidArgument);
+
+  // Rejections leave the worker untouched and answerable.
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 0).ok());
+  for (double q : engine.worker_quality(0).quality) {
+    EXPECT_TRUE(std::isfinite(q));
   }
 }
 

@@ -246,5 +246,32 @@ TEST(TaskAssignerTest, SelectionIsDistinct) {
   EXPECT_EQ(selected.size(), 20u);
 }
 
+TEST(TaskAssignerDeathTest, RejectsMismatchedEligibilityVector) {
+  // Regression: SelectTopK indexes eligible[], matrices[] and truths[] by
+  // task id; a short parallel array used to be an out-of-bounds read.
+  Rng rng(7);
+  auto instance = MakeInstance(5, 3, 2, rng);
+  std::vector<uint8_t> eligible(4, 1);  // one short
+  TaskAssigner assigner;
+  EXPECT_DEATH(assigner.SelectTopK(instance.tasks, instance.matrices,
+                                   instance.truths, instance.worker_quality,
+                                   eligible, 2),
+               "eligible.size");
+}
+
+TEST(TaskAssignerDeathTest, RejectsOutOfRangeWorkerQuality) {
+  // Eq. 5 qualities live in [0, 1]; a quality of 1.5 would silently inflate
+  // every benefit score.
+  Rng rng(8);
+  auto instance = MakeInstance(5, 3, 2, rng);
+  instance.worker_quality[1] = 1.5;
+  std::vector<uint8_t> eligible(5, 1);
+  TaskAssigner assigner;
+  EXPECT_DEATH(assigner.SelectTopK(instance.tasks, instance.matrices,
+                                   instance.truths, instance.worker_quality,
+                                   eligible, 2),
+               "OTA worker quality");
+}
+
 }  // namespace
 }  // namespace docs::core

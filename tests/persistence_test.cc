@@ -451,5 +451,51 @@ TEST_F(SystemCheckpointTest, GoldenPhaseSurvivesRestore) {
   }
 }
 
+// --- Corrupt-checkpoint validation (DataLoss, never an abort) ----------------
+
+TEST_F(SystemCheckpointTest, LoadRejectsCheckpointWithTooFewChoices) {
+  storage::StateCheckpoint corrupt;
+  storage::StateCheckpoint::TaskState task;
+  task.domain_vector = {1.0};
+  task.num_choices = 1;  // below the 2-choice floor AddTasks enforces
+  corrupt.tasks.push_back(task);
+  const std::string path = TempPath("corrupt_choices.log");
+  ASSERT_TRUE(storage::SaveStateCheckpoint(corrupt, path).ok());
+
+  core::DocsSystem system(&kb_->knowledge_base);
+  EXPECT_EQ(system.LoadCheckpoint(path).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SystemCheckpointTest, LoadRejectsCorruptDomainVectorEntry) {
+  // File data flows into the CHECK-guarded incremental-TI constructor; a
+  // corrupt domain vector must surface as DataLoss before it gets there.
+  storage::StateCheckpoint corrupt;
+  storage::StateCheckpoint::TaskState task;
+  task.domain_vector = {2.0};  // probabilities live in [0, 1]
+  task.num_choices = 2;
+  corrupt.tasks.push_back(task);
+  const std::string path = TempPath("corrupt_domain.log");
+  ASSERT_TRUE(storage::SaveStateCheckpoint(corrupt, path).ok());
+
+  core::DocsSystem system(&kb_->knowledge_base);
+  EXPECT_EQ(system.LoadCheckpoint(path).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SystemCheckpointTest, LoadRejectsGoldenIndexOutOfRange) {
+  // Regression: a golden index past the task list used to index is_golden_
+  // out of bounds on restore.
+  storage::StateCheckpoint corrupt;
+  storage::StateCheckpoint::TaskState task;
+  task.domain_vector = {1.0};
+  task.num_choices = 2;
+  corrupt.tasks.push_back(task);
+  corrupt.golden_tasks = {5};  // only one task exists
+  const std::string path = TempPath("corrupt_golden.log");
+  ASSERT_TRUE(storage::SaveStateCheckpoint(corrupt, path).ok());
+
+  core::DocsSystem system(&kb_->knowledge_base);
+  EXPECT_EQ(system.LoadCheckpoint(path).code(), StatusCode::kDataLoss);
+}
+
 }  // namespace
 }  // namespace docs

@@ -362,5 +362,27 @@ TEST(TruthInferenceTest, TruthsAreDistributions) {
   }
 }
 
+TEST(GoldenInitTest, ZeroSmoothingWithoutGoldenAnswersStaysFinite) {
+  // Regression: with smoothing = 0 a worker who answered no golden task in
+  // some domain hit 0/0 and walked away with NaN quality, which then poisoned
+  // the first EM iteration. The guard must fall back to the default quality.
+  std::vector<Task> tasks(2);
+  for (auto& task : tasks) {
+    task.domain_vector = {1.0};
+    task.num_choices = 2;
+  }
+  std::vector<Answer> answers = {{0, 0, 0}};  // worker 0 answers golden task 0
+  auto seeds = InitializeQualityFromGolden(tasks, /*num_workers=*/2, answers,
+                                           /*golden_tasks=*/{0},
+                                           /*golden_truth=*/{0},
+                                           /*default_quality=*/0.7,
+                                           /*smoothing=*/0.0);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(seeds[0].quality[0], 1.0);  // answered its golden correctly
+  // Worker 1 never answered a golden task: default, not NaN.
+  EXPECT_DOUBLE_EQ(seeds[1].quality[0], 0.7);
+  EXPECT_TRUE(std::isfinite(seeds[1].quality[0]));
+}
+
 }  // namespace
 }  // namespace docs::core
