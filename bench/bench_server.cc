@@ -1,0 +1,186 @@
+// Closed-loop load generator for the crowd gateway.
+//
+// Self-hosts a CrowdGateway over a large synthetic QA campaign (or targets
+// an already-running gateway via --port), then drives it from N concurrent
+// connections. Each connection is one closed-loop client thread with its own
+// CrowdClient and worker identity: request a HIT, answer every task in it,
+// repeat — every wire round trip is timed individually. At the end the
+// per-call latencies are merged and the harness reports throughput and
+// p50/p95/p99, the numbers a capacity plan for a real AMT front-end needs.
+//
+//   ./build/bench/bench_server [--connections=N] [--ops=N] [--port=P]
+//
+//   --connections  concurrent client connections (default 4)
+//   --ops          wire calls per connection before it disconnects
+//                  (default 2000; requests and submissions both count)
+//   --port         target an external gateway instead of self-hosting
+//                  (default 0 = self-host on an ephemeral port)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "client/crowd_client.h"
+#include "common/table_printer.h"
+#include "core/concurrent_docs_system.h"
+#include "net/wire.h"
+#include "server/crowd_gateway.h"
+
+namespace {
+
+size_t FlagValue(int argc, char** argv, const char* name, size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<size_t>(std::atoll(argv[i] + prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace core = docs::core;
+  namespace benchutil = docs::benchutil;
+  using docs::Status;
+  using docs::TablePrinter;
+  using Clock = std::chrono::steady_clock;
+
+  const size_t connections = FlagValue(argc, argv, "connections", 4);
+  const size_t ops_per_connection = FlagValue(argc, argv, "ops", 2000);
+  uint16_t port = static_cast<uint16_t>(FlagValue(argc, argv, "port", 0));
+
+  benchutil::PrintHeader(
+      "gateway load generator",
+      "closed-loop wire latency stays in the tens of microseconds on "
+      "loopback; throughput is bounded by the single facade mutex");
+
+  // Self-host unless --port points at an external gateway. The campaign is
+  // large enough that the task pool never drains mid-run.
+  const auto& synthetic = benchutil::SharedKb();
+  auto dataset = docs::datasets::MakeQaDataset(synthetic, 4000, 7);
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  options.lease_duration = 1 << 30;  // leases never expire during the run
+  options.reinfer_every = 0;         // serving-path cost only
+  core::ConcurrentDocsSystem system(&synthetic.knowledge_base, options);
+  docs::server::CrowdGateway gateway(&system);
+  if (port == 0) {
+    std::vector<core::TaskInput> inputs;
+    for (const auto& task : dataset.tasks) {
+      inputs.push_back({task.text, task.num_choices()});
+    }
+    if (Status status = system.AddTasks(inputs); !status.ok()) {
+      std::cerr << "AddTasks: " << status.ToString() << "\n";
+      return 1;
+    }
+    if (Status status = gateway.Start(); !status.ok()) {
+      std::cerr << "gateway start: " << status.ToString() << "\n";
+      return 1;
+    }
+    port = gateway.port();
+  }
+  std::cout << "target: 127.0.0.1:" << port << "   connections: "
+            << connections << "   ops/connection: " << ops_per_connection
+            << "\n\n";
+
+  // Closed loop: each thread alternates RequestTasks(4) with submitting
+  // every granted task, timing each wire call.
+  std::vector<std::vector<double>> latencies_us(connections);
+  std::vector<size_t> errors(connections, 0);
+  auto drive = [&](size_t c) {
+    docs::client::CrowdClientOptions client_options;
+    client_options.recv_timeout_ms = 10000;
+    docs::client::CrowdClient client(client_options);
+    if (!client.Connect("127.0.0.1", port).ok()) {
+      errors[c] = ops_per_connection;
+      return;
+    }
+    const std::string worker = "load-" + std::to_string(c);
+    auto& samples = latencies_us[c];
+    samples.reserve(ops_per_connection);
+    std::vector<uint64_t> hit;
+    size_t next = 0;  // next unanswered task of the current HIT
+    for (size_t op = 0; op < ops_per_connection; ++op) {
+      const auto start = Clock::now();
+      Status status = docs::OkStatus();
+      if (next >= hit.size()) {
+        hit.clear();
+        next = 0;
+        status = client.RequestTasks(worker, 4, &hit);
+        if (status.ok() && hit.empty()) break;  // pool drained
+      } else {
+        status = client.SubmitAnswer(worker, hit[next], 0);
+        ++next;
+      }
+      const auto stop = Clock::now();
+      if (!status.ok()) {
+        ++errors[c];
+        continue;
+      }
+      samples.push_back(
+          std::chrono::duration<double, std::micro>(stop - start).count());
+    }
+  };
+
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < connections; ++c) threads.emplace_back(drive, c);
+  for (auto& thread : threads) thread.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::vector<double> merged;
+  size_t total_errors = 0;
+  for (size_t c = 0; c < connections; ++c) {
+    merged.insert(merged.end(), latencies_us[c].begin(),
+                  latencies_us[c].end());
+    total_errors += errors[c];
+  }
+  std::sort(merged.begin(), merged.end());
+  if (merged.empty()) {
+    std::cerr << "no successful wire calls (" << total_errors
+              << " errors)\n";
+    return 1;
+  }
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"wire calls ok", std::to_string(merged.size())});
+  table.AddRow({"errors", std::to_string(total_errors)});
+  table.AddRow({"wall time (s)", TablePrinter::Fmt(wall_s, 3)});
+  table.AddRow({"throughput (ops/s)",
+                TablePrinter::Fmt(static_cast<double>(merged.size()) / wall_s,
+                                  1)});
+  table.AddRow({"p50 latency (us)",
+                TablePrinter::Fmt(Percentile(merged, 0.50), 1)});
+  table.AddRow({"p95 latency (us)",
+                TablePrinter::Fmt(Percentile(merged, 0.95), 1)});
+  table.AddRow({"p99 latency (us)",
+                TablePrinter::Fmt(Percentile(merged, 0.99), 1)});
+  table.Print(std::cout);
+
+  if (gateway.running()) {
+    const docs::server::GatewayStats stats = gateway.stats();
+    std::cout << "\ngateway: " << stats.requests_served << " served, "
+              << stats.requests_shed << " shed, " << stats.protocol_errors
+              << " protocol errors\n";
+    gateway.Stop();
+  }
+  return 0;
+}

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point, four stages (fails on the first broken one):
+# CI entry point, five stages (fails on the first broken one):
 #   1. lint      — scripts/lint.py always; clang-tidy when installed.
 #   2. release   — Release build, full test suite.
 #   3. strict    — -DDOCS_WERROR=ON -DDOCS_DEBUG_CHECKS=ON: curated -Werror
 #                  set plus every DOCS_DCHECK* contract compiled in, run over
 #                  the contract-heavy suites.
-#   4. sanitize  — ASan+UBSan full suite, then TSan scoped to the tests that
-#                  exercise cross-thread execution.
+#   4. sanitize  — ASan+UBSan full suite, then a gateway smoke run (real TCP
+#                  server + clients under ASan), then TSan scoped to the
+#                  tests that exercise cross-thread execution.
+#   5. bench     — a short bench_server run from the release build proves
+#                  the load generator works and prints throughput/p50/p95/p99.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -53,9 +56,18 @@ run_config strict \
   "check_test|common_test|ti_test|incremental_ti_test|ota_test|golden_test|dve_test|baselines_test" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_WERROR=ON -DDOCS_DEBUG_CHECKS=ON
 run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=ON
+# Gateway smoke: start the TCP server on an ephemeral port, run real client
+# round trips, and shut down cleanly — all under ASan+UBSan, so a leaked
+# socket buffer or a use-after-close in the event loop fails CI here.
+echo "=== [sanitize] gateway smoke (serve_campaign under ASan) ==="
+"$ROOT/build-sanitize/examples/serve_campaign" --workers=4 --rounds=3
 # TSan cannot be combined with ASan; it gets its own tree, scoped to the
-# tests that actually exercise cross-thread execution.
-run_config tsan "parallel_test|determinism_test|concurrency_test" \
+# tests that actually exercise cross-thread execution (gateway_test runs a
+# server thread against client threads, so it belongs here too).
+run_config tsan "parallel_test|determinism_test|concurrency_test|gateway_test" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=thread
+
+echo "=== [bench] gateway load generator smoke ==="
+"$ROOT/build-release/bench/bench_server" --connections=2 --ops=400
 
 echo "=== CI OK ==="

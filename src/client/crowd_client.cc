@@ -1,0 +1,165 @@
+#include "client/crowd_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace docs::client {
+namespace {
+
+Status Errno(const char* what) {
+  return IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+CrowdClient::CrowdClient(CrowdClientOptions options) : options_(options) {}
+
+CrowdClient::~CrowdClient() { Close(); }
+
+Status CrowdClient::Connect(const std::string& host, uint16_t port) {
+  if (connected()) return FailedPreconditionError("already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("not an IPv4 address: " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Errno("connect");
+    Close();
+    return status;
+  }
+  const int enable = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.recv_timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((options_.recv_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  decoder_ = net::FrameDecoder();
+  return OkStatus();
+}
+
+void CrowdClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status CrowdClient::Call(const net::Frame& request, net::Frame* response) {
+  if (!connected()) return FailedPreconditionError("not connected");
+  const net::MessageType expect = net::ResponseTypeFor(request.type);
+  const std::string encoded = net::EncodeFrame(request);
+  size_t sent = 0;
+  while (sent < encoded.size()) {
+    const ssize_t n = ::send(fd_, encoded.data() + sent,
+                             encoded.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Errno("send");
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  char buf[4096];
+  for (;;) {
+    std::string error;
+    const net::FrameDecoder::Result result = decoder_.Next(response, &error);
+    if (result == net::FrameDecoder::Result::kFrame) {
+      if (response->type != expect) {
+        Close();
+        return DataLossError("out-of-order response frame from gateway");
+      }
+      return OkStatus();
+    }
+    if (result == net::FrameDecoder::Result::kError) {
+      Close();
+      return DataLossError("malformed response from gateway: " + error);
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return IoError("gateway closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = (errno == EAGAIN || errno == EWOULDBLOCK)
+                          ? IoError("receive timed out")
+                          : Errno("recv");
+      Close();
+      return status;
+    }
+    decoder_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status CrowdClient::RequestTasks(const std::string& worker_id, uint32_t k,
+                                 std::vector<uint64_t>* tasks) {
+  net::RequestTasksReq req;
+  req.worker_id = worker_id;
+  req.k = k;
+  net::Frame response;
+  Status called = Call(net::EncodeRequestTasksReq(req), &response);
+  if (!called.ok()) return called;
+  Status server = net::FrameStatus(response);
+  if (!server.ok()) return server;
+  net::RequestTasksResp resp;
+  Status decoded = net::DecodeRequestTasksResp(response, &resp);
+  if (!decoded.ok()) return decoded;
+  if (tasks != nullptr) *tasks = std::move(resp.tasks);
+  return OkStatus();
+}
+
+Status CrowdClient::SubmitAnswer(const std::string& worker_id, uint64_t task,
+                                 uint32_t choice) {
+  net::SubmitAnswerReq req;
+  req.worker_id = worker_id;
+  req.task = task;
+  req.choice = choice;
+  net::Frame response;
+  Status called = Call(net::EncodeSubmitAnswerReq(req), &response);
+  if (!called.ok()) return called;
+  return net::FrameStatus(response);
+}
+
+Status CrowdClient::ExpireLeases(uint64_t now,
+                                 std::vector<net::WireExpiredLease>* expired) {
+  net::ExpireLeasesReq req;
+  req.now = now;
+  net::Frame response;
+  Status called = Call(net::EncodeExpireLeasesReq(req), &response);
+  if (!called.ok()) return called;
+  Status server = net::FrameStatus(response);
+  if (!server.ok()) return server;
+  net::ExpireLeasesResp resp;
+  Status decoded = net::DecodeExpireLeasesResp(response, &resp);
+  if (!decoded.ok()) return decoded;
+  if (expired != nullptr) {
+    expired->insert(expired->end(), resp.expired.begin(), resp.expired.end());
+  }
+  return OkStatus();
+}
+
+Status CrowdClient::Stats(net::StatsResp* stats) {
+  net::Frame response;
+  Status called = Call(net::EncodeStatsReq(), &response);
+  if (!called.ok()) return called;
+  Status server = net::FrameStatus(response);
+  if (!server.ok()) return server;
+  return net::DecodeStatsResp(response, stats);
+}
+
+}  // namespace docs::client

@@ -1,0 +1,73 @@
+#ifndef DOCS_CLIENT_CROWD_CLIENT_H_
+#define DOCS_CLIENT_CROWD_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace docs::client {
+
+struct CrowdClientOptions {
+  /// Receive timeout per call in milliseconds (SO_RCVTIMEO); 0 blocks
+  /// forever. A hung server then surfaces as IoError instead of a wedged
+  /// caller — tests and the load generator always set this.
+  uint64_t recv_timeout_ms = 0;
+};
+
+/// Blocking client for the crowd gateway: one TCP connection, one
+/// request/response in flight at a time (the wire protocol supports
+/// pipelining; this client keeps the simple synchronous discipline the
+/// simulated workers and the load generator want).
+///
+/// Every call returns the server-reported Status verbatim when the round
+/// trip succeeds — kInvalidArgument from a bad submission is the *server's*
+/// verdict, transported over the wire. Transport failures (connect, torn
+/// connection, timeout) come back as IoError; a response that breaks
+/// framing is DataLoss.
+class CrowdClient {
+ public:
+  explicit CrowdClient(CrowdClientOptions options = {});
+  ~CrowdClient();
+
+  CrowdClient(const CrowdClient&) = delete;
+  CrowdClient& operator=(const CrowdClient&) = delete;
+
+  /// Connects to `host:port` (IPv4 dotted-quad, e.g. "127.0.0.1").
+  [[nodiscard]] Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Asks the gateway for up to `k` tasks for `worker_id` (registering the
+  /// worker on first contact, exactly like the in-process facade).
+  [[nodiscard]] Status RequestTasks(const std::string& worker_id, uint32_t k,
+                                    std::vector<uint64_t>* tasks);
+
+  [[nodiscard]] Status SubmitAnswer(const std::string& worker_id,
+                                    uint64_t task, uint32_t choice);
+
+  /// Drives a lease-expiry sweep with logical time `now`; the reclaimed
+  /// grants are appended to `*expired` (may be null when only the side
+  /// effect matters).
+  [[nodiscard]] Status ExpireLeases(uint64_t now,
+                                    std::vector<net::WireExpiredLease>*
+                                        expired);
+
+  [[nodiscard]] Status Stats(net::StatsResp* stats);
+
+ private:
+  /// One synchronous round trip: send `request`, read frames until the
+  /// matching response arrives. Closes the connection on transport errors
+  /// (the stream state is unknown afterwards).
+  [[nodiscard]] Status Call(const net::Frame& request, net::Frame* response);
+
+  CrowdClientOptions options_;
+  int fd_ = -1;
+  net::FrameDecoder decoder_;
+};
+
+}  // namespace docs::client
+
+#endif  // DOCS_CLIENT_CROWD_CLIENT_H_

@@ -1,11 +1,20 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace docs {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Serializes emission so concurrent threads (the gateway event loop, worker
+/// threads, checkpoint savers) cannot interleave partial lines on stderr.
+std::mutex& EmitMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,8 +32,10 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal_logging {
 
@@ -38,8 +49,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ < g_level) return;
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ < g_level.load(std::memory_order_relaxed)) return;
+  // Assemble the whole line first, then emit it with a single fwrite under
+  // the mutex: a multi-threaded server must never interleave two half-lines.
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace internal_logging

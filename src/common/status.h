@@ -19,6 +19,9 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kDataLoss,
+  /// The service is temporarily unable to take the request (overload
+  /// shedding, draining shutdown). Retryable, unlike the other codes.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -73,6 +76,7 @@ Status OutOfRangeError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
 Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
 
 /// Either a value of type T or an error Status. Callers must check ok()
 /// before dereferencing. [[nodiscard]] for the same reason as Status: a

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,11 +64,19 @@ class ConcurrentDocsSystem {
   /// Atomically resolves the worker id and submits one answer. Invalid
   /// submissions (unknown task, out-of-range choice, duplicate (worker,
   /// task) pair) are rejected with the reason instead of silently dropped —
-  /// the web frontend can surface it to the platform.
+  /// the web frontend can surface it to the platform. A worker id never seen
+  /// by RequestTasks/LoadWorker is rejected too: resolving it here would
+  /// silently register a fresh worker for every malformed or forged id the
+  /// network delivers.
   [[nodiscard]] Status SubmitAnswer(const std::string& worker_id, size_t task,
                       size_t choice) {
     std::lock_guard<std::mutex> lock(mutex_);
-    return system_.SubmitAnswer(system_.WorkerIndex(worker_id), task, choice);
+    const std::optional<size_t> worker = system_.FindWorker(worker_id);
+    if (!worker.has_value()) {
+      return InvalidArgumentError("unknown worker '" + worker_id +
+                                  "': never seen by RequestTasks/LoadWorker");
+    }
+    return system_.SubmitAnswer(*worker, task, choice);
   }
 
   /// Reclaims every lease whose logical deadline is at or before `now`
@@ -78,9 +87,22 @@ class ConcurrentDocsSystem {
     return system_.ExpireLeases(now);
   }
 
+  /// Seeds a returning worker's quality profile from the persistent store;
+  /// the worker is registered and skips the golden probe (Theorem 1 state).
+  [[nodiscard]] Status LoadWorker(const std::string& worker_id,
+                                  const storage::WorkerStore& store) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.LoadWorker(worker_id, store);
+  }
+
   uint64_t lease_clock() {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_.lease_clock();
+  }
+
+  size_t num_tasks() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.tasks().size();
   }
 
   size_t outstanding_leases() {

@@ -121,6 +121,13 @@ size_t DocsSystem::WorkerIndex(const std::string& external_id) {
   return index;
 }
 
+std::optional<size_t> DocsSystem::FindWorker(
+    const std::string& external_id) const {
+  auto it = worker_index_.find(external_id);
+  if (it == worker_index_.end()) return std::nullopt;
+  return it->second;
+}
+
 Status DocsSystem::LoadWorker(const std::string& external_id,
                               const storage::WorkerStore& store) {
   if (inference_ == nullptr) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -123,6 +124,12 @@ class DocsSystem : public AssignmentPolicy {
   /// Maps an external (platform) worker id to a dense index, registering it
   /// on first use.
   size_t WorkerIndex(const std::string& external_id);
+
+  /// Looks up an external worker id WITHOUT registering it; nullopt when the
+  /// id has never been seen. The serving path uses this to reject
+  /// submissions from workers that never requested tasks — a malformed id
+  /// arriving over the network must not mint a fresh worker.
+  std::optional<size_t> FindWorker(const std::string& external_id) const;
 
   /// Seeds a worker's quality from the persistent store (Theorem 1 state);
   /// NotFound if the store has no record. Returning workers skip the golden

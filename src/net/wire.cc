@@ -1,0 +1,429 @@
+#include "net/wire.h"
+
+#include <algorithm>
+
+namespace docs::net {
+namespace {
+
+// Little-endian append/read helpers. Byte-shifting (rather than memcpy of
+// host integers) keeps the encoding identical on any host order.
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+/// Bounds-checked cursor over a frame payload. Every Read* returns false
+/// once the payload ran short; the caller converts that to one DataLoss.
+class Reader {
+ public:
+  explicit Reader(const std::string& payload) : data_(payload) {}
+
+  bool ReadU16(uint16_t* v) {
+    if (!Ensure(2)) return false;
+    *v = static_cast<uint16_t>(Byte(0) | (Byte(1) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (!Ensure(4)) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) out |= static_cast<uint32_t>(Byte(i)) << (8 * i);
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (!Ensure(8)) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) out |= static_cast<uint64_t>(Byte(i)) << (8 * i);
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string* v) {
+    if (!Ensure(n)) return false;
+    v->assign(data_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool Ensure(size_t n) const { return data_.size() - pos_ >= n; }
+  uint8_t Byte(size_t offset) const {
+    return static_cast<uint8_t>(data_[pos_ + offset]);
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return DataLossError(std::string("truncated ") + what + " payload");
+}
+
+/// Shared decode preamble: the frame must carry the expected type, and a
+/// non-OK frame carries a message, not a body.
+Status CheckBody(const Frame& frame, MessageType expected, const char* what) {
+  if (frame.type != expected) {
+    return InvalidArgumentError(std::string("frame is not a ") + what);
+  }
+  if (frame.status != StatusCode::kOk) {
+    return InvalidArgumentError(std::string(what) +
+                                " decode on a non-OK frame; use FrameStatus");
+  }
+  return OkStatus();
+}
+
+bool AppendWorkerId(std::string* payload, const std::string& worker_id) {
+  if (worker_id.size() > kMaxWorkerIdSize) return false;
+  PutU16(payload, static_cast<uint16_t>(worker_id.size()));
+  payload->append(worker_id);
+  return true;
+}
+
+Status ReadWorkerId(Reader* reader, std::string* worker_id, const char* what) {
+  uint16_t len = 0;
+  if (!reader->ReadU16(&len)) return Truncated(what);
+  if (len > kMaxWorkerIdSize) {
+    return InvalidArgumentError("worker id exceeds kMaxWorkerIdSize");
+  }
+  if (!reader->ReadBytes(len, worker_id)) return Truncated(what);
+  return OkStatus();
+}
+
+Status CheckExhausted(const Reader& reader, const char* what) {
+  if (!reader.exhausted()) {
+    return InvalidArgumentError(std::string("trailing bytes after ") + what +
+                                " payload");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+bool IsKnownMessageType(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(MessageType::kRequestTasksReq) &&
+         raw <= static_cast<uint8_t>(MessageType::kStatsResp);
+}
+
+bool IsRequestType(MessageType type) {
+  return (static_cast<uint8_t>(type) & 1u) == 1u;
+}
+
+MessageType ResponseTypeFor(MessageType request) {
+  return static_cast<MessageType>(static_cast<uint8_t>(request) + 1);
+}
+
+uint8_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kAlreadyExists:
+      return 3;
+    case StatusCode::kFailedPrecondition:
+      return 4;
+    case StatusCode::kOutOfRange:
+      return 5;
+    case StatusCode::kInternal:
+      return 6;
+    case StatusCode::kIoError:
+      return 7;
+    case StatusCode::kDataLoss:
+      return 8;
+    case StatusCode::kUnavailable:
+      return 9;
+  }
+  return 6;  // kInternal
+}
+
+StatusCode WireToStatusCode(uint8_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kAlreadyExists;
+    case 4:
+      return StatusCode::kFailedPrecondition;
+    case 5:
+      return StatusCode::kOutOfRange;
+    case 6:
+      return StatusCode::kInternal;
+    case 7:
+      return StatusCode::kIoError;
+    case 8:
+      return StatusCode::kDataLoss;
+    case 9:
+      return StatusCode::kUnavailable;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  PutU16(&out, kWireMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(StatusCodeToWire(frame.status)));
+  out.append(3, '\0');  // reserved
+  PutU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+Frame MakeErrorFrame(MessageType type, const Status& status) {
+  Frame frame;
+  frame.type = type;
+  frame.status = status.ok() ? StatusCode::kInternal : status.code();
+  frame.payload = status.message();
+  return frame;
+}
+
+Status FrameStatus(const Frame& frame) {
+  if (frame.status == StatusCode::kOk) return OkStatus();
+  return Status(frame.status, frame.payload);
+}
+
+void FrameDecoder::Append(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* frame, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    broken_ = true;
+    error_ = message;
+    if (error != nullptr) *error = error_;
+    return Result::kError;
+  };
+  if (broken_) {
+    if (error != nullptr) *error = error_;
+    return Result::kError;
+  }
+  if (buffered() < kFrameHeaderSize) {
+    // Reclaim consumed prefix while idle; amortized O(1) per byte.
+    if (consumed_ > 0) {
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+    return Result::kNeedMore;
+  }
+  const auto* head =
+      reinterpret_cast<const uint8_t*>(buffer_.data() + consumed_);
+  const uint16_t magic = static_cast<uint16_t>(head[0] | (head[1] << 8));
+  if (magic != kWireMagic) return fail("bad magic");
+  if (head[2] != kWireVersion) {
+    return fail("unsupported protocol version " + std::to_string(head[2]));
+  }
+  if (!IsKnownMessageType(head[3])) {
+    return fail("unknown message type " + std::to_string(head[3]));
+  }
+  if (head[5] != 0 || head[6] != 0 || head[7] != 0) {
+    return fail("nonzero reserved header bytes");
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(head[8 + i]) << (8 * i);
+  }
+  if (payload_len > kMaxPayloadSize) {
+    return fail("payload length " + std::to_string(payload_len) +
+                " exceeds kMaxPayloadSize");
+  }
+  if (buffered() < kFrameHeaderSize + payload_len) return Result::kNeedMore;
+  frame->type = static_cast<MessageType>(head[3]);
+  frame->status = WireToStatusCode(head[4]);
+  frame->payload.assign(buffer_, consumed_ + kFrameHeaderSize, payload_len);
+  consumed_ += kFrameHeaderSize + payload_len;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return Result::kFrame;
+}
+
+Frame EncodeRequestTasksReq(const RequestTasksReq& msg) {
+  Frame frame;
+  frame.type = MessageType::kRequestTasksReq;
+  if (!AppendWorkerId(&frame.payload, msg.worker_id)) {
+    // Over-long ids are caught again server-side; truncating here would
+    // silently answer for a different worker, so encode the length the
+    // decoder will reject.
+    frame.payload.clear();
+    PutU16(&frame.payload, static_cast<uint16_t>(kMaxWorkerIdSize + 1));
+  }
+  PutU32(&frame.payload, msg.k);
+  return frame;
+}
+
+Status DecodeRequestTasksReq(const Frame& frame, RequestTasksReq* msg) {
+  Status check = CheckBody(frame, MessageType::kRequestTasksReq,
+                           "RequestTasksReq");
+  if (!check.ok()) return check;
+  Reader reader(frame.payload);
+  Status id = ReadWorkerId(&reader, &msg->worker_id, "RequestTasksReq");
+  if (!id.ok()) return id;
+  if (!reader.ReadU32(&msg->k)) return Truncated("RequestTasksReq");
+  return CheckExhausted(reader, "RequestTasksReq");
+}
+
+Frame EncodeRequestTasksResp(const RequestTasksResp& msg) {
+  Frame frame;
+  frame.type = MessageType::kRequestTasksResp;
+  PutU32(&frame.payload, static_cast<uint32_t>(msg.tasks.size()));
+  for (uint64_t task : msg.tasks) PutU64(&frame.payload, task);
+  return frame;
+}
+
+Status DecodeRequestTasksResp(const Frame& frame, RequestTasksResp* msg) {
+  Status check = CheckBody(frame, MessageType::kRequestTasksResp,
+                           "RequestTasksResp");
+  if (!check.ok()) return check;
+  Reader reader(frame.payload);
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) return Truncated("RequestTasksResp");
+  msg->tasks.clear();
+  msg->tasks.reserve(std::min<size_t>(count, kMaxPayloadSize / 8));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t task = 0;
+    if (!reader.ReadU64(&task)) return Truncated("RequestTasksResp");
+    msg->tasks.push_back(task);
+  }
+  return CheckExhausted(reader, "RequestTasksResp");
+}
+
+Frame EncodeSubmitAnswerReq(const SubmitAnswerReq& msg) {
+  Frame frame;
+  frame.type = MessageType::kSubmitAnswerReq;
+  if (!AppendWorkerId(&frame.payload, msg.worker_id)) {
+    frame.payload.clear();
+    PutU16(&frame.payload, static_cast<uint16_t>(kMaxWorkerIdSize + 1));
+  }
+  PutU64(&frame.payload, msg.task);
+  PutU32(&frame.payload, msg.choice);
+  return frame;
+}
+
+Status DecodeSubmitAnswerReq(const Frame& frame, SubmitAnswerReq* msg) {
+  Status check = CheckBody(frame, MessageType::kSubmitAnswerReq,
+                           "SubmitAnswerReq");
+  if (!check.ok()) return check;
+  Reader reader(frame.payload);
+  Status id = ReadWorkerId(&reader, &msg->worker_id, "SubmitAnswerReq");
+  if (!id.ok()) return id;
+  if (!reader.ReadU64(&msg->task)) return Truncated("SubmitAnswerReq");
+  if (!reader.ReadU32(&msg->choice)) return Truncated("SubmitAnswerReq");
+  return CheckExhausted(reader, "SubmitAnswerReq");
+}
+
+Frame EncodeSubmitAnswerResp() {
+  Frame frame;
+  frame.type = MessageType::kSubmitAnswerResp;
+  return frame;
+}
+
+Frame EncodeExpireLeasesReq(const ExpireLeasesReq& msg) {
+  Frame frame;
+  frame.type = MessageType::kExpireLeasesReq;
+  PutU64(&frame.payload, msg.now);
+  return frame;
+}
+
+Status DecodeExpireLeasesReq(const Frame& frame, ExpireLeasesReq* msg) {
+  Status check = CheckBody(frame, MessageType::kExpireLeasesReq,
+                           "ExpireLeasesReq");
+  if (!check.ok()) return check;
+  Reader reader(frame.payload);
+  if (!reader.ReadU64(&msg->now)) return Truncated("ExpireLeasesReq");
+  return CheckExhausted(reader, "ExpireLeasesReq");
+}
+
+Frame EncodeExpireLeasesResp(const ExpireLeasesResp& msg) {
+  Frame frame;
+  frame.type = MessageType::kExpireLeasesResp;
+  PutU32(&frame.payload, static_cast<uint32_t>(msg.expired.size()));
+  for (const WireExpiredLease& lease : msg.expired) {
+    PutU64(&frame.payload, lease.worker);
+    PutU64(&frame.payload, lease.task);
+    PutU64(&frame.payload, lease.deadline);
+  }
+  return frame;
+}
+
+Status DecodeExpireLeasesResp(const Frame& frame, ExpireLeasesResp* msg) {
+  Status check = CheckBody(frame, MessageType::kExpireLeasesResp,
+                           "ExpireLeasesResp");
+  if (!check.ok()) return check;
+  Reader reader(frame.payload);
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) return Truncated("ExpireLeasesResp");
+  msg->expired.clear();
+  msg->expired.reserve(std::min<size_t>(count, kMaxPayloadSize / 24));
+  for (uint32_t i = 0; i < count; ++i) {
+    WireExpiredLease lease;
+    if (!reader.ReadU64(&lease.worker) || !reader.ReadU64(&lease.task) ||
+        !reader.ReadU64(&lease.deadline)) {
+      return Truncated("ExpireLeasesResp");
+    }
+    msg->expired.push_back(lease);
+  }
+  return CheckExhausted(reader, "ExpireLeasesResp");
+}
+
+Frame EncodeStatsReq() {
+  Frame frame;
+  frame.type = MessageType::kStatsReq;
+  return frame;
+}
+
+Frame EncodeStatsResp(const StatsResp& msg) {
+  Frame frame;
+  frame.type = MessageType::kStatsResp;
+  PutU64(&frame.payload, msg.num_tasks);
+  PutU64(&frame.payload, msg.num_answers);
+  PutU64(&frame.payload, msg.outstanding_leases);
+  PutU64(&frame.payload, msg.lease_clock);
+  PutU64(&frame.payload, msg.requests_served);
+  PutU64(&frame.payload, msg.requests_shed);
+  return frame;
+}
+
+Status DecodeStatsResp(const Frame& frame, StatsResp* msg) {
+  Status check = CheckBody(frame, MessageType::kStatsResp, "StatsResp");
+  if (!check.ok()) return check;
+  Reader reader(frame.payload);
+  if (!reader.ReadU64(&msg->num_tasks) || !reader.ReadU64(&msg->num_answers) ||
+      !reader.ReadU64(&msg->outstanding_leases) ||
+      !reader.ReadU64(&msg->lease_clock) ||
+      !reader.ReadU64(&msg->requests_served) ||
+      !reader.ReadU64(&msg->requests_shed)) {
+    return Truncated("StatsResp");
+  }
+  return CheckExhausted(reader, "StatsResp");
+}
+
+}  // namespace docs::net

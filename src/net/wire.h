@@ -1,0 +1,178 @@
+#ifndef DOCS_NET_WIRE_H_
+#define DOCS_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace docs::net {
+
+/// Length-prefixed binary wire protocol for the crowd gateway (DESIGN.md
+/// §10). Every message is one frame:
+///
+///   offset  size  field
+///   0       2     magic 0xD0C5, little-endian
+///   2       1     protocol version (kWireVersion)
+///   3       1     message type (MessageType)
+///   4       1     status code (StatusCodeToWire; 0/kOk in requests)
+///   5       3     reserved, must be zero
+///   8       4     payload length, little-endian
+///   12      n     payload
+///
+/// The header is fixed-width (no varints) so a reader always knows it needs
+/// exactly kFrameHeaderSize bytes before it can size the payload. All
+/// multi-byte integers, here and in payloads, are little-endian regardless
+/// of host order. On a non-OK status the payload is the UTF-8 error message
+/// instead of the typed body.
+inline constexpr uint16_t kWireMagic = 0xD0C5;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 12;
+/// Upper bound a peer may claim for one payload; a larger length is a
+/// protocol error, not an allocation request — garbage bytes must not make
+/// the server reserve gigabytes.
+inline constexpr uint32_t kMaxPayloadSize = 1u << 20;
+/// Upper bound on an external worker-id string carried in a request.
+inline constexpr size_t kMaxWorkerIdSize = 1024;
+
+/// One request/response pair per facade entry point. Responses reuse the
+/// request's shape with the low bit flipped, so ResponseTypeFor is pure
+/// arithmetic and new pairs cannot drift.
+enum class MessageType : uint8_t {
+  kRequestTasksReq = 1,
+  kRequestTasksResp = 2,
+  kSubmitAnswerReq = 3,
+  kSubmitAnswerResp = 4,
+  kExpireLeasesReq = 5,
+  kExpireLeasesResp = 6,
+  kStatsReq = 7,
+  kStatsResp = 8,
+};
+
+bool IsKnownMessageType(uint8_t raw);
+bool IsRequestType(MessageType type);
+MessageType ResponseTypeFor(MessageType request);
+
+/// StatusCode <-> wire byte. The wire values are frozen independently of the
+/// enum's declaration order (reordering StatusCode must not change the
+/// protocol); unknown wire bytes decode as kInternal.
+uint8_t StatusCodeToWire(StatusCode code);
+StatusCode WireToStatusCode(uint8_t wire);
+
+struct Frame {
+  MessageType type = MessageType::kStatsReq;
+  StatusCode status = StatusCode::kOk;
+  std::string payload;
+};
+
+/// Renders a frame into wire bytes (header + payload).
+std::string EncodeFrame(const Frame& frame);
+
+/// A non-OK response of `type` carrying `status` and its message.
+Frame MakeErrorFrame(MessageType type, const Status& status);
+/// Reconstructs the Status a response frame carries (OkStatus for OK frames).
+Status FrameStatus(const Frame& frame);
+
+/// Incremental frame parser for a TCP byte stream. Feed whatever bytes
+/// arrive; Next() yields complete frames and tolerates arbitrarily torn
+/// delivery (a frame split at any byte boundary, several frames coalesced
+/// into one read). A protocol violation (bad magic/version/type, oversized
+/// payload) is sticky: the stream cannot be resynchronized, so every later
+/// Next() keeps returning kError.
+class FrameDecoder {
+ public:
+  enum class Result { kFrame, kNeedMore, kError };
+
+  void Append(const void* data, size_t size);
+
+  /// Extracts the next complete frame into `*frame`. On kError, `*error`
+  /// (when non-null) describes the violation.
+  Result Next(Frame* frame, std::string* error = nullptr);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+  bool broken() const { return broken_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool broken_ = false;
+  std::string error_;
+};
+
+// --- Typed message bodies ---------------------------------------------------
+// Each body has a pure Encode (to a full Frame) and Decode (from a Frame's
+// payload, validating length and bounds). Decoders never trust peer-supplied
+// lengths beyond the payload they were handed.
+
+struct RequestTasksReq {
+  std::string worker_id;
+  uint32_t k = 0;
+};
+
+struct RequestTasksResp {
+  std::vector<uint64_t> tasks;
+};
+
+struct SubmitAnswerReq {
+  std::string worker_id;
+  uint64_t task = 0;
+  uint32_t choice = 0;
+};
+
+struct ExpireLeasesReq {
+  uint64_t now = 0;
+};
+
+struct WireExpiredLease {
+  uint64_t worker = 0;
+  uint64_t task = 0;
+  uint64_t deadline = 0;
+};
+
+struct ExpireLeasesResp {
+  std::vector<WireExpiredLease> expired;
+};
+
+struct StatsResp {
+  uint64_t num_tasks = 0;
+  uint64_t num_answers = 0;
+  uint64_t outstanding_leases = 0;
+  uint64_t lease_clock = 0;
+  uint64_t requests_served = 0;
+  uint64_t requests_shed = 0;
+};
+
+Frame EncodeRequestTasksReq(const RequestTasksReq& msg);
+[[nodiscard]] Status DecodeRequestTasksReq(const Frame& frame,
+                                           RequestTasksReq* msg);
+
+Frame EncodeRequestTasksResp(const RequestTasksResp& msg);
+[[nodiscard]] Status DecodeRequestTasksResp(const Frame& frame,
+                                            RequestTasksResp* msg);
+
+Frame EncodeSubmitAnswerReq(const SubmitAnswerReq& msg);
+[[nodiscard]] Status DecodeSubmitAnswerReq(const Frame& frame,
+                                           SubmitAnswerReq* msg);
+
+/// SubmitAnswerResp has no body: the header status byte is the result.
+Frame EncodeSubmitAnswerResp();
+
+Frame EncodeExpireLeasesReq(const ExpireLeasesReq& msg);
+[[nodiscard]] Status DecodeExpireLeasesReq(const Frame& frame,
+                                           ExpireLeasesReq* msg);
+
+Frame EncodeExpireLeasesResp(const ExpireLeasesResp& msg);
+[[nodiscard]] Status DecodeExpireLeasesResp(const Frame& frame,
+                                            ExpireLeasesResp* msg);
+
+Frame EncodeStatsReq();
+
+Frame EncodeStatsResp(const StatsResp& msg);
+[[nodiscard]] Status DecodeStatsResp(const Frame& frame, StatsResp* msg);
+
+}  // namespace docs::net
+
+#endif  // DOCS_NET_WIRE_H_

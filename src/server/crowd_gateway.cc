@@ -1,0 +1,405 @@
+#include "server/crowd_gateway.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+
+namespace docs::server {
+namespace {
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+CrowdGateway::CrowdGateway(core::ConcurrentDocsSystem* system,
+                           CrowdGatewayOptions options)
+    : system_(system), options_(options) {
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
+}
+
+CrowdGateway::~CrowdGateway() { Stop(); }
+
+Status CrowdGateway::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("gateway already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = IoError(std::string("bind: ") + std::strerror(errno));
+    CloseFd(listen_fd_);
+    return status;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    Status status = IoError(std::string("listen: ") + std::strerror(errno));
+    CloseFd(listen_fd_);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    Status status =
+        IoError(std::string("getsockname: ") + std::strerror(errno));
+    CloseFd(listen_fd_);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) < 0) {
+    Status status = IoError(std::string("pipe2: ") + std::strerror(errno));
+    CloseFd(listen_fd_);
+    return status;
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread(&CrowdGateway::EventLoop, this);
+  DOCS_LOG(Info) << "crowd gateway listening on 127.0.0.1:" << port_;
+  return OkStatus();
+}
+
+void CrowdGateway::Stop() {
+  if (!loop_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup; the write may fail.
+  ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+  loop_.join();
+  CloseFd(wake_pipe_[0]);
+  CloseFd(wake_pipe_[1]);
+  running_.store(false, std::memory_order_release);
+}
+
+GatewayStats CrowdGateway::stats() const {
+  GatewayStats out;
+  out.connections_accepted = connections_accepted_.load();
+  out.connections_rejected = connections_rejected_.load();
+  out.requests_served = requests_served_.load();
+  out.requests_shed = requests_shed_.load();
+  out.protocol_errors = protocol_errors_.load();
+  out.faults_injected = faults_injected_.load();
+  out.leases_expired = leases_expired_.load();
+  return out;
+}
+
+int CrowdGateway::LeaseSweepTimeout() {
+  if (options_.lease_expiry_interval_ms == 0) return -1;
+  const uint64_t now = NowMs();
+  if (next_sweep_ms_ == 0) {
+    next_sweep_ms_ = now + options_.lease_expiry_interval_ms;
+  }
+  if (now >= next_sweep_ms_) {
+    const size_t expired =
+        system_->ExpireLeases(system_->lease_clock()).size();
+    leases_expired_.fetch_add(expired);
+    next_sweep_ms_ = now + options_.lease_expiry_interval_ms;
+  }
+  return static_cast<int>(
+      std::min<uint64_t>(next_sweep_ms_ - now, 1000));
+}
+
+void CrowdGateway::EventLoop() {
+  uint64_t drain_deadline_ms = 0;
+  for (;;) {
+    const bool draining = stop_requested_.load(std::memory_order_acquire);
+    if (draining) {
+      if (drain_deadline_ms == 0) {
+        drain_deadline_ms = NowMs() + options_.drain_timeout_ms;
+      }
+      // Drained (or out of budget): close everything and leave.
+      bool pending = false;
+      for (auto& conn : connections_) {
+        if (conn != nullptr &&
+            conn->out_offset < conn->outbuf.size()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || NowMs() >= drain_deadline_ms) break;
+    }
+
+    std::vector<pollfd> fds;
+    // Slot 0: shutdown wakeup. Slot 1: acceptor (absent while draining or
+    // at the connection cap — the kernel backlog absorbs the burst).
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    const bool accepting =
+        !draining && connections_.size() < options_.max_connections;
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+    const size_t conn_base = fds.size();
+    std::vector<size_t> conn_index;
+    for (size_t i = 0; i < connections_.size(); ++i) {
+      Connection& conn = *connections_[i];
+      short events = draining ? 0 : POLLIN;
+      if (conn.out_offset < conn.outbuf.size()) events |= POLLOUT;
+      if (events == 0) continue;  // draining with nothing left to flush
+      fds.push_back({conn.fd, events, 0});
+      conn_index.push_back(i);
+    }
+
+    const int timeout = draining
+                            ? static_cast<int>(std::min<uint64_t>(
+                                  drain_deadline_ms - NowMs(), 50))
+                            : LeaseSweepTimeout();
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      DOCS_LOG(Error) << "gateway poll: " << std::strerror(errno);
+      break;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (accepting && (fds[1].revents & POLLIN) != 0) AcceptReady();
+
+    std::vector<size_t> to_close;
+    for (size_t slot = conn_base; slot < fds.size(); ++slot) {
+      const size_t index = conn_index[slot - conn_base];
+      Connection& conn = *connections_[index];
+      const short revents = fds[slot].revents;
+      if (revents == 0) continue;
+      bool alive = true;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        alive = false;
+      } else {
+        // POLLHUP can accompany final readable data; read first.
+        if (alive && (revents & (POLLIN | POLLHUP)) != 0) {
+          alive = ReadReady(conn);
+        }
+        if (alive && (revents & POLLOUT) != 0) alive = WriteReady(conn);
+      }
+      if (!alive) to_close.push_back(index);
+    }
+    // Close in descending index order so earlier indices stay valid.
+    std::sort(to_close.rbegin(), to_close.rend());
+    for (size_t index : to_close) CloseConnection(index);
+  }
+
+  for (size_t i = connections_.size(); i > 0; --i) CloseConnection(i - 1);
+  CloseFd(listen_fd_);
+}
+
+void CrowdGateway::AcceptReady() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      DOCS_LOG(Warning) << "gateway accept: " << std::strerror(errno);
+      return;
+    }
+    if (DOCS_FAULT_POINT(kFaultGatewayAccept)) {
+      faults_injected_.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      connections_rejected_.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+    connections_accepted_.fetch_add(1);
+  }
+}
+
+bool CrowdGateway::ReadReady(Connection& conn) {
+  char buf[4096];
+  bool saw_eof = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (DOCS_FAULT_POINT(kFaultGatewayRead)) {
+        faults_injected_.fetch_add(1);
+        return false;
+      }
+      conn.decoder.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  // Serve every complete frame in this batch before flushing once: the
+  // in-flight bound is evaluated against the whole pipelined burst, which
+  // is what makes shedding deterministic under load.
+  net::Frame frame;
+  std::string error;
+  for (;;) {
+    const net::FrameDecoder::Result result = conn.decoder.Next(&frame, &error);
+    if (result == net::FrameDecoder::Result::kNeedMore) break;
+    if (result == net::FrameDecoder::Result::kError) {
+      // Framing is gone; nothing further on this stream can be trusted or
+      // even delimited, so the only safe response is to drop the link.
+      protocol_errors_.fetch_add(1);
+      DOCS_LOG(Warning) << "gateway protocol error: " << error;
+      return false;
+    }
+    ServeFrame(conn, frame);
+  }
+  if (!WriteReady(conn)) return false;
+  return !saw_eof;
+}
+
+void CrowdGateway::ServeFrame(Connection& conn, const net::Frame& request) {
+  net::Frame response;
+  if (!net::IsRequestType(request.type)) {
+    protocol_errors_.fetch_add(1);
+    response = net::MakeErrorFrame(
+        request.type,
+        InvalidArgumentError("response-typed frame sent to server"));
+  } else if (inflight_ >= options_.max_inflight) {
+    requests_shed_.fetch_add(1);
+    response = net::MakeErrorFrame(
+        net::ResponseTypeFor(request.type),
+        UnavailableError("gateway overloaded: in-flight limit reached"));
+  } else {
+    requests_served_.fetch_add(1);
+    response = Dispatch(request);
+  }
+  const std::string encoded = net::EncodeFrame(response);
+  conn.outbuf.append(encoded);
+  conn.pending_responses.push_back(encoded.size());
+  ++inflight_;
+}
+
+net::Frame CrowdGateway::Dispatch(const net::Frame& request) {
+  const net::MessageType resp_type = net::ResponseTypeFor(request.type);
+  switch (request.type) {
+    case net::MessageType::kRequestTasksReq: {
+      net::RequestTasksReq req;
+      Status decoded = net::DecodeRequestTasksReq(request, &req);
+      if (!decoded.ok()) return net::MakeErrorFrame(resp_type, decoded);
+      net::RequestTasksResp resp;
+      for (size_t task : system_->RequestTasks(req.worker_id, req.k)) {
+        resp.tasks.push_back(task);
+      }
+      return net::EncodeRequestTasksResp(resp);
+    }
+    case net::MessageType::kSubmitAnswerReq: {
+      net::SubmitAnswerReq req;
+      Status decoded = net::DecodeSubmitAnswerReq(request, &req);
+      if (!decoded.ok()) return net::MakeErrorFrame(resp_type, decoded);
+      Status submitted = system_->SubmitAnswer(
+          req.worker_id, static_cast<size_t>(req.task),
+          static_cast<size_t>(req.choice));
+      if (!submitted.ok()) return net::MakeErrorFrame(resp_type, submitted);
+      return net::EncodeSubmitAnswerResp();
+    }
+    case net::MessageType::kExpireLeasesReq: {
+      net::ExpireLeasesReq req;
+      Status decoded = net::DecodeExpireLeasesReq(request, &req);
+      if (!decoded.ok()) return net::MakeErrorFrame(resp_type, decoded);
+      net::ExpireLeasesResp resp;
+      for (const core::ExpiredLease& lease : system_->ExpireLeases(req.now)) {
+        resp.expired.push_back({lease.worker, lease.task, lease.deadline});
+      }
+      leases_expired_.fetch_add(resp.expired.size());
+      return net::EncodeExpireLeasesResp(resp);
+    }
+    case net::MessageType::kStatsReq: {
+      net::StatsResp resp;
+      resp.num_tasks = system_->num_tasks();
+      resp.num_answers = system_->num_answers();
+      resp.outstanding_leases = system_->outstanding_leases();
+      resp.lease_clock = system_->lease_clock();
+      resp.requests_served = requests_served_.load();
+      resp.requests_shed = requests_shed_.load();
+      return net::EncodeStatsResp(resp);
+    }
+    default:
+      return net::MakeErrorFrame(
+          resp_type, InternalError("unhandled request type"));
+  }
+}
+
+bool CrowdGateway::WriteReady(Connection& conn) {
+  while (conn.out_offset < conn.outbuf.size()) {
+    if (DOCS_FAULT_POINT(kFaultGatewayWrite)) {
+      faults_injected_.fetch_add(1);
+      return false;
+    }
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_offset,
+               conn.outbuf.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    // Retire fully flushed responses from the in-flight account.
+    size_t flushed = static_cast<size_t>(n);
+    conn.out_offset += flushed;
+    while (flushed > 0 && !conn.pending_responses.empty()) {
+      size_t& front = conn.pending_responses.front();
+      const size_t take = std::min(front, flushed);
+      front -= take;
+      flushed -= take;
+      if (front == 0) {
+        conn.pending_responses.pop_front();
+        --inflight_;
+      }
+    }
+  }
+  if (conn.out_offset == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_offset = 0;
+  } else if (conn.out_offset > (1u << 16)) {
+    conn.outbuf.erase(0, conn.out_offset);
+    conn.out_offset = 0;
+  }
+  return true;
+}
+
+void CrowdGateway::CloseConnection(size_t index) {
+  Connection& conn = *connections_[index];
+  inflight_ -= conn.pending_responses.size();
+  CloseFd(conn.fd);
+  connections_.erase(connections_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+}
+
+}  // namespace docs::server

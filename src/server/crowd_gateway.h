@@ -1,0 +1,149 @@
+#ifndef DOCS_SERVER_CROWD_GATEWAY_H_
+#define DOCS_SERVER_CROWD_GATEWAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/concurrent_docs_system.h"
+#include "net/wire.h"
+
+namespace docs::server {
+
+/// Fault points the gateway evaluates on its I/O edges (chaos tests arm
+/// these to prove a flaky network cannot wedge the serving loop).
+inline constexpr char kFaultGatewayAccept[] = "gateway/accept";
+inline constexpr char kFaultGatewayRead[] = "gateway/read";
+inline constexpr char kFaultGatewayWrite[] = "gateway/write";
+
+struct CrowdGatewayOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// with port() after Start()).
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  /// At the cap the gateway stops polling the acceptor, so further
+  /// connections wait in the kernel backlog until a slot frees; a burst that
+  /// outraces the cap check inside one accept sweep is closed immediately.
+  size_t max_connections = 64;
+  /// Bound on responses queued but not yet handed to the kernel, across all
+  /// connections. Requests arriving past the bound are shed with a
+  /// kUnavailable response instead of queueing without limit.
+  size_t max_inflight = 256;
+  /// On Stop(), how long to keep flushing buffered responses before closing
+  /// the remaining connections hard.
+  uint64_t drain_timeout_ms = 2000;
+  /// When nonzero, the event loop sweeps expired leases roughly this often
+  /// with now = the system's current lease clock. 0 disables the sweep
+  /// (clients can still drive expiry explicitly over the wire).
+  uint64_t lease_expiry_interval_ms = 0;
+};
+
+/// Monotonic counters exposed for tests, the load generator, and the wire
+/// Stats response. Snapshot semantics: values are read individually.
+struct GatewayStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t requests_served = 0;
+  uint64_t requests_shed = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t faults_injected = 0;
+  uint64_t leases_expired = 0;
+};
+
+/// TCP serving layer in front of ConcurrentDocsSystem: one poll()-based
+/// event loop thread owns every socket; request handling is inline (a
+/// facade call is tens of microseconds behind one mutex, so a second stage
+/// of worker threads would only add handoff latency — see DESIGN.md §10).
+///
+/// The loop handles torn frames (FrameDecoder buffers partial reads),
+/// pipelined requests (every complete frame in a read batch is served, in
+/// order), overload (bounded in-flight responses, kUnavailable past the
+/// bound), protocol violations (the connection is closed; a byte stream
+/// that lost framing cannot be resynchronized), and graceful shutdown
+/// (Stop() stops accepting, flushes buffered responses within
+/// drain_timeout_ms, then closes).
+class CrowdGateway {
+ public:
+  /// `system` must outlive the gateway.
+  CrowdGateway(core::ConcurrentDocsSystem* system,
+               CrowdGatewayOptions options = {});
+  ~CrowdGateway();
+
+  CrowdGateway(const CrowdGateway&) = delete;
+  CrowdGateway& operator=(const CrowdGateway&) = delete;
+
+  /// Binds, listens, and spawns the event-loop thread. IoError when the
+  /// socket setup fails; FailedPrecondition when already running.
+  [[nodiscard]] Status Start();
+
+  /// Graceful shutdown: stop accepting, drain buffered responses, close,
+  /// join the loop thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (the ephemeral one when options.port was 0). Valid
+  /// after a successful Start().
+  uint16_t port() const { return port_; }
+
+  GatewayStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    net::FrameDecoder decoder;
+    std::string outbuf;
+    size_t out_offset = 0;
+    /// Byte length of each response still (partially) in outbuf, in order;
+    /// popped as the socket drains so the global in-flight count tracks
+    /// responses the kernel has fully taken.
+    std::deque<size_t> pending_responses;
+  };
+
+  void EventLoop();
+  void AcceptReady();
+  /// Reads and serves everything available on `conn`; false => close it.
+  bool ReadReady(Connection& conn);
+  /// Flushes buffered output; false => close the connection.
+  bool WriteReady(Connection& conn);
+  /// Serves one decoded frame: dispatch (or shed) and queue the response.
+  void ServeFrame(Connection& conn, const net::Frame& request);
+  net::Frame Dispatch(const net::Frame& request);
+  void CloseConnection(size_t index);
+  /// Runs the periodic lease sweep when its interval elapsed; returns the
+  /// poll timeout (ms) until the next due sweep (-1 when disabled).
+  int LeaseSweepTimeout();
+
+  core::ConcurrentDocsSystem* system_;
+  CrowdGatewayOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  /// Owned by the event-loop thread exclusively.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  size_t inflight_ = 0;
+  uint64_t next_sweep_ms_ = 0;
+
+  // Stats counters are written by the loop thread and read from any thread.
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> leases_expired_{0};
+};
+
+}  // namespace docs::server
+
+#endif  // DOCS_SERVER_CROWD_GATEWAY_H_

@@ -9,6 +9,7 @@
 #include "crowd/worker_pool.h"
 #include "datasets/dataset.h"
 #include "kb/synthetic_kb.h"
+#include "storage/worker_store.h"
 
 namespace docs::core {
 namespace {
@@ -120,6 +121,111 @@ TEST_F(ConcurrencyTest, ConcurrentReadersDuringWrites) {
   stop.store(true);
   reader.join();
   EXPECT_GT(system.num_answers(), 0u);
+}
+
+TEST_F(ConcurrencyTest, SubmitAnswerRejectsWorkersNeverSeen) {
+  auto dataset = datasets::MakeQaDataset(*kb_, 20, 95);
+  DocsSystemOptions options;
+  options.golden_count = 0;
+  ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+
+  // A malformed/forged id arriving over the network must not silently mint
+  // a fresh worker (regression: SubmitAnswer used to call WorkerIndex).
+  const Status ghost = system.SubmitAnswer("ghost", 0, 0);
+  EXPECT_EQ(ghost.code(), StatusCode::kInvalidArgument);
+  const bool registered = system.WithLocked([](DocsSystem& inner) {
+    return inner.FindWorker("ghost").has_value();
+  });
+  EXPECT_FALSE(registered);
+
+  // The legitimate path — RequestTasks first — still works, and so does a
+  // worker registered via LoadWorker.
+  auto hit = system.RequestTasks("ghost", 1);
+  ASSERT_FALSE(hit.empty());
+  EXPECT_TRUE(system.SubmitAnswer("ghost", hit[0], 0).ok());
+
+  auto store = storage::WorkerStore::InMemory(kb_->knowledge_base.num_domains());
+  storage::WorkerQualityRecord record;
+  record.quality.assign(kb_->knowledge_base.num_domains(), 0.7);
+  record.weight.assign(kb_->knowledge_base.num_domains(), 10.0);
+  ASSERT_TRUE(store.Put("returning", record).ok());
+  ASSERT_TRUE(system.LoadWorker("returning", store).ok());
+  EXPECT_TRUE(system.SubmitAnswer("returning", 1, 0).ok());
+}
+
+TEST_F(ConcurrencyTest, ExpireLeasesRacesServingCalls) {
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  DocsSystemOptions options;
+  options.golden_count = 0;
+  options.lease_duration = 2;
+  options.reinfer_every = 30;
+  ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+
+  // Serving-shaped load: worker threads request and (mostly) answer while a
+  // reaper thread sweeps expired leases and a reader polls the counters.
+  // The facade must keep the lease books consistent under any interleaving.
+  std::atomic<size_t> answers{0};
+  std::atomic<size_t> expired{0};
+  std::atomic<bool> stop{false};
+  auto serve = [&](size_t w) {
+    Rng rng(500 + w);
+    const std::string id = "srv" + std::to_string(w);
+    for (int round = 0; round < 15; ++round) {
+      auto hit = system.RequestTasks(id, 3);
+      if (hit.empty()) break;
+      for (size_t idx = 0; idx < hit.size(); ++idx) {
+        // Abandon roughly a third of the grants so the reaper has work.
+        if (rng.UniformInt(3) == 0) continue;
+        const Status submitted = system.SubmitAnswer(id, hit[idx], 0);
+        EXPECT_TRUE(submitted.ok()) << submitted.ToString();
+        if (submitted.ok()) answers.fetch_add(1);
+      }
+    }
+  };
+  std::thread reaper([&] {
+    while (!stop.load()) {
+      expired.fetch_add(system.ExpireLeases(system.lease_clock()).size());
+      std::this_thread::yield();
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      EXPECT_LE(system.outstanding_leases(), dataset.tasks.size() * 4);
+    }
+  });
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < 4; ++w) threads.emplace_back(serve, w);
+  for (auto& thread : threads) thread.join();
+  stop.store(true);
+  reaper.join();
+  reader.join();
+
+  // A final sweep past every possible deadline must leave zero leases: each
+  // grant was either answered (released) or reclaimed exactly once.
+  expired.fetch_add(
+      system
+          .ExpireLeases(system.lease_clock() + options.lease_duration)
+          .size());
+  EXPECT_EQ(system.outstanding_leases(), 0u);
+  EXPECT_EQ(system.num_answers(), answers.load());
+  // Double accounting would violate per-(worker, task) uniqueness.
+  system.WithLocked([&](DocsSystem& inner) {
+    std::set<std::pair<size_t, size_t>> seen;
+    for (const auto& answer : inner.inference().answers()) {
+      EXPECT_TRUE(seen.insert({answer.worker, answer.task}).second);
+    }
+    return 0;
+  });
 }
 
 TEST_F(ConcurrencyTest, CheckpointUnderLoadIsConsistent) {

@@ -341,6 +341,8 @@ TEST_F(SystemFaultTest, SaveCheckpointWithRetrySurvivesTransientFaults) {
   core::ConcurrentDocsSystem system(&kb_->knowledge_base, options);
   std::vector<core::TaskInput> inputs = {{"Is K2 tall?", 2}};
   ASSERT_TRUE(system.AddTasks(inputs).ok());
+  // Workers must be seen by RequestTasks before they may submit.
+  ASSERT_FALSE(system.RequestTasks("w", 1).empty());
   ASSERT_TRUE(system.SubmitAnswer("w", 0, 1).ok());
 
   const std::string path = TempPath("fi_retry.log");

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace docs::net {
+namespace {
+
+// Feeds `bytes` into a fresh decoder and expects exactly one frame.
+Frame DecodeOne(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kFrame)
+      << error;
+  EXPECT_EQ(decoder.buffered(), 0u);
+  return frame;
+}
+
+TEST(WireTest, RequestTasksRoundTrip) {
+  RequestTasksReq req;
+  req.worker_id = "mturk:A3XK91";
+  req.k = 7;
+  const Frame frame = DecodeOne(EncodeFrame(EncodeRequestTasksReq(req)));
+  EXPECT_EQ(frame.type, MessageType::kRequestTasksReq);
+  EXPECT_EQ(frame.status, StatusCode::kOk);
+  RequestTasksReq out;
+  ASSERT_TRUE(DecodeRequestTasksReq(frame, &out).ok());
+  EXPECT_EQ(out.worker_id, req.worker_id);
+  EXPECT_EQ(out.k, req.k);
+}
+
+TEST(WireTest, RequestTasksRespRoundTrip) {
+  RequestTasksResp resp;
+  resp.tasks = {0, 42, 1u << 20, 7};
+  RequestTasksResp out;
+  ASSERT_TRUE(
+      DecodeRequestTasksResp(DecodeOne(EncodeFrame(EncodeRequestTasksResp(resp))),
+                             &out)
+          .ok());
+  EXPECT_EQ(out.tasks, resp.tasks);
+}
+
+TEST(WireTest, SubmitAnswerRoundTrip) {
+  SubmitAnswerReq req;
+  req.worker_id = "w";
+  req.task = 123456789012345ull;
+  req.choice = 3;
+  SubmitAnswerReq out;
+  ASSERT_TRUE(
+      DecodeSubmitAnswerReq(DecodeOne(EncodeFrame(EncodeSubmitAnswerReq(req))),
+                            &out)
+          .ok());
+  EXPECT_EQ(out.worker_id, req.worker_id);
+  EXPECT_EQ(out.task, req.task);
+  EXPECT_EQ(out.choice, req.choice);
+}
+
+TEST(WireTest, ExpireLeasesRoundTrip) {
+  ExpireLeasesReq req;
+  req.now = 99;
+  ExpireLeasesReq out;
+  ASSERT_TRUE(
+      DecodeExpireLeasesReq(DecodeOne(EncodeFrame(EncodeExpireLeasesReq(req))),
+                            &out)
+          .ok());
+  EXPECT_EQ(out.now, 99u);
+
+  ExpireLeasesResp resp;
+  resp.expired.push_back({3, 17, 21});
+  resp.expired.push_back({4, 2, 22});
+  ExpireLeasesResp resp_out;
+  ASSERT_TRUE(DecodeExpireLeasesResp(
+                  DecodeOne(EncodeFrame(EncodeExpireLeasesResp(resp))),
+                  &resp_out)
+                  .ok());
+  ASSERT_EQ(resp_out.expired.size(), 2u);
+  EXPECT_EQ(resp_out.expired[0].worker, 3u);
+  EXPECT_EQ(resp_out.expired[1].task, 2u);
+  EXPECT_EQ(resp_out.expired[1].deadline, 22u);
+}
+
+TEST(WireTest, StatsRoundTrip) {
+  StatsResp resp;
+  resp.num_tasks = 1;
+  resp.num_answers = 2;
+  resp.outstanding_leases = 3;
+  resp.lease_clock = 4;
+  resp.requests_served = 5;
+  resp.requests_shed = 6;
+  StatsResp out;
+  ASSERT_TRUE(
+      DecodeStatsResp(DecodeOne(EncodeFrame(EncodeStatsResp(resp))), &out)
+          .ok());
+  EXPECT_EQ(out.num_tasks, 1u);
+  EXPECT_EQ(out.requests_shed, 6u);
+}
+
+TEST(WireTest, ErrorFrameCarriesStatusAcrossTheWire) {
+  const Status original = InvalidArgumentError("duplicate answer");
+  const Frame frame = DecodeOne(EncodeFrame(
+      MakeErrorFrame(MessageType::kSubmitAnswerResp, original)));
+  EXPECT_EQ(frame.type, MessageType::kSubmitAnswerResp);
+  const Status restored = FrameStatus(frame);
+  EXPECT_EQ(restored.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(restored.message(), "duplicate answer");
+}
+
+TEST(WireTest, EveryStatusCodeSurvivesTheWireMapping) {
+  const StatusCode all[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+      StatusCode::kInternal,     StatusCode::kIoError,
+      StatusCode::kDataLoss,     StatusCode::kUnavailable,
+  };
+  for (StatusCode code : all) {
+    EXPECT_EQ(WireToStatusCode(StatusCodeToWire(code)), code);
+  }
+  // Unknown wire bytes degrade to kInternal instead of asserting.
+  EXPECT_EQ(WireToStatusCode(250), StatusCode::kInternal);
+}
+
+TEST(WireTest, ResponseTypePairing) {
+  EXPECT_TRUE(IsRequestType(MessageType::kRequestTasksReq));
+  EXPECT_FALSE(IsRequestType(MessageType::kRequestTasksResp));
+  EXPECT_EQ(ResponseTypeFor(MessageType::kStatsReq), MessageType::kStatsResp);
+  EXPECT_EQ(ResponseTypeFor(MessageType::kExpireLeasesReq),
+            MessageType::kExpireLeasesResp);
+}
+
+TEST(WireTest, TornDeliveryByteByByte) {
+  SubmitAnswerReq req;
+  req.worker_id = "torn-frame-worker";
+  req.task = 5;
+  req.choice = 1;
+  const std::string bytes = EncodeFrame(EncodeSubmitAnswerReq(req));
+  FrameDecoder decoder;
+  Frame frame;
+  // Every proper prefix must yield kNeedMore; the final byte completes it.
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Append(&bytes[i], 1);
+    EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore)
+        << "after byte " << i;
+  }
+  decoder.Append(&bytes[bytes.size() - 1], 1);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  SubmitAnswerReq out;
+  ASSERT_TRUE(DecodeSubmitAnswerReq(frame, &out).ok());
+  EXPECT_EQ(out.worker_id, req.worker_id);
+}
+
+TEST(WireTest, CoalescedFramesDecodeInOrder) {
+  std::string stream;
+  for (uint32_t k = 1; k <= 3; ++k) {
+    RequestTasksReq req;
+    req.worker_id = "w" + std::to_string(k);
+    req.k = k;
+    stream += EncodeFrame(EncodeRequestTasksReq(req));
+  }
+  FrameDecoder decoder;
+  decoder.Append(stream.data(), stream.size());
+  for (uint32_t k = 1; k <= 3; ++k) {
+    Frame frame;
+    ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+    RequestTasksReq out;
+    ASSERT_TRUE(DecodeRequestTasksReq(frame, &out).ok());
+    EXPECT_EQ(out.k, k);
+  }
+  Frame extra;
+  EXPECT_EQ(decoder.Next(&extra), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(WireTest, BadMagicIsAStickyProtocolError) {
+  std::string bytes = EncodeFrame(EncodeStatsReq());
+  bytes[0] = 'X';
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+  // Sticky: feeding good bytes afterwards cannot resynchronize the stream.
+  const std::string good = EncodeFrame(EncodeStatsReq());
+  decoder.Append(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  EXPECT_TRUE(decoder.broken());
+}
+
+TEST(WireTest, WrongVersionRejected) {
+  std::string bytes = EncodeFrame(EncodeStatsReq());
+  bytes[2] = static_cast<char>(kWireVersion + 1);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(WireTest, UnknownTypeRejected) {
+  std::string bytes = EncodeFrame(EncodeStatsReq());
+  bytes[3] = static_cast<char>(200);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+}
+
+TEST(WireTest, OversizedPayloadLengthRejectedWithoutAllocating) {
+  std::string bytes = EncodeFrame(EncodeStatsReq());
+  // Claim a payload far beyond kMaxPayloadSize.
+  bytes[8] = static_cast<char>(0xff);
+  bytes[9] = static_cast<char>(0xff);
+  bytes[10] = static_cast<char>(0xff);
+  bytes[11] = static_cast<char>(0x7f);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  EXPECT_NE(error.find("kMaxPayloadSize"), std::string::npos);
+}
+
+TEST(WireTest, NonzeroReservedBytesRejected) {
+  std::string bytes = EncodeFrame(EncodeStatsReq());
+  bytes[6] = 1;
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+}
+
+TEST(WireTest, TruncatedPayloadDecodeFailsCleanly) {
+  SubmitAnswerReq req;
+  req.worker_id = "worker";
+  req.task = 1;
+  req.choice = 0;
+  Frame frame = EncodeSubmitAnswerReq(req);
+  frame.payload.resize(frame.payload.size() - 3);  // cut into the integers
+  SubmitAnswerReq out;
+  EXPECT_EQ(DecodeSubmitAnswerReq(frame, &out).code(), StatusCode::kDataLoss);
+}
+
+TEST(WireTest, TrailingGarbageAfterBodyRejected) {
+  Frame frame = EncodeExpireLeasesReq({7});
+  frame.payload.push_back('\0');
+  ExpireLeasesReq out;
+  EXPECT_EQ(DecodeExpireLeasesReq(frame, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, DecodeOfMismatchedTypeRejected) {
+  const Frame frame = EncodeStatsReq();
+  RequestTasksReq out;
+  EXPECT_EQ(DecodeRequestTasksReq(frame, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, OverlongWorkerIdNeverDecodes) {
+  RequestTasksReq req;
+  req.worker_id.assign(kMaxWorkerIdSize + 1, 'x');
+  req.k = 1;
+  // The encoder refuses to smuggle the id; the decoder rejects the marker.
+  RequestTasksReq out;
+  EXPECT_FALSE(
+      DecodeRequestTasksReq(DecodeOne(EncodeFrame(EncodeRequestTasksReq(req))),
+                            &out)
+          .ok());
+}
+
+}  // namespace
+}  // namespace docs::net
