@@ -4,21 +4,60 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <string>
 #include <utility>
 
+#include "common/check.h"
 #include "common/rng.h"
+#include "core/docs_system.h"
 #include "core/domain_vector.h"
 #include "core/golden_selection.h"
 #include "core/incremental_ti.h"
 #include "core/task_assignment.h"
 #include "core/truth_inference.h"
+#include "datasets/dataset.h"
 #include "kb/synthetic_kb.h"
 #include "storage/worker_store.h"
 
+// --- Heap-allocation accounting ---------------------------------------------
+// The serving-path benchmarks report allocations per request, so global
+// operator new is replaced with a counting forwarder (process-wide; the
+// fetch_add is a few ns against the multi-microsecond operations measured
+// here). Scalar and array forms share one counter; the sized/aligned delete
+// variants all forward to free() as malloc-backed storage requires.
+
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace docs {
 namespace {
+
+uint64_t HeapAllocations() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
 
 std::vector<core::EntityObservation> RandomEntities(size_t num_entities,
                                                     size_t candidates,
@@ -203,6 +242,92 @@ void BM_DveEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DveEndToEnd);
+
+// --- Serving-path RequestTasks benchmarks -----------------------------------
+// One DocsSystem serving SelectTasks(worker, 10) over a 512-task QA campaign
+// with a settled answer history. Three configurations:
+//   Warm      — benefit cache on, fused kernel: repeat requests on a quiet
+//               system are answered from the epoch-tagged cache.
+//   Cold      — cache off, allocating reference kernel: the seed-era serving
+//               path, rescoring every eligible task per request.
+//   ColdFused — cache off, fused kernel: full rescoring cost without the
+//               per-task heap churn, isolating the two optimizations.
+// Each reports allocs/op from the counting operator new above; the
+// acceptance bar is Warm at >= 5x fewer allocations than Cold.
+
+const kb::SyntheticKb& ServingKb() {
+  static const kb::SyntheticKb* kKb =
+      new kb::SyntheticKb(kb::BuildSyntheticKb());
+  return *kKb;
+}
+
+std::unique_ptr<core::DocsSystem> MakeServingSystem(bool benefit_cache,
+                                                    bool reference_kernel) {
+  const kb::SyntheticKb& kb = ServingKb();
+  const auto dataset = datasets::MakeQaDataset(kb, 512);
+  std::vector<core::TaskInput> inputs;
+  inputs.reserve(dataset.tasks.size());
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  core::DocsSystemOptions options;
+  options.golden_count = 0;    // no golden probe: measure OTA serving only
+  options.reinfer_every = 0;   // no periodic re-inference mid-benchmark
+  options.lease_duration = 0;  // no lease bookkeeping in the request loop
+  options.num_threads = 1;
+  options.benefit_cache = benefit_cache;
+  options.reference_kernel = reference_kernel;
+  auto system =
+      std::make_unique<core::DocsSystem>(&kb.knowledge_base, options);
+  Status status = system->AddTasks(inputs);
+  DOCS_CHECK(status.ok()) << status.ToString();
+  // Settle a non-trivial inference state: 8 workers answer a spread of
+  // tasks, so the benefit scores rank real truth matrices, not priors.
+  for (size_t w = 0; w < 8; ++w) {
+    const size_t worker = system->WorkerIndex("bench_w" + std::to_string(w));
+    for (size_t t = w; t < dataset.tasks.size(); t += 17) {
+      system->OnAnswer(worker, t, (t + w) % dataset.tasks[t].num_choices());
+    }
+  }
+  return system;
+}
+
+void ServeRequestTasksLoop(benchmark::State& state, bool benefit_cache,
+                           bool reference_kernel) {
+  auto system = MakeServingSystem(benefit_cache, reference_kernel);
+  const size_t worker = system->WorkerIndex("bench_w0");
+  // One untimed request warms the cache row and the scratch arenas.
+  benchmark::DoNotOptimize(system->SelectTasks(worker, 10));
+  const uint64_t allocs_before = HeapAllocations();
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system->SelectTasks(worker, 10));
+    ++iters;
+  }
+  if (iters > 0) {
+    state.counters["allocs/op"] =
+        static_cast<double>(HeapAllocations() - allocs_before) /
+        static_cast<double>(iters);
+  }
+}
+
+void BM_ServeRequestTasksWarm(benchmark::State& state) {
+  ServeRequestTasksLoop(state, /*benefit_cache=*/true,
+                        /*reference_kernel=*/false);
+}
+BENCHMARK(BM_ServeRequestTasksWarm);
+
+void BM_ServeRequestTasksCold(benchmark::State& state) {
+  ServeRequestTasksLoop(state, /*benefit_cache=*/false,
+                        /*reference_kernel=*/true);
+}
+BENCHMARK(BM_ServeRequestTasksCold);
+
+void BM_ServeRequestTasksColdFused(benchmark::State& state) {
+  ServeRequestTasksLoop(state, /*benefit_cache=*/false,
+                        /*reference_kernel=*/false);
+}
+BENCHMARK(BM_ServeRequestTasksColdFused);
 
 // WorkerStore in-memory put+merge throughput.
 void BM_WorkerStoreMerge(benchmark::State& state) {

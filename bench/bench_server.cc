@@ -9,17 +9,26 @@
 // p50/p95/p99, the numbers a capacity plan for a real AMT front-end needs.
 //
 //   ./build/bench/bench_server [--connections=N] [--ops=N] [--port=P]
+//                              [--mode=mixed|warm] [--json=PATH]
 //
 //   --connections  concurrent client connections (default 4)
 //   --ops          wire calls per connection before it disconnects
 //                  (default 2000; requests and submissions both count)
 //   --port         target an external gateway instead of self-hosting
 //                  (default 0 = self-host on an ephemeral port)
+//   --mode         "mixed" (default): request a HIT, answer every task in
+//                  it, repeat — the inference state keeps moving.
+//                  "warm": RequestTasks only, no submissions — the system
+//                  stays quiet, so repeat requests measure the epoch-tagged
+//                  benefit cache's hit path end to end over the wire.
+//   --json         also write the summary metrics as one JSON object to
+//                  PATH (consumed by scripts/bench.sh).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -39,6 +48,17 @@ size_t FlagValue(int argc, char** argv, const char* name, size_t fallback) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
       return static_cast<size_t>(std::atoll(argv[i] + prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
     }
   }
   return fallback;
@@ -65,6 +85,13 @@ int main(int argc, char** argv) {
   const size_t connections = FlagValue(argc, argv, "connections", 4);
   const size_t ops_per_connection = FlagValue(argc, argv, "ops", 2000);
   uint16_t port = static_cast<uint16_t>(FlagValue(argc, argv, "port", 0));
+  const std::string mode = StringFlag(argc, argv, "mode", "mixed");
+  const std::string json_path = StringFlag(argc, argv, "json", "");
+  if (mode != "mixed" && mode != "warm") {
+    std::cerr << "unknown --mode=" << mode << " (expected mixed|warm)\n";
+    return 1;
+  }
+  const bool warm_mode = mode == "warm";
 
   benchutil::PrintHeader(
       "gateway load generator",
@@ -98,10 +125,12 @@ int main(int argc, char** argv) {
   }
   std::cout << "target: 127.0.0.1:" << port << "   connections: "
             << connections << "   ops/connection: " << ops_per_connection
-            << "\n\n";
+            << "   mode: " << mode << "\n\n";
 
   // Closed loop: each thread alternates RequestTasks(4) with submitting
-  // every granted task, timing each wire call.
+  // every granted task, timing each wire call. In warm mode the submissions
+  // are skipped — the quiet system serves every repeat request from the
+  // benefit cache.
   std::vector<std::vector<double>> latencies_us(connections);
   std::vector<size_t> errors(connections, 0);
   auto drive = [&](size_t c) {
@@ -120,7 +149,7 @@ int main(int argc, char** argv) {
     for (size_t op = 0; op < ops_per_connection; ++op) {
       const auto start = Clock::now();
       Status status = docs::OkStatus();
-      if (next >= hit.size()) {
+      if (warm_mode || next >= hit.size()) {
         hit.clear();
         next = 0;
         status = client.RequestTasks(worker, 4, &hit);
@@ -175,12 +204,38 @@ int main(int argc, char** argv) {
                 TablePrinter::Fmt(Percentile(merged, 0.99), 1)});
   table.Print(std::cout);
 
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   if (gateway.running()) {
     const docs::server::GatewayStats stats = gateway.stats();
+    cache_hits = stats.benefit_cache_hits;
+    cache_misses = stats.benefit_cache_misses;
     std::cout << "\ngateway: " << stats.requests_served << " served, "
               << stats.requests_shed << " shed, " << stats.protocol_errors
-              << " protocol errors\n";
+              << " protocol errors\n"
+              << "benefit cache: " << cache_hits << " hits, " << cache_misses
+              << " misses\n";
     gateway.Stop();
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write --json=" << json_path << "\n";
+      return 1;
+    }
+    out << "{\"bench\": \"bench_server\", \"mode\": \"" << mode
+        << "\", \"connections\": " << connections
+        << ", \"ops_per_connection\": " << ops_per_connection
+        << ", \"wire_calls_ok\": " << merged.size()
+        << ", \"errors\": " << total_errors << ", \"wall_s\": " << wall_s
+        << ", \"throughput_ops_s\": "
+        << (static_cast<double>(merged.size()) / wall_s)
+        << ", \"p50_us\": " << Percentile(merged, 0.50)
+        << ", \"p95_us\": " << Percentile(merged, 0.95)
+        << ", \"p99_us\": " << Percentile(merged, 0.99)
+        << ", \"benefit_cache_hits\": " << cache_hits
+        << ", \"benefit_cache_misses\": " << cache_misses << "}\n";
   }
   return 0;
 }

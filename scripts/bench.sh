@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Serving-path benchmark harness (DESIGN.md §11): measures the epoch-tagged
+# benefit cache + fused kernel against the seed-era cold path and emits one
+# merged JSON artifact.
+#
+#   scripts/bench.sh [--quick] [--out=PATH] [--build-dir=DIR]
+#
+# Runs, from a Release build:
+#   1. bench_micro --benchmark_filter=BM_ServeRequestTasks — ns/op and
+#      allocations/op for the warm cached path, the seed-era cold path
+#      (cache off + allocating reference kernel) and the fused cold path;
+#   2. bench_server --mode=warm and --mode=mixed — end-to-end wire latency
+#      percentiles (p50/p95/p99) over real TCP;
+# then merges everything into the artifact (default: BENCH_5.json at the
+# repo root) and gates on the §11 acceptance ratios: the warm path must do
+# at least 5x fewer heap allocations per call than the seed-era cold path
+# and win on wall time.
+#
+#   --quick      CI smoke sizing: shorter runs, artifact written into the
+#                build tree instead of replacing the committed BENCH_5.json.
+#                The acceptance gate still applies.
+#   --build-dir  reuse an existing Release build tree (e.g. build-release
+#                from scripts/ci.sh) instead of configuring build-bench.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+QUICK=0
+OUT=""
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --out=*) OUT="${arg#--out=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  BUILD_DIR="$ROOT/build-bench"
+  echo "=== [bench] configure + build ($BUILD_DIR, Release) ==="
+  cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j"$JOBS" --target bench_micro bench_server \
+    >/dev/null
+fi
+if [[ -z "$OUT" ]]; then
+  if [[ "$QUICK" == 1 ]]; then OUT="$BUILD_DIR/BENCH_5.quick.json"
+  else OUT="$ROOT/BENCH_5.json"; fi
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+if [[ "$QUICK" == 1 ]]; then
+  MICRO_ARGS=(--benchmark_min_time=0.05)
+  SERVER_CONNECTIONS=2
+  SERVER_OPS=300
+else
+  MICRO_ARGS=()
+  SERVER_CONNECTIONS=4
+  SERVER_OPS=2000
+fi
+
+echo "=== [bench] bench_micro serving path ==="
+"$BUILD_DIR/bench/bench_micro" \
+  --benchmark_filter='BM_ServeRequestTasks' \
+  --benchmark_out="$TMP/micro.json" --benchmark_out_format=json \
+  "${MICRO_ARGS[@]}"
+
+echo "=== [bench] bench_server --mode=warm ==="
+"$BUILD_DIR/bench/bench_server" --mode=warm \
+  --connections="$SERVER_CONNECTIONS" --ops="$SERVER_OPS" \
+  --json="$TMP/server_warm.json"
+
+echo "=== [bench] bench_server --mode=mixed ==="
+"$BUILD_DIR/bench/bench_server" --mode=mixed \
+  --connections="$SERVER_CONNECTIONS" --ops="$SERVER_OPS" \
+  --json="$TMP/server_mixed.json"
+
+python3 - "$TMP/micro.json" "$TMP/server_warm.json" "$TMP/server_mixed.json" \
+  "$OUT" "$QUICK" <<'PY'
+import json
+import sys
+
+micro_path, warm_path, mixed_path, out_path, quick = sys.argv[1:6]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+TIME_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def entry(bench):
+    return {
+        "ns_per_op": bench["real_time"] * TIME_NS[bench["time_unit"]],
+        "allocs_per_op": bench.get("allocs/op", 0.0),
+        "iterations": bench["iterations"],
+    }
+
+benches = {
+    b["name"]: entry(b)
+    for b in micro["benchmarks"]
+    if b.get("run_type", "iteration") == "iteration"
+}
+warm = benches["BM_ServeRequestTasksWarm"]
+cold = benches["BM_ServeRequestTasksCold"]
+
+def server(path):
+    with open(path) as f:
+        return json.load(f)
+
+alloc_ratio = cold["allocs_per_op"] / max(warm["allocs_per_op"], 1.0)
+speedup = cold["ns_per_op"] / warm["ns_per_op"]
+artifact = {
+    "generated_by": "scripts/bench.sh" + (" --quick" if quick == "1" else ""),
+    "micro": benches,
+    "derived": {
+        "cold_over_warm_alloc_ratio": alloc_ratio,
+        "cold_over_warm_speedup": speedup,
+    },
+    "server_warm": server(warm_path),
+    "server_mixed": server(mixed_path),
+}
+with open(out_path, "w") as f:
+    json.dump(artifact, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"[bench] warm: {warm['ns_per_op']:.0f} ns/op, "
+      f"{warm['allocs_per_op']:.1f} allocs/op")
+print(f"[bench] cold (seed-era): {cold['ns_per_op']:.0f} ns/op, "
+      f"{cold['allocs_per_op']:.1f} allocs/op")
+print(f"[bench] alloc ratio {alloc_ratio:.1f}x, speedup {speedup:.1f}x "
+      f"-> {out_path}")
+
+# Acceptance gate (ISSUE 5): >= 5x fewer allocations per warm call and a
+# wall-time win over the seed-era cold path.
+if alloc_ratio < 5.0:
+    sys.exit(f"FAIL: warm path allocates too much ({alloc_ratio:.1f}x < 5x)")
+if speedup <= 1.0:
+    sys.exit(f"FAIL: warm path is not faster than cold ({speedup:.2f}x)")
+PY
+
+echo "=== [bench] OK ==="

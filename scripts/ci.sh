@@ -8,8 +8,9 @@
 #   4. sanitize  — ASan+UBSan full suite, then a gateway smoke run (real TCP
 #                  server + clients under ASan), then TSan scoped to the
 #                  tests that exercise cross-thread execution.
-#   5. bench     — a short bench_server run from the release build proves
-#                  the load generator works and prints throughput/p50/p95/p99.
+#   5. bench     — scripts/bench.sh --quick from the release build: short
+#                  micro + wire runs that gate on the warm serving path
+#                  keeping its allocation/wall-time win (DESIGN.md §11).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -64,10 +65,14 @@ echo "=== [sanitize] gateway smoke (serve_campaign under ASan) ==="
 # TSan cannot be combined with ASan; it gets its own tree, scoped to the
 # tests that actually exercise cross-thread execution (gateway_test runs a
 # server thread against client threads, so it belongs here too).
-run_config tsan "parallel_test|determinism_test|concurrency_test|gateway_test" \
+run_config tsan \
+  "parallel_test|determinism_test|benefit_cache_test|concurrency_test|gateway_test" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=thread
 
-echo "=== [bench] gateway load generator smoke ==="
-"$ROOT/build-release/bench/bench_server" --connections=2 --ops=400
+echo "=== [bench] serving-path perf smoke (scripts/bench.sh --quick) ==="
+# Short micro + wire runs from the release build; fails the build when the
+# warm serving path loses its allocation/wall-time edge over the seed-era
+# cold path (DESIGN.md §11).
+"$ROOT/scripts/bench.sh" --quick --build-dir="$ROOT/build-release"
 
 echo "=== CI OK ==="

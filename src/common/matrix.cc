@@ -42,6 +42,24 @@ std::vector<double> Matrix::LeftMultiply(const std::vector<double>& v) const {
   return out;
 }
 
+void Matrix::LeftMultiplyInto(const std::vector<double>& v,
+                              std::vector<double>* out) const {
+  DOCS_DCHECK_EQ(v.size(), rows_);
+  out->assign(cols_, 0.0);
+  std::vector<double>& result = *out;
+  for (size_t r = 0; r < rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) result[c] += vr * data_[r * cols_ + c];
+  }
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void Matrix::Fill(double value) {
   for (auto& x : data_) x = value;
 }

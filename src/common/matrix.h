@@ -37,6 +37,18 @@ class Matrix {
   /// s_i = r^{t_i} x M^(i) operation.
   std::vector<double> LeftMultiply(const std::vector<double>& v) const;
 
+  /// LeftMultiply into a caller-provided buffer: `*out` is resized to cols()
+  /// and overwritten. Accumulation order is identical to LeftMultiply, so the
+  /// result is bit-identical; the point is that hot loops can reuse `*out`
+  /// across calls instead of allocating a fresh vector each time.
+  void LeftMultiplyInto(const std::vector<double>& v,
+                        std::vector<double>* out) const;
+
+  /// Reshapes to rows x cols. Element values are unspecified afterwards —
+  /// callers overwrite every cell (this exists so hot loops can reuse one
+  /// Matrix's storage instead of allocating a fresh one per call).
+  void Resize(size_t rows, size_t cols);
+
   /// Fills the whole matrix with `value`.
   void Fill(double value);
 

@@ -120,6 +120,16 @@ class ConcurrentDocsSystem {
     return system_.inference().num_answers();
   }
 
+  uint64_t benefit_cache_hits() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.benefit_cache_hits();
+  }
+
+  uint64_t benefit_cache_misses() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.benefit_cache_misses();
+  }
+
   [[nodiscard]] Status SaveCheckpoint(const std::string& path) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_.SaveCheckpoint(path);

@@ -33,8 +33,35 @@ ThreadPool* DocsSystem::ScoringPool() {
   return pool_.get();
 }
 
+std::vector<CachedBenefit>* DocsSystem::CacheRow(size_t worker) {
+  if (!options_.benefit_cache) return nullptr;
+  if (benefit_cache_.size() <= worker) benefit_cache_.resize(worker + 1);
+  std::vector<CachedBenefit>* row = &benefit_cache_[worker];
+  // Zero-initialized entries carry epoch 0, which live epochs (starting at
+  // 1) never match — a freshly sized row reads as "never scored".
+  if (row->size() != tasks_.size()) row->resize(tasks_.size());
+  return row;
+}
+
+double DocsSystem::ScoreOne(size_t task,
+                            const std::function<double(size_t)>& score,
+                            std::vector<CachedBenefit>* cache,
+                            uint64_t worker_epoch) {
+  if (cache == nullptr) return score(task);
+  CachedBenefit& entry = (*cache)[task];
+  const uint64_t task_epoch = inference_->task_epoch(task);
+  if (entry.task_epoch == task_epoch && entry.worker_epoch == worker_epoch) {
+    benefit_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry.benefit;
+  }
+  const double value = score(task);
+  entry = {task_epoch, worker_epoch, value};
+  benefit_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  return value;
+}
+
 std::vector<size_t> DocsSystem::RankEligible(
-    const std::vector<uint8_t>& eligible, size_t k,
+    size_t worker, const std::vector<uint8_t>& eligible, size_t k,
     const std::function<double(size_t)>& score) {
   DOCS_CHECK_EQ(eligible.size(), tasks_.size());
   struct Scored {
@@ -46,8 +73,13 @@ std::vector<size_t> DocsSystem::RankEligible(
   for (size_t i = 0; i < tasks_.size(); ++i) {
     if (eligible[i]) scored.push_back({i, 0.0});
   }
+  // Hoisted out of the loop: the worker's epoch cannot move mid-pass (the
+  // facade serializes mutations), and reading it once keeps the probe cheap.
+  std::vector<CachedBenefit>* cache = CacheRow(worker);
+  const uint64_t worker_epoch =
+      cache != nullptr ? inference_->worker_epoch(worker) : 0;
   ParallelFor(ScoringPool(), scored.size(), [&](size_t s) {
-    scored[s].value = score(scored[s].task);
+    scored[s].value = ScoreOne(scored[s].task, score, cache, worker_epoch);
   });
   const size_t take = std::min(k, scored.size());
   if (take == 0) return {};
@@ -193,63 +225,90 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
   // OTA over T - T(w), honoring the per-task redundancy cap if one is set.
   // Outstanding leases count as in-flight answers against the cap, so a task
   // already granted to enough workers is not over-assigned; abandoned grants
-  // come back via ExpireLeases.
-  std::vector<uint8_t> eligible(tasks_.size(), 0);
-  for (size_t i = 0; i < tasks_.size(); ++i) {
-    if (inference_->HasAnswered(worker, i)) continue;
-    if (options_.max_answers_per_task > 0 &&
-        answers_per_task_[i] + lease_count_[i] >=
-            options_.max_answers_per_task) {
-      continue;
+  // come back via ExpireLeases. The bitmap starts all-eligible and masks the
+  // worker's answered list in O(|T(w)|) — no per-task membership probes —
+  // and it lives in reusable scratch so a warm request allocates nothing.
+  std::vector<uint8_t>& eligible = eligible_scratch_;
+  eligible.assign(tasks_.size(), 1);
+  for (size_t answered : inference_->answered_tasks(worker)) {
+    eligible[answered] = 0;
+  }
+  if (options_.max_answers_per_task > 0) {
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (answers_per_task_[i] + lease_count_[i] >=
+          options_.max_answers_per_task) {
+        eligible[i] = 0;
+      }
     }
-    eligible[i] = 1;
   }
 
-  // All three rules share the same shape — score every eligible task, take
+  // All four rules share the same shape — score every eligible task, take
   // the top k — so they all route through RankEligible, which parallelizes
-  // the scoring pass deterministically.
+  // the scoring pass deterministically and serves still-valid scores from
+  // the epoch-tagged benefit cache.
+  auto selected = RankEligible(worker, eligible, k, MakeScoreFn(worker));
+  GrantLeases(worker, selected);
+  return selected;
+}
+
+std::function<double(size_t)> DocsSystem::MakeScoreFn(size_t worker) {
   if (options_.selection_rule == SelectionRule::kDomainMax) {
     // D-Max: rank by domain match sum_k r_k q^w_k only.
-    const std::vector<double> quality =
-        inference_->worker_quality(worker).quality;
-    auto selected = RankEligible(eligible, k, [&](size_t i) {
+    quality_scratch_ = inference_->worker_quality(worker).quality;
+    return [this](size_t i) {
       double match = 0.0;
-      for (size_t d = 0; d < quality.size(); ++d) {
-        match += tasks_[i].domain_vector[d] * quality[d];
+      for (size_t d = 0; d < quality_scratch_.size(); ++d) {
+        match += tasks_[i].domain_vector[d] * quality_scratch_[d];
       }
       return match;
-    });
-    GrantLeases(worker, selected);
-    return selected;
+    };
   }
 
   if (options_.selection_rule == SelectionRule::kUncertainty) {
     // Ablation: most ambiguous tasks first, worker ignored.
-    auto selected = RankEligible(eligible, k, [&](size_t i) {
-      return Entropy(inference_->task_truth(i));
-    });
-    GrantLeases(worker, selected);
-    return selected;
+    return [this](size_t i) { return Entropy(inference_->task_truth(i)); };
   }
 
-  // Score benefits against the live inference state (no matrix copies), then
-  // take the top k exactly as TaskAssigner::SelectTopK does.
-  std::vector<double> quality = inference_->worker_quality(worker).quality;
+  // Benefit rules score against the live inference state (no matrix copies),
+  // exactly as TaskAssigner::SelectTopK does.
+  quality_scratch_ = inference_->worker_quality(worker).quality;
   if (options_.selection_rule == SelectionRule::kQualityBlind) {
     // Ablation: flatten the worker's profile to its mean — the benefit
     // still reacts to confidence but no longer to domain match.
     double mean = 0.0;
-    for (double q : quality) mean += q;
-    mean /= std::max<size_t>(1, quality.size());
-    std::fill(quality.begin(), quality.end(), mean);
+    for (double q : quality_scratch_) mean += q;
+    mean /= std::max<size_t>(1, quality_scratch_.size());
+    std::fill(quality_scratch_.begin(), quality_scratch_.end(), mean);
   }
-  auto selected = RankEligible(eligible, k, [&](size_t i) {
+  if (options_.reference_kernel) {
+    return [this](size_t i) {
+      return Benefit(tasks_[i], inference_->truth_matrix(i),
+                     inference_->task_truth(i), quality_scratch_,
+                     options_.assigner.quality_clamp);
+    };
+  }
+  return [this](size_t i) {
+    // Per-thread arena: the scoring pass fans out over the pool, and the
+    // fused kernel's intermediates are private to one Benefit call.
+    thread_local BenefitScratch scratch;
     return Benefit(tasks_[i], inference_->truth_matrix(i),
-                   inference_->task_truth(i), quality,
-                   options_.assigner.quality_clamp);
+                   inference_->task_truth(i), quality_scratch_,
+                   options_.assigner.quality_clamp, &scratch);
+  };
+}
+
+std::vector<double> DocsSystem::ScoreAllTasks(size_t worker,
+                                              bool bypass_cache) {
+  std::vector<double> scores(tasks_.size(), 0.0);
+  if (worker >= workers_.size() || inference_ == nullptr) return scores;
+  const std::function<double(size_t)> score = MakeScoreFn(worker);
+  std::vector<CachedBenefit>* cache = bypass_cache ? nullptr : CacheRow(worker);
+  const uint64_t worker_epoch =
+      cache != nullptr ? inference_->worker_epoch(worker) : 0;
+  ParallelFor(ScoringPool(), tasks_.size(), [&](size_t i) {
+    scores[i] = ScoreOne(i, score, cache, worker_epoch);
   });
-  GrantLeases(worker, selected);
-  return selected;
+  return scores;
 }
 
 void DocsSystem::GrantLeases(size_t worker,

@@ -1,6 +1,7 @@
 #ifndef DOCS_CORE_DOCS_SYSTEM_H_
 #define DOCS_CORE_DOCS_SYSTEM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -93,6 +94,18 @@ struct DocsSystemOptions {
   /// 0 = hardware concurrency, 1 = the historical sequential behavior.
   /// Results are bit-identical for every value; see DESIGN.md §8.
   size_t num_threads = 0;
+  /// Epoch-tagged benefit cache (DESIGN.md §11): SelectTasks memoizes each
+  /// (worker, task) score and rescores only pairs whose task or worker
+  /// inference state moved since. Selections are bit-identical with the
+  /// cache on or off (tests/benefit_cache_test.cc proves it); the knob
+  /// exists for that equivalence suite and for benchmarking the cold path.
+  bool benefit_cache = true;
+  /// Routes benefit scoring through the allocating reference kernel instead
+  /// of the fused scratch-arena kernel. The two are bit-identical; the
+  /// reference is retained as the spec oracle and as the seed-era baseline
+  /// for the allocation benchmarks. Only meaningful for kBenefit /
+  /// kQualityBlind rules.
+  bool reference_kernel = false;
 };
 
 /// The complete DOCS pipeline of Figure 1:
@@ -170,6 +183,23 @@ class DocsSystem : public AssignmentPolicy {
   uint64_t lease_clock() const { return lease_clock_; }
   size_t outstanding_leases() const { return leases_.size(); }
 
+  /// Benefit-cache effectiveness counters: scoring passes answered from a
+  /// still-valid cache entry vs. recomputed. Monotonic over the system's
+  /// lifetime; both stay 0 with the cache disabled.
+  uint64_t benefit_cache_hits() const {
+    return benefit_cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t benefit_cache_misses() const {
+    return benefit_cache_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Scores every task for `worker` under the configured selection rule and
+  /// returns the raw scores (ignoring eligibility). With `bypass_cache` the
+  /// pass recomputes from live inference state without reading or writing
+  /// the benefit cache. Test hook: the cache-equivalence suite asserts the
+  /// warm and bypass passes are bitwise equal after every mutation class.
+  std::vector<double> ScoreAllTasks(size_t worker, bool bypass_cache);
+
   // --- AssignmentPolicy -----------------------------------------------------
   std::string name() const override { return options_.display_name; }
   std::vector<size_t> SelectTasks(size_t worker, size_t k) override;
@@ -190,13 +220,32 @@ class DocsSystem : public AssignmentPolicy {
 
   void FinishGoldenPhase(size_t worker);
 
-  /// Scores every eligible task with `score` (in parallel over the scoring
+  /// Scores every eligible task for `worker` (in parallel over the scoring
   /// pool; each task owns one slot, so the ranking is thread-count
   /// invariant) and returns up to `k` indices ordered by descending score,
-  /// ties broken by ascending task index.
-  std::vector<size_t> RankEligible(const std::vector<uint8_t>& eligible,
+  /// ties broken by ascending task index. With the benefit cache enabled,
+  /// `score` runs only for tasks whose (task, worker) epoch pair went stale
+  /// since the last pass; fresh entries are served from the cache.
+  std::vector<size_t> RankEligible(size_t worker,
+                                   const std::vector<uint8_t>& eligible,
                                    size_t k,
                                    const std::function<double(size_t)>& score);
+
+  /// Builds the selection-rule scoring function for `worker`. Stages the
+  /// worker's (possibly flattened) quality vector in quality_scratch_, so
+  /// the returned callable must not outlive the current scoring pass.
+  std::function<double(size_t)> MakeScoreFn(size_t worker);
+
+  /// The worker's benefit-cache row sized to the task count, or nullptr when
+  /// the cache is disabled.
+  std::vector<CachedBenefit>* CacheRow(size_t worker);
+
+  /// One cached score: probes `cache` (when non-null) under the live
+  /// (task, worker) epoch pair, recomputing and refreshing the entry on a
+  /// miss. Thread-safe across distinct `task` values: each task owns its
+  /// cache slot and the counters are atomic.
+  double ScoreOne(size_t task, const std::function<double(size_t)>& score,
+                  std::vector<CachedBenefit>* cache, uint64_t worker_epoch);
   /// Lazily built pool shared by every hot loop the system drives —
   /// SelectTasks scoring and the embedded engine's periodic full inference;
   /// nullptr when configured sequential.
@@ -234,6 +283,17 @@ class DocsSystem : public AssignmentPolicy {
   /// Outstanding leases per task (kept in sync with leases_).
   std::vector<uint32_t> lease_count_;
   std::unique_ptr<ThreadPool> pool_;  // see ScoringPool()
+  /// Per-worker rows of the epoch-tagged benefit cache, lazily sized on the
+  /// worker's first scoring pass (DESIGN.md §11). Entries self-invalidate by
+  /// epoch mismatch; nothing is ever erased.
+  std::vector<std::vector<CachedBenefit>> benefit_cache_;
+  std::atomic<uint64_t> benefit_cache_hits_{0};
+  std::atomic<uint64_t> benefit_cache_misses_{0};
+  /// Serving-path scratch, reused across SelectTasks calls so a warm request
+  /// allocates nothing: the eligibility bitmap and the staged quality vector
+  /// MakeScoreFn's callables read from.
+  std::vector<uint8_t> eligible_scratch_;
+  std::vector<double> quality_scratch_;
 };
 
 }  // namespace docs::core

@@ -22,6 +22,7 @@ IncrementalTruthInference::IncrementalTruthInference(
   log_numerators_.reserve(n);
   truth_matrices_.reserve(n);
   task_truth_.reserve(n);
+  task_epoch_.assign(n, 1);
   answers_of_task_.resize(n);
   for (const Task& task : tasks_) {
     CheckUnitInterval(task.domain_vector, 1e-9,
@@ -44,7 +45,7 @@ void IncrementalTruthInference::EnsureWorker(size_t worker) {
     state.stats.quality.assign(m, options_.default_quality);
     state.stats.weight.assign(m, 0.0);
     state.seed = state.stats;
-    state.answered.assign(tasks_.size(), 0);
+    // state.answered stays empty: registration is O(m), not O(n).
     workers_.push_back(std::move(state));
   }
 }
@@ -78,12 +79,24 @@ Status IncrementalTruthInference::SetWorkerQuality(
   EnsureWorker(worker);
   workers_[worker].stats = quality;
   workers_[worker].seed = quality;
+  ++workers_[worker].epoch;  // quality vector replaced
   return OkStatus();
 }
 
 bool IncrementalTruthInference::HasAnswered(size_t worker, size_t task) const {
+  // Out-of-range indices (a forged wire request, a stale caller) must read
+  // as "not answered", never out of bounds; a task index past tasks_.size()
+  // simply cannot be in the sorted answered list.
   if (worker >= workers_.size()) return false;
-  return workers_[worker].answered[task] != 0;
+  const std::vector<size_t>& answered = workers_[worker].answered;
+  return std::binary_search(answered.begin(), answered.end(), task);
+}
+
+const std::vector<size_t>& IncrementalTruthInference::answered_tasks(
+    size_t worker) const {
+  static const std::vector<size_t> kEmpty;
+  if (worker >= workers_.size()) return kEmpty;
+  return workers_[worker].answered;
 }
 
 Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
@@ -93,19 +106,23 @@ Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
     return InvalidArgumentError("choice out of range");
   }
   EnsureWorker(worker);
-  if (workers_[worker].answered[task]) {
+  if (HasAnswered(worker, task)) {
     return FailedPreconditionError("worker already answered this task");
   }
 
   const Task& t = tasks_[task];
   const size_t m = t.domain_vector.size();
   const size_t l = t.num_choices;
-  const std::vector<double> old_truth = task_truth_[task];  // s̃_i
+  // s̃_i snapshot into reusable scratch: the update below needs the truth
+  // vector from before this answer.
+  old_truth_scratch_.assign(task_truth_[task].begin(), task_truth_[task].end());
+  const std::vector<double>& old_truth = old_truth_scratch_;
 
   // --- Step 1: update M̂^(i), M^(i) and s_i only. -------------------------
   Matrix& log_numer = log_numerators_[task];
   Matrix& truth_matrix = truth_matrices_[task];
-  std::vector<double> row(l, 0.0);
+  row_scratch_.assign(l, 0.0);
+  std::vector<double>& row = row_scratch_;
   for (size_t k = 0; k < m; ++k) {
     const double q =
         Clamp(workers_[worker].stats.quality[k], options_.quality_clamp);
@@ -121,7 +138,7 @@ Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
       truth_matrix(k, j) = std::exp(row[j] - lse);
     }
   }
-  task_truth_[task] = truth_matrix.LeftMultiply(t.domain_vector);
+  truth_matrix.LeftMultiplyInto(t.domain_vector, &task_truth_[task]);
   NormalizeInPlace(task_truth_[task]);
   const std::vector<double>& new_truth = task_truth_[task];
 
@@ -167,7 +184,20 @@ Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
   Answer answer{task, worker, choice};
   answers_of_task_[task].push_back(answer);
   answers_.push_back(answer);
-  workers_[worker].answered[task] = 1;
+  std::vector<size_t>& answered = workers_[worker].answered;
+  answered.insert(std::lower_bound(answered.begin(), answered.end(), task),
+                  task);
+
+  // Epoch bumps for the benefit cache: this task's inference state moved
+  // (step 1), and so did the quality vector of the submitting worker and of
+  // every retro-updated prior worker (step 2). The prior list names each
+  // worker at most once (one answer per (worker, task)), so nobody is bumped
+  // twice for one submission.
+  ++task_epoch_[task];
+  ++workers_[worker].epoch;
+  for (const Answer& prior_answer : answers_of_task_[task]) {
+    if (prior_answer.worker != worker) ++workers_[prior_answer.worker].epoch;
+  }
   return OkStatus();
 }
 
@@ -191,7 +221,12 @@ void IncrementalTruthInference::RecomputeTask(size_t task) {
     }
   }
   Matrix& truth_matrix = truth_matrices_[task];
-  std::vector<double> row(l, 0.0);
+  // Per-thread scratch: RecomputeTask runs inside the RunFullInference
+  // ParallelFor fan-out, so a member buffer would race; the row only carries
+  // intermediates within one (task, domain) step, so reuse cannot affect the
+  // result.
+  thread_local std::vector<double> row;
+  row.assign(l, 0.0);
   for (size_t k = 0; k < m; ++k) {
     for (size_t j = 0; j < l; ++j) row[j] = log_numer(k, j);
     const double lse = LogSumExp(row);
@@ -199,8 +234,10 @@ void IncrementalTruthInference::RecomputeTask(size_t task) {
       truth_matrix(k, j) = std::exp(row[j] - lse);
     }
   }
-  task_truth_[task] = truth_matrix.LeftMultiply(t.domain_vector);
+  truth_matrix.LeftMultiplyInto(t.domain_vector, &task_truth_[task]);
   NormalizeInPlace(task_truth_[task]);
+  // Each task owns its epoch slot, so the parallel fan-out bumps race-free.
+  ++task_epoch_[task];
   DOCS_DCHECK_SIMPLEX(task_truth_[task], 1e-6,
                       "recomputed task truth (Eq. 4)");
 }
@@ -225,6 +262,9 @@ void IncrementalTruthInference::RunFullInference(ThreadPool* pool) {
 
   for (size_t w = 0; w < workers_.size(); ++w) {
     workers_[w].stats = result.worker_quality[w];
+    // Conservative invalidation: the batch re-run replaces every quality
+    // vector, so every cached (task, worker) benefit goes stale.
+    ++workers_[w].epoch;
   }
   // Rebuild the incremental caches so later OnAnswer calls continue from the
   // converged state. Every task owns its cache slots, so the fan-out is

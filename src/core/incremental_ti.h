@@ -75,7 +75,26 @@ class IncrementalTruthInference {
     return workers_[worker].seed;
   }
   /// True once `worker` answered `task` (workers answer a task at most once).
+  /// Out-of-range worker or task indices read as "not answered" instead of
+  /// reading out of bounds.
   bool HasAnswered(size_t worker, size_t task) const;
+
+  /// The tasks `worker` has answered, ascending. Empty for unknown workers.
+  /// O(1); the serving loop uses it to mask eligibility in O(|answered|)
+  /// instead of O(n) HasAnswered probes.
+  const std::vector<size_t>& answered_tasks(size_t worker) const;
+
+  /// Version tag of task `task`'s inference state (M^(i), s_i). Bumped by
+  /// OnAnswer, RecomputeTask and RunFullInference; starts at 1. Together
+  /// with worker_epoch it keys the OTA benefit cache (DESIGN.md §11): a
+  /// cached benefit is valid exactly while both epochs are unchanged.
+  uint64_t task_epoch(size_t task) const { return task_epoch_[task]; }
+
+  /// Version tag of `worker`'s quality vector; starts at 1. Bumped whenever
+  /// the quality estimate moves: her own submissions, the retro-update
+  /// fan-out of other workers' submissions on shared tasks, SetWorkerQuality
+  /// reseeds, and RunFullInference.
+  uint64_t worker_epoch(size_t worker) const { return workers_[worker].epoch; }
 
   /// argmax_j s_{i,j} for every task.
   std::vector<size_t> InferredChoices() const;
@@ -86,7 +105,13 @@ class IncrementalTruthInference {
   struct WorkerState {
     WorkerQuality stats;
     WorkerQuality seed;
-    std::vector<uint8_t> answered;  // bitmap over tasks
+    /// Tasks answered, ascending. A sorted vector costs O(|answered|) memory
+    /// instead of the former O(n)-per-worker bitmap (which made every
+    /// new-worker registration an O(n) allocation on the serving path);
+    /// membership is a binary search, insertion a bounded memmove.
+    std::vector<size_t> answered;
+    /// Quality-vector version tag; see worker_epoch().
+    uint64_t epoch = 1;
   };
 
   /// Rebuilds M̂, M and s of `task` from scratch given current qualities.
@@ -97,9 +122,15 @@ class IncrementalTruthInference {
   std::vector<Matrix> log_numerators_;  // M̂^(i), in log space
   std::vector<Matrix> truth_matrices_;  // M^(i)
   std::vector<std::vector<double>> task_truth_;  // s_i
+  std::vector<uint64_t> task_epoch_;  // see task_epoch()
   std::vector<std::vector<Answer>> answers_of_task_;
   std::vector<Answer> answers_;
   std::vector<WorkerState> workers_;
+  /// OnAnswer scratch (the facade serializes OnAnswer callers, so single
+  /// buffers suffice): s̃_i snapshot and the per-domain log-numerator row.
+  /// Reused across calls so the per-answer update is allocation-free.
+  std::vector<double> old_truth_scratch_;
+  std::vector<double> row_scratch_;
   /// Pool for RunFullInference (the batch EM plus the per-task recompute
   /// fan-out), built lazily from options_.num_threads and reused across the
   /// periodic re-runs.

@@ -80,6 +80,74 @@ double ExpectedPosteriorEntropy(const Task& task, const Matrix& truth_matrix,
   return expected;
 }
 
+double ExpectedPosteriorEntropy(const Task& task, const Matrix& truth_matrix,
+                                const std::vector<double>& worker_quality,
+                                double quality_clamp,
+                                BenefitScratch* scratch) {
+  const size_t m = task.domain_vector.size();
+  const size_t l = task.num_choices;
+  DOCS_DCHECK_GE(worker_quality.size(), m);
+  DOCS_DCHECK_EQ(truth_matrix.rows(), m);
+  // Hoist the per-(worker, domain) clamp and wrong-answer factors out of the
+  // choice loop: they are invariant across the l choices the reference path
+  // recomputes them for. The two "wrong" factors are kept separate because
+  // the reference kernels disagree on the degenerate l == 1 case (Theorem 2
+  // uses 0, Theorem 3 uses 1-q) and bit-identity is the contract.
+  scratch->clamped.resize(m);
+  scratch->wrong_answer.resize(m);
+  scratch->wrong_update.resize(m);
+  const double ld = static_cast<double>(l);
+  for (size_t k = 0; k < m; ++k) {
+    const double q = Clamp(worker_quality[k], quality_clamp);
+    scratch->clamped[k] = q;
+    scratch->wrong_answer[k] = ld > 1.0 ? (1.0 - q) / (ld - 1.0) : 0.0;
+    scratch->wrong_update[k] =
+        l > 1 ? (1.0 - q) / static_cast<double>(l - 1) : 1.0 - q;
+  }
+  scratch->posterior.resize(l);
+  std::vector<double>& posterior = scratch->posterior;
+  double expected = 0.0;
+  for (size_t a = 0; a < l; ++a) {
+    // Theorem 2, same operation order as AnswerProbability.
+    double pa = 0.0;
+    for (size_t k = 0; k < m; ++k) {
+      const double rk = task.domain_vector[k];
+      if (rk == 0.0) continue;
+      const double mka = truth_matrix(k, a);
+      pa += rk * (scratch->clamped[k] * mka +
+                  scratch->wrong_answer[k] * (1.0 - mka));
+    }
+    if (pa <= 0.0) continue;
+    // Theorem 3 fused with the posterior projection r x M^(i)|a: row k of
+    // the updated matrix is produced and consumed in place of being stored.
+    // Rows with r_k == 0 contribute exactly +0.0 to every posterior entry in
+    // the reference path, so skipping them is bit-identical.
+    std::fill(posterior.begin(), posterior.end(), 0.0);
+    for (size_t k = 0; k < m; ++k) {
+      const double rk = task.domain_vector[k];
+      if (rk == 0.0) continue;
+      const double q = scratch->clamped[k];
+      const double wrong = scratch->wrong_update[k];
+      double denom = 0.0;
+      for (size_t j = 0; j < l; ++j) {
+        denom += truth_matrix(k, j) * ((j == a) ? q : wrong);
+      }
+      if (denom > 0.0) {
+        for (size_t j = 0; j < l; ++j) {
+          posterior[j] +=
+              rk * ((truth_matrix(k, j) * ((j == a) ? q : wrong)) / denom);
+        }
+      } else {
+        const double uniform = 1.0 / static_cast<double>(l);
+        for (size_t j = 0; j < l; ++j) posterior[j] += rk * uniform;
+      }
+    }
+    NormalizeInPlace(posterior);
+    expected += pa * Entropy(posterior);
+  }
+  return expected;
+}
+
 double Benefit(const Task& task, const Matrix& truth_matrix,
                const std::vector<double>& task_truth,
                const std::vector<double>& worker_quality,
@@ -87,6 +155,15 @@ double Benefit(const Task& task, const Matrix& truth_matrix,
   return Entropy(task_truth) -
          ExpectedPosteriorEntropy(task, truth_matrix, worker_quality,
                                   quality_clamp);
+}
+
+double Benefit(const Task& task, const Matrix& truth_matrix,
+               const std::vector<double>& task_truth,
+               const std::vector<double>& worker_quality, double quality_clamp,
+               BenefitScratch* scratch) {
+  return Entropy(task_truth) -
+         ExpectedPosteriorEntropy(task, truth_matrix, worker_quality,
+                                  quality_clamp, scratch);
 }
 
 double BenefitOfSetBruteForce(const std::vector<Task>& tasks,
@@ -138,12 +215,29 @@ std::vector<size_t> TaskAssigner::SelectTopK(
     const std::vector<std::vector<double>>& truths,
     const std::vector<double>& worker_quality,
     const std::vector<uint8_t>& eligible, size_t k) const {
+  return SelectTopK(tasks, matrices, truths, worker_quality, eligible, k,
+                    nullptr, 0, nullptr);
+}
+
+std::vector<size_t> TaskAssigner::SelectTopK(
+    const std::vector<Task>& tasks, const std::vector<Matrix>& matrices,
+    const std::vector<std::vector<double>>& truths,
+    const std::vector<double>& worker_quality,
+    const std::vector<uint8_t>& eligible, size_t k,
+    const std::vector<uint64_t>* task_epochs, uint64_t worker_epoch,
+    std::vector<CachedBenefit>* cache) const {
   // All four parallel arrays must describe the same task list; a mismatch
   // would read a stale eligibility bit (or out of bounds) for some task.
   DOCS_CHECK_EQ(eligible.size(), tasks.size());
   DOCS_CHECK_EQ(matrices.size(), tasks.size());
   DOCS_CHECK_EQ(truths.size(), tasks.size());
   CheckUnitInterval(worker_quality, 1e-9, "OTA worker quality (Eq. 5)");
+  if (cache != nullptr) {
+    DOCS_CHECK(task_epochs != nullptr)
+        << "benefit cache requires task epochs";
+    DOCS_CHECK_EQ(task_epochs->size(), tasks.size());
+    DOCS_CHECK_EQ(cache->size(), tasks.size());
+  }
   struct Scored {
     size_t task;
     double benefit;
@@ -154,8 +248,11 @@ std::vector<size_t> TaskAssigner::SelectTopK(
     if (!eligible[i]) continue;
     scored.push_back({i, 0.0});
   }
-  // Parallel scoring: each eligible task owns one slot, so the benefit
-  // vector (and the selection below) is identical for any thread count.
+  // Parallel scoring: each eligible task owns one slot (and its own cache
+  // entry), so the benefit vector (and the selection below) is identical for
+  // any thread count. The scratch arena is per thread; it only carries
+  // intermediates within one Benefit call, so which thread scores a task
+  // cannot affect the result.
   const size_t threads = EffectiveThreadCount(options_.num_threads);
   if (threads > 1 &&
       (pool_ == nullptr || pool_->num_threads() != threads)) {
@@ -164,12 +261,25 @@ std::vector<size_t> TaskAssigner::SelectTopK(
   ParallelFor(threads > 1 ? pool_.get() : nullptr, scored.size(),
               [&](size_t s) {
                 const size_t i = scored[s].task;
+                if (cache != nullptr) {
+                  CachedBenefit& entry = (*cache)[i];
+                  if (entry.task_epoch == (*task_epochs)[i] &&
+                      entry.worker_epoch == worker_epoch) {
+                    scored[s].benefit = entry.benefit;
+                    return;
+                  }
+                }
+                thread_local BenefitScratch scratch;
                 scored[s].benefit =
                     Benefit(tasks[i], matrices[i], truths[i], worker_quality,
-                            options_.quality_clamp);
+                            options_.quality_clamp, &scratch);
                 // A NaN benefit would poison the nth_element comparator
                 // (strict weak ordering) below.
                 DOCS_DCHECK_FINITE(scored[s].benefit, "task benefit (Eq. 8)");
+                if (cache != nullptr) {
+                  (*cache)[i] = {(*task_epochs)[i], worker_epoch,
+                                 scored[s].benefit};
+                }
               });
   const size_t take = std::min(k, scored.size());
   if (take == 0) return {};

@@ -11,6 +11,17 @@
 
 namespace docs::core {
 
+/// Reusable scratch arena for the fused benefit kernel. One instance per
+/// thread: the serving loops keep a thread_local arena so repeated Benefit
+/// calls never touch the heap once the vectors have grown to the campaign's
+/// (m, l) shape. Contents are meaningless between calls.
+struct BenefitScratch {
+  std::vector<double> clamped;       // Clamp(q_k) per domain
+  std::vector<double> wrong_answer;  // Theorem 2's (1-q)/(l-1) term per domain
+  std::vector<double> wrong_update;  // Theorem 3's off-answer factor per domain
+  std::vector<double> posterior;     // r x M^(i)|a, one choice at a time
+};
+
 /// Theorem 2: probability that worker with quality `q` gives choice `a` to
 /// the task, given its current matrix M^(i):
 ///   Pr(v^w_i = a | V(i)) = sum_k r_k [ q_k M_{k,a} + (1-q_k)/(l-1) (1-M_{k,a}) ].
@@ -29,12 +40,31 @@ double ExpectedPosteriorEntropy(const Task& task, const Matrix& truth_matrix,
                                 const std::vector<double>& worker_quality,
                                 double quality_clamp = 0.01);
 
+/// Fused Eq. 8: one pass per (choice, domain) that folds Theorems 2-3 and
+/// the posterior projection together without materializing M^(i)|a. The
+/// per-(worker, domain) clamp+wrong-factor precomputation is hoisted out of
+/// the choice loop into `scratch`, and every intermediate lives in the
+/// scratch arena — zero heap allocations once the arena has warmed up.
+/// Bit-identical to the allocating reference above (same floating-point
+/// operations in the same order); tests/ota_test.cc asserts exact equality.
+double ExpectedPosteriorEntropy(const Task& task, const Matrix& truth_matrix,
+                                const std::vector<double>& worker_quality,
+                                double quality_clamp, BenefitScratch* scratch);
+
 /// Definition 5: B(t_i) = H(s_i) - H(ŝ_i), the expected ambiguity reduction
 /// if the worker answers the task.
 double Benefit(const Task& task, const Matrix& truth_matrix,
                const std::vector<double>& task_truth,
                const std::vector<double>& worker_quality,
                double quality_clamp = 0.01);
+
+/// Definition 5 on the fused, allocation-free kernel. The reference overload
+/// above is retained as the spec oracle (tests prove the two bit-identical)
+/// and as the seed-era cold path for benchmarks.
+double Benefit(const Task& task, const Matrix& truth_matrix,
+               const std::vector<double>& task_truth,
+               const std::vector<double>& worker_quality,
+               double quality_clamp, BenefitScratch* scratch);
 
 /// Equation 10 computed by brute force: enumerates all prod l_ti answer
 /// combinations phi for the given task subset and sums Bphi weighted by the
@@ -46,6 +76,19 @@ double BenefitOfSetBruteForce(const std::vector<Task>& tasks,
                               const std::vector<size_t>& subset,
                               const std::vector<double>& worker_quality,
                               double quality_clamp = 0.01);
+
+/// One memoized benefit score of the epoch-tagged benefit cache. A task's
+/// benefit for a given worker depends only on the task's inference state
+/// (truth matrix + truth vector, versioned by a task epoch) and the worker's
+/// quality vector (versioned by a worker epoch), so a cached score is valid
+/// exactly while both epochs still match. Live epochs start at 1; the
+/// zero-initialized entry therefore never matches and reads as "never
+/// scored". Invalidation rules are documented in DESIGN.md §11.
+struct CachedBenefit {
+  uint64_t task_epoch = 0;
+  uint64_t worker_epoch = 0;
+  double benefit = 0.0;
+};
 
 struct TaskAssignerOptions {
   double quality_clamp = 0.01;
@@ -73,6 +116,23 @@ class TaskAssigner {
                                  const std::vector<double>& worker_quality,
                                  const std::vector<uint8_t>& eligible,
                                  size_t k) const;
+
+  /// Epoch-aware SelectTopK: `task_epochs[i]` versions matrices[i]/truths[i]
+  /// and `worker_epoch` versions worker_quality; `cache` (sized to the task
+  /// count by the caller) carries scores across calls. Only tasks whose
+  /// (task, worker) epoch pair went stale are rescored — on a quiet system a
+  /// repeat call costs O(eligible) cache probes plus the top-k selection
+  /// instead of O(n l m l) benefit evaluations. Scores and therefore the
+  /// returned ranking are bit-identical to the cacheless overload. Pass
+  /// nullptrs to disable caching (the plain overload does exactly that).
+  std::vector<size_t> SelectTopK(const std::vector<Task>& tasks,
+                                 const std::vector<Matrix>& matrices,
+                                 const std::vector<std::vector<double>>& truths,
+                                 const std::vector<double>& worker_quality,
+                                 const std::vector<uint8_t>& eligible, size_t k,
+                                 const std::vector<uint64_t>* task_epochs,
+                                 uint64_t worker_epoch,
+                                 std::vector<CachedBenefit>* cache) const;
 
   const TaskAssignerOptions& options() const { return options_; }
 

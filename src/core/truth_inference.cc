@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -30,13 +31,30 @@ Matrix ComputeTruthMatrix(const Task& task,
                           const std::vector<Answer>& task_answers,
                           const std::vector<WorkerQuality>& qualities,
                           double quality_clamp, size_t* skipped_answers) {
+  Matrix truth_matrix;
+  ComputeTruthMatrixInto(task, task_answers, qualities, quality_clamp,
+                         &truth_matrix, skipped_answers);
+  return truth_matrix;
+}
+
+void ComputeTruthMatrixInto(const Task& task,
+                            const std::vector<Answer>& task_answers,
+                            const std::vector<WorkerQuality>& qualities,
+                            double quality_clamp, Matrix* out,
+                            size_t* skipped_answers) {
   const size_t m = task.domain_vector.size();
   const size_t l = task.num_choices;
-  Matrix truth_matrix(m, l, 0.0);
+  Matrix& truth_matrix = *out;
+  truth_matrix.Resize(m, l);
+  // Per-thread scratch: this runs inside the EM ParallelFor fan-out. The
+  // buffers carry no state across calls (valid is rebuilt, log_row zeroed
+  // per domain), so reuse cannot affect the result.
+  thread_local std::vector<const Answer*> valid;
+  thread_local std::vector<double> log_row;
   // Stray answers (worker unknown to `qualities`, mismatched quality
   // dimension, out-of-range choice) are dropped up front: the baselines feed
   // this function caller-supplied answer lists.
-  std::vector<const Answer*> valid;
+  valid.clear();
   valid.reserve(task_answers.size());
   size_t skipped = 0;
   for (const Answer& answer : task_answers) {
@@ -48,7 +66,7 @@ Matrix ComputeTruthMatrix(const Task& task,
   }
   if (skipped_answers != nullptr) *skipped_answers = skipped;
 
-  std::vector<double> log_row(l, 0.0);
+  log_row.assign(l, 0.0);
   for (size_t k = 0; k < m; ++k) {
     std::fill(log_row.begin(), log_row.end(), 0.0);
     for (const Answer* answer : valid) {
@@ -68,7 +86,6 @@ Matrix ComputeTruthMatrix(const Task& task,
     }
   }
   DOCS_DCHECK_FINITE(truth_matrix, "truth matrix (Eq. 3)");
-  return truth_matrix;
 }
 
 std::vector<WorkerQuality> InitializeQualityFromGolden(
@@ -221,19 +238,29 @@ TruthInferenceResult TruthInference::Run(
   }
   const std::vector<WorkerQuality> seeded_quality = result.worker_quality;
 
+  // Previous-iteration snapshots for the convergence check. Both are rotated
+  // by swap, not copied: step 1 overwrites every task_truth entry and step 2
+  // every quality entry, so the stale contents left in `result` by a swap are
+  // never read — only their storage is reused. Byte-identical to the
+  // copy-based rotation (determinism_test covers this).
   std::vector<std::vector<double>> prev_truth(n);
-  std::vector<WorkerQuality> prev_quality;
+  std::vector<WorkerQuality> prev_quality = result.worker_quality;
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Rotate: prev_truth takes the last iteration's truth, and step 1 below
+    // refills result.task_truth (through buffers recycled from two
+    // iterations ago). On break the freshly written truth stays in `result`.
+    std::swap(prev_truth, result.task_truth);
+
     // --- Step 1: infer the truth from qualities (Eq. 2-4). ----------------
     // Each task owns its result slots, so the parallel loop commutes with
     // the sequential one bit for bit.
     ParallelFor(pool, n, [&](size_t i) {
-      result.truth_matrices[i] =
-          ComputeTruthMatrix(tasks[i], answers_of_task[i],
-                             result.worker_quality, options_.quality_clamp);
-      result.task_truth[i] =
-          result.truth_matrices[i].LeftMultiply(tasks[i].domain_vector);
+      ComputeTruthMatrixInto(tasks[i], answers_of_task[i],
+                             result.worker_quality, options_.quality_clamp,
+                             &result.truth_matrices[i]);
+      result.truth_matrices[i].LeftMultiplyInto(tasks[i].domain_vector,
+                                                &result.task_truth[i]);
       // The domain vector always sums to 1 for the wrapper-produced tasks,
       // but guard against callers passing sub-normalized vectors.
       NormalizeInPlace(result.task_truth[i]);
@@ -246,7 +273,7 @@ TruthInferenceResult TruthInference::Run(
     // only w's own answers, accumulated in the same order as the sequential
     // task-major sweep — no cross-thread reduction is needed and the result
     // is identical for every thread count.
-    prev_quality = result.worker_quality;
+    std::swap(prev_quality, result.worker_quality);
     ParallelFor(pool, num_workers, [&](size_t w) {
       std::vector<double> numer(m, 0.0);
       std::vector<double> denom(m, 0.0);
@@ -325,7 +352,6 @@ TruthInferenceResult TruthInference::Run(
                    : 0.0);
       result.delta_history.push_back(delta);
     }
-    prev_truth = result.task_truth;
     result.iterations_run = iter + 1;
     if (iter > 0 && delta < options_.tolerance) break;
   }

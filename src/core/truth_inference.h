@@ -65,6 +65,18 @@ Matrix ComputeTruthMatrix(const Task& task,
                           double quality_clamp = 0.01,
                           size_t* skipped_answers = nullptr);
 
+/// As above but writes into caller-owned storage: `*out` is reshaped to
+/// (m, l_ti) and every cell overwritten, so EM sweeps can reuse one Matrix
+/// per task across iterations instead of allocating a fresh one each time.
+/// The answer filter and softmax row live in thread_local scratch (the
+/// function runs inside ParallelFor bodies). Bit-identical to
+/// ComputeTruthMatrix, which forwards here.
+void ComputeTruthMatrixInto(const Task& task,
+                            const std::vector<Answer>& task_answers,
+                            const std::vector<WorkerQuality>& qualities,
+                            double quality_clamp, Matrix* out,
+                            size_t* skipped_answers = nullptr);
+
 /// Initializes worker qualities from their answers to golden tasks
 /// (Section 5.2): per domain, the r-weighted fraction of correct golden
 /// answers, smoothed toward `options.default_quality`. Weights u are the

@@ -111,6 +111,8 @@ GatewayStats CrowdGateway::stats() const {
   out.protocol_errors = protocol_errors_.load();
   out.faults_injected = faults_injected_.load();
   out.leases_expired = leases_expired_.load();
+  out.benefit_cache_hits = system_->benefit_cache_hits();
+  out.benefit_cache_misses = system_->benefit_cache_misses();
   return out;
 }
 

@@ -54,6 +54,11 @@ struct GatewayStats {
   uint64_t protocol_errors = 0;
   uint64_t faults_injected = 0;
   uint64_t leases_expired = 0;
+  /// Benefit-cache effectiveness of the wrapped system (DESIGN.md §11),
+  /// sampled at stats() time. Local observability only — the frozen wire
+  /// Stats response does not carry these.
+  uint64_t benefit_cache_hits = 0;
+  uint64_t benefit_cache_misses = 0;
 };
 
 /// TCP serving layer in front of ConcurrentDocsSystem: one poll()-based

@@ -1,0 +1,256 @@
+// Equivalence suite for the epoch-tagged benefit cache (DESIGN.md §11).
+//
+// The cache memoizes per-(worker, task) benefit scores keyed on the pair of
+// inference epochs; the contract is that a cached serving path is BITWISE
+// identical to recomputing every score from live inference state — after
+// every mutation class the system supports: answer submissions (including
+// the §4.2 retro-update fan-out onto co-answering workers), lease expiry,
+// the periodic full re-inference, and mid-campaign WorkerStore reseeds.
+// Every comparison below is exact (operator== on doubles), not a tolerance
+// check. scripts/ci.sh additionally runs this binary under TSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/docs_system.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+#include "storage/worker_store.h"
+
+namespace docs::core {
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+constexpr SelectionRule kAllRules[] = {
+    SelectionRule::kBenefit, SelectionRule::kDomainMax,
+    SelectionRule::kUncertainty, SelectionRule::kQualityBlind};
+
+std::vector<std::tuple<size_t, size_t, uint64_t>> Flatten(
+    const std::vector<ExpiredLease>& leases) {
+  std::vector<std::tuple<size_t, size_t, uint64_t>> out;
+  out.reserve(leases.size());
+  for (const auto& lease : leases) {
+    out.emplace_back(lease.worker, lease.task, lease.deadline);
+  }
+  return out;
+}
+
+class BenefitCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static kb::SyntheticKb* kb_;
+};
+
+kb::SyntheticKb* BenefitCacheTest::kb_ = nullptr;
+
+/// Drives a cache-enabled and a cache-disabled DocsSystem through one
+/// identical scripted campaign and asserts every observable is equal at
+/// every step. The script deliberately hits all invalidation classes:
+///  - SubmitAnswer, with several workers sharing tasks (retro fan-out);
+///  - abandoned grants reclaimed by ExpireLeases (which must NOT need any
+///    invalidation — benefit scores do not depend on leases);
+///  - the periodic RunFullInference every reinfer_every answers;
+///  - a WorkerStore reseed of an active worker plus a fresh veteran joining
+///    mid-campaign (worker-epoch bumps outside the answer path).
+TEST_F(BenefitCacheTest, CachedServingPathIsBitIdenticalAcrossRulesAndThreads) {
+  const auto dataset = datasets::MakeItemDataset(*kb_);
+  const auto truths = dataset.Truths();
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 8;
+  const auto personas = crowd::MakeWorkerPool(
+      kb_->knowledge_base.num_domains(), dataset.label_to_domain, pool_options,
+      77);
+
+  const size_t m = kb_->knowledge_base.num_domains();
+  auto store = storage::WorkerStore::InMemory(m);
+  storage::WorkerQualityRecord record;
+  record.quality.assign(m, 0.85);
+  record.weight.assign(m, 3.0);
+  ASSERT_TRUE(store.Put("veteran", record).ok());
+  ASSERT_TRUE(store.Put("vet2", record).ok());
+
+  for (SelectionRule rule : kAllRules) {
+    for (size_t threads : kThreadSweep) {
+      SCOPED_TRACE("rule " + std::to_string(static_cast<int>(rule)) + ", " +
+                   std::to_string(threads) + " threads");
+      DocsSystemOptions options;
+      options.golden_count = 5;
+      options.reinfer_every = 25;  // several full re-runs mid-campaign
+      options.lease_duration = 3;
+      options.selection_rule = rule;
+      options.num_threads = threads;
+      ASSERT_TRUE(options.benefit_cache);
+      DocsSystemOptions cold_options = options;
+      cold_options.benefit_cache = false;
+
+      auto cached = std::make_unique<DocsSystem>(&kb_->knowledge_base, options);
+      auto uncached =
+          std::make_unique<DocsSystem>(&kb_->knowledge_base, cold_options);
+      ASSERT_TRUE(cached->AddTasks(inputs, &truths).ok());
+      ASSERT_TRUE(uncached->AddTasks(inputs, &truths).ok());
+      ASSERT_TRUE(cached->LoadWorker("veteran", store).ok());
+      ASSERT_TRUE(uncached->LoadWorker("veteran", store).ok());
+
+      std::vector<std::string> ids = {"w0", "w1", "w2",      "w3",
+                                      "w4", "w5", "veteran"};
+      Rng rng(61);  // one stream serves both systems: selections are asserted
+                    // equal before any answer is generated
+      for (size_t round = 0; round < 30; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        if (round == 15) {
+          // Mid-campaign reseeds: an active worker's quality is replaced
+          // from the store, and a new veteran joins past the golden phase.
+          ASSERT_TRUE(cached->LoadWorker("veteran", store).ok());
+          ASSERT_TRUE(uncached->LoadWorker("veteran", store).ok());
+          ASSERT_TRUE(cached->LoadWorker("vet2", store).ok());
+          ASSERT_TRUE(uncached->LoadWorker("vet2", store).ok());
+          ids.push_back("vet2");
+        }
+        const std::string& id = ids[round % ids.size()];
+        const size_t w = cached->WorkerIndex(id);
+        ASSERT_EQ(uncached->WorkerIndex(id), w);
+
+        const auto selected = cached->SelectTasks(w, 4);
+        ASSERT_EQ(uncached->SelectTasks(w, 4), selected);
+
+        if (round % 5 == 0) {
+          // Full-score probe: the warm (cache-served) pass, the bypass pass
+          // on the same system, and the cache-disabled system must agree on
+          // every task's score bit for bit.
+          const auto warm = cached->ScoreAllTasks(w, /*bypass_cache=*/false);
+          EXPECT_EQ(cached->ScoreAllTasks(w, /*bypass_cache=*/true), warm);
+          EXPECT_EQ(uncached->ScoreAllTasks(w, /*bypass_cache=*/false), warm);
+        }
+
+        for (size_t s = 0; s < selected.size(); ++s) {
+          // Every third round the worker abandons the last granted task, so
+          // ExpireLeases below has real work to reclaim.
+          if (round % 3 == 2 && s + 1 == selected.size()) continue;
+          const size_t task = selected[s];
+          const size_t choice = crowd::GenerateAnswer(
+              personas[round % personas.size()],
+              dataset.tasks[task].true_domain, dataset.tasks[task].truth,
+              dataset.tasks[task].num_choices(), rng);
+          ASSERT_TRUE(cached->SubmitAnswer(w, task, choice).ok());
+          ASSERT_TRUE(uncached->SubmitAnswer(w, task, choice).ok());
+        }
+
+        if (round == 10 || round == 20) {
+          EXPECT_EQ(Flatten(cached->ExpireLeases(cached->lease_clock())),
+                    Flatten(uncached->ExpireLeases(uncached->lease_clock())));
+        }
+      }
+
+      EXPECT_EQ(cached->InferredChoices(), uncached->InferredChoices());
+      ASSERT_EQ(cached->inference().num_workers(),
+                uncached->inference().num_workers());
+      for (size_t w = 0; w < cached->inference().num_workers(); ++w) {
+        ASSERT_EQ(cached->inference().worker_quality(w).quality,
+                  uncached->inference().worker_quality(w).quality)
+            << "worker " << w;
+        ASSERT_EQ(cached->inference().worker_quality(w).weight,
+                  uncached->inference().worker_quality(w).weight)
+            << "worker " << w;
+      }
+
+      // A quiet repeat request is served from the cache (the first call
+      // refreshes every stale pair; nothing moves in between).
+      const size_t probe = cached->WorkerIndex("w0");
+      const auto first = cached->SelectTasks(probe, 4);
+      const uint64_t hits_before = cached->benefit_cache_hits();
+      EXPECT_EQ(cached->SelectTasks(probe, 4), first);
+      EXPECT_GT(cached->benefit_cache_hits(), hits_before);
+
+      // The disabled cache never counts anything.
+      EXPECT_EQ(uncached->benefit_cache_hits(), 0u);
+      EXPECT_EQ(uncached->benefit_cache_misses(), 0u);
+    }
+  }
+}
+
+TEST_F(BenefitCacheTest, InvalidationIsPreciseForUninvolvedWorkers) {
+  // A submission by worker A on task t must stale exactly one entry of an
+  // uninvolved worker B's row (task t's epoch moved; B's worker epoch did
+  // not), so B's next pass rescores one task and serves the rest cached.
+  const auto dataset = datasets::MakeQaDataset(*kb_, 60, 11);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  DocsSystemOptions options;
+  options.golden_count = 0;  // straight to OTA scoring
+  options.reinfer_every = 0;
+  options.num_threads = 1;
+  DocsSystem system(&kb_->knowledge_base, options);
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+
+  const size_t a = system.WorkerIndex("a");
+  const size_t b = system.WorkerIndex("b");
+  const auto granted = system.SelectTasks(a, 1);
+  ASSERT_EQ(granted.size(), 1u);
+  (void)system.SelectTasks(b, 4);  // warms b's entire row (60 tasks)
+
+  const uint64_t hits_before = system.benefit_cache_hits();
+  const uint64_t misses_before = system.benefit_cache_misses();
+  ASSERT_TRUE(system.SubmitAnswer(a, granted[0], 0).ok());
+  (void)system.SelectTasks(b, 4);
+  // b never answered granted[0], so only that task's epoch bump reaches her
+  // row; every other entry is still fresh.
+  EXPECT_EQ(system.benefit_cache_misses() - misses_before, 1u);
+  EXPECT_EQ(system.benefit_cache_hits() - hits_before, 59u);
+
+  // a's own row is fully stale: her quality (worker epoch) moved.
+  const uint64_t misses_mid = system.benefit_cache_misses();
+  (void)system.SelectTasks(a, 4);
+  // 59 eligible tasks (she answered one), all rescored.
+  EXPECT_EQ(system.benefit_cache_misses() - misses_mid, 59u);
+}
+
+TEST_F(BenefitCacheTest, WarmRequestsKeepHittingUnderEveryRule) {
+  // Rule-independence smoke: all four selection rules route through the
+  // cache, and a quiet system serves repeats entirely from it.
+  const auto dataset = datasets::MakeQaDataset(*kb_, 40, 13);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  for (SelectionRule rule : kAllRules) {
+    SCOPED_TRACE(static_cast<int>(rule));
+    DocsSystemOptions options;
+    options.golden_count = 0;
+    options.reinfer_every = 0;
+    options.num_threads = 1;
+    options.selection_rule = rule;
+    DocsSystem system(&kb_->knowledge_base, options);
+    ASSERT_TRUE(system.AddTasks(inputs).ok());
+    const size_t w = system.WorkerIndex("w");
+    const auto first = system.SelectTasks(w, 5);
+    const uint64_t misses_after_first = system.benefit_cache_misses();
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(system.SelectTasks(w, 5), first);
+    }
+    EXPECT_EQ(system.benefit_cache_misses(), misses_after_first);
+    EXPECT_EQ(system.benefit_cache_hits(), 3u * 40u);
+  }
+}
+
+}  // namespace
+}  // namespace docs::core

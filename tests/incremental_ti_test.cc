@@ -347,5 +347,92 @@ TEST(IncrementalTiTest, SetWorkerQualityRejectsCorruptValues) {
   }
 }
 
+// --- Bounds, answered-set shape, epoch tags ----------------------------------
+
+TEST(IncrementalTiTest, HasAnsweredOutOfRangeReadsFalse) {
+  // Regression: HasAnswered(worker, task) with task >= num_tasks() used to
+  // index past the end of the per-worker bitmap. Both out-of-range axes must
+  // read as "not answered".
+  IncrementalTruthInference engine(TwoDomainTasks(2));
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+
+  EXPECT_FALSE(engine.HasAnswered(0, 2));            // task past the list
+  EXPECT_FALSE(engine.HasAnswered(0, size_t{1} << 40));
+  EXPECT_FALSE(engine.HasAnswered(7, 0));            // unknown worker
+  EXPECT_FALSE(engine.HasAnswered(7, size_t{1} << 40));
+  EXPECT_TRUE(engine.HasAnswered(0, 0));
+}
+
+TEST(IncrementalTiTest, AnsweredTasksIsSortedRegardlessOfSubmissionOrder) {
+  IncrementalTruthInference engine(TwoDomainTasks(6));
+  for (size_t task : {4u, 1u, 5u, 0u, 2u}) {
+    ASSERT_TRUE(engine.OnAnswer(0, task, 0).ok());
+  }
+  const std::vector<size_t> expected = {0, 1, 2, 4, 5};
+  EXPECT_EQ(engine.answered_tasks(0), expected);
+  EXPECT_TRUE(engine.answered_tasks(3).empty());  // never-seen worker
+  for (size_t task : expected) EXPECT_TRUE(engine.HasAnswered(0, task));
+  EXPECT_FALSE(engine.HasAnswered(0, 3));
+}
+
+TEST(IncrementalTiTest, OnAnswerBumpsTaskSubmitterAndRetroWorkers) {
+  // The benefit cache keys on these epochs, so every quality/truth movement
+  // must be visible: an answer touches its task, the submitting worker, and
+  // (via the step-2 retro update) every prior answerer of the same task.
+  IncrementalTruthInference engine(TwoDomainTasks(3));
+  engine.EnsureWorker(0);
+  engine.EnsureWorker(1);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(engine.task_epoch(i), 1u);
+  EXPECT_EQ(engine.worker_epoch(0), 1u);
+  EXPECT_EQ(engine.worker_epoch(1), 1u);
+
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+  EXPECT_EQ(engine.task_epoch(0), 2u);
+  EXPECT_EQ(engine.task_epoch(1), 1u);  // untouched task
+  EXPECT_EQ(engine.worker_epoch(0), 2u);
+  EXPECT_EQ(engine.worker_epoch(1), 1u);  // uninvolved worker
+
+  // Worker 1 answers the same task: worker 0 answered it before, so her
+  // quality is retro-adjusted and her epoch must move too.
+  ASSERT_TRUE(engine.OnAnswer(1, 0, 0).ok());
+  EXPECT_EQ(engine.task_epoch(0), 3u);
+  EXPECT_EQ(engine.worker_epoch(1), 2u);
+  EXPECT_EQ(engine.worker_epoch(0), 3u);
+
+  // A disjoint task leaves worker 0 alone.
+  ASSERT_TRUE(engine.OnAnswer(1, 1, 0).ok());
+  EXPECT_EQ(engine.task_epoch(1), 2u);
+  EXPECT_EQ(engine.worker_epoch(1), 3u);
+  EXPECT_EQ(engine.worker_epoch(0), 3u);
+}
+
+TEST(IncrementalTiTest, QualitySeedAndFullInferenceBumpEpochs) {
+  IncrementalTruthInference engine(TwoDomainTasks(2));
+  engine.EnsureWorker(0);
+  engine.EnsureWorker(1);
+
+  WorkerQuality seed;
+  seed.quality = {0.9, 0.8};
+  seed.weight = {2.0, 2.0};
+  ASSERT_TRUE(engine.SetWorkerQuality(0, seed).ok());
+  EXPECT_EQ(engine.worker_epoch(0), 2u);
+  EXPECT_EQ(engine.worker_epoch(1), 1u);
+
+  ASSERT_TRUE(engine.OnAnswer(0, 0, 1).ok());
+  ASSERT_TRUE(engine.OnAnswer(1, 1, 0).ok());
+  const uint64_t task0 = engine.task_epoch(0);
+  const uint64_t task1 = engine.task_epoch(1);
+  const uint64_t worker0 = engine.worker_epoch(0);
+  const uint64_t worker1 = engine.worker_epoch(1);
+
+  // The full re-run replaces every task's and worker's parameters, so every
+  // epoch must advance (conservative invalidation of all cached benefits).
+  engine.RunFullInference();
+  EXPECT_GT(engine.task_epoch(0), task0);
+  EXPECT_GT(engine.task_epoch(1), task1);
+  EXPECT_GT(engine.worker_epoch(0), worker0);
+  EXPECT_GT(engine.worker_epoch(1), worker1);
+}
+
 }  // namespace
 }  // namespace docs::core

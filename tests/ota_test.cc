@@ -246,6 +246,167 @@ TEST(TaskAssignerTest, SelectionIsDistinct) {
   EXPECT_EQ(selected.size(), 20u);
 }
 
+// --- Fused kernel: bit-exact against the allocating reference ----------------
+
+TEST(FusedKernelTest, MatchesReferenceBitForBit) {
+  // The fused scratch-arena kernel replays the reference's floating-point
+  // operations in the same order, so the contract is exact equality of the
+  // doubles — not a tolerance band.
+  Rng rng(211);
+  BenefitScratch scratch;
+  for (int trial = 0; trial < 40; ++trial) {
+    auto instance = MakeInstance(6, 2 + rng.UniformInt(6), 5, rng);
+    for (size_t i = 0; i < instance.tasks.size(); ++i) {
+      const double reference_entropy = ExpectedPosteriorEntropy(
+          instance.tasks[i], instance.matrices[i], instance.worker_quality);
+      const double fused_entropy = ExpectedPosteriorEntropy(
+          instance.tasks[i], instance.matrices[i], instance.worker_quality,
+          0.01, &scratch);
+      EXPECT_EQ(reference_entropy, fused_entropy) << "trial " << trial;
+
+      const double reference_benefit =
+          Benefit(instance.tasks[i], instance.matrices[i], instance.truths[i],
+                  instance.worker_quality);
+      const double fused_benefit =
+          Benefit(instance.tasks[i], instance.matrices[i], instance.truths[i],
+                  instance.worker_quality, 0.01, &scratch);
+      EXPECT_EQ(reference_benefit, fused_benefit) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FusedKernelTest, MatchesReferenceOnSparseDomainVectors) {
+  // Zeroed domain-vector entries hit the r_k == 0 skip in both kernels; the
+  // skip must be bitwise-neutral (adding +0.0 vs. not adding at all).
+  Rng rng(223);
+  BenefitScratch scratch;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto instance = MakeInstance(4, 5, 4, rng);
+    for (auto& task : instance.tasks) {
+      task.domain_vector[rng.UniformInt(5)] = 0.0;
+      task.domain_vector[rng.UniformInt(5)] = 0.0;
+      NormalizeInPlace(task.domain_vector);
+    }
+    for (size_t i = 0; i < instance.tasks.size(); ++i) {
+      EXPECT_EQ(Benefit(instance.tasks[i], instance.matrices[i],
+                        instance.truths[i], instance.worker_quality),
+                Benefit(instance.tasks[i], instance.matrices[i],
+                        instance.truths[i], instance.worker_quality, 0.01,
+                        &scratch))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(FusedKernelTest, MatchesReferenceOnDegenerateMatrix) {
+  // An all-zero truth-matrix row drives Theorem 3's denominator to zero;
+  // both kernels must fall back to the same uniform posterior.
+  Task task;
+  task.domain_vector = {0.5, 0.5};
+  task.num_choices = 3;
+  Matrix truth_matrix(2, 3, 0.0);
+  truth_matrix.SetRow(0, {0.6, 0.3, 0.1});  // row 1 stays all-zero
+  std::vector<double> truth = {0.5, 0.3, 0.2};
+  std::vector<double> quality = {0.8, 0.7};
+  BenefitScratch scratch;
+  EXPECT_EQ(Benefit(task, truth_matrix, truth, quality),
+            Benefit(task, truth_matrix, truth, quality, 0.01, &scratch));
+}
+
+// --- Epoch-aware SelectTopK --------------------------------------------------
+
+TEST(TaskAssignerCacheTest, CachedSelectionMatchesCachelessOverload) {
+  Rng rng(227);
+  auto instance = MakeInstance(40, 5, 4, rng);
+  std::vector<uint8_t> eligible(40, 1);
+  for (size_t i = 0; i < 40; i += 7) eligible[i] = 0;
+  TaskAssignerOptions options;
+  options.num_threads = 1;
+  TaskAssigner assigner(options);
+
+  const auto baseline =
+      assigner.SelectTopK(instance.tasks, instance.matrices, instance.truths,
+                          instance.worker_quality, eligible, 10);
+
+  std::vector<uint64_t> task_epochs(40, 1);
+  std::vector<CachedBenefit> cache(40);
+  const auto cold =
+      assigner.SelectTopK(instance.tasks, instance.matrices, instance.truths,
+                          instance.worker_quality, eligible, 10, &task_epochs,
+                          1, &cache);
+  EXPECT_EQ(cold, baseline);
+  for (size_t i = 0; i < 40; ++i) {
+    if (!eligible[i]) continue;  // ineligible tasks are never scored
+    EXPECT_EQ(cache[i].task_epoch, 1u) << "task " << i;
+    EXPECT_EQ(cache[i].worker_epoch, 1u) << "task " << i;
+  }
+
+  const auto warm =
+      assigner.SelectTopK(instance.tasks, instance.matrices, instance.truths,
+                          instance.worker_quality, eligible, 10, &task_epochs,
+                          1, &cache);
+  EXPECT_EQ(warm, baseline);
+}
+
+TEST(TaskAssignerCacheTest, FreshEntriesAreServedFromTheCache) {
+  // Poison one cached score without touching its epochs: the repeat call
+  // must trust the entry (proof it did not rescore), and bumping the task
+  // epoch must flush the poison and restore the true ranking.
+  Rng rng(229);
+  auto instance = MakeInstance(20, 4, 3, rng);
+  std::vector<uint8_t> eligible(20, 1);
+  TaskAssignerOptions options;
+  options.num_threads = 1;
+  TaskAssigner assigner(options);
+  std::vector<uint64_t> task_epochs(20, 1);
+  std::vector<CachedBenefit> cache(20);
+
+  const auto baseline =
+      assigner.SelectTopK(instance.tasks, instance.matrices, instance.truths,
+                          instance.worker_quality, eligible, 5, &task_epochs,
+                          1, &cache);
+
+  cache[3].benefit += 100.0;  // dwarfs any real benefit (entropy <= log l)
+  const auto poisoned =
+      assigner.SelectTopK(instance.tasks, instance.matrices, instance.truths,
+                          instance.worker_quality, eligible, 5, &task_epochs,
+                          1, &cache);
+  ASSERT_FALSE(poisoned.empty());
+  EXPECT_EQ(poisoned.front(), 3u);
+
+  task_epochs[3] = 2;  // stale -> rescored from live state
+  const auto refreshed =
+      assigner.SelectTopK(instance.tasks, instance.matrices, instance.truths,
+                          instance.worker_quality, eligible, 5, &task_epochs,
+                          1, &cache);
+  EXPECT_EQ(refreshed, baseline);
+  EXPECT_EQ(cache[3].task_epoch, 2u);
+}
+
+TEST(TaskAssignerCacheTest, WorkerEpochBumpInvalidatesEveryEntry) {
+  Rng rng(233);
+  auto instance = MakeInstance(15, 3, 3, rng);
+  std::vector<uint8_t> eligible(15, 1);
+  TaskAssignerOptions options;
+  options.num_threads = 1;
+  TaskAssigner assigner(options);
+  std::vector<uint64_t> task_epochs(15, 1);
+  std::vector<CachedBenefit> cache(15);
+
+  const auto baseline =
+      assigner.SelectTopK(instance.tasks, instance.matrices, instance.truths,
+                          instance.worker_quality, eligible, 6, &task_epochs,
+                          1, &cache);
+  // Poison every entry; a worker-epoch bump must rescore all of them.
+  for (auto& entry : cache) entry.benefit = -1000.0;
+  const auto rescored =
+      assigner.SelectTopK(instance.tasks, instance.matrices, instance.truths,
+                          instance.worker_quality, eligible, 6, &task_epochs,
+                          2, &cache);
+  EXPECT_EQ(rescored, baseline);
+  for (const auto& entry : cache) EXPECT_EQ(entry.worker_epoch, 2u);
+}
+
 TEST(TaskAssignerDeathTest, RejectsMismatchedEligibilityVector) {
   // Regression: SelectTopK indexes eligible[], matrices[] and truths[] by
   // task id; a short parallel array used to be an out-of-bounds read.
