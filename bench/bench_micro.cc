@@ -47,10 +47,22 @@ void* operator new[](std::size_t size) {
   throw std::bad_alloc();
 }
 
+// GCC's -Wmismatched-new-delete cannot see through the replaced operators at
+// -O2: it pairs the opaque `operator new` call at an inlined delete site with
+// the visible free() below and flags a mismatch. The forwarders are malloc/
+// free-backed by construction, so the pairing is correct; silence the false
+// positive for these definitions only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace docs {
 namespace {

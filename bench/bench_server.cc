@@ -10,6 +10,7 @@
 //
 //   ./build/bench/bench_server [--connections=N] [--ops=N] [--port=P]
 //                              [--mode=mixed|warm] [--json=PATH]
+//                              [--kill-after-ops=N]
 //
 //   --connections  concurrent client connections (default 4)
 //   --ops          wire calls per connection before it disconnects
@@ -23,9 +24,18 @@
 //                  benefit cache's hit path end to end over the wire.
 //   --json         also write the summary metrics as one JSON object to
 //                  PATH (consumed by scripts/bench.sh).
+//   --kill-after-ops  self-crash hook for the chaos harness: SIGKILL this
+//                  process (no cleanup, no flush) once N wire calls have
+//                  completed across all connections. 0 = disabled.
+//
+// Clients are ResilientCrowdClient instances, so a flaky or restarting
+// gateway surfaces as retries/timeouts/reconnects (reported per connection
+// and in --json) instead of aborted runs.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -35,7 +45,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "client/crowd_client.h"
+#include "client/resilient_client.h"
 #include "common/table_printer.h"
 #include "core/concurrent_docs_system.h"
 #include "net/wire.h"
@@ -87,6 +97,7 @@ int main(int argc, char** argv) {
   uint16_t port = static_cast<uint16_t>(FlagValue(argc, argv, "port", 0));
   const std::string mode = StringFlag(argc, argv, "mode", "mixed");
   const std::string json_path = StringFlag(argc, argv, "json", "");
+  const size_t kill_after_ops = FlagValue(argc, argv, "kill-after-ops", 0);
   if (mode != "mixed" && mode != "warm") {
     std::cerr << "unknown --mode=" << mode << " (expected mixed|warm)\n";
     return 1;
@@ -133,14 +144,15 @@ int main(int argc, char** argv) {
   // benefit cache.
   std::vector<std::vector<double>> latencies_us(connections);
   std::vector<size_t> errors(connections, 0);
+  std::vector<docs::client::ResilientClientStats> client_stats(connections);
+  std::atomic<size_t> global_ops{0};
   auto drive = [&](size_t c) {
-    docs::client::CrowdClientOptions client_options;
-    client_options.recv_timeout_ms = 10000;
-    docs::client::CrowdClient client(client_options);
-    if (!client.Connect("127.0.0.1", port).ok()) {
-      errors[c] = ops_per_connection;
-      return;
-    }
+    docs::client::ResilientClientOptions client_options;
+    client_options.port = port;
+    client_options.socket.recv_timeout_ms = 10000;
+    client_options.socket.send_timeout_ms = 10000;
+    client_options.nonce = 0x10ad0000 + c;  // reproducible id namespaces
+    docs::client::ResilientCrowdClient client(client_options);
     const std::string worker = "load-" + std::to_string(c);
     auto& samples = latencies_us[c];
     samples.reserve(ops_per_connection);
@@ -159,6 +171,12 @@ int main(int argc, char** argv) {
         ++next;
       }
       const auto stop = Clock::now();
+      if (kill_after_ops > 0 &&
+          global_ops.fetch_add(1) + 1 >= kill_after_ops) {
+        // Chaos hook: die the way a crashed server process dies — no
+        // destructors, no flushes. The harness watching us expects 137.
+        std::raise(SIGKILL);
+      }
       if (!status.ok()) {
         ++errors[c];
         continue;
@@ -166,6 +184,7 @@ int main(int argc, char** argv) {
       samples.push_back(
           std::chrono::duration<double, std::micro>(stop - start).count());
     }
+    client_stats[c] = client.stats();
   };
 
   const auto wall_start = Clock::now();
@@ -177,10 +196,15 @@ int main(int argc, char** argv) {
 
   std::vector<double> merged;
   size_t total_errors = 0;
+  docs::client::ResilientClientStats totals;
   for (size_t c = 0; c < connections; ++c) {
     merged.insert(merged.end(), latencies_us[c].begin(),
                   latencies_us[c].end());
     total_errors += errors[c];
+    totals.retries += client_stats[c].retries;
+    totals.timeouts += client_stats[c].timeouts;
+    totals.reconnects += client_stats[c].reconnects;
+    totals.duplicate_acks += client_stats[c].duplicate_acks;
   }
   std::sort(merged.begin(), merged.end());
   if (merged.empty()) {
@@ -192,6 +216,9 @@ int main(int argc, char** argv) {
   TablePrinter table({"metric", "value"});
   table.AddRow({"wire calls ok", std::to_string(merged.size())});
   table.AddRow({"errors", std::to_string(total_errors)});
+  table.AddRow({"retries", std::to_string(totals.retries)});
+  table.AddRow({"timeouts", std::to_string(totals.timeouts)});
+  table.AddRow({"reconnects", std::to_string(totals.reconnects)});
   table.AddRow({"wall time (s)", TablePrinter::Fmt(wall_s, 3)});
   table.AddRow({"throughput (ops/s)",
                 TablePrinter::Fmt(static_cast<double>(merged.size()) / wall_s,
@@ -203,6 +230,17 @@ int main(int argc, char** argv) {
   table.AddRow({"p99 latency (us)",
                 TablePrinter::Fmt(Percentile(merged, 0.99), 1)});
   table.Print(std::cout);
+
+  if (totals.retries + totals.timeouts + totals.reconnects > 0) {
+    std::cout << "\nper-connection resilience:\n";
+    for (size_t c = 0; c < connections; ++c) {
+      std::cout << "  conn " << c << ": " << client_stats[c].retries
+                << " retries, " << client_stats[c].timeouts << " timeouts, "
+                << client_stats[c].reconnects << " reconnects, "
+                << client_stats[c].duplicate_acks << " duplicate acks, "
+                << errors[c] << " errors\n";
+    }
+  }
 
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -228,7 +266,24 @@ int main(int argc, char** argv) {
         << "\", \"connections\": " << connections
         << ", \"ops_per_connection\": " << ops_per_connection
         << ", \"wire_calls_ok\": " << merged.size()
-        << ", \"errors\": " << total_errors << ", \"wall_s\": " << wall_s
+        << ", \"errors\": " << total_errors
+        << ", \"retries\": " << totals.retries
+        << ", \"timeouts\": " << totals.timeouts
+        << ", \"reconnects\": " << totals.reconnects
+        << ", \"duplicate_acks\": " << totals.duplicate_acks
+        << ", \"retries_per_connection\": [";
+    for (size_t c = 0; c < connections; ++c) {
+      out << (c > 0 ? "," : "") << client_stats[c].retries;
+    }
+    out << "], \"reconnects_per_connection\": [";
+    for (size_t c = 0; c < connections; ++c) {
+      out << (c > 0 ? "," : "") << client_stats[c].reconnects;
+    }
+    out << "], \"timeouts_per_connection\": [";
+    for (size_t c = 0; c < connections; ++c) {
+      out << (c > 0 ? "," : "") << client_stats[c].timeouts;
+    }
+    out << "], \"wall_s\": " << wall_s
         << ", \"throughput_ops_s\": "
         << (static_cast<double>(merged.size()) / wall_s)
         << ", \"p50_us\": " << Percentile(merged, 0.50)

@@ -1,0 +1,462 @@
+// Network chaos harness: durable exactly-once serving under repeated
+// gateway crashes.
+//
+// The parent process bootstraps a campaign into a recovery directory
+// (checkpoint + answer WAL), then serves it from a child gateway process
+// that it SIGKILLs and respawns --kills times *while* a pool of
+// ResilientCrowdClient worker threads keeps requesting HITs and submitting
+// answers through every outage. Each respawned gateway recovers the
+// campaign from disk before accepting its first connection.
+//
+// At the end the parent SIGKILLs the last child too, recovers the campaign
+// in-process from the same directory, and verifies the durability contract:
+//
+//   1. zero lost answers     — every client-acknowledged submission is in
+//                              the recovered state;
+//   2. zero duplicates       — nothing was applied twice despite retries
+//                              resending the same request_id;
+//   3. bitwise-equal truth   — a fresh reference system fed the same answer
+//                              sequence with no crash converges to a
+//                              posterior bitwise identical to the recovered
+//                              one.
+//
+//   ./build/examples/crash_recovery [--kills=N] [--workers=N] [--rounds=N]
+//                                   [--checkpoint-every=N] [--dir=PATH]
+//
+// scripts/ci.sh runs this under ASan as the chaos stage. Internal flag
+// --serve turns a process into the gateway child (fork + exec keeps the
+// child free of the parent's threads).
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "client/resilient_client.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/concurrent_docs_system.h"
+#include "core/durable_docs_system.h"
+#include "crowd/worker_pool.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+#include "server/crowd_gateway.h"
+
+namespace {
+
+namespace core = docs::core;
+using docs::Status;
+
+size_t FlagValue(int argc, char** argv, const char* name, size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<size_t>(std::atoll(argv[i] + prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Campaign options shared by the bootstrap, every gateway child, the final
+/// recovery, and the reference run — bit-identity requires one config.
+core::DocsSystemOptions CampaignOptions() {
+  core::DocsSystemOptions options;
+  options.golden_count = 8;
+  options.lease_duration = 0;  // leases are volatile state; keep them out
+  options.reinfer_every = 25;
+  return options;
+}
+
+uint16_t PickFreePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  uint16_t port = 0;
+  socklen_t len = sizeof(addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port = ntohs(addr.sin_port);
+  }
+  ::close(fd);
+  return port;
+}
+
+/// Gateway child: recover the campaign from `dir`, serve on `port` until
+/// killed. SO_REUSEADDR in the gateway makes the fixed port reusable across
+/// SIGKILL/respawn cycles.
+int RunServeChild(const std::string& dir, uint16_t port,
+                  size_t checkpoint_every) {
+  const docs::kb::SyntheticKb synthetic = docs::kb::BuildSyntheticKb();
+  core::ConcurrentDocsSystem system(&synthetic.knowledge_base,
+                                    CampaignOptions());
+  core::DurableOptions durable_options;
+  durable_options.dir = dir;
+  durable_options.checkpoint_every = checkpoint_every;
+  core::DurableDocsSystem durable(&system, durable_options);
+  docs::server::CrowdGatewayOptions gateway_options;
+  gateway_options.port = port;
+  docs::server::CrowdGateway gateway(&durable, gateway_options);
+  Status started = docs::OkStatus();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    started = gateway.Start();
+    if (started.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (!started.ok()) {
+    std::cerr << "child gateway start: " << started.ToString() << "\n";
+    return 1;
+  }
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+}
+
+pid_t SpawnServeChild(const char* self, const std::string& dir, uint16_t port,
+                      size_t checkpoint_every) {
+  const std::string dir_arg = "--dir=" + dir;
+  const std::string port_arg = "--port=" + std::to_string(port);
+  const std::string ckpt_arg =
+      "--checkpoint-every=" + std::to_string(checkpoint_every);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl(self, self, "--serve", dir_arg.c_str(), port_arg.c_str(),
+            ckpt_arg.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+void KillAndReap(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+}
+
+struct AckedAnswer {
+  std::string worker;
+  uint64_t task = 0;
+  uint32_t choice = 0;
+
+  bool operator<(const AckedAnswer& other) const {
+    return std::tie(worker, task, choice) <
+           std::tie(other.worker, other.task, other.choice);
+  }
+  bool operator==(const AckedAnswer& other) const {
+    return worker == other.worker && task == other.task &&
+           choice == other.choice;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace crowd = docs::crowd;
+  namespace datasets = docs::datasets;
+  namespace kb = docs::kb;
+  using docs::TablePrinter;
+
+  const size_t kills = FlagValue(argc, argv, "kills", 3);
+  const size_t num_workers = FlagValue(argc, argv, "workers", 4);
+  const size_t rounds = FlagValue(argc, argv, "rounds", 24);
+  const size_t checkpoint_every = FlagValue(argc, argv, "checkpoint-every", 32);
+  std::string dir = StringFlag(argc, argv, "dir", "");
+
+  if (HasFlag(argc, argv, "serve")) {
+    return RunServeChild(
+        dir, static_cast<uint16_t>(FlagValue(argc, argv, "port", 0)),
+        checkpoint_every);
+  }
+
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/docs_crash_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::cerr << "mkdtemp failed\n";
+      return 1;
+    }
+    dir = tmpl;
+  }
+
+  // 1. Bootstrap the campaign into the recovery directory: tasks ingested,
+  // initial checkpoint written. Every later process (gateway children, the
+  // final verification) starts from this directory alone.
+  const kb::SyntheticKb synthetic = kb::BuildSyntheticKb();
+  const datasets::Dataset dataset = datasets::MakeItemDataset(synthetic);
+  std::vector<core::TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  const auto truths = dataset.Truths();
+  {
+    core::ConcurrentDocsSystem bootstrap(&synthetic.knowledge_base,
+                                         CampaignOptions());
+    if (Status status = bootstrap.AddTasks(inputs, &truths); !status.ok()) {
+      std::cerr << "AddTasks: " << status.ToString() << "\n";
+      return 1;
+    }
+    core::DurableOptions durable_options;
+    durable_options.dir = dir;
+    core::DurableDocsSystem durable(&bootstrap, durable_options);
+    if (Status status = durable.Recover(); !status.ok()) {
+      std::cerr << "bootstrap recover: " << status.ToString() << "\n";
+      return 1;
+    }
+    if (Status status = durable.Checkpoint(); !status.ok()) {
+      std::cerr << "bootstrap checkpoint: " << status.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  const uint16_t port = PickFreePort();
+  if (port == 0) {
+    std::cerr << "no free port\n";
+    return 1;
+  }
+  std::cout << "campaign dir: " << dir << "   port: " << port
+            << "   kills: " << kills << "\n";
+
+  pid_t child = SpawnServeChild(argv[0], dir, port, checkpoint_every);
+  if (child < 0) {
+    std::cerr << "fork failed\n";
+    return 1;
+  }
+
+  // 2. The crowd: worker threads that ride through every outage. Every
+  // OK-acknowledged submission is recorded; the durability contract is that
+  // this record and the recovered state match exactly.
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = num_workers;
+  const auto pool = crowd::MakeWorkerPool(
+      synthetic.knowledge_base.num_domains(), dataset.label_to_domain,
+      pool_options, 42);
+  std::mutex acked_mutex;
+  std::vector<AckedAnswer> acked;
+  std::atomic<size_t> acked_count{0};
+  std::atomic<size_t> failed_ops{0};
+  std::atomic<bool> clients_done{false};
+  std::vector<docs::client::ResilientClientStats> client_stats(num_workers);
+
+  auto play = [&](size_t w) {
+    docs::client::ResilientClientOptions options;
+    options.port = port;
+    options.socket.recv_timeout_ms = 2000;
+    options.socket.send_timeout_ms = 2000;
+    options.max_attempts = 400;
+    options.op_deadline_ms = 120000;
+    options.initial_backoff_ms = 2;
+    options.max_backoff_ms = 100;
+    options.nonce = 0xC0FFEE00 + w;
+    docs::client::ResilientCrowdClient client(options);
+    docs::Rng rng(900 + w);
+    for (size_t round = 0; round < rounds; ++round) {
+      std::vector<uint64_t> hit;
+      if (!client.RequestTasks(pool[w].id, 3, &hit).ok()) {
+        failed_ops.fetch_add(1);
+        break;
+      }
+      if (hit.empty()) break;  // pool drained for this worker
+      for (uint64_t task : hit) {
+        const auto& spec = dataset.tasks[task];
+        const uint32_t choice = static_cast<uint32_t>(crowd::GenerateAnswer(
+            pool[w], spec.true_domain, spec.truth, spec.num_choices(), rng));
+        const Status submitted =
+            client.SubmitAnswer(pool[w].id, task, choice);
+        if (submitted.ok()) {
+          std::lock_guard<std::mutex> lock(acked_mutex);
+          acked.push_back({pool[w].id, task, choice});
+          acked_count.fetch_add(1);
+        } else {
+          failed_ops.fetch_add(1);
+        }
+      }
+    }
+    client_stats[w] = client.stats();
+  };
+
+  // 3. The killer: SIGKILL the gateway every ~30 acknowledged answers (so
+  // each crash has fresh WAL tail to replay) and respawn it to recover.
+  std::thread killer([&] {
+    for (size_t k = 1; k <= kills; ++k) {
+      const size_t mark = k * 30;
+      while (acked_count.load() < mark &&
+             !clients_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      KillAndReap(child);
+      child = SpawnServeChild(argv[0], dir, port, checkpoint_every);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < num_workers; ++w) threads.emplace_back(play, w);
+  for (auto& thread : threads) thread.join();
+  clients_done.store(true, std::memory_order_release);
+  killer.join();
+  // The final crash: no drain, no flush — recovery below starts from
+  // whatever the WAL and checkpoint physically hold.
+  KillAndReap(child);
+
+  // 4. Recover in-process and verify the contract.
+  core::ConcurrentDocsSystem recovered_system(&synthetic.knowledge_base,
+                                              CampaignOptions());
+  core::DurableOptions recover_options;
+  recover_options.dir = dir;
+  core::DurableDocsSystem recovered(&recovered_system, recover_options);
+  if (Status status = recovered.Recover(); !status.ok()) {
+    std::cerr << "final recover: " << status.ToString() << "\n";
+    return 1;
+  }
+  const std::vector<std::string> worker_ids = recovered_system.WorkerIds();
+  std::vector<AckedAnswer> replayed =
+      recovered_system.WithLocked([&](core::DocsSystem& system) {
+        std::vector<AckedAnswer> out;
+        for (const core::Answer& answer : system.inference().answers()) {
+          out.push_back({worker_ids[answer.worker], answer.task,
+                         static_cast<uint32_t>(answer.choice)});
+        }
+        return out;
+      });
+
+  // Zero lost, zero duplicated: the acked record and the recovered answers
+  // are the same multiset.
+  std::vector<AckedAnswer> acked_sorted = acked;
+  std::vector<AckedAnswer> replayed_sorted = replayed;
+  std::sort(acked_sorted.begin(), acked_sorted.end());
+  std::sort(replayed_sorted.begin(), replayed_sorted.end());
+  const bool exact = acked_sorted == replayed_sorted;
+
+  // Bitwise-equal posterior: a reference system fed the identical sequence
+  // (same worker registration order, same answers, no crash in between)
+  // must land on the identical truth distribution.
+  core::ConcurrentDocsSystem reference(&synthetic.knowledge_base,
+                                       CampaignOptions());
+  if (Status status = reference.AddTasks(inputs, &truths); !status.ok()) {
+    std::cerr << "reference AddTasks: " << status.ToString() << "\n";
+    return 1;
+  }
+  reference.WithLocked([&](core::DocsSystem& system) {
+    for (const std::string& id : worker_ids) (void)system.WorkerIndex(id);
+    return 0;
+  });
+  bool reference_ok = true;
+  for (const AckedAnswer& answer : replayed) {
+    Status applied =
+        reference.SubmitAnswer(answer.worker, answer.task, answer.choice);
+    if (!applied.ok()) {
+      std::cerr << "reference replay: " << applied.ToString() << "\n";
+      reference_ok = false;
+      break;
+    }
+  }
+  recovered_system.RunFullInference();
+  reference.RunFullInference();
+  bool bitwise_equal = reference_ok;
+  if (reference_ok) {
+    const auto truth_of = [](core::ConcurrentDocsSystem& system) {
+      return system.WithLocked([](core::DocsSystem& inner) {
+        std::vector<std::vector<double>> all;
+        for (size_t t = 0; t < inner.tasks().size(); ++t) {
+          all.push_back(inner.inference().task_truth(t));
+        }
+        return all;
+      });
+    };
+    const auto recovered_truth = truth_of(recovered_system);
+    const auto reference_truth = truth_of(reference);
+    for (size_t t = 0; bitwise_equal && t < recovered_truth.size(); ++t) {
+      bitwise_equal =
+          recovered_truth[t].size() == reference_truth[t].size() &&
+          std::memcmp(recovered_truth[t].data(), reference_truth[t].data(),
+                      recovered_truth[t].size() * sizeof(double)) == 0;
+    }
+    bitwise_equal = bitwise_equal && recovered_system.InferredChoices() ==
+                                         reference.InferredChoices();
+  }
+
+  docs::client::ResilientClientStats totals;
+  for (const auto& stats : client_stats) {
+    totals.retries += stats.retries;
+    totals.reconnects += stats.reconnects;
+    totals.timeouts += stats.timeouts;
+    totals.duplicate_acks += stats.duplicate_acks;
+  }
+  const core::DurableStats durable_stats = recovered.stats();
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"gateway kills", std::to_string(kills)});
+  table.AddRow({"answers acked", std::to_string(acked.size())});
+  table.AddRow({"answers recovered", std::to_string(replayed.size())});
+  table.AddRow({"client retries", std::to_string(totals.retries)});
+  table.AddRow({"client reconnects", std::to_string(totals.reconnects)});
+  table.AddRow({"client timeouts", std::to_string(totals.timeouts)});
+  table.AddRow({"duplicate acks", std::to_string(totals.duplicate_acks)});
+  table.AddRow({"failed ops", std::to_string(failed_ops.load())});
+  table.AddRow({"wal records at recovery",
+                std::to_string(durable_stats.wal_records)});
+  table.AddRow({"answers replayed from wal",
+                std::to_string(durable_stats.answers_recovered)});
+  table.Print(std::cout);
+
+  bool pass = true;
+  if (acked.empty()) {
+    std::cerr << "FAIL: no answers were acknowledged\n";
+    pass = false;
+  }
+  if (!exact) {
+    std::cerr << "FAIL: acked and recovered answer sets differ ("
+              << acked_sorted.size() << " acked vs " << replayed_sorted.size()
+              << " recovered)\n";
+    pass = false;
+  }
+  if (!bitwise_equal) {
+    std::cerr << "FAIL: recovered posterior differs from the uninterrupted "
+                 "reference\n";
+    pass = false;
+  }
+  if (pass) {
+    std::cout << "\nexactly-once verified: zero lost, zero duplicated, "
+                 "posterior bitwise-equal across "
+              << kills << " crash/recover cycles\n";
+    // Success: clean up the scratch directory.
+    std::remove((dir + "/state.ckpt").c_str());
+    std::remove((dir + "/answers.wal").c_str());
+    ::rmdir(dir.c_str());
+  } else {
+    std::cerr << "recovery directory kept for inspection: " << dir << "\n";
+  }
+  return pass ? 0 : 1;
+}

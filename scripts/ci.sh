@@ -62,11 +62,18 @@ run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=ON
 # socket buffer or a use-after-close in the event loop fails CI here.
 echo "=== [sanitize] gateway smoke (serve_campaign under ASan) ==="
 "$ROOT/build-sanitize/examples/serve_campaign" --workers=4 --rounds=3
+# Chaos smoke: SIGKILL the gateway child three times mid-campaign while
+# resilient clients retry through the outages, then verify exactly-once
+# recovery (zero lost, zero duplicated, bitwise-equal posterior) — the
+# parent-side verification runs under ASan+UBSan.
+echo "=== [sanitize] chaos smoke (crash_recovery under ASan) ==="
+"$ROOT/build-sanitize/examples/crash_recovery" --kills=3 --workers=4 --rounds=20
 # TSan cannot be combined with ASan; it gets its own tree, scoped to the
 # tests that actually exercise cross-thread execution (gateway_test runs a
-# server thread against client threads, so it belongs here too).
+# server thread against client threads; durability_test races checkpoints
+# against submitters and restarts gateways under live clients).
 run_config tsan \
-  "parallel_test|determinism_test|benefit_cache_test|concurrency_test|gateway_test" \
+  "parallel_test|determinism_test|benefit_cache_test|concurrency_test|gateway_test|durability_test|resilient_client_test" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=thread
 
 echo "=== [bench] serving-path perf smoke (scripts/bench.sh --quick) ==="

@@ -40,12 +40,23 @@ Status CrowdClient::Connect(const std::string& host, uint16_t port) {
   }
   const int enable = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-  if (options_.recv_timeout_ms > 0) {
+  const auto to_timeval = [](uint64_t ms) {
     timeval tv{};
-    tv.tv_sec = static_cast<time_t>(options_.recv_timeout_ms / 1000);
-    tv.tv_usec =
-        static_cast<suseconds_t>((options_.recv_timeout_ms % 1000) * 1000);
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    return tv;
+  };
+  if (options_.recv_timeout_ms > 0) {
+    const timeval tv = to_timeval(options_.recv_timeout_ms);
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (options_.send_timeout_ms > 0) {
+    const timeval tv = to_timeval(options_.send_timeout_ms);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (options_.send_buffer_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                 sizeof(options_.send_buffer_bytes));
   }
   decoder_ = net::FrameDecoder();
   return OkStatus();
@@ -68,7 +79,9 @@ Status CrowdClient::Call(const net::Frame& request, net::Frame* response) {
                              encoded.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      Status status = Errno("send");
+      Status status = (errno == EAGAIN || errno == EWOULDBLOCK)
+                          ? IoError("send timed out")
+                          : Errno("send");
       Close();
       return status;
     }
@@ -124,11 +137,12 @@ Status CrowdClient::RequestTasks(const std::string& worker_id, uint32_t k,
 }
 
 Status CrowdClient::SubmitAnswer(const std::string& worker_id, uint64_t task,
-                                 uint32_t choice) {
+                                 uint32_t choice, uint64_t request_id) {
   net::SubmitAnswerReq req;
   req.worker_id = worker_id;
   req.task = task;
   req.choice = choice;
+  req.request_id = request_id;
   net::Frame response;
   Status called = Call(net::EncodeSubmitAnswerReq(req), &response);
   if (!called.ok()) return called;

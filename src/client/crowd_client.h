@@ -15,6 +15,13 @@ struct CrowdClientOptions {
   /// forever. A hung server then surfaces as IoError instead of a wedged
   /// caller — tests and the load generator always set this.
   uint64_t recv_timeout_ms = 0;
+  /// Send timeout in milliseconds (SO_SNDTIMEO); 0 blocks forever. A peer
+  /// that stops *reading* fills the socket buffers and would otherwise
+  /// block send() indefinitely — the slow-peer regression test covers this.
+  uint64_t send_timeout_ms = 0;
+  /// When nonzero, shrinks the kernel send buffer (SO_SNDBUF). Test hook:
+  /// the slow-peer test uses a tiny buffer to make send() block quickly.
+  int send_buffer_bytes = 0;
 };
 
 /// Blocking client for the crowd gateway: one TCP connection, one
@@ -45,8 +52,12 @@ class CrowdClient {
   [[nodiscard]] Status RequestTasks(const std::string& worker_id, uint32_t k,
                                     std::vector<uint64_t>* tasks);
 
+  /// `request_id`, when nonzero, is the exactly-once dedup key: a retry
+  /// that resends the same id against a durable gateway is acknowledged
+  /// without double-applying (ResilientCrowdClient relies on this).
   [[nodiscard]] Status SubmitAnswer(const std::string& worker_id,
-                                    uint64_t task, uint32_t choice);
+                                    uint64_t task, uint32_t choice,
+                                    uint64_t request_id = 0);
 
   /// Drives a lease-expiry sweep with logical time `now`; the reclaimed
   /// grants are appended to `*expired` (may be null when only the side
@@ -56,6 +67,9 @@ class CrowdClient {
                                         expired);
 
   [[nodiscard]] Status Stats(net::StatsResp* stats);
+
+  /// The raw socket fd (-1 when disconnected). Test hook only.
+  int native_handle() const { return fd_; }
 
  private:
   /// One synchronous round trip: send `request`, read frames until the

@@ -1,0 +1,143 @@
+#include "client/resilient_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace docs::client {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool IsTimeout(const Status& status) {
+  return status.message().find("timed out") != std::string::npos;
+}
+
+}  // namespace
+
+ResilientCrowdClient::ResilientCrowdClient(ResilientClientOptions options)
+    : options_(std::move(options)), client_(options_.socket) {
+  if (options_.nonce == 0) {
+    options_.nonce = NowMs() ^ (reinterpret_cast<uintptr_t>(this) << 16);
+  }
+  jitter_state_ = options_.nonce;
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+}
+
+bool ResilientCrowdClient::IsRetryable(StatusCode code) {
+  // kUnavailable: the gateway said "try again" (overload, draining, WAL
+  // briefly unwritable). kIoError: the transport died or timed out — the
+  // request may or may not have been applied, which is exactly what the
+  // request_id dedup makes safe to retry. kDataLoss: the response stream
+  // lost framing (a crash mid-write); same uncertainty, same remedy.
+  return code == StatusCode::kUnavailable || code == StatusCode::kIoError ||
+         code == StatusCode::kDataLoss;
+}
+
+double ResilientCrowdClient::NextJitter() {
+  // Top 53 bits → [0, 1), mapped to [0.5, 1.5).
+  const double unit =
+      static_cast<double>(SplitMix64(&jitter_state_) >> 11) / 9007199254740992.0;
+  return 0.5 + unit;
+}
+
+Status ResilientCrowdClient::EnsureConnected() {
+  if (client_.connected()) return OkStatus();
+  Status connected = client_.Connect(options_.host, options_.port);
+  if (connected.ok()) {
+    if (ever_connected_) reconnects_.fetch_add(1, std::memory_order_relaxed);
+    ever_connected_ = true;
+  }
+  return connected;
+}
+
+Status ResilientCrowdClient::RunWithRetry(
+    const std::function<Status(size_t attempt)>& op) {
+  const uint64_t start_ms = NowMs();
+  double backoff_ms = static_cast<double>(options_.initial_backoff_ms);
+  Status last = OkStatus();
+  for (size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      const double capped =
+          std::min(backoff_ms, static_cast<double>(options_.max_backoff_ms));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(capped * NextJitter()));
+      backoff_ms *= options_.backoff_multiplier;
+    }
+    last = EnsureConnected();
+    if (last.ok()) {
+      last = op(attempt);
+      if (last.ok() || !IsRetryable(last.code())) return last;
+    }
+    if (IsTimeout(last)) timeouts_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.op_deadline_ms > 0 &&
+        NowMs() - start_ms >= options_.op_deadline_ms) {
+      break;  // budget exhausted: surface the last transient error
+    }
+  }
+  return last;
+}
+
+Status ResilientCrowdClient::RequestTasks(const std::string& worker_id,
+                                          uint32_t k,
+                                          std::vector<uint64_t>* tasks) {
+  return RunWithRetry([&](size_t) {
+    if (tasks != nullptr) tasks->clear();
+    return client_.RequestTasks(worker_id, k, tasks);
+  });
+}
+
+Status ResilientCrowdClient::SubmitAnswer(const std::string& worker_id,
+                                          uint64_t task, uint32_t choice) {
+  // Same id across every retry of this submission; never 0 (0 opts out of
+  // dedup). High bits namespace the client, low bits count submissions.
+  const uint64_t request_id =
+      ((options_.nonce | 1) << 32) | static_cast<uint32_t>(++next_request_seq_);
+  return RunWithRetry([&](size_t attempt) {
+    Status submitted =
+        client_.SubmitAnswer(worker_id, task, choice, request_id);
+    if (attempt > 0 && submitted.code() == StatusCode::kAlreadyExists) {
+      // An earlier attempt was applied but its ack never arrived (or the
+      // dedup window was rebuilt across a checkpoint hole and the duplicate
+      // surfaced from the (worker, task) check instead). Either way the
+      // answer is in: this retry succeeded.
+      duplicate_acks_.fetch_add(1, std::memory_order_relaxed);
+      return OkStatus();
+    }
+    return submitted;
+  });
+}
+
+Status ResilientCrowdClient::ExpireLeases(
+    uint64_t now, std::vector<net::WireExpiredLease>* expired) {
+  return RunWithRetry(
+      [&](size_t) { return client_.ExpireLeases(now, expired); });
+}
+
+Status ResilientCrowdClient::Stats(net::StatsResp* stats) {
+  return RunWithRetry([&](size_t) { return client_.Stats(stats); });
+}
+
+ResilientClientStats ResilientCrowdClient::stats() const {
+  ResilientClientStats out;
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.reconnects = reconnects_.load(std::memory_order_relaxed);
+  out.timeouts = timeouts_.load(std::memory_order_relaxed);
+  out.duplicate_acks = duplicate_acks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace docs::client

@@ -28,6 +28,20 @@ const char* StatusCodeToString(StatusCode code) {
   return "UNKNOWN";
 }
 
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+      StatusCode::kInternal,     StatusCode::kIoError,
+      StatusCode::kDataLoss,     StatusCode::kUnavailable,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return std::nullopt;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

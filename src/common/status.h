@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace docs {
@@ -27,6 +28,11 @@ enum class StatusCode {
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
 /// ...).
 const char* StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString; nullopt for an unknown name. Used where a
+/// code is persisted by name (the answer WAL's dedup records) so a reordered
+/// enum cannot silently change on-disk meaning.
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// A lightweight absl::Status-like value describing the outcome of an
 /// operation: either OK, or an error code plus message.

@@ -120,6 +120,19 @@ class ConcurrentDocsSystem {
     return system_.inference().num_answers();
   }
 
+  /// Forces a full inference pass (the recovery bit-equality oracle; see
+  /// DocsSystem::RunFullInference).
+  void RunFullInference() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    system_.RunFullInference();
+  }
+
+  /// Registered worker ids in registration order.
+  std::vector<std::string> WorkerIds() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_.WorkerIds();
+  }
+
   uint64_t benefit_cache_hits() {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_.benefit_cache_hits();

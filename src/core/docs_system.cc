@@ -470,6 +470,21 @@ std::vector<size_t> DocsSystem::InferredChoices() {
   return inference_->InferredChoices();
 }
 
+void DocsSystem::RunFullInference() {
+  if (inference_ == nullptr) return;
+  inference_->RunFullInference(ScoringPool());
+  answers_since_reinfer_ = 0;
+}
+
+std::vector<std::string> DocsSystem::WorkerIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(workers_.size());
+  for (const WorkerProfile& worker : workers_) {
+    ids.push_back(worker.external_id);
+  }
+  return ids;
+}
+
 Status DocsSystem::SaveCheckpoint(const std::string& path) const {
   if (inference_ == nullptr) {
     return FailedPreconditionError("no tasks ingested");

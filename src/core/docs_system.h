@@ -200,6 +200,18 @@ class DocsSystem : public AssignmentPolicy {
   /// warm and bypass passes are bitwise equal after every mutation class.
   std::vector<double> ScoreAllTasks(size_t worker, bool bypass_cache);
 
+  /// Re-runs the full iterative inference over all stored answers, restarting
+  /// from the workers' seed profiles. The result depends only on (tasks,
+  /// seeds, answer order), which makes it the bit-equality oracle for crash
+  /// recovery: a recovered system and an uninterrupted reference converge to
+  /// identical posteriors iff they hold identical answer sequences.
+  void RunFullInference();
+
+  /// External ids of every registered worker in registration (dense-index)
+  /// order. Recovery replays registrations in this order so worker indices —
+  /// and therefore inference's float summation order — are reproduced.
+  std::vector<std::string> WorkerIds() const;
+
   // --- AssignmentPolicy -----------------------------------------------------
   std::string name() const override { return options_.display_name; }
   std::vector<size_t> SelectTasks(size_t worker, size_t k) override;

@@ -188,7 +188,7 @@ std::string EncodeFrame(const Frame& frame) {
   std::string out;
   out.reserve(kFrameHeaderSize + frame.payload.size());
   PutU16(&out, kWireMagic);
-  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(frame.version));
   out.push_back(static_cast<char>(frame.type));
   out.push_back(static_cast<char>(StatusCodeToWire(frame.status)));
   out.append(3, '\0');  // reserved
@@ -237,7 +237,7 @@ FrameDecoder::Result FrameDecoder::Next(Frame* frame, std::string* error) {
       reinterpret_cast<const uint8_t*>(buffer_.data() + consumed_);
   const uint16_t magic = static_cast<uint16_t>(head[0] | (head[1] << 8));
   if (magic != kWireMagic) return fail("bad magic");
-  if (head[2] != kWireVersion) {
+  if (head[2] < kMinWireVersion || head[2] > kWireVersion) {
     return fail("unsupported protocol version " + std::to_string(head[2]));
   }
   if (!IsKnownMessageType(head[3])) {
@@ -256,6 +256,7 @@ FrameDecoder::Result FrameDecoder::Next(Frame* frame, std::string* error) {
   }
   if (buffered() < kFrameHeaderSize + payload_len) return Result::kNeedMore;
   frame->type = static_cast<MessageType>(head[3]);
+  frame->version = head[2];
   frame->status = WireToStatusCode(head[4]);
   frame->payload.assign(buffer_, consumed_ + kFrameHeaderSize, payload_len);
   consumed_ += kFrameHeaderSize + payload_len;
@@ -325,6 +326,7 @@ Frame EncodeSubmitAnswerReq(const SubmitAnswerReq& msg) {
   }
   PutU64(&frame.payload, msg.task);
   PutU32(&frame.payload, msg.choice);
+  PutU64(&frame.payload, msg.request_id);
   return frame;
 }
 
@@ -337,6 +339,12 @@ Status DecodeSubmitAnswerReq(const Frame& frame, SubmitAnswerReq* msg) {
   if (!id.ok()) return id;
   if (!reader.ReadU64(&msg->task)) return Truncated("SubmitAnswerReq");
   if (!reader.ReadU32(&msg->choice)) return Truncated("SubmitAnswerReq");
+  // v1 peers predate request ids: their submissions decode as id 0 (no
+  // dedup) instead of being rejected, so an old client keeps working.
+  msg->request_id = 0;
+  if (frame.version >= 2 && !reader.ReadU64(&msg->request_id)) {
+    return Truncated("SubmitAnswerReq");
+  }
   return CheckExhausted(reader, "SubmitAnswerReq");
 }
 
@@ -409,6 +417,8 @@ Frame EncodeStatsResp(const StatsResp& msg) {
   PutU64(&frame.payload, msg.lease_clock);
   PutU64(&frame.payload, msg.requests_served);
   PutU64(&frame.payload, msg.requests_shed);
+  PutU64(&frame.payload, msg.answers_deduped);
+  PutU64(&frame.payload, msg.wal_records);
   return frame;
 }
 
@@ -421,6 +431,13 @@ Status DecodeStatsResp(const Frame& frame, StatsResp* msg) {
       !reader.ReadU64(&msg->lease_clock) ||
       !reader.ReadU64(&msg->requests_served) ||
       !reader.ReadU64(&msg->requests_shed)) {
+    return Truncated("StatsResp");
+  }
+  msg->answers_deduped = 0;
+  msg->wal_records = 0;
+  if (frame.version >= 2 &&
+      (!reader.ReadU64(&msg->answers_deduped) ||
+       !reader.ReadU64(&msg->wal_records))) {
     return Truncated("StatsResp");
   }
   return CheckExhausted(reader, "StatsResp");

@@ -27,8 +27,19 @@ namespace docs::net {
 /// multi-byte integers, here and in payloads, are little-endian regardless
 /// of host order. On a non-OK status the payload is the UTF-8 error message
 /// instead of the typed body.
+///
+/// Version history (a decoder accepts kMinWireVersion..kWireVersion and
+/// surfaces the sender's version on the Frame so body decoders can apply the
+/// older layout):
+///   v1 — PR 4 baseline.
+///   v2 — SubmitAnswerReq carries a trailing client-assigned request_id
+///        (exactly-once dedup key); StatsResp carries trailing
+///        answers_deduped + wal_records durability counters. A v1 peer's
+///        frames decode with request_id = 0 (no dedup) and zeroed
+///        durability counters.
 inline constexpr uint16_t kWireMagic = 0xD0C5;
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kMinWireVersion = 1;
 inline constexpr size_t kFrameHeaderSize = 12;
 /// Upper bound a peer may claim for one payload; a larger length is a
 /// protocol error, not an allocation request — garbage bytes must not make
@@ -64,6 +75,9 @@ StatusCode WireToStatusCode(uint8_t wire);
 struct Frame {
   MessageType type = MessageType::kStatsReq;
   StatusCode status = StatusCode::kOk;
+  /// Protocol version this frame was (or will be) encoded under. Decoders of
+  /// versioned bodies consult it: a v1 SubmitAnswerReq has no request_id.
+  uint8_t version = kWireVersion;
   std::string payload;
 };
 
@@ -120,6 +134,10 @@ struct SubmitAnswerReq {
   std::string worker_id;
   uint64_t task = 0;
   uint32_t choice = 0;
+  /// Client-assigned id for exactly-once submission (v2): a retry resends
+  /// the same id and the server acknowledges without double-applying. 0 (and
+  /// every v1 frame) means "no id" — no dedup protection.
+  uint64_t request_id = 0;
 };
 
 struct ExpireLeasesReq {
@@ -143,6 +161,10 @@ struct StatsResp {
   uint64_t lease_clock = 0;
   uint64_t requests_served = 0;
   uint64_t requests_shed = 0;
+  /// v2 durability counters; 0 when the gateway serves without a durable
+  /// layer (and when decoding a v1 frame).
+  uint64_t answers_deduped = 0;
+  uint64_t wal_records = 0;
 };
 
 Frame EncodeRequestTasksReq(const RequestTasksReq& msg);

@@ -40,11 +40,28 @@ CrowdGateway::CrowdGateway(core::ConcurrentDocsSystem* system,
   if (options_.max_inflight == 0) options_.max_inflight = 1;
 }
 
+CrowdGateway::CrowdGateway(core::DurableDocsSystem* durable,
+                           CrowdGatewayOptions options)
+    : CrowdGateway(durable->facade(), options) {
+  durable_ = durable;
+}
+
 CrowdGateway::~CrowdGateway() { Stop(); }
 
 Status CrowdGateway::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("gateway already running");
+  }
+  if (durable_ != nullptr && !durable_->recovered()) {
+    if (DOCS_FAULT_POINT(kFaultGatewayRecover)) {
+      faults_injected_.fetch_add(1);
+      return IoError("injected recovery failure");
+    }
+    // Recover before binding: no client can reach a gateway whose state is
+    // not yet the pre-crash state. A failed recovery leaves the gateway
+    // stopped; Start() can be retried once the cause clears.
+    Status recovered = durable_->Recover();
+    if (!recovered.ok()) return recovered;
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
@@ -113,6 +130,11 @@ GatewayStats CrowdGateway::stats() const {
   out.leases_expired = leases_expired_.load();
   out.benefit_cache_hits = system_->benefit_cache_hits();
   out.benefit_cache_misses = system_->benefit_cache_misses();
+  if (durable_ != nullptr) {
+    const core::DurableStats durable = durable_->stats();
+    out.answers_deduped = durable.answers_deduped;
+    out.wal_records = durable.wal_records;
+  }
   return out;
 }
 
@@ -316,18 +338,29 @@ net::Frame CrowdGateway::Dispatch(const net::Frame& request) {
       Status decoded = net::DecodeRequestTasksReq(request, &req);
       if (!decoded.ok()) return net::MakeErrorFrame(resp_type, decoded);
       net::RequestTasksResp resp;
-      for (size_t task : system_->RequestTasks(req.worker_id, req.k)) {
-        resp.tasks.push_back(task);
+      std::vector<size_t> tasks;
+      if (durable_ != nullptr) {
+        Status served = durable_->RequestTasks(req.worker_id, req.k, &tasks);
+        if (!served.ok()) return net::MakeErrorFrame(resp_type, served);
+      } else {
+        tasks = system_->RequestTasks(req.worker_id, req.k);
       }
+      for (size_t task : tasks) resp.tasks.push_back(task);
       return net::EncodeRequestTasksResp(resp);
     }
     case net::MessageType::kSubmitAnswerReq: {
       net::SubmitAnswerReq req;
       Status decoded = net::DecodeSubmitAnswerReq(request, &req);
       if (!decoded.ok()) return net::MakeErrorFrame(resp_type, decoded);
-      Status submitted = system_->SubmitAnswer(
-          req.worker_id, static_cast<size_t>(req.task),
-          static_cast<size_t>(req.choice));
+      Status submitted =
+          durable_ != nullptr
+              ? durable_->SubmitAnswer(req.worker_id,
+                                       static_cast<size_t>(req.task),
+                                       static_cast<size_t>(req.choice),
+                                       req.request_id)
+              : system_->SubmitAnswer(req.worker_id,
+                                      static_cast<size_t>(req.task),
+                                      static_cast<size_t>(req.choice));
       if (!submitted.ok()) return net::MakeErrorFrame(resp_type, submitted);
       return net::EncodeSubmitAnswerResp();
     }
@@ -350,6 +383,11 @@ net::Frame CrowdGateway::Dispatch(const net::Frame& request) {
       resp.lease_clock = system_->lease_clock();
       resp.requests_served = requests_served_.load();
       resp.requests_shed = requests_shed_.load();
+      if (durable_ != nullptr) {
+        const core::DurableStats durable = durable_->stats();
+        resp.answers_deduped = durable.answers_deduped;
+        resp.wal_records = durable.wal_records;
+      }
       return net::EncodeStatsResp(resp);
     }
     default:

@@ -12,15 +12,20 @@
 
 #include "common/status.h"
 #include "core/concurrent_docs_system.h"
+#include "core/durable_docs_system.h"
 #include "net/wire.h"
 
 namespace docs::server {
 
 /// Fault points the gateway evaluates on its I/O edges (chaos tests arm
 /// these to prove a flaky network cannot wedge the serving loop).
+/// `gateway/recover` fires at the top of a durable Start(): an injected
+/// failure aborts the boot before the socket binds, modelling a recovery
+/// directory that cannot be read — Start() can simply be retried.
 inline constexpr char kFaultGatewayAccept[] = "gateway/accept";
 inline constexpr char kFaultGatewayRead[] = "gateway/read";
 inline constexpr char kFaultGatewayWrite[] = "gateway/write";
+inline constexpr char kFaultGatewayRecover[] = "gateway/recover";
 
 struct CrowdGatewayOptions {
   /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
@@ -59,6 +64,9 @@ struct GatewayStats {
   /// Stats response does not carry these.
   uint64_t benefit_cache_hits = 0;
   uint64_t benefit_cache_misses = 0;
+  /// Durability counters (wire StatsResp v2); 0 without a durable layer.
+  uint64_t answers_deduped = 0;
+  uint64_t wal_records = 0;
 };
 
 /// TCP serving layer in front of ConcurrentDocsSystem: one poll()-based
@@ -77,6 +85,13 @@ class CrowdGateway {
  public:
   /// `system` must outlive the gateway.
   CrowdGateway(core::ConcurrentDocsSystem* system,
+               CrowdGatewayOptions options = {});
+
+  /// Durable serving: Start() first runs `durable->Recover()` (when it has
+  /// not run yet) so a killed gateway restarts into the same campaign, and
+  /// SubmitAnswer/RequestTasks dispatch through the WAL + dedup layer.
+  /// `durable` (and its facade) must outlive the gateway.
+  CrowdGateway(core::DurableDocsSystem* durable,
                CrowdGatewayOptions options = {});
   ~CrowdGateway();
 
@@ -125,6 +140,9 @@ class CrowdGateway {
   int LeaseSweepTimeout();
 
   core::ConcurrentDocsSystem* system_;
+  /// Non-null in durable deployments; answer/request dispatch then goes
+  /// through the WAL + dedup layer instead of straight at the facade.
+  core::DurableDocsSystem* durable_ = nullptr;
   CrowdGatewayOptions options_;
 
   int listen_fd_ = -1;

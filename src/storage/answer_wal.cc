@@ -1,0 +1,214 @@
+#include "storage/answer_wal.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/string_utils.h"
+
+namespace docs::storage {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string ToHex(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() * 2);
+  for (unsigned char c : raw) {
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 0xf]);
+  }
+  return out;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+bool FromHex(const std::string& hex, std::string* raw) {
+  if (hex.size() % 2 != 0) return false;
+  raw->clear();
+  raw->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexNibble(hex[i]);
+    const int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    raw->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+bool ParseU64(const std::string& field, uint64_t* value) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+std::string SerializeRecord(const AnswerWal::Record& record) {
+  using Kind = AnswerWal::Record::Kind;
+  switch (record.kind) {
+    case Kind::kRegister:
+      return "reg " + ToHex(record.worker_id);
+    case Kind::kAnswer:
+      return "ans " + std::to_string(record.request_id) + ' ' +
+             std::to_string(record.task) + ' ' +
+             std::to_string(record.choice) + ' ' + ToHex(record.worker_id);
+    case Kind::kDedup:
+      return "dedup " + std::to_string(record.request_id) + ' ' +
+             StatusCodeToString(record.code) + ' ' + ToHex(record.worker_id);
+  }
+  return "";
+}
+
+bool ParseWalRecord(const std::string& payload, AnswerWal::Record* record) {
+  using Kind = AnswerWal::Record::Kind;
+  const std::vector<std::string> fields = Split(payload, " ");
+  if (fields.empty()) return false;
+  if (fields[0] == "reg") {
+    if (fields.size() != 2) return false;
+    record->kind = Kind::kRegister;
+    return FromHex(fields[1], &record->worker_id);
+  }
+  if (fields[0] == "ans") {
+    uint64_t choice = 0;
+    if (fields.size() != 5 || !ParseU64(fields[1], &record->request_id) ||
+        !ParseU64(fields[2], &record->task) || !ParseU64(fields[3], &choice) ||
+        choice > UINT32_MAX) {
+      return false;
+    }
+    record->kind = Kind::kAnswer;
+    record->choice = static_cast<uint32_t>(choice);
+    return FromHex(fields[4], &record->worker_id);
+  }
+  if (fields[0] == "dedup") {
+    if (fields.size() != 4 || !ParseU64(fields[1], &record->request_id)) {
+      return false;
+    }
+    const std::optional<StatusCode> code = StatusCodeFromString(fields[2]);
+    if (!code.has_value()) return false;
+    record->kind = Kind::kDedup;
+    record->code = *code;
+    return FromHex(fields[3], &record->worker_id);
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<AnswerWal> AnswerWal::Open(const std::string& path,
+                                    Contents* contents) {
+  if (DOCS_FAULT_POINT(kFaultWalReplay)) {
+    return IoError("injected wal replay failure: " + path);
+  }
+  contents->records.clear();
+  contents->tail_truncated = false;
+
+  std::vector<std::string> payloads;
+  std::string bad_payload;
+  auto replay = [&](const std::string& payload) {
+    if (!bad_payload.empty()) return;
+    Record record;
+    if (!ParseWalRecord(payload, &record)) {
+      bad_payload = payload;
+      return;
+    }
+    payloads.push_back(payload);
+    contents->records.push_back(std::move(record));
+  };
+  bool torn = false;
+  StatusOr<LogStore> store = LogStore::Open(path, replay, &torn);
+  if (!store.ok()) return store.status();
+  if (!bad_payload.empty()) {
+    // Checksum-valid but unparseable: not a torn write (the checksum
+    // matched), so this is corruption or a version skew — refuse to guess.
+    return DataLossError("unparseable WAL record in " + path + ": " +
+                         bad_payload);
+  }
+  // A (worker, request_id) pair may appear at most once across ans + dedup
+  // records; a duplicate means an answer was double-logged.
+  std::set<std::pair<std::string, uint64_t>> seen;
+  for (const Record& record : contents->records) {
+    if (record.kind == Record::Kind::kRegister || record.request_id == 0) {
+      continue;
+    }
+    if (!seen.emplace(record.worker_id, record.request_id).second) {
+      return DataLossError("duplicate request_id " +
+                           std::to_string(record.request_id) +
+                           " for worker in " + path);
+    }
+  }
+  AnswerWal wal(std::move(store).value());
+  wal.payloads_ = std::move(payloads);
+  if (torn) {
+    // Scrub the torn bytes now: appending on top of them would fuse the
+    // torn prefix with the next record and lose both.
+    Status repaired = wal.store_.Compact(wal.payloads_);
+    if (!repaired.ok()) return repaired;
+    contents->tail_truncated = true;
+  }
+  return wal;
+}
+
+Status AnswerWal::AppendRegistration(const std::string& worker_id) {
+  Record record;
+  record.kind = Record::Kind::kRegister;
+  record.worker_id = worker_id;
+  return AppendPayload(SerializeRecord(record));
+}
+
+Status AnswerWal::AppendAnswer(const std::string& worker_id,
+                               uint64_t request_id, uint64_t task,
+                               uint32_t choice) {
+  if (DOCS_FAULT_POINT(kFaultWalAppend)) {
+    return IoError("injected wal append failure: " + path());
+  }
+  Record record;
+  record.kind = Record::Kind::kAnswer;
+  record.worker_id = worker_id;
+  record.request_id = request_id;
+  record.task = task;
+  record.choice = choice;
+  return AppendPayload(SerializeRecord(record));
+}
+
+Status AnswerWal::AppendPayload(const std::string& payload) {
+  Status appended = store_.Append(payload);
+  if (!appended.ok()) {
+    // The failed append may have left a torn half-record; rewrite the log
+    // from the known-good mirror and try once more.
+    Status repaired = store_.Compact(payloads_);
+    if (!repaired.ok()) return appended;
+    appended = store_.Append(payload);
+    if (!appended.ok()) return appended;
+  }
+  payloads_.push_back(payload);
+  return store_.Flush();
+}
+
+Status AnswerWal::ResetTo(const std::vector<Record>& window) {
+  std::vector<std::string> payloads;
+  payloads.reserve(window.size());
+  for (const Record& record : window) {
+    if (record.request_id == 0) continue;  // never a dedup key
+    Record dedup;
+    dedup.kind = Record::Kind::kDedup;
+    dedup.worker_id = record.worker_id;
+    dedup.request_id = record.request_id;
+    dedup.code = record.code;
+    payloads.push_back(SerializeRecord(dedup));
+  }
+  Status compacted = store_.Compact(payloads);
+  if (!compacted.ok()) return compacted;
+  payloads_ = std::move(payloads);
+  return OkStatus();
+}
+
+}  // namespace docs::storage

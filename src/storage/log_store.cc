@@ -49,17 +49,33 @@ LogStore::~LogStore() = default;
 
 StatusOr<LogStore> LogStore::Open(
     const std::string& path,
-    const std::function<void(const std::string& payload)>& replay) {
+    const std::function<void(const std::string& payload)>& replay,
+    bool* tail_truncated) {
+  if (tail_truncated) *tail_truncated = false;
   LogStore store(path);
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (in.is_open()) {
     std::string line;
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       std::string payload;
-      if (!ParseRecord(line, &payload)) break;  // torn/corrupt tail
+      if (!ParseRecord(line, &payload)) {  // torn/corrupt tail
+        if (tail_truncated) *tail_truncated = true;
+        break;
+      }
       if (replay) replay(payload);
       ++store.record_count_;
+    }
+    if (tail_truncated && !*tail_truncated) {
+      // Every line parsed, but a file not ending in '\n' means the last
+      // record's newline was torn off: the next append would fuse with it.
+      in.clear();
+      in.seekg(0, std::ios::end);
+      if (in.tellg() > std::streamoff(0)) {
+        in.seekg(-1, std::ios::end);
+        char last = '\0';
+        if (in.get(last) && last != '\n') *tail_truncated = true;
+      }
     }
   }
   store.file_ = std::make_unique<FileState>();

@@ -32,9 +32,17 @@ class LogStore {
   /// Opens (creating if needed) the log at `path` and replays existing
   /// records through `replay` in append order. Payloads containing newlines
   /// are rejected at append time, so replay yields them verbatim.
+  ///
+  /// When `tail_truncated` is non-null it is set to true if the file held
+  /// bytes past the last valid record (a torn or corrupt tail, or a final
+  /// record missing its newline). Such a tail is dropped from replay but
+  /// still sits in the file: appending on top of it would fuse the torn
+  /// bytes with the next record and corrupt it, so callers that intend to
+  /// append after a crash must Compact() first (AnswerWal does this).
   [[nodiscard]] static StatusOr<LogStore> Open(
       const std::string& path,
-      const std::function<void(const std::string& payload)>& replay);
+      const std::function<void(const std::string& payload)>& replay,
+      bool* tail_truncated = nullptr);
 
   LogStore(LogStore&&) noexcept;
   LogStore& operator=(LogStore&&) noexcept;

@@ -1,0 +1,277 @@
+// ResilientCrowdClient behavior: retryable-vs-fatal classification, backoff
+// budgets, reconnect-and-resume across a gateway restart, duplicate-ack
+// handling when a response is lost after the answer applied, and the
+// slow-peer SO_SNDTIMEO regression (a peer that stops reading must surface
+// as a timeout, not a wedged client).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/crowd_client.h"
+#include "client/resilient_client.h"
+#include "common/fault_injection.h"
+#include "core/concurrent_docs_system.h"
+#include "core/durable_docs_system.h"
+#include "datasets/dataset.h"
+#include "kb/synthetic_kb.h"
+#include "server/crowd_gateway.h"
+
+namespace docs::client {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+class ResilientClientTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new kb::SyntheticKb(kb::BuildSyntheticKb());
+    dataset_ = new datasets::Dataset(datasets::MakeItemDataset(*kb_));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete kb_;
+    dataset_ = nullptr;
+    kb_ = nullptr;
+  }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  static std::unique_ptr<core::ConcurrentDocsSystem> LoadedSystem() {
+    core::DocsSystemOptions options;
+    options.golden_count = 4;
+    options.lease_duration = 0;
+    auto system = std::make_unique<core::ConcurrentDocsSystem>(
+        &kb_->knowledge_base, options);
+    std::vector<core::TaskInput> inputs;
+    for (const auto& task : dataset_->tasks) {
+      inputs.push_back({task.text, task.num_choices()});
+    }
+    auto truths = dataset_->Truths();
+    EXPECT_TRUE(system->AddTasks(inputs, &truths).ok());
+    return system;
+  }
+
+  static ResilientClientOptions FastOptions(uint16_t port) {
+    ResilientClientOptions options;
+    options.port = port;
+    options.socket.recv_timeout_ms = 2000;
+    options.socket.send_timeout_ms = 2000;
+    options.initial_backoff_ms = 1;
+    options.max_backoff_ms = 20;
+    options.nonce = 0x5EED;
+    return options;
+  }
+
+  static kb::SyntheticKb* kb_;
+  static datasets::Dataset* dataset_;
+};
+
+kb::SyntheticKb* ResilientClientTest::kb_ = nullptr;
+datasets::Dataset* ResilientClientTest::dataset_ = nullptr;
+
+TEST_F(ResilientClientTest, ClassifiesTransientVersusFatal) {
+  // Transient: transport failures and server-side "try again".
+  EXPECT_TRUE(ResilientCrowdClient::IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(ResilientCrowdClient::IsRetryable(StatusCode::kIoError));
+  EXPECT_TRUE(ResilientCrowdClient::IsRetryable(StatusCode::kDataLoss));
+  // Fatal: the server's verdict on a delivered request — retrying the same
+  // bytes can only get the same answer.
+  EXPECT_FALSE(ResilientCrowdClient::IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(ResilientCrowdClient::IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(ResilientCrowdClient::IsRetryable(StatusCode::kAlreadyExists));
+  EXPECT_FALSE(ResilientCrowdClient::IsRetryable(StatusCode::kOutOfRange));
+  EXPECT_FALSE(
+      ResilientCrowdClient::IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(ResilientCrowdClient::IsRetryable(StatusCode::kOk));
+}
+
+TEST_F(ResilientClientTest, ExhaustsAttemptBudgetAgainstDeadPort) {
+  // Reserve a port nothing listens on.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);  // bound but never listened: connects are refused
+
+  ResilientClientOptions options = FastOptions(port);
+  options.max_attempts = 3;
+  ResilientCrowdClient client(options);
+  std::vector<uint64_t> tasks;
+  const Status status = client.RequestTasks("w0", 2, &tasks);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(ResilientCrowdClient::IsRetryable(status.code()));
+  EXPECT_EQ(client.stats().retries, 2u);     // attempts 2 and 3
+  EXPECT_EQ(client.stats().reconnects, 0u);  // never connected at all
+}
+
+TEST_F(ResilientClientTest, FatalVerdictIsNotRetried) {
+  auto system = LoadedSystem();
+  server::CrowdGateway gateway(system.get());
+  ASSERT_TRUE(gateway.Start().ok());
+
+  ResilientCrowdClient client(FastOptions(gateway.port()));
+  std::vector<uint64_t> tasks;
+  ASSERT_TRUE(client.RequestTasks("w0", 2, &tasks).ok());
+  // choice 99 is out of range for every task: the server's verdict comes
+  // back verbatim on the first attempt.
+  EXPECT_EQ(client.SubmitAnswer("w0", 0, 99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(client.stats().retries, 0u);
+  gateway.Stop();
+}
+
+TEST_F(ResilientClientTest, RidesThroughGatewayRestart) {
+  const std::string dir = ::testing::TempDir() + "/resilient_restart";
+  ::mkdir(dir.c_str(), 0755);
+  std::remove((dir + "/state.ckpt").c_str());
+  std::remove((dir + "/answers.wal").c_str());
+  auto system = LoadedSystem();
+  core::DurableDocsSystem durable(system.get(), {dir});
+  auto gateway =
+      std::make_unique<server::CrowdGateway>(&durable);
+  ASSERT_TRUE(gateway->Start().ok());
+  const uint16_t port = gateway->port();
+
+  ResilientClientOptions options = FastOptions(port);
+  options.max_attempts = 200;
+  options.op_deadline_ms = 30000;
+  ResilientCrowdClient client(options);
+  std::vector<uint64_t> tasks;
+  ASSERT_TRUE(client.RequestTasks("w0", 2, &tasks).ok());
+  ASSERT_TRUE(client.SubmitAnswer("w0", 0, 0).ok());
+
+  // Take the gateway down; bring a replacement up on the same port (same
+  // durable layer — it already recovered) a beat later.
+  gateway->Stop();
+  gateway.reset();
+  std::thread reviver([&] {
+    std::this_thread::sleep_for(milliseconds(150));
+    server::CrowdGatewayOptions gateway_options;
+    gateway_options.port = port;
+    gateway = std::make_unique<server::CrowdGateway>(&durable,
+                                                     gateway_options);
+    Status started = OkStatus();
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      started = gateway->Start();
+      if (started.ok()) break;
+      std::this_thread::sleep_for(milliseconds(20));
+    }
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  });
+
+  // Issued into the outage: retries + reconnect carry it to the new server.
+  const Status submitted = client.SubmitAnswer("w0", 1, 1);
+  reviver.join();
+  EXPECT_TRUE(submitted.ok()) << submitted.ToString();
+  EXPECT_GE(client.stats().retries, 1u);
+  EXPECT_GE(client.stats().reconnects, 1u);
+  EXPECT_EQ(system->num_answers(), 2u);
+  gateway->Stop();
+}
+
+TEST_F(ResilientClientTest, LostAckRetriesAreDeduplicatedNotDoubleApplied) {
+  // Plain (non-durable) gateway: a response dropped after the answer was
+  // applied makes the retry surface kAlreadyExists from the facade's
+  // (worker, task) check — which the client must count as success.
+  auto system = LoadedSystem();
+  server::CrowdGateway gateway(system.get());
+  ASSERT_TRUE(gateway.Start().ok());
+
+  ResilientClientOptions options = FastOptions(gateway.port());
+  options.max_attempts = 50;
+  ResilientCrowdClient client(options);
+  std::vector<uint64_t> tasks;
+  ASSERT_TRUE(client.RequestTasks("w0", 2, &tasks).ok());
+
+  FaultInjector::Global().ArmProbabilistic(server::kFaultGatewayWrite, 0.3);
+  size_t submitted = 0;
+  for (size_t task = 0; task < 40; ++task) {
+    const Status status =
+        client.SubmitAnswer("w0", task, static_cast<uint32_t>(task % 2));
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ++submitted;
+    if (client.stats().duplicate_acks > 0 && task >= 10) break;
+  }
+  FaultInjector::Global().DisarmAll();
+
+  EXPECT_GT(client.stats().retries, 0u);
+  EXPECT_GT(client.stats().duplicate_acks, 0u);
+  // The exactly-once half of the contract: every acked submission applied
+  // exactly once, no matter how many acks the chaos ate.
+  EXPECT_EQ(system->num_answers(), submitted);
+  gateway.Stop();
+}
+
+TEST_F(ResilientClientTest, SendTimesOutAgainstAPeerThatStopsReading) {
+  // A listener that accepts and then never reads: the kernel buffers fill
+  // and send() would block forever without SO_SNDTIMEO.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  const int rcvbuf = 4096;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+
+  std::atomic<int> peer_fd{-1};
+  std::thread acceptor([&] {
+    peer_fd.store(::accept(listen_fd, nullptr, nullptr));
+  });
+
+  CrowdClientOptions options;
+  options.send_timeout_ms = 200;
+  options.recv_timeout_ms = 200;
+  options.send_buffer_bytes = 4096;
+  CrowdClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  acceptor.join();
+  ASSERT_GE(peer_fd.load(), 0);
+
+  // Fill every buffer between us and the dead peer without blocking.
+  std::vector<char> junk(4096, 'x');
+  while (::send(client.native_handle(), junk.data(), junk.size(),
+                MSG_DONTWAIT | MSG_NOSIGNAL) > 0) {
+  }
+  while (::send(client.native_handle(), junk.data(), 1,
+                MSG_DONTWAIT | MSG_NOSIGNAL) > 0) {
+  }
+
+  // The next real call must fail within the timeout, not hang the thread.
+  const auto start = steady_clock::now();
+  const Status status = client.SubmitAnswer("w0", 0, 0);
+  const auto elapsed = steady_clock::now() - start;
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("timed out"), std::string::npos)
+      << status.ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+
+  ::close(peer_fd.load());
+  ::close(listen_fd);
+}
+
+}  // namespace
+}  // namespace docs::client

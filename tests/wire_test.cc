@@ -59,6 +59,51 @@ TEST(WireTest, SubmitAnswerRoundTrip) {
   EXPECT_EQ(out.choice, req.choice);
 }
 
+TEST(WireTest, SubmitAnswerCarriesRequestId) {
+  SubmitAnswerReq req;
+  req.worker_id = "retry-worker";
+  req.task = 9;
+  req.choice = 2;
+  req.request_id = 0xDEADBEEFCAFE0001ull;
+  const Frame frame = DecodeOne(EncodeFrame(EncodeSubmitAnswerReq(req)));
+  EXPECT_EQ(frame.version, kWireVersion);
+  SubmitAnswerReq out;
+  ASSERT_TRUE(DecodeSubmitAnswerReq(frame, &out).ok());
+  EXPECT_EQ(out.request_id, req.request_id);
+}
+
+// A v1 SubmitAnswerReq (no trailing request_id) must still decode: old
+// clients keep working against a v2 gateway, just without dedup.
+TEST(WireTest, V1SubmitAnswerDecodesWithoutRequestId) {
+  SubmitAnswerReq req;
+  req.worker_id = "legacy";
+  req.task = 4;
+  req.choice = 1;
+  Frame frame = EncodeSubmitAnswerReq(req);
+  frame.version = 1;
+  frame.payload.resize(frame.payload.size() - 8);  // strip the v2 request_id
+  const Frame decoded = DecodeOne(EncodeFrame(frame));
+  EXPECT_EQ(decoded.version, 1);
+  SubmitAnswerReq out;
+  out.request_id = 77;  // must be overwritten with the v1 default
+  ASSERT_TRUE(DecodeSubmitAnswerReq(decoded, &out).ok());
+  EXPECT_EQ(out.worker_id, "legacy");
+  EXPECT_EQ(out.task, 4u);
+  EXPECT_EQ(out.request_id, 0u);
+}
+
+// A frame claiming v2 but lacking the request_id bytes is torn, not legacy.
+TEST(WireTest, V2SubmitAnswerMissingRequestIdIsDataLoss) {
+  SubmitAnswerReq req;
+  req.worker_id = "w";
+  req.task = 1;
+  req.choice = 0;
+  Frame frame = EncodeSubmitAnswerReq(req);
+  frame.payload.resize(frame.payload.size() - 8);
+  SubmitAnswerReq out;
+  EXPECT_EQ(DecodeSubmitAnswerReq(frame, &out).code(), StatusCode::kDataLoss);
+}
+
 TEST(WireTest, ExpireLeasesRoundTrip) {
   ExpireLeasesReq req;
   req.now = 99;
@@ -91,12 +136,35 @@ TEST(WireTest, StatsRoundTrip) {
   resp.lease_clock = 4;
   resp.requests_served = 5;
   resp.requests_shed = 6;
+  resp.answers_deduped = 7;
+  resp.wal_records = 8;
   StatsResp out;
   ASSERT_TRUE(
       DecodeStatsResp(DecodeOne(EncodeFrame(EncodeStatsResp(resp))), &out)
           .ok());
   EXPECT_EQ(out.num_tasks, 1u);
   EXPECT_EQ(out.requests_shed, 6u);
+  EXPECT_EQ(out.answers_deduped, 7u);
+  EXPECT_EQ(out.wal_records, 8u);
+}
+
+// A v1 StatsResp (six counters, no durability fields) decodes with the v2
+// fields zeroed rather than failing.
+TEST(WireTest, V1StatsRespDecodesWithZeroDurabilityCounters) {
+  StatsResp resp;
+  resp.num_tasks = 11;
+  resp.requests_shed = 13;
+  Frame frame = EncodeStatsResp(resp);
+  frame.version = 1;
+  frame.payload.resize(frame.payload.size() - 16);  // strip the v2 counters
+  StatsResp out;
+  out.answers_deduped = 99;
+  out.wal_records = 99;
+  ASSERT_TRUE(DecodeStatsResp(DecodeOne(EncodeFrame(frame)), &out).ok());
+  EXPECT_EQ(out.num_tasks, 11u);
+  EXPECT_EQ(out.requests_shed, 13u);
+  EXPECT_EQ(out.answers_deduped, 0u);
+  EXPECT_EQ(out.wal_records, 0u);
 }
 
 TEST(WireTest, ErrorFrameCarriesStatusAcrossTheWire) {
