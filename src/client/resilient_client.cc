@@ -103,9 +103,12 @@ Status ResilientCrowdClient::RequestTasks(const std::string& worker_id,
 Status ResilientCrowdClient::SubmitAnswer(const std::string& worker_id,
                                           uint64_t task, uint32_t choice) {
   // Same id across every retry of this submission; never 0 (0 opts out of
-  // dedup). High bits namespace the client, low bits count submissions.
+  // dedup). The namespace in the high half folds *both* halves of the nonce
+  // so clients whose nonces differ only in the top 32 bits still draw from
+  // disjoint id spaces; low bits count submissions.
+  const uint64_t ns = ((options_.nonce >> 32) ^ options_.nonce) | 1;
   const uint64_t request_id =
-      ((options_.nonce | 1) << 32) | static_cast<uint32_t>(++next_request_seq_);
+      (ns << 32) | static_cast<uint32_t>(++next_request_seq_);
   return RunWithRetry([&](size_t attempt) {
     Status submitted =
         client_.SubmitAnswer(worker_id, task, choice, request_id);

@@ -408,17 +408,20 @@ Frame EncodeStatsReq() {
   return frame;
 }
 
-Frame EncodeStatsResp(const StatsResp& msg) {
+Frame EncodeStatsResp(const StatsResp& msg, uint8_t version) {
   Frame frame;
   frame.type = MessageType::kStatsResp;
+  frame.version = version;
   PutU64(&frame.payload, msg.num_tasks);
   PutU64(&frame.payload, msg.num_answers);
   PutU64(&frame.payload, msg.outstanding_leases);
   PutU64(&frame.payload, msg.lease_clock);
   PutU64(&frame.payload, msg.requests_served);
   PutU64(&frame.payload, msg.requests_shed);
-  PutU64(&frame.payload, msg.answers_deduped);
-  PutU64(&frame.payload, msg.wal_records);
+  if (version >= 2) {
+    PutU64(&frame.payload, msg.answers_deduped);
+    PutU64(&frame.payload, msg.wal_records);
+  }
   return frame;
 }
 

@@ -36,7 +36,9 @@ namespace docs::net {
 ///        (exactly-once dedup key); StatsResp carries trailing
 ///        answers_deduped + wal_records durability counters. A v1 peer's
 ///        frames decode with request_id = 0 (no dedup) and zeroed
-///        durability counters.
+///        durability counters, and the server mirrors the request's version
+///        onto its response (encoding versioned bodies at that version), so
+///        a v1 client also *receives* frames its decoder accepts.
 inline constexpr uint16_t kWireMagic = 0xD0C5;
 inline constexpr uint8_t kWireVersion = 2;
 inline constexpr uint8_t kMinWireVersion = 1;
@@ -192,7 +194,11 @@ Frame EncodeExpireLeasesResp(const ExpireLeasesResp& msg);
 
 Frame EncodeStatsReq();
 
-Frame EncodeStatsResp(const StatsResp& msg);
+/// `version` selects the payload layout (and is stamped on the frame): a
+/// server answering a v1 peer must encode at the peer's version or the
+/// peer's decoder rejects the frame outright. Versions below 2 omit the
+/// trailing durability counters.
+Frame EncodeStatsResp(const StatsResp& msg, uint8_t version = kWireVersion);
 [[nodiscard]] Status DecodeStatsResp(const Frame& frame, StatsResp* msg);
 
 }  // namespace docs::net

@@ -324,6 +324,9 @@ void CrowdGateway::ServeFrame(Connection& conn, const net::Frame& request) {
     requests_served_.fetch_add(1);
     response = Dispatch(request);
   }
+  // Mirror the requester's wire version: a v1 peer's decoder rejects any
+  // frame stamped with a newer version.
+  response.version = request.version;
   const std::string encoded = net::EncodeFrame(response);
   conn.outbuf.append(encoded);
   conn.pending_responses.push_back(encoded.size());
@@ -388,7 +391,9 @@ net::Frame CrowdGateway::Dispatch(const net::Frame& request) {
         resp.answers_deduped = durable.answers_deduped;
         resp.wal_records = durable.wal_records;
       }
-      return net::EncodeStatsResp(resp);
+      // Encode at the requester's version: v1 peers take the six-counter
+      // layout (the blanket version mirror above cannot re-shape a payload).
+      return net::EncodeStatsResp(resp, request.version);
     }
     default:
       return net::MakeErrorFrame(

@@ -180,17 +180,42 @@ Status AnswerWal::AppendAnswer(const std::string& worker_id,
 }
 
 Status AnswerWal::AppendPayload(const std::string& payload) {
+  if (tail_dirty_) {
+    // An earlier failure left bytes past the mirror that a repair could not
+    // scrub. Appending on top would fuse with them and corrupt both records,
+    // so retry the scrub first and refuse the append while it keeps failing.
+    Status repaired = store_.Compact(payloads_);
+    if (!repaired.ok()) {
+      return UnavailableError("answer log tail dirty: " + repaired.ToString());
+    }
+    tail_dirty_ = false;
+  }
   Status appended = store_.Append(payload);
   if (!appended.ok()) {
     // The failed append may have left a torn half-record; rewrite the log
     // from the known-good mirror and try once more.
     Status repaired = store_.Compact(payloads_);
-    if (!repaired.ok()) return appended;
+    if (!repaired.ok()) {
+      tail_dirty_ = true;
+      return appended;
+    }
     appended = store_.Append(payload);
-    if (!appended.ok()) return appended;
+    if (!appended.ok()) {
+      if (!store_.Compact(payloads_).ok()) tail_dirty_ = true;
+      return appended;
+    }
+  }
+  Status flushed = store_.Flush();
+  if (!flushed.ok()) {
+    // The record reached the stream but its durability is unknown, and the
+    // caller records no dedup entry for a failed append — so a retry with
+    // the same request_id will re-log it. Physically roll the record back
+    // (Open rejects duplicate (worker, request_id) pairs as kDataLoss).
+    if (!store_.Compact(payloads_).ok()) tail_dirty_ = true;
+    return flushed;
   }
   payloads_.push_back(payload);
-  return store_.Flush();
+  return OkStatus();
 }
 
 Status AnswerWal::ResetTo(const std::vector<Record>& window) {

@@ -71,10 +71,14 @@ class AnswerWal {
   [[nodiscard]] Status AppendRegistration(const std::string& worker_id);
 
   /// Durably logs one submitted answer. Flushes before returning: once this
-  /// is OK the answer survives a crash. On a torn append the WAL compacts
-  /// itself back to its valid prefix and retries once; if that also fails
-  /// the error is returned and the log is still valid (the half record, if
-  /// any, will be dropped by the next Open).
+  /// is OK the answer survives a crash. On failure nothing is logged as far
+  /// as callers are concerned — a torn append is compacted back to the valid
+  /// prefix and retried once, and a record whose flush failed is physically
+  /// rolled back so a same-request_id retry re-logs it instead of creating a
+  /// duplicate. If even the repair compaction fails the tail is marked dirty
+  /// and every later append returns kUnavailable (after re-attempting the
+  /// scrub) until a compaction succeeds — appending onto unscrubbed bytes
+  /// would fuse records and silently lose an acked answer.
   [[nodiscard]] Status AppendAnswer(const std::string& worker_id,
                                     uint64_t request_id, uint64_t task,
                                     uint32_t choice);
@@ -94,6 +98,10 @@ class AnswerWal {
   /// Mirror of every payload physically in the log, in order — the compact
   /// set for torn-tail self-repair.
   std::vector<std::string> payloads_;
+  /// True while the file may hold bytes past the mirror (a failed append or
+  /// rollback whose repair compaction also failed). Appends are refused
+  /// until a compaction scrubs the tail.
+  bool tail_dirty_ = false;
 };
 
 }  // namespace docs::storage

@@ -59,8 +59,19 @@ StatusOr<LogStore> LogStore::Open(
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       std::string payload;
-      if (!ParseRecord(line, &payload)) {  // torn/corrupt tail
-        if (tail_truncated) *tail_truncated = true;
+      if (!ParseRecord(line, &payload)) {
+        // A torn write can only damage the end of the file. If any
+        // checksum-valid record follows this line, the damage is mid-file
+        // corruption (bit rot, partial overwrite); truncating here would
+        // silently drop the valid records after it, so refuse to guess.
+        std::string later;
+        while (std::getline(in, line)) {
+          if (!line.empty() && ParseRecord(line, &later)) {
+            return DataLossError("corrupt record followed by valid records: " +
+                                 path);
+          }
+        }
+        if (tail_truncated) *tail_truncated = true;  // torn/corrupt tail
         break;
       }
       if (replay) replay(payload);

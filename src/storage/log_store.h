@@ -22,11 +22,11 @@ inline constexpr char kFaultCompactRename[] = "log_store.compact_rename";
 /// A crash-safe append-only record log: the storage primitive under
 /// WorkerStore and the DOCS system-state checkpoints.
 ///
-/// Each record is a single line `PUT <payload> #<fnv1a(payload)>`. Replay
-/// stops at the first corrupt or torn record, so everything before a crash
-/// point is recovered and a half-written tail is dropped. Compact() rewrites
-/// the log atomically (write temp + rename) with a caller-provided record
-/// set.
+/// Each record is a single line `PUT <payload> #<fnv1a(payload)>`. A torn
+/// or corrupt *tail* is dropped on replay, so everything before a crash
+/// point is recovered; corruption strictly inside the file fails Open (see
+/// below). Compact() rewrites the log atomically (write temp + rename) with
+/// a caller-provided record set.
 class LogStore {
  public:
   /// Opens (creating if needed) the log at `path` and replays existing
@@ -39,6 +39,11 @@ class LogStore {
   /// still sits in the file: appending on top of it would fuse the torn
   /// bytes with the next record and corrupt it, so callers that intend to
   /// append after a crash must Compact() first (AnswerWal does this).
+  ///
+  /// Only a trailing run of bad bytes is treated as a torn tail. A corrupt
+  /// record with checksum-valid records after it cannot be a torn write —
+  /// that is mid-file corruption, and Open fails with kDataLoss rather than
+  /// silently dropping the valid records behind it.
   [[nodiscard]] static StatusOr<LogStore> Open(
       const std::string& path,
       const std::function<void(const std::string& payload)>& replay,

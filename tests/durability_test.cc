@@ -329,6 +329,30 @@ TEST_F(DurabilityTest, DuplicateRequestIdInWalIsDataLoss) {
   EXPECT_EQ(durable.Recover().code(), StatusCode::kDataLoss);
 }
 
+TEST_F(DurabilityTest, MidWalCorruptionIsDataLossNotSilentTruncation) {
+  const std::string dir = FreshDir("dur_mid_corrupt");
+  {
+    auto system = LoadedSystem();
+    DurableDocsSystem durable(system.get(), {dir});
+    ASSERT_TRUE(durable.Recover().ok());
+    Register(durable, "w0");
+    ASSERT_TRUE(durable.SubmitAnswer("w0", 0, 0, 41).ok());
+    ASSERT_TRUE(durable.SubmitAnswer("w0", 1, 1, 42).ok());
+  }
+  // Bit rot strictly inside the file: an acked answer (42) still follows the
+  // damaged record, so this cannot be a torn tail. Truncating there would
+  // silently drop answer 42 — recovery must refuse instead of guessing.
+  std::string wal = ReadFileBytes(dir + "/answers.wal");
+  const size_t pos = wal.find("ans 41");
+  ASSERT_NE(pos, std::string::npos);
+  wal[pos] = 'X';
+  WriteFileBytes(dir + "/answers.wal", wal);
+
+  auto system = LoadedSystem();
+  DurableDocsSystem durable(system.get(), {dir});
+  EXPECT_EQ(durable.Recover().code(), StatusCode::kDataLoss);
+}
+
 // --- Dedup window ------------------------------------------------------------
 
 TEST_F(DurabilityTest, RetriesAreAnsweredFromWindowWithOriginalStatus) {
@@ -458,6 +482,68 @@ TEST_F(DurabilityTest, WalAppendFaultRejectsRetryablyWithoutApplying) {
   EXPECT_TRUE(durable.SubmitAnswer("w0", 0, 0, 61).ok());
   EXPECT_EQ(system->num_answers(), 1u);
   EXPECT_EQ(durable.stats().answers_deduped, 0u);  // fresh apply, not dedup
+}
+
+TEST_F(DurabilityTest, FlushFaultRollsBackSoTheRetryCannotDuplicate) {
+  const std::string dir = FreshDir("dur_flush_fault");
+  {
+    auto system = LoadedSystem();
+    DurableDocsSystem durable(system.get(), {dir});
+    ASSERT_TRUE(durable.Recover().ok());
+    Register(durable, "w0");
+
+    FaultInjector::Global().ArmOneShot(storage::kFaultFlush);
+    const Status rejected = durable.SubmitAnswer("w0", 0, 0, 81);
+    EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(client::ResilientCrowdClient::IsRetryable(rejected.code()));
+    EXPECT_EQ(system->num_answers(), 0u);
+    FaultInjector::Global().DisarmAll();
+
+    // The record whose flush failed was physically rolled back, so the
+    // same-request_id retry re-logs it: a fresh apply, not a dedup hit, and
+    // never a duplicate (worker, request_id) pair in the file.
+    EXPECT_TRUE(durable.SubmitAnswer("w0", 0, 0, 81).ok());
+    EXPECT_EQ(system->num_answers(), 1u);
+    EXPECT_EQ(durable.stats().answers_deduped, 0u);
+  }
+  // The WAL reopens cleanly — a duplicate pair would be kDataLoss and brick
+  // every future restart.
+  auto replayed = LoadedSystem();
+  DurableDocsSystem recovered(replayed.get(), {dir});
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(replayed->num_answers(), 1u);
+}
+
+TEST_F(DurabilityTest, DirtyTailRefusesAppendsUntilScrubSucceeds) {
+  const std::string path = FreshDir("dur_dirty_tail") + "/answers.wal";
+  storage::AnswerWal::Contents contents;
+  auto wal = storage::AnswerWal::Open(path, &contents);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->AppendAnswer("w0", 91, 0, 0).ok());
+
+  // A torn append whose in-place repair also fails leaves unscrubbed bytes
+  // in the file.
+  FaultInjector::Global().ArmOneShot(storage::kFaultAppend);
+  FaultInjector::Global().ArmEveryNth(storage::kFaultCompactWrite, 1);
+  EXPECT_FALSE(wal->AppendAnswer("w0", 92, 1, 1).ok());
+
+  // While the scrub keeps failing every append is refused as retryable:
+  // appending onto the torn bytes would fuse two records into one
+  // checksum-invalid line and silently lose an acked answer.
+  EXPECT_EQ(wal->AppendAnswer("w0", 92, 1, 1).code(),
+            StatusCode::kUnavailable);
+
+  // Once compaction works again the tail is scrubbed and the append lands.
+  FaultInjector::Global().Disarm(storage::kFaultCompactWrite);
+  EXPECT_TRUE(wal->AppendAnswer("w0", 92, 1, 1).ok());
+
+  storage::AnswerWal::Contents reopened;
+  auto again = storage::AnswerWal::Open(path, &reopened);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(reopened.tail_truncated);
+  ASSERT_EQ(reopened.records.size(), 2u);
+  EXPECT_EQ(reopened.records[0].request_id, 91u);
+  EXPECT_EQ(reopened.records[1].request_id, 92u);
 }
 
 TEST_F(DurabilityTest, WalReplayFaultFailsRecoverThenRetrySucceeds) {

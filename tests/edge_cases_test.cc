@@ -105,36 +105,51 @@ TEST_F(EdgeCasesTest, CampaignTerminatesWhenBudgetExceedsSupply) {
 
 // --- LogStore corruption mid-file ----------------------------------------------
 
-TEST(LogStoreEdgeTest, CorruptMiddleRecordTruncatesSuffix) {
+TEST(LogStoreEdgeTest, CorruptMiddleRecordIsDataLossCorruptTailTruncates) {
   const std::string path = ::testing::TempDir() + "/mid_corrupt.log";
-  std::remove(path.c_str());
-  {
-    auto log = storage::LogStore::Open(path, nullptr);
-    ASSERT_TRUE(log.ok());
-    ASSERT_TRUE(log->Append("first").ok());
-    ASSERT_TRUE(log->Append("second").ok());
-    ASSERT_TRUE(log->Append("third").ok());
-    ASSERT_TRUE(log->Flush().ok());
-  }
-  // Flip a byte inside the second record's payload.
-  {
+  const auto write_log_with_corrupt = [&](const std::string& victim) {
+    std::remove(path.c_str());
+    {
+      auto log = storage::LogStore::Open(path, nullptr);
+      ASSERT_TRUE(log.ok());
+      ASSERT_TRUE(log->Append("first").ok());
+      ASSERT_TRUE(log->Append("second").ok());
+      ASSERT_TRUE(log->Append("third").ok());
+      ASSERT_TRUE(log->Flush().ok());
+    }
+    // Flip a byte inside the victim record's payload.
     std::ifstream in(path);
     std::stringstream buffer;
     buffer << in.rdbuf();
     std::string contents = buffer.str();
-    const size_t pos = contents.find("second");
+    const size_t pos = contents.find(victim);
     ASSERT_NE(pos, std::string::npos);
     contents[pos] = 'X';
     std::ofstream out(path, std::ios::trunc);
     out << contents;
-  }
+  };
+
+  // Corruption strictly inside the file cannot be a torn write — valid
+  // records follow it — so Open refuses with kDataLoss instead of silently
+  // dropping the acked suffix.
+  write_log_with_corrupt("second");
   std::vector<std::string> replayed;
-  auto log = storage::LogStore::Open(
-      path, [&](const std::string& payload) { replayed.push_back(payload); });
-  ASSERT_TRUE(log.ok());
-  // Replay keeps the intact prefix and drops everything from the corruption
-  // point on (append-only semantics: the suffix cannot be trusted).
-  EXPECT_EQ(replayed, (std::vector<std::string>{"first"}));
+  const auto replay = [&](const std::string& payload) {
+    replayed.push_back(payload);
+  };
+  auto mid = storage::LogStore::Open(path, replay);
+  ASSERT_FALSE(mid.ok());
+  EXPECT_EQ(mid.status().code(), StatusCode::kDataLoss);
+
+  // The same corruption in the *last* record is indistinguishable from a
+  // crash mid-append: the intact prefix is recovered and the tail flagged.
+  write_log_with_corrupt("third");
+  replayed.clear();
+  bool torn = false;
+  auto tail = storage::LogStore::Open(path, replay, &torn);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_TRUE(torn);
+  EXPECT_EQ(replayed, (std::vector<std::string>{"first", "second"}));
 }
 
 // --- Entity linker corner cases --------------------------------------------------

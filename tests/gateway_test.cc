@@ -263,6 +263,43 @@ TEST_F(GatewayTest, TornFramesAndPipelinedRequests) {
   ::close(fd);
 }
 
+// A v1 peer must be able to decode what comes back, not just be decoded:
+// its strict decoder rejects any frame stamped with a newer version, so the
+// gateway mirrors the requester's version onto responses and re-shapes
+// versioned bodies (StatsResp) to the v1 layout.
+TEST_F(GatewayTest, V1PeerGetsV1ResponsesItCanDecode) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  Serving serving = StartServing(options);
+  const int fd = RawConnect(serving.gateway->port());
+
+  net::RequestTasksReq tasks_req;
+  tasks_req.worker_id = "legacy";
+  tasks_req.k = 2;
+  net::Frame tasks_frame = net::EncodeRequestTasksReq(tasks_req);
+  tasks_frame.version = 1;
+  net::Frame stats_frame = net::EncodeStatsReq();
+  stats_frame.version = 1;
+  const std::string burst =
+      net::EncodeFrame(tasks_frame) + net::EncodeFrame(stats_frame);
+  ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+
+  auto frames = ReadFrames(fd, 2);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, net::MessageType::kRequestTasksResp);
+  EXPECT_EQ(frames[0].version, 1);
+  ASSERT_EQ(frames[1].type, net::MessageType::kStatsResp);
+  EXPECT_EQ(frames[1].version, 1);
+  // v1 layout: six u64 counters, no v2 durability trailer (which a v1
+  // decoder would reject as trailing garbage).
+  EXPECT_EQ(frames[1].payload.size(), 48u);
+  net::StatsResp stats;
+  ASSERT_TRUE(net::DecodeStatsResp(frames[1], &stats).ok());
+  EXPECT_GT(stats.num_tasks, 0u);
+  ::close(fd);
+}
+
 TEST_F(GatewayTest, GarbageBytesCloseTheConnection) {
   core::DocsSystemOptions options;
   options.golden_count = 0;

@@ -219,6 +219,38 @@ TEST_F(ResilientClientTest, LostAckRetriesAreDeduplicatedNotDoubleApplied) {
   gateway.Stop();
 }
 
+TEST_F(ResilientClientTest, NoncesDifferingOnlyInHighBitsDoNotCollide) {
+  const std::string dir = ::testing::TempDir() + "/resilient_nonce_ns";
+  ::mkdir(dir.c_str(), 0755);
+  std::remove((dir + "/state.ckpt").c_str());
+  std::remove((dir + "/answers.wal").c_str());
+  auto system = LoadedSystem();
+  core::DurableDocsSystem durable(system.get(), {dir});
+  server::CrowdGateway gateway(&durable);
+  ASSERT_TRUE(gateway.Start().ok());
+
+  // Two clients whose reproducibility nonces agree in the low 32 bits. An
+  // id namespace built from the low half alone would make them generate
+  // identical request_id sequences — and since both submit for the same
+  // worker, the gateway would dedup client B's first *fresh* answer against
+  // client A's submission and silently drop it.
+  ResilientClientOptions a_options = FastOptions(gateway.port());
+  a_options.nonce = (1ULL << 32) | 7;
+  ResilientClientOptions b_options = FastOptions(gateway.port());
+  b_options.nonce = (2ULL << 32) | 7;
+  ResilientCrowdClient a(a_options);
+  ResilientCrowdClient b(b_options);
+
+  std::vector<uint64_t> tasks;
+  ASSERT_TRUE(a.RequestTasks("w0", 2, &tasks).ok());
+  ASSERT_TRUE(a.SubmitAnswer("w0", 0, 0).ok());
+  ASSERT_TRUE(b.SubmitAnswer("w0", 1, 1).ok());
+
+  EXPECT_EQ(system->num_answers(), 2u);
+  EXPECT_EQ(durable.stats().answers_deduped, 0u);
+  gateway.Stop();
+}
+
 TEST_F(ResilientClientTest, SendTimesOutAgainstAPeerThatStopsReading) {
   // A listener that accepts and then never reads: the kernel buffers fill
   // and send() would block forever without SO_SNDTIMEO.

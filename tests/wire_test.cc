@@ -167,6 +167,26 @@ TEST(WireTest, V1StatsRespDecodesWithZeroDurabilityCounters) {
   EXPECT_EQ(out.wal_records, 0u);
 }
 
+// A server answering a v1 peer encodes at the peer's version: the frame is
+// stamped v1 and the payload takes the six-counter layout without the v2
+// durability trailer (which a v1 decoder would reject as trailing bytes).
+TEST(WireTest, StatsRespEncodedForV1PeerOmitsDurabilityCounters) {
+  StatsResp resp;
+  resp.num_tasks = 3;
+  resp.requests_served = 5;
+  resp.answers_deduped = 7;
+  resp.wal_records = 9;
+  const Frame frame = EncodeStatsResp(resp, 1);
+  EXPECT_EQ(frame.version, 1);
+  EXPECT_EQ(frame.payload.size(), 48u);  // six u64 counters, nothing more
+  StatsResp out;
+  ASSERT_TRUE(DecodeStatsResp(DecodeOne(EncodeFrame(frame)), &out).ok());
+  EXPECT_EQ(out.num_tasks, 3u);
+  EXPECT_EQ(out.requests_served, 5u);
+  EXPECT_EQ(out.answers_deduped, 0u);
+  EXPECT_EQ(out.wal_records, 0u);
+}
+
 TEST(WireTest, ErrorFrameCarriesStatusAcrossTheWire) {
   const Status original = InvalidArgumentError("duplicate answer");
   const Frame frame = DecodeOne(EncodeFrame(
