@@ -8,11 +8,13 @@
 // per-call latencies are merged and the harness reports throughput and
 // p50/p95/p99, the numbers a capacity plan for a real AMT front-end needs.
 //
-//   ./build/bench/bench_server [--connections=N] [--ops=N] [--port=P]
-//                              [--mode=mixed|warm] [--json=PATH]
+//   ./build/bench/bench_server [--connections=N] [--reactors=N] [--ops=N]
+//                              [--port=P] [--mode=mixed|warm] [--json=PATH]
 //                              [--kill-after-ops=N]
 //
 //   --connections  concurrent client connections (default 4)
+//   --reactors     event-loop threads in the self-hosted gateway
+//                  (default 1; ignored with --port)
 //   --ops          wire calls per connection before it disconnects
 //                  (default 2000; requests and submissions both count)
 //   --port         target an external gateway instead of self-hosting
@@ -93,6 +95,7 @@ int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
 
   const size_t connections = FlagValue(argc, argv, "connections", 4);
+  const size_t reactors = FlagValue(argc, argv, "reactors", 1);
   const size_t ops_per_connection = FlagValue(argc, argv, "ops", 2000);
   uint16_t port = static_cast<uint16_t>(FlagValue(argc, argv, "port", 0));
   const std::string mode = StringFlag(argc, argv, "mode", "mixed");
@@ -107,7 +110,7 @@ int main(int argc, char** argv) {
   benchutil::PrintHeader(
       "gateway load generator",
       "closed-loop wire latency stays in the tens of microseconds on "
-      "loopback; throughput is bounded by the single facade mutex");
+      "loopback; scaling is bounded by reactor count and shard contention");
 
   // Self-host unless --port points at an external gateway. The campaign is
   // large enough that the task pool never drains mid-run.
@@ -118,7 +121,9 @@ int main(int argc, char** argv) {
   options.lease_duration = 1 << 30;  // leases never expire during the run
   options.reinfer_every = 0;         // serving-path cost only
   core::ConcurrentDocsSystem system(&synthetic.knowledge_base, options);
-  docs::server::CrowdGateway gateway(&system);
+  docs::server::CrowdGatewayOptions gateway_options;
+  gateway_options.num_reactors = reactors;
+  docs::server::CrowdGateway gateway(&system, gateway_options);
   if (port == 0) {
     std::vector<core::TaskInput> inputs;
     for (const auto& task : dataset.tasks) {
@@ -135,7 +140,8 @@ int main(int argc, char** argv) {
     port = gateway.port();
   }
   std::cout << "target: 127.0.0.1:" << port << "   connections: "
-            << connections << "   ops/connection: " << ops_per_connection
+            << connections << "   reactors: " << reactors
+            << "   ops/connection: " << ops_per_connection
             << "   mode: " << mode << "\n\n";
 
   // Closed loop: each thread alternates RequestTasks(4) with submitting
@@ -242,17 +248,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
+  uint64_t row_hits = 0;
+  uint64_t row_misses = 0;
+  uint64_t request_hits = 0;
+  uint64_t request_misses = 0;
   if (gateway.running()) {
     const docs::server::GatewayStats stats = gateway.stats();
-    cache_hits = stats.benefit_cache_hits;
-    cache_misses = stats.benefit_cache_misses;
+    row_hits = stats.benefit_cache_hits;
+    row_misses = stats.benefit_cache_misses;
+    request_hits = stats.benefit_cache_request_hits;
+    request_misses = stats.benefit_cache_request_misses;
+    // Hit-rate at request granularity: a serving pass that recomputed
+    // nothing is a hit. Row counts are recomputation volume, not a rate.
+    const uint64_t request_total = request_hits + request_misses;
+    const double hit_rate =
+        request_total > 0
+            ? static_cast<double>(request_hits) /
+                  static_cast<double>(request_total)
+            : 0.0;
     std::cout << "\ngateway: " << stats.requests_served << " served, "
               << stats.requests_shed << " shed, " << stats.protocol_errors
               << " protocol errors\n"
-              << "benefit cache: " << cache_hits << " hits, " << cache_misses
-              << " misses\n";
+              << "benefit cache: " << TablePrinter::Fmt(hit_rate * 100.0, 1)
+              << "% request hit-rate (" << request_hits << " hits / "
+              << request_misses << " misses); row level: " << row_hits
+              << " hits, " << row_misses << " recomputes\n";
     gateway.Stop();
   }
 
@@ -264,6 +284,7 @@ int main(int argc, char** argv) {
     }
     out << "{\"bench\": \"bench_server\", \"mode\": \"" << mode
         << "\", \"connections\": " << connections
+        << ", \"reactors\": " << reactors
         << ", \"ops_per_connection\": " << ops_per_connection
         << ", \"wire_calls_ok\": " << merged.size()
         << ", \"errors\": " << total_errors
@@ -289,8 +310,16 @@ int main(int argc, char** argv) {
         << ", \"p50_us\": " << Percentile(merged, 0.50)
         << ", \"p95_us\": " << Percentile(merged, 0.95)
         << ", \"p99_us\": " << Percentile(merged, 0.99)
-        << ", \"benefit_cache_hits\": " << cache_hits
-        << ", \"benefit_cache_misses\": " << cache_misses << "}\n";
+        << ", \"benefit_cache_row_hits\": " << row_hits
+        << ", \"benefit_cache_row_misses\": " << row_misses
+        << ", \"benefit_cache_request_hits\": " << request_hits
+        << ", \"benefit_cache_request_misses\": " << request_misses
+        << ", \"benefit_cache_hit_rate\": "
+        << (request_hits + request_misses > 0
+                ? static_cast<double>(request_hits) /
+                      static_cast<double>(request_hits + request_misses)
+                : 0.0)
+        << "}\n";
   }
   return 0;
 }

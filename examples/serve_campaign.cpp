@@ -9,6 +9,7 @@
 // accuracy at the end, then shuts the gateway down gracefully.
 //
 //   ./build/examples/serve_campaign [--workers=N] [--rounds=N]
+//                                   [--reactors=N]
 //
 // scripts/ci.sh runs this under ASan as the gateway smoke stage: server up,
 // client round trips, clean shutdown — any leak, race-adjacent crash, or
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
 
   const size_t num_workers = FlagValue(argc, argv, "workers", 6);
   const size_t rounds = FlagValue(argc, argv, "rounds", 8);
+  const size_t reactors = FlagValue(argc, argv, "reactors", 1);
 
   // 1. The serving system: KB, campaign tasks, thread-safe facade.
   const kb::SyntheticKb synthetic = kb::BuildSyntheticKb();
@@ -78,12 +80,15 @@ int main(int argc, char** argv) {
   // 2. The gateway on an ephemeral loopback port, sweeping leases itself.
   docs::server::CrowdGatewayOptions gateway_options;
   gateway_options.lease_expiry_interval_ms = 20;
+  gateway_options.num_reactors = reactors;
   docs::server::CrowdGateway gateway(&system, gateway_options);
   if (Status status = gateway.Start(); !status.ok()) {
     std::cerr << "gateway start: " << status.ToString() << "\n";
     return 1;
   }
-  std::cout << "gateway up on 127.0.0.1:" << gateway.port() << "\n";
+  std::cout << "gateway up on 127.0.0.1:" << gateway.port() << " ("
+            << reactors << " reactor" << (reactors == 1 ? "" : "s")
+            << ")\n";
 
   // 3. Simulated workers as real network clients, one thread each.
   crowd::WorkerPoolOptions pool_options;

@@ -11,14 +11,20 @@
 #      (cache off + allocating reference kernel) and the fused cold path;
 #   2. bench_server --mode=warm and --mode=mixed — end-to-end wire latency
 #      percentiles (p50/p95/p99) over real TCP;
-# then merges everything into the artifact (default: BENCH_5.json at the
-# repo root) and gates on the §11 acceptance ratios: the warm path must do
-# at least 5x fewer heap allocations per call than the seed-era cold path
-# and win on wall time.
+#   3. the §13 scaling sweeps: bench_server --mode=mixed over
+#      --reactors={1,2,4} (at 4 connections) and --connections={1,2,4,8}
+#      (at 2 reactors);
+# then merges 1+2 into BENCH_5.json and 3 into BENCH_7.json (both at the
+# repo root by default) and gates on the acceptance ratios: the warm path
+# must do at least 5x fewer heap allocations per call than the seed-era
+# cold path and win on wall time (§11), and on multi-core hardware mixed
+# throughput must increase monotonically from 1 reactor to N (§13). On a
+# single-core host the scaling gate is skipped and the artifact records
+# the caveat instead — reactors can only interleave there, not overlap.
 #
-#   --quick      CI smoke sizing: shorter runs, artifact written into the
-#                build tree instead of replacing the committed BENCH_5.json.
-#                The acceptance gate still applies.
+#   --quick      CI smoke sizing: shorter runs, artifacts written into the
+#                build tree instead of replacing the committed BENCH_5.json
+#                and BENCH_7.json. The acceptance gates still apply.
 #   --build-dir  reuse an existing Release build tree (e.g. build-release
 #                from scripts/ci.sh) instead of configuring build-bench.
 set -euo pipefail
@@ -49,6 +55,8 @@ if [[ -z "$OUT" ]]; then
   if [[ "$QUICK" == 1 ]]; then OUT="$BUILD_DIR/BENCH_5.quick.json"
   else OUT="$ROOT/BENCH_5.json"; fi
 fi
+if [[ "$QUICK" == 1 ]]; then OUT7="$BUILD_DIR/BENCH_7.quick.json"
+else OUT7="$ROOT/BENCH_7.json"; fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -57,10 +65,12 @@ if [[ "$QUICK" == 1 ]]; then
   MICRO_ARGS=(--benchmark_min_time=0.05)
   SERVER_CONNECTIONS=2
   SERVER_OPS=300
+  SWEEP_OPS=150
 else
   MICRO_ARGS=()
   SERVER_CONNECTIONS=4
   SERVER_OPS=2000
+  SWEEP_OPS=1000
 fi
 
 echo "=== [bench] bench_micro serving path ==="
@@ -138,6 +148,88 @@ if alloc_ratio < 5.0:
     sys.exit(f"FAIL: warm path allocates too much ({alloc_ratio:.1f}x < 5x)")
 if speedup <= 1.0:
     sys.exit(f"FAIL: warm path is not faster than cold ({speedup:.2f}x)")
+PY
+
+# --- §13 scaling sweeps -> BENCH_7.json -------------------------------------
+REACTOR_SWEEP=(1 2 4)
+CONNECTION_SWEEP=(1 2 4 8)
+
+for r in "${REACTOR_SWEEP[@]}"; do
+  echo "=== [bench] bench_server --mode=mixed --reactors=$r (reactor sweep) ==="
+  "$BUILD_DIR/bench/bench_server" --mode=mixed \
+    --reactors="$r" --connections=4 --ops="$SWEEP_OPS" \
+    --json="$TMP/reactors_$r.json"
+done
+for c in "${CONNECTION_SWEEP[@]}"; do
+  echo "=== [bench] bench_server --mode=mixed --connections=$c (connection sweep) ==="
+  "$BUILD_DIR/bench/bench_server" --mode=mixed \
+    --reactors=2 --connections="$c" --ops="$SWEEP_OPS" \
+    --json="$TMP/connections_$c.json"
+done
+
+CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+python3 - "$TMP" "$OUT7" "$QUICK" "$CORES" \
+  "${REACTOR_SWEEP[*]}" "${CONNECTION_SWEEP[*]}" <<'PY'
+import json
+import sys
+
+tmp, out_path, quick, cores = sys.argv[1:5]
+reactor_sweep = [int(r) for r in sys.argv[5].split()]
+connection_sweep = [int(c) for c in sys.argv[6].split()]
+cores = int(cores)
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+reactors = {r: load(f"{tmp}/reactors_{r}.json") for r in reactor_sweep}
+connections = {c: load(f"{tmp}/connections_{c}.json") for c in connection_sweep}
+
+throughput = {r: reactors[r]["throughput_ops_s"] for r in reactor_sweep}
+scaling = {
+    f"{reactor_sweep[0]}_to_{r}": throughput[r] / throughput[reactor_sweep[0]]
+    for r in reactor_sweep[1:]
+}
+single_core = cores <= 1
+artifact = {
+    "generated_by": "scripts/bench.sh" + (" --quick" if quick == "1" else ""),
+    "hardware": {"cores": cores},
+    "reactor_sweep": {str(r): reactors[r] for r in reactor_sweep},
+    "connection_sweep": {str(c): connections[c] for c in connection_sweep},
+    "derived": {
+        "mixed_throughput_ops_s_by_reactors":
+            {str(r): throughput[r] for r in reactor_sweep},
+        "reactor_scaling": scaling,
+    },
+    # On one core the reactors time-slice instead of overlapping, so the
+    # monotonic-throughput gate is meaningless there; the artifact says so
+    # rather than silently passing.
+    "single_core_caveat": single_core,
+}
+with open(out_path, "w") as f:
+    json.dump(artifact, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+for r in reactor_sweep:
+    print(f"[bench] mixed, {r} reactor(s): {throughput[r]:,.0f} ops/s, "
+          f"p99 {reactors[r]['p99_us']:.0f} us")
+for c in connection_sweep:
+    print(f"[bench] mixed, {c} connection(s) @ 2 reactors: "
+          f"{connections[c]['throughput_ops_s']:,.0f} ops/s")
+print(f"[bench] -> {out_path}")
+
+# Acceptance gate (ISSUE 7): on multi-core hardware, mixed throughput must
+# increase monotonically with the reactor count. Skipped (with the caveat
+# recorded above) on a single core, where reactors can only interleave.
+if single_core:
+    print(f"[bench] single-core host ({cores} core): scaling gate skipped, "
+          "caveat recorded in the artifact")
+else:
+    for lo, hi in zip(reactor_sweep, reactor_sweep[1:]):
+        if throughput[hi] <= throughput[lo]:
+            sys.exit(f"FAIL: mixed throughput did not scale "
+                     f"{lo} -> {hi} reactors "
+                     f"({throughput[lo]:,.0f} -> {throughput[hi]:,.0f} ops/s)")
 PY
 
 echo "=== [bench] OK ==="

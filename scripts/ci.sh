@@ -10,7 +10,9 @@
 #                  tests that exercise cross-thread execution.
 #   5. bench     — scripts/bench.sh --quick from the release build: short
 #                  micro + wire runs that gate on the warm serving path
-#                  keeping its allocation/wall-time win (DESIGN.md §11).
+#                  keeping its allocation/wall-time win (DESIGN.md §11),
+#                  plus the §13 reactor/connection scaling sweeps (the
+#                  monotonic-throughput gate applies on multi-core hosts).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -59,9 +61,11 @@ run_config strict \
 run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=ON
 # Gateway smoke: start the TCP server on an ephemeral port, run real client
 # round trips, and shut down cleanly — all under ASan+UBSan, so a leaked
-# socket buffer or a use-after-close in the event loop fails CI here.
-echo "=== [sanitize] gateway smoke (serve_campaign under ASan) ==="
-"$ROOT/build-sanitize/examples/serve_campaign" --workers=4 --rounds=3
+# socket buffer or a use-after-close in the event loop fails CI here. Runs
+# the multi-reactor configuration so the acceptor hand-off and per-reactor
+# shutdown paths are exercised under the sanitizers, not just reactors=1.
+echo "=== [sanitize] gateway smoke (serve_campaign under ASan, 2 reactors) ==="
+"$ROOT/build-sanitize/examples/serve_campaign" --workers=4 --rounds=3 --reactors=2
 # Chaos smoke: SIGKILL the gateway child three times mid-campaign while
 # resilient clients retry through the outages, then verify exactly-once
 # recovery (zero lost, zero duplicated, bitwise-equal posterior) — the

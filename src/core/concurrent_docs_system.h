@@ -3,9 +3,8 @@
 
 #include <chrono>
 #include <mutex>
-#include <optional>
+#include <shared_mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/docs_system.h"
@@ -23,26 +22,32 @@ struct CheckpointRetryOptions {
 
 /// Thread-safe facade over DocsSystem for a serving deployment: the real
 /// system sits behind a web frontend where AMT's callbacks (task requests,
-/// answer submissions) arrive concurrently. DocsSystem itself is
-/// single-threaded by design (the incremental-TI state is one shared
-/// mutable structure), so this facade serializes access with a mutex and
-/// exposes the two platform-facing calls plus snapshot reads.
+/// answer submissions) arrive concurrently.
 ///
-/// Why a coarse lock rather than finer-grained concurrency: every answer
-/// touches the shared truth/quality state of its task *and* of every worker
-/// who answered that task before (step 2 of §4.2), so per-task locking
-/// would still contend on workers; the per-call work is tens of
-/// microseconds, which a single mutex sustains at far beyond any realistic
-/// crowdsourcing answer rate.
+/// Sharded locking (DESIGN.md §13): steady-state RequestTasks — a returning,
+/// golden-complete worker asking for her next HIT — is the hot path, and its
+/// scoring pass only *reads* the inference posteriors while writing nothing
+/// shared beyond her own benefit-cache row and the lease books. So the facade
+/// runs it under a reader (shared) state lock, with the writes funneled
+/// through two narrow mutexes:
+///  - a per-worker shard lock (worker index mod kNumShards) guarding her
+///    cache row and reusable scoring scratch, so concurrent requests from
+///    different workers score genuinely in parallel;
+///  - one assign lock guarding the lease books and logical clock, held only
+///    for the O(n) eligibility snapshot and the O(k) grant commit.
+/// Everything that mutates shared structure — answer submission (step 2 of
+/// §4.2 touches the task's truth and every co-answering worker's quality),
+/// first-contact registration, golden probes, checkpoint restore, full
+/// inference — takes the state lock exclusively, which by itself excludes
+/// all sharded readers; no finer lock is needed on that path.
 ///
-/// The coarse lock does not make the engine single-threaded internally:
-/// with DocsSystemOptions::num_threads != 1 the wrapped DocsSystem
-/// parallelizes *within* a call (the EM sweep, the recompute fan-out, the
-/// SelectTasks scoring loop) on its own deterministic pool (DESIGN.md §8).
-/// The mutex serializes callers; each serialized call may fan out. The two
-/// compose because the pool is owned entirely by the engine — worker
-/// threads never touch system state outside the Run() region the caller
-/// holds the lock for.
+/// The scoring thread pool stays engine-owned and deterministic (DESIGN.md
+/// §8): sharded scorers try-lock a pool mutex, and the loser of the race
+/// scores serially — bit-identical either way, because the ranking is
+/// thread-count invariant.
+///
+/// Lock hierarchy (acquire left-to-right, never right-to-left):
+///   state (shared or exclusive) → shard → { assign | pool }.
 class ConcurrentDocsSystem {
  public:
   ConcurrentDocsSystem(const kb::KnowledgeBase* knowledge_base,
@@ -50,16 +55,14 @@ class ConcurrentDocsSystem {
       : system_(knowledge_base, std::move(options)) {}
 
   [[nodiscard]] Status AddTasks(const std::vector<TaskInput>& inputs,
-                  const std::vector<size_t>* known_truths = nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.AddTasks(inputs, known_truths);
-  }
+                                const std::vector<size_t>* known_truths =
+                                    nullptr);
 
-  /// Atomically resolves the worker id and selects her next HIT.
-  std::vector<size_t> RequestTasks(const std::string& worker_id, size_t k) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.SelectTasks(system_.WorkerIndex(worker_id), k);
-  }
+  /// Atomically resolves the worker id and selects her next HIT. Known
+  /// workers past the golden phase are served under the shared state lock
+  /// (parallel across worker shards); first contact and golden probes fall
+  /// back to the exclusive path.
+  std::vector<size_t> RequestTasks(const std::string& worker_id, size_t k);
 
   /// Atomically resolves the worker id and submits one answer. Invalid
   /// submissions (unknown task, out-of-range choice, duplicate (worker,
@@ -69,121 +72,82 @@ class ConcurrentDocsSystem {
   /// silently register a fresh worker for every malformed or forged id the
   /// network delivers.
   [[nodiscard]] Status SubmitAnswer(const std::string& worker_id, size_t task,
-                      size_t choice) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const std::optional<size_t> worker = system_.FindWorker(worker_id);
-    if (!worker.has_value()) {
-      return InvalidArgumentError("unknown worker '" + worker_id +
-                                  "': never seen by RequestTasks/LoadWorker");
-    }
-    return system_.SubmitAnswer(*worker, task, choice);
-  }
+                                    size_t choice);
 
   /// Reclaims every lease whose logical deadline is at or before `now`
   /// (workers who accepted a HIT and vanished); the freed tasks are
   /// immediately assignable again. Serving deployments call this on a timer.
-  std::vector<ExpiredLease> ExpireLeases(uint64_t now) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.ExpireLeases(now);
-  }
+  /// Touches only the lease books, so it runs under the shared state lock
+  /// plus the assign lock — a sweep never stalls in-flight scoring.
+  std::vector<ExpiredLease> ExpireLeases(uint64_t now);
 
   /// Seeds a returning worker's quality profile from the persistent store;
   /// the worker is registered and skips the golden probe (Theorem 1 state).
   [[nodiscard]] Status LoadWorker(const std::string& worker_id,
-                                  const storage::WorkerStore& store) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.LoadWorker(worker_id, store);
-  }
+                                  const storage::WorkerStore& store);
 
-  uint64_t lease_clock() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.lease_clock();
-  }
-
-  size_t num_tasks() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.tasks().size();
-  }
-
-  size_t outstanding_leases() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.outstanding_leases();
-  }
-
-  std::vector<size_t> InferredChoices() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.InferredChoices();
-  }
-
-  size_t num_answers() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.inference().num_answers();
-  }
+  uint64_t lease_clock();
+  size_t num_tasks();
+  size_t outstanding_leases();
+  std::vector<size_t> InferredChoices();
+  size_t num_answers();
 
   /// Forces a full inference pass (the recovery bit-equality oracle; see
   /// DocsSystem::RunFullInference).
-  void RunFullInference() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    system_.RunFullInference();
-  }
+  void RunFullInference();
 
   /// Registered worker ids in registration order.
-  std::vector<std::string> WorkerIds() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.WorkerIds();
-  }
+  std::vector<std::string> WorkerIds();
 
-  uint64_t benefit_cache_hits() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.benefit_cache_hits();
-  }
+  /// Row- and request-level benefit-cache counters; see DocsSystem for the
+  /// distinction (rows are the wrong unit for a hit-rate).
+  uint64_t benefit_cache_hits();
+  uint64_t benefit_cache_misses();
+  uint64_t benefit_cache_request_hits();
+  uint64_t benefit_cache_request_misses();
 
-  uint64_t benefit_cache_misses() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.benefit_cache_misses();
-  }
-
-  [[nodiscard]] Status SaveCheckpoint(const std::string& path) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.SaveCheckpoint(path);
-  }
-
-  [[nodiscard]] Status LoadCheckpoint(const std::string& path) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return system_.LoadCheckpoint(path);
-  }
+  [[nodiscard]] Status SaveCheckpoint(const std::string& path);
+  [[nodiscard]] Status LoadCheckpoint(const std::string& path);
 
   /// SaveCheckpoint with bounded retry: sleeps between attempts with
   /// exponential backoff (outside the lock, so serving calls proceed while
   /// the saver waits out a transient storage failure). Returns the last
   /// attempt's status.
-  [[nodiscard]] Status SaveCheckpointWithRetry(const std::string& path,
-                                 const CheckpointRetryOptions& retry = {}) {
-    const size_t attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
-    std::chrono::duration<double, std::milli> backoff =
-        retry.initial_backoff;
-    Status status;
-    for (size_t attempt = 0; attempt < attempts; ++attempt) {
-      if (attempt > 0) {
-        std::this_thread::sleep_for(backoff);
-        backoff *= retry.backoff_multiplier;
-      }
-      status = SaveCheckpoint(path);
-      if (status.ok()) return status;
-    }
-    return status;
-  }
+  [[nodiscard]] Status SaveCheckpointWithRetry(
+      const std::string& path, const CheckpointRetryOptions& retry = {});
 
-  /// Runs `fn` under the lock with direct access to the underlying system —
-  /// for setup/inspection that needs several calls to be atomic.
+  /// Runs `fn` under the exclusive lock with direct access to the underlying
+  /// system — for setup/inspection that needs several calls to be atomic.
   template <typename Fn>
   auto WithLocked(Fn&& fn) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::shared_mutex> lock(state_mutex_);
     return fn(system_);
   }
 
  private:
-  std::mutex mutex_;
+  /// Worker-shard count: a fixed power of two well above any realistic
+  /// reactor count, so concurrent requests rarely collide on a shard.
+  static constexpr size_t kNumShards = 16;
+
+  /// One lock stripe: guards the scoring scratch below and the benefit-cache
+  /// rows of every worker hashing to this shard. Cache-line aligned so two
+  /// reactors hammering adjacent shards do not false-share.
+  struct alignas(64) WorkerShard {
+    std::mutex mutex;
+    DocsSystem::ShardScratch scratch;
+  };
+
+  /// The sharded fast path; caller holds the shared state lock and has
+  /// verified CanServeSharded. Snapshot → score → commit, retrying on a
+  /// commit-time redundancy-cap conflict (forced through, dropping only the
+  /// conflicted tasks, on the final attempt so a hot task cannot livelock
+  /// the request).
+  std::vector<size_t> ServeShardedLocked(size_t worker, size_t k);
+
+  std::shared_mutex state_mutex_;
+  std::mutex assign_mutex_;
+  std::mutex pool_mutex_;
+  WorkerShard shards_[kNumShards];
   DocsSystem system_;
 };
 

@@ -46,7 +46,8 @@ std::vector<CachedBenefit>* DocsSystem::CacheRow(size_t worker) {
 double DocsSystem::ScoreOne(size_t task,
                             const std::function<double(size_t)>& score,
                             std::vector<CachedBenefit>* cache,
-                            uint64_t worker_epoch) {
+                            uint64_t worker_epoch,
+                            std::atomic<bool>* saw_miss) {
   if (cache == nullptr) return score(task);
   CachedBenefit& entry = (*cache)[task];
   const uint64_t task_epoch = inference_->task_epoch(task);
@@ -57,12 +58,26 @@ double DocsSystem::ScoreOne(size_t task,
   const double value = score(task);
   entry = {task_epoch, worker_epoch, value};
   benefit_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (saw_miss != nullptr) saw_miss->store(true, std::memory_order_relaxed);
   return value;
 }
 
 std::vector<size_t> DocsSystem::RankEligible(
     size_t worker, const std::vector<uint8_t>& eligible, size_t k,
     const std::function<double(size_t)>& score) {
+  // Hoisted out of the loop: the worker's epoch cannot move mid-pass (the
+  // facade serializes mutations), and reading it once keeps the probe cheap.
+  std::vector<CachedBenefit>* cache = CacheRow(worker);
+  const uint64_t worker_epoch =
+      cache != nullptr ? inference_->worker_epoch(worker) : 0;
+  return RankCore(eligible, k, score, cache, worker_epoch, ScoringPool());
+}
+
+std::vector<size_t> DocsSystem::RankCore(
+    const std::vector<uint8_t>& eligible, size_t k,
+    const std::function<double(size_t)>& score,
+    std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
+    ThreadPool* pool) {
   DOCS_CHECK_EQ(eligible.size(), tasks_.size());
   struct Scored {
     size_t task;
@@ -73,14 +88,20 @@ std::vector<size_t> DocsSystem::RankEligible(
   for (size_t i = 0; i < tasks_.size(); ++i) {
     if (eligible[i]) scored.push_back({i, 0.0});
   }
-  // Hoisted out of the loop: the worker's epoch cannot move mid-pass (the
-  // facade serializes mutations), and reading it once keeps the probe cheap.
-  std::vector<CachedBenefit>* cache = CacheRow(worker);
-  const uint64_t worker_epoch =
-      cache != nullptr ? inference_->worker_epoch(worker) : 0;
-  ParallelFor(ScoringPool(), scored.size(), [&](size_t s) {
-    scored[s].value = ScoreOne(scored[s].task, score, cache, worker_epoch);
+  std::atomic<bool> saw_miss{false};
+  ParallelFor(pool, scored.size(), [&](size_t s) {
+    scored[s].value =
+        ScoreOne(scored[s].task, score, cache, worker_epoch, &saw_miss);
   });
+  // Request-level accounting: the whole pass is one lookup from the serving
+  // path's point of view — fully cache-served or not.
+  if (cache != nullptr && !scored.empty()) {
+    if (saw_miss.load(std::memory_order_relaxed)) {
+      benefit_cache_request_misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      benefit_cache_request_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   const size_t take = std::min(k, scored.size());
   if (take == 0) return {};
   auto by_value_desc = [](const Scored& a, const Scored& b) {
@@ -252,13 +273,18 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
 }
 
 std::function<double(size_t)> DocsSystem::MakeScoreFn(size_t worker) {
+  return MakeScoreFn(worker, quality_scratch_);
+}
+
+std::function<double(size_t)> DocsSystem::MakeScoreFn(
+    size_t worker, std::vector<double>& quality) {
   if (options_.selection_rule == SelectionRule::kDomainMax) {
     // D-Max: rank by domain match sum_k r_k q^w_k only.
-    quality_scratch_ = inference_->worker_quality(worker).quality;
-    return [this](size_t i) {
+    quality = inference_->worker_quality(worker).quality;
+    return [this, &quality](size_t i) {
       double match = 0.0;
-      for (size_t d = 0; d < quality_scratch_.size(); ++d) {
-        match += tasks_[i].domain_vector[d] * quality_scratch_[d];
+      for (size_t d = 0; d < quality.size(); ++d) {
+        match += tasks_[i].domain_vector[d] * quality[d];
       }
       return match;
     };
@@ -271,30 +297,111 @@ std::function<double(size_t)> DocsSystem::MakeScoreFn(size_t worker) {
 
   // Benefit rules score against the live inference state (no matrix copies),
   // exactly as TaskAssigner::SelectTopK does.
-  quality_scratch_ = inference_->worker_quality(worker).quality;
+  quality = inference_->worker_quality(worker).quality;
   if (options_.selection_rule == SelectionRule::kQualityBlind) {
     // Ablation: flatten the worker's profile to its mean — the benefit
     // still reacts to confidence but no longer to domain match.
     double mean = 0.0;
-    for (double q : quality_scratch_) mean += q;
-    mean /= std::max<size_t>(1, quality_scratch_.size());
-    std::fill(quality_scratch_.begin(), quality_scratch_.end(), mean);
+    for (double q : quality) mean += q;
+    mean /= std::max<size_t>(1, quality.size());
+    std::fill(quality.begin(), quality.end(), mean);
   }
   if (options_.reference_kernel) {
-    return [this](size_t i) {
+    return [this, &quality](size_t i) {
       return Benefit(tasks_[i], inference_->truth_matrix(i),
-                     inference_->task_truth(i), quality_scratch_,
+                     inference_->task_truth(i), quality,
                      options_.assigner.quality_clamp);
     };
   }
-  return [this](size_t i) {
+  return [this, &quality](size_t i) {
     // Per-thread arena: the scoring pass fans out over the pool, and the
     // fused kernel's intermediates are private to one Benefit call.
     thread_local BenefitScratch scratch;
     return Benefit(tasks_[i], inference_->truth_matrix(i),
-                   inference_->task_truth(i), quality_scratch_,
+                   inference_->task_truth(i), quality,
                    options_.assigner.quality_clamp, &scratch);
   };
+}
+
+bool DocsSystem::CanServeSharded(size_t worker) const {
+  if (inference_ == nullptr || worker >= workers_.size()) return false;
+  // The golden probe mutates worker profiles and (on completion) seeds the
+  // quality vector — exclusive-path work.
+  if (!workers_[worker].golden_done) return false;
+  // Row growth reallocates the outer cache vector, invalidating every row
+  // pointer other shards may hold; only the exclusive path may resize.
+  if (options_.benefit_cache) {
+    if (benefit_cache_.size() <= worker) return false;
+    if (benefit_cache_[worker].size() != tasks_.size()) return false;
+  }
+  return true;
+}
+
+void DocsSystem::BeginShardedSelect(size_t worker,
+                                    std::vector<uint8_t>* eligible) {
+  // Caller holds the assign lock: the clock tick and the lease-count reads
+  // are serialized against every other grant and expiry.
+  ++lease_clock_;
+  eligible->assign(tasks_.size(), 1);
+  for (size_t answered : inference_->answered_tasks(worker)) {
+    (*eligible)[answered] = 0;
+  }
+  if (options_.max_answers_per_task > 0) {
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (answers_per_task_[i] + lease_count_[i] >=
+          options_.max_answers_per_task) {
+        (*eligible)[i] = 0;
+      }
+    }
+  }
+}
+
+std::vector<size_t> DocsSystem::ScoreAndRankSharded(size_t worker,
+                                                    ShardScratch& scratch,
+                                                    size_t k,
+                                                    ThreadPool* pool) {
+  // CanServeSharded guaranteed the row is sized; no CacheRow here — that
+  // path may resize, which only the exclusive lock permits.
+  std::vector<CachedBenefit>* cache =
+      options_.benefit_cache ? &benefit_cache_[worker] : nullptr;
+  const uint64_t worker_epoch =
+      cache != nullptr ? inference_->worker_epoch(worker) : 0;
+  const std::function<double(size_t)> score =
+      MakeScoreFn(worker, scratch.quality);
+  return RankCore(scratch.eligible, k, score, cache, worker_epoch, pool);
+}
+
+bool DocsSystem::CommitShardedSelect(size_t worker,
+                                     std::vector<size_t>* selected,
+                                     bool force) {
+  // Between snapshot and commit other shards may have granted leases; a
+  // selected task pushed to the redundancy cap in that window must not be
+  // over-assigned. Under sequential driving this never fires, which keeps
+  // the sharded path bit-identical to the monolithic SelectTasks.
+  if (options_.max_answers_per_task > 0) {
+    auto at_cap = [&](size_t task) {
+      return answers_per_task_[task] + lease_count_[task] >=
+             options_.max_answers_per_task;
+    };
+    bool conflict = false;
+    for (size_t task : *selected) {
+      if (at_cap(task)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) {
+      if (!force) return false;
+      std::vector<size_t> kept;
+      kept.reserve(selected->size());
+      for (size_t task : *selected) {
+        if (!at_cap(task)) kept.push_back(task);
+      }
+      *selected = std::move(kept);
+    }
+  }
+  GrantLeases(worker, *selected);
+  return true;
 }
 
 std::vector<double> DocsSystem::ScoreAllTasks(size_t worker,
@@ -306,7 +413,8 @@ std::vector<double> DocsSystem::ScoreAllTasks(size_t worker,
   const uint64_t worker_epoch =
       cache != nullptr ? inference_->worker_epoch(worker) : 0;
   ParallelFor(ScoringPool(), tasks_.size(), [&](size_t i) {
-    scores[i] = ScoreOne(i, score, cache, worker_epoch);
+    // Test hook, not a serving pass: skip the request-level tally.
+    scores[i] = ScoreOne(i, score, cache, worker_epoch, nullptr);
   });
   return scores;
 }

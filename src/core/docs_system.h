@@ -183,14 +183,30 @@ class DocsSystem : public AssignmentPolicy {
   uint64_t lease_clock() const { return lease_clock_; }
   size_t outstanding_leases() const { return leases_.size(); }
 
-  /// Benefit-cache effectiveness counters: scoring passes answered from a
-  /// still-valid cache entry vs. recomputed. Monotonic over the system's
-  /// lifetime; both stay 0 with the cache disabled.
+  /// Benefit-cache effectiveness counters, at row granularity: individual
+  /// (worker, task) scores answered from a still-valid cache entry vs.
+  /// recomputed. One serving request touches O(n) rows, so these are the
+  /// wrong unit for a hit-*rate* — use the request-level counters below for
+  /// that. Monotonic over the system's lifetime; 0 with the cache disabled.
   uint64_t benefit_cache_hits() const {
     return benefit_cache_hits_.load(std::memory_order_relaxed);
   }
   uint64_t benefit_cache_misses() const {
     return benefit_cache_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Request-level cache counters: one count per serving scoring pass (a
+  /// SelectTasks call that reached OTA ranking). A pass that recomputed
+  /// nothing — every eligible task served from the cache — is a request
+  /// hit; a pass that recomputed at least one score is a request miss.
+  /// hit / (hit + miss) is the hit-rate a dashboard should display.
+  /// Golden-phase grants and the ScoreAllTasks test hook do not count.
+  /// Monotonic; 0 with the cache disabled.
+  uint64_t benefit_cache_request_hits() const {
+    return benefit_cache_request_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t benefit_cache_request_misses() const {
+    return benefit_cache_request_misses_.load(std::memory_order_relaxed);
   }
 
   /// Scores every task for `worker` under the configured selection rule and
@@ -211,6 +227,52 @@ class DocsSystem : public AssignmentPolicy {
   /// order. Recovery replays registrations in this order so worker indices —
   /// and therefore inference's float summation order — are reproduced.
   std::vector<std::string> WorkerIds() const;
+
+  // --- Sharded serving plumbing (DESIGN.md §13) ----------------------------
+  // These split the steady-state SelectTasks into snapshot → score → commit
+  // phases so ConcurrentDocsSystem can run the scoring phase of several
+  // workers genuinely in parallel under a shared (reader) state lock.
+  // Locking contract (enforced by the facade, not checked here):
+  //  - CanServeSharded / ScoreAndRankSharded: shared state lock held, plus
+  //    the worker's shard lock (the pass reads and refreshes her cache row).
+  //  - BeginShardedSelect / CommitShardedSelect: the facade's assign lock on
+  //    top of the shared state lock (they touch the lease books and clock).
+
+  /// Reusable per-shard scoring buffers; guarded by the owning shard lock.
+  struct ShardScratch {
+    std::vector<uint8_t> eligible;
+    std::vector<double> quality;
+  };
+
+  /// True when `worker` can be served without the exclusive lock: she is
+  /// registered, past the golden phase, and (with the cache enabled) her
+  /// cache row is already sized — first contact, golden probes, and row
+  /// growth all mutate shared structure and take the exclusive path.
+  bool CanServeSharded(size_t worker) const;
+
+  /// Phase 1: advances the lease clock and snapshots the worker's
+  /// eligibility bitmap into `eligible` (answered mask + redundancy cap).
+  void BeginShardedSelect(size_t worker, std::vector<uint8_t>* eligible);
+
+  /// Phase 2: scores the snapshot and returns the provisional top-k.
+  /// `pool` is the shared scoring pool when the caller won it, nullptr to
+  /// score serially — results are bit-identical either way (DESIGN.md §8).
+  std::vector<size_t> ScoreAndRankSharded(size_t worker, ShardScratch& scratch,
+                                          size_t k, ThreadPool* pool);
+
+  /// Phase 3: re-validates the selection against leases granted since the
+  /// snapshot and commits the grants. False (nothing committed) when a
+  /// selected task lost redundancy-cap eligibility in between — the caller
+  /// retries from phase 1 with a fresh snapshot. With `force` the conflicted
+  /// tasks are dropped and the remainder committed instead.
+  bool CommitShardedSelect(size_t worker, std::vector<size_t>* selected,
+                           bool force);
+
+  /// Lazily built pool shared by every hot loop the system drives —
+  /// SelectTasks scoring and the embedded engine's periodic full inference;
+  /// nullptr when configured sequential. Sharded callers must hold the
+  /// facade's pool lock; exclusive callers need no extra lock.
+  ThreadPool* ScoringPool();
 
   // --- AssignmentPolicy -----------------------------------------------------
   std::string name() const override { return options_.display_name; }
@@ -247,6 +309,19 @@ class DocsSystem : public AssignmentPolicy {
   /// worker's (possibly flattened) quality vector in quality_scratch_, so
   /// the returned callable must not outlive the current scoring pass.
   std::function<double(size_t)> MakeScoreFn(size_t worker);
+  /// Same, staging the quality vector into caller-owned storage so sharded
+  /// passes for different workers never share scratch. The callable borrows
+  /// `quality` — it must outlive the scoring pass.
+  std::function<double(size_t)> MakeScoreFn(size_t worker,
+                                            std::vector<double>& quality);
+
+  /// Shared ranking core behind RankEligible and ScoreAndRankSharded:
+  /// scores every eligible task (over `pool` when non-null), maintains the
+  /// row- and request-level cache counters, and returns the ordered top-k.
+  std::vector<size_t> RankCore(const std::vector<uint8_t>& eligible, size_t k,
+                               const std::function<double(size_t)>& score,
+                               std::vector<CachedBenefit>* cache,
+                               uint64_t worker_epoch, ThreadPool* pool);
 
   /// The worker's benefit-cache row sized to the task count, or nullptr when
   /// the cache is disabled.
@@ -254,14 +329,12 @@ class DocsSystem : public AssignmentPolicy {
 
   /// One cached score: probes `cache` (when non-null) under the live
   /// (task, worker) epoch pair, recomputing and refreshing the entry on a
-  /// miss. Thread-safe across distinct `task` values: each task owns its
-  /// cache slot and the counters are atomic.
+  /// miss (recorded in `*saw_miss` when provided). Thread-safe across
+  /// distinct `task` values: each task owns its cache slot and the counters
+  /// are atomic.
   double ScoreOne(size_t task, const std::function<double(size_t)>& score,
-                  std::vector<CachedBenefit>* cache, uint64_t worker_epoch);
-  /// Lazily built pool shared by every hot loop the system drives —
-  /// SelectTasks scoring and the embedded engine's periodic full inference;
-  /// nullptr when configured sequential.
-  ThreadPool* ScoringPool();
+                  std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
+                  std::atomic<bool>* saw_miss);
 
   /// Shared validation for live submissions and checkpoint replay.
   [[nodiscard]] Status ValidateAnswer(size_t worker, size_t task, size_t choice) const;
@@ -301,6 +374,8 @@ class DocsSystem : public AssignmentPolicy {
   std::vector<std::vector<CachedBenefit>> benefit_cache_;
   std::atomic<uint64_t> benefit_cache_hits_{0};
   std::atomic<uint64_t> benefit_cache_misses_{0};
+  std::atomic<uint64_t> benefit_cache_request_hits_{0};
+  std::atomic<uint64_t> benefit_cache_request_misses_{0};
   /// Serving-path scratch, reused across SelectTasks calls so a warm request
   /// allocates nothing: the eligibility bitmap and the staged quality vector
   /// MakeScoreFn's callables read from.

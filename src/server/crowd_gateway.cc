@@ -32,11 +32,25 @@ void CloseFd(int& fd) {
   }
 }
 
+void WakePipe(int write_fd) {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup; the write may fail.
+  ssize_t ignored = ::write(write_fd, &byte, 1);
+  (void)ignored;
+}
+
+void DrainPipe(int read_fd) {
+  char drain[64];
+  while (::read(read_fd, drain, sizeof(drain)) > 0) {
+  }
+}
+
 }  // namespace
 
 CrowdGateway::CrowdGateway(core::ConcurrentDocsSystem* system,
                            CrowdGatewayOptions options)
     : system_(system), options_(options) {
+  if (options_.num_reactors == 0) options_.num_reactors = 1;
   if (options_.max_inflight == 0) options_.max_inflight = 1;
 }
 
@@ -94,42 +108,98 @@ Status CrowdGateway::Start() {
     return status;
   }
   port_ = ntohs(addr.sin_port);
-  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) < 0) {
+  if (::pipe2(acceptor_wake_pipe_, O_NONBLOCK | O_CLOEXEC) < 0) {
     Status status = IoError(std::string("pipe2: ") + std::strerror(errno));
     CloseFd(listen_fd_);
     return status;
   }
+
+  // Build the reactor set fresh on every (re)start; counters from previous
+  // runs were folded into retired_ by Stop().
+  std::vector<std::unique_ptr<Reactor>> reactors;
+  reactors.reserve(options_.num_reactors);
+  for (size_t i = 0; i < options_.num_reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    if (::pipe2(reactor->wake_pipe, O_NONBLOCK | O_CLOEXEC) < 0) {
+      Status status = IoError(std::string("pipe2: ") + std::strerror(errno));
+      for (auto& built : reactors) {
+        CloseFd(built->wake_pipe[0]);
+        CloseFd(built->wake_pipe[1]);
+      }
+      CloseFd(acceptor_wake_pipe_[0]);
+      CloseFd(acceptor_wake_pipe_[1]);
+      CloseFd(listen_fd_);
+      return status;
+    }
+    reactors.push_back(std::move(reactor));
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    reactors_ = std::move(reactors);
+  }
+  next_reactor_ = 0;
+
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  loop_ = std::thread(&CrowdGateway::EventLoop, this);
-  DOCS_LOG(Info) << "crowd gateway listening on 127.0.0.1:" << port_;
+  for (auto& reactor : reactors_) {
+    reactor->thread =
+        std::thread(&CrowdGateway::ReactorLoop, this, std::ref(*reactor));
+  }
+  acceptor_ = std::thread(&CrowdGateway::AcceptorLoop, this);
+  DOCS_LOG(Info) << "crowd gateway listening on 127.0.0.1:" << port_
+                 << " with " << reactors_.size() << " reactor(s)";
   return OkStatus();
 }
 
 void CrowdGateway::Stop() {
-  if (!loop_.joinable()) return;
+  if (!acceptor_.joinable() && reactors_.empty()) return;
   stop_requested_.store(true, std::memory_order_release);
-  const char byte = 1;
-  // A full pipe already guarantees a pending wakeup; the write may fail.
-  ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
-  (void)ignored;
-  loop_.join();
-  CloseFd(wake_pipe_[0]);
-  CloseFd(wake_pipe_[1]);
+  // The acceptor goes first so no new connections race the drain.
+  WakeAcceptor();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& reactor : reactors_) WakePipe(reactor->wake_pipe[1]);
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
+  {
+    // Fold the finished reactors' counters into the retired block so
+    // stats() stays cumulative across Start/Stop cycles, as it was when
+    // the counters were plain members.
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    for (auto& reactor : reactors_) {
+      retired_.connections_accepted += reactor->connections_accepted.load();
+      retired_.requests_served += reactor->requests_served.load();
+      retired_.requests_shed += reactor->requests_shed.load();
+      retired_.protocol_errors += reactor->protocol_errors.load();
+      retired_.faults_injected += reactor->faults_injected.load();
+      retired_.leases_expired += reactor->leases_expired.load();
+      CloseFd(reactor->wake_pipe[0]);
+      CloseFd(reactor->wake_pipe[1]);
+    }
+    reactors_.clear();
+  }
+  CloseFd(acceptor_wake_pipe_[0]);
+  CloseFd(acceptor_wake_pipe_[1]);
   running_.store(false, std::memory_order_release);
 }
 
 GatewayStats CrowdGateway::stats() const {
-  GatewayStats out;
-  out.connections_accepted = connections_accepted_.load();
-  out.connections_rejected = connections_rejected_.load();
-  out.requests_served = requests_served_.load();
-  out.requests_shed = requests_shed_.load();
-  out.protocol_errors = protocol_errors_.load();
-  out.faults_injected = faults_injected_.load();
-  out.leases_expired = leases_expired_.load();
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  GatewayStats out = retired_;
+  out.connections_rejected += connections_rejected_.load();
+  out.faults_injected += faults_injected_.load();
+  for (const auto& reactor : reactors_) {
+    out.connections_accepted += reactor->connections_accepted.load();
+    out.requests_served += reactor->requests_served.load();
+    out.requests_shed += reactor->requests_shed.load();
+    out.protocol_errors += reactor->protocol_errors.load();
+    out.faults_injected += reactor->faults_injected.load();
+    out.leases_expired += reactor->leases_expired.load();
+  }
   out.benefit_cache_hits = system_->benefit_cache_hits();
   out.benefit_cache_misses = system_->benefit_cache_misses();
+  out.benefit_cache_request_hits = system_->benefit_cache_request_hits();
+  out.benefit_cache_request_misses = system_->benefit_cache_request_misses();
   if (durable_ != nullptr) {
     const core::DurableStats durable = durable_->stats();
     out.answers_deduped = durable.answers_deduped;
@@ -138,102 +208,72 @@ GatewayStats CrowdGateway::stats() const {
   return out;
 }
 
-int CrowdGateway::LeaseSweepTimeout() {
-  if (options_.lease_expiry_interval_ms == 0) return -1;
-  const uint64_t now = NowMs();
-  if (next_sweep_ms_ == 0) {
-    next_sweep_ms_ = now + options_.lease_expiry_interval_ms;
+std::vector<GatewayStats> CrowdGateway::reactor_stats() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  std::vector<GatewayStats> out;
+  out.reserve(reactors_.size());
+  for (const auto& reactor : reactors_) {
+    GatewayStats stats;
+    stats.connections_accepted = reactor->connections_accepted.load();
+    stats.requests_served = reactor->requests_served.load();
+    stats.requests_shed = reactor->requests_shed.load();
+    stats.protocol_errors = reactor->protocol_errors.load();
+    stats.faults_injected = reactor->faults_injected.load();
+    stats.leases_expired = reactor->leases_expired.load();
+    out.push_back(stats);
   }
-  if (now >= next_sweep_ms_) {
-    const size_t expired =
-        system_->ExpireLeases(system_->lease_clock()).size();
-    leases_expired_.fetch_add(expired);
-    next_sweep_ms_ = now + options_.lease_expiry_interval_ms;
-  }
-  return static_cast<int>(
-      std::min<uint64_t>(next_sweep_ms_ - now, 1000));
+  return out;
 }
 
-void CrowdGateway::EventLoop() {
-  uint64_t drain_deadline_ms = 0;
+void CrowdGateway::WakeAcceptor() { WakePipe(acceptor_wake_pipe_[1]); }
+
+int CrowdGateway::LeaseSweepTimeout(Reactor& reactor) {
+  if (options_.lease_expiry_interval_ms == 0) return -1;
+  const uint64_t now = NowMs();
+  if (reactor.next_sweep_ms == 0) {
+    reactor.next_sweep_ms = now + options_.lease_expiry_interval_ms;
+  }
+  if (now >= reactor.next_sweep_ms) {
+    const size_t expired =
+        system_->ExpireLeases(system_->lease_clock()).size();
+    reactor.leases_expired.fetch_add(expired);
+    reactor.next_sweep_ms = now + options_.lease_expiry_interval_ms;
+  }
+  return static_cast<int>(
+      std::min<uint64_t>(reactor.next_sweep_ms - now, 1000));
+}
+
+void CrowdGateway::AcceptorLoop() {
   for (;;) {
-    const bool draining = stop_requested_.load(std::memory_order_acquire);
-    if (draining) {
-      if (drain_deadline_ms == 0) {
-        drain_deadline_ms = NowMs() + options_.drain_timeout_ms;
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    // Poll the listener only while some reactor has a free slot; while all
+    // are full, further connections wait in the kernel backlog. A reactor
+    // freeing a slot wakes this loop, and the bounded timeout backstops a
+    // lost wakeup.
+    bool capacity = false;
+    for (const auto& reactor : reactors_) {
+      if (reactor->live.load(std::memory_order_acquire) <
+          options_.max_connections) {
+        capacity = true;
+        break;
       }
-      // Drained (or out of budget): close everything and leave.
-      bool pending = false;
-      for (auto& conn : connections_) {
-        if (conn != nullptr &&
-            conn->out_offset < conn->outbuf.size()) {
-          pending = true;
-          break;
-        }
-      }
-      if (!pending || NowMs() >= drain_deadline_ms) break;
     }
-
-    std::vector<pollfd> fds;
-    // Slot 0: shutdown wakeup. Slot 1: acceptor (absent while draining or
-    // at the connection cap — the kernel backlog absorbs the burst).
-    fds.push_back({wake_pipe_[0], POLLIN, 0});
-    const bool accepting =
-        !draining && connections_.size() < options_.max_connections;
-    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
-    const size_t conn_base = fds.size();
-    std::vector<size_t> conn_index;
-    for (size_t i = 0; i < connections_.size(); ++i) {
-      Connection& conn = *connections_[i];
-      short events = draining ? 0 : POLLIN;
-      if (conn.out_offset < conn.outbuf.size()) events |= POLLOUT;
-      if (events == 0) continue;  // draining with nothing left to flush
-      fds.push_back({conn.fd, events, 0});
-      conn_index.push_back(i);
+    pollfd fds[2];
+    fds[0] = {acceptor_wake_pipe_[0], POLLIN, 0};
+    nfds_t nfds = 1;
+    if (capacity) {
+      fds[1] = {listen_fd_, POLLIN, 0};
+      nfds = 2;
     }
-
-    const int timeout = draining
-                            ? static_cast<int>(std::min<uint64_t>(
-                                  drain_deadline_ms - NowMs(), 50))
-                            : LeaseSweepTimeout();
-    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    const int ready = ::poll(fds, nfds, 250);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      DOCS_LOG(Error) << "gateway poll: " << std::strerror(errno);
+      DOCS_LOG(Error) << "gateway acceptor poll: " << std::strerror(errno);
       break;
     }
-
-    if ((fds[0].revents & POLLIN) != 0) {
-      char drain[64];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
-      }
-    }
-    if (accepting && (fds[1].revents & POLLIN) != 0) AcceptReady();
-
-    std::vector<size_t> to_close;
-    for (size_t slot = conn_base; slot < fds.size(); ++slot) {
-      const size_t index = conn_index[slot - conn_base];
-      Connection& conn = *connections_[index];
-      const short revents = fds[slot].revents;
-      if (revents == 0) continue;
-      bool alive = true;
-      if ((revents & (POLLERR | POLLNVAL)) != 0) {
-        alive = false;
-      } else {
-        // POLLHUP can accompany final readable data; read first.
-        if (alive && (revents & (POLLIN | POLLHUP)) != 0) {
-          alive = ReadReady(conn);
-        }
-        if (alive && (revents & POLLOUT) != 0) alive = WriteReady(conn);
-      }
-      if (!alive) to_close.push_back(index);
-    }
-    // Close in descending index order so earlier indices stay valid.
-    std::sort(to_close.rbegin(), to_close.rend());
-    for (size_t index : to_close) CloseConnection(index);
+    if ((fds[0].revents & POLLIN) != 0) DrainPipe(acceptor_wake_pipe_[0]);
+    if (capacity && (fds[1].revents & POLLIN) != 0) AcceptReady();
   }
-
-  for (size_t i = connections_.size(); i > 0; --i) CloseConnection(i - 1);
   CloseFd(listen_fd_);
 }
 
@@ -252,28 +292,142 @@ void CrowdGateway::AcceptReady() {
       ::close(fd);
       continue;
     }
-    if (connections_.size() >= options_.max_connections) {
+    // Round-robin admission over reactors with a free slot, continuing from
+    // the previous admission so consecutive connections spread out.
+    Reactor* chosen = nullptr;
+    for (size_t i = 0; i < reactors_.size(); ++i) {
+      Reactor& candidate = *reactors_[(next_reactor_ + i) % reactors_.size()];
+      if (candidate.live.load(std::memory_order_acquire) <
+          options_.max_connections) {
+        chosen = &candidate;
+        next_reactor_ = (next_reactor_ + i + 1) % reactors_.size();
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      // The burst outran the capacity gate: shed at the door.
       connections_rejected_.fetch_add(1);
       ::close(fd);
       continue;
     }
     const int enable = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    connections_.push_back(std::move(conn));
-    connections_accepted_.fetch_add(1);
+    chosen->live.fetch_add(1, std::memory_order_acq_rel);
+    chosen->connections_accepted.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(chosen->handoff_mutex);
+      chosen->handoff.push_back(fd);
+    }
+    WakePipe(chosen->wake_pipe[1]);
   }
 }
 
-bool CrowdGateway::ReadReady(Connection& conn) {
+void CrowdGateway::AdoptHandoff(Reactor& reactor) {
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(reactor.handoff_mutex);
+    adopted.swap(reactor.handoff);
+  }
+  for (int fd : adopted) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    reactor.connections.push_back(std::move(conn));
+  }
+}
+
+void CrowdGateway::ReactorLoop(Reactor& reactor) {
+  uint64_t drain_deadline_ms = 0;
+  for (;;) {
+    AdoptHandoff(reactor);
+    const bool draining = stop_requested_.load(std::memory_order_acquire);
+    if (draining) {
+      if (drain_deadline_ms == 0) {
+        drain_deadline_ms = NowMs() + options_.drain_timeout_ms;
+      }
+      // Drained (or out of budget): close everything and leave.
+      bool pending = false;
+      for (auto& conn : reactor.connections) {
+        if (conn != nullptr && conn->out_offset < conn->outbuf.size()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || NowMs() >= drain_deadline_ms) break;
+    }
+
+    std::vector<pollfd> fds;
+    // Slot 0: wakeups (hand-off, freed capacity elsewhere, shutdown).
+    fds.push_back({reactor.wake_pipe[0], POLLIN, 0});
+    const size_t conn_base = fds.size();
+    std::vector<size_t> conn_index;
+    for (size_t i = 0; i < reactor.connections.size(); ++i) {
+      Connection& conn = *reactor.connections[i];
+      short events = draining ? 0 : POLLIN;
+      if (conn.out_offset < conn.outbuf.size()) events |= POLLOUT;
+      if (events == 0) continue;  // draining with nothing left to flush
+      fds.push_back({conn.fd, events, 0});
+      conn_index.push_back(i);
+    }
+
+    const int timeout = draining
+                            ? static_cast<int>(std::min<uint64_t>(
+                                  drain_deadline_ms - NowMs(), 50))
+                            : LeaseSweepTimeout(reactor);
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      DOCS_LOG(Error) << "gateway reactor poll: " << std::strerror(errno);
+      break;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) DrainPipe(reactor.wake_pipe[0]);
+
+    std::vector<size_t> to_close;
+    for (size_t slot = conn_base; slot < fds.size(); ++slot) {
+      const size_t index = conn_index[slot - conn_base];
+      Connection& conn = *reactor.connections[index];
+      const short revents = fds[slot].revents;
+      if (revents == 0) continue;
+      bool alive = true;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        alive = false;
+      } else {
+        // POLLHUP can accompany final readable data; read first.
+        if (alive && (revents & (POLLIN | POLLHUP)) != 0) {
+          alive = ReadReady(reactor, conn);
+        }
+        if (alive && (revents & POLLOUT) != 0) {
+          alive = WriteReady(reactor, conn);
+        }
+      }
+      if (!alive) to_close.push_back(index);
+    }
+    // Close in descending index order so earlier indices stay valid.
+    std::sort(to_close.rbegin(), to_close.rend());
+    for (size_t index : to_close) CloseConnection(reactor, index);
+  }
+
+  for (size_t i = reactor.connections.size(); i > 0; --i) {
+    CloseConnection(reactor, i - 1);
+  }
+  // Admissions queued after the last adopt never became connections; close
+  // them and return their capacity so the accounting balances.
+  std::lock_guard<std::mutex> lock(reactor.handoff_mutex);
+  for (int fd : reactor.handoff) {
+    ::close(fd);
+    reactor.live.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  reactor.handoff.clear();
+}
+
+bool CrowdGateway::ReadReady(Reactor& reactor, Connection& conn) {
   char buf[4096];
   bool saw_eof = false;
   for (;;) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       if (DOCS_FAULT_POINT(kFaultGatewayRead)) {
-        faults_injected_.fetch_add(1);
+        reactor.faults_injected.fetch_add(1);
         return false;
       }
       conn.decoder.Append(buf, static_cast<size_t>(n));
@@ -298,31 +452,32 @@ bool CrowdGateway::ReadReady(Connection& conn) {
     if (result == net::FrameDecoder::Result::kError) {
       // Framing is gone; nothing further on this stream can be trusted or
       // even delimited, so the only safe response is to drop the link.
-      protocol_errors_.fetch_add(1);
+      reactor.protocol_errors.fetch_add(1);
       DOCS_LOG(Warning) << "gateway protocol error: " << error;
       return false;
     }
-    ServeFrame(conn, frame);
+    ServeFrame(reactor, conn, frame);
   }
-  if (!WriteReady(conn)) return false;
+  if (!WriteReady(reactor, conn)) return false;
   return !saw_eof;
 }
 
-void CrowdGateway::ServeFrame(Connection& conn, const net::Frame& request) {
+void CrowdGateway::ServeFrame(Reactor& reactor, Connection& conn,
+                              const net::Frame& request) {
   net::Frame response;
   if (!net::IsRequestType(request.type)) {
-    protocol_errors_.fetch_add(1);
+    reactor.protocol_errors.fetch_add(1);
     response = net::MakeErrorFrame(
         request.type,
         InvalidArgumentError("response-typed frame sent to server"));
-  } else if (inflight_ >= options_.max_inflight) {
-    requests_shed_.fetch_add(1);
+  } else if (reactor.inflight >= options_.max_inflight) {
+    reactor.requests_shed.fetch_add(1);
     response = net::MakeErrorFrame(
         net::ResponseTypeFor(request.type),
         UnavailableError("gateway overloaded: in-flight limit reached"));
   } else {
-    requests_served_.fetch_add(1);
-    response = Dispatch(request);
+    reactor.requests_served.fetch_add(1);
+    response = Dispatch(reactor, request);
   }
   // Mirror the requester's wire version: a v1 peer's decoder rejects any
   // frame stamped with a newer version.
@@ -330,10 +485,11 @@ void CrowdGateway::ServeFrame(Connection& conn, const net::Frame& request) {
   const std::string encoded = net::EncodeFrame(response);
   conn.outbuf.append(encoded);
   conn.pending_responses.push_back(encoded.size());
-  ++inflight_;
+  ++reactor.inflight;
 }
 
-net::Frame CrowdGateway::Dispatch(const net::Frame& request) {
+net::Frame CrowdGateway::Dispatch(Reactor& reactor,
+                                  const net::Frame& request) {
   const net::MessageType resp_type = net::ResponseTypeFor(request.type);
   switch (request.type) {
     case net::MessageType::kRequestTasksReq: {
@@ -375,7 +531,7 @@ net::Frame CrowdGateway::Dispatch(const net::Frame& request) {
       for (const core::ExpiredLease& lease : system_->ExpireLeases(req.now)) {
         resp.expired.push_back({lease.worker, lease.task, lease.deadline});
       }
-      leases_expired_.fetch_add(resp.expired.size());
+      reactor.leases_expired.fetch_add(resp.expired.size());
       return net::EncodeExpireLeasesResp(resp);
     }
     case net::MessageType::kStatsReq: {
@@ -384,8 +540,15 @@ net::Frame CrowdGateway::Dispatch(const net::Frame& request) {
       resp.num_answers = system_->num_answers();
       resp.outstanding_leases = system_->outstanding_leases();
       resp.lease_clock = system_->lease_clock();
-      resp.requests_served = requests_served_.load();
-      resp.requests_shed = requests_shed_.load();
+      // Gateway-wide totals: every reactor's counters, plus runs already
+      // folded by Stop(). retired_ is only written while no reactor thread
+      // exists, so this lock-free read from a reactor is safe.
+      resp.requests_served = retired_.requests_served;
+      resp.requests_shed = retired_.requests_shed;
+      for (const auto& peer : reactors_) {
+        resp.requests_served += peer->requests_served.load();
+        resp.requests_shed += peer->requests_shed.load();
+      }
       if (durable_ != nullptr) {
         const core::DurableStats durable = durable_->stats();
         resp.answers_deduped = durable.answers_deduped;
@@ -401,10 +564,10 @@ net::Frame CrowdGateway::Dispatch(const net::Frame& request) {
   }
 }
 
-bool CrowdGateway::WriteReady(Connection& conn) {
+bool CrowdGateway::WriteReady(Reactor& reactor, Connection& conn) {
   while (conn.out_offset < conn.outbuf.size()) {
     if (DOCS_FAULT_POINT(kFaultGatewayWrite)) {
-      faults_injected_.fetch_add(1);
+      reactor.faults_injected.fetch_add(1);
       return false;
     }
     const ssize_t n =
@@ -425,7 +588,7 @@ bool CrowdGateway::WriteReady(Connection& conn) {
       flushed -= take;
       if (front == 0) {
         conn.pending_responses.pop_front();
-        --inflight_;
+        --reactor.inflight;
       }
     }
   }
@@ -439,12 +602,15 @@ bool CrowdGateway::WriteReady(Connection& conn) {
   return true;
 }
 
-void CrowdGateway::CloseConnection(size_t index) {
-  Connection& conn = *connections_[index];
-  inflight_ -= conn.pending_responses.size();
+void CrowdGateway::CloseConnection(Reactor& reactor, size_t index) {
+  Connection& conn = *reactor.connections[index];
+  reactor.inflight -= conn.pending_responses.size();
   CloseFd(conn.fd);
-  connections_.erase(connections_.begin() +
-                     static_cast<std::ptrdiff_t>(index));
+  reactor.connections.erase(reactor.connections.begin() +
+                            static_cast<std::ptrdiff_t>(index));
+  reactor.live.fetch_sub(1, std::memory_order_acq_rel);
+  // A freed slot may unblock the (possibly idle) acceptor.
+  WakeAcceptor();
 }
 
 }  // namespace docs::server

@@ -5,9 +5,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -32,25 +32,34 @@ struct CrowdGatewayOptions {
   /// with port() after Start()).
   uint16_t port = 0;
   int listen_backlog = 64;
-  /// At the cap the gateway stops polling the acceptor, so further
-  /// connections wait in the kernel backlog until a slot frees; a burst that
-  /// outraces the cap check inside one accept sweep is closed immediately.
+  /// Event-loop (reactor) threads behind the single acceptor; each owns its
+  /// connections end to end. 1 keeps the historical single-loop behavior.
+  size_t num_reactors = 1;
+  /// Connection cap PER REACTOR. While every reactor is full the acceptor
+  /// stops polling the listener, so further connections wait in the kernel
+  /// backlog until a slot frees; a burst that outraces the capacity check
+  /// inside one accept sweep is closed immediately.
   size_t max_connections = 64;
-  /// Bound on responses queued but not yet handed to the kernel, across all
-  /// connections. Requests arriving past the bound are shed with a
-  /// kUnavailable response instead of queueing without limit.
+  /// Bound on responses queued but not yet handed to the kernel, PER
+  /// REACTOR across its connections. Requests arriving past the bound are
+  /// shed with a kUnavailable response instead of queueing without limit.
+  /// Per-reactor (rather than gateway-global) keeps shedding deterministic:
+  /// each reactor evaluates the bound against only the pipelined bursts it
+  /// owns, with no cross-thread interleaving in the count.
   size_t max_inflight = 256;
   /// On Stop(), how long to keep flushing buffered responses before closing
   /// the remaining connections hard.
   uint64_t drain_timeout_ms = 2000;
-  /// When nonzero, the event loop sweeps expired leases roughly this often
+  /// When nonzero, every reactor sweeps expired leases roughly this often
   /// with now = the system's current lease clock. 0 disables the sweep
   /// (clients can still drive expiry explicitly over the wire).
   uint64_t lease_expiry_interval_ms = 0;
 };
 
 /// Monotonic counters exposed for tests, the load generator, and the wire
-/// Stats response. Snapshot semantics: values are read individually.
+/// Stats response. Snapshot semantics: each value is an independent atomic
+/// load (the struct is not a consistent cross-counter snapshot); stats()
+/// aggregates across reactors, reactor_stats() keeps them apart.
 struct GatewayStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;
@@ -60,26 +69,34 @@ struct GatewayStats {
   uint64_t faults_injected = 0;
   uint64_t leases_expired = 0;
   /// Benefit-cache effectiveness of the wrapped system (DESIGN.md §11),
-  /// sampled at stats() time. Local observability only — the frozen wire
-  /// Stats response does not carry these.
+  /// sampled at stats() time. Row-level counts score recomputations;
+  /// request-level counts whole scoring passes — hit-rate dashboards want
+  /// request_hits / (request_hits + request_misses). Local observability
+  /// only — the frozen wire Stats response does not carry these.
   uint64_t benefit_cache_hits = 0;
   uint64_t benefit_cache_misses = 0;
+  uint64_t benefit_cache_request_hits = 0;
+  uint64_t benefit_cache_request_misses = 0;
   /// Durability counters (wire StatsResp v2); 0 without a durable layer.
   uint64_t answers_deduped = 0;
   uint64_t wal_records = 0;
 };
 
-/// TCP serving layer in front of ConcurrentDocsSystem: one poll()-based
-/// event loop thread owns every socket; request handling is inline (a
-/// facade call is tens of microseconds behind one mutex, so a second stage
-/// of worker threads would only add handoff latency — see DESIGN.md §10).
+/// TCP serving layer in front of ConcurrentDocsSystem: one acceptor thread
+/// owns the listening socket and hands each accepted connection to one of N
+/// poll()-based reactor threads (round-robin over reactors with a free
+/// slot, woken through their self-pipes). Each reactor owns its
+/// connections' buffers, lease sweeps, and overload accounting end to end —
+/// no socket is ever touched by two threads. Request handling stays inline
+/// on the reactor (DESIGN.md §10); the facade's sharded locking (§13) lets
+/// the reactors' RequestTasks calls score in parallel.
 ///
-/// The loop handles torn frames (FrameDecoder buffers partial reads),
+/// Each reactor handles torn frames (FrameDecoder buffers partial reads),
 /// pipelined requests (every complete frame in a read batch is served, in
-/// order), overload (bounded in-flight responses, kUnavailable past the
-/// bound), protocol violations (the connection is closed; a byte stream
-/// that lost framing cannot be resynchronized), and graceful shutdown
-/// (Stop() stops accepting, flushes buffered responses within
+/// order), overload (bounded in-flight responses per reactor, kUnavailable
+/// past the bound), protocol violations (the connection is closed; a byte
+/// stream that lost framing cannot be resynchronized), and graceful
+/// shutdown (Stop() stops accepting, flushes buffered responses within
 /// drain_timeout_ms, then closes).
 class CrowdGateway {
  public:
@@ -98,12 +115,12 @@ class CrowdGateway {
   CrowdGateway(const CrowdGateway&) = delete;
   CrowdGateway& operator=(const CrowdGateway&) = delete;
 
-  /// Binds, listens, and spawns the event-loop thread. IoError when the
-  /// socket setup fails; FailedPrecondition when already running.
+  /// Binds, listens, and spawns the acceptor and reactor threads. IoError
+  /// when the socket setup fails; FailedPrecondition when already running.
   [[nodiscard]] Status Start();
 
-  /// Graceful shutdown: stop accepting, drain buffered responses, close,
-  /// join the loop thread. Idempotent.
+  /// Graceful shutdown: stop accepting, drain buffered responses on every
+  /// reactor, close, join all threads. Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -111,7 +128,12 @@ class CrowdGateway {
   /// after a successful Start().
   uint16_t port() const { return port_; }
 
+  /// Gateway-wide counters: per-reactor blocks summed, plus the acceptor's.
   GatewayStats stats() const;
+  /// One un-summed counter block per reactor (acceptor-level counters —
+  /// rejections, accept/recover faults — appear only in the aggregate).
+  /// Valid while the reactors exist, i.e. between Start() and Stop().
+  std::vector<GatewayStats> reactor_stats() const;
 
  private:
   struct Connection {
@@ -120,24 +142,61 @@ class CrowdGateway {
     std::string outbuf;
     size_t out_offset = 0;
     /// Byte length of each response still (partially) in outbuf, in order;
-    /// popped as the socket drains so the global in-flight count tracks
+    /// popped as the socket drains so the reactor's in-flight count tracks
     /// responses the kernel has fully taken.
     std::deque<size_t> pending_responses;
   };
 
-  void EventLoop();
+  /// One event loop: a self-pipe for wakeups/hand-off, its own connection
+  /// table and overload accounting, and an atomic counter block the stats
+  /// readers aggregate without stopping the loop.
+  struct Reactor {
+    int wake_pipe[2] = {-1, -1};
+    std::thread thread;
+
+    /// Hand-off lane from the acceptor: accepted fds awaiting adoption.
+    std::mutex handoff_mutex;
+    std::vector<int> handoff;
+    /// Adopted connections + queued hand-offs; the acceptor reads this to
+    /// pick a reactor with a free slot and to gate listener polling.
+    std::atomic<size_t> live{0};
+
+    /// Owned by this reactor's loop thread exclusively.
+    std::vector<std::unique_ptr<Connection>> connections;
+    size_t inflight = 0;
+    uint64_t next_sweep_ms = 0;
+
+    /// Written by this reactor (admissions by the acceptor), read anywhere.
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> requests_served{0};
+    std::atomic<uint64_t> requests_shed{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> faults_injected{0};
+    std::atomic<uint64_t> leases_expired{0};
+  };
+
+  void AcceptorLoop();
+  /// Drains one accept burst: admits each fd to a reactor with a free slot
+  /// (round-robin from the last admission), closes the overflow.
   void AcceptReady();
+  /// Moves queued hand-off fds into the reactor's connection table.
+  void AdoptHandoff(Reactor& reactor);
+  void ReactorLoop(Reactor& reactor);
   /// Reads and serves everything available on `conn`; false => close it.
-  bool ReadReady(Connection& conn);
+  bool ReadReady(Reactor& reactor, Connection& conn);
   /// Flushes buffered output; false => close the connection.
-  bool WriteReady(Connection& conn);
+  bool WriteReady(Reactor& reactor, Connection& conn);
   /// Serves one decoded frame: dispatch (or shed) and queue the response.
-  void ServeFrame(Connection& conn, const net::Frame& request);
-  net::Frame Dispatch(const net::Frame& request);
-  void CloseConnection(size_t index);
-  /// Runs the periodic lease sweep when its interval elapsed; returns the
-  /// poll timeout (ms) until the next due sweep (-1 when disabled).
-  int LeaseSweepTimeout();
+  void ServeFrame(Reactor& reactor, Connection& conn,
+                  const net::Frame& request);
+  net::Frame Dispatch(Reactor& reactor, const net::Frame& request);
+  void CloseConnection(Reactor& reactor, size_t index);
+  /// Runs the reactor's periodic lease sweep when its interval elapsed;
+  /// returns the poll timeout (ms) until the next due sweep (-1 when
+  /// disabled).
+  int LeaseSweepTimeout(Reactor& reactor);
+  /// Wakes the acceptor (capacity freed / shutdown).
+  void WakeAcceptor();
 
   core::ConcurrentDocsSystem* system_;
   /// Non-null in durable deployments; answer/request dispatch then goes
@@ -146,25 +205,29 @@ class CrowdGateway {
   CrowdGatewayOptions options_;
 
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  int acceptor_wake_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;
-  std::thread loop_;
+  std::thread acceptor_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
 
-  /// Owned by the event-loop thread exclusively.
-  std::vector<std::unique_ptr<Connection>> connections_;
-  size_t inflight_ = 0;
-  uint64_t next_sweep_ms_ = 0;
+  /// Sized in Start(), joined and cleared in Stop(). unique_ptr because a
+  /// Reactor (mutex + atomics + thread) is neither movable nor copyable.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  /// Round-robin cursor for admissions; acceptor-thread only.
+  size_t next_reactor_ = 0;
+  /// Guards the reactors_ structure (rebuilt by Start, cleared by Stop)
+  /// against concurrent stats()/reactor_stats() readers. The I/O threads
+  /// themselves run only while the structure is stable, lock-free.
+  mutable std::mutex lifecycle_mutex_;
+  /// Counters of reactors from finished runs, folded in by Stop() so
+  /// stats() stays cumulative across Start/Stop cycles. Only the reactor
+  /// counter fields are meaningful.
+  GatewayStats retired_;
 
-  // Stats counters are written by the loop thread and read from any thread.
-  std::atomic<uint64_t> connections_accepted_{0};
+  // Acceptor-level counters (reactor-level ones live in each Reactor).
   std::atomic<uint64_t> connections_rejected_{0};
-  std::atomic<uint64_t> requests_served_{0};
-  std::atomic<uint64_t> requests_shed_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> faults_injected_{0};
-  std::atomic<uint64_t> leases_expired_{0};
 };
 
 }  // namespace docs::server

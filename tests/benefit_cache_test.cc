@@ -17,11 +17,14 @@
 #include <tuple>
 #include <vector>
 
+#include "client/crowd_client.h"
 #include "common/rng.h"
+#include "core/concurrent_docs_system.h"
 #include "core/docs_system.h"
 #include "crowd/worker_pool.h"
 #include "datasets/dataset.h"
 #include "kb/synthetic_kb.h"
+#include "server/crowd_gateway.h"
 #include "storage/worker_store.h"
 
 namespace docs::core {
@@ -222,6 +225,170 @@ TEST_F(BenefitCacheTest, InvalidationIsPreciseForUninvolvedWorkers) {
   (void)system.SelectTasks(a, 4);
   // 59 eligible tasks (she answered one), all rescored.
   EXPECT_EQ(system.benefit_cache_misses() - misses_mid, 59u);
+}
+
+/// Regression for the counter split: the old single hit/miss pair mixed
+/// per-entry lookups into one number, so "hit rate" computed from it said
+/// 98% on a system where every serving pass recomputed something. Row-level
+/// counters tally individual score lookups; request-level counters tally
+/// whole serving passes (a pass with even one recompute is a request miss).
+/// Dashboards want request_hits / (request_hits + request_misses).
+TEST_F(BenefitCacheTest, RequestCountersTallyServingPassesNotRowLookups) {
+  const auto dataset = datasets::MakeQaDataset(*kb_, 60, 11);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  DocsSystemOptions options;
+  options.golden_count = 0;
+  options.reinfer_every = 0;
+  options.num_threads = 1;
+  DocsSystem system(&kb_->knowledge_base, options);
+  ASSERT_TRUE(system.AddTasks(inputs).ok());
+
+  // Cold pass: every row entry recomputes — 60 row misses, ONE request miss.
+  const size_t b = system.WorkerIndex("b");
+  (void)system.SelectTasks(b, 4);
+  EXPECT_EQ(system.benefit_cache_misses(), 60u);
+  EXPECT_EQ(system.benefit_cache_request_misses(), 1u);
+  EXPECT_EQ(system.benefit_cache_request_hits(), 0u);
+
+  // Quiet repeat: fully cache-served — 60 row hits, ONE request hit.
+  (void)system.SelectTasks(b, 4);
+  EXPECT_EQ(system.benefit_cache_hits(), 60u);
+  EXPECT_EQ(system.benefit_cache_request_hits(), 1u);
+  EXPECT_EQ(system.benefit_cache_request_misses(), 1u);
+
+  // One stale entry in an otherwise warm row: 59 row hits + 1 row miss, but
+  // the pass was not fully cache-served, so it is a request MISS. This is
+  // exactly the case the fused counter got wrong (59/60 row "hit rate" for
+  // a pass that had to touch live inference state).
+  const size_t a = system.WorkerIndex("a");
+  const auto granted = system.SelectTasks(a, 1);
+  ASSERT_EQ(granted.size(), 1u);
+  const uint64_t request_hits_warm = system.benefit_cache_request_hits();
+  const uint64_t request_misses_warm = system.benefit_cache_request_misses();
+  ASSERT_TRUE(system.SubmitAnswer(a, granted[0], 0).ok());
+  const uint64_t row_hits_before = system.benefit_cache_hits();
+  const uint64_t row_misses_before = system.benefit_cache_misses();
+  (void)system.SelectTasks(b, 4);
+  EXPECT_EQ(system.benefit_cache_hits() - row_hits_before, 59u);
+  EXPECT_EQ(system.benefit_cache_misses() - row_misses_before, 1u);
+  EXPECT_EQ(system.benefit_cache_request_misses(), request_misses_warm + 1);
+  EXPECT_EQ(system.benefit_cache_request_hits(), request_hits_warm);
+
+  // The full-score test hook is not a serving pass: row counters move (it
+  // walks every entry) but the request tally must not.
+  const uint64_t request_hits_probe = system.benefit_cache_request_hits();
+  const uint64_t request_misses_probe = system.benefit_cache_request_misses();
+  (void)system.ScoreAllTasks(b, /*bypass_cache=*/false);
+  EXPECT_EQ(system.benefit_cache_request_hits(), request_hits_probe);
+  EXPECT_EQ(system.benefit_cache_request_misses(), request_misses_probe);
+
+  // A disabled cache counts nothing at either level.
+  DocsSystemOptions cold_options = options;
+  cold_options.benefit_cache = false;
+  DocsSystem cold(&kb_->knowledge_base, cold_options);
+  ASSERT_TRUE(cold.AddTasks(inputs).ok());
+  (void)cold.SelectTasks(cold.WorkerIndex("b"), 4);
+  EXPECT_EQ(cold.benefit_cache_request_hits(), 0u);
+  EXPECT_EQ(cold.benefit_cache_request_misses(), 0u);
+}
+
+/// The lockstep oracle over the wire, across reactor counts: a cached and
+/// an uncached system behind gateways with 1, 2, and 4 reactors must all
+/// produce bit-identical selections, posteriors, and worker qualities when
+/// driven through the same sequential TCP campaign. The cached gateways
+/// additionally surface the request-level counters through stats().
+TEST_F(BenefitCacheTest, GatewayLockstepIsBitIdenticalAcrossReactorCounts) {
+  const auto dataset = datasets::MakeItemDataset(*kb_);
+  const auto truths = dataset.Truths();
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 6;
+  const auto personas = crowd::MakeWorkerPool(
+      kb_->knowledge_base.num_domains(), dataset.label_to_domain, pool_options,
+      77);
+
+  struct Outcome {
+    std::vector<std::vector<uint64_t>> selections;
+    std::vector<size_t> choices;
+    std::vector<std::vector<double>> qualities;
+  };
+  auto drive = [&](bool cache_on, size_t reactors) {
+    DocsSystemOptions options;
+    options.golden_count = 5;
+    options.reinfer_every = 25;
+    options.num_threads = 2;
+    options.benefit_cache = cache_on;
+    ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+    EXPECT_TRUE(system.AddTasks(inputs, &truths).ok());
+    server::CrowdGatewayOptions gateway_options;
+    gateway_options.num_reactors = reactors;
+    server::CrowdGateway gateway(&system, gateway_options);
+    EXPECT_TRUE(gateway.Start().ok());
+
+    client::CrowdClientOptions client_options;
+    client_options.recv_timeout_ms = 5000;
+    std::vector<std::unique_ptr<client::CrowdClient>> conns;
+    for (size_t w = 0; w < 6; ++w) {
+      conns.push_back(std::make_unique<client::CrowdClient>(client_options));
+      EXPECT_TRUE(conns[w]->Connect("127.0.0.1", gateway.port()).ok());
+    }
+
+    Outcome outcome;
+    Rng rng(61);
+    for (size_t round = 0; round < 18; ++round) {
+      const size_t w = round % 6;
+      const std::string id = "w" + std::to_string(w);
+      std::vector<uint64_t> hit;
+      EXPECT_TRUE(conns[w]->RequestTasks(id, 4, &hit).ok());
+      outcome.selections.push_back(hit);
+      for (uint64_t task : hit) {
+        const size_t choice = crowd::GenerateAnswer(
+            personas[w], dataset.tasks[task].true_domain,
+            dataset.tasks[task].truth, dataset.tasks[task].num_choices(), rng);
+        EXPECT_TRUE(
+            conns[w]->SubmitAnswer(id, task, static_cast<uint32_t>(choice))
+                .ok());
+      }
+    }
+    const server::GatewayStats stats = gateway.stats();
+    if (cache_on) {
+      EXPECT_GT(stats.benefit_cache_request_hits +
+                    stats.benefit_cache_request_misses,
+                0u);
+    } else {
+      EXPECT_EQ(stats.benefit_cache_request_hits, 0u);
+      EXPECT_EQ(stats.benefit_cache_request_misses, 0u);
+      EXPECT_EQ(stats.benefit_cache_hits, 0u);
+      EXPECT_EQ(stats.benefit_cache_misses, 0u);
+    }
+    gateway.Stop();
+    outcome.choices = system.InferredChoices();
+    for (size_t w = 0; w < 6; ++w) {
+      outcome.qualities.push_back(system.WithLocked([&](DocsSystem& inner) {
+        return inner.inference().worker_quality(w).quality;
+      }));
+    }
+    return outcome;
+  };
+
+  const Outcome baseline = drive(/*cache_on=*/false, /*reactors=*/1);
+  for (size_t reactors : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (bool cache_on : {false, true}) {
+      if (!cache_on && reactors == 1) continue;  // the baseline itself
+      SCOPED_TRACE(std::string(cache_on ? "cached" : "uncached") + ", " +
+                   std::to_string(reactors) + " reactors");
+      const Outcome swept = drive(cache_on, reactors);
+      EXPECT_EQ(swept.selections, baseline.selections);
+      EXPECT_EQ(swept.choices, baseline.choices);
+      ASSERT_EQ(swept.qualities, baseline.qualities);
+    }
+  }
 }
 
 TEST_F(BenefitCacheTest, WarmRequestsKeepHittingUnderEveryRule) {

@@ -228,6 +228,117 @@ TEST_F(ConcurrencyTest, ExpireLeasesRacesServingCalls) {
   });
 }
 
+TEST_F(ConcurrencyTest, ShardedServingPathHammeredByRequestersAndMutators) {
+  // Targets the sharded RequestTasks fast path (DESIGN.md §13): workers are
+  // first primed past the golden phase sequentially so CanServeSharded
+  // holds for every one of them, then many requester threads score
+  // concurrently under shared state locks — including worker pairs that
+  // collide on the same shard stripe — while answers, periodic full
+  // re-inference (reinfer_every), lease sweeps, and checkpoints interleave.
+  auto dataset = datasets::MakeItemDataset(*kb_);
+  DocsSystemOptions options;
+  options.golden_count = 4;
+  options.reinfer_every = 20;  // exclusive-path RunFullInference mid-hammer
+  options.lease_duration = 4;
+  options.num_threads = 2;  // scoring-pool contention exercises the try-lock
+                            // serial fallback
+  ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  auto truths = dataset.Truths();
+  ASSERT_TRUE(system.AddTasks(inputs, &truths).ok());
+
+  // 18 workers over 16 shard stripes: indices 16 and 17 share stripes with
+  // 0 and 1, so same-shard serialization is exercised, not just disjoint
+  // stripes.
+  constexpr size_t kWorkers = 18;
+  std::vector<std::string> ids;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    ids.push_back("shard" + std::to_string(w));
+  }
+
+  // Sequential priming: two 4-task rounds put every worker past golden and
+  // size its benefit-cache row, making the sharded fast path reachable.
+  std::atomic<size_t> answers{0};
+  for (const auto& id : ids) {
+    for (int round = 0; round < 2; ++round) {
+      auto hit = system.RequestTasks(id, 4);
+      ASSERT_FALSE(hit.empty());
+      for (size_t task : hit) {
+        ASSERT_TRUE(system.SubmitAnswer(id, task, 0).ok());
+        answers.fetch_add(1);
+      }
+    }
+  }
+  system.WithLocked([&](DocsSystem& inner) {
+    for (const auto& id : ids) {
+      const auto worker = inner.FindWorker(id);
+      EXPECT_TRUE(worker.has_value() && inner.CanServeSharded(*worker))
+          << id << " not primed for the sharded path";
+    }
+    return 0;
+  });
+
+  std::atomic<bool> stop{false};
+  auto request_and_answer = [&](size_t w) {
+    Rng rng(700 + w);
+    for (int round = 0; round < 12; ++round) {
+      auto hit = system.RequestTasks(ids[w], 3);
+      if (hit.empty()) break;
+      for (size_t task : hit) {
+        if (rng.UniformInt(4) == 0) continue;  // abandon some grants
+        const Status submitted = system.SubmitAnswer(ids[w], task, 0);
+        EXPECT_TRUE(submitted.ok()) << submitted.ToString();
+        if (submitted.ok()) answers.fetch_add(1);
+      }
+    }
+  };
+  std::thread reaper([&] {
+    while (!stop.load()) {
+      (void)system.ExpireLeases(system.lease_clock());
+      std::this_thread::yield();
+    }
+  });
+  const std::string path = ::testing::TempDir() + "/sharded_hammer_ckpt.log";
+  std::remove(path.c_str());
+  std::thread checkpointer([&] {
+    while (!stop.load()) {
+      const Status saved = system.SaveCheckpoint(path);
+      EXPECT_TRUE(saved.ok()) << saved.ToString();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back(request_and_answer, w);
+  }
+  for (auto& thread : threads) thread.join();
+  stop.store(true);
+  reaper.join();
+  checkpointer.join();
+
+  // Same invariants as the monolithic-path hammers: every accepted answer
+  // counted once, leases fully settled after a final sweep, and no
+  // duplicate (worker, task) pair slipped through a commit race.
+  (void)system.ExpireLeases(system.lease_clock() + options.lease_duration);
+  EXPECT_EQ(system.outstanding_leases(), 0u);
+  EXPECT_EQ(system.num_answers(), answers.load());
+  system.WithLocked([&](DocsSystem& inner) {
+    std::set<std::pair<size_t, size_t>> seen;
+    for (const auto& answer : inner.inference().answers()) {
+      EXPECT_TRUE(seen.insert({answer.worker, answer.task}).second);
+    }
+    return 0;
+  });
+
+  // The checkpoint taken under fire is loadable and self-consistent.
+  DocsSystem restored(&kb_->knowledge_base, options);
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  EXPECT_EQ(restored.tasks().size(), dataset.tasks.size());
+}
+
 TEST_F(ConcurrencyTest, CheckpointUnderLoadIsConsistent) {
   auto dataset = datasets::MakeItemDataset(*kb_);
   DocsSystemOptions options;

@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "client/crowd_client.h"
 #include "common/rng.h"
+#include "core/concurrent_docs_system.h"
 #include "core/docs_system.h"
 #include "core/incremental_ti.h"
 #include "core/task_assignment.h"
@@ -17,6 +22,7 @@
 #include "crowd/worker_pool.h"
 #include "datasets/dataset.h"
 #include "kb/synthetic_kb.h"
+#include "server/crowd_gateway.h"
 
 namespace docs::core {
 namespace {
@@ -234,6 +240,101 @@ TEST_F(DocsSystemDeterminismTest, ServingPathSweepIsIdentical) {
                   baseline_system->inference().worker_quality(w).quality)
             << "worker " << w << ", rule " << static_cast<int>(rule) << ", "
             << threads << " threads";
+      }
+    }
+  }
+}
+
+/// The tentpole oracle for the sharded serving core: the SAME campaign driven
+/// over real TCP through gateways that differ only in reactor count and
+/// scoring-thread count must leave bit-identical posteriors, selections and
+/// worker qualities. Requests are driven sequentially (one at a time, rotating
+/// over 12 connections that round-robin across the reactors), so the answer
+/// order is fixed and any divergence isolates a reactor- or thread-dependent
+/// code path — hand-off, sharded scoring, per-shard cache rows, pool fallback.
+TEST_F(DocsSystemDeterminismTest, GatewayServingSweepIsIdenticalAcrossReactors) {
+  const auto dataset = datasets::MakeItemDataset(*kb_);
+  const auto truths = dataset.Truths();
+  std::vector<TaskInput> inputs;
+  for (const auto& task : dataset.tasks) {
+    inputs.push_back({task.text, task.num_choices()});
+  }
+  crowd::WorkerPoolOptions pool_options;
+  pool_options.num_workers = 12;
+  const auto workers = crowd::MakeWorkerPool(
+      kb_->knowledge_base.num_domains(), dataset.label_to_domain, pool_options,
+      99);
+
+  struct Outcome {
+    std::vector<std::vector<uint64_t>> selections;
+    std::vector<size_t> choices;
+    std::vector<std::vector<double>> qualities;
+  };
+  auto drive = [&](SelectionRule rule, size_t threads, size_t reactors) {
+    DocsSystemOptions options;
+    options.golden_count = 5;  // exclusive golden path, then the sharded one
+    options.reinfer_every = 40;
+    options.selection_rule = rule;
+    options.num_threads = threads;
+    ConcurrentDocsSystem system(&kb_->knowledge_base, options);
+    EXPECT_TRUE(system.AddTasks(inputs, &truths).ok());
+    server::CrowdGatewayOptions gateway_options;
+    gateway_options.num_reactors = reactors;
+    server::CrowdGateway gateway(&system, gateway_options);
+    EXPECT_TRUE(gateway.Start().ok());
+
+    client::CrowdClientOptions client_options;
+    client_options.recv_timeout_ms = 5000;
+    std::vector<std::unique_ptr<client::CrowdClient>> conns;
+    for (size_t w = 0; w < 12; ++w) {
+      conns.push_back(std::make_unique<client::CrowdClient>(client_options));
+      EXPECT_TRUE(conns[w]->Connect("127.0.0.1", gateway.port()).ok());
+    }
+
+    Outcome outcome;
+    Rng rng(17);  // identical answer stream for every configuration
+    for (size_t round = 0; round < 24; ++round) {
+      const size_t w = round % 12;
+      const std::string id = "w" + std::to_string(w);
+      std::vector<uint64_t> hit;
+      EXPECT_TRUE(conns[w]->RequestTasks(id, 4, &hit).ok());
+      outcome.selections.push_back(hit);
+      for (uint64_t task : hit) {
+        const size_t choice = crowd::GenerateAnswer(
+            workers[w], dataset.tasks[task].true_domain,
+            dataset.tasks[task].truth, dataset.tasks[task].num_choices(), rng);
+        const Status answered =
+            conns[w]->SubmitAnswer(id, task, static_cast<uint32_t>(choice));
+        EXPECT_TRUE(answered.ok()) << answered.ToString();
+      }
+    }
+    gateway.Stop();
+    outcome.choices = system.InferredChoices();
+    for (size_t w = 0; w < 12; ++w) {
+      outcome.qualities.push_back(system.WithLocked([&](DocsSystem& inner) {
+        return inner.inference().worker_quality(w).quality;
+      }));
+    }
+    return outcome;
+  };
+
+  for (SelectionRule rule :
+       {SelectionRule::kBenefit, SelectionRule::kDomainMax,
+        SelectionRule::kUncertainty, SelectionRule::kQualityBlind}) {
+    const Outcome baseline = drive(rule, 1, 1);
+    for (size_t reactors : {size_t{1}, size_t{2}, size_t{4}}) {
+      for (size_t threads : kThreadSweep) {
+        if (reactors == 1 && threads == 1) continue;  // the baseline itself
+        const Outcome swept = drive(rule, threads, reactors);
+        EXPECT_EQ(swept.selections, baseline.selections)
+            << "rule " << static_cast<int>(rule) << ", " << reactors
+            << " reactors, " << threads << " threads";
+        EXPECT_EQ(swept.choices, baseline.choices)
+            << "rule " << static_cast<int>(rule) << ", " << reactors
+            << " reactors, " << threads << " threads";
+        ASSERT_EQ(swept.qualities, baseline.qualities)
+            << "rule " << static_cast<int>(rule) << ", " << reactors
+            << " reactors, " << threads << " threads";
       }
     }
   }

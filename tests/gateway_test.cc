@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -344,7 +345,162 @@ TEST_F(GatewayTest, OverloadShedsWithUnavailableInsteadOfQueueing) {
   const GatewayStats stats = serving.gateway->stats();
   EXPECT_EQ(stats.requests_served + stats.requests_shed, kBurst);
   EXPECT_EQ(stats.requests_shed, unavailable);
+  // max_inflight is a per-reactor bound; with one reactor the per-reactor
+  // contract is exactly the historical global one.
+  const auto per_reactor = serving.gateway->reactor_stats();
+  ASSERT_EQ(per_reactor.size(), 1u);
+  EXPECT_EQ(per_reactor[0].requests_served, stats.requests_served);
+  EXPECT_EQ(per_reactor[0].requests_shed, stats.requests_shed);
   ::close(fd);
+}
+
+TEST_F(GatewayTest, OverloadSheddingIsEvaluatedPerReactor) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  CrowdGatewayOptions gateway_options;
+  gateway_options.num_reactors = 2;
+  gateway_options.max_inflight = 2;
+  Serving serving = StartServing(options, gateway_options);
+
+  // Sequential connects land round-robin: one connection per reactor.
+  const int fd0 = RawConnect(serving.gateway->port());
+  const int fd1 = RawConnect(serving.gateway->port());
+
+  constexpr size_t kBurst = 10;
+  std::string burst;
+  for (size_t i = 0; i < kBurst; ++i) {
+    burst += net::EncodeFrame(net::EncodeStatsReq());
+  }
+  for (int fd : {fd0, fd1}) {
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(burst.size()));
+  }
+  for (int fd : {fd0, fd1}) {
+    const auto frames = ReadFrames(fd, kBurst);
+    ASSERT_EQ(frames.size(), kBurst);
+    size_t ok = 0;
+    size_t unavailable = 0;
+    for (const auto& frame : frames) {
+      EXPECT_EQ(frame.type, net::MessageType::kStatsResp);
+      if (frame.status == StatusCode::kOk) ++ok;
+      if (frame.status == StatusCode::kUnavailable) ++unavailable;
+    }
+    EXPECT_EQ(ok + unavailable, kBurst);
+    EXPECT_GE(unavailable, 1u);
+  }
+  // Each reactor evaluated the in-flight bound against only the burst it
+  // owns: its shedding never depends on what the other reactor is serving.
+  const auto per_reactor = serving.gateway->reactor_stats();
+  ASSERT_EQ(per_reactor.size(), 2u);
+  for (const auto& reactor : per_reactor) {
+    EXPECT_EQ(reactor.connections_accepted, 1u);
+    EXPECT_EQ(reactor.requests_served + reactor.requests_shed, kBurst);
+    EXPECT_GE(reactor.requests_shed, 1u);
+  }
+  const GatewayStats total = serving.gateway->stats();
+  EXPECT_EQ(total.requests_served + total.requests_shed, 2 * kBurst);
+  ::close(fd0);
+  ::close(fd1);
+}
+
+TEST_F(GatewayTest, MultiReactorCampaignSpreadsConnectionsAndServesAll) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  options.reinfer_every = 25;
+  CrowdGatewayOptions gateway_options;
+  gateway_options.num_reactors = 4;
+  Serving serving = StartServing(options, gateway_options);
+
+  constexpr size_t kClients = 8;
+  std::atomic<size_t> submitted{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      client::CrowdClient conn(TestClientOptions());
+      if (!conn.Connect("127.0.0.1", serving.gateway->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string id = "rr-worker-" + std::to_string(c);
+      for (int round = 0; round < 4; ++round) {
+        std::vector<uint64_t> hit;
+        if (!conn.RequestTasks(id, 3, &hit).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (hit.empty()) break;  // pool drained
+        for (uint64_t task : hit) {
+          if (conn.SubmitAnswer(id, task, 0).ok()) submitted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(submitted.load(), 0u);
+  EXPECT_EQ(serving.system->num_answers(), submitted.load());
+
+  // Round-robin admission spread the 8 connections over all 4 reactors
+  // exactly evenly, and every reactor really served traffic.
+  const auto per_reactor = serving.gateway->reactor_stats();
+  ASSERT_EQ(per_reactor.size(), 4u);
+  uint64_t accepted = 0;
+  uint64_t served = 0;
+  for (const auto& reactor : per_reactor) {
+    EXPECT_EQ(reactor.connections_accepted, kClients / 4);
+    EXPECT_GT(reactor.requests_served, 0u);
+    accepted += reactor.connections_accepted;
+    served += reactor.requests_served;
+  }
+  GatewayStats total = serving.gateway->stats();
+  EXPECT_EQ(total.connections_accepted, accepted);
+  EXPECT_EQ(total.requests_served, served);
+
+  // Counters survive shutdown: Stop() folds the per-reactor blocks into the
+  // cumulative aggregate even though the reactors themselves are gone.
+  serving.gateway->Stop();
+  EXPECT_EQ(serving.gateway->stats().requests_served, served);
+  EXPECT_TRUE(serving.gateway->reactor_stats().empty());
+}
+
+TEST_F(GatewayTest, KillingOneReactorsConnectionLeavesOthersServing) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  options.lease_duration = 8;
+  CrowdGatewayOptions gateway_options;
+  gateway_options.num_reactors = 2;
+  Serving serving = StartServing(options, gateway_options);
+
+  // Sequential connects land round-robin: doomed on reactor 0, survivor on
+  // reactor 1.
+  client::CrowdClient doomed(TestClientOptions());
+  ASSERT_TRUE(doomed.Connect("127.0.0.1", serving.gateway->port()).ok());
+  client::CrowdClient survivor(TestClientOptions());
+  ASSERT_TRUE(survivor.Connect("127.0.0.1", serving.gateway->port()).ok());
+
+  // Both are mid-campaign with leases outstanding when one dies.
+  std::vector<uint64_t> doomed_hit;
+  ASSERT_TRUE(doomed.RequestTasks("doomed", 2, &doomed_hit).ok());
+  ASSERT_FALSE(doomed_hit.empty());
+  std::vector<uint64_t> survivor_hit;
+  ASSERT_TRUE(survivor.RequestTasks("survivor", 2, &survivor_hit).ok());
+  ASSERT_FALSE(survivor_hit.empty());
+  doomed.Close();
+
+  // The other reactor keeps serving uninterrupted.
+  for (uint64_t task : survivor_hit) {
+    const Status answered = survivor.SubmitAnswer("survivor", task, 0);
+    ASSERT_TRUE(answered.ok()) << answered.ToString();
+  }
+  net::StatsResp stats;
+  ASSERT_TRUE(survivor.Stats(&stats).ok());
+  EXPECT_EQ(stats.num_answers, survivor_hit.size());
+
+  // The dead connection's slot frees up and fresh clients are admitted.
+  client::CrowdClient replacement(TestClientOptions());
+  ASSERT_TRUE(replacement.Connect("127.0.0.1", serving.gateway->port()).ok());
+  EXPECT_TRUE(replacement.Stats(&stats).ok());
 }
 
 TEST_F(GatewayTest, InjectedAcceptFaultDropsOneConnectionNotTheServer) {
