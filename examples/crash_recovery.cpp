@@ -40,7 +40,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -48,6 +47,7 @@
 
 #include "client/resilient_client.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "common/table_printer.h"
 #include "core/concurrent_docs_system.h"
 #include "core/durable_docs_system.h"
@@ -263,7 +263,7 @@ int main(int argc, char** argv) {
   const auto pool = crowd::MakeWorkerPool(
       synthetic.knowledge_base.num_domains(), dataset.label_to_domain,
       pool_options, 42);
-  std::mutex acked_mutex;
+  docs::Mutex acked_mutex;
   std::vector<AckedAnswer> acked;
   std::atomic<size_t> acked_count{0};
   std::atomic<size_t> failed_ops{0};
@@ -296,7 +296,7 @@ int main(int argc, char** argv) {
         const Status submitted =
             client.SubmitAnswer(pool[w].id, task, choice);
         if (submitted.ok()) {
-          std::lock_guard<std::mutex> lock(acked_mutex);
+          docs::MutexLock lock(&acked_mutex);
           acked.push_back({pool[w].id, task, choice});
           acked_count.fetch_add(1);
         } else {

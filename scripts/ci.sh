@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point, five stages (fails on the first broken one):
+# CI entry point, six stages (fails on the first broken one):
 #   1. lint      — scripts/lint.py always; clang-tidy when installed.
-#   2. release   — Release build, full test suite.
-#   3. strict    — -DDOCS_WERROR=ON -DDOCS_DEBUG_CHECKS=ON: curated -Werror
+#   2. thread-safety — clang -Wthread-safety -Werror build over the DOCS_*
+#                  capability annotations (DESIGN.md §14); skipped with a
+#                  notice when clang is not installed.
+#   3. release   — Release build, full test suite.
+#   4. strict    — -DDOCS_WERROR=ON -DDOCS_DEBUG_CHECKS=ON: curated -Werror
 #                  set plus every DOCS_DCHECK* contract compiled in, run over
 #                  the contract-heavy suites.
-#   4. sanitize  — ASan+UBSan full suite, then a gateway smoke run (real TCP
+#   5. sanitize  — ASan+UBSan full suite, then a gateway smoke run (real TCP
 #                  server + clients under ASan), then TSan scoped to the
 #                  tests that exercise cross-thread execution.
-#   5. bench     — scripts/bench.sh --quick from the release build: short
+#   6. bench     — scripts/bench.sh --quick from the release build: short
 #                  micro + wire runs that gate on the warm serving path
 #                  keeping its allocation/wall-time win (DESIGN.md §11),
 #                  plus the §13 reactor/connection scaling sweeps (the
@@ -50,6 +53,19 @@ run_config() {
   fi
 }
 
+# Thread-safety analysis: a clang build with -Wthread-safety promoted to an
+# error, checking the DOCS_* capability annotations (lock hierarchy, guarded
+# fields, EXCLUDES contracts — DESIGN.md §14) over every target. Compile-only:
+# the analysis is static, so there is nothing to run.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "=== [thread-safety] clang -Wthread-safety build ==="
+  cmake -S "$ROOT" -B "$ROOT/build-tsa" -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_COMPILER=clang++ -DDOCS_THREAD_SAFETY=ON
+  cmake --build "$ROOT/build-tsa" -j"$JOBS"
+else
+  echo "=== [thread-safety] clang++ not installed, skipping ==="
+fi
+
 run_config release "" -DCMAKE_BUILD_TYPE=Release
 # Strict config: warnings are errors and the DCHECK-tier contracts are live.
 # Scoped to the suites that hit the contract-instrumented paths hardest;
@@ -77,7 +93,7 @@ echo "=== [sanitize] chaos smoke (crash_recovery under ASan) ==="
 # server thread against client threads; durability_test races checkpoints
 # against submitters and restarts gateways under live clients).
 run_config tsan \
-  "parallel_test|determinism_test|benefit_cache_test|concurrency_test|gateway_test|durability_test|resilient_client_test" \
+  "sync_test|parallel_test|determinism_test|benefit_cache_test|concurrency_test|gateway_test|durability_test|resilient_client_test" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=thread
 
 echo "=== [bench] serving-path perf smoke (scripts/bench.sh --quick) ==="

@@ -12,6 +12,17 @@ Checks, over every C++ file in src/, tests/, bench/ and examples/:
      point. Handle the status or propagate it.
   4. #include lines are sorted within each contiguous block (blocks are
      separated by blank lines or non-include lines).
+  5. Raw standard-library sync primitives (std::mutex, std::shared_mutex,
+     std::lock_guard, std::unique_lock, std::condition_variable, ...) are
+     banned everywhere except src/common/sync.h: all locking goes through
+     the annotated docs::Mutex/MutexLock/CondVar wrappers so clang's
+     -Wthread-safety analysis (DESIGN.md §14) sees every acquisition.
+  6. Lock-order heuristic for the serving hierarchy (state -> shard ->
+     assign/pool): a shard-stripe lock (`<expr>.mutex` / `<expr>->mutex`)
+     acquired while a `MutexLock` on assign_mutex_ is still in scope is an
+     inversion against ConcurrentDocsSystem's documented order and gets
+     flagged. Textual and scope-approximate by design: the real checker is
+     the clang analysis; this catches the mistake on gcc-only machines.
 
 Exit status is the number of findings (0 = clean). Run from anywhere:
 
@@ -43,6 +54,22 @@ VOID_CAST_RE = re.compile(
 VOID_STATUS_RE = re.compile(r"\(void\)\s*[a-z_]*status\b")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^<">]+[>"])')
+
+# The annotated wrappers live here; it is the one file allowed to name the
+# std primitives it wraps.
+SYNC_WRAPPER_FILE = "src/common/sync.h"
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_)?mutex\b"
+    r"|\bstd::shared_(?:mutex|timed_mutex|lock)\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b")
+# `MutexLock assign(&assign_mutex_);` — any of the scoped guards, capturing
+# the lock expression so the hierarchy check can classify it.
+LOCK_ACQUIRE_RE = re.compile(
+    r"\b(?:MutexLock|WriterLock|ReaderLock)\s+\w+\s*"
+    r"\(\s*&\s*([A-Za-z_][\w.\->\[\]]*)\s*[,)]")
+SHARD_STRIPE_RE = re.compile(r"(?:\.|->)mutex$")
+LINE_COMMENT_RE = re.compile(r"//.*$")
 
 
 def expected_guard(path):
@@ -79,6 +106,35 @@ def check_header_guard(path, lines, findings):
     if len(define) < 2 or define[0] != "#define" or define[1] != guard:
         findings.append((path, ifndef_index + 2,
                          f"#define {guard} must follow the #ifndef"))
+
+
+def check_lock_order(path, lines, findings):
+    """Flags a shard stripe acquired while assign_mutex_ is scoped-locked.
+
+    Scope tracking is brace-depth arithmetic on comment-stripped lines — an
+    approximation, but scoped guards in this codebase are always declared
+    directly inside a braced block, which is exactly what this models.
+    """
+    depth = 0
+    assign_depths = []  # brace depth at each live assign_mutex_ guard
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT_RE.sub("", line)
+        if "NOLINT(docs-lint)" in line:
+            depth += code.count("{") - code.count("}")
+            continue
+        for match in LOCK_ACQUIRE_RE.finditer(code):
+            target = match.group(1)
+            if target.endswith("assign_mutex_"):
+                assign_depths.append(depth)
+            elif SHARD_STRIPE_RE.search(target) and assign_depths:
+                findings.append(
+                    (path, i + 1,
+                     f"lock-order inversion: shard stripe {target} acquired "
+                     "while assign_mutex_ is held (hierarchy is state -> "
+                     "shard -> assign, DESIGN.md §14)"))
+        depth += code.count("{") - code.count("}")
+        while assign_depths and depth < assign_depths[-1]:
+            assign_depths.pop()
 
 
 def check_includes_sorted(path, lines, findings):
@@ -123,10 +179,17 @@ def lint_file(root, rel, findings):
             findings.append(
                 (rel, i + 1,
                  "(void)-discarded Status: handle or propagate it"))
+        if (rel.replace(os.sep, "/") != SYNC_WRAPPER_FILE
+                and RAW_SYNC_RE.search(LINE_COMMENT_RE.sub("", line))):
+            findings.append(
+                (rel, i + 1,
+                 "raw std sync primitive: use docs::Mutex/MutexLock/CondVar "
+                 "from common/sync.h so -Wthread-safety sees the lock"))
 
     if is_header:
         check_header_guard(rel, lines, findings)
     check_includes_sorted(rel, lines, findings)
+    check_lock_order(rel, lines, findings)
 
 
 def main():

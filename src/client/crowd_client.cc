@@ -10,11 +10,13 @@
 #include <cstring>
 #include <utility>
 
+#include "common/string_utils.h"
+
 namespace docs::client {
 namespace {
 
 Status Errno(const char* what) {
-  return IoError(std::string(what) + ": " + std::strerror(errno));
+  return IoError(std::string(what) + ": " + ErrnoString(errno));
 }
 
 }  // namespace

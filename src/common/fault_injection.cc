@@ -26,7 +26,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(const std::string& point, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PointState& state = points_[point];
   if (!state.live) armed_points_.fetch_add(1, std::memory_order_relaxed);
   state.spec = spec;
@@ -58,7 +58,7 @@ void FaultInjector::ArmOneShot(const std::string& point, size_t skip) {
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(point);
   if (it == points_.end() || !it->second.live) return;
   it->second.live = false;
@@ -66,19 +66,19 @@ void FaultInjector::Disarm(const std::string& point) {
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   points_.clear();
   armed_points_.store(0, std::memory_order_relaxed);
   total_fires_.store(0);
 }
 
 void FaultInjector::SeedRng(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   rng_state_ = seed;
 }
 
 bool FaultInjector::ShouldFail(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(point);
   if (it == points_.end() || !it->second.live) return false;
   PointState& state = it->second;
@@ -108,13 +108,13 @@ bool FaultInjector::ShouldFail(const std::string& point) {
 }
 
 size_t FaultInjector::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 size_t FaultInjector::fires(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }

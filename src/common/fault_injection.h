@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace docs {
 
@@ -47,7 +48,8 @@ class FaultInjector {
 
   /// Arms `point` with `spec`, replacing any previous arming (and resetting
   /// its hit/fire counters).
-  void Arm(const std::string& point, const FaultSpec& spec);
+  void Arm(const std::string& point, const FaultSpec& spec)
+      DOCS_EXCLUDES(mutex_);
 
   /// Convenience wrappers for the three trigger kinds.
   void ArmProbabilistic(const std::string& point, double probability);
@@ -55,20 +57,20 @@ class FaultInjector {
   void ArmOneShot(const std::string& point, size_t skip = 0);
 
   /// Disarms one point (keeps its counters readable) / all points.
-  void Disarm(const std::string& point);
-  void DisarmAll();
+  void Disarm(const std::string& point) DOCS_EXCLUDES(mutex_);
+  void DisarmAll() DOCS_EXCLUDES(mutex_);
 
   /// Reseeds the RNG behind probabilistic triggers (default seed 0).
-  void SeedRng(uint64_t seed);
+  void SeedRng(uint64_t seed) DOCS_EXCLUDES(mutex_);
 
   /// Evaluates `point`: returns true when the armed trigger fires. Unarmed
   /// points never fire and are not counted. Prefer DOCS_FAULT_POINT, which
   /// short-circuits through armed() first.
-  bool ShouldFail(const std::string& point);
+  bool ShouldFail(const std::string& point) DOCS_EXCLUDES(mutex_);
 
   /// Times `point` was evaluated / fired since it was (re-)armed.
-  size_t hits(const std::string& point) const;
-  size_t fires(const std::string& point) const;
+  size_t hits(const std::string& point) const DOCS_EXCLUDES(mutex_);
+  size_t fires(const std::string& point) const DOCS_EXCLUDES(mutex_);
   /// Total fires across all points since the last DisarmAll().
   size_t total_fires() const { return total_fires_.load(); }
 
@@ -80,11 +82,12 @@ class FaultInjector {
     size_t fires = 0;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::atomic<size_t> armed_points_{0};
   std::atomic<size_t> total_fires_{0};
-  std::unordered_map<std::string, PointState> points_;
-  uint64_t rng_state_ = 0;  ///< splitmix64 state for probabilistic triggers
+  std::unordered_map<std::string, PointState> points_ DOCS_GUARDED_BY(mutex_);
+  /// splitmix64 state for probabilistic triggers
+  uint64_t rng_state_ DOCS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace docs

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace docs {
 namespace {
@@ -11,8 +12,8 @@ std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 /// Serializes emission so concurrent threads (the gateway event loop, worker
 /// threads, checkpoint savers) cannot interleave partial lines on stderr.
-std::mutex& EmitMutex() {
-  static std::mutex* mutex = new std::mutex;
+Mutex& EmitMutex() {
+  static Mutex* mutex = new Mutex;
   return *mutex;
 }
 
@@ -54,7 +55,7 @@ LogMessage::~LogMessage() {
   // the mutex: a multi-threaded server must never interleave two half-lines.
   stream_ << '\n';
   const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  MutexLock lock(&EmitMutex());
   std::fwrite(line.data(), 1, line.size(), stderr);
   std::fflush(stderr);
 }

@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -59,7 +59,7 @@ size_t ThreadPool::DrainChunks(uint64_t generation,
     try {
       (*fn)(chunk);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (first_error_ == nullptr) first_error_ = std::current_exception();
     }
     // A chunk whose fn threw still counts as completed — Run() must never
@@ -73,10 +73,13 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     const std::function<void(size_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(&mutex_);
+      // Explicit predicate loop (not a wait-with-lambda): the guarded reads
+      // stay in this function, where the analysis can see the lock is held.
+      while (!shutdown_ &&
+             !(job_ != nullptr && generation_ != seen_generation)) {
+        work_cv_.Wait(mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
@@ -85,10 +88,10 @@ void ThreadPool::WorkerLoop() {
     if (ran > 0) {
       // Having claimed a chunk of this generation pins Run() in its wait
       // until we report, so num_chunks_ still belongs to this job here.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       completed_ += ran;
       if (completed_ == num_chunks_.load(std::memory_order_relaxed)) {
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }
@@ -104,7 +107,7 @@ void ThreadPool::Run(size_t num_chunks, const std::function<void(size_t)>& fn) {
   }
   uint64_t generation;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     job_ = &fn;
     num_chunks_.store(num_chunks, std::memory_order_relaxed);
     completed_ = 0;
@@ -113,20 +116,22 @@ void ThreadPool::Run(size_t num_chunks, const std::function<void(size_t)>& fn) {
     // straggler from the previous job might still attempt (see DrainChunks).
     ticket_.store(generation << kTicketGenShift, std::memory_order_release);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   const size_t ran = DrainChunks(generation, &fn);
-  std::unique_lock<std::mutex> lock(mutex_);
-  completed_ += ran;
-  done_cv_.wait(lock, [&] { return completed_ == num_chunks; });
-  // Every chunk is accounted for. Workers that claimed chunks have left fn
-  // (completion is only reported after fn returned or threw); workers that
-  // claimed none are fenced off fn by the generation tag. Safe to drop the
-  // job and let the caller's fn die.
-  job_ = nullptr;
-  num_chunks_.store(0, std::memory_order_relaxed);
-  std::exception_ptr error = first_error_;
-  first_error_ = nullptr;
-  lock.unlock();
+  std::exception_ptr error;
+  {
+    MutexLock lock(&mutex_);
+    completed_ += ran;
+    while (completed_ != num_chunks) done_cv_.Wait(mutex_);
+    // Every chunk is accounted for. Workers that claimed chunks have left fn
+    // (completion is only reported after fn returned or threw); workers that
+    // claimed none are fenced off fn by the generation tag. Safe to drop the
+    // job and let the caller's fn die.
+    job_ = nullptr;
+    num_chunks_.store(0, std::memory_order_relaxed);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
   if (error != nullptr) std::rethrow_exception(error);
 }
 

@@ -3,14 +3,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace docs {
 
@@ -66,21 +66,23 @@ class ThreadPool {
   /// stays usable for subsequent Run() calls. Exceptions thrown on worker
   /// threads are transported to the caller instead of terminating the
   /// process.
-  void Run(size_t num_chunks, const std::function<void(size_t)>& fn);
+  void Run(size_t num_chunks, const std::function<void(size_t)>& fn)
+      DOCS_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DOCS_EXCLUDES(mutex_);
   /// Claims and executes chunks of the job tagged `generation` until none
   /// remain or the ticket's generation moves on; returns the number of chunks
   /// this thread completed. `fn` is dereferenced only after a successful
   /// claim, which proves the job (and the caller's fn) is still alive.
-  size_t DrainChunks(uint64_t generation, const std::function<void(size_t)>* fn);
+  size_t DrainChunks(uint64_t generation, const std::function<void(size_t)>* fn)
+      DOCS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t)>* job_ = nullptr;  // guarded by mutex_
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(size_t)>* job_ DOCS_GUARDED_BY(mutex_) = nullptr;
   /// Chunk-claim ticket: the job generation in the high 32 bits, the next
   /// unclaimed chunk index in the low 32. Claims are CAS increments that fail
   /// if the generation tag changed, so a worker that stalled after picking up
@@ -92,10 +94,10 @@ class ThreadPool {
   /// generation may load it while Run() resets it; the generation-checked
   /// claim ensures a stale value never admits an fn call.
   std::atomic<size_t> num_chunks_{0};
-  size_t completed_ = 0;   // guarded by mutex_
-  uint64_t generation_ = 0;  // guarded by mutex_; bumped per Run()
-  std::exception_ptr first_error_;  // guarded by mutex_; see Run()
-  bool shutdown_ = false;    // guarded by mutex_
+  size_t completed_ DOCS_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ DOCS_GUARDED_BY(mutex_) = 0;  ///< bumped per Run()
+  std::exception_ptr first_error_ DOCS_GUARDED_BY(mutex_);  ///< see Run()
+  bool shutdown_ DOCS_GUARDED_BY(mutex_) = false;
 };
 
 /// Number of chunks a ParallelFor over `n` elements dispatches. Depends only

@@ -1,8 +1,22 @@
 #include "common/string_utils.h"
 
+#include <string.h>
+
 #include <cctype>
 
 namespace docs {
+namespace {
+
+// strerror_r comes in two flavors; overload resolution on the actual return
+// type picks the right unpacking without feature-macro guesswork.
+inline std::string UnpackStrerror(int rc, const char* buf) {
+  return rc == 0 ? std::string(buf) : std::string("unknown error");  // XSI
+}
+inline std::string UnpackStrerror(const char* msg, const char* /*buf*/) {
+  return std::string(msg);  // GNU: may return a static string, not buf
+}
+
+}  // namespace
 
 std::string ToLower(std::string_view s) {
   std::string out(s);
@@ -60,6 +74,11 @@ std::vector<std::string> TokenizeWords(std::string_view text) {
   }
   if (!current.empty()) out.push_back(std::move(current));
   return out;
+}
+
+std::string ErrnoString(int errnum) {
+  char buf[256] = {};
+  return UnpackStrerror(::strerror_r(errnum, buf, sizeof(buf)), buf);
 }
 
 }  // namespace docs

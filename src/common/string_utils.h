@@ -26,6 +26,12 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// separator, drops empty tokens.
 std::vector<std::string> TokenizeWords(std::string_view text);
 
+/// Thread-safe strerror: renders `errnum` into an owned string via
+/// strerror_r. std::strerror returns a pointer into static storage and is
+/// flagged by concurrency-mt-unsafe — every error-formatting site in the
+/// multi-threaded serving path goes through this instead.
+std::string ErrnoString(int errnum);
+
 }  // namespace docs
 
 #endif  // DOCS_COMMON_STRING_UTILS_H_

@@ -1,0 +1,94 @@
+#ifndef DOCS_COMMON_THREAD_ANNOTATIONS_H_
+#define DOCS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (DESIGN.md §14).
+///
+/// These turn the prose lock discipline of the serving core — which mutex
+/// guards which field, which order locks may be taken in — into declarations
+/// the compiler checks on every build with clang:
+///
+///     clang++ ... -Wthread-safety -Wthread-safety-beta -Werror
+///     (cmake -DDOCS_THREAD_SAFETY=ON; scripts/ci.sh runs it when clang is
+///     installed and skips with a notice otherwise)
+///
+/// On gcc (the default container toolchain) every macro expands to nothing,
+/// so annotated code compiles identically everywhere; the annotations are a
+/// compile-time contract, not a runtime mechanism. TSan remains the dynamic
+/// complement: the analysis proves lock *discipline* on all paths including
+/// ones no test executes, TSan catches raciness the capability model cannot
+/// express (atomics ordering, lock-free hand-off).
+///
+/// Use the docs::Mutex / docs::SharedMutex / docs::CondVar wrappers from
+/// common/sync.h — raw std primitives carry no capability attributes, so the
+/// analysis cannot see them (and scripts/lint.py rejects them outside
+/// sync.h). Vocabulary (mirroring clang's documentation):
+///
+///   DOCS_CAPABILITY(name)      — this class is a lockable capability
+///   DOCS_SCOPED_CAPABILITY     — RAII object acquiring/releasing one
+///   DOCS_GUARDED_BY(mu)        — field may only be touched holding mu
+///   DOCS_PT_GUARDED_BY(mu)     — pointee may only be touched holding mu
+///   DOCS_REQUIRES(mu...)       — caller must already hold mu exclusively
+///   DOCS_REQUIRES_SHARED(mu...)— caller must hold mu at least shared
+///   DOCS_ACQUIRE / DOCS_RELEASE (+ _SHARED / _GENERIC variants)
+///   DOCS_TRY_ACQUIRE(result, mu...) — conditional acquisition
+///   DOCS_EXCLUDES(mu...)       — caller must NOT hold mu (deadlock fence)
+///   DOCS_ACQUIRED_BEFORE/AFTER — static lock-order edges
+///   DOCS_ASSERT_CAPABILITY     — runtime-checked "I hold this"
+///   DOCS_RETURN_CAPABILITY(mu) — accessor returning a guarded reference
+///   DOCS_NO_THREAD_SAFETY_ANALYSIS — opt a function out (rare; justify it)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DOCS_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef DOCS_THREAD_ANNOTATION_
+#define DOCS_THREAD_ANNOTATION_(x)  // no-op: gcc / pre-TSA clang
+#endif
+
+#define DOCS_CAPABILITY(x) DOCS_THREAD_ANNOTATION_(capability(x))
+#define DOCS_SCOPED_CAPABILITY DOCS_THREAD_ANNOTATION_(scoped_lockable)
+
+#define DOCS_GUARDED_BY(x) DOCS_THREAD_ANNOTATION_(guarded_by(x))
+#define DOCS_PT_GUARDED_BY(x) DOCS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define DOCS_ACQUIRED_BEFORE(...) \
+  DOCS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DOCS_ACQUIRED_AFTER(...) \
+  DOCS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define DOCS_REQUIRES(...) \
+  DOCS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DOCS_REQUIRES_SHARED(...) \
+  DOCS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define DOCS_ACQUIRE(...) \
+  DOCS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DOCS_ACQUIRE_SHARED(...) \
+  DOCS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define DOCS_RELEASE(...) \
+  DOCS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DOCS_RELEASE_SHARED(...) \
+  DOCS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define DOCS_RELEASE_GENERIC(...) \
+  DOCS_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define DOCS_TRY_ACQUIRE(...) \
+  DOCS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define DOCS_TRY_ACQUIRE_SHARED(...) \
+  DOCS_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define DOCS_EXCLUDES(...) \
+  DOCS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define DOCS_ASSERT_CAPABILITY(x) \
+  DOCS_THREAD_ANNOTATION_(assert_capability(x))
+#define DOCS_ASSERT_SHARED_CAPABILITY(x) \
+  DOCS_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define DOCS_RETURN_CAPABILITY(x) DOCS_THREAD_ANNOTATION_(lock_returned(x))
+
+#define DOCS_NO_THREAD_SAFETY_ANALYSIS \
+  DOCS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // DOCS_COMMON_THREAD_ANNOTATIONS_H_

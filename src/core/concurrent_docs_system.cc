@@ -8,14 +8,14 @@ namespace docs::core {
 
 Status ConcurrentDocsSystem::AddTasks(const std::vector<TaskInput>& inputs,
                                       const std::vector<size_t>* known_truths) {
-  std::lock_guard<std::shared_mutex> lock(state_mutex_);
+  WriterLock lock(&state_mutex_);
   return system_.AddTasks(inputs, known_truths);
 }
 
 std::vector<size_t> ConcurrentDocsSystem::RequestTasks(
     const std::string& worker_id, size_t k) {
   {
-    std::shared_lock<std::shared_mutex> state(state_mutex_);
+    ReaderLock state(&state_mutex_);
     const std::optional<size_t> worker = system_.FindWorker(worker_id);
     if (worker.has_value() && system_.CanServeSharded(*worker)) {
       return ServeShardedLocked(*worker, k);
@@ -25,7 +25,7 @@ std::vector<size_t> ConcurrentDocsSystem::RequestTasks(
   // probes, or a benefit-cache row not yet sized — all exclusive-lock work.
   // The eligibility re-check happens inside SelectTasks, so losing the lock
   // between the probe above and here costs a detour, never correctness.
-  std::lock_guard<std::shared_mutex> lock(state_mutex_);
+  WriterLock lock(&state_mutex_);
   return system_.SelectTasks(system_.WorkerIndex(worker_id), k);
 }
 
@@ -34,24 +34,25 @@ std::vector<size_t> ConcurrentDocsSystem::ServeShardedLocked(size_t worker,
   WorkerShard& shard = shards_[worker % kNumShards];
   // The shard lock serializes same-row cache access and hands this request
   // exclusive use of the shard's scoring scratch.
-  std::lock_guard<std::mutex> shard_lock(shard.mutex);
+  MutexLock shard_lock(&shard.mutex);
   for (int attempt = 0;; ++attempt) {
     {
-      std::lock_guard<std::mutex> assign(assign_mutex_);
+      MutexLock assign(&assign_mutex_);
       system_.BeginShardedSelect(worker, &shard.scratch.eligible);
     }
     // One deterministic pool, many would-be users: the winner of the
     // try-lock fans the scoring pass out, everyone else scores serially.
     // Bit-identical either way (the ranking is thread-count invariant), so
-    // contention degrades latency, never results.
-    std::unique_lock<std::mutex> pool_lock(pool_mutex_, std::try_to_lock);
-    ThreadPool* pool =
-        pool_lock.owns_lock() ? system_.ScoringPool() : nullptr;
+    // contention degrades latency, never results. Explicit TryLock/Unlock
+    // on the tracked boolean (not a scoped guard): the analysis follows the
+    // branch on a try-acquire result, so both paths check out.
+    const bool pool_locked = pool_mutex_.TryLock();
+    ThreadPool* pool = pool_locked ? system_.ScoringPool() : nullptr;
     std::vector<size_t> selected =
         system_.ScoreAndRankSharded(worker, shard.scratch, k, pool);
-    if (pool_lock.owns_lock()) pool_lock.unlock();
+    if (pool_locked) pool_mutex_.Unlock();
     {
-      std::lock_guard<std::mutex> assign(assign_mutex_);
+      MutexLock assign(&assign_mutex_);
       // A commit conflict means another shard granted the last cap slot of a
       // selected task mid-scoring; rescore from a fresh snapshot, and after
       // two clean retries force through without the conflicted tasks.
@@ -65,7 +66,7 @@ std::vector<size_t> ConcurrentDocsSystem::ServeShardedLocked(size_t worker,
 
 Status ConcurrentDocsSystem::SubmitAnswer(const std::string& worker_id,
                                           size_t task, size_t choice) {
-  std::lock_guard<std::shared_mutex> lock(state_mutex_);
+  WriterLock lock(&state_mutex_);
   const std::optional<size_t> worker = system_.FindWorker(worker_id);
   if (!worker.has_value()) {
     return InvalidArgumentError("unknown worker '" + worker_id +
@@ -75,71 +76,71 @@ Status ConcurrentDocsSystem::SubmitAnswer(const std::string& worker_id,
 }
 
 std::vector<ExpiredLease> ConcurrentDocsSystem::ExpireLeases(uint64_t now) {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
-  std::lock_guard<std::mutex> assign(assign_mutex_);
+  ReaderLock state(&state_mutex_);
+  MutexLock assign(&assign_mutex_);
   return system_.ExpireLeases(now);
 }
 
 Status ConcurrentDocsSystem::LoadWorker(const std::string& worker_id,
                                         const storage::WorkerStore& store) {
-  std::lock_guard<std::shared_mutex> lock(state_mutex_);
+  WriterLock lock(&state_mutex_);
   return system_.LoadWorker(worker_id, store);
 }
 
 uint64_t ConcurrentDocsSystem::lease_clock() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
-  std::lock_guard<std::mutex> assign(assign_mutex_);
+  ReaderLock state(&state_mutex_);
+  MutexLock assign(&assign_mutex_);
   return system_.lease_clock();
 }
 
 size_t ConcurrentDocsSystem::num_tasks() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  ReaderLock state(&state_mutex_);
   return system_.tasks().size();
 }
 
 size_t ConcurrentDocsSystem::outstanding_leases() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
-  std::lock_guard<std::mutex> assign(assign_mutex_);
+  ReaderLock state(&state_mutex_);
+  MutexLock assign(&assign_mutex_);
   return system_.outstanding_leases();
 }
 
 std::vector<size_t> ConcurrentDocsSystem::InferredChoices() {
-  std::lock_guard<std::shared_mutex> lock(state_mutex_);
+  WriterLock lock(&state_mutex_);
   return system_.InferredChoices();
 }
 
 size_t ConcurrentDocsSystem::num_answers() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  ReaderLock state(&state_mutex_);
   return system_.inference().num_answers();
 }
 
 void ConcurrentDocsSystem::RunFullInference() {
-  std::lock_guard<std::shared_mutex> lock(state_mutex_);
+  WriterLock lock(&state_mutex_);
   system_.RunFullInference();
 }
 
 std::vector<std::string> ConcurrentDocsSystem::WorkerIds() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  ReaderLock state(&state_mutex_);
   return system_.WorkerIds();
 }
 
 uint64_t ConcurrentDocsSystem::benefit_cache_hits() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  ReaderLock state(&state_mutex_);
   return system_.benefit_cache_hits();
 }
 
 uint64_t ConcurrentDocsSystem::benefit_cache_misses() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  ReaderLock state(&state_mutex_);
   return system_.benefit_cache_misses();
 }
 
 uint64_t ConcurrentDocsSystem::benefit_cache_request_hits() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  ReaderLock state(&state_mutex_);
   return system_.benefit_cache_request_hits();
 }
 
 uint64_t ConcurrentDocsSystem::benefit_cache_request_misses() {
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  ReaderLock state(&state_mutex_);
   return system_.benefit_cache_request_misses();
 }
 
@@ -147,12 +148,12 @@ Status ConcurrentDocsSystem::SaveCheckpoint(const std::string& path) {
   // Snapshot state is everything the sharded path only reads (tasks, golden
   // set, seeds, answers) — leases are volatile by contract — so a shared
   // lock suffices and a save never stalls serving.
-  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  ReaderLock state(&state_mutex_);
   return system_.SaveCheckpoint(path);
 }
 
 Status ConcurrentDocsSystem::LoadCheckpoint(const std::string& path) {
-  std::lock_guard<std::shared_mutex> lock(state_mutex_);
+  WriterLock lock(&state_mutex_);
   return system_.LoadCheckpoint(path);
 }
 

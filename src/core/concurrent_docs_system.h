@@ -2,11 +2,10 @@
 #define DOCS_CORE_CONCURRENT_DOCS_SYSTEM_H_
 
 #include <chrono>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/docs_system.h"
 
 namespace docs::core {
@@ -46,7 +45,8 @@ struct CheckpointRetryOptions {
 /// scores serially — bit-identical either way, because the ranking is
 /// thread-count invariant.
 ///
-/// Lock hierarchy (acquire left-to-right, never right-to-left):
+/// Lock hierarchy (acquire left-to-right, never right-to-left; DESIGN.md
+/// §14, machine-checked via the DOCS_* annotations below):
 ///   state (shared or exclusive) → shard → { assign | pool }.
 class ConcurrentDocsSystem {
  public:
@@ -56,13 +56,14 @@ class ConcurrentDocsSystem {
 
   [[nodiscard]] Status AddTasks(const std::vector<TaskInput>& inputs,
                                 const std::vector<size_t>* known_truths =
-                                    nullptr);
+                                    nullptr) DOCS_EXCLUDES(state_mutex_);
 
   /// Atomically resolves the worker id and selects her next HIT. Known
   /// workers past the golden phase are served under the shared state lock
   /// (parallel across worker shards); first contact and golden probes fall
   /// back to the exclusive path.
-  std::vector<size_t> RequestTasks(const std::string& worker_id, size_t k);
+  std::vector<size_t> RequestTasks(const std::string& worker_id, size_t k)
+      DOCS_EXCLUDES(state_mutex_, assign_mutex_, pool_mutex_);
 
   /// Atomically resolves the worker id and submits one answer. Invalid
   /// submissions (unknown task, out-of-range choice, duplicate (worker,
@@ -72,42 +73,47 @@ class ConcurrentDocsSystem {
   /// silently register a fresh worker for every malformed or forged id the
   /// network delivers.
   [[nodiscard]] Status SubmitAnswer(const std::string& worker_id, size_t task,
-                                    size_t choice);
+                                    size_t choice)
+      DOCS_EXCLUDES(state_mutex_);
 
   /// Reclaims every lease whose logical deadline is at or before `now`
   /// (workers who accepted a HIT and vanished); the freed tasks are
   /// immediately assignable again. Serving deployments call this on a timer.
   /// Touches only the lease books, so it runs under the shared state lock
   /// plus the assign lock — a sweep never stalls in-flight scoring.
-  std::vector<ExpiredLease> ExpireLeases(uint64_t now);
+  std::vector<ExpiredLease> ExpireLeases(uint64_t now)
+      DOCS_EXCLUDES(state_mutex_, assign_mutex_);
 
   /// Seeds a returning worker's quality profile from the persistent store;
   /// the worker is registered and skips the golden probe (Theorem 1 state).
   [[nodiscard]] Status LoadWorker(const std::string& worker_id,
-                                  const storage::WorkerStore& store);
+                                  const storage::WorkerStore& store)
+      DOCS_EXCLUDES(state_mutex_);
 
-  uint64_t lease_clock();
-  size_t num_tasks();
-  size_t outstanding_leases();
-  std::vector<size_t> InferredChoices();
-  size_t num_answers();
+  uint64_t lease_clock() DOCS_EXCLUDES(state_mutex_, assign_mutex_);
+  size_t num_tasks() DOCS_EXCLUDES(state_mutex_);
+  size_t outstanding_leases() DOCS_EXCLUDES(state_mutex_, assign_mutex_);
+  std::vector<size_t> InferredChoices() DOCS_EXCLUDES(state_mutex_);
+  size_t num_answers() DOCS_EXCLUDES(state_mutex_);
 
   /// Forces a full inference pass (the recovery bit-equality oracle; see
   /// DocsSystem::RunFullInference).
-  void RunFullInference();
+  void RunFullInference() DOCS_EXCLUDES(state_mutex_);
 
   /// Registered worker ids in registration order.
-  std::vector<std::string> WorkerIds();
+  std::vector<std::string> WorkerIds() DOCS_EXCLUDES(state_mutex_);
 
   /// Row- and request-level benefit-cache counters; see DocsSystem for the
   /// distinction (rows are the wrong unit for a hit-rate).
-  uint64_t benefit_cache_hits();
-  uint64_t benefit_cache_misses();
-  uint64_t benefit_cache_request_hits();
-  uint64_t benefit_cache_request_misses();
+  uint64_t benefit_cache_hits() DOCS_EXCLUDES(state_mutex_);
+  uint64_t benefit_cache_misses() DOCS_EXCLUDES(state_mutex_);
+  uint64_t benefit_cache_request_hits() DOCS_EXCLUDES(state_mutex_);
+  uint64_t benefit_cache_request_misses() DOCS_EXCLUDES(state_mutex_);
 
-  [[nodiscard]] Status SaveCheckpoint(const std::string& path);
-  [[nodiscard]] Status LoadCheckpoint(const std::string& path);
+  [[nodiscard]] Status SaveCheckpoint(const std::string& path)
+      DOCS_EXCLUDES(state_mutex_);
+  [[nodiscard]] Status LoadCheckpoint(const std::string& path)
+      DOCS_EXCLUDES(state_mutex_);
 
   /// SaveCheckpoint with bounded retry: sleeps between attempts with
   /// exponential backoff (outside the lock, so serving calls proceed while
@@ -119,8 +125,8 @@ class ConcurrentDocsSystem {
   /// Runs `fn` under the exclusive lock with direct access to the underlying
   /// system — for setup/inspection that needs several calls to be atomic.
   template <typename Fn>
-  auto WithLocked(Fn&& fn) {
-    std::lock_guard<std::shared_mutex> lock(state_mutex_);
+  auto WithLocked(Fn&& fn) DOCS_EXCLUDES(state_mutex_) {
+    WriterLock lock(&state_mutex_);
     return fn(system_);
   }
 
@@ -133,8 +139,10 @@ class ConcurrentDocsSystem {
   /// rows of every worker hashing to this shard. Cache-line aligned so two
   /// reactors hammering adjacent shards do not false-share.
   struct alignas(64) WorkerShard {
-    std::mutex mutex;
-    DocsSystem::ShardScratch scratch;
+    Mutex mutex;
+    /// Guarded by `mutex` (declared via the annotation so the analysis binds
+    /// the scratch to its own stripe, not a sibling's).
+    DocsSystem::ShardScratch scratch DOCS_GUARDED_BY(mutex);
   };
 
   /// The sharded fast path; caller holds the shared state lock and has
@@ -142,13 +150,23 @@ class ConcurrentDocsSystem {
   /// commit-time redundancy-cap conflict (forced through, dropping only the
   /// conflicted tasks, on the final attempt so a hot task cannot livelock
   /// the request).
-  std::vector<size_t> ServeShardedLocked(size_t worker, size_t k);
+  std::vector<size_t> ServeShardedLocked(size_t worker, size_t k)
+      DOCS_REQUIRES_SHARED(state_mutex_)
+          DOCS_EXCLUDES(assign_mutex_, pool_mutex_);
 
-  std::shared_mutex state_mutex_;
-  std::mutex assign_mutex_;
-  std::mutex pool_mutex_;
+  /// Top of the hierarchy: every other lock here is acquired strictly after
+  /// it (shared for the sharded serve, exclusive for mutators).
+  SharedMutex state_mutex_ DOCS_ACQUIRED_BEFORE(assign_mutex_, pool_mutex_);
+  /// Lease books + logical clock; taken after state and any shard stripe,
+  /// never before one.
+  Mutex assign_mutex_ DOCS_ACQUIRED_BEFORE(pool_mutex_);
+  /// Scoring-pool try-lock (DESIGN.md §13): the loser scores serially.
+  Mutex pool_mutex_;
   WorkerShard shards_[kNumShards];
-  DocsSystem system_;
+  /// The wrapped engine. Hold state_mutex_ — shared on read-mostly serving
+  /// paths (per-shard writes are funneled through the stripe mutexes),
+  /// exclusive for anything that mutates shared structure.
+  DocsSystem system_ DOCS_GUARDED_BY(state_mutex_);
 };
 
 }  // namespace docs::core

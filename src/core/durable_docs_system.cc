@@ -23,7 +23,7 @@ DurableDocsSystem::DurableDocsSystem(ConcurrentDocsSystem* system,
       wal_path_(options_.dir + "/answers.wal") {}
 
 Status DurableDocsSystem::Recover() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (recovered_.load(std::memory_order_relaxed)) {
     return FailedPreconditionError("Recover() already ran");
   }
@@ -93,7 +93,7 @@ Status DurableDocsSystem::Recover() {
 Status DurableDocsSystem::SubmitAnswer(const std::string& worker_id,
                                        size_t task, size_t choice,
                                        uint64_t request_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (wal_ == nullptr) {
     return FailedPreconditionError("DurableDocsSystem not recovered");
   }
@@ -158,7 +158,7 @@ Status DurableDocsSystem::RequestTasks(const std::string& worker_id, size_t k,
   // First contact: the registration must be durable before the index is
   // assigned, or recovery would renumber workers and change inference's
   // summation order.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const bool raced = system_->WithLocked([&](DocsSystem& system) {
     const std::optional<size_t> worker = system.FindWorker(worker_id);
     if (!worker.has_value()) return false;
@@ -179,7 +179,7 @@ Status DurableDocsSystem::RequestTasks(const std::string& worker_id, size_t k,
 }
 
 Status DurableDocsSystem::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (wal_ == nullptr) {
     return FailedPreconditionError("DurableDocsSystem not recovered");
   }

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/concurrent_docs_system.h"
 #include "storage/answer_wal.h"
 
@@ -67,7 +67,7 @@ class DurableDocsSystem {
   /// checkpoint, replays the WAL tail, and rebuilds the dedup window.
   /// Idempotent failure: a failed Recover leaves no WAL handle, so it can
   /// be retried after the cause clears.
-  [[nodiscard]] Status Recover();
+  [[nodiscard]] Status Recover() DOCS_EXCLUDES(mutex_);
   bool recovered() const { return recovered_.load(std::memory_order_acquire); }
 
   /// Exactly-once submit. A (worker_id, request_id) pair already in the
@@ -76,21 +76,23 @@ class DurableDocsSystem {
   /// and rejected as kUnavailable (retryable, state untouched) if the log
   /// cannot take it. request_id 0 opts out of dedup (v1 peers).
   [[nodiscard]] Status SubmitAnswer(const std::string& worker_id, size_t task,
-                                    size_t choice, uint64_t request_id);
+                                    size_t choice, uint64_t request_id)
+      DOCS_EXCLUDES(mutex_);
 
   /// Serve a task request. Known workers are served lock-free with respect
   /// to the durable layer (facade lock only). A first-contact worker is
   /// durably registered — `reg` record appended + flushed before the index
   /// is assigned — so recovery reproduces registration order.
   [[nodiscard]] Status RequestTasks(const std::string& worker_id, size_t k,
-                                    std::vector<size_t>* tasks);
+                                    std::vector<size_t>* tasks)
+      DOCS_EXCLUDES(mutex_);
 
   /// Checkpoint + WAL truncation: saves the full facade state, then
   /// atomically replaces the WAL with just the live dedup window. A crash
   /// between the two steps is safe — replaying the stale WAL on top of the
   /// new checkpoint rejects each answer as a duplicate, which recovery
   /// records in the window instead of double-applying.
-  [[nodiscard]] Status Checkpoint();
+  [[nodiscard]] Status Checkpoint() DOCS_EXCLUDES(mutex_);
 
   DurableStats stats() const;
 
@@ -117,19 +119,26 @@ class DurableDocsSystem {
 
   /// Inserts into the window, evicting FIFO past options_.dedup_window.
   void RecordDedupLocked(const std::string& worker_id, uint64_t request_id,
-                         StatusCode code);
-  [[nodiscard]] Status CheckpointLocked();
+                         StatusCode code) DOCS_REQUIRES(mutex_);
+  [[nodiscard]] Status CheckpointLocked() DOCS_REQUIRES(mutex_);
 
   ConcurrentDocsSystem* system_;
   DurableOptions options_;
   std::string checkpoint_path_;
   std::string wal_path_;
 
-  mutable std::mutex mutex_;
-  std::unique_ptr<storage::AnswerWal> wal_;  ///< null until Recover() succeeds
-  std::deque<DedupEntry> window_;            ///< FIFO, oldest first
-  std::unordered_map<std::string, StatusCode> window_index_;
-  size_t answers_since_checkpoint_ = 0;
+  /// Durable-layer lock; taken strictly OUTSIDE (before) every facade lock
+  /// — CheckpointLocked and the replay path call into the facade while
+  /// holding it, and the facade never calls back up into this layer.
+  mutable Mutex mutex_;
+  /// null until Recover() succeeds; the WAL itself is thread-compatible and
+  /// relies entirely on this pointer's guard for cross-thread use.
+  std::unique_ptr<storage::AnswerWal> wal_ DOCS_GUARDED_BY(mutex_)
+      DOCS_PT_GUARDED_BY(mutex_);
+  std::deque<DedupEntry> window_ DOCS_GUARDED_BY(mutex_);  ///< FIFO, oldest 1st
+  std::unordered_map<std::string, StatusCode> window_index_
+      DOCS_GUARDED_BY(mutex_);
+  size_t answers_since_checkpoint_ DOCS_GUARDED_BY(mutex_) = 0;
 
   std::atomic<bool> recovered_{false};
   std::atomic<uint64_t> wal_appends_{0};

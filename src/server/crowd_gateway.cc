@@ -14,6 +14,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/string_utils.h"
 
 namespace docs::server {
 namespace {
@@ -80,7 +81,7 @@ Status CrowdGateway::Start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
   if (listen_fd_ < 0) {
-    return IoError(std::string("socket: ") + std::strerror(errno));
+    return IoError("socket: " + ErrnoString(errno));
   }
   const int enable = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
@@ -90,12 +91,12 @@ Status CrowdGateway::Start() {
   addr.sin_port = htons(options_.port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    Status status = IoError(std::string("bind: ") + std::strerror(errno));
+    Status status = IoError(std::string("bind: ") + ErrnoString(errno));
     CloseFd(listen_fd_);
     return status;
   }
   if (::listen(listen_fd_, options_.listen_backlog) < 0) {
-    Status status = IoError(std::string("listen: ") + std::strerror(errno));
+    Status status = IoError(std::string("listen: ") + ErrnoString(errno));
     CloseFd(listen_fd_);
     return status;
   }
@@ -103,13 +104,13 @@ Status CrowdGateway::Start() {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                     &addr_len) < 0) {
     Status status =
-        IoError(std::string("getsockname: ") + std::strerror(errno));
+        IoError(std::string("getsockname: ") + ErrnoString(errno));
     CloseFd(listen_fd_);
     return status;
   }
   port_ = ntohs(addr.sin_port);
   if (::pipe2(acceptor_wake_pipe_, O_NONBLOCK | O_CLOEXEC) < 0) {
-    Status status = IoError(std::string("pipe2: ") + std::strerror(errno));
+    Status status = IoError(std::string("pipe2: ") + ErrnoString(errno));
     CloseFd(listen_fd_);
     return status;
   }
@@ -121,7 +122,7 @@ Status CrowdGateway::Start() {
   for (size_t i = 0; i < options_.num_reactors; ++i) {
     auto reactor = std::make_unique<Reactor>();
     if (::pipe2(reactor->wake_pipe, O_NONBLOCK | O_CLOEXEC) < 0) {
-      Status status = IoError(std::string("pipe2: ") + std::strerror(errno));
+      Status status = IoError(std::string("pipe2: ") + ErrnoString(errno));
       for (auto& built : reactors) {
         CloseFd(built->wake_pipe[0]);
         CloseFd(built->wake_pipe[1]);
@@ -133,39 +134,51 @@ Status CrowdGateway::Start() {
     }
     reactors.push_back(std::move(reactor));
   }
+  // Install under the lifecycle lock, then spawn from a snapshot taken in
+  // the same critical section: the set is immutable until Stop() (which
+  // joins every thread before touching it again), so loops hold raw
+  // pointers instead of re-locking per iteration.
+  std::vector<Reactor*> live;
+  live.reserve(reactors.size());
+  for (auto& reactor : reactors) live.push_back(reactor.get());
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     reactors_ = std::move(reactors);
   }
   next_reactor_ = 0;
 
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  for (auto& reactor : reactors_) {
+  for (Reactor* reactor : live) {
     reactor->thread =
         std::thread(&CrowdGateway::ReactorLoop, this, std::ref(*reactor));
   }
   acceptor_ = std::thread(&CrowdGateway::AcceptorLoop, this);
   DOCS_LOG(Info) << "crowd gateway listening on 127.0.0.1:" << port_
-                 << " with " << reactors_.size() << " reactor(s)";
+                 << " with " << live.size() << " reactor(s)";
   return OkStatus();
 }
 
 void CrowdGateway::Stop() {
-  if (!acceptor_.joinable() && reactors_.empty()) return;
+  if (!acceptor_.joinable() && SnapshotReactors().empty()) return;
   stop_requested_.store(true, std::memory_order_release);
   // The acceptor goes first so no new connections race the drain.
   WakeAcceptor();
   if (acceptor_.joinable()) acceptor_.join();
-  for (auto& reactor : reactors_) WakePipe(reactor->wake_pipe[1]);
-  for (auto& reactor : reactors_) {
+  // Wake and join through a snapshot so the (up to drain_timeout_ms) wait
+  // happens outside lifecycle_mutex_ — a concurrent stats() call must never
+  // block on the drain. The set itself cannot change underneath us: Start
+  // and Stop are externally serialized, and only they write reactors_.
+  const std::vector<Reactor*> live = SnapshotReactors();
+  for (Reactor* reactor : live) WakePipe(reactor->wake_pipe[1]);
+  for (Reactor* reactor : live) {
     if (reactor->thread.joinable()) reactor->thread.join();
   }
   {
     // Fold the finished reactors' counters into the retired block so
     // stats() stays cumulative across Start/Stop cycles, as it was when
     // the counters were plain members.
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     for (auto& reactor : reactors_) {
       retired_.connections_accepted += reactor->connections_accepted.load();
       retired_.requests_served += reactor->requests_served.load();
@@ -183,19 +196,43 @@ void CrowdGateway::Stop() {
   running_.store(false, std::memory_order_release);
 }
 
+std::vector<CrowdGateway::Reactor*> CrowdGateway::SnapshotReactors() const {
+  MutexLock lock(&lifecycle_mutex_);
+  std::vector<Reactor*> out;
+  out.reserve(reactors_.size());
+  for (const auto& reactor : reactors_) out.push_back(reactor.get());
+  return out;
+}
+
+void CrowdGateway::SumWireCounters(uint64_t* served, uint64_t* shed) const {
+  MutexLock lock(&lifecycle_mutex_);
+  *served = retired_.requests_served;
+  *shed = retired_.requests_shed;
+  for (const auto& reactor : reactors_) {
+    *served += reactor->requests_served.load();
+    *shed += reactor->requests_shed.load();
+  }
+}
+
 GatewayStats CrowdGateway::stats() const {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
-  GatewayStats out = retired_;
+  GatewayStats out;
+  {
+    // Only the retired block and the live reactors' counters need the
+    // lifecycle lock; the facade and durable reads below happen after it is
+    // released so this lock never couples to the serving locks.
+    MutexLock lock(&lifecycle_mutex_);
+    out = retired_;
+    for (const auto& reactor : reactors_) {
+      out.connections_accepted += reactor->connections_accepted.load();
+      out.requests_served += reactor->requests_served.load();
+      out.requests_shed += reactor->requests_shed.load();
+      out.protocol_errors += reactor->protocol_errors.load();
+      out.faults_injected += reactor->faults_injected.load();
+      out.leases_expired += reactor->leases_expired.load();
+    }
+  }
   out.connections_rejected += connections_rejected_.load();
   out.faults_injected += faults_injected_.load();
-  for (const auto& reactor : reactors_) {
-    out.connections_accepted += reactor->connections_accepted.load();
-    out.requests_served += reactor->requests_served.load();
-    out.requests_shed += reactor->requests_shed.load();
-    out.protocol_errors += reactor->protocol_errors.load();
-    out.faults_injected += reactor->faults_injected.load();
-    out.leases_expired += reactor->leases_expired.load();
-  }
   out.benefit_cache_hits = system_->benefit_cache_hits();
   out.benefit_cache_misses = system_->benefit_cache_misses();
   out.benefit_cache_request_hits = system_->benefit_cache_request_hits();
@@ -209,7 +246,7 @@ GatewayStats CrowdGateway::stats() const {
 }
 
 std::vector<GatewayStats> CrowdGateway::reactor_stats() const {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(&lifecycle_mutex_);
   std::vector<GatewayStats> out;
   out.reserve(reactors_.size());
   for (const auto& reactor : reactors_) {
@@ -244,6 +281,10 @@ int CrowdGateway::LeaseSweepTimeout(Reactor& reactor) {
 }
 
 void CrowdGateway::AcceptorLoop() {
+  // One snapshot for the thread's lifetime: the reactor set is fixed
+  // between Start() and Stop(), and Stop() joins this thread before it
+  // mutates the set again.
+  const std::vector<Reactor*> reactors = SnapshotReactors();
   for (;;) {
     if (stop_requested_.load(std::memory_order_acquire)) break;
     // Poll the listener only while some reactor has a free slot; while all
@@ -251,7 +292,7 @@ void CrowdGateway::AcceptorLoop() {
     // freeing a slot wakes this loop, and the bounded timeout backstops a
     // lost wakeup.
     bool capacity = false;
-    for (const auto& reactor : reactors_) {
+    for (const Reactor* reactor : reactors) {
       if (reactor->live.load(std::memory_order_acquire) <
           options_.max_connections) {
         capacity = true;
@@ -268,23 +309,23 @@ void CrowdGateway::AcceptorLoop() {
     const int ready = ::poll(fds, nfds, 250);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      DOCS_LOG(Error) << "gateway acceptor poll: " << std::strerror(errno);
+      DOCS_LOG(Error) << "gateway acceptor poll: " << ErrnoString(errno);
       break;
     }
     if ((fds[0].revents & POLLIN) != 0) DrainPipe(acceptor_wake_pipe_[0]);
-    if (capacity && (fds[1].revents & POLLIN) != 0) AcceptReady();
+    if (capacity && (fds[1].revents & POLLIN) != 0) AcceptReady(reactors);
   }
   CloseFd(listen_fd_);
 }
 
-void CrowdGateway::AcceptReady() {
+void CrowdGateway::AcceptReady(const std::vector<Reactor*>& reactors) {
   for (;;) {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      DOCS_LOG(Warning) << "gateway accept: " << std::strerror(errno);
+      DOCS_LOG(Warning) << "gateway accept: " << ErrnoString(errno);
       return;
     }
     if (DOCS_FAULT_POINT(kFaultGatewayAccept)) {
@@ -295,12 +336,12 @@ void CrowdGateway::AcceptReady() {
     // Round-robin admission over reactors with a free slot, continuing from
     // the previous admission so consecutive connections spread out.
     Reactor* chosen = nullptr;
-    for (size_t i = 0; i < reactors_.size(); ++i) {
-      Reactor& candidate = *reactors_[(next_reactor_ + i) % reactors_.size()];
+    for (size_t i = 0; i < reactors.size(); ++i) {
+      Reactor& candidate = *reactors[(next_reactor_ + i) % reactors.size()];
       if (candidate.live.load(std::memory_order_acquire) <
           options_.max_connections) {
         chosen = &candidate;
-        next_reactor_ = (next_reactor_ + i + 1) % reactors_.size();
+        next_reactor_ = (next_reactor_ + i + 1) % reactors.size();
         break;
       }
     }
@@ -315,7 +356,7 @@ void CrowdGateway::AcceptReady() {
     chosen->live.fetch_add(1, std::memory_order_acq_rel);
     chosen->connections_accepted.fetch_add(1);
     {
-      std::lock_guard<std::mutex> lock(chosen->handoff_mutex);
+      MutexLock lock(&chosen->handoff_mutex);
       chosen->handoff.push_back(fd);
     }
     WakePipe(chosen->wake_pipe[1]);
@@ -325,7 +366,7 @@ void CrowdGateway::AcceptReady() {
 void CrowdGateway::AdoptHandoff(Reactor& reactor) {
   std::vector<int> adopted;
   {
-    std::lock_guard<std::mutex> lock(reactor.handoff_mutex);
+    MutexLock lock(&reactor.handoff_mutex);
     adopted.swap(reactor.handoff);
   }
   for (int fd : adopted) {
@@ -376,7 +417,7 @@ void CrowdGateway::ReactorLoop(Reactor& reactor) {
     const int ready = ::poll(fds.data(), fds.size(), timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      DOCS_LOG(Error) << "gateway reactor poll: " << std::strerror(errno);
+      DOCS_LOG(Error) << "gateway reactor poll: " << ErrnoString(errno);
       break;
     }
 
@@ -412,7 +453,7 @@ void CrowdGateway::ReactorLoop(Reactor& reactor) {
   }
   // Admissions queued after the last adopt never became connections; close
   // them and return their capacity so the accounting balances.
-  std::lock_guard<std::mutex> lock(reactor.handoff_mutex);
+  MutexLock lock(&reactor.handoff_mutex);
   for (int fd : reactor.handoff) {
     ::close(fd);
     reactor.live.fetch_sub(1, std::memory_order_acq_rel);
@@ -541,14 +582,9 @@ net::Frame CrowdGateway::Dispatch(Reactor& reactor,
       resp.outstanding_leases = system_->outstanding_leases();
       resp.lease_clock = system_->lease_clock();
       // Gateway-wide totals: every reactor's counters, plus runs already
-      // folded by Stop(). retired_ is only written while no reactor thread
-      // exists, so this lock-free read from a reactor is safe.
-      resp.requests_served = retired_.requests_served;
-      resp.requests_shed = retired_.requests_shed;
-      for (const auto& peer : reactors_) {
-        resp.requests_served += peer->requests_served.load();
-        resp.requests_shed += peer->requests_shed.load();
-      }
+      // folded by Stop(), summed under the lifecycle lock — reactor threads
+      // may not read retired_/reactors_ bare.
+      SumWireCounters(&resp.requests_served, &resp.requests_shed);
       if (durable_ != nullptr) {
         const core::DurableStats durable = durable_->stats();
         resp.answers_deduped = durable.answers_deduped;

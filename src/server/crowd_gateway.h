@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/concurrent_docs_system.h"
 #include "core/durable_docs_system.h"
 #include "net/wire.h"
@@ -117,11 +117,15 @@ class CrowdGateway {
 
   /// Binds, listens, and spawns the acceptor and reactor threads. IoError
   /// when the socket setup fails; FailedPrecondition when already running.
-  [[nodiscard]] Status Start();
+  /// Start/Stop are externally serialized (one lifecycle owner); stats
+  /// readers may race them freely.
+  [[nodiscard]] Status Start() DOCS_EXCLUDES(lifecycle_mutex_);
 
   /// Graceful shutdown: stop accepting, drain buffered responses on every
-  /// reactor, close, join all threads. Idempotent.
-  void Stop();
+  /// reactor, close, join all threads. Idempotent. Never holds
+  /// lifecycle_mutex_ while joining, so concurrent stats() calls cannot
+  /// block for the drain (pinned by gateway_test).
+  void Stop() DOCS_EXCLUDES(lifecycle_mutex_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound port (the ephemeral one when options.port was 0). Valid
@@ -129,11 +133,15 @@ class CrowdGateway {
   uint16_t port() const { return port_; }
 
   /// Gateway-wide counters: per-reactor blocks summed, plus the acceptor's.
-  GatewayStats stats() const;
+  /// EXCLUDES makes a self-deadlock (a handler calling stats() from a
+  /// context already under lifecycle_mutex_, e.g. inside a future Stop()
+  /// hook) a compile error under -DDOCS_THREAD_SAFETY instead of a hang.
+  GatewayStats stats() const DOCS_EXCLUDES(lifecycle_mutex_);
   /// One un-summed counter block per reactor (acceptor-level counters —
   /// rejections, accept/recover faults — appear only in the aggregate).
   /// Valid while the reactors exist, i.e. between Start() and Stop().
-  std::vector<GatewayStats> reactor_stats() const;
+  std::vector<GatewayStats> reactor_stats() const
+      DOCS_EXCLUDES(lifecycle_mutex_);
 
  private:
   struct Connection {
@@ -155,8 +163,9 @@ class CrowdGateway {
     std::thread thread;
 
     /// Hand-off lane from the acceptor: accepted fds awaiting adoption.
-    std::mutex handoff_mutex;
-    std::vector<int> handoff;
+    /// Leaf lock — nothing else is ever acquired under it.
+    Mutex handoff_mutex;
+    std::vector<int> handoff DOCS_GUARDED_BY(handoff_mutex);
     /// Adopted connections + queued hand-offs; the acceptor reads this to
     /// pick a reactor with a free slot and to gate listener polling.
     std::atomic<size_t> live{0};
@@ -175,10 +184,12 @@ class CrowdGateway {
     std::atomic<uint64_t> leases_expired{0};
   };
 
-  void AcceptorLoop();
+  void AcceptorLoop() DOCS_EXCLUDES(lifecycle_mutex_);
   /// Drains one accept burst: admits each fd to a reactor with a free slot
-  /// (round-robin from the last admission), closes the overflow.
-  void AcceptReady();
+  /// (round-robin from the last admission), closes the overflow. `reactors`
+  /// is the acceptor's locked snapshot of the reactor set (stable between
+  /// Start and Stop, which joins the acceptor before tearing it down).
+  void AcceptReady(const std::vector<Reactor*>& reactors);
   /// Moves queued hand-off fds into the reactor's connection table.
   void AdoptHandoff(Reactor& reactor);
   void ReactorLoop(Reactor& reactor);
@@ -197,6 +208,15 @@ class CrowdGateway {
   int LeaseSweepTimeout(Reactor& reactor);
   /// Wakes the acceptor (capacity freed / shutdown).
   void WakeAcceptor();
+  /// Raw pointers to the current reactor set, taken under lifecycle_mutex_.
+  /// The pointees outlive the snapshot holder: only Stop() destroys
+  /// reactors, after joining every thread that could hold a snapshot.
+  std::vector<Reactor*> SnapshotReactors() const
+      DOCS_EXCLUDES(lifecycle_mutex_);
+  /// Gateway-wide served/shed totals for the wire Stats response, read
+  /// under lifecycle_mutex_ like every other retired_/reactors_ access.
+  void SumWireCounters(uint64_t* served, uint64_t* shed) const
+      DOCS_EXCLUDES(lifecycle_mutex_);
 
   core::ConcurrentDocsSystem* system_;
   /// Non-null in durable deployments; answer/request dispatch then goes
@@ -211,19 +231,24 @@ class CrowdGateway {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
 
+  /// Guards the reactor-set *structure* (rebuilt by Start, cleared by Stop)
+  /// and the retired-counter fold below. Leaf with respect to the facade:
+  /// never held across a call into ConcurrentDocsSystem/DurableDocsSystem.
+  mutable Mutex lifecycle_mutex_;
   /// Sized in Start(), joined and cleared in Stop(). unique_ptr because a
   /// Reactor (mutex + atomics + thread) is neither movable nor copyable.
-  std::vector<std::unique_ptr<Reactor>> reactors_;
+  /// Every access — including the acceptor's and the wire Stats read on a
+  /// reactor thread — goes through the lock or a locked snapshot
+  /// (SnapshotReactors); the pointees themselves are stable between Start
+  /// and Stop.
+  std::vector<std::unique_ptr<Reactor>> reactors_
+      DOCS_GUARDED_BY(lifecycle_mutex_);
   /// Round-robin cursor for admissions; acceptor-thread only.
   size_t next_reactor_ = 0;
-  /// Guards the reactors_ structure (rebuilt by Start, cleared by Stop)
-  /// against concurrent stats()/reactor_stats() readers. The I/O threads
-  /// themselves run only while the structure is stable, lock-free.
-  mutable std::mutex lifecycle_mutex_;
   /// Counters of reactors from finished runs, folded in by Stop() so
   /// stats() stays cumulative across Start/Stop cycles. Only the reactor
   /// counter fields are meaningful.
-  GatewayStats retired_;
+  GatewayStats retired_ DOCS_GUARDED_BY(lifecycle_mutex_);
 
   // Acceptor-level counters (reactor-level ones live in each Reactor).
   std::atomic<uint64_t> connections_rejected_{0};

@@ -38,6 +38,11 @@ inline constexpr char kFaultWalReplay[] = "wal/replay";
 /// the torn bytes. Checksum-valid records that fail to parse, and duplicate
 /// (worker, request_id) pairs, are data corruption — Open fails with
 /// kDataLoss rather than guessing.
+///
+/// Thread-compatible, not thread-safe: every cross-thread use goes through
+/// DurableDocsSystem, whose mutex guards the owning pointer (see the
+/// DOCS_PT_GUARDED_BY annotation there). Adding a mutex here would only
+/// duplicate that guard.
 class AnswerWal {
  public:
   struct Record {

@@ -27,6 +27,10 @@ inline constexpr char kFaultCompactRename[] = "log_store.compact_rename";
 /// point is recovered; corruption strictly inside the file fails Open (see
 /// below). Compact() rewrites the log atomically (write temp + rename) with
 /// a caller-provided record set.
+///
+/// Thread-compatible, not thread-safe: owners (AnswerWal, WorkerStore, the
+/// checkpoint writers) serialize access under their own locks, so this layer
+/// stays lock-free and single-purpose.
 class LogStore {
  public:
   /// Opens (creating if needed) the log at `path` and replays existing

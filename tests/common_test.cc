@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <errno.h>
+
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/math_utils.h"
 #include "common/matrix.h"
@@ -304,6 +311,36 @@ TEST(StringTest, TokenizeWords) {
 TEST(StringTest, TokenizeKeepsDigits) {
   EXPECT_EQ(TokenizeWords("K2 and 911"),
             (std::vector<std::string>{"k2", "and", "911"}));
+}
+
+TEST(StringTest, ErrnoStringMatchesStrerror) {
+  // Same text as the libc rendering for real errnos, but from an owned
+  // buffer (std::strerror returns static storage — concurrency-mt-unsafe —
+  // which is why every multi-threaded error-format site uses this instead).
+  for (int errnum : {EINVAL, ENOENT, EAGAIN, 0}) {
+    EXPECT_EQ(ErrnoString(errnum), std::strerror(errnum));
+  }
+  // Bogus errno values still produce a non-empty, non-crashing description.
+  EXPECT_FALSE(ErrnoString(-12345).empty());
+}
+
+TEST(StringTest, ErrnoStringIsThreadSafe) {
+  // Concurrent calls with different errnos must not smear each other's text
+  // (the failure mode of the shared strerror buffer). TSan runs in CI give
+  // this real teeth; the value checks catch cross-thread smearing anywhere.
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &mismatch] {
+      const int errnum = (t % 2 == 0) ? EINVAL : ENOENT;
+      const std::string want = ErrnoString(errnum);
+      for (int i = 0; i < 2000; ++i) {
+        if (ErrnoString(errnum) != want) mismatch.store(true);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
 }
 
 // --- TablePrinter ---------------------------------------------------------------

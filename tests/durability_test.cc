@@ -16,7 +16,6 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -25,6 +24,7 @@
 
 #include "client/resilient_client.h"
 #include "common/fault_injection.h"
+#include "common/sync.h"
 #include "core/concurrent_docs_system.h"
 #include "core/durable_docs_system.h"
 #include "datasets/dataset.h"
@@ -678,7 +678,7 @@ TEST_F(DurabilityTest, GatewayRestartCyclesLoseNothingAndStayBitIdentical) {
 
   constexpr size_t kClients = 2;
   constexpr size_t kRounds = 12;
-  std::mutex acked_mutex;
+  docs::Mutex acked_mutex;
   std::vector<Acked> acked;
   std::atomic<size_t> acked_count{0};
 
@@ -707,7 +707,7 @@ TEST_F(DurabilityTest, GatewayRestartCyclesLoseNothingAndStayBitIdentical) {
           const uint32_t choice = static_cast<uint32_t>(task % 2);
           const Status submitted = client.SubmitAnswer(worker, task, choice);
           ASSERT_TRUE(submitted.ok()) << submitted.ToString();
-          std::lock_guard<std::mutex> lock(acked_mutex);
+          docs::MutexLock lock(&acked_mutex);
           acked.emplace_back(worker, task, choice);
           acked_count.fetch_add(1);
         }

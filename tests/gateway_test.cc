@@ -21,6 +21,7 @@
 #include "client/crowd_client.h"
 #include "common/fault_injection.h"
 #include "common/rng.h"
+#include "common/string_utils.h"
 #include "core/concurrent_docs_system.h"
 #include "crowd/worker_pool.h"
 #include "datasets/dataset.h"
@@ -91,7 +92,7 @@ class GatewayTest : public ::testing::Test {
     addr.sin_port = htons(port);
     EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
               0)
-        << std::strerror(errno);
+        << ErrnoString(errno);
     return fd;
   }
 
@@ -627,6 +628,54 @@ TEST_F(GatewayTest, ConnectionCapRejectsTheOverflowConnection) {
     std::this_thread::sleep_for(milliseconds(20));
   }
   EXPECT_TRUE(admitted.ok()) << admitted.ToString();
+}
+
+TEST_F(GatewayTest, StatsStaysCallableConcurrentlyWithStop) {
+  // stats() and reactor_stats() hold only lifecycle_mutex_, and Stop()
+  // deliberately joins the drain through a reactor snapshot *without* that
+  // lock (see CrowdGateway::Stop) — so a monitoring thread polling stats
+  // during shutdown must neither deadlock nor block for the drain timeout.
+  // The DOCS_EXCLUDES(lifecycle_mutex_) contract on stats() is the static
+  // half of this guarantee; this test pins the dynamic half.
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  CrowdGatewayOptions gateway_options;
+  gateway_options.num_reactors = 2;
+  gateway_options.drain_timeout_ms = 500;
+  Serving serving = StartServing(options, gateway_options);
+
+  client::CrowdClient conn(TestClientOptions());
+  ASSERT_TRUE(conn.Connect("127.0.0.1", serving.gateway->port()).ok());
+  net::StatsResp wire_stats;
+  ASSERT_TRUE(conn.Stats(&wire_stats).ok());
+  const uint64_t served_before = serving.gateway->stats().requests_served;
+  ASSERT_GE(served_before, 1u);
+
+  // Poll stats from a second thread for the whole Stop() window, with the
+  // connection above still open so the reactors actually walk the drain
+  // path. A lost wakeup or a stats-vs-drain lock coupling turns into a test
+  // timeout here (gateway_test runs under TSan in CI as well).
+  std::atomic<bool> monitoring{true};
+  std::atomic<uint64_t> polls{0};
+  std::thread monitor([&] {
+    while (monitoring.load(std::memory_order_acquire)) {
+      const GatewayStats snapshot = serving.gateway->stats();
+      EXPECT_GE(snapshot.requests_served, served_before);
+      (void)serving.gateway->reactor_stats();
+      polls.fetch_add(1);
+    }
+  });
+  // Give the monitor a head start so Stop() is guaranteed to overlap it.
+  while (polls.load() == 0) std::this_thread::sleep_for(milliseconds(1));
+  serving.gateway->Stop();
+  monitoring.store(false, std::memory_order_release);
+  monitor.join();
+  EXPECT_GE(polls.load(), 1u);
+
+  // The Stop() fold into retired_ keeps the totals cumulative: nothing
+  // served before shutdown may vanish from a post-shutdown snapshot.
+  EXPECT_GE(serving.gateway->stats().requests_served, served_before);
+  EXPECT_TRUE(serving.gateway->reactor_stats().empty());
 }
 
 }  // namespace

@@ -1,0 +1,229 @@
+// Tests for the annotated synchronization wrappers (common/sync.h,
+// DESIGN.md §14). The wrappers are thin by design, so these tests pin the
+// behavioral contracts the rest of the repo leans on: mutual exclusion,
+// try-lock semantics (including the kTryToLock scoped form), shared vs
+// exclusive admission on SharedMutex, and CondVar's release/reacquire
+// protocol with explicit predicate loops. The TSan CI config runs this
+// suite, so a wrapper that stopped establishing happens-before would fail
+// here, not in a flaky downstream suite.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+#include "gtest/gtest.h"
+
+namespace docs {
+namespace {
+
+TEST(MutexTest, ProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;  // guarded by mu (by convention in this test)
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeld) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<bool> acquired{true};
+  // TryLock must be exercised from another thread: self-try-lock on a held
+  // non-recursive mutex is undefined behavior.
+  std::thread prober([&] { acquired.store(mu.TryLock()); });
+  prober.join();
+  EXPECT_FALSE(acquired.load());
+  mu.Unlock();
+  std::thread prober2([&] {
+    const bool ok = mu.TryLock();
+    acquired.store(ok);
+    if (ok) mu.Unlock();
+  });
+  prober2.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(MutexTest, ScopedTryToLockReportsOwnership) {
+  Mutex mu;
+  {
+    MutexLock held(&mu);
+    ASSERT_TRUE(held.owns_lock());
+    std::atomic<bool> contender_owned{true};
+    std::thread contender([&] {
+      MutexLock try_lock(&mu, kTryToLock);
+      contender_owned.store(try_lock.owns_lock());
+    });
+    contender.join();
+    EXPECT_FALSE(contender_owned.load());
+  }
+  // Uncontended: the try form must take the lock and release it on scope
+  // exit (a leaked hold would deadlock the plain MutexLock below).
+  {
+    MutexLock try_lock(&mu, kTryToLock);
+    EXPECT_TRUE(try_lock.owns_lock());
+  }
+  MutexLock reacquired(&mu);
+  EXPECT_TRUE(reacquired.owns_lock());
+}
+
+TEST(SharedMutexTest, AdmitsConcurrentReaders) {
+  SharedMutex mu;
+  constexpr int kReaders = 4;
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      ReaderLock lock(&mu);
+      const int now = inside.fetch_add(1) + 1;
+      int seen = max_inside.load();
+      while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+      }
+      // Linger so the readers genuinely overlap.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      inside.fetch_sub(1);
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  EXPECT_GT(max_inside.load(), 1) << "readers never overlapped";
+}
+
+TEST(SharedMutexTest, WriterExcludedWhileReaderHeld) {
+  SharedMutex mu;
+  mu.LockShared();
+  std::atomic<bool> writer_got_in{true};
+  std::thread writer([&] {
+    const bool ok = mu.TryLock();
+    writer_got_in.store(ok);
+    if (ok) mu.Unlock();
+  });
+  writer.join();
+  EXPECT_FALSE(writer_got_in.load());
+  mu.UnlockShared();
+
+  // And the reverse: a writer excludes readers.
+  WriterLock exclusive(&mu);
+  std::atomic<bool> reader_got_in{true};
+  std::thread reader([&] {
+    const bool ok = mu.TryLockShared();
+    reader_got_in.store(ok);
+    if (ok) mu.UnlockShared();
+  });
+  reader.join();
+  EXPECT_FALSE(reader_got_in.load());
+}
+
+TEST(SharedMutexTest, WriterSeesAllReaderSideEffectsAfterExclusion) {
+  SharedMutex mu;
+  int value = 0;  // guarded by mu
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        WriterLock lock(&mu);
+        ++value;
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ReaderLock lock(&mu);
+      EXPECT_GE(value, 0);
+      EXPECT_LE(value, kWriters * kRounds);
+    }
+  });
+  for (auto& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  ReaderLock lock(&mu);
+  EXPECT_EQ(value, kWriters * kRounds);
+}
+
+TEST(CondVarTest, WaitReleasesAndReacquiresTheMutex) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;    // guarded by mu
+  bool consumed = false;  // guarded by mu
+  std::thread consumer([&] {
+    MutexLock lock(&mu);
+    // The explicit predicate loop the wrappers are designed around: the
+    // guarded read sits in the annotated caller, not in a lambda.
+    while (!ready) cv.Wait(mu);
+    consumed = true;
+    cv.NotifyAll();
+  });
+  {
+    // If Wait failed to release the mutex, this Lock would deadlock.
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  }
+  {
+    MutexLock lock(&mu);
+    while (!consumed) cv.Wait(mu);
+    // If Wait failed to reacquire before returning, the consumer's write to
+    // `consumed` would race this read (the TSan config would flag it).
+    EXPECT_TRUE(consumed);
+  }
+  consumer.join();
+}
+
+TEST(CondVarTest, NotifyOneWakesAWaiterPipeline) {
+  // A tiny bounded hand-off: producer -> consumer through one slot, pinning
+  // that repeated Wait/Notify cycles neither deadlock nor drop items.
+  Mutex mu;
+  CondVar slot_filled;
+  CondVar slot_empty;
+  int slot = -1;      // guarded by mu; -1 = empty
+  long consumed_sum = 0;  // guarded by mu
+  constexpr int kItems = 1000;
+  std::thread consumer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      MutexLock lock(&mu);
+      while (slot < 0) slot_filled.Wait(mu);
+      consumed_sum += slot;
+      slot = -1;
+      slot_empty.NotifyOne();
+    }
+  });
+  long produced_sum = 0;
+  for (int i = 0; i < kItems; ++i) {
+    MutexLock lock(&mu);
+    while (slot >= 0) slot_empty.Wait(mu);
+    slot = i;
+    produced_sum += i;
+    slot_filled.NotifyOne();
+  }
+  consumer.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(consumed_sum, produced_sum);
+}
+
+TEST(MutexTest, AssertHeldIsANoOpAtRuntime) {
+  // AssertHeld talks to the static analysis only; at runtime it must be
+  // callable and free of side effects whenever the lock is actually held.
+  Mutex mu;
+  MutexLock lock(&mu);
+  mu.AssertHeld();
+  SharedMutex shared;
+  ReaderLock reader(&shared);
+  shared.AssertReaderHeld();
+}
+
+}  // namespace
+}  // namespace docs
