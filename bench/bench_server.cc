@@ -10,7 +10,7 @@
 //
 //   ./build/bench/bench_server [--connections=N] [--reactors=N] [--ops=N]
 //                              [--port=P] [--mode=mixed|warm] [--json=PATH]
-//                              [--kill-after-ops=N]
+//                              [--async] [--reinfer=N] [--kill-after-ops=N]
 //
 //   --connections  concurrent client connections (default 4)
 //   --reactors     event-loop threads in the self-hosted gateway
@@ -24,6 +24,15 @@
 //                  "warm": RequestTasks only, no submissions — the system
 //                  stays quiet, so repeat requests measure the epoch-tagged
 //                  benefit cache's hit path end to end over the wire.
+//   --async        self-hosted system runs in async-inference mode
+//                  (DESIGN.md §15): SubmitAnswer enqueues to the background
+//                  inference service, RequestTasks serves from the published
+//                  snapshot. Ignored with --port.
+//   --reinfer=N    full-EM cadence (DocsSystemOptions::reinfer_every) for
+//                  the self-hosted system (default 0 = never). Nonzero makes
+//                  the sync-vs-async latency gap visible: in sync mode every
+//                  Nth answer runs EM under the state lock the serving path
+//                  needs.
 //   --json         also write the summary metrics as one JSON object to
 //                  PATH (consumed by scripts/bench.sh).
 //   --kill-after-ops  self-crash hook for the chaos harness: SIGKILL this
@@ -76,6 +85,14 @@ std::string StringFlag(int argc, char** argv, const char* name,
   return fallback;
 }
 
+bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string bare = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i] || bare + "=1" == argv[i]) return true;
+  }
+  return false;
+}
+
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p * static_cast<double>(sorted.size() - 1);
@@ -101,6 +118,8 @@ int main(int argc, char** argv) {
   const std::string mode = StringFlag(argc, argv, "mode", "mixed");
   const std::string json_path = StringFlag(argc, argv, "json", "");
   const size_t kill_after_ops = FlagValue(argc, argv, "kill-after-ops", 0);
+  const bool async_inference = BoolFlag(argc, argv, "async");
+  const size_t reinfer_every = FlagValue(argc, argv, "reinfer", 0);
   if (mode != "mixed" && mode != "warm") {
     std::cerr << "unknown --mode=" << mode << " (expected mixed|warm)\n";
     return 1;
@@ -119,7 +138,8 @@ int main(int argc, char** argv) {
   core::DocsSystemOptions options;
   options.golden_count = 0;
   options.lease_duration = 1 << 30;  // leases never expire during the run
-  options.reinfer_every = 0;         // serving-path cost only
+  options.reinfer_every = reinfer_every;
+  options.async_inference = async_inference;
   core::ConcurrentDocsSystem system(&synthetic.knowledge_base, options);
   docs::server::CrowdGatewayOptions gateway_options;
   gateway_options.num_reactors = reactors;
@@ -142,13 +162,18 @@ int main(int argc, char** argv) {
   std::cout << "target: 127.0.0.1:" << port << "   connections: "
             << connections << "   reactors: " << reactors
             << "   ops/connection: " << ops_per_connection
-            << "   mode: " << mode << "\n\n";
+            << "   mode: " << mode
+            << "   inference: " << (async_inference ? "async" : "sync")
+            << "   reinfer_every: " << reinfer_every << "\n\n";
 
   // Closed loop: each thread alternates RequestTasks(4) with submitting
   // every granted task, timing each wire call. In warm mode the submissions
   // are skipped — the quiet system serves every repeat request from the
-  // benefit cache.
-  std::vector<std::vector<double>> latencies_us(connections);
+  // benefit cache. Latencies are kept per op type: the headline question for
+  // async mode is what RequestTasks tail latency looks like while
+  // SubmitAnswer keeps the inference state moving.
+  std::vector<std::vector<double>> request_us(connections);
+  std::vector<std::vector<double>> submit_us(connections);
   std::vector<size_t> errors(connections, 0);
   std::vector<docs::client::ResilientClientStats> client_stats(connections);
   std::atomic<size_t> global_ops{0};
@@ -160,16 +185,18 @@ int main(int argc, char** argv) {
     client_options.nonce = 0x10ad0000 + c;  // reproducible id namespaces
     docs::client::ResilientCrowdClient client(client_options);
     const std::string worker = "load-" + std::to_string(c);
-    auto& samples = latencies_us[c];
-    samples.reserve(ops_per_connection);
+    request_us[c].reserve(ops_per_connection);
+    submit_us[c].reserve(ops_per_connection);
     std::vector<uint64_t> hit;
     size_t next = 0;  // next unanswered task of the current HIT
     for (size_t op = 0; op < ops_per_connection; ++op) {
       const auto start = Clock::now();
       Status status = docs::OkStatus();
+      bool was_request = false;
       if (warm_mode || next >= hit.size()) {
         hit.clear();
         next = 0;
+        was_request = true;
         status = client.RequestTasks(worker, 4, &hit);
         if (status.ok() && hit.empty()) break;  // pool drained
       } else {
@@ -187,8 +214,9 @@ int main(int argc, char** argv) {
         ++errors[c];
         continue;
       }
-      samples.push_back(
-          std::chrono::duration<double, std::micro>(stop - start).count());
+      (was_request ? request_us[c] : submit_us[c])
+          .push_back(std::chrono::duration<double, std::micro>(stop - start)
+                         .count());
     }
     client_stats[c] = client.stats();
   };
@@ -201,18 +229,26 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - wall_start).count();
 
   std::vector<double> merged;
+  std::vector<double> requests;
+  std::vector<double> submits;
   size_t total_errors = 0;
   docs::client::ResilientClientStats totals;
   for (size_t c = 0; c < connections; ++c) {
-    merged.insert(merged.end(), latencies_us[c].begin(),
-                  latencies_us[c].end());
+    requests.insert(requests.end(), request_us[c].begin(),
+                    request_us[c].end());
+    submits.insert(submits.end(), submit_us[c].begin(), submit_us[c].end());
     total_errors += errors[c];
     totals.retries += client_stats[c].retries;
     totals.timeouts += client_stats[c].timeouts;
     totals.reconnects += client_stats[c].reconnects;
     totals.duplicate_acks += client_stats[c].duplicate_acks;
   }
+  merged.reserve(requests.size() + submits.size());
+  merged.insert(merged.end(), requests.begin(), requests.end());
+  merged.insert(merged.end(), submits.begin(), submits.end());
   std::sort(merged.begin(), merged.end());
+  std::sort(requests.begin(), requests.end());
+  std::sort(submits.begin(), submits.end());
   if (merged.empty()) {
     std::cerr << "no successful wire calls (" << total_errors
               << " errors)\n";
@@ -235,6 +271,28 @@ int main(int argc, char** argv) {
                 TablePrinter::Fmt(Percentile(merged, 0.95), 1)});
   table.AddRow({"p99 latency (us)",
                 TablePrinter::Fmt(Percentile(merged, 0.99), 1)});
+  table.AddRow({"p99.9 latency (us)",
+                TablePrinter::Fmt(Percentile(merged, 0.999), 1)});
+  if (!requests.empty()) {
+    table.AddRow({"RequestTasks p50 (us)",
+                  TablePrinter::Fmt(Percentile(requests, 0.50), 1)});
+    table.AddRow({"RequestTasks p95 (us)",
+                  TablePrinter::Fmt(Percentile(requests, 0.95), 1)});
+    table.AddRow({"RequestTasks p99 (us)",
+                  TablePrinter::Fmt(Percentile(requests, 0.99), 1)});
+    table.AddRow({"RequestTasks p99.9 (us)",
+                  TablePrinter::Fmt(Percentile(requests, 0.999), 1)});
+  }
+  if (!submits.empty()) {
+    table.AddRow({"SubmitAnswer p50 (us)",
+                  TablePrinter::Fmt(Percentile(submits, 0.50), 1)});
+    table.AddRow({"SubmitAnswer p95 (us)",
+                  TablePrinter::Fmt(Percentile(submits, 0.95), 1)});
+    table.AddRow({"SubmitAnswer p99 (us)",
+                  TablePrinter::Fmt(Percentile(submits, 0.99), 1)});
+    table.AddRow({"SubmitAnswer p99.9 (us)",
+                  TablePrinter::Fmt(Percentile(submits, 0.999), 1)});
+  }
   table.Print(std::cout);
 
   if (totals.retries + totals.timeouts + totals.reconnects > 0) {
@@ -252,12 +310,23 @@ int main(int argc, char** argv) {
   uint64_t row_misses = 0;
   uint64_t request_hits = 0;
   uint64_t request_misses = 0;
+  uint64_t async_epoch = 0;
+  uint64_t async_publishes = 0;
+  uint64_t async_pending = 0;
+  uint64_t async_enqueue_waits = 0;
+  double async_publish_gap_us = 0.0;
   if (gateway.running()) {
+    if (async_inference) system.Drain();  // settle the queue before sampling
     const docs::server::GatewayStats stats = gateway.stats();
     row_hits = stats.benefit_cache_hits;
     row_misses = stats.benefit_cache_misses;
     request_hits = stats.benefit_cache_request_hits;
     request_misses = stats.benefit_cache_request_misses;
+    async_epoch = stats.async_snapshot_epoch;
+    async_publishes = stats.async_publishes;
+    async_pending = stats.async_answers_pending;
+    async_enqueue_waits = stats.async_enqueue_waits;
+    async_publish_gap_us = stats.async_publish_gap_us;
     // Hit-rate at request granularity: a serving pass that recomputed
     // nothing is a hit. Row counts are recomputation volume, not a rate.
     const uint64_t request_total = request_hits + request_misses;
@@ -273,6 +342,13 @@ int main(int argc, char** argv) {
               << "% request hit-rate (" << request_hits << " hits / "
               << request_misses << " misses); row level: " << row_hits
               << " hits, " << row_misses << " recomputes\n";
+    if (async_inference) {
+      std::cout << "async inference: snapshot epoch " << async_epoch << ", "
+                << async_publishes << " publishes, " << async_pending
+                << " pending, " << async_enqueue_waits
+                << " enqueue waits, last publish gap "
+                << TablePrinter::Fmt(async_publish_gap_us, 1) << " us\n";
+    }
     gateway.Stop();
   }
 
@@ -283,7 +359,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\"bench\": \"bench_server\", \"mode\": \"" << mode
-        << "\", \"connections\": " << connections
+        << "\", \"inference\": \"" << (async_inference ? "async" : "sync")
+        << "\", \"reinfer_every\": " << reinfer_every
+        << ", \"connections\": " << connections
         << ", \"reactors\": " << reactors
         << ", \"ops_per_connection\": " << ops_per_connection
         << ", \"wire_calls_ok\": " << merged.size()
@@ -310,6 +388,22 @@ int main(int argc, char** argv) {
         << ", \"p50_us\": " << Percentile(merged, 0.50)
         << ", \"p95_us\": " << Percentile(merged, 0.95)
         << ", \"p99_us\": " << Percentile(merged, 0.99)
+        << ", \"p999_us\": " << Percentile(merged, 0.999)
+        << ", \"request_calls\": " << requests.size()
+        << ", \"request_p50_us\": " << Percentile(requests, 0.50)
+        << ", \"request_p95_us\": " << Percentile(requests, 0.95)
+        << ", \"request_p99_us\": " << Percentile(requests, 0.99)
+        << ", \"request_p999_us\": " << Percentile(requests, 0.999)
+        << ", \"submit_calls\": " << submits.size()
+        << ", \"submit_p50_us\": " << Percentile(submits, 0.50)
+        << ", \"submit_p95_us\": " << Percentile(submits, 0.95)
+        << ", \"submit_p99_us\": " << Percentile(submits, 0.99)
+        << ", \"submit_p999_us\": " << Percentile(submits, 0.999)
+        << ", \"async_snapshot_epoch\": " << async_epoch
+        << ", \"async_publishes\": " << async_publishes
+        << ", \"async_answers_pending\": " << async_pending
+        << ", \"async_enqueue_waits\": " << async_enqueue_waits
+        << ", \"async_publish_gap_us\": " << async_publish_gap_us
         << ", \"benefit_cache_row_hits\": " << row_hits
         << ", \"benefit_cache_row_misses\": " << row_misses
         << ", \"benefit_cache_request_hits\": " << request_hits

@@ -14,13 +14,20 @@
 #   3. the §13 scaling sweeps: bench_server --mode=mixed over
 #      --reactors={1,2,4} (at 4 connections) and --connections={1,2,4,8}
 #      (at 2 reactors);
-# then merges 1+2 into BENCH_5.json and 3 into BENCH_7.json (both at the
-# repo root by default) and gates on the acceptance ratios: the warm path
-# must do at least 5x fewer heap allocations per call than the seed-era
-# cold path and win on wall time (§11), and on multi-core hardware mixed
-# throughput must increase monotonically from 1 reactor to N (§13). On a
-# single-core host the scaling gate is skipped and the artifact records
-# the caveat instead — reactors can only interleave there, not overlap.
+#   4. the §15 inference-mode sweep: bench_server --mode=mixed
+#      --reinfer=100 in sync and async inference modes, comparing
+#      per-op-type (RequestTasks vs SubmitAnswer) latency tails while the
+#      periodic full EM churns;
+# then merges 1+2 into BENCH_5.json, 3 into BENCH_7.json, and 4 into
+# BENCH_9.json (all at the repo root by default) and gates on the
+# acceptance ratios: the warm path must do at least 5x fewer heap
+# allocations per call than the seed-era cold path and win on wall time
+# (§11); on multi-core hardware mixed throughput must increase
+# monotonically from 1 reactor to N (§13) and async RequestTasks p99 must
+# stay within 110% of sync's (§15). On a single-core host the scaling and
+# async-p99 gates are skipped and the artifacts record the caveat instead
+# — reactors and the inference thread can only interleave there, not
+# overlap.
 #
 #   --quick      CI smoke sizing: shorter runs, artifacts written into the
 #                build tree instead of replacing the committed BENCH_5.json
@@ -57,6 +64,8 @@ if [[ -z "$OUT" ]]; then
 fi
 if [[ "$QUICK" == 1 ]]; then OUT7="$BUILD_DIR/BENCH_7.quick.json"
 else OUT7="$ROOT/BENCH_7.json"; fi
+if [[ "$QUICK" == 1 ]]; then OUT9="$BUILD_DIR/BENCH_9.quick.json"
+else OUT9="$ROOT/BENCH_9.json"; fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -230,6 +239,83 @@ else:
             sys.exit(f"FAIL: mixed throughput did not scale "
                      f"{lo} -> {hi} reactors "
                      f"({throughput[lo]:,.0f} -> {throughput[hi]:,.0f} ops/s)")
+PY
+
+# --- §15 sync-vs-async inference sweep -> BENCH_9.json ----------------------
+# Same mixed closed loop, but with the periodic full EM switched on
+# (--reinfer): in sync mode every Nth SubmitAnswer runs EM under the state
+# lock the serving path needs, so RequestTasks tails absorb the pass; in
+# async mode the pass runs on the background inference thread and serving
+# scores against the published snapshot. The artifact records the per-op-type
+# percentiles for both runs and gates on the async RequestTasks p99.
+REINFER=100
+for inference in sync async; do
+  ASYNC_FLAG=()
+  if [[ "$inference" == async ]]; then ASYNC_FLAG=(--async); fi
+  echo "=== [bench] bench_server --mode=mixed --reinfer=$REINFER ($inference inference) ==="
+  "$BUILD_DIR/bench/bench_server" --mode=mixed "${ASYNC_FLAG[@]}" \
+    --reinfer="$REINFER" --connections="$SERVER_CONNECTIONS" \
+    --ops="$SERVER_OPS" --json="$TMP/inference_$inference.json"
+done
+
+python3 - "$TMP/inference_sync.json" "$TMP/inference_async.json" "$OUT9" \
+  "$QUICK" "$CORES" <<'PY'
+import json
+import sys
+
+sync_path, async_path, out_path, quick, cores = sys.argv[1:6]
+cores = int(cores)
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+sync_run = load(sync_path)
+async_run = load(async_path)
+single_core = cores <= 1
+
+request_p99_ratio = async_run["request_p99_us"] / sync_run["request_p99_us"]
+artifact = {
+    "generated_by": "scripts/bench.sh" + (" --quick" if quick == "1" else ""),
+    "hardware": {"cores": cores},
+    "sync": sync_run,
+    "async": async_run,
+    "derived": {
+        "async_over_sync_request_p95": (
+            async_run["request_p95_us"] / sync_run["request_p95_us"]),
+        "async_over_sync_request_p99": request_p99_ratio,
+        "async_over_sync_submit_p99": (
+            async_run["submit_p99_us"] / sync_run["submit_p99_us"]),
+        "async_over_sync_throughput": (
+            async_run["throughput_ops_s"] / sync_run["throughput_ops_s"]),
+    },
+    # One core means the inference thread time-slices with the reactor
+    # instead of overlapping it, so absolute latencies are scheduler-noisy;
+    # the p99 gate is skipped and the artifact says so (BENCH_7 precedent).
+    "single_core_caveat": single_core,
+}
+with open(out_path, "w") as f:
+    json.dump(artifact, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+for name, run in (("sync", sync_run), ("async", async_run)):
+    print(f"[bench] mixed+reinfer, {name}: "
+          f"RequestTasks p95 {run['request_p95_us']:.0f} us, "
+          f"p99 {run['request_p99_us']:.0f} us; "
+          f"SubmitAnswer p99 {run['submit_p99_us']:.0f} us; "
+          f"{run['throughput_ops_s']:,.0f} ops/s")
+print(f"[bench] async/sync RequestTasks p99 ratio "
+      f"{request_p99_ratio:.2f}x -> {out_path}")
+
+# Acceptance gate (ISSUE 9): with EM in the loop, async RequestTasks p99
+# must not exceed 110% of sync's — i.e. moving inference off the serving
+# path must at least hold the tail, and in practice it collapses it.
+if single_core:
+    print(f"[bench] single-core host ({cores} core): async p99 gate "
+          "skipped, caveat recorded in the artifact")
+elif request_p99_ratio > 1.10:
+    sys.exit(f"FAIL: async RequestTasks p99 is {request_p99_ratio:.2f}x "
+             "sync (gate: <= 1.10x)")
 PY
 
 echo "=== [bench] OK ==="

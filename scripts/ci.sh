@@ -91,9 +91,11 @@ echo "=== [sanitize] chaos smoke (crash_recovery under ASan) ==="
 # TSan cannot be combined with ASan; it gets its own tree, scoped to the
 # tests that actually exercise cross-thread execution (gateway_test runs a
 # server thread against client threads; durability_test races checkpoints
-# against submitters and restarts gateways under live clients).
+# against submitters and restarts gateways under live clients;
+# inference_service_test races serving calls and producer threads against
+# the background inference thread and its snapshot publication).
 run_config tsan \
-  "sync_test|parallel_test|determinism_test|benefit_cache_test|concurrency_test|gateway_test|durability_test|resilient_client_test" \
+  "sync_test|parallel_test|determinism_test|benefit_cache_test|inference_service_test|concurrency_test|gateway_test|durability_test|resilient_client_test" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCS_SANITIZE=thread
 
 echo "=== [bench] serving-path perf smoke (scripts/bench.sh --quick) ==="

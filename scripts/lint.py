@@ -23,6 +23,12 @@ Checks, over every C++ file in src/, tests/, bench/ and examples/:
      inversion against ConcurrentDocsSystem's documented order and gets
      flagged. Textual and scope-approximate by design: the real checker is
      the clang analysis; this catches the mistake on gcc-only machines.
+  7. IncrementalTruthInference mutators (OnAnswer, RunFullInference,
+     SetWorkerQuality, EnsureWorker) may only be called on `inference_`
+     inside src/core/docs_system.cc. In async mode (DESIGN.md §15) every
+     inference mutation must flow through the InferenceService apply path
+     so snapshots stay consistent with state; a direct call anywhere else
+     bypasses the single-writer discipline the snapshots depend on.
 
 Exit status is the number of findings (0 = clean). Run from anywhere:
 
@@ -63,6 +69,14 @@ RAW_SYNC_RE = re.compile(
     r"|\bstd::shared_(?:mutex|timed_mutex|lock)\b"
     r"|\bstd::(?:lock_guard|unique_lock|scoped_lock)\b"
     r"|\bstd::condition_variable(?:_any)?\b")
+# Inference-engine mutators, single-writer discipline (docstring item 7).
+# DocsSystem owns the engine; everything else mutates it through DocsSystem
+# methods so the async apply path stays the only writer.
+TI_MUTATOR_ALLOWED_FILES = ("src/core/docs_system.cc",)
+TI_MUTATORS_RE = re.compile(
+    r"\binference_\s*(?:->|\.)\s*"
+    r"(?:OnAnswer|RunFullInference|SetWorkerQuality|EnsureWorker)\s*\(")
+
 # `MutexLock assign(&assign_mutex_);` — any of the scoped guards, capturing
 # the lock expression so the hierarchy check can classify it.
 LOCK_ACQUIRE_RE = re.compile(
@@ -185,6 +199,14 @@ def lint_file(root, rel, findings):
                 (rel, i + 1,
                  "raw std sync primitive: use docs::Mutex/MutexLock/CondVar "
                  "from common/sync.h so -Wthread-safety sees the lock"))
+        if (rel.replace(os.sep, "/") not in TI_MUTATOR_ALLOWED_FILES
+                and TI_MUTATORS_RE.search(LINE_COMMENT_RE.sub("", line))):
+            findings.append(
+                (rel, i + 1,
+                 "direct IncrementalTruthInference mutation outside "
+                 "src/core/docs_system.cc: route it through DocsSystem so "
+                 "the async inference service stays the single writer "
+                 "(DESIGN.md §15)"))
 
     if is_header:
         check_header_guard(rel, lines, findings)

@@ -1,12 +1,18 @@
 #ifndef DOCS_CORE_CONCURRENT_DOCS_SYSTEM_H_
 #define DOCS_CORE_CONCURRENT_DOCS_SYSTEM_H_
 
+#include <atomic>
 #include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/sync.h"
 #include "core/docs_system.h"
+#include "core/inference_service.h"
 
 namespace docs::core {
 
@@ -17,6 +23,15 @@ struct CheckpointRetryOptions {
   size_t max_attempts = 5;
   std::chrono::milliseconds initial_backoff{1};
   double backoff_multiplier = 2.0;
+};
+
+/// Staleness observability for async mode (DESIGN.md §15): the service's
+/// counters plus the snapshot epoch the last lease sweep ran against. All
+/// zero when async mode is off.
+struct AsyncInferenceStats {
+  bool enabled = false;
+  InferenceServiceStats service;
+  uint64_t last_sweep_epoch = 0;
 };
 
 /// Thread-safe facade over DocsSystem for a serving deployment: the real
@@ -45,14 +60,26 @@ struct CheckpointRetryOptions {
 /// scores serially — bit-identical either way, because the ranking is
 /// thread-count invariant.
 ///
+/// Async mode (DESIGN.md §15, DocsSystemOptions::async_inference): inference
+/// absorption moves onto a background InferenceService thread. SubmitAnswer
+/// validates against the submission books under the assign lock, enqueues,
+/// and acks — it never takes the state lock. RequestTasks for a servable
+/// worker scores against the last published immutable snapshot under only
+/// her shard stripe (plus assign for the lease phases) — so neither serving
+/// call ever waits on a retro-update fan-out or the periodic full EM.
+///
 /// Lock hierarchy (acquire left-to-right, never right-to-left; DESIGN.md
 /// §14, machine-checked via the DOCS_* annotations below):
-///   state (shared or exclusive) → shard → { assign | pool }.
+///   state (shared or exclusive) → shard → { assign | pool } → registry.
+/// The InferenceService's queue and snapshot mutexes are leaves held by no
+/// path that also holds any lock above (the service thread holds neither
+/// while applying; producers hold nothing while enqueueing), so the queue
+/// EXCLUDES the state lock by construction.
 class ConcurrentDocsSystem {
  public:
   ConcurrentDocsSystem(const kb::KnowledgeBase* knowledge_base,
-                       DocsSystemOptions options = {})
-      : system_(knowledge_base, std::move(options)) {}
+                       DocsSystemOptions options = {});
+  ~ConcurrentDocsSystem();
 
   [[nodiscard]] Status AddTasks(const std::vector<TaskInput>& inputs,
                                 const std::vector<size_t>* known_truths =
@@ -124,10 +151,36 @@ class ConcurrentDocsSystem {
 
   /// Runs `fn` under the exclusive lock with direct access to the underlying
   /// system — for setup/inspection that needs several calls to be atomic.
+  /// Async-mode callers that read inference state should Drain() first: the
+  /// lock serializes against the service thread, but queued answers are
+  /// otherwise still in flight.
   template <typename Fn>
   auto WithLocked(Fn&& fn) DOCS_EXCLUDES(state_mutex_) {
     WriterLock lock(&state_mutex_);
     return fn(system_);
+  }
+
+  /// True when `worker_id` is already registered (async registry first, then
+  /// the state table). The durable layer gates its lock-free warm path on
+  /// this so registration stays on the recovery-ordered exclusive path.
+  bool KnowsWorker(const std::string& worker_id)
+      DOCS_EXCLUDES(state_mutex_, registry_mutex_);
+
+  /// Async-mode quiesce barrier: returns once every answer acked before the
+  /// call is applied and visible in a published snapshot. No-op in sync
+  /// mode. Callers must hold no lock (the apply path takes state + pool).
+  void Drain() DOCS_EXCLUDES(state_mutex_, assign_mutex_, pool_mutex_);
+
+  /// Staleness counters; safe to call concurrently with serving. All-zero /
+  /// disabled in sync mode.
+  AsyncInferenceStats async_stats() const;
+
+  /// Test hook: runs on the service thread immediately before each answer is
+  /// applied (e.g. to slow an apply/EM pass down deliberately). Must be
+  /// installed before AddTasks/LoadCheckpoint — the service reads it
+  /// unsynchronized once running.
+  void SetAsyncApplyHookForTest(std::function<void(const PendingAnswer&)> hook) {
+    async_apply_hook_ = std::move(hook);
   }
 
  private:
@@ -154,19 +207,80 @@ class ConcurrentDocsSystem {
       DOCS_REQUIRES_SHARED(state_mutex_)
           DOCS_EXCLUDES(assign_mutex_, pool_mutex_);
 
+  /// Async serving (DESIGN.md §15). RequestTasksAsync resolves through the
+  /// registry and serves from the published snapshot; ServeSnapshot is the
+  /// lock-free-over-state variant of ServeShardedLocked (shard stripe →
+  /// assign/pool only). ResolveWorkerAsync is the registry-miss fallback for
+  /// workers registered behind the registry's back (checkpoint recovery).
+  std::vector<size_t> RequestTasksAsync(const std::string& worker_id, size_t k)
+      DOCS_EXCLUDES(state_mutex_, assign_mutex_, pool_mutex_, registry_mutex_);
+  std::vector<size_t> ServeSnapshot(const InferenceSnapshot& snap,
+                                    size_t worker, size_t k)
+      DOCS_EXCLUDES(state_mutex_, assign_mutex_, pool_mutex_);
+  std::optional<size_t> ResolveWorkerAsync(const std::string& worker_id)
+      DOCS_EXCLUDES(state_mutex_, registry_mutex_);
+
+  /// Mirrors newly registered workers into the async registry (incremental:
+  /// only indices past the last sync).
+  void SyncRegistryFromStateLocked() DOCS_REQUIRES(state_mutex_)
+      DOCS_EXCLUDES(registry_mutex_);
+
+  /// Books + registry + initial snapshot + service start, after a successful
+  /// ingest/restore.
+  void StartAsyncLocked() DOCS_REQUIRES(state_mutex_)
+      DOCS_EXCLUDES(assign_mutex_, registry_mutex_);
+
+  /// The InferenceService's apply callback: runs on the service thread,
+  /// applies one FIFO batch under state (exclusive) + pool, and builds the
+  /// next snapshot copy-on-write.
+  std::shared_ptr<const InferenceSnapshot> ApplyBatch(
+      const std::vector<PendingAnswer>& batch)
+      DOCS_EXCLUDES(state_mutex_, pool_mutex_);
+
+  /// Narrow, documented escape hatch from system_'s GUARDED_BY(state_mutex_)
+  /// for the async paths that by design run without the state lock. Every
+  /// member they reach is protected by a finer lock the caller holds (assign
+  /// for books/leases, the shard stripe for cache rows) or is immutable
+  /// after ingest (tasks, options) — see the locking notes on each
+  /// DocsSystem async method.
+  DocsSystem& AsyncSystem() DOCS_NO_THREAD_SAFETY_ANALYSIS { return system_; }
+
   /// Top of the hierarchy: every other lock here is acquired strictly after
   /// it (shared for the sharded serve, exclusive for mutators).
-  SharedMutex state_mutex_ DOCS_ACQUIRED_BEFORE(assign_mutex_, pool_mutex_);
+  SharedMutex state_mutex_
+      DOCS_ACQUIRED_BEFORE(assign_mutex_, pool_mutex_, registry_mutex_);
   /// Lease books + logical clock; taken after state and any shard stripe,
-  /// never before one.
+  /// never before one. In async mode also guards the submission books and is
+  /// the ONLY lock the lease paths (sweeps, grants, releases) need.
   Mutex assign_mutex_ DOCS_ACQUIRED_BEFORE(pool_mutex_);
   /// Scoring-pool try-lock (DESIGN.md §13): the loser scores serially.
   Mutex pool_mutex_;
   WorkerShard shards_[kNumShards];
+  /// Async worker registry: external id → dense index, mirrored from the
+  /// state table so async SubmitAnswer resolves ids without the state lock.
+  /// Writers hold state (exclusive) + registry; readers registry alone.
+  mutable SharedMutex registry_mutex_;
+  std::unordered_map<std::string, size_t> async_registry_
+      DOCS_GUARDED_BY(registry_mutex_);
+  /// Worker count already mirrored (indices < this are in the registry).
+  size_t registered_count_ DOCS_GUARDED_BY(registry_mutex_) = 0;
+  /// Fixed at construction (copied before options move into system_).
+  const bool async_;
+  const size_t async_queue_capacity_;
+  /// See SetAsyncApplyHookForTest: written before the service starts only.
+  std::function<void(const PendingAnswer&)> async_apply_hook_;
+  /// Snapshot epoch the last async lease sweep was consistent with.
+  std::atomic<uint64_t> last_sweep_epoch_{0};
   /// The wrapped engine. Hold state_mutex_ — shared on read-mostly serving
   /// paths (per-shard writes are funneled through the stripe mutexes),
-  /// exclusive for anything that mutates shared structure.
+  /// exclusive for anything that mutates shared structure. Async paths go
+  /// through AsyncSystem() under the finer-lock contract documented there.
   DocsSystem system_ DOCS_GUARDED_BY(state_mutex_);
+  /// The background inference thread; constructed (not started) in the
+  /// constructor when async mode is on, so the pointer is immutable while
+  /// any other thread can observe it. Declared last: destroyed first, and
+  /// its destructor joins the thread before system_ can die under it.
+  std::unique_ptr<InferenceService> service_;
 };
 
 }  // namespace docs::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -47,10 +48,11 @@ double DocsSystem::ScoreOne(size_t task,
                             const std::function<double(size_t)>& score,
                             std::vector<CachedBenefit>* cache,
                             uint64_t worker_epoch,
+                            const uint64_t* task_epochs,
                             std::atomic<bool>* saw_miss) {
   if (cache == nullptr) return score(task);
   CachedBenefit& entry = (*cache)[task];
-  const uint64_t task_epoch = inference_->task_epoch(task);
+  const uint64_t task_epoch = task_epochs[task];
   if (entry.task_epoch == task_epoch && entry.worker_epoch == worker_epoch) {
     benefit_cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return entry.benefit;
@@ -70,14 +72,15 @@ std::vector<size_t> DocsSystem::RankEligible(
   std::vector<CachedBenefit>* cache = CacheRow(worker);
   const uint64_t worker_epoch =
       cache != nullptr ? inference_->worker_epoch(worker) : 0;
-  return RankCore(eligible, k, score, cache, worker_epoch, ScoringPool());
+  return RankCore(eligible, k, score, cache, worker_epoch,
+                  inference_->task_epochs().data(), ScoringPool());
 }
 
 std::vector<size_t> DocsSystem::RankCore(
     const std::vector<uint8_t>& eligible, size_t k,
     const std::function<double(size_t)>& score,
     std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
-    ThreadPool* pool) {
+    const uint64_t* task_epochs, ThreadPool* pool) {
   DOCS_CHECK_EQ(eligible.size(), tasks_.size());
   struct Scored {
     size_t task;
@@ -90,8 +93,8 @@ std::vector<size_t> DocsSystem::RankCore(
   }
   std::atomic<bool> saw_miss{false};
   ParallelFor(pool, scored.size(), [&](size_t s) {
-    scored[s].value =
-        ScoreOne(scored[s].task, score, cache, worker_epoch, &saw_miss);
+    scored[s].value = ScoreOne(scored[s].task, score, cache, worker_epoch,
+                               task_epochs, &saw_miss);
   });
   // Request-level accounting: the whole pass is one lookup from the serving
   // path's point of view — fully cache-served or not.
@@ -229,11 +232,13 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
   ++lease_clock_;
   WorkerProfile& profile = workers_[worker];
 
-  // Golden phase first: probe the new worker's per-domain quality.
+  // Golden phase first: probe the new worker's per-domain quality. The
+  // answered view runs through the submission books in async mode, so an
+  // acked-but-unapplied golden answer is not re-granted.
   if (!profile.golden_done) {
     std::vector<size_t> pending;
     for (size_t idx : golden_.tasks) {
-      if (!inference_->HasAnswered(worker, idx)) pending.push_back(idx);
+      if (!HasAnsweredView(worker, idx)) pending.push_back(idx);
       if (pending.size() == k) break;
     }
     if (!pending.empty()) {
@@ -251,15 +256,12 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
   // and it lives in reusable scratch so a warm request allocates nothing.
   std::vector<uint8_t>& eligible = eligible_scratch_;
   eligible.assign(tasks_.size(), 1);
-  for (size_t answered : inference_->answered_tasks(worker)) {
+  for (size_t answered : AnsweredView(worker)) {
     eligible[answered] = 0;
   }
   if (options_.max_answers_per_task > 0) {
     for (size_t i = 0; i < tasks_.size(); ++i) {
-      if (answers_per_task_[i] + lease_count_[i] >=
-          options_.max_answers_per_task) {
-        eligible[i] = 0;
-      }
+      if (AtAnswerCap(i)) eligible[i] = 0;
     }
   }
 
@@ -328,8 +330,8 @@ bool DocsSystem::CanServeSharded(size_t worker) const {
   // The golden probe mutates worker profiles and (on completion) seeds the
   // quality vector — exclusive-path work.
   if (!workers_[worker].golden_done) return false;
-  // Row growth reallocates the outer cache vector, invalidating every row
-  // pointer other shards may hold; only the exclusive path may resize.
+  // Row sizing mutates shared structure (deque growth, row allocation);
+  // only the exclusive path may do it — sharded serving needs the row ready.
   if (options_.benefit_cache) {
     if (benefit_cache_.size() <= worker) return false;
     if (benefit_cache_[worker].size() != tasks_.size()) return false;
@@ -343,15 +345,12 @@ void DocsSystem::BeginShardedSelect(size_t worker,
   // are serialized against every other grant and expiry.
   ++lease_clock_;
   eligible->assign(tasks_.size(), 1);
-  for (size_t answered : inference_->answered_tasks(worker)) {
+  for (size_t answered : AnsweredView(worker)) {
     (*eligible)[answered] = 0;
   }
   if (options_.max_answers_per_task > 0) {
     for (size_t i = 0; i < tasks_.size(); ++i) {
-      if (answers_per_task_[i] + lease_count_[i] >=
-          options_.max_answers_per_task) {
-        (*eligible)[i] = 0;
-      }
+      if (AtAnswerCap(i)) (*eligible)[i] = 0;
     }
   }
 }
@@ -368,7 +367,8 @@ std::vector<size_t> DocsSystem::ScoreAndRankSharded(size_t worker,
       cache != nullptr ? inference_->worker_epoch(worker) : 0;
   const std::function<double(size_t)> score =
       MakeScoreFn(worker, scratch.quality);
-  return RankCore(scratch.eligible, k, score, cache, worker_epoch, pool);
+  return RankCore(scratch.eligible, k, score, cache, worker_epoch,
+                  inference_->task_epochs().data(), pool);
 }
 
 bool DocsSystem::CommitShardedSelect(size_t worker,
@@ -379,13 +379,9 @@ bool DocsSystem::CommitShardedSelect(size_t worker,
   // over-assigned. Under sequential driving this never fires, which keeps
   // the sharded path bit-identical to the monolithic SelectTasks.
   if (options_.max_answers_per_task > 0) {
-    auto at_cap = [&](size_t task) {
-      return answers_per_task_[task] + lease_count_[task] >=
-             options_.max_answers_per_task;
-    };
     bool conflict = false;
     for (size_t task : *selected) {
-      if (at_cap(task)) {
+      if (AtAnswerCap(task)) {
         conflict = true;
         break;
       }
@@ -395,7 +391,7 @@ bool DocsSystem::CommitShardedSelect(size_t worker,
       std::vector<size_t> kept;
       kept.reserve(selected->size());
       for (size_t task : *selected) {
-        if (!at_cap(task)) kept.push_back(task);
+        if (!AtAnswerCap(task)) kept.push_back(task);
       }
       *selected = std::move(kept);
     }
@@ -414,7 +410,8 @@ std::vector<double> DocsSystem::ScoreAllTasks(size_t worker,
       cache != nullptr ? inference_->worker_epoch(worker) : 0;
   ParallelFor(ScoringPool(), tasks_.size(), [&](size_t i) {
     // Test hook, not a serving pass: skip the request-level tally.
-    scores[i] = ScoreOne(i, score, cache, worker_epoch, nullptr);
+    scores[i] = ScoreOne(i, score, cache, worker_epoch,
+                         inference_->task_epochs().data(), nullptr);
   });
   return scores;
 }
@@ -522,7 +519,38 @@ Status DocsSystem::ValidateAnswer(size_t worker, size_t task,
   return OkStatus();
 }
 
-void DocsSystem::AbsorbAnswer(size_t worker, size_t task, size_t choice) {
+const std::vector<size_t>& DocsSystem::AnsweredView(size_t worker) const {
+  if (options_.async_inference) {
+    static const std::vector<size_t> kEmpty;
+    if (worker >= async_answered_.size()) return kEmpty;
+    return async_answered_[worker];
+  }
+  return inference_->answered_tasks(worker);
+}
+
+bool DocsSystem::HasAnsweredView(size_t worker, size_t task) const {
+  if (options_.async_inference) {
+    const std::vector<size_t>& answered = AnsweredView(worker);
+    return std::binary_search(answered.begin(), answered.end(), task);
+  }
+  return inference_->HasAnswered(worker, task);
+}
+
+size_t DocsSystem::AnsweredCountView(size_t task) const {
+  if (options_.async_inference) {
+    return task < async_answers_per_task_.size() ? async_answers_per_task_[task]
+                                                 : 0;
+  }
+  return answers_per_task_[task];
+}
+
+bool DocsSystem::AtAnswerCap(size_t task) const {
+  return options_.max_answers_per_task > 0 &&
+         AnsweredCountView(task) + lease_count_[task] >=
+             options_.max_answers_per_task;
+}
+
+bool DocsSystem::AbsorbAnswerCore(size_t worker, size_t task, size_t choice) {
   WorkerProfile& profile = workers_[worker];
   const bool golden_answer =
       is_golden_[task] && known_truth_[task] >= 0 && !profile.golden_done;
@@ -531,10 +559,8 @@ void DocsSystem::AbsorbAnswer(size_t worker, size_t task, size_t choice) {
   if (!status.ok()) {
     // Unreachable after ValidateAnswer; kept as a hard guard.
     DOCS_LOG(Warning) << "inference rejected answer: " << status.ToString();
-    return;
+    return false;
   }
-  ++answers_per_task_[task];
-  ReleaseLease(worker, task);
 
   if (golden_answer) {
     const auto& r = tasks_[task].domain_vector;
@@ -548,6 +574,13 @@ void DocsSystem::AbsorbAnswer(size_t worker, size_t task, size_t choice) {
       FinishGoldenPhase(worker);
     }
   }
+  return true;
+}
+
+void DocsSystem::AbsorbAnswer(size_t worker, size_t task, size_t choice) {
+  if (!AbsorbAnswerCore(worker, task, choice)) return;
+  ++answers_per_task_[task];
+  ReleaseLease(worker, task);
 }
 
 Status DocsSystem::SubmitAnswer(size_t worker, size_t task, size_t choice) {
@@ -564,6 +597,181 @@ Status DocsSystem::SubmitAnswer(size_t worker, size_t task, size_t choice) {
     answers_since_reinfer_ = 0;
   }
   return OkStatus();
+}
+
+void DocsSystem::RebuildAsyncBooks() {
+  async_answered_.assign(workers_.size(), {});
+  if (inference_ == nullptr) {
+    async_answers_per_task_.clear();
+    return;
+  }
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    async_answered_[w] = inference_->answered_tasks(w);  // Already ascending.
+  }
+  async_answers_per_task_ = answers_per_task_;
+}
+
+Status DocsSystem::ValidateAsyncSubmission(size_t worker, size_t task,
+                                           size_t choice) const {
+  if (inference_ == nullptr) {
+    return FailedPreconditionError("no tasks ingested");
+  }
+  // No unknown-worker check here: the facade resolved `worker` through its
+  // registry before calling (probing workers_ would read state the serving
+  // thread must not touch). Task metadata is immutable after AddTasks, so
+  // the bounds checks below are safe without the state lock. Messages track
+  // ValidateAnswer verbatim — async mode must not change the wire contract.
+  if (task >= tasks_.size()) {
+    return InvalidArgumentError("unknown task " + std::to_string(task));
+  }
+  if (choice >= tasks_[task].num_choices) {
+    return OutOfRangeError("choice " + std::to_string(choice) +
+                           " out of range for task " + std::to_string(task) +
+                           " with " + std::to_string(tasks_[task].num_choices) +
+                           " choices");
+  }
+  if (HasAnsweredView(worker, task)) {
+    return AlreadyExistsError("duplicate answer from worker " +
+                              std::to_string(worker) + " for task " +
+                              std::to_string(task));
+  }
+  return OkStatus();
+}
+
+void DocsSystem::RecordAsyncSubmission(size_t worker, size_t task) {
+  if (async_answered_.size() <= worker) async_answered_.resize(worker + 1);
+  std::vector<size_t>& answered = async_answered_[worker];
+  answered.insert(std::upper_bound(answered.begin(), answered.end(), task),
+                  task);
+  ++async_answers_per_task_[task];
+  ReleaseLease(worker, task);
+}
+
+Status DocsSystem::ApplyAsyncAnswer(size_t worker, size_t task, size_t choice) {
+  // Re-validate against the live engine as a hard guard; a correctly booked
+  // answer can only pass (the books run ahead of the engine, never behind).
+  Status status = ValidateAnswer(worker, task, choice);
+  if (!status.ok()) return status;
+  if (!AbsorbAnswerCore(worker, task, choice)) {
+    return InternalError("inference rejected a booked answer");
+  }
+  ++answers_per_task_[task];
+  // Same periodic full inference as the sync path — identical op sequence,
+  // so post-Drain() state is bitwise-identical (DESIGN.md §15).
+  if (options_.reinfer_every > 0 &&
+      ++answers_since_reinfer_ >= options_.reinfer_every) {
+    inference_->RunFullInference(ScoringPool());
+    answers_since_reinfer_ = 0;
+  }
+  return OkStatus();
+}
+
+std::shared_ptr<const InferenceSnapshot> DocsSystem::BuildSnapshot(
+    const InferenceSnapshot* prev) {
+  auto snap = std::make_shared<InferenceSnapshot>();
+  snap->epoch = prev != nullptr ? prev->epoch + 1 : 1;
+  if (inference_ == nullptr) return snap;
+  snap->answers_applied = inference_->num_answers();
+
+  // Tasks copy-on-write: a task whose inference epoch is unchanged shares
+  // the previous snapshot's immutable posterior; only the tasks the applied
+  // batch (or EM pass) actually moved are copied.
+  const size_t n = tasks_.size();
+  snap->task_epochs.resize(n);
+  snap->tasks.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t epoch = inference_->task_epoch(i);
+    snap->task_epochs[i] = epoch;
+    if (prev != nullptr && i < prev->task_epochs.size() &&
+        prev->task_epochs[i] == epoch) {
+      snap->tasks[i] = prev->tasks[i];
+      continue;
+    }
+    auto task_snap = std::make_shared<TaskPosteriorSnapshot>();
+    task_snap->truth_matrix = inference_->truth_matrix(i);
+    task_snap->truth = inference_->task_truth(i);
+    snap->tasks[i] = std::move(task_snap);
+  }
+
+  snap->workers.resize(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    // CacheRow sizes the row under the exclusive lock held here, so the
+    // snapshot path never has to (row growth is exclusive-path work, exactly
+    // as on the sharded sync path). The row object's address is stable for
+    // the system's lifetime (deque) — safe to publish.
+    std::vector<CachedBenefit>* row = CacheRow(w);
+    const uint64_t epoch = inference_->worker_epoch(w);
+    const bool servable = workers_[w].golden_done;
+    if (prev != nullptr && w < prev->workers.size() &&
+        prev->workers[w] != nullptr && prev->workers[w]->epoch == epoch &&
+        prev->workers[w]->servable == servable &&
+        prev->workers[w]->cache_row == row) {
+      snap->workers[w] = prev->workers[w];
+      continue;
+    }
+    auto view = std::make_shared<WorkerSnapshot>();
+    view->quality = inference_->worker_quality(w).quality;
+    view->epoch = epoch;
+    view->servable = servable;
+    view->cache_row = row;
+    snap->workers[w] = std::move(view);
+  }
+  return snap;
+}
+
+std::function<double(size_t)> DocsSystem::MakeSnapshotScoreFn(
+    const InferenceSnapshot& snap, const WorkerSnapshot& view,
+    std::vector<double>& quality) {
+  if (options_.selection_rule == SelectionRule::kDomainMax) {
+    quality = view.quality;
+    return [this, &quality](size_t i) {
+      double match = 0.0;
+      for (size_t d = 0; d < quality.size(); ++d) {
+        match += tasks_[i].domain_vector[d] * quality[d];
+      }
+      return match;
+    };
+  }
+
+  if (options_.selection_rule == SelectionRule::kUncertainty) {
+    return [&snap](size_t i) { return Entropy(snap.tasks[i]->truth); };
+  }
+
+  quality = view.quality;
+  if (options_.selection_rule == SelectionRule::kQualityBlind) {
+    double mean = 0.0;
+    for (double q : quality) mean += q;
+    mean /= std::max<size_t>(1, quality.size());
+    std::fill(quality.begin(), quality.end(), mean);
+  }
+  if (options_.reference_kernel) {
+    return [this, &snap, &quality](size_t i) {
+      return Benefit(tasks_[i], snap.tasks[i]->truth_matrix,
+                     snap.tasks[i]->truth, quality,
+                     options_.assigner.quality_clamp);
+    };
+  }
+  return [this, &snap, &quality](size_t i) {
+    thread_local BenefitScratch scratch;
+    return Benefit(tasks_[i], snap.tasks[i]->truth_matrix, snap.tasks[i]->truth,
+                   quality, options_.assigner.quality_clamp, &scratch);
+  };
+}
+
+std::vector<size_t> DocsSystem::ScoreAndRankSnapshot(
+    const InferenceSnapshot& snap, size_t worker, ShardScratch& scratch,
+    size_t k, ThreadPool* pool) {
+  const WorkerSnapshot& view = *snap.workers[worker];
+  // The cache keys on the snapshot-copied epochs: epochs are monotonic, so
+  // an entry written against a newer snapshot (or by the exclusive path)
+  // self-invalidates here, and a hit always reproduces the score this
+  // snapshot's posteriors would yield.
+  std::vector<CachedBenefit>* cache =
+      options_.benefit_cache ? view.cache_row : nullptr;
+  const std::function<double(size_t)> score =
+      MakeSnapshotScoreFn(snap, view, scratch.quality);
+  return RankCore(scratch.eligible, k, score, cache, view.epoch,
+                  snap.task_epochs.data(), pool);
 }
 
 void DocsSystem::OnAnswer(size_t worker, size_t task, size_t choice) {

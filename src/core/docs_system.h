@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -16,6 +17,7 @@
 #include "core/domain_vector.h"
 #include "core/golden_selection.h"
 #include "core/incremental_ti.h"
+#include "core/inference_service.h"
 #include "core/task_assignment.h"
 #include "core/types.h"
 #include "kb/knowledge_base.h"
@@ -106,6 +108,18 @@ struct DocsSystemOptions {
   /// for the allocation benchmarks. Only meaningful for kBenefit /
   /// kQualityBlind rules.
   bool reference_kernel = false;
+  /// Decouple inference from serving (DESIGN.md §15): SubmitAnswer validates
+  /// against the submission books and enqueues onto a background inference
+  /// service, and RequestTasks scores against the last published immutable
+  /// snapshot — so an answer burst (retro-update fan-out, the periodic full
+  /// EM) never blocks a concurrent RequestTasks. Consumed by
+  /// ConcurrentDocsSystem; a bare DocsSystem ignores everything but the
+  /// book-keeping switches. Post-Drain() state is bitwise-identical to sync
+  /// mode (tests/inference_service_test.cc).
+  bool async_inference = false;
+  /// Bound on answers acknowledged but not yet applied by the background
+  /// service; submitters block (backpressure) once it is reached.
+  size_t async_queue_capacity = 1024;
 };
 
 /// The complete DOCS pipeline of Figure 1:
@@ -274,6 +288,62 @@ class DocsSystem : public AssignmentPolicy {
   /// facade's pool lock; exclusive callers need no extra lock.
   ThreadPool* ScoringPool();
 
+  // --- Async inference plumbing (DESIGN.md §15) ---------------------------
+  // With options.async_inference the facade splits SubmitAnswer into a
+  // synchronous half (validate + book + lease release, under its assign
+  // lock) and an asynchronous half (inference absorption on the service
+  // thread, under its exclusive state lock). The submission books reproduce
+  // the sync-mode timeline of "who answered what" at ack time, so
+  // validation, eligibility, golden pacing, and redundancy caps behave
+  // exactly as if the answer had been applied inline.
+
+  /// Sizes the books from current inference state (registered workers'
+  /// answered lists, per-task counts). Exclusive state lock + assign lock;
+  /// called at ingest/restore time before the service starts.
+  void RebuildAsyncBooks();
+
+  /// Mirrors ValidateAnswer (same status codes and ordering) against the
+  /// submission books instead of live inference state, so a duplicate is
+  /// rejected synchronously even while the original is still queued.
+  /// Assign lock held.
+  [[nodiscard]] Status ValidateAsyncSubmission(size_t worker, size_t task,
+                                               size_t choice) const;
+
+  /// Books one validated submission: marks (worker, task) answered, counts
+  /// it against the redundancy cap, releases the worker's lease — the
+  /// sync-path side effects that must be visible at ack time. Assign lock
+  /// held.
+  void RecordAsyncSubmission(size_t worker, size_t task);
+
+  /// Applies one queued answer on the service thread: inference absorption,
+  /// golden accounting, and the same periodic full-inference trigger as the
+  /// sync path — so the engine sees the identical operation sequence and
+  /// post-Drain() state is bitwise-identical. Exclusive state lock held
+  /// (plus the facade's pool lock, for the EM fan-out).
+  [[nodiscard]] Status ApplyAsyncAnswer(size_t worker, size_t task,
+                                        size_t choice);
+
+  /// Builds the next snapshot copy-on-write against `prev`: tasks and
+  /// workers whose inference epochs are unchanged share the previous
+  /// snapshot's immutable pieces. Also sizes every registered worker's
+  /// benefit-cache row so the snapshot path can serve her. Exclusive state
+  /// lock held.
+  std::shared_ptr<const InferenceSnapshot> BuildSnapshot(
+      const InferenceSnapshot* prev);
+
+  /// Scores `scratch.eligible` against `snap` (never touching live
+  /// inference state) and returns the provisional top-k. Caller holds the
+  /// worker's shard lock — NOT the state lock; that is the point.
+  std::vector<size_t> ScoreAndRankSnapshot(const InferenceSnapshot& snap,
+                                           size_t worker,
+                                           ShardScratch& scratch, size_t k,
+                                           ThreadPool* pool);
+
+  /// External id of a registered worker (state lock held).
+  const std::string& worker_external_id(size_t worker) const {
+    return workers_[worker].external_id;
+  }
+
   // --- AssignmentPolicy -----------------------------------------------------
   std::string name() const override { return options_.display_name; }
   std::vector<size_t> SelectTasks(size_t worker, size_t k) override;
@@ -318,10 +388,13 @@ class DocsSystem : public AssignmentPolicy {
   /// Shared ranking core behind RankEligible and ScoreAndRankSharded:
   /// scores every eligible task (over `pool` when non-null), maintains the
   /// row- and request-level cache counters, and returns the ordered top-k.
+  /// `task_epochs` keys the cache: the live engine's epochs on the sync
+  /// paths, the published snapshot's copy on the async serving path.
   std::vector<size_t> RankCore(const std::vector<uint8_t>& eligible, size_t k,
                                const std::function<double(size_t)>& score,
                                std::vector<CachedBenefit>* cache,
-                               uint64_t worker_epoch, ThreadPool* pool);
+                               uint64_t worker_epoch,
+                               const uint64_t* task_epochs, ThreadPool* pool);
 
   /// The worker's benefit-cache row sized to the task count, or nullptr when
   /// the cache is disabled.
@@ -334,7 +407,7 @@ class DocsSystem : public AssignmentPolicy {
   /// are atomic.
   double ScoreOne(size_t task, const std::function<double(size_t)>& score,
                   std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
-                  std::atomic<bool>* saw_miss);
+                  const uint64_t* task_epochs, std::atomic<bool>* saw_miss);
 
   /// Shared validation for live submissions and checkpoint replay.
   [[nodiscard]] Status ValidateAnswer(size_t worker, size_t task, size_t choice) const;
@@ -342,6 +415,27 @@ class DocsSystem : public AssignmentPolicy {
   /// lease release, golden-phase accounting. Does not trigger the periodic
   /// re-inference (the caller decides; replay defers to one final run).
   void AbsorbAnswer(size_t worker, size_t task, size_t choice);
+  /// The inference-side half of AbsorbAnswer (OnAnswer + golden accounting)
+  /// without the redundancy counter or lease release — in async mode those
+  /// already happened at book time on the serving thread. False when the
+  /// engine rejected the answer (unreachable after validation).
+  bool AbsorbAnswerCore(size_t worker, size_t task, size_t choice);
+
+  /// Eligibility reads routed through the submission books in async mode
+  /// (they lead live inference state by the queue depth) and through the
+  /// engine otherwise.
+  const std::vector<size_t>& AnsweredView(size_t worker) const;
+  bool HasAnsweredView(size_t worker, size_t task) const;
+  size_t AnsweredCountView(size_t task) const;
+  bool AtAnswerCap(size_t task) const;
+
+  /// Selection-rule scoring against a published snapshot: reads the
+  /// snapshot's posteriors and the worker view's quality instead of the live
+  /// engine. The callable borrows `snap` and `quality` (caller scratch, as
+  /// with the sharded MakeScoreFn) — both must outlive the scoring pass.
+  std::function<double(size_t)> MakeSnapshotScoreFn(
+      const InferenceSnapshot& snap, const WorkerSnapshot& view,
+      std::vector<double>& quality);
 
   /// Lease bookkeeping (no-ops while options_.lease_duration == 0).
   void GrantLeases(size_t worker, const std::vector<size_t>& granted);
@@ -367,11 +461,19 @@ class DocsSystem : public AssignmentPolicy {
   std::unordered_map<uint64_t, uint64_t> leases_;
   /// Outstanding leases per task (kept in sync with leases_).
   std::vector<uint32_t> lease_count_;
+  /// Async submission books (empty in sync mode): per-worker sorted answered
+  /// task lists and per-task acked-answer counts, updated at ack time on the
+  /// serving thread — they run AHEAD of the engine by the queue depth and
+  /// reproduce the sync-mode eligibility timeline. Facade's assign lock.
+  std::vector<std::vector<size_t>> async_answered_;
+  std::vector<size_t> async_answers_per_task_;
   std::unique_ptr<ThreadPool> pool_;  // see ScoringPool()
   /// Per-worker rows of the epoch-tagged benefit cache, lazily sized on the
   /// worker's first scoring pass (DESIGN.md §11). Entries self-invalidate by
-  /// epoch mismatch; nothing is ever erased.
-  std::vector<std::vector<CachedBenefit>> benefit_cache_;
+  /// epoch mismatch; nothing is ever erased. A deque (not a vector) so a row
+  /// keeps its address when later workers register — published snapshots
+  /// carry raw row pointers (DESIGN.md §15) and must never dangle.
+  std::deque<std::vector<CachedBenefit>> benefit_cache_;
   std::atomic<uint64_t> benefit_cache_hits_{0};
   std::atomic<uint64_t> benefit_cache_misses_{0};
   std::atomic<uint64_t> benefit_cache_request_hits_{0};

@@ -145,36 +145,32 @@ Status DurableDocsSystem::RequestTasks(const std::string& worker_id, size_t k,
   if (!recovered_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("DurableDocsSystem not recovered");
   }
-  // Warm path: a known worker is served under the facade lock alone — no
-  // durable mutex, no WAL I/O.
-  const bool served = system_->WithLocked([&](DocsSystem& system) {
-    const std::optional<size_t> worker = system.FindWorker(worker_id);
-    if (!worker.has_value()) return false;
-    *tasks = system.SelectTasks(*worker, k);
-    return true;
-  });
-  if (served) return OkStatus();
+  // Warm path: a known worker is served through the facade alone — no
+  // durable mutex, no WAL I/O. Routing through the facade's own RequestTasks
+  // (not WithLocked + SelectTasks) matters in async mode: the facade serves
+  // a snapshot-servable worker without the state lock, so a running EM pass
+  // never blocks this request (DESIGN.md §15).
+  if (system_->KnowsWorker(worker_id)) {
+    *tasks = system_->RequestTasks(worker_id, k);
+    return OkStatus();
+  }
 
   // First contact: the registration must be durable before the index is
   // assigned, or recovery would renumber workers and change inference's
   // summation order.
   MutexLock lock(&mutex_);
-  const bool raced = system_->WithLocked([&](DocsSystem& system) {
-    const std::optional<size_t> worker = system.FindWorker(worker_id);
-    if (!worker.has_value()) return false;
-    *tasks = system.SelectTasks(*worker, k);
-    return true;
-  });
-  if (raced) return OkStatus();  // another thread registered meanwhile
+  if (system_->KnowsWorker(worker_id)) {
+    // Another thread registered meanwhile.
+    *tasks = system_->RequestTasks(worker_id, k);
+    return OkStatus();
+  }
   Status logged = wal_->AppendRegistration(worker_id);
   if (!logged.ok()) {
     return UnavailableError("answer log unavailable: " + logged.ToString());
   }
   wal_appends_.fetch_add(1, std::memory_order_relaxed);
   wal_records_.store(wal_->record_count(), std::memory_order_relaxed);
-  *tasks = system_->WithLocked([&](DocsSystem& system) {
-    return system.SelectTasks(system.WorkerIndex(worker_id), k);
-  });
+  *tasks = system_->RequestTasks(worker_id, k);
   return OkStatus();
 }
 

@@ -51,8 +51,15 @@ struct DurableStats {
 /// suite.
 ///
 /// Lock order: the durable mutex is taken strictly outside the facade's
-/// lock. RequestTasks for an already-registered worker takes only the
-/// facade lock — the WAL stays entirely off the warm serving path.
+/// lock. RequestTasks for an already-registered worker goes through the
+/// facade alone — the WAL stays entirely off the warm serving path. With
+/// the facade in async-inference mode (DESIGN.md §15) the ordering
+/// append+flush → enqueue → ack holds because the durable mutex is held
+/// across the WAL append and the facade submit: the answer is durable
+/// before the inference service ever sees it, and the ack only goes out
+/// after the books recorded it. Checkpoints quiesce the service (the
+/// facade drains before saving), so WAL truncation never strands an acked,
+/// queued answer.
 class DurableDocsSystem {
  public:
   /// `system` must outlive this object. The facade must not be mutated

@@ -90,6 +90,11 @@ class IncrementalTruthInference {
   /// cached benefit is valid exactly while both epochs are unchanged.
   uint64_t task_epoch(size_t task) const { return task_epoch_[task]; }
 
+  /// The full per-task epoch array (indexed by task); snapshot publication
+  /// copies it wholesale so the async serving path keys the benefit cache
+  /// without touching live engine state.
+  const std::vector<uint64_t>& task_epochs() const { return task_epoch_; }
+
   /// Version tag of `worker`'s quality vector; starts at 1. Bumped whenever
   /// the quality estimate moves: her own submissions, the retro-update
   /// fan-out of other workers' submissions on shared tasks, SetWorkerQuality

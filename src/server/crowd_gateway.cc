@@ -242,6 +242,18 @@ GatewayStats CrowdGateway::stats() const {
     out.answers_deduped = durable.answers_deduped;
     out.wal_records = durable.wal_records;
   }
+  // Async staleness sample (lock-free on the facade side; zeros in sync
+  // mode) — taken after the lifecycle lock is released, like the facade
+  // reads above.
+  const core::AsyncInferenceStats async = system_->async_stats();
+  if (async.enabled) {
+    out.async_snapshot_epoch = async.service.snapshot_epoch;
+    out.async_publishes = async.service.publishes;
+    out.async_answers_pending = async.service.answers_pending;
+    out.async_enqueue_waits = async.service.enqueue_waits;
+    out.async_last_sweep_epoch = async.last_sweep_epoch;
+    out.async_publish_gap_us = async.service.last_publish_gap_us;
+  }
   return out;
 }
 

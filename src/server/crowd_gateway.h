@@ -80,6 +80,19 @@ struct GatewayStats {
   /// Durability counters (wire StatsResp v2); 0 without a durable layer.
   uint64_t answers_deduped = 0;
   uint64_t wal_records = 0;
+  /// Async-inference staleness counters (DESIGN.md §15), sampled from the
+  /// facade at stats() time; all zero when async mode is off. Local
+  /// observability only — the frozen wire Stats response does not carry
+  /// them. `async_answers_pending` is the serving staleness in answers
+  /// (acked but not yet reflected in the published snapshot);
+  /// `async_last_sweep_epoch` records which publish the most recent lease
+  /// sweep was consistent with.
+  uint64_t async_snapshot_epoch = 0;
+  uint64_t async_publishes = 0;
+  uint64_t async_answers_pending = 0;
+  uint64_t async_enqueue_waits = 0;
+  uint64_t async_last_sweep_epoch = 0;
+  double async_publish_gap_us = 0.0;
 };
 
 /// TCP serving layer in front of ConcurrentDocsSystem: one acceptor thread

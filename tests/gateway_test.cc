@@ -573,6 +573,64 @@ TEST_F(GatewayTest, PeriodicLeaseSweepReclaimsAbandonedGrants) {
   EXPECT_GE(serving.gateway->stats().leases_expired, hit.size());
 }
 
+/// Regression for the async sweep-vs-publish race (DESIGN.md §15): the
+/// reactor's periodic lease sweep runs at its tightest cadence while every
+/// submission triggers a full EM pass on the inference thread, so sweeps
+/// continuously overlap snapshot publication and the state-exclusive apply
+/// window. The sweep must neither block behind the EM (it reads the clock
+/// and books under the assign lock only) nor observe half-applied
+/// retro-updates (it never touches inference state; it just records the
+/// snapshot epoch it ran against). scripts/ci.sh runs this under TSan,
+/// which is the half of the assertion a green run cannot show.
+TEST_F(GatewayTest, AsyncLeaseSweepRacesPublishesCleanly) {
+  core::DocsSystemOptions options;
+  options.golden_count = 0;
+  options.lease_duration = 1;
+  options.reinfer_every = 1;  // every answer republishes through a full EM
+  options.async_inference = true;
+  CrowdGatewayOptions gateway_options;
+  gateway_options.lease_expiry_interval_ms = 1;
+  Serving serving = StartServing(options, gateway_options);
+
+  client::CrowdClient conn(TestClientOptions());
+  ASSERT_TRUE(conn.Connect("127.0.0.1", serving.gateway->port()).ok());
+  // The no-show's grant must be reclaimed by the periodic sweep alone,
+  // while publishes churn underneath it.
+  std::vector<uint64_t> hit;
+  ASSERT_TRUE(conn.RequestTasks("no-show", 2, &hit).ok());
+  ASSERT_FALSE(hit.empty());
+  size_t submitted = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<uint64_t> work;
+    ASSERT_TRUE(conn.RequestTasks("diligent", 1, &work).ok());
+    for (uint64_t task : work) {
+      const Status answered = conn.SubmitAnswer("diligent", task, 0);
+      ASSERT_TRUE(answered.ok()) << answered.ToString();
+      ++submitted;
+    }
+  }
+  const auto deadline = steady_clock::now() + milliseconds(5000);
+  net::StatsResp stats;
+  do {
+    std::this_thread::sleep_for(milliseconds(20));
+    ASSERT_TRUE(conn.Stats(&stats).ok());
+  } while (stats.outstanding_leases > 0 && steady_clock::now() < deadline);
+  EXPECT_EQ(stats.outstanding_leases, 0u);
+  EXPECT_GE(serving.gateway->stats().leases_expired, hit.size());
+
+  // Every acked answer is applied once quiesced, and the staleness fields
+  // surfaced through GatewayStats show real publish + sweep progress.
+  serving.system->Drain();
+  EXPECT_EQ(serving.system->num_answers(), submitted);
+  const GatewayStats gateway_stats = serving.gateway->stats();
+  // Publishes batch (one epoch can absorb several queued answers), so the
+  // bound is progress past the ingest-time snapshot, not one-per-answer.
+  EXPECT_GT(gateway_stats.async_snapshot_epoch, 1u);
+  EXPECT_GE(gateway_stats.async_publishes, 1u);
+  EXPECT_EQ(gateway_stats.async_answers_pending, 0u);
+  EXPECT_GE(gateway_stats.async_last_sweep_epoch, 1u);
+}
+
 TEST_F(GatewayTest, GracefulShutdownClosesClientsCleanly) {
   core::DocsSystemOptions options;
   options.golden_count = 0;
