@@ -256,16 +256,23 @@ void BM_DveEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_DveEndToEnd);
 
 // --- Serving-path RequestTasks benchmarks -----------------------------------
-// One DocsSystem serving SelectTasks(worker, 10) over a 512-task QA campaign
-// with a settled answer history. Three configurations:
-//   Warm      — benefit cache on, fused kernel: repeat requests on a quiet
-//               system are answered from the epoch-tagged cache.
+// One DocsSystem serving SelectTasks(worker, 10) over an n-task QA campaign
+// with a settled answer history. Configurations:
+//   Warm      — benefit cache + index on, fused kernel: repeat requests on a
+//               quiet system pop the top-k off the per-worker benefit index.
+//   WarmSweep — Warm across n = 1k/10k/100k tasks: the DESIGN.md §16
+//               sub-linearity evidence (scripts/bench.sh gates warm ns/op at
+//               100k under 3x the 10k figure; an O(n) warm path would be
+//               ~10x).
+//   WarmScan  — cache on, index off, same n sweep: the O(n) epoch-scan warm
+//               path the index replaced, for the scaling comparison.
 //   Cold      — cache off, allocating reference kernel: the seed-era serving
 //               path, rescoring every eligible task per request.
 //   ColdFused — cache off, fused kernel: full rescoring cost without the
 //               per-task heap churn, isolating the two optimizations.
 // Each reports allocs/op from the counting operator new above; the
-// acceptance bar is Warm at >= 5x fewer allocations than Cold.
+// acceptance bars are Warm at >= 5x fewer allocations than Cold and the
+// WarmSweep sub-linearity gate.
 
 const kb::SyntheticKb& ServingKb() {
   static const kb::SyntheticKb* kKb =
@@ -274,9 +281,11 @@ const kb::SyntheticKb& ServingKb() {
 }
 
 std::unique_ptr<core::DocsSystem> MakeServingSystem(bool benefit_cache,
-                                                    bool reference_kernel) {
+                                                    bool reference_kernel,
+                                                    size_t num_tasks,
+                                                    bool benefit_index) {
   const kb::SyntheticKb& kb = ServingKb();
-  const auto dataset = datasets::MakeQaDataset(kb, 512);
+  const auto dataset = datasets::MakeQaDataset(kb, num_tasks);
   std::vector<core::TaskInput> inputs;
   inputs.reserve(dataset.tasks.size());
   for (const auto& task : dataset.tasks) {
@@ -288,6 +297,7 @@ std::unique_ptr<core::DocsSystem> MakeServingSystem(bool benefit_cache,
   options.lease_duration = 0;  // no lease bookkeeping in the request loop
   options.num_threads = 1;
   options.benefit_cache = benefit_cache;
+  options.benefit_index = benefit_index;
   options.reference_kernel = reference_kernel;
   auto system =
       std::make_unique<core::DocsSystem>(&kb.knowledge_base, options);
@@ -305,10 +315,13 @@ std::unique_ptr<core::DocsSystem> MakeServingSystem(bool benefit_cache,
 }
 
 void ServeRequestTasksLoop(benchmark::State& state, bool benefit_cache,
-                           bool reference_kernel) {
-  auto system = MakeServingSystem(benefit_cache, reference_kernel);
+                           bool reference_kernel, size_t num_tasks = 512,
+                           bool benefit_index = true) {
+  auto system = MakeServingSystem(benefit_cache, reference_kernel, num_tasks,
+                                  benefit_index);
   const size_t worker = system->WorkerIndex("bench_w0");
-  // One untimed request warms the cache row and the scratch arenas.
+  // One untimed request warms the cache row, the index heap, and the
+  // scratch arenas.
   benchmark::DoNotOptimize(system->SelectTasks(worker, 10));
   const uint64_t allocs_before = HeapAllocations();
   uint64_t iters = 0;
@@ -328,6 +341,30 @@ void BM_ServeRequestTasksWarm(benchmark::State& state) {
                         /*reference_kernel=*/false);
 }
 BENCHMARK(BM_ServeRequestTasksWarm);
+
+void BM_ServeRequestTasksWarmSweep(benchmark::State& state) {
+  ServeRequestTasksLoop(state, /*benefit_cache=*/true,
+                        /*reference_kernel=*/false,
+                        /*num_tasks=*/static_cast<size_t>(state.range(0)),
+                        /*benefit_index=*/true);
+}
+BENCHMARK(BM_ServeRequestTasksWarmSweep)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->ArgName("n");
+
+void BM_ServeRequestTasksWarmScan(benchmark::State& state) {
+  ServeRequestTasksLoop(state, /*benefit_cache=*/true,
+                        /*reference_kernel=*/false,
+                        /*num_tasks=*/static_cast<size_t>(state.range(0)),
+                        /*benefit_index=*/false);
+}
+BENCHMARK(BM_ServeRequestTasksWarmScan)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->ArgName("n");
 
 void BM_ServeRequestTasksCold(benchmark::State& state) {
   ServeRequestTasksLoop(state, /*benefit_cache=*/false,

@@ -310,6 +310,10 @@ int main(int argc, char** argv) {
   uint64_t row_misses = 0;
   uint64_t request_hits = 0;
   uint64_t request_misses = 0;
+  uint64_t index_pops = 0;
+  uint64_t index_repairs = 0;
+  uint64_t index_rebuilds = 0;
+  uint64_t index_invalidations = 0;
   uint64_t async_epoch = 0;
   uint64_t async_publishes = 0;
   uint64_t async_pending = 0;
@@ -322,6 +326,10 @@ int main(int argc, char** argv) {
     row_misses = stats.benefit_cache_misses;
     request_hits = stats.benefit_cache_request_hits;
     request_misses = stats.benefit_cache_request_misses;
+    index_pops = stats.benefit_index_pops;
+    index_repairs = stats.benefit_index_repairs;
+    index_rebuilds = stats.benefit_index_rebuilds;
+    index_invalidations = stats.benefit_index_generation_invalidations;
     async_epoch = stats.async_snapshot_epoch;
     async_publishes = stats.async_publishes;
     async_pending = stats.async_answers_pending;
@@ -341,7 +349,10 @@ int main(int argc, char** argv) {
               << "benefit cache: " << TablePrinter::Fmt(hit_rate * 100.0, 1)
               << "% request hit-rate (" << request_hits << " hits / "
               << request_misses << " misses); row level: " << row_hits
-              << " hits, " << row_misses << " recomputes\n";
+              << " hits, " << row_misses << " recomputes\n"
+              << "benefit index: " << index_pops << " pops, " << index_repairs
+              << " repairs, " << index_rebuilds << " rebuilds, "
+              << index_invalidations << " generation invalidations\n";
     if (async_inference) {
       std::cout << "async inference: snapshot epoch " << async_epoch << ", "
                 << async_publishes << " publishes, " << async_pending
@@ -413,7 +424,11 @@ int main(int argc, char** argv) {
                 ? static_cast<double>(request_hits) /
                       static_cast<double>(request_hits + request_misses)
                 : 0.0)
-        << "}\n";
+        << ", \"benefit_index_pops\": " << index_pops
+        << ", \"benefit_index_repairs\": " << index_repairs
+        << ", \"benefit_index_rebuilds\": " << index_rebuilds
+        << ", \"benefit_index_generation_invalidations\": "
+        << index_invalidations << "}\n";
   }
   return 0;
 }

@@ -18,16 +18,21 @@
 #      --reinfer=100 in sync and async inference modes, comparing
 #      per-op-type (RequestTasks vs SubmitAnswer) latency tails while the
 #      periodic full EM churns;
-# then merges 1+2 into BENCH_5.json, 3 into BENCH_7.json, and 4 into
-# BENCH_9.json (all at the repo root by default) and gates on the
-# acceptance ratios: the warm path must do at least 5x fewer heap
+# then merges 1+2 into BENCH_5.json, 3 into BENCH_7.json, 4 into
+# BENCH_9.json, and the §16 benefit-index scaling sweep (bench_micro
+# BM_ServeRequestTasksWarmSweep/WarmScan over n = 1k/10k/100k tasks, part
+# of run 1) into BENCH_10.json (all at the repo root by default) and gates
+# on the acceptance ratios: the warm path must do at least 5x fewer heap
 # allocations per call than the seed-era cold path and win on wall time
 # (§11); on multi-core hardware mixed throughput must increase
 # monotonically from 1 reactor to N (§13) and async RequestTasks p99 must
-# stay within 110% of sync's (§15). On a single-core host the scaling and
-# async-p99 gates are skipped and the artifacts record the caveat instead
-# — reactors and the inference thread can only interleave there, not
-# overlap.
+# stay within 110% of sync's (§15); the index-served warm path must be
+# sub-linear in the task count — ns/op at 100k tasks under 3x the 10k
+# figure, where a linear path would be ~10x (§16). On a single-core host
+# the scaling and async-p99 gates are skipped and the artifacts record the
+# caveat instead — reactors and the inference thread can only interleave
+# there, not overlap. The §16 gate runs everywhere: it compares two
+# single-threaded runs of the same binary, so core count cannot bias it.
 #
 #   --quick      CI smoke sizing: shorter runs, artifacts written into the
 #                build tree instead of replacing the committed BENCH_5.json
@@ -66,6 +71,8 @@ if [[ "$QUICK" == 1 ]]; then OUT7="$BUILD_DIR/BENCH_7.quick.json"
 else OUT7="$ROOT/BENCH_7.json"; fi
 if [[ "$QUICK" == 1 ]]; then OUT9="$BUILD_DIR/BENCH_9.quick.json"
 else OUT9="$ROOT/BENCH_9.json"; fi
+if [[ "$QUICK" == 1 ]]; then OUT10="$BUILD_DIR/BENCH_10.quick.json"
+else OUT10="$ROOT/BENCH_10.json"; fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -157,6 +164,73 @@ if alloc_ratio < 5.0:
     sys.exit(f"FAIL: warm path allocates too much ({alloc_ratio:.1f}x < 5x)")
 if speedup <= 1.0:
     sys.exit(f"FAIL: warm path is not faster than cold ({speedup:.2f}x)")
+PY
+
+# --- §16 benefit-index scaling sweep -> BENCH_10.json ------------------------
+# Reuses the bench_micro run above: the WarmSweep (index on) and WarmScan
+# (index off) families cover n = 1k/10k/100k tasks. Both are single-threaded
+# runs of the same binary, so the sub-linearity gate applies on any host.
+python3 - "$TMP/micro.json" "$OUT10" "$QUICK" <<'PY'
+import json
+import sys
+
+micro_path, out_path, quick = sys.argv[1:4]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+TIME_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def entry(bench):
+    return {
+        "ns_per_op": bench["real_time"] * TIME_NS[bench["time_unit"]],
+        "allocs_per_op": bench.get("allocs/op", 0.0),
+        "iterations": bench["iterations"],
+    }
+
+benches = {
+    b["name"]: entry(b)
+    for b in micro["benchmarks"]
+    if b.get("run_type", "iteration") == "iteration"
+}
+SIZES = (1000, 10000, 100000)
+sweep = {n: benches[f"BM_ServeRequestTasksWarmSweep/n:{n}"] for n in SIZES}
+scan = {n: benches[f"BM_ServeRequestTasksWarmScan/n:{n}"] for n in SIZES}
+
+# The sub-linearity evidence: a 10x task-count step moves the index-served
+# warm path by the growth ratio below (log-ish), while the scan moves ~10x.
+growth_index = sweep[100000]["ns_per_op"] / sweep[10000]["ns_per_op"]
+growth_scan = scan[100000]["ns_per_op"] / scan[10000]["ns_per_op"]
+speedup_100k = scan[100000]["ns_per_op"] / sweep[100000]["ns_per_op"]
+artifact = {
+    "generated_by": "scripts/bench.sh" + (" --quick" if quick == "1" else ""),
+    "warm_sweep_index": {str(n): sweep[n] for n in SIZES},
+    "warm_sweep_scan": {str(n): scan[n] for n in SIZES},
+    "derived": {
+        "index_ns_growth_10k_to_100k": growth_index,
+        "scan_ns_growth_10k_to_100k": growth_scan,
+        "index_over_scan_speedup_at_100k": speedup_100k,
+    },
+    # Single-threaded ns/op comparisons of one binary against itself: no
+    # single-core caveat applies (BENCH_7/9 precedent does not transfer).
+    "single_core_caveat": False,
+}
+with open(out_path, "w") as f:
+    json.dump(artifact, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+for n in SIZES:
+    print(f"[bench] warm n={n}: index {sweep[n]['ns_per_op']:.0f} ns/op, "
+          f"scan {scan[n]['ns_per_op']:.0f} ns/op")
+print(f"[bench] 10k->100k growth: index {growth_index:.2f}x, "
+      f"scan {growth_scan:.2f}x; index speedup at 100k "
+      f"{speedup_100k:.0f}x -> {out_path}")
+
+# Acceptance gate (ISSUE 10): the index-served warm path must be sub-linear
+# in n — a 10x task-count step may cost at most 3x the time (a linear warm
+# path measures ~10x here; O(k log n) measures ~1x).
+if growth_index >= 3.0:
+    sys.exit(f"FAIL: warm index path is not sub-linear "
+             f"({growth_index:.2f}x >= 3x for 10k -> 100k tasks)")
 PY
 
 # --- §13 scaling sweeps -> BENCH_7.json -------------------------------------

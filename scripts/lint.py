@@ -29,6 +29,11 @@ Checks, over every C++ file in src/, tests/, bench/ and examples/:
      inference mutation must flow through the InferenceService apply path
      so snapshots stay consistent with state; a direct call anywhere else
      bypasses the single-writer discipline the snapshots depend on.
+  8. The engine's invalidation counters (task_epoch_, generation_) may only
+     be mutated inside src/core/incremental_ti.{h,cc}. The benefit cache and
+     index (DESIGN.md §11/§16) key their freshness on exactly these counters;
+     a bump anywhere else would invalidate (or worse, fail to invalidate)
+     cached state behind the engine's back.
 
 Exit status is the number of findings (0 = clean). Run from anywhere:
 
@@ -76,6 +81,21 @@ TI_MUTATOR_ALLOWED_FILES = ("src/core/docs_system.cc",)
 TI_MUTATORS_RE = re.compile(
     r"\binference_\s*(?:->|\.)\s*"
     r"(?:OnAnswer|RunFullInference|SetWorkerQuality|EnsureWorker)\s*\(")
+
+# Epoch/generation mutation discipline (docstring item 8). The engine owns
+# the invalidation counters the benefit cache and index key on; only it may
+# move them. The header is in the allowed list for the member initializers
+# (`uint64_t generation_ = 1;`). The `(?!\w)` lookaheads keep longer
+# identifiers (generation_tag_, for one) out of scope; branch one catches
+# prefix ++/--, branch two catches postfix, assignment, and compound
+# assignment.
+EPOCH_MUTATION_ALLOWED_FILES = (
+    "src/core/incremental_ti.h", "src/core/incremental_ti.cc")
+EPOCH_MUTATION_RE = re.compile(
+    r"(?:\+\+|--)\s*(?:[A-Za-z_][\w.\[\]]*(?:->|\.))*"
+    r"(?:task_epoch_|generation_)(?!\w)"
+    r"|(?:task_epoch_|generation_)(?!\w)"
+    r"\s*(?:\[[^\]]*\]\s*)?(?:\+\+|--|[-+*/|&^]?=[^=])")
 
 # `MutexLock assign(&assign_mutex_);` — any of the scoped guards, capturing
 # the lock expression so the hierarchy check can classify it.
@@ -207,6 +227,14 @@ def lint_file(root, rel, findings):
                  "src/core/docs_system.cc: route it through DocsSystem so "
                  "the async inference service stays the single writer "
                  "(DESIGN.md §15)"))
+        if (rel.replace(os.sep, "/") not in EPOCH_MUTATION_ALLOWED_FILES
+                and EPOCH_MUTATION_RE.search(LINE_COMMENT_RE.sub("", line))):
+            findings.append(
+                (rel, i + 1,
+                 "task_epoch_/generation_ mutated outside the inference "
+                 "engine: the benefit cache and index key their freshness "
+                 "on these counters, so only incremental_ti.{h,cc} may "
+                 "move them (DESIGN.md §16)"))
 
     if is_header:
         check_header_guard(rel, lines, findings)

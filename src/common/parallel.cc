@@ -111,7 +111,9 @@ void ThreadPool::Run(size_t num_chunks, const std::function<void(size_t)>& fn) {
     job_ = &fn;
     num_chunks_.store(num_chunks, std::memory_order_relaxed);
     completed_ = 0;
-    generation = ++generation_;
+    // The pool's own job-generation tag, unrelated to the inference engine's
+    // invalidation counter of the same name.
+    generation = ++generation_;  // NOLINT(docs-lint)
     // Publishing the new generation tag atomically invalidates any claim a
     // straggler from the previous job might still attempt (see DrainChunks).
     ticket_.store(generation << kTicketGenShift, std::memory_order_release);

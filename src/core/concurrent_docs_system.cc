@@ -397,6 +397,26 @@ uint64_t ConcurrentDocsSystem::benefit_cache_request_misses() {
   return system_.benefit_cache_request_misses();
 }
 
+uint64_t ConcurrentDocsSystem::benefit_index_pops() {
+  ReaderLock state(&state_mutex_);
+  return system_.benefit_index_pops();
+}
+
+uint64_t ConcurrentDocsSystem::benefit_index_repairs() {
+  ReaderLock state(&state_mutex_);
+  return system_.benefit_index_repairs();
+}
+
+uint64_t ConcurrentDocsSystem::benefit_index_rebuilds() {
+  ReaderLock state(&state_mutex_);
+  return system_.benefit_index_rebuilds();
+}
+
+uint64_t ConcurrentDocsSystem::benefit_index_generation_invalidations() {
+  ReaderLock state(&state_mutex_);
+  return system_.benefit_index_generation_invalidations();
+}
+
 Status ConcurrentDocsSystem::SaveCheckpoint(const std::string& path) {
   // Async mode quiesces first so the checkpoint contains every acked answer
   // — the durable layer truncates its WAL after a checkpoint, and an acked

@@ -44,80 +44,182 @@ std::vector<CachedBenefit>* DocsSystem::CacheRow(size_t worker) {
   return row;
 }
 
+BenefitIndex* DocsSystem::IndexRow(size_t worker) {
+  if (!options_.benefit_index || !options_.benefit_cache) return nullptr;
+  if (benefit_index_.size() <= worker) benefit_index_.resize(worker + 1);
+  return &benefit_index_[worker];
+}
+
 double DocsSystem::ScoreOne(size_t task,
                             const std::function<double(size_t)>& score,
                             std::vector<CachedBenefit>* cache,
                             uint64_t worker_epoch,
-                            const uint64_t* task_epochs,
+                            const uint64_t* task_epochs, uint64_t generation,
                             std::atomic<bool>* saw_miss) {
   if (cache == nullptr) return score(task);
   CachedBenefit& entry = (*cache)[task];
   const uint64_t task_epoch = task_epochs[task];
-  if (entry.task_epoch == task_epoch && entry.worker_epoch == worker_epoch) {
+  if (entry.task_epoch == task_epoch && entry.worker_epoch == worker_epoch &&
+      entry.generation == generation) {
     benefit_cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return entry.benefit;
   }
   const double value = score(task);
-  entry = {task_epoch, worker_epoch, value};
+  entry = {task_epoch, worker_epoch, generation, value};
   benefit_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   if (saw_miss != nullptr) saw_miss->store(true, std::memory_order_relaxed);
   return value;
-}
-
-std::vector<size_t> DocsSystem::RankEligible(
-    size_t worker, const std::vector<uint8_t>& eligible, size_t k,
-    const std::function<double(size_t)>& score) {
-  // Hoisted out of the loop: the worker's epoch cannot move mid-pass (the
-  // facade serializes mutations), and reading it once keeps the probe cheap.
-  std::vector<CachedBenefit>* cache = CacheRow(worker);
-  const uint64_t worker_epoch =
-      cache != nullptr ? inference_->worker_epoch(worker) : 0;
-  return RankCore(eligible, k, score, cache, worker_epoch,
-                  inference_->task_epochs().data(), ScoringPool());
 }
 
 std::vector<size_t> DocsSystem::RankCore(
     const std::vector<uint8_t>& eligible, size_t k,
     const std::function<double(size_t)>& score,
     std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
-    const uint64_t* task_epochs, ThreadPool* pool) {
+    const uint64_t* task_epochs, uint64_t generation, ThreadPool* pool,
+    std::atomic<bool>* saw_miss, bool* had_candidates) {
   DOCS_CHECK_EQ(eligible.size(), tasks_.size());
-  struct Scored {
-    size_t task;
-    double value;
-  };
-  std::vector<Scored> scored;
+  std::vector<ScoredTask> scored;
   scored.reserve(tasks_.size());
   for (size_t i = 0; i < tasks_.size(); ++i) {
     if (eligible[i]) scored.push_back({i, 0.0});
   }
-  std::atomic<bool> saw_miss{false};
+  *had_candidates = !scored.empty();
   ParallelFor(pool, scored.size(), [&](size_t s) {
     scored[s].value = ScoreOne(scored[s].task, score, cache, worker_epoch,
-                               task_epochs, &saw_miss);
+                               task_epochs, generation, saw_miss);
   });
+  return SelectTopKFromScored(&scored, k);
+}
+
+std::optional<std::vector<size_t>> DocsSystem::TryRankViaIndex(
+    size_t worker, BenefitIndex* index, size_t k,
+    const std::function<double(size_t)>& score,
+    std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
+    const uint64_t* task_epochs, uint64_t generation,
+    const std::function<bool(size_t)>& eligible_one, ThreadPool* pool,
+    const InferenceSnapshot* snap, std::atomic<bool>* saw_miss) {
+  const size_t n = tasks_.size();
+  auto score_one = [&](size_t task) {
+    return ScoreOne(task, score, cache, worker_epoch, task_epochs, generation,
+                    saw_miss);
+  };
+  const BenefitIndex::Source source = snap == nullptr
+                                          ? BenefitIndex::Source::kLive
+                                          : BenefitIndex::Source::kSnapshot;
+  // Sync the index: tags fresh + feed caught up = nothing to do; tags fresh
+  // with a bounded feed gap = targeted repairs; anything else = rebuild.
+  bool synced = false;
+  if (index->Fresh(source, worker_epoch, generation, n)) {
+    size_t repaired = 0;
+    if (snap == nullptr) {
+      // Live source: replay the engine's mutation log from our cursor. Any
+      // entry we don't contain belongs to this worker's own answered set
+      // (excluded at build time); duplicates re-probe a now-fresh cache
+      // entry, which is cheap and idempotent.
+      const uint64_t log_begin = inference_->mutation_log_begin();
+      const uint64_t log_end = inference_->mutation_log_end();
+      if (index->cursor() >= log_begin && index->cursor() <= log_end) {
+        const std::vector<size_t>& log = inference_->mutation_log();
+        for (uint64_t seq = index->cursor(); seq < log_end; ++seq) {
+          const size_t task = log[seq - log_begin];
+          if (!index->contains(task)) continue;
+          index->Repair(task, score_one(task));
+          ++repaired;
+        }
+        index->set_cursor(log_end);
+        synced = true;
+      }
+    } else {
+      // Snapshot source: publishes are totally ordered, so an index exactly
+      // one publish behind catches up off the changed-task diff.
+      if (index->cursor() == snap->epoch) {
+        synced = true;
+      } else if (index->cursor() + 1 == snap->epoch) {
+        for (size_t task : snap->changed_tasks) {
+          if (!index->contains(task)) continue;
+          index->Repair(task, score_one(task));
+          ++repaired;
+        }
+        index->set_cursor(snap->epoch);
+        synced = true;
+      }
+    }
+    if (repaired > 0) {
+      benefit_index_repairs_.fetch_add(repaired, std::memory_order_relaxed);
+    }
+  }
+  if (!synced) {
+    // Live rebuilds exclude the worker's answered tasks — they can never
+    // become eligible again, so scoring them would be pure waste. (Safe to
+    // read here: the answered list only grows via her own submissions, each
+    // of which bumps her worker epoch and forces the next rebuild.) Snapshot
+    // rebuilds exclude nothing: the async answered books are assign-guarded
+    // and the snapshot path must not touch them; the eligibility predicate
+    // skips those entries and the budget bounds the cost.
+    const std::vector<size_t>* exclude =
+        snap == nullptr ? &inference_->answered_tasks(worker) : nullptr;
+    const uint64_t cursor =
+        snap == nullptr ? inference_->mutation_log_end() : snap->epoch;
+    index->Rebuild(n, source, worker_epoch, generation, cursor, exclude,
+                   score_one, pool);
+    benefit_index_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  }
+#if DOCS_DEBUG_CHECKS
+  index->CheckInvariant();
+#endif
+  std::vector<size_t> selected;
+  uint64_t pops = 0;
+  // The frontier walk may skip ineligible entries (leased-out tasks, capped
+  // tasks, the answered set on the snapshot path); past this budget the pass
+  // is churn-bound and the O(n) scan is the better tool.
+  const size_t budget = std::max<size_t>(64, 8 * k);
+  const bool complete =
+      index->TrySelect(eligible_one, k, budget, &selected, &pops);
+  benefit_index_pops_.fetch_add(pops, std::memory_order_relaxed);
+  if (!complete) return std::nullopt;
+  return selected;
+}
+
+std::vector<size_t> DocsSystem::RankWithIndex(
+    size_t worker, BenefitIndex* index, size_t k,
+    const std::function<double(size_t)>& score,
+    std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
+    const uint64_t* task_epochs, uint64_t generation,
+    const std::function<bool(size_t)>& eligible_one,
+    const std::function<const std::vector<uint8_t>&()>& eligible_bitmap,
+    ThreadPool* pool, const InferenceSnapshot* snap) {
+  // One saw-miss flag spans the repair phase AND the scan fallback: a pass
+  // that recomputed any score anywhere is a request miss, exactly as on the
+  // pre-index scan path.
+  std::atomic<bool> saw_miss{false};
+  bool had_candidates = false;
+  std::vector<size_t> selected;
+  bool served = false;
+  if (index != nullptr) {
+    auto ranked =
+        TryRankViaIndex(worker, index, k, score, cache, worker_epoch,
+                        task_epochs, generation, eligible_one, pool, snap,
+                        &saw_miss);
+    if (ranked.has_value()) {
+      selected = std::move(*ranked);
+      had_candidates = index->size() > 0;
+      served = true;
+    }
+  }
+  if (!served) {
+    selected = RankCore(eligible_bitmap(), k, score, cache, worker_epoch,
+                        task_epochs, generation, pool, &saw_miss,
+                        &had_candidates);
+  }
   // Request-level accounting: the whole pass is one lookup from the serving
   // path's point of view — fully cache-served or not.
-  if (cache != nullptr && !scored.empty()) {
+  if (cache != nullptr && had_candidates) {
     if (saw_miss.load(std::memory_order_relaxed)) {
       benefit_cache_request_misses_.fetch_add(1, std::memory_order_relaxed);
     } else {
       benefit_cache_request_hits_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  const size_t take = std::min(k, scored.size());
-  if (take == 0) return {};
-  auto by_value_desc = [](const Scored& a, const Scored& b) {
-    if (a.value != b.value) return a.value > b.value;
-    return a.task < b.task;
-  };
-  // Linear selection of the top-k (PICK), then order the selected few.
-  std::nth_element(scored.begin(), scored.begin() + (take - 1), scored.end(),
-                   by_value_desc);
-  std::sort(scored.begin(), scored.begin() + take, by_value_desc);
-  std::vector<size_t> selected;
-  selected.reserve(take);
-  for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].task);
   return selected;
 }
 
@@ -251,27 +353,49 @@ std::vector<size_t> DocsSystem::SelectTasks(size_t worker, size_t k) {
   // OTA over T - T(w), honoring the per-task redundancy cap if one is set.
   // Outstanding leases count as in-flight answers against the cap, so a task
   // already granted to enough workers is not over-assigned; abandoned grants
-  // come back via ExpireLeases. The bitmap starts all-eligible and masks the
-  // worker's answered list in O(|T(w)|) — no per-task membership probes —
-  // and it lives in reusable scratch so a warm request allocates nothing.
-  std::vector<uint8_t>& eligible = eligible_scratch_;
-  eligible.assign(tasks_.size(), 1);
+  // come back via ExpireLeases. Eligibility is a per-task predicate on the
+  // index fast path (the frontier walk probes only the handful of tasks it
+  // visits — an O(n) bitmap build here would swamp the O(k log n) walk); the
+  // full bitmap is built lazily, only when the pass falls back to the scan.
+  auto eligible_one = [this, worker](size_t task) {
+    return !HasAnsweredView(worker, task) && !AtAnswerCap(task);
+  };
+  auto eligible_bitmap = [this, worker]() -> const std::vector<uint8_t>& {
+    BuildEligibilityBitmap(worker, &eligible_scratch_);
+    return eligible_scratch_;
+  };
+
+  // All four rules share the same shape — rank eligible tasks by score, take
+  // the top k — so they all route through RankWithIndex: the per-worker
+  // benefit index when it can serve the request (DESIGN.md §16), otherwise
+  // the deterministic parallel scan over the epoch-tagged benefit cache.
+  std::vector<CachedBenefit>* cache = CacheRow(worker);
+  const uint64_t worker_epoch =
+      cache != nullptr ? inference_->worker_epoch(worker) : 0;
+  const uint64_t generation = cache != nullptr ? inference_->generation() : 0;
+  auto selected = RankWithIndex(
+      worker, IndexRow(worker), k, MakeScoreFn(worker), cache, worker_epoch,
+      inference_->task_epochs().data(), generation, eligible_one,
+      eligible_bitmap, ScoringPool(), nullptr);
+  GrantLeases(worker, selected);
+  return selected;
+}
+
+void DocsSystem::BuildEligibilityBitmap(size_t worker,
+                                        std::vector<uint8_t>* eligible) {
+  // Starts all-eligible and masks the worker's answered list in O(|T(w)|) —
+  // no per-task membership probes — in reusable storage so a warm scan pass
+  // allocates nothing. The answered view runs through the submission books
+  // in async mode, so an acked-but-unapplied answer is not re-granted.
+  eligible->assign(tasks_.size(), 1);
   for (size_t answered : AnsweredView(worker)) {
-    eligible[answered] = 0;
+    (*eligible)[answered] = 0;
   }
   if (options_.max_answers_per_task > 0) {
     for (size_t i = 0; i < tasks_.size(); ++i) {
-      if (AtAnswerCap(i)) eligible[i] = 0;
+      if (AtAnswerCap(i)) (*eligible)[i] = 0;
     }
   }
-
-  // All four rules share the same shape — score every eligible task, take
-  // the top k — so they all route through RankEligible, which parallelizes
-  // the scoring pass deterministically and serves still-valid scores from
-  // the epoch-tagged benefit cache.
-  auto selected = RankEligible(worker, eligible, k, MakeScoreFn(worker));
-  GrantLeases(worker, selected);
-  return selected;
 }
 
 std::function<double(size_t)> DocsSystem::MakeScoreFn(size_t worker) {
@@ -335,6 +459,10 @@ bool DocsSystem::CanServeSharded(size_t worker) const {
   if (options_.benefit_cache) {
     if (benefit_cache_.size() <= worker) return false;
     if (benefit_cache_[worker].size() != tasks_.size()) return false;
+    // The index row, like the cache row, is allocated (deque growth) only on
+    // the exclusive path; the sharded path may mutate its contents under the
+    // worker's stripe but never the container.
+    if (options_.benefit_index && benefit_index_.size() <= worker) return false;
   }
   return true;
 }
@@ -344,31 +472,37 @@ void DocsSystem::BeginShardedSelect(size_t worker,
   // Caller holds the assign lock: the clock tick and the lease-count reads
   // are serialized against every other grant and expiry.
   ++lease_clock_;
-  eligible->assign(tasks_.size(), 1);
-  for (size_t answered : AnsweredView(worker)) {
-    (*eligible)[answered] = 0;
-  }
-  if (options_.max_answers_per_task > 0) {
-    for (size_t i = 0; i < tasks_.size(); ++i) {
-      if (AtAnswerCap(i)) (*eligible)[i] = 0;
-    }
-  }
+  BuildEligibilityBitmap(worker, eligible);
 }
 
 std::vector<size_t> DocsSystem::ScoreAndRankSharded(size_t worker,
                                                     ShardScratch& scratch,
                                                     size_t k,
                                                     ThreadPool* pool) {
-  // CanServeSharded guaranteed the row is sized; no CacheRow here — that
-  // path may resize, which only the exclusive lock permits.
+  // CanServeSharded guaranteed the rows are sized; no CacheRow/IndexRow here —
+  // those paths may resize, which only the exclusive lock permits.
   std::vector<CachedBenefit>* cache =
       options_.benefit_cache ? &benefit_cache_[worker] : nullptr;
+  BenefitIndex* index = (cache != nullptr && options_.benefit_index)
+                            ? &benefit_index_[worker]
+                            : nullptr;
   const uint64_t worker_epoch =
       cache != nullptr ? inference_->worker_epoch(worker) : 0;
+  const uint64_t generation = cache != nullptr ? inference_->generation() : 0;
   const std::function<double(size_t)> score =
       MakeScoreFn(worker, scratch.quality);
-  return RankCore(scratch.eligible, k, score, cache, worker_epoch,
-                  inference_->task_epochs().data(), pool);
+  // Eligibility was frozen into the scratch bitmap under the assign lock
+  // (BeginShardedSelect); both the index walk and the scan fallback read that
+  // same frozen view, so the two paths pick from an identical candidate set.
+  auto eligible_one = [&scratch](size_t task) {
+    return scratch.eligible[task] != 0;
+  };
+  auto eligible_bitmap = [&scratch]() -> const std::vector<uint8_t>& {
+    return scratch.eligible;
+  };
+  return RankWithIndex(worker, index, k, score, cache, worker_epoch,
+                       inference_->task_epochs().data(), generation,
+                       eligible_one, eligible_bitmap, pool, nullptr);
 }
 
 bool DocsSystem::CommitShardedSelect(size_t worker,
@@ -408,10 +542,11 @@ std::vector<double> DocsSystem::ScoreAllTasks(size_t worker,
   std::vector<CachedBenefit>* cache = bypass_cache ? nullptr : CacheRow(worker);
   const uint64_t worker_epoch =
       cache != nullptr ? inference_->worker_epoch(worker) : 0;
+  const uint64_t generation = cache != nullptr ? inference_->generation() : 0;
   ParallelFor(ScoringPool(), tasks_.size(), [&](size_t i) {
     // Test hook, not a serving pass: skip the request-level tally.
     scores[i] = ScoreOne(i, score, cache, worker_epoch,
-                         inference_->task_epochs().data(), nullptr);
+                         inference_->task_epochs().data(), generation, nullptr);
   });
   return scores;
 }
@@ -672,17 +807,25 @@ std::shared_ptr<const InferenceSnapshot> DocsSystem::BuildSnapshot(
   snap->epoch = prev != nullptr ? prev->epoch + 1 : 1;
   if (inference_ == nullptr) return snap;
   snap->answers_applied = inference_->num_answers();
+  const uint64_t generation = inference_->generation();
+  snap->generation = generation;
+  // A full re-inference moves every posterior and quality vector behind a
+  // single generation bump, leaving the per-task epochs untouched — so every
+  // copy-on-write share below must also require the generation unchanged, or
+  // the new snapshot would alias stale state.
+  const bool same_generation = prev != nullptr && prev->generation == generation;
 
   // Tasks copy-on-write: a task whose inference epoch is unchanged shares
   // the previous snapshot's immutable posterior; only the tasks the applied
-  // batch (or EM pass) actually moved are copied.
+  // batch (or EM pass) actually moved are copied — and recorded in
+  // changed_tasks, the diff a one-publish-stale index repairs from.
   const size_t n = tasks_.size();
   snap->task_epochs.resize(n);
   snap->tasks.resize(n);
   for (size_t i = 0; i < n; ++i) {
     const uint64_t epoch = inference_->task_epoch(i);
     snap->task_epochs[i] = epoch;
-    if (prev != nullptr && i < prev->task_epochs.size() &&
+    if (same_generation && i < prev->task_epochs.size() &&
         prev->task_epochs[i] == epoch) {
       snap->tasks[i] = prev->tasks[i];
       continue;
@@ -691,21 +834,23 @@ std::shared_ptr<const InferenceSnapshot> DocsSystem::BuildSnapshot(
     task_snap->truth_matrix = inference_->truth_matrix(i);
     task_snap->truth = inference_->task_truth(i);
     snap->tasks[i] = std::move(task_snap);
+    snap->changed_tasks.push_back(i);
   }
 
   snap->workers.resize(workers_.size());
   for (size_t w = 0; w < workers_.size(); ++w) {
-    // CacheRow sizes the row under the exclusive lock held here, so the
-    // snapshot path never has to (row growth is exclusive-path work, exactly
-    // as on the sharded sync path). The row object's address is stable for
-    // the system's lifetime (deque) — safe to publish.
+    // CacheRow/IndexRow size the rows under the exclusive lock held here, so
+    // the snapshot path never has to (row growth is exclusive-path work,
+    // exactly as on the sharded sync path). The row objects' addresses are
+    // stable for the system's lifetime (deque) — safe to publish.
     std::vector<CachedBenefit>* row = CacheRow(w);
+    BenefitIndex* index = IndexRow(w);
     const uint64_t epoch = inference_->worker_epoch(w);
     const bool servable = workers_[w].golden_done;
-    if (prev != nullptr && w < prev->workers.size() &&
+    if (same_generation && w < prev->workers.size() &&
         prev->workers[w] != nullptr && prev->workers[w]->epoch == epoch &&
         prev->workers[w]->servable == servable &&
-        prev->workers[w]->cache_row == row) {
+        prev->workers[w]->cache_row == row && prev->workers[w]->index == index) {
       snap->workers[w] = prev->workers[w];
       continue;
     }
@@ -714,6 +859,7 @@ std::shared_ptr<const InferenceSnapshot> DocsSystem::BuildSnapshot(
     view->epoch = epoch;
     view->servable = servable;
     view->cache_row = row;
+    view->index = index;
     snap->workers[w] = std::move(view);
   }
   return snap;
@@ -768,10 +914,21 @@ std::vector<size_t> DocsSystem::ScoreAndRankSnapshot(
   // snapshot's posteriors would yield.
   std::vector<CachedBenefit>* cache =
       options_.benefit_cache ? view.cache_row : nullptr;
+  BenefitIndex* index = cache != nullptr ? view.index : nullptr;
   const std::function<double(size_t)> score =
       MakeSnapshotScoreFn(snap, view, scratch.quality);
-  return RankCore(scratch.eligible, k, score, cache, view.epoch,
-                  snap.task_epochs.data(), pool);
+  // Same frozen-bitmap discipline as the sharded sync path: eligibility was
+  // captured under the assign lock, and both the index walk and the scan
+  // fallback pick from that one candidate set.
+  auto eligible_one = [&scratch](size_t task) {
+    return scratch.eligible[task] != 0;
+  };
+  auto eligible_bitmap = [&scratch]() -> const std::vector<uint8_t>& {
+    return scratch.eligible;
+  };
+  return RankWithIndex(worker, index, k, score, cache, view.epoch,
+                       snap.task_epochs.data(), snap.generation, eligible_one,
+                       eligible_bitmap, pool, &snap);
 }
 
 void DocsSystem::OnAnswer(size_t worker, size_t task, size_t choice) {

@@ -102,6 +102,13 @@ struct DocsSystemOptions {
   /// cache on or off (tests/benefit_cache_test.cc proves it); the knob
   /// exists for that equivalence suite and for benchmarking the cold path.
   bool benefit_cache = true;
+  /// Per-worker ordered benefit index over the cache rows (DESIGN.md §16): a
+  /// warm RequestTasks reads the top-k eligible tasks off a lazily repaired
+  /// max-heap — O(k log n) — instead of scanning all n cached scores.
+  /// Requires benefit_cache (silently inert without it). Selections are
+  /// bit-identical with the index on or off (tests/benefit_index_test.cc);
+  /// the knob exists for that suite and for benchmarking the scan path.
+  bool benefit_index = true;
   /// Routes benefit scoring through the allocating reference kernel instead
   /// of the fused scratch-arena kernel. The two are bit-identical; the
   /// reference is retained as the spec oracle and as the seed-era baseline
@@ -221,6 +228,28 @@ class DocsSystem : public AssignmentPolicy {
   }
   uint64_t benefit_cache_request_misses() const {
     return benefit_cache_request_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Benefit-index effectiveness counters (DESIGN.md §16). Pops counts heap
+  /// nodes visited by index-served selections (the k-log-n work unit);
+  /// repairs counts targeted in-place fixups driven by the engine's mutation
+  /// log or a snapshot's changed-task diff; rebuilds counts full O(n)
+  /// reconstructions (first contact, worker-epoch or generation staleness,
+  /// feed-cursor gaps). Monotonic; 0 with the index or cache disabled.
+  uint64_t benefit_index_pops() const {
+    return benefit_index_pops_.load(std::memory_order_relaxed);
+  }
+  uint64_t benefit_index_repairs() const {
+    return benefit_index_repairs_.load(std::memory_order_relaxed);
+  }
+  uint64_t benefit_index_rebuilds() const {
+    return benefit_index_rebuilds_.load(std::memory_order_relaxed);
+  }
+  /// O(1) invalidation events: full re-inference runs that staled every
+  /// cache row and index with one generation bump (the engine's generation
+  /// starts at 1, so this is generation - 1). 0 before ingest.
+  uint64_t benefit_index_generation_invalidations() const {
+    return inference_ != nullptr ? inference_->generation() - 1 : 0;
   }
 
   /// Scores every task for `worker` under the configured selection rule and
@@ -364,16 +393,10 @@ class DocsSystem : public AssignmentPolicy {
 
   void FinishGoldenPhase(size_t worker);
 
-  /// Scores every eligible task for `worker` (in parallel over the scoring
-  /// pool; each task owns one slot, so the ranking is thread-count
-  /// invariant) and returns up to `k` indices ordered by descending score,
-  /// ties broken by ascending task index. With the benefit cache enabled,
-  /// `score` runs only for tasks whose (task, worker) epoch pair went stale
-  /// since the last pass; fresh entries are served from the cache.
-  std::vector<size_t> RankEligible(size_t worker,
-                                   const std::vector<uint8_t>& eligible,
-                                   size_t k,
-                                   const std::function<double(size_t)>& score);
+  /// Builds the eligibility bitmap for `worker` into `*eligible` (all-open
+  /// minus her answered view minus redundancy-capped tasks). Shared by the
+  /// exclusive scan fallback and the sharded phase-1 snapshot.
+  void BuildEligibilityBitmap(size_t worker, std::vector<uint8_t>* eligible);
 
   /// Builds the selection-rule scoring function for `worker`. Stages the
   /// worker's (possibly flattened) quality vector in quality_scratch_, so
@@ -385,29 +408,68 @@ class DocsSystem : public AssignmentPolicy {
   std::function<double(size_t)> MakeScoreFn(size_t worker,
                                             std::vector<double>& quality);
 
-  /// Shared ranking core behind RankEligible and ScoreAndRankSharded:
-  /// scores every eligible task (over `pool` when non-null), maintains the
-  /// row- and request-level cache counters, and returns the ordered top-k.
-  /// `task_epochs` keys the cache: the live engine's epochs on the sync
-  /// paths, the published snapshot's copy on the async serving path.
+  /// The scan ranking core: scores every eligible task (over `pool` when
+  /// non-null), maintains the row-level cache counters, and returns the
+  /// ordered top-k through the shared PICK helper. `task_epochs` keys the
+  /// cache: the live engine's epochs on the sync paths, the published
+  /// snapshot's copy on the async serving path. Sets `*had_candidates` when
+  /// at least one task was eligible (the request-tally gate RankWithIndex
+  /// applies).
   std::vector<size_t> RankCore(const std::vector<uint8_t>& eligible, size_t k,
                                const std::function<double(size_t)>& score,
                                std::vector<CachedBenefit>* cache,
                                uint64_t worker_epoch,
-                               const uint64_t* task_epochs, ThreadPool* pool);
+                               const uint64_t* task_epochs,
+                               uint64_t generation, ThreadPool* pool,
+                               std::atomic<bool>* saw_miss,
+                               bool* had_candidates);
+
+  /// The index-accelerated ranking attempt (DESIGN.md §16): syncs `index` to
+  /// (worker_epoch, generation) — full rebuild on a tag mismatch or feed
+  /// gap, targeted repairs from the engine's mutation log (`snap` null) or
+  /// the snapshot's changed-task diff otherwise — then reads the top-k
+  /// eligible tasks off the heap. nullopt when the frontier walk exceeded
+  /// its skip budget; the caller falls back to the bit-identical scan.
+  std::optional<std::vector<size_t>> TryRankViaIndex(
+      size_t worker, BenefitIndex* index, size_t k,
+      const std::function<double(size_t)>& score,
+      std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
+      const uint64_t* task_epochs, uint64_t generation,
+      const std::function<bool(size_t)>& eligible_one, ThreadPool* pool,
+      const InferenceSnapshot* snap, std::atomic<bool>* saw_miss);
+
+  /// The one ranking front door every serving path uses: tries the index
+  /// (when non-null), falls back to the scan over `eligible_bitmap()` (built
+  /// lazily — the index fast path never pays the O(n) bitmap fill), and
+  /// tallies the request-level cache counters across whichever path served.
+  std::vector<size_t> RankWithIndex(
+      size_t worker, BenefitIndex* index, size_t k,
+      const std::function<double(size_t)>& score,
+      std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
+      const uint64_t* task_epochs, uint64_t generation,
+      const std::function<bool(size_t)>& eligible_one,
+      const std::function<const std::vector<uint8_t>&()>& eligible_bitmap,
+      ThreadPool* pool, const InferenceSnapshot* snap);
 
   /// The worker's benefit-cache row sized to the task count, or nullptr when
   /// the cache is disabled.
   std::vector<CachedBenefit>* CacheRow(size_t worker);
 
+  /// The worker's benefit index, growing the container as needed (exclusive
+  /// path only — sharded and snapshot paths reach the index through
+  /// pre-sized references/pointers); nullptr when the index or the cache is
+  /// disabled.
+  BenefitIndex* IndexRow(size_t worker);
+
   /// One cached score: probes `cache` (when non-null) under the live
-  /// (task, worker) epoch pair, recomputing and refreshing the entry on a
-  /// miss (recorded in `*saw_miss` when provided). Thread-safe across
+  /// (task, worker, generation) key, recomputing and refreshing the entry on
+  /// a miss (recorded in `*saw_miss` when provided). Thread-safe across
   /// distinct `task` values: each task owns its cache slot and the counters
   /// are atomic.
   double ScoreOne(size_t task, const std::function<double(size_t)>& score,
                   std::vector<CachedBenefit>* cache, uint64_t worker_epoch,
-                  const uint64_t* task_epochs, std::atomic<bool>* saw_miss);
+                  const uint64_t* task_epochs, uint64_t generation,
+                  std::atomic<bool>* saw_miss);
 
   /// Shared validation for live submissions and checkpoint replay.
   [[nodiscard]] Status ValidateAnswer(size_t worker, size_t task, size_t choice) const;
@@ -474,10 +536,19 @@ class DocsSystem : public AssignmentPolicy {
   /// keeps its address when later workers register — published snapshots
   /// carry raw row pointers (DESIGN.md §15) and must never dangle.
   std::deque<std::vector<CachedBenefit>> benefit_cache_;
+  /// Per-worker benefit indexes over the cache rows (DESIGN.md §16), same
+  /// container discipline as benefit_cache_: a deque so an index keeps its
+  /// address when later workers register — published snapshots carry raw
+  /// index pointers and must never dangle. Grown on the exclusive path only
+  /// (IndexRow); contents guarded by the worker's shard stripe.
+  std::deque<BenefitIndex> benefit_index_;
   std::atomic<uint64_t> benefit_cache_hits_{0};
   std::atomic<uint64_t> benefit_cache_misses_{0};
   std::atomic<uint64_t> benefit_cache_request_hits_{0};
   std::atomic<uint64_t> benefit_cache_request_misses_{0};
+  std::atomic<uint64_t> benefit_index_pops_{0};
+  std::atomic<uint64_t> benefit_index_repairs_{0};
+  std::atomic<uint64_t> benefit_index_rebuilds_{0};
   /// Serving-path scratch, reused across SelectTasks calls so a warm request
   /// allocates nothing: the eligibility bitmap and the staged quality vector
   /// MakeScoreFn's callables read from.

@@ -13,6 +13,11 @@ double Clamp(double q, double clamp) {
   return std::min(1.0 - clamp, std::max(clamp, q));
 }
 
+/// Mutation-log bound: past this many un-replayed entries a catching-up
+/// benefit index would approach the cost of a rebuild anyway, so the log is
+/// trimmed wholesale and stragglers rebuild (DESIGN.md §16).
+constexpr size_t kMutationLogCapacity = 4096;
+
 }  // namespace
 
 IncrementalTruthInference::IncrementalTruthInference(
@@ -192,8 +197,14 @@ Status IncrementalTruthInference::OnAnswer(size_t worker, size_t task,
   // (step 1), and so did the quality vector of the submitting worker and of
   // every retro-updated prior worker (step 2). The prior list names each
   // worker at most once (one answer per (worker, task)), so nobody is bumped
-  // twice for one submission.
+  // twice for one submission. The task also lands in the mutation log so
+  // benefit indexes can repair it in place instead of rebuilding.
   ++task_epoch_[task];
+  if (mutation_log_.size() >= kMutationLogCapacity) {
+    mutation_log_begin_ += mutation_log_.size();
+    mutation_log_.clear();
+  }
+  mutation_log_.push_back(task);
   ++workers_[worker].epoch;
   for (const Answer& prior_answer : answers_of_task_[task]) {
     if (prior_answer.worker != worker) ++workers_[prior_answer.worker].epoch;
@@ -236,8 +247,9 @@ void IncrementalTruthInference::RecomputeTask(size_t task) {
   }
   truth_matrix.LeftMultiplyInto(t.domain_vector, &task_truth_[task]);
   NormalizeInPlace(task_truth_[task]);
-  // Each task owns its epoch slot, so the parallel fan-out bumps race-free.
-  ++task_epoch_[task];
+  // No epoch bump here: RecomputeTask only runs inside the RunFullInference
+  // fan-out, whose single generation bump already invalidates every cached
+  // score in O(1) — walking the epoch array again would defeat that.
   DOCS_DCHECK_SIMPLEX(task_truth_[task], 1e-6,
                       "recomputed task truth (Eq. 4)");
 }
@@ -262,10 +274,16 @@ void IncrementalTruthInference::RunFullInference(ThreadPool* pool) {
 
   for (size_t w = 0; w < workers_.size(); ++w) {
     workers_[w].stats = result.worker_quality[w];
-    // Conservative invalidation: the batch re-run replaces every quality
-    // vector, so every cached (task, worker) benefit goes stale.
-    ++workers_[w].epoch;
   }
+  // O(1) invalidation: the batch re-run replaces every quality vector and
+  // every posterior at once, so instead of walking all task and worker
+  // epochs (the pre-§16 behavior) a single generation bump stales every
+  // cached (task, worker) benefit and every benefit index. The mutation log
+  // is trimmed too — the entries it held are subsumed by the rebuilds the
+  // generation bump forces.
+  ++generation_;
+  mutation_log_begin_ += mutation_log_.size();
+  mutation_log_.clear();
   // Rebuild the incremental caches so later OnAnswer calls continue from the
   // converged state. Every task owns its cache slots, so the fan-out is
   // bit-identical to the sequential loop for any thread count.

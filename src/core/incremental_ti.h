@@ -85,9 +85,12 @@ class IncrementalTruthInference {
   const std::vector<size_t>& answered_tasks(size_t worker) const;
 
   /// Version tag of task `task`'s inference state (M^(i), s_i). Bumped by
-  /// OnAnswer, RecomputeTask and RunFullInference; starts at 1. Together
-  /// with worker_epoch it keys the OTA benefit cache (DESIGN.md §11): a
-  /// cached benefit is valid exactly while both epochs are unchanged.
+  /// OnAnswer only; starts at 1. Together with worker_epoch AND generation()
+  /// it keys the OTA benefit cache (DESIGN.md §11/§16): a cached benefit is
+  /// valid exactly while all three are unchanged. The batch re-run
+  /// (RunFullInference) replaces every posterior WITHOUT walking the epoch
+  /// arrays — it bumps the generation instead, which invalidates everything
+  /// in O(1).
   uint64_t task_epoch(size_t task) const { return task_epoch_[task]; }
 
   /// The full per-task epoch array (indexed by task); snapshot publication
@@ -96,10 +99,31 @@ class IncrementalTruthInference {
   const std::vector<uint64_t>& task_epochs() const { return task_epoch_; }
 
   /// Version tag of `worker`'s quality vector; starts at 1. Bumped whenever
-  /// the quality estimate moves: her own submissions, the retro-update
-  /// fan-out of other workers' submissions on shared tasks, SetWorkerQuality
-  /// reseeds, and RunFullInference.
+  /// the quality estimate moves incrementally: her own submissions, the
+  /// retro-update fan-out of other workers' submissions on shared tasks, and
+  /// SetWorkerQuality reseeds. RunFullInference bumps generation() instead.
   uint64_t worker_epoch(size_t worker) const { return workers_[worker].epoch; }
+
+  /// Global invalidation generation; starts at 1. Bumped once — a single
+  /// counter increment, not a per-task or per-worker walk — by every
+  /// RunFullInference, which replaces all posteriors and all quality vectors
+  /// at once. Cache entries and benefit indexes carry the generation they
+  /// were built under and go stale the moment it moves (DESIGN.md §16).
+  uint64_t generation() const { return generation_; }
+
+  /// Targeted-repair feed for the per-worker benefit indexes (DESIGN.md
+  /// §16): every task whose posterior moved incrementally (one OnAnswer
+  /// each) is appended here, tagged with an absolute, monotonically growing
+  /// sequence number. An index that recorded sequence c while fresh can
+  /// catch up by repairing exactly the tasks in [c, mutation_log_end()); a
+  /// cursor older than mutation_log_begin() means the log was trimmed (or a
+  /// full inference cleared it) and the index must rebuild. Entries may name
+  /// the same task repeatedly — repair is idempotent.
+  uint64_t mutation_log_begin() const { return mutation_log_begin_; }
+  uint64_t mutation_log_end() const {
+    return mutation_log_begin_ + mutation_log_.size();
+  }
+  const std::vector<size_t>& mutation_log() const { return mutation_log_; }
 
   /// argmax_j s_{i,j} for every task.
   std::vector<size_t> InferredChoices() const;
@@ -128,6 +152,12 @@ class IncrementalTruthInference {
   std::vector<Matrix> truth_matrices_;  // M^(i)
   std::vector<std::vector<double>> task_truth_;  // s_i
   std::vector<uint64_t> task_epoch_;  // see task_epoch()
+  uint64_t generation_ = 1;           // see generation()
+  /// Dirty-task feed; see mutation_log(). Bounded: once it reaches
+  /// kMutationLogCapacity it is trimmed wholesale (begin jumps to end), which
+  /// simply demotes every index catch-up to a rebuild.
+  std::vector<size_t> mutation_log_;
+  uint64_t mutation_log_begin_ = 0;
   std::vector<std::vector<Answer>> answers_of_task_;
   std::vector<Answer> answers_;
   std::vector<WorkerState> workers_;

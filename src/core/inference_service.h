@@ -39,6 +39,12 @@ struct WorkerSnapshot {
   /// golden probe, cache row sized (the same gate as CanServeSharded).
   bool servable = false;
   std::vector<CachedBenefit>* cache_row = nullptr;
+  /// The worker's live benefit index (DESIGN.md §16), published by pointer
+  /// for the same reason as cache_row: the object's address is stable (deque
+  /// row) and its contents stay guarded by the worker's shard stripe.
+  /// Indexing the owner's container from the lock-free snapshot path would
+  /// race container growth; the pointer cannot. nullptr when disabled.
+  BenefitIndex* index = nullptr;
 };
 
 /// An immutable, epoch-tagged picture of the inference state, published by
@@ -56,6 +62,16 @@ struct InferenceSnapshot {
   /// Per-task inference epochs at publish time; keys the benefit cache on
   /// the snapshot scoring path (DESIGN.md §11 semantics, snapshot edition).
   std::vector<uint64_t> task_epochs;
+  /// The engine's invalidation generation at publish time (DESIGN.md §16):
+  /// a full re-inference replaces every posterior without bumping the task
+  /// epochs, so both the copy-on-write sharing below and the cache/index
+  /// keys on the serving path must compare the generation too.
+  uint64_t generation = 0;
+  /// Tasks whose posterior was copied fresh for THIS publish (everything not
+  /// shared from `prev`) — the snapshot edition of the engine's mutation
+  /// log. An index synced to publish epoch-1 repairs exactly these entries
+  /// to reach this epoch; any larger gap means rebuild.
+  std::vector<size_t> changed_tasks;
   std::vector<std::shared_ptr<const TaskPosteriorSnapshot>> tasks;
   std::vector<std::shared_ptr<const WorkerSnapshot>> workers;
 };

@@ -208,6 +208,149 @@ double BenefitOfSetBruteForce(const std::vector<Task>& tasks,
   return expected_benefit;
 }
 
+std::vector<size_t> SelectTopKFromScored(std::vector<ScoredTask>* scored,
+                                         size_t k) {
+  const size_t take = std::min(k, scored->size());
+  if (take == 0) return {};
+  // Linear selection of the top-k (PICK), then order the selected few.
+  std::nth_element(scored->begin(), scored->begin() + (take - 1), scored->end(),
+                   BetterScored);
+  std::sort(scored->begin(), scored->begin() + take, BetterScored);
+  std::vector<size_t> selected;
+  selected.reserve(take);
+  for (size_t i = 0; i < take; ++i) selected.push_back((*scored)[i].task);
+  return selected;
+}
+
+void BenefitIndex::SiftUp(size_t slot) {
+  ScoredTask entry = heap_[slot];
+  while (slot > 0) {
+    const size_t parent = (slot - 1) / 2;
+    if (!BetterScored(entry, heap_[parent])) break;
+    PlaceAt(slot, heap_[parent]);
+    slot = parent;
+  }
+  PlaceAt(slot, entry);
+}
+
+void BenefitIndex::SiftDown(size_t slot) {
+  ScoredTask entry = heap_[slot];
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t best = 2 * slot + 1;
+    if (best >= n) break;
+    if (best + 1 < n && BetterScored(heap_[best + 1], heap_[best])) ++best;
+    if (!BetterScored(heap_[best], entry)) break;
+    PlaceAt(slot, heap_[best]);
+    slot = best;
+  }
+  PlaceAt(slot, entry);
+}
+
+void BenefitIndex::Rebuild(size_t num_tasks, Source source,
+                           uint64_t worker_epoch, uint64_t generation,
+                           uint64_t cursor,
+                           const std::vector<size_t>* exclude_sorted,
+                           const std::function<double(size_t)>& score,
+                           ThreadPool* pool) {
+  // pos_ packs heap slots into uint32_t (+1 for the "absent" sentinel).
+  DOCS_CHECK_LT(num_tasks, size_t{0xffffffff});
+  heap_.clear();
+  heap_.reserve(num_tasks);
+  pos_.assign(num_tasks, 0);
+  size_t e = 0;
+  for (size_t task = 0; task < num_tasks; ++task) {
+    if (exclude_sorted != nullptr) {
+      while (e < exclude_sorted->size() && (*exclude_sorted)[e] < task) ++e;
+      if (e < exclude_sorted->size() && (*exclude_sorted)[e] == task) continue;
+    }
+    heap_.push_back({task, 0.0});
+  }
+  // Each slot is scored independently (its own cache entry, per-thread
+  // kernel scratch), so the fan-out is thread-count invariant.
+  ParallelFor(pool, heap_.size(),
+              [&](size_t s) { heap_[s].value = score(heap_[s].task); });
+  for (size_t s = 0; s < heap_.size(); ++s) {
+    pos_[heap_[s].task] = static_cast<uint32_t>(s + 1);
+  }
+  // Floyd heapify: bottom-up sift-down, O(n) total.
+  for (size_t s = heap_.size() / 2; s-- > 0;) SiftDown(s);
+  source_ = source;
+  worker_epoch_tag_ = worker_epoch;
+  generation_tag_ = generation;
+  cursor_ = cursor;
+}
+
+void BenefitIndex::Repair(size_t task, double value) {
+  if (!contains(task)) return;
+  const size_t slot = pos_[task] - 1;
+  if (heap_[slot].value == value) return;  // bitwise-identical score: no-op
+  const bool rose = value > heap_[slot].value;
+  heap_[slot].value = value;
+  if (rose) {
+    SiftUp(slot);
+  } else {
+    SiftDown(slot);
+  }
+}
+
+bool BenefitIndex::TrySelect(const std::function<bool(size_t)>& eligible,
+                             size_t k, size_t budget, std::vector<size_t>* out,
+                             uint64_t* pops) {
+  out->clear();
+  if (k == 0 || heap_.empty()) return true;
+  // Candidate-frontier traversal: the frontier holds heap slots whose
+  // parents were already emitted, ordered (as a little heap of its own) by
+  // the indexed entries' total order. Because BetterScored is total and the
+  // main heap satisfies it parent-over-child strictly, the best frontier
+  // slot is better than every other unvisited node — so emission happens in
+  // exact global rank order, matching the scan's sorted prefix bit for bit.
+  frontier_.clear();
+  auto frontier_order = [this](uint32_t a, uint32_t b) {
+    // std::push/pop_heap keep the *largest* element first under "less-than";
+    // "less" here means "worse score".
+    return BetterScored(heap_[b], heap_[a]);
+  };
+  frontier_.push_back(0);
+  uint64_t visited = 0;
+  while (!frontier_.empty()) {
+    std::pop_heap(frontier_.begin(), frontier_.end(), frontier_order);
+    const uint32_t slot = frontier_.back();
+    frontier_.pop_back();
+    ++visited;
+    if (visited > budget) {
+      *pops += visited;
+      return false;
+    }
+    if (eligible(heap_[slot].task)) {
+      out->push_back(heap_[slot].task);
+      if (out->size() == k) break;
+    }
+    for (uint32_t child = 2 * slot + 1;
+         child <= 2 * slot + 2 && child < heap_.size(); ++child) {
+      frontier_.push_back(child);
+      std::push_heap(frontier_.begin(), frontier_.end(), frontier_order);
+    }
+  }
+  *pops += visited;
+  return true;
+}
+
+void BenefitIndex::CheckInvariant() const {
+  size_t indexed = 0;
+  for (size_t task = 0; task < pos_.size(); ++task) {
+    if (pos_[task] == 0) continue;
+    ++indexed;
+    DOCS_DCHECK_LE(pos_[task], heap_.size());
+    DOCS_DCHECK_EQ(heap_[pos_[task] - 1].task, task);
+  }
+  DOCS_DCHECK_EQ(indexed, heap_.size());
+  for (size_t slot = 1; slot < heap_.size(); ++slot) {
+    DOCS_DCHECK(BetterScored(heap_[(slot - 1) / 2], heap_[slot]))
+        << "benefit index heap property violated at slot " << slot;
+  }
+}
+
 TaskAssigner::TaskAssigner(TaskAssignerOptions options) : options_(options) {}
 
 std::vector<size_t> TaskAssigner::SelectTopK(
@@ -225,7 +368,7 @@ std::vector<size_t> TaskAssigner::SelectTopK(
     const std::vector<double>& worker_quality,
     const std::vector<uint8_t>& eligible, size_t k,
     const std::vector<uint64_t>* task_epochs, uint64_t worker_epoch,
-    std::vector<CachedBenefit>* cache) const {
+    std::vector<CachedBenefit>* cache, uint64_t generation) const {
   // All four parallel arrays must describe the same task list; a mismatch
   // would read a stale eligibility bit (or out of bounds) for some task.
   DOCS_CHECK_EQ(eligible.size(), tasks.size());
@@ -238,11 +381,7 @@ std::vector<size_t> TaskAssigner::SelectTopK(
     DOCS_CHECK_EQ(task_epochs->size(), tasks.size());
     DOCS_CHECK_EQ(cache->size(), tasks.size());
   }
-  struct Scored {
-    size_t task;
-    double benefit;
-  };
-  std::vector<Scored> scored;
+  std::vector<ScoredTask> scored;
   scored.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
     if (!eligible[i]) continue;
@@ -264,36 +403,100 @@ std::vector<size_t> TaskAssigner::SelectTopK(
                 if (cache != nullptr) {
                   CachedBenefit& entry = (*cache)[i];
                   if (entry.task_epoch == (*task_epochs)[i] &&
-                      entry.worker_epoch == worker_epoch) {
-                    scored[s].benefit = entry.benefit;
+                      entry.worker_epoch == worker_epoch &&
+                      entry.generation == generation) {
+                    scored[s].value = entry.benefit;
                     return;
                   }
                 }
                 thread_local BenefitScratch scratch;
-                scored[s].benefit =
+                scored[s].value =
                     Benefit(tasks[i], matrices[i], truths[i], worker_quality,
                             options_.quality_clamp, &scratch);
                 // A NaN benefit would poison the nth_element comparator
                 // (strict weak ordering) below.
-                DOCS_DCHECK_FINITE(scored[s].benefit, "task benefit (Eq. 8)");
+                DOCS_DCHECK_FINITE(scored[s].value, "task benefit (Eq. 8)");
                 if (cache != nullptr) {
-                  (*cache)[i] = {(*task_epochs)[i], worker_epoch,
-                                 scored[s].benefit};
+                  (*cache)[i] = {(*task_epochs)[i], worker_epoch, generation,
+                                 scored[s].value};
                 }
               });
-  const size_t take = std::min(k, scored.size());
-  if (take == 0) return {};
-  auto by_benefit_desc = [](const Scored& a, const Scored& b) {
-    if (a.benefit != b.benefit) return a.benefit > b.benefit;
-    return a.task < b.task;
+  return SelectTopKFromScored(&scored, k);
+}
+
+std::vector<size_t> TaskAssigner::SelectTopK(
+    const std::vector<Task>& tasks, const std::vector<Matrix>& matrices,
+    const std::vector<std::vector<double>>& truths,
+    const std::vector<double>& worker_quality,
+    const std::vector<uint8_t>& eligible, size_t k,
+    const std::vector<uint64_t>* task_epochs, uint64_t worker_epoch,
+    std::vector<CachedBenefit>* cache, uint64_t generation,
+    BenefitIndex* index) const {
+  DOCS_CHECK_EQ(eligible.size(), tasks.size());
+  DOCS_CHECK_EQ(matrices.size(), tasks.size());
+  DOCS_CHECK_EQ(truths.size(), tasks.size());
+  CheckUnitInterval(worker_quality, 1e-9, "OTA worker quality (Eq. 5)");
+  DOCS_CHECK(index != nullptr) << "index overload requires an index";
+  DOCS_CHECK(cache != nullptr) << "benefit index requires the benefit cache";
+  DOCS_CHECK(task_epochs != nullptr) << "benefit cache requires task epochs";
+  DOCS_CHECK_EQ(task_epochs->size(), tasks.size());
+  DOCS_CHECK_EQ(cache->size(), tasks.size());
+
+  // Cache-through scoring: the cache row stays the single source of score
+  // values, so entries written here are interchangeable with the scan
+  // overload's — the two paths can alternate on one cache freely.
+  auto score_fresh = [&](size_t i) {
+    CachedBenefit& entry = (*cache)[i];
+    if (entry.task_epoch == (*task_epochs)[i] &&
+        entry.worker_epoch == worker_epoch && entry.generation == generation) {
+      return entry.benefit;
+    }
+    thread_local BenefitScratch scratch;
+    const double value = Benefit(tasks[i], matrices[i], truths[i],
+                                 worker_quality, options_.quality_clamp,
+                                 &scratch);
+    DOCS_DCHECK_FINITE(value, "task benefit (Eq. 8)");
+    entry = {(*task_epochs)[i], worker_epoch, generation, value};
+    return value;
   };
-  // Linear selection of the top-k (PICK), then order the selected few.
-  std::nth_element(scored.begin(), scored.begin() + (take - 1), scored.end(),
-                   by_benefit_desc);
-  std::sort(scored.begin(), scored.begin() + take, by_benefit_desc);
+
+  const size_t threads = EffectiveThreadCount(options_.num_threads);
+  if (threads > 1 && (pool_ == nullptr || pool_->num_threads() != threads)) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  if (!index->Fresh(BenefitIndex::Source::kStandalone, worker_epoch,
+                    generation, tasks.size())) {
+    index->Rebuild(tasks.size(), BenefitIndex::Source::kStandalone,
+                   worker_epoch, generation, /*cursor=*/0,
+                   /*exclude_sorted=*/nullptr, score_fresh,
+                   threads > 1 ? pool_.get() : nullptr);
+  } else {
+    // Same tags, so only individual task epochs can have moved: an O(n)
+    // integer scan repairs exactly the stale entries. (The serving system
+    // avoids even this scan via the engine's mutation log; standalone
+    // callers have no change feed.)
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const CachedBenefit& entry = (*cache)[i];
+      if (entry.task_epoch == (*task_epochs)[i] &&
+          entry.worker_epoch == worker_epoch &&
+          entry.generation == generation) {
+        continue;
+      }
+      if (!index->contains(i)) continue;
+      index->Repair(i, score_fresh(i));
+    }
+  }
+#if DOCS_DEBUG_CHECKS
+  index->CheckInvariant();
+#endif
   std::vector<size_t> selected;
-  selected.reserve(take);
-  for (size_t i = 0; i < take; ++i) selected.push_back(scored[i].task);
+  uint64_t pops = 0;
+  // Unbounded budget: each node is visited at most once, so the walk always
+  // completes; standalone callers have no scan fallback to hand off to.
+  const bool complete = index->TrySelect(
+      [&eligible](size_t task) { return eligible[task] != 0; }, k,
+      /*budget=*/tasks.size(), &selected, &pops);
+  DOCS_CHECK(complete);
   return selected;
 }
 

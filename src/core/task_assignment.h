@@ -2,6 +2,7 @@
 #define DOCS_CORE_TASK_ASSIGNMENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -81,13 +82,132 @@ double BenefitOfSetBruteForce(const std::vector<Task>& tasks,
 /// benefit for a given worker depends only on the task's inference state
 /// (truth matrix + truth vector, versioned by a task epoch) and the worker's
 /// quality vector (versioned by a worker epoch), so a cached score is valid
-/// exactly while both epochs still match. Live epochs start at 1; the
-/// zero-initialized entry therefore never matches and reads as "never
-/// scored". Invalidation rules are documented in DESIGN.md §11.
+/// exactly while both epochs — and the engine's global invalidation
+/// generation, which a full re-inference bumps instead of walking the epoch
+/// arrays — still match. Live epochs start at 1; the zero-initialized entry
+/// therefore never matches and reads as "never scored". Invalidation rules
+/// are documented in DESIGN.md §11 and §16.
 struct CachedBenefit {
   uint64_t task_epoch = 0;
   uint64_t worker_epoch = 0;
+  uint64_t generation = 0;
   double benefit = 0.0;
+};
+
+/// One scored task, shared by every top-k selection path: the scan fallback,
+/// the PICK helper below, and the per-worker benefit index's heap order.
+struct ScoredTask {
+  size_t task = 0;
+  double value = 0.0;
+};
+
+/// THE tie-break order of every selection path: value descending, task index
+/// ascending. A total order (no two distinct tasks ever compare equal), which
+/// is what lets a heap ordered by it emit entries in exactly the sequence the
+/// scan's nth_element + prefix sort produces — the bit-identity contract the
+/// benefit index rests on (DESIGN.md §16).
+inline bool BetterScored(const ScoredTask& a, const ScoredTask& b) {
+  if (a.value != b.value) return a.value > b.value;
+  return a.task < b.task;
+}
+
+/// PICK (shared): isolates the top `take = min(k, scored->size())` entries of
+/// `*scored` with a linear nth_element, orders that prefix by BetterScored,
+/// and returns the task indices. The scan paths in DocsSystem::RankCore and
+/// TaskAssigner::SelectTopK both route through this one helper so their
+/// tie-break order can never drift from the index's.
+std::vector<size_t> SelectTopKFromScored(std::vector<ScoredTask>* scored,
+                                         size_t k);
+
+/// Per-worker ordered benefit index (DESIGN.md §16): a binary max-heap over
+/// the worker's cached benefit scores, ordered by BetterScored, plus a
+/// task -> heap-slot map so a stale score can be repaired in place (sift) in
+/// O(log n). A fully warm RequestTasks then reads the top k eligible tasks
+/// off the heap in O(k log n) instead of scanning and nth_element-ing all n
+/// scores.
+///
+/// Freshness is tagged, never assumed: the index remembers which source
+/// (live engine / published snapshot / standalone assigner), worker epoch and
+/// invalidation generation it was built under, plus a cursor into that
+/// source's change feed (the engine's mutation log, or the snapshot publish
+/// epoch). The owner revalidates the tags before every use — a mismatch
+/// means Rebuild, a cursor gap means targeted Repair of exactly the tasks
+/// the feed names. Instances are NOT thread-safe; the owner serializes
+/// access per worker (DocsSystem: the worker's shard stripe or the exclusive
+/// lock).
+class BenefitIndex {
+ public:
+  /// Which state the indexed scores were computed against. Tag mismatch =
+  /// rebuild: scores from different sources are not comparable even when the
+  /// numeric epochs coincide.
+  enum class Source : uint8_t { kNone = 0, kLive, kSnapshot, kStandalone };
+
+  /// True when the index still describes (source, worker_epoch, generation)
+  /// over `num_tasks` tasks and only cursor catch-up may be needed.
+  bool Fresh(Source source, uint64_t worker_epoch, uint64_t generation,
+             size_t num_tasks) const {
+    return source_ == source && worker_epoch_tag_ == worker_epoch &&
+           generation_tag_ == generation && pos_.size() == num_tasks;
+  }
+
+  /// Change-feed cursor: the absolute mutation-log sequence (live source) or
+  /// publish epoch (snapshot source) the heap is synced to.
+  uint64_t cursor() const { return cursor_; }
+  void set_cursor(uint64_t cursor) { cursor_ = cursor; }
+
+  /// Number of indexed (non-excluded) tasks.
+  size_t size() const { return heap_.size(); }
+  bool contains(size_t task) const {
+    return task < pos_.size() && pos_[task] != 0;
+  }
+
+  /// Rebuilds the heap from scratch for the given tags: every task except
+  /// those in `exclude_sorted` (ascending; nullptr = none) is scored via
+  /// `score` — fanned out over `pool` when non-null; each slot is
+  /// independent, so the heap contents are thread-count invariant — then
+  /// heapified bottom-up in O(n).
+  void Rebuild(size_t num_tasks, Source source, uint64_t worker_epoch,
+               uint64_t generation, uint64_t cursor,
+               const std::vector<size_t>* exclude_sorted,
+               const std::function<double(size_t)>& score, ThreadPool* pool);
+
+  /// Replaces `task`'s indexed value and restores the heap invariant with
+  /// one sift (O(log n)). No-op for tasks the index does not contain.
+  void Repair(size_t task, double value);
+
+  /// Reads the top `k` tasks satisfying `eligible` off the heap WITHOUT
+  /// popping: a candidate-frontier walk that visits nodes in exact
+  /// BetterScored order (the heap order is total, so a parent strictly
+  /// precedes both children). Appends visited-node count to `*pops` and
+  /// fills `*out` (cleared first). Returns false — partial `*out`, caller
+  /// must fall back to the scan — once more than `budget` nodes were visited
+  /// (a churn-heavy pass where many top entries are ineligible). Warm calls
+  /// allocate nothing: the frontier scratch is a reused member.
+  bool TrySelect(const std::function<bool(size_t)>& eligible, size_t k,
+                 size_t budget, std::vector<size_t>* out, uint64_t* pops);
+
+  /// O(n) heap-property + position-map audit behind DOCS_DCHECK; call sites
+  /// compile it in only under DOCS_DEBUG_CHECKS builds (scripts/ci.sh strict
+  /// stage).
+  void CheckInvariant() const;
+
+ private:
+  void SiftUp(size_t slot);
+  void SiftDown(size_t slot);
+  void PlaceAt(size_t slot, const ScoredTask& entry) {
+    heap_[slot] = entry;
+    pos_[entry.task] = static_cast<uint32_t>(slot + 1);
+  }
+
+  std::vector<ScoredTask> heap_;
+  /// task -> heap slot + 1; 0 = task not indexed (excluded at rebuild).
+  std::vector<uint32_t> pos_;
+  /// TrySelect's candidate frontier (heap slots), reused across calls.
+  std::vector<uint32_t> frontier_;
+  Source source_ = Source::kNone;
+  uint64_t worker_epoch_tag_ = 0;
+  uint64_t generation_tag_ = 0;
+  uint64_t cursor_ = 0;
 };
 
 struct TaskAssignerOptions {
@@ -119,12 +239,15 @@ class TaskAssigner {
 
   /// Epoch-aware SelectTopK: `task_epochs[i]` versions matrices[i]/truths[i]
   /// and `worker_epoch` versions worker_quality; `cache` (sized to the task
-  /// count by the caller) carries scores across calls. Only tasks whose
-  /// (task, worker) epoch pair went stale are rescored — on a quiet system a
-  /// repeat call costs O(eligible) cache probes plus the top-k selection
-  /// instead of O(n l m l) benefit evaluations. Scores and therefore the
-  /// returned ranking are bit-identical to the cacheless overload. Pass
-  /// nullptrs to disable caching (the plain overload does exactly that).
+  /// count by the caller) carries scores across calls, each entry
+  /// additionally tagged with `generation` so the caller can invalidate the
+  /// whole cache by bumping one counter (DESIGN.md §16). Only tasks whose
+  /// (task, worker, generation) key went stale are rescored — on a quiet
+  /// system a repeat call costs O(eligible) cache probes plus the top-k
+  /// selection instead of O(n l m l) benefit evaluations. Scores and
+  /// therefore the returned ranking are bit-identical to the cacheless
+  /// overload. Pass nullptrs to disable caching (the plain overload does
+  /// exactly that).
   std::vector<size_t> SelectTopK(const std::vector<Task>& tasks,
                                  const std::vector<Matrix>& matrices,
                                  const std::vector<std::vector<double>>& truths,
@@ -132,7 +255,29 @@ class TaskAssigner {
                                  const std::vector<uint8_t>& eligible, size_t k,
                                  const std::vector<uint64_t>* task_epochs,
                                  uint64_t worker_epoch,
-                                 std::vector<CachedBenefit>* cache) const;
+                                 std::vector<CachedBenefit>* cache,
+                                 uint64_t generation = 0) const;
+
+  /// Index-accelerated SelectTopK for standalone assigner use: keeps `index`
+  /// synced to the cache by an O(n) integer epoch scan (repairing any
+  /// indexed task whose cache entry went stale; rebuilding on a worker-epoch
+  /// or generation change) and then reads the top-k eligible tasks off the
+  /// heap — so the expensive part, the O(n l m l) benefit evaluation, runs
+  /// only for stale tasks, and a warm call does no benefit math at all.
+  /// Selections are bit-identical to both overloads above. `index`, `cache`
+  /// and `task_epochs` are all required. The serving system does better than
+  /// the O(n) sync scan (it repairs from the engine's mutation log); this
+  /// overload is the assigner-level building block and equivalence-test
+  /// surface.
+  std::vector<size_t> SelectTopK(const std::vector<Task>& tasks,
+                                 const std::vector<Matrix>& matrices,
+                                 const std::vector<std::vector<double>>& truths,
+                                 const std::vector<double>& worker_quality,
+                                 const std::vector<uint8_t>& eligible, size_t k,
+                                 const std::vector<uint64_t>* task_epochs,
+                                 uint64_t worker_epoch,
+                                 std::vector<CachedBenefit>* cache,
+                                 uint64_t generation, BenefitIndex* index) const;
 
   const TaskAssignerOptions& options() const { return options_; }
 

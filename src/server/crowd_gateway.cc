@@ -237,6 +237,11 @@ GatewayStats CrowdGateway::stats() const {
   out.benefit_cache_misses = system_->benefit_cache_misses();
   out.benefit_cache_request_hits = system_->benefit_cache_request_hits();
   out.benefit_cache_request_misses = system_->benefit_cache_request_misses();
+  out.benefit_index_pops = system_->benefit_index_pops();
+  out.benefit_index_repairs = system_->benefit_index_repairs();
+  out.benefit_index_rebuilds = system_->benefit_index_rebuilds();
+  out.benefit_index_generation_invalidations =
+      system_->benefit_index_generation_invalidations();
   if (durable_ != nullptr) {
     const core::DurableStats durable = durable_->stats();
     out.answers_deduped = durable.answers_deduped;

@@ -77,6 +77,15 @@ struct GatewayStats {
   uint64_t benefit_cache_misses = 0;
   uint64_t benefit_cache_request_hits = 0;
   uint64_t benefit_cache_request_misses = 0;
+  /// Benefit-index effectiveness (DESIGN.md §16), sampled at stats() time:
+  /// heap nodes visited by index-served selections, targeted repairs, full
+  /// O(n) rebuilds, and O(1) generation invalidations (full re-inference
+  /// runs staled wholesale). Local observability only — the frozen wire
+  /// Stats response does not carry these.
+  uint64_t benefit_index_pops = 0;
+  uint64_t benefit_index_repairs = 0;
+  uint64_t benefit_index_rebuilds = 0;
+  uint64_t benefit_index_generation_invalidations = 0;
   /// Durability counters (wire StatsResp v2); 0 without a durable layer.
   uint64_t answers_deduped = 0;
   uint64_t wal_records = 0;

@@ -101,6 +101,10 @@ TEST_F(BenefitCacheTest, CachedServingPathIsBitIdenticalAcrossRulesAndThreads) {
       options.selection_rule = rule;
       options.num_threads = threads;
       ASSERT_TRUE(options.benefit_cache);
+      // This suite pins the SCAN path's row-level counters (a warm index
+      // pass performs zero row lookups, which would break the hit pins
+      // below); the index-on lockstep lives in tests/benefit_index_test.cc.
+      options.benefit_index = false;
       DocsSystemOptions cold_options = options;
       cold_options.benefit_cache = false;
 
@@ -202,6 +206,7 @@ TEST_F(BenefitCacheTest, InvalidationIsPreciseForUninvolvedWorkers) {
   options.golden_count = 0;  // straight to OTA scoring
   options.reinfer_every = 0;
   options.num_threads = 1;
+  options.benefit_index = false;  // row-counter pins assume the scan path
   DocsSystem system(&kb_->knowledge_base, options);
   ASSERT_TRUE(system.AddTasks(inputs).ok());
 
@@ -243,6 +248,7 @@ TEST_F(BenefitCacheTest, RequestCountersTallyServingPassesNotRowLookups) {
   options.golden_count = 0;
   options.reinfer_every = 0;
   options.num_threads = 1;
+  options.benefit_index = false;  // row-counter pins assume the scan path
   DocsSystem system(&kb_->knowledge_base, options);
   ASSERT_TRUE(system.AddTasks(inputs).ok());
 
@@ -406,6 +412,7 @@ TEST_F(BenefitCacheTest, WarmRequestsKeepHittingUnderEveryRule) {
     options.reinfer_every = 0;
     options.num_threads = 1;
     options.selection_rule = rule;
+    options.benefit_index = false;  // row-counter pins assume the scan path
     DocsSystem system(&kb_->knowledge_base, options);
     ASSERT_TRUE(system.AddTasks(inputs).ok());
     const size_t w = system.WorkerIndex("w");

@@ -406,7 +406,7 @@ TEST(IncrementalTiTest, OnAnswerBumpsTaskSubmitterAndRetroWorkers) {
   EXPECT_EQ(engine.worker_epoch(0), 3u);
 }
 
-TEST(IncrementalTiTest, QualitySeedAndFullInferenceBumpEpochs) {
+TEST(IncrementalTiTest, QualitySeedBumpsEpochAndFullInferenceBumpsGeneration) {
   IncrementalTruthInference engine(TwoDomainTasks(2));
   engine.EnsureWorker(0);
   engine.EnsureWorker(1);
@@ -424,14 +424,23 @@ TEST(IncrementalTiTest, QualitySeedAndFullInferenceBumpEpochs) {
   const uint64_t task1 = engine.task_epoch(1);
   const uint64_t worker0 = engine.worker_epoch(0);
   const uint64_t worker1 = engine.worker_epoch(1);
+  const uint64_t generation = engine.generation();
+  EXPECT_EQ(generation, 1u);  // starts live, like the epochs
 
-  // The full re-run replaces every task's and worker's parameters, so every
-  // epoch must advance (conservative invalidation of all cached benefits).
+  // The full re-run replaces every task's and worker's parameters behind ONE
+  // generation bump — O(1) invalidation of all cached benefits. The per-item
+  // epochs must NOT move: walking every task and worker to bump them is
+  // exactly the O(n) cost the generation exists to avoid.
   engine.RunFullInference();
-  EXPECT_GT(engine.task_epoch(0), task0);
-  EXPECT_GT(engine.task_epoch(1), task1);
-  EXPECT_GT(engine.worker_epoch(0), worker0);
-  EXPECT_GT(engine.worker_epoch(1), worker1);
+  EXPECT_EQ(engine.generation(), generation + 1);
+  EXPECT_EQ(engine.task_epoch(0), task0);
+  EXPECT_EQ(engine.task_epoch(1), task1);
+  EXPECT_EQ(engine.worker_epoch(0), worker0);
+  EXPECT_EQ(engine.worker_epoch(1), worker1);
+
+  // The mutation log (the index's repair feed) is truncated at the bump:
+  // every pre-generation entry is obsolete, so the window advances past them.
+  EXPECT_EQ(engine.mutation_log_begin(), engine.mutation_log_end());
 }
 
 }  // namespace
